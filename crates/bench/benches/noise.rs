@@ -1,0 +1,59 @@
+//! Noise robustness (paper §6.4): synthesis under increasing decompiler
+//! roundoff, checking that structure survives ε-bounded perturbation and
+//! reporting where it breaks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sz_models::{add_noise, gear, row_of_cubes};
+use szalinski::{synthesize, SynthConfig};
+
+fn config() -> SynthConfig {
+    SynthConfig::new().with_iter_limit(40).with_node_limit(60_000)
+}
+
+fn bench_noise_sweep(c: &mut Criterion) {
+    // Report structure survival once per amplitude (the functional
+    // result), then benchmark the work at each level.
+    let clean = row_of_cubes(8, 2.0);
+    for amp in [0.0, 1e-4, 5e-4, 2e-3, 1e-2] {
+        let noisy = add_noise(&clean, amp, 11);
+        let found = synthesize(&noisy, &config()).structured().is_some();
+        println!("noise amplitude {amp:>7}: structure recovered = {found}");
+    }
+
+    let mut group = c.benchmark_group("noise/row_of_cubes");
+    group.sample_size(10);
+    for amp in [0.0f64, 5e-4] {
+        let noisy = add_noise(&clean, amp, 11);
+        group.bench_function(format!("amp_{amp}"), |b| {
+            b.iter(|| black_box(synthesize(&noisy, &config())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_noisy_gear(c: &mut Criterion) {
+    let noisy = add_noise(&gear(12), 4e-4, 3);
+    let mut group = c.benchmark_group("noise/gear12");
+    group.sample_size(10);
+    group.bench_function("noisy", |b| {
+        b.iter(|| black_box(synthesize(&noisy, &config())))
+    });
+    group.finish();
+}
+
+
+/// Fast Criterion settings so the whole suite runs in minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_noise_sweep, bench_noisy_gear
+}
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Pipeline ablations (DESIGN.md): structural rules on/off, main-loop
+//! fuel, cost function, and the list-manipulation pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sz_egraph::Runner;
+use szalinski::{
+    cad_to_lang, infer_functions, list_manipulation, rules, synthesize, CadAnalysis, CostKind,
+    SynthConfig,
+};
+
+fn bench_structural_rules_ablation(c: &mut Criterion) {
+    let flat = sz_models::hc_bits();
+    let mut group = c.benchmark_group("pipeline/structural_rules");
+    group.sample_size(10);
+    for on in [false, true] {
+        let cfg = SynthConfig::new()
+            .with_iter_limit(25)
+            .with_node_limit(60_000)
+            .with_structural_rules(on);
+        group.bench_function(if on { "on" } else { "off" }, |b| {
+            b.iter(|| black_box(synthesize(&flat, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fuel(c: &mut Criterion) {
+    let flat = sz_models::box_tray();
+    let mut group = c.benchmark_group("pipeline/main_loop_fuel");
+    group.sample_size(10);
+    for fuel in [1usize, 2] {
+        let cfg = SynthConfig::new()
+            .with_iter_limit(40)
+            .with_node_limit(60_000)
+            .with_main_loop_fuel(fuel);
+        group.bench_function(format!("fuel_{fuel}"), |b| {
+            b.iter(|| black_box(synthesize(&flat, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_functions(c: &mut Criterion) {
+    let flat = sz_models::wardrobe();
+    let mut group = c.benchmark_group("pipeline/cost");
+    group.sample_size(10);
+    for (name, cost) in [("ast_size", CostKind::AstSize), ("reward_loops", CostKind::RewardLoops)]
+    {
+        let cfg = SynthConfig::new()
+            .with_iter_limit(40)
+            .with_node_limit(60_000)
+            .with_cost(cost);
+        group.bench_function(name, |b| b.iter(|| black_box(synthesize(&flat, &cfg))));
+    }
+    group.finish();
+}
+
+fn bench_listmanip_and_inference(c: &mut Criterion) {
+    // The determinize → sort → solve passes in isolation, on a saturated
+    // e-graph (paper Fig. 5 lines 5–7).
+    let runner = Runner::new(CadAnalysis)
+        .with_expr(&cad_to_lang(&sz_models::tape_store()))
+        .with_iter_limit(40)
+        .with_node_limit(60_000)
+        .run(&rules());
+    let eg = runner.egraph;
+    let mut group = c.benchmark_group("pipeline/passes");
+    group.sample_size(10);
+    group.bench_function("list_manipulation", |b| {
+        b.iter(|| {
+            let mut eg = eg.clone();
+            black_box(list_manipulation(&mut eg))
+        })
+    });
+    group.bench_function("infer_functions", |b| {
+        b.iter(|| {
+            let mut eg = eg.clone();
+            black_box(infer_functions(&mut eg, 1e-3).len())
+        })
+    });
+    group.finish();
+}
+
+
+/// Fast Criterion settings so the whole suite runs in minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_structural_rules_ablation,
+    bench_fuel,
+    bench_cost_functions,
+    bench_listmanip_and_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Throughput of the syntactic rewrite phase (paper Fig. 8 rule sets):
+//! saturation cost per rule family on a mid-size model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sz_egraph::Runner;
+use szalinski::{cad_to_lang, rules, CadAnalysis};
+
+fn bench_rule_families(c: &mut Criterion) {
+    let flat = sz_models::gear(12);
+    let expr = cad_to_lang(&flat);
+    let mut group = c.benchmark_group("rewrites");
+    group.sample_size(10);
+
+    let families: Vec<(&str, Vec<szalinski::CadRewrite>)> = vec![
+        ("lifting", szalinski::rules::lifting_rules()),
+        ("reordering", szalinski::rules::reordering_rules()),
+        ("collapsing", szalinski::rules::collapsing_rules()),
+        ("folds", szalinski::rules::fold_rules()),
+        ("boolean", szalinski::rules::boolean_rules()),
+        ("all", rules()),
+    ];
+    for (name, ruleset) in families {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let runner = Runner::new(CadAnalysis)
+                    .with_expr(&expr)
+                    .with_iter_limit(20)
+                    .with_node_limit(50_000)
+                    .run(&ruleset);
+                black_box(runner.egraph.total_number_of_nodes())
+            })
+        });
+    }
+    group.finish();
+}
+
+
+/// Fast Criterion settings so the whole suite runs in minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_rule_families
+}
+criterion_main!(benches);

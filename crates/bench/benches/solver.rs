@@ -1,0 +1,85 @@
+//! The arithmetic solvers (§4.1): fit throughput per model class, plus
+//! the ε-tolerance sweep called out in DESIGN.md's ablations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sz_solver::{fit_poly1, fit_poly2, fit_sequence, fit_trig};
+
+fn linear(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 2.0 * i as f64 + 5.0).collect()
+}
+
+fn quadratic(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let i = i as f64;
+            1.5 * i * i - 2.0 * i + 3.0
+        })
+        .collect()
+}
+
+fn sine(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 7.07 * ((90.0 * i as f64 + 315.0).to_radians()).sin() + 10.0)
+        .collect()
+}
+
+fn bench_fitters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    for n in [8usize, 60] {
+        group.bench_function(format!("poly1_n{n}"), |b| {
+            let v = linear(n);
+            b.iter(|| black_box(fit_poly1(&v, 1e-3)))
+        });
+        group.bench_function(format!("poly2_n{n}"), |b| {
+            let v = quadratic(n);
+            b.iter(|| black_box(fit_poly2(&v, 1e-3)))
+        });
+        group.bench_function(format!("trig_n{n}"), |b| {
+            let v = sine(n);
+            b.iter(|| black_box(fit_trig(&v, 1e-3)))
+        });
+        group.bench_function(format!("selection_n{n}"), |b| {
+            let v = sine(n);
+            b.iter(|| black_box(fit_sequence(&v, 1e-3)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eps_sweep(c: &mut Criterion) {
+    // Ablation: how the ε bound changes fit success on noisy data
+    // (measured as work; the success flags are printed once).
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let noisy: Vec<f64> = (0..20)
+        .map(|i| 2.0 * i as f64 + rng.gen_range(-5e-4..5e-4))
+        .collect();
+    for eps in [1e-5, 1e-4, 1e-3, 1e-2] {
+        let ok = fit_poly1(&noisy, eps).is_some();
+        println!("eps = {eps:>7}: linear fit under +-5e-4 noise succeeds = {ok}");
+    }
+    let mut group = c.benchmark_group("eps_sweep");
+    for eps in [1e-5f64, 1e-3, 1e-1] {
+        group.bench_function(format!("eps_{eps}"), |b| {
+            b.iter(|| black_box(fit_sequence(&noisy, eps)))
+        });
+    }
+    group.finish();
+}
+
+
+/// Fast Criterion settings so the whole suite runs in minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_fitters, bench_eps_sweep
+}
+criterion_main!(benches);

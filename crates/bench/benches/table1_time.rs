@@ -1,0 +1,61 @@
+//! Table 1's `#t(s)` column as a Criterion bench: end-to-end synthesis
+//! time per benchmark model (paper: 0.36 s – 285 s on a 2.3 GHz i5;
+//! shapes, not absolute numbers, are the target).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sz_bench::table1_config;
+use szalinski::synthesize;
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_time");
+    group.sample_size(10);
+    // A fast / medium / slow spread mirroring the paper's range.
+    for name in [
+        "3171605:card-org",
+        "2921167:hc-bits",
+        "3452260:relay-box",
+        "3148599:box-tray",
+        "3244600:cnc-end-mill",
+        "3072857:tape-store",
+    ] {
+        let model = sz_models::all_models()
+            .into_iter()
+            .find(|m| m.name == name)
+            .expect("model exists");
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(synthesize(&model.flat, &table1_config())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gear_scaling(c: &mut Criterion) {
+    // The gear is the paper's slowest row (285 s); ours scales with the
+    // tooth count.
+    let mut group = c.benchmark_group("gear_scaling");
+    group.sample_size(10);
+    for n in [6usize, 12, 24] {
+        let flat = sz_models::gear(n);
+        group.bench_function(format!("gear_{n}"), |b| {
+            b.iter(|| black_box(synthesize(&flat, &sz_bench::quick_config())))
+        });
+    }
+    group.finish();
+}
+
+
+/// Fast Criterion settings so the whole suite runs in minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_models, bench_gear_scaling
+}
+criterion_main!(benches);

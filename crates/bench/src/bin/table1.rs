@@ -1,0 +1,50 @@
+//! Regenerates the paper's Table 1: runs all 16 benchmark models (plus
+//! the `wardrobe@` reward-loops rerun) and prints every column, followed
+//! by the aggregate row and the paper's headline claims.
+//!
+//! ```text
+//! cargo run --release -p sz-bench --bin table1
+//! ```
+
+use sz_bench::{aggregate, run_table1};
+use szalinski::TableRow;
+
+fn main() {
+    println!("Reproducing Table 1 (16 Thingiverse models, k = 5, eps = 1e-3)");
+    println!();
+    println!("{}", TableRow::header());
+    println!("{}", "-".repeat(118));
+    let rows = run_table1();
+    for row in &rows {
+        println!("{}", row.format());
+    }
+    println!("{}", "-".repeat(118));
+
+    let agg = aggregate(&rows);
+    println!(
+        "{:<24} {:>6} {:>6} {:>5} {:>5} {:>5} {:>5}",
+        "Average (16 models)", "", "", "", "", "", ""
+    );
+    println!();
+    println!("Headline claims (paper -> measured):");
+    println!(
+        "  mean size reduction:      64%  -> {:.0}%",
+        agg.mean_size_reduction * 100.0
+    );
+    println!(
+        "  structure exposed:        81%  -> {:.0}%",
+        agg.structure_fraction * 100.0
+    );
+    println!(
+        "  mean depth reduction:     40.5% -> {:.1}%",
+        agg.mean_depth_reduction * 100.0
+    );
+    println!(
+        "  mean primitive reduction: 65%  -> {:.0}%",
+        agg.mean_prim_reduction * 100.0
+    );
+    println!(
+        "  max time per model:       <300s -> {:.2}s",
+        agg.max_time_s
+    );
+}

@@ -1,0 +1,426 @@
+//! The CAD abstract syntax: flat **CSG** (the input language) as a subset
+//! of **LambdaCAD** (the output language), paper Figure 6.
+//!
+//! One [`Cad`] type covers both: a term is a *flat CSG* (checkable with
+//! [`Cad::is_flat_csg`]) when it only uses primitives, affine
+//! transformations with constant vectors, and boolean operations.
+//! LambdaCAD adds lists, `Repeat`, `Fold`, `Mapi`, index loops, and
+//! arithmetic [`Expr`]s (including trigonometry, in degrees).
+
+use crate::OrderedF64;
+
+/// Boolean (set-theoretic) operations on solids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BoolOp {
+    /// Set union of two solids.
+    Union,
+    /// Set difference (first minus second).
+    Diff,
+    /// Set intersection.
+    Inter,
+}
+
+impl BoolOp {
+    /// All operators, for exhaustive testing.
+    pub const ALL: [BoolOp; 3] = [BoolOp::Union, BoolOp::Diff, BoolOp::Inter];
+
+    /// The operator's surface name (`Union`, `Diff`, `Inter`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BoolOp::Union => "Union",
+            BoolOp::Diff => "Diff",
+            BoolOp::Inter => "Inter",
+        }
+    }
+}
+
+/// The three affine transformation kinds of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AffineKind {
+    /// Translation by a vector.
+    Translate,
+    /// Per-axis scaling.
+    Scale,
+    /// Rotation, given as extrinsic XYZ Euler angles in degrees
+    /// (OpenSCAD convention: `rotate([x, y, z])` applies X, then Y, then Z).
+    Rotate,
+}
+
+impl AffineKind {
+    /// All kinds, for exhaustive testing.
+    pub const ALL: [AffineKind; 3] = [
+        AffineKind::Translate,
+        AffineKind::Scale,
+        AffineKind::Rotate,
+    ];
+
+    /// The kind's surface name (`Translate`, `Scale`, `Rotate`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AffineKind::Translate => "Translate",
+            AffineKind::Scale => "Scale",
+            AffineKind::Rotate => "Rotate",
+        }
+    }
+
+    /// The identity vector for this kind (what leaves geometry unchanged).
+    pub fn identity(self) -> [f64; 3] {
+        match self {
+            AffineKind::Translate | AffineKind::Rotate => [0.0, 0.0, 0.0],
+            AffineKind::Scale => [1.0, 1.0, 1.0],
+        }
+    }
+}
+
+/// Arithmetic expressions appearing inside vectors and loop bounds.
+///
+/// Trigonometric functions operate in **degrees**, matching OpenSCAD and
+/// the paper's examples (`Sin (90 * i + 315)`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Expr {
+    /// A floating-point literal.
+    Num(OrderedF64),
+    /// A loop index variable: `Idx(0)` = `i`, `Idx(1)` = `j`, `Idx(2)` = `k`,
+    /// bound by the innermost enclosing loop form.
+    Idx(u8),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Division.
+    Div(Box<Expr>, Box<Expr>),
+    /// Sine, argument in degrees.
+    Sin(Box<Expr>),
+    /// Cosine, argument in degrees.
+    Cos(Box<Expr>),
+}
+
+impl Expr {
+    /// A numeric literal.
+    pub fn num(x: f64) -> Expr {
+        Expr::Num(OrderedF64::new(x))
+    }
+
+    /// The index variable `i`/`j`/`k` for depth 0/1/2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d > 2`.
+    pub fn idx(d: u8) -> Expr {
+        assert!(d <= 2, "only indices i, j, k are supported");
+        Expr::Idx(d)
+    }
+
+    /// `a + b`, folding constants.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        match (&a, &b) {
+            (Expr::Num(x), Expr::Num(y)) => Expr::num(x.get() + y.get()),
+            _ => Expr::Add(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `a - b`, folding constants.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        match (&a, &b) {
+            (Expr::Num(x), Expr::Num(y)) => Expr::num(x.get() - y.get()),
+            _ => Expr::Sub(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `a * b`, folding constants.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        match (&a, &b) {
+            (Expr::Num(x), Expr::Num(y)) => Expr::num(x.get() * y.get()),
+            _ => Expr::Mul(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `a / b`, folding constants (no division-by-zero folding).
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        match (&a, &b) {
+            (Expr::Num(x), Expr::Num(y)) if y.get() != 0.0 => Expr::num(x.get() / y.get()),
+            _ => Expr::Div(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `sin(a)` in degrees.
+    pub fn sin(a: Expr) -> Expr {
+        Expr::Sin(Box::new(a))
+    }
+
+    /// `cos(a)` in degrees.
+    pub fn cos(a: Expr) -> Expr {
+        Expr::Cos(Box::new(a))
+    }
+
+    /// If this expression is a literal, its value.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Expr::Num(x) => Some(x.get()),
+            _ => None,
+        }
+    }
+
+    /// Number of nodes in this expression tree.
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            Expr::Num(_) | Expr::Idx(_) => 1,
+            Expr::Sin(a) | Expr::Cos(a) => 1 + a.num_nodes(),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                1 + a.num_nodes() + b.num_nodes()
+            }
+        }
+    }
+
+    /// True if the expression mentions any index variable.
+    pub fn uses_index(&self) -> bool {
+        match self {
+            Expr::Num(_) => false,
+            Expr::Idx(_) => true,
+            Expr::Sin(a) | Expr::Cos(a) => a.uses_index(),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.uses_index() || b.uses_index()
+            }
+        }
+    }
+}
+
+/// A 3-vector of expressions, the argument of every affine transformation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct V3(pub Expr, pub Expr, pub Expr);
+
+impl V3 {
+    /// A vector of three constants.
+    pub fn nums(x: f64, y: f64, z: f64) -> V3 {
+        V3(Expr::num(x), Expr::num(y), Expr::num(z))
+    }
+
+    /// The three components as a slice-like array of references.
+    pub fn components(&self) -> [&Expr; 3] {
+        [&self.0, &self.1, &self.2]
+    }
+
+    /// If all components are literals, the concrete vector.
+    pub fn as_nums(&self) -> Option<[f64; 3]> {
+        Some([self.0.as_num()?, self.1.as_num()?, self.2.as_num()?])
+    }
+
+    /// Total expression nodes across the three components.
+    pub fn num_nodes(&self) -> usize {
+        self.0.num_nodes() + self.1.num_nodes() + self.2.num_nodes()
+    }
+}
+
+impl From<[f64; 3]> for V3 {
+    fn from(v: [f64; 3]) -> V3 {
+        V3::nums(v[0], v[1], v[2])
+    }
+}
+
+/// A term of CSG / LambdaCAD.
+///
+/// Solids and lists share this one type (as in the paper's `e` grammar);
+/// the evaluator enforces shapes dynamically. See the crate root for the
+/// full grammar and [`Cad::eval_to_flat`] for the semantics.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Cad {
+    /// The empty solid (identity of union).
+    Empty,
+    /// The canonical unit cube at the origin.
+    Unit,
+    /// The canonical unit cylinder (radius 1, height 1) at the origin.
+    Cylinder,
+    /// The canonical unit sphere at the origin.
+    Sphere,
+    /// The canonical unit hexagonal prism at the origin.
+    Hexagon,
+    /// An opaque, named subterm standing in for unsupported features
+    /// (paper §6.1: `Hull`, `Mirror` become `External`).
+    External(String),
+    /// An affine transformation of a sub-solid.
+    Affine(AffineKind, V3, Box<Cad>),
+    /// A boolean operation on two solids.
+    Binop(BoolOp, Box<Cad>, Box<Cad>),
+    /// The empty list.
+    Nil,
+    /// List cons: a solid followed by a list.
+    Cons(Box<Cad>, Box<Cad>),
+    /// List append.
+    Concat(Box<Cad>, Box<Cad>),
+    /// `Repeat(c, n)`: the list of `n` copies of `c`.
+    Repeat(Box<Cad>, Expr),
+    /// Indexed map over a list: `Mapi(Fun(body), list)`. Within `body`,
+    /// [`Expr::Idx`]`(0)` is the element index and [`Cad::Param`] the
+    /// element.
+    Mapi(Box<Cad>, Box<Cad>),
+    /// A pure index loop producing a list: 1–3 bounds iterated in
+    /// row-major order; within the body, `Idx(0)`/`Idx(1)`/`Idx(2)` are
+    /// the loop variables. Pretty-printed as the paper's nested
+    /// `Fold (Fun i -> ...)` form.
+    MapIdx(Vec<Expr>, Box<Cad>),
+    /// A unary function; binds the index `i` and the element `c`.
+    Fun(Box<Cad>),
+    /// The element variable `c` bound by the innermost [`Cad::Fun`].
+    Param,
+    /// `Fold(op, init, list)`: right fold of a boolean operator over a
+    /// list of solids.
+    Fold(BoolOp, Box<Cad>, Box<Cad>),
+}
+
+impl Cad {
+    /// `Union(a, b)`.
+    pub fn union(a: Cad, b: Cad) -> Cad {
+        Cad::Binop(BoolOp::Union, Box::new(a), Box::new(b))
+    }
+
+    /// `Diff(a, b)`.
+    pub fn diff(a: Cad, b: Cad) -> Cad {
+        Cad::Binop(BoolOp::Diff, Box::new(a), Box::new(b))
+    }
+
+    /// `Inter(a, b)`.
+    pub fn inter(a: Cad, b: Cad) -> Cad {
+        Cad::Binop(BoolOp::Inter, Box::new(a), Box::new(b))
+    }
+
+    /// `Translate(x, y, z, c)` with constant components.
+    pub fn translate(x: f64, y: f64, z: f64, c: Cad) -> Cad {
+        Cad::Affine(AffineKind::Translate, V3::nums(x, y, z), Box::new(c))
+    }
+
+    /// `Scale(x, y, z, c)` with constant components.
+    pub fn scale(x: f64, y: f64, z: f64, c: Cad) -> Cad {
+        Cad::Affine(AffineKind::Scale, V3::nums(x, y, z), Box::new(c))
+    }
+
+    /// `Rotate(x, y, z, c)` with constant angles in degrees.
+    pub fn rotate(x: f64, y: f64, z: f64, c: Cad) -> Cad {
+        Cad::Affine(AffineKind::Rotate, V3::nums(x, y, z), Box::new(c))
+    }
+
+    /// An affine node with expression components.
+    pub fn affine(kind: AffineKind, v: V3, c: Cad) -> Cad {
+        Cad::Affine(kind, v, Box::new(c))
+    }
+
+    /// Right-nested chain of a boolean operator over `items`
+    /// (`op(x1, op(x2, ... op(x_{n-1}, x_n)))`), the shape flat models use.
+    ///
+    /// Returns [`Cad::Empty`] for an empty list.
+    pub fn chain(op: BoolOp, items: Vec<Cad>) -> Cad {
+        let mut iter = items.into_iter().rev();
+        let Some(last) = iter.next() else {
+            return Cad::Empty;
+        };
+        iter.fold(last, |acc, x| Cad::Binop(op, Box::new(x), Box::new(acc)))
+    }
+
+    /// A right-nested union chain over `items`.
+    pub fn union_chain(items: Vec<Cad>) -> Cad {
+        Cad::chain(BoolOp::Union, items)
+    }
+
+    /// An explicit list `Cons(x1, Cons(x2, ... Nil))`.
+    pub fn list(items: Vec<Cad>) -> Cad {
+        items
+            .into_iter()
+            .rev()
+            .fold(Cad::Nil, |acc, x| Cad::Cons(Box::new(x), Box::new(acc)))
+    }
+
+    /// `Fold(op, init, list)`.
+    pub fn fold(op: BoolOp, init: Cad, list: Cad) -> Cad {
+        Cad::Fold(op, Box::new(init), Box::new(list))
+    }
+
+    /// `Mapi(Fun(body), list)`.
+    pub fn mapi(body: Cad, list: Cad) -> Cad {
+        Cad::Mapi(Box::new(Cad::Fun(Box::new(body))), Box::new(list))
+    }
+
+    /// `Repeat(c, n)` with a constant count.
+    pub fn repeat(c: Cad, n: usize) -> Cad {
+        Cad::Repeat(Box::new(c), Expr::num(n as f64))
+    }
+
+    /// A 1–3 bound index loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or has more than 3 entries.
+    pub fn map_idx(bounds: Vec<Expr>, body: Cad) -> Cad {
+        assert!(
+            (1..=3).contains(&bounds.len()),
+            "MapIdx supports 1-3 bounds"
+        );
+        Cad::MapIdx(bounds, Box::new(body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shapes() {
+        let c = Cad::union_chain(vec![Cad::Unit, Cad::Sphere, Cad::Cylinder]);
+        match &c {
+            Cad::Binop(BoolOp::Union, a, rest) => {
+                assert_eq!(**a, Cad::Unit);
+                match &**rest {
+                    Cad::Binop(BoolOp::Union, b, c) => {
+                        assert_eq!(**b, Cad::Sphere);
+                        assert_eq!(**c, Cad::Cylinder);
+                    }
+                    other => panic!("unexpected: {other:?}"),
+                }
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(Cad::union_chain(vec![]), Cad::Empty);
+        assert_eq!(Cad::union_chain(vec![Cad::Unit]), Cad::Unit);
+    }
+
+    #[test]
+    fn list_builds_cons_chain() {
+        let l = Cad::list(vec![Cad::Unit, Cad::Sphere]);
+        assert_eq!(
+            l,
+            Cad::Cons(
+                Box::new(Cad::Unit),
+                Box::new(Cad::Cons(Box::new(Cad::Sphere), Box::new(Cad::Nil)))
+            )
+        );
+    }
+
+    #[test]
+    fn expr_constant_folding_constructors() {
+        assert_eq!(Expr::add(Expr::num(2.0), Expr::num(3.0)), Expr::num(5.0));
+        assert_eq!(Expr::mul(Expr::num(2.0), Expr::num(3.0)), Expr::num(6.0));
+        // Non-constant operands stay symbolic.
+        let e = Expr::add(Expr::idx(0), Expr::num(1.0));
+        assert!(matches!(e, Expr::Add(_, _)));
+        assert!(e.uses_index());
+    }
+
+    #[test]
+    fn v3_as_nums() {
+        assert_eq!(V3::nums(1.0, 2.0, 3.0).as_nums(), Some([1.0, 2.0, 3.0]));
+        let v = V3(Expr::idx(0), Expr::num(0.0), Expr::num(0.0));
+        assert_eq!(v.as_nums(), None);
+    }
+
+    #[test]
+    fn affine_identity_vectors() {
+        assert_eq!(AffineKind::Translate.identity(), [0.0; 3]);
+        assert_eq!(AffineKind::Scale.identity(), [1.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-3 bounds")]
+    fn map_idx_validates_bounds() {
+        Cad::map_idx(vec![], Cad::Unit);
+    }
+}

@@ -1,0 +1,402 @@
+//! The LambdaCAD evaluator: unrolls loops, applies functions, evaluates
+//! arithmetic, and produces an equivalent **flat CSG**.
+//!
+//! This is the semantics against which Szalinski's rewrites are sound:
+//! a synthesized program is correct iff it evaluates back to a solid
+//! geometrically equal to the input (the paper's "CSG is a single trace"
+//! view, §7). Trigonometry is in degrees.
+
+use std::fmt;
+
+use crate::{BoolOp, Cad, Expr, V3};
+
+/// Errors raised while evaluating a LambdaCAD program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// An index variable was used outside any loop, or beyond the innermost
+    /// loop's arity.
+    UnboundIndex(u8),
+    /// `c` was used outside a `Mapi` function body.
+    UnboundParam,
+    /// A `Fun` node appeared somewhere other than `Mapi`'s first argument.
+    StrayFun,
+    /// `Mapi` was applied to something that is not a `Fun`.
+    ExpectedFun,
+    /// A list was found where a solid was required (context in payload).
+    ExpectedSolid(&'static str),
+    /// A solid was found where a list was required (context in payload).
+    ExpectedList(&'static str),
+    /// A repeat count or loop bound was negative or not close to an
+    /// integer.
+    BadCount(f64),
+    /// Division by zero while evaluating an arithmetic expression.
+    DivByZero,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundIndex(d) => {
+                write!(f, "index variable {} is unbound here", ["i", "j", "k"][*d as usize % 3])
+            }
+            EvalError::UnboundParam => write!(f, "parameter `c` used outside a Mapi body"),
+            EvalError::StrayFun => write!(f, "`Fun` must be the first argument of `Mapi`"),
+            EvalError::ExpectedFun => write!(f, "`Mapi` expects a `Fun` as its first argument"),
+            EvalError::ExpectedSolid(ctx) => write!(f, "expected a solid in {ctx}, found a list"),
+            EvalError::ExpectedList(ctx) => write!(f, "expected a list in {ctx}, found a solid"),
+            EvalError::BadCount(x) => write!(f, "count/bound {x} is not a non-negative integer"),
+            EvalError::DivByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates an arithmetic expression under a frame of loop indices
+/// (`frame[0]` = `i`, etc.). Trigonometric functions take degrees.
+///
+/// # Errors
+///
+/// Returns [`EvalError::UnboundIndex`] for out-of-frame indices and
+/// [`EvalError::DivByZero`] for division by zero.
+pub fn eval_expr(expr: &Expr, frame: &[f64]) -> Result<f64, EvalError> {
+    match expr {
+        Expr::Num(x) => Ok(x.get()),
+        Expr::Idx(d) => frame
+            .get(*d as usize)
+            .copied()
+            .ok_or(EvalError::UnboundIndex(*d)),
+        Expr::Add(a, b) => Ok(eval_expr(a, frame)? + eval_expr(b, frame)?),
+        Expr::Sub(a, b) => Ok(eval_expr(a, frame)? - eval_expr(b, frame)?),
+        Expr::Mul(a, b) => Ok(eval_expr(a, frame)? * eval_expr(b, frame)?),
+        Expr::Div(a, b) => {
+            let d = eval_expr(b, frame)?;
+            if d == 0.0 {
+                return Err(EvalError::DivByZero);
+            }
+            Ok(eval_expr(a, frame)? / d)
+        }
+        Expr::Sin(a) => Ok(eval_expr(a, frame)?.to_radians().sin()),
+        Expr::Cos(a) => Ok(eval_expr(a, frame)?.to_radians().cos()),
+    }
+}
+
+fn as_count(x: f64) -> Result<usize, EvalError> {
+    let rounded = x.round();
+    if (x - rounded).abs() < 1e-6 && rounded >= 0.0 && rounded <= u32::MAX as f64 {
+        Ok(rounded as usize)
+    } else {
+        Err(EvalError::BadCount(x))
+    }
+}
+
+enum Value {
+    Solid(Cad),
+    List(Vec<Cad>),
+}
+
+impl Value {
+    fn solid(self, ctx: &'static str) -> Result<Cad, EvalError> {
+        match self {
+            Value::Solid(c) => Ok(c),
+            Value::List(_) => Err(EvalError::ExpectedSolid(ctx)),
+        }
+    }
+    fn list(self, ctx: &'static str) -> Result<Vec<Cad>, EvalError> {
+        match self {
+            Value::List(l) => Ok(l),
+            Value::Solid(_) => Err(EvalError::ExpectedList(ctx)),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Env {
+    /// Stack of index frames; the innermost loop's indices are last.
+    frames: Vec<Vec<f64>>,
+    /// Stack of `Mapi` element bindings.
+    params: Vec<Cad>,
+}
+
+impl Env {
+    fn frame(&self) -> &[f64] {
+        self.frames.last().map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+fn eval_value(cad: &Cad, env: &mut Env) -> Result<Value, EvalError> {
+    match cad {
+        Cad::Empty | Cad::Unit | Cad::Cylinder | Cad::Sphere | Cad::Hexagon => {
+            Ok(Value::Solid(cad.clone()))
+        }
+        Cad::External(name) => Ok(Value::Solid(Cad::External(name.clone()))),
+        Cad::Param => env
+            .params
+            .last()
+            .cloned()
+            .map(Value::Solid)
+            .ok_or(EvalError::UnboundParam),
+        Cad::Fun(_) => Err(EvalError::StrayFun),
+        Cad::Affine(kind, v, c) => {
+            let x = eval_expr(&v.0, env.frame())?;
+            let y = eval_expr(&v.1, env.frame())?;
+            let z = eval_expr(&v.2, env.frame())?;
+            let c = eval_value(c, env)?.solid("affine child")?;
+            Ok(Value::Solid(Cad::Affine(
+                *kind,
+                V3::nums(x, y, z),
+                Box::new(c),
+            )))
+        }
+        Cad::Binop(op, a, b) => {
+            let a = eval_value(a, env)?.solid("boolean operand")?;
+            let b = eval_value(b, env)?.solid("boolean operand")?;
+            Ok(Value::Solid(Cad::Binop(*op, Box::new(a), Box::new(b))))
+        }
+        Cad::Nil => Ok(Value::List(Vec::new())),
+        Cad::Cons(h, t) => {
+            let h = eval_value(h, env)?.solid("Cons head")?;
+            let mut t = eval_value(t, env)?.list("Cons tail")?;
+            t.insert(0, h);
+            Ok(Value::List(t))
+        }
+        Cad::Concat(a, b) => {
+            let mut a = eval_value(a, env)?.list("Concat")?;
+            let b = eval_value(b, env)?.list("Concat")?;
+            a.extend(b);
+            Ok(Value::List(a))
+        }
+        Cad::Repeat(c, n) => {
+            let n = as_count(eval_expr(n, env.frame())?)?;
+            let c = eval_value(c, env)?.solid("Repeat")?;
+            Ok(Value::List(vec![c; n]))
+        }
+        Cad::Mapi(f, l) => {
+            let Cad::Fun(body) = &**f else {
+                return Err(EvalError::ExpectedFun);
+            };
+            let items = eval_value(l, env)?.list("Mapi list")?;
+            let mut out = Vec::with_capacity(items.len());
+            for (i, elem) in items.into_iter().enumerate() {
+                env.frames.push(vec![i as f64]);
+                env.params.push(elem);
+                let v = eval_value(body, env)?.solid("Mapi body");
+                env.params.pop();
+                env.frames.pop();
+                out.push(v?);
+            }
+            Ok(Value::List(out))
+        }
+        Cad::MapIdx(bounds, body) => {
+            let mut ns = Vec::with_capacity(bounds.len());
+            for b in bounds {
+                ns.push(as_count(eval_expr(b, env.frame())?)?);
+            }
+            let total: usize = ns.iter().product();
+            let mut out = Vec::with_capacity(total);
+            let mut tuple = vec![0usize; ns.len()];
+            for flat in 0..total {
+                // Row-major decomposition of `flat` into the index tuple.
+                let mut rem = flat;
+                for (pos, &n) in ns.iter().enumerate().rev() {
+                    tuple[pos] = rem % n;
+                    rem /= n;
+                }
+                env.frames.push(tuple.iter().map(|&t| t as f64).collect());
+                let v = eval_value(body, env)?.solid("MapIdx body");
+                env.frames.pop();
+                out.push(v?);
+            }
+            Ok(Value::List(out))
+        }
+        Cad::Fold(op, init, list) => {
+            let init = eval_value(init, env)?.solid("Fold init")?;
+            let items = eval_value(list, env)?.list("Fold list")?;
+            let folded = items
+                .into_iter()
+                .rev()
+                .fold(init, |acc, x| Cad::Binop(*op, Box::new(x), Box::new(acc)));
+            Ok(Value::Solid(folded))
+        }
+    }
+}
+
+/// Removes `Empty` operands where geometry is unaffected:
+/// `Union(x, Empty) = x`, `Diff(x, Empty) = x`, `Diff(Empty, x) = Empty`,
+/// `Inter(x, Empty) = Empty`, and affine transforms of `Empty` collapse.
+pub fn simplify_empty(cad: Cad) -> Cad {
+    match cad {
+        Cad::Affine(kind, v, c) => {
+            let c = simplify_empty(*c);
+            if c == Cad::Empty {
+                Cad::Empty
+            } else {
+                Cad::Affine(kind, v, Box::new(c))
+            }
+        }
+        Cad::Binop(op, a, b) => {
+            let a = simplify_empty(*a);
+            let b = simplify_empty(*b);
+            match (op, &a, &b) {
+                (BoolOp::Union, Cad::Empty, _) => b,
+                (BoolOp::Union, _, Cad::Empty) => a,
+                (BoolOp::Diff, Cad::Empty, _) => Cad::Empty,
+                (BoolOp::Diff, _, Cad::Empty) => a,
+                (BoolOp::Inter, Cad::Empty, _) | (BoolOp::Inter, _, Cad::Empty) => Cad::Empty,
+                _ => Cad::Binop(op, Box::new(a), Box::new(b)),
+            }
+        }
+        other => other,
+    }
+}
+
+impl Cad {
+    /// Evaluates this LambdaCAD program to an equivalent flat CSG,
+    /// unrolling all loops and simplifying away `Empty` fold seeds.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] if the program is ill-shaped (e.g. a list
+    /// where a solid is expected, an unbound `c`, a fractional repeat
+    /// count).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sz_cad::Cad;
+    /// let prog: Cad = "(Fold Union Empty (Mapi (Fun (Translate (* 2 (+ i 1)) 0 0 c)) (Repeat Unit 3)))"
+    ///     .parse().unwrap();
+    /// let flat = prog.eval_to_flat().unwrap();
+    /// assert!(flat.is_flat_csg());
+    /// assert_eq!(
+    ///     flat.to_string(),
+    ///     "(Union (Translate 2 0 0 Unit) (Union (Translate 4 0 0 Unit) (Translate 6 0 0 Unit)))"
+    /// );
+    /// ```
+    pub fn eval_to_flat(&self) -> Result<Cad, EvalError> {
+        let mut env = Env::default();
+        let v = eval_value(self, &mut env)?.solid("program root")?;
+        Ok(simplify_empty(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(s: &str) -> Cad {
+        s.parse::<Cad>().unwrap().eval_to_flat().unwrap()
+    }
+
+    fn eval_err(s: &str) -> EvalError {
+        s.parse::<Cad>().unwrap().eval_to_flat().unwrap_err()
+    }
+
+    #[test]
+    fn flat_is_fixed_point() {
+        let s = "(Diff (Scale 2 2 2 Unit) (Translate 1 1 1 Sphere))";
+        assert_eq!(eval(s).to_string(), s);
+    }
+
+    #[test]
+    fn fold_unrolls_right_nested() {
+        let flat = eval("(Fold Union Empty (Cons Unit (Cons Sphere (Cons Hexagon Nil))))");
+        assert_eq!(
+            flat.to_string(),
+            "(Union Unit (Union Sphere Hexagon))"
+        );
+    }
+
+    #[test]
+    fn mapi_binds_index_and_param() {
+        let flat = eval(
+            "(Fold Union Empty (Mapi (Fun (Translate (* 2 (+ i 1)) 0 0 c)) (Repeat Unit 5)))",
+        );
+        assert_eq!(flat.num_prims(), 5);
+        let s = flat.to_string();
+        assert!(s.contains("(Translate 2 0 0 Unit)"));
+        assert!(s.contains("(Translate 10 0 0 Unit)"));
+    }
+
+    #[test]
+    fn nested_mapi_layers() {
+        // Figure 10's triple-nested Mapi over 3 repeated cubes.
+        let prog = "(Fold Union Empty \
+                     (Mapi (Fun (Translate (+ (* 2 i) 2) (+ (* 2 i) 4) (+ (* 2 i) 6) c)) \
+                      (Mapi (Fun (Rotate (+ (* 15 i) 30) 0 0 c)) \
+                       (Mapi (Fun (Scale (+ (* 2 i) 1) (+ (* 2 i) 3) (+ (* 2 i) 5) c)) \
+                        (Repeat Unit 3)))))";
+        let flat = eval(prog);
+        assert!(flat.is_flat_csg());
+        let s = flat.to_string();
+        assert!(s.contains("(Translate 2 4 6 (Rotate 30 0 0 (Scale 1 3 5 Unit)))"));
+        assert!(s.contains("(Translate 6 8 10 (Rotate 60 0 0 (Scale 5 7 9 Unit)))"));
+    }
+
+    #[test]
+    fn mapidx2_row_major() {
+        let flat = eval("(Fold Union Empty (MapIdx2 2 3 (Translate i j 0 Unit)))");
+        let s = flat.to_string();
+        // Row-major: (0,0) (0,1) (0,2) (1,0) ...
+        let first = s.find("(Translate 0 0 0 Unit)").unwrap();
+        let second = s.find("(Translate 0 1 0 Unit)").unwrap();
+        let last = s.find("(Translate 1 2 0 Unit)").unwrap();
+        assert!(first < second && second < last);
+        assert_eq!(flat.num_prims(), 6);
+    }
+
+    #[test]
+    fn trig_in_degrees() {
+        let flat = eval("(Translate (Sin 90) (Cos 0) (Sin 30) Unit)");
+        match &flat {
+            Cad::Affine(_, v, _) => {
+                let [x, y, z] = v.as_nums().unwrap();
+                assert!((x - 1.0).abs() < 1e-12);
+                assert!((y - 1.0).abs() < 1e-12);
+                assert!((z - 0.5).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(eval_err("c"), EvalError::UnboundParam);
+        assert_eq!(eval_err("(Translate i 0 0 Unit)"), EvalError::UnboundIndex(0));
+        assert_eq!(eval_err("(Union Nil Unit)"), EvalError::ExpectedSolid("boolean operand"));
+        assert_eq!(eval_err("(Fold Union Empty Unit)"), EvalError::ExpectedList("Fold list"));
+        assert_eq!(eval_err("(Repeat Unit 2.5)"), EvalError::BadCount(2.5));
+        assert_eq!(eval_err("(Fun Unit)"), EvalError::StrayFun);
+        assert_eq!(eval_err("(Mapi Unit Nil)"), EvalError::ExpectedFun);
+        assert_eq!(eval_err("(Translate (/ 1 0) 0 0 Unit)"), EvalError::DivByZero);
+    }
+
+    #[test]
+    fn simplify_empty_laws() {
+        let cases = [
+            ("(Union Empty Unit)", "Unit"),
+            ("(Union Unit Empty)", "Unit"),
+            ("(Diff Unit Empty)", "Unit"),
+            ("(Diff Empty Unit)", "Empty"),
+            ("(Inter Unit Empty)", "Empty"),
+            ("(Translate 1 2 3 Empty)", "Empty"),
+        ];
+        for (input, want) in cases {
+            let cad: Cad = input.parse().unwrap();
+            assert_eq!(simplify_empty(cad).to_string(), want, "case {input}");
+        }
+    }
+
+    #[test]
+    fn repeat_zero_gives_empty_fold() {
+        let flat = eval("(Fold Union Empty (Repeat Unit 0))");
+        assert_eq!(flat, Cad::Empty);
+    }
+
+    #[test]
+    fn concat_joins_lists() {
+        let flat = eval("(Fold Union Empty (Concat (Repeat Unit 2) (Repeat Sphere 1)))");
+        assert_eq!(flat.num_prims(), 3);
+        assert!(flat.to_string().contains("Sphere"));
+    }
+}

@@ -1,0 +1,127 @@
+//! [`OrderedF64`]: a total-ordered, hashable wrapper around `f64`.
+//!
+//! CAD terms carry floating-point parameters, but e-graphs (and plain
+//! `Eq`-based test assertions) need total equality and hashing. We wrap
+//! `f64` and use `total_cmp` / bit-equality. All values flowing through
+//! Szalinski are finite; NaN is tolerated but compares like `total_cmp`.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// An `f64` with total ordering, equality, and hashing (by bits, with
+/// `-0.0` normalized to `0.0` so that equal values hash equally).
+///
+/// # Examples
+///
+/// ```
+/// use sz_cad::OrderedF64;
+/// let a = OrderedF64::new(1.5);
+/// let b = OrderedF64::new(1.5);
+/// assert_eq!(a, b);
+/// assert!(OrderedF64::new(1.0) < OrderedF64::new(2.0));
+/// assert_eq!(a.get(), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OrderedF64(f64);
+
+impl OrderedF64 {
+    /// Wraps a float, normalizing `-0.0` to `0.0`.
+    pub fn new(x: f64) -> Self {
+        OrderedF64(if x == 0.0 { 0.0 } else { x })
+    }
+
+    /// Returns the wrapped value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for OrderedF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Hash for OrderedF64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl From<f64> for OrderedF64 {
+    fn from(x: f64) -> Self {
+        OrderedF64::new(x)
+    }
+}
+
+impl From<OrderedF64> for f64 {
+    fn from(x: OrderedF64) -> f64 {
+        x.0
+    }
+}
+
+impl fmt::Display for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Rust's shortest-roundtrip formatting; integers print bare.
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::str::FromStr for OrderedF64 {
+    type Err = std::num::ParseFloatError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.parse::<f64>().map(OrderedF64::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn zero_normalization() {
+        let pos = OrderedF64::new(0.0);
+        let neg = OrderedF64::new(-0.0);
+        assert_eq!(pos, neg);
+        let mut set = HashSet::new();
+        set.insert(pos);
+        assert!(set.contains(&neg));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let mut v = vec![
+            OrderedF64::new(3.0),
+            OrderedF64::new(-1.0),
+            OrderedF64::new(0.5),
+        ];
+        v.sort();
+        let vals: Vec<f64> = v.into_iter().map(OrderedF64::get).collect();
+        assert_eq!(vals, vec![-1.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for x in [0.0, 1.0, -2.5, 125.0, 0.001, 1.4999996667] {
+            let s = OrderedF64::new(x).to_string();
+            let back: OrderedF64 = s.parse().unwrap();
+            assert_eq!(back.get(), x);
+        }
+        assert_eq!(OrderedF64::new(2.0).to_string(), "2");
+    }
+}

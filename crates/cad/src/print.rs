@@ -1,0 +1,90 @@
+//! Pretty-printing of CAD programs in the paper's indented style
+//! (Figures 3, 4, 10, 17, ...).
+
+use crate::{cad_to_sexp, Cad, Sexp};
+
+/// Pretty-prints an s-expression: subterms that fit within `width` stay on
+/// one line; larger ones break with two-space indentation.
+pub fn pretty_sexp(sexp: &Sexp, width: usize) -> String {
+    let mut out = String::new();
+    go(sexp, width, 0, &mut out);
+    out
+}
+
+fn go(sexp: &Sexp, width: usize, indent: usize, out: &mut String) {
+    let flat = sexp.to_string();
+    if indent + flat.len() <= width || matches!(sexp, Sexp::Atom(_)) {
+        out.push_str(&flat);
+        return;
+    }
+    let Sexp::List(items) = sexp else {
+        unreachable!("atoms handled above")
+    };
+    out.push('(');
+    for (i, item) in items.iter().enumerate() {
+        if i == 0 {
+            go(item, width, indent + 1, out);
+        } else {
+            out.push('\n');
+            for _ in 0..indent + 2 {
+                out.push(' ');
+            }
+            go(item, width, indent + 2, out);
+        }
+    }
+    out.push(')');
+}
+
+impl Cad {
+    /// Renders this program in the paper's indented multi-line style.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sz_cad::Cad;
+    /// let c: Cad = "(Union (Translate 1 2 3 Unit) (Scale 2 2 2 Sphere))".parse().unwrap();
+    /// let pretty = c.to_pretty(30);
+    /// assert!(pretty.contains('\n'));
+    /// // Pretty output still parses back to the same term.
+    /// assert_eq!(pretty.parse::<Cad>().unwrap(), c);
+    /// ```
+    pub fn to_pretty(&self, width: usize) -> String {
+        pretty_sexp(&cad_to_sexp(self), width)
+    }
+
+    /// Number of lines the pretty-printed program occupies at width 60,
+    /// a proxy for the paper's "lines of code" comparisons (Fig. 1).
+    pub fn pretty_lines(&self) -> usize {
+        self.to_pretty(60).lines().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_terms_stay_flat() {
+        let c: Cad = "(Union Unit Sphere)".parse().unwrap();
+        assert_eq!(c.to_pretty(80), "(Union Unit Sphere)");
+    }
+
+    #[test]
+    fn long_terms_break_and_roundtrip() {
+        let src = "(Diff (Diff (Union (Scale 80 80 100 Cylinder) (Scale 120 120 50 Cylinder)) \
+                    (Translate 0 0 -1 (Scale 25 25 102 Cylinder))) \
+                    (Fold Union Empty (Mapi (Fun (Rotate 0 0 (/ (* 360 i) 60) \
+                    (Translate 125 0 0 c))) (Repeat Unit 60))))";
+        let c: Cad = src.parse().unwrap();
+        let pretty = c.to_pretty(60);
+        assert!(pretty.lines().count() > 5);
+        assert_eq!(pretty.parse::<Cad>().unwrap(), c);
+    }
+
+    #[test]
+    fn lines_scale_with_size() {
+        let small: Cad = "(Union Unit Sphere)".parse().unwrap();
+        let big = Cad::union_chain(vec![Cad::translate(1.0, 0.0, 0.0, Cad::Unit); 40]);
+        assert!(big.pretty_lines() > small.pretty_lines());
+    }
+}

@@ -1,0 +1,200 @@
+//! Generic s-expressions: the paper's interchange format (their OCaml
+//! implementation serialized programs with `@deriving sexp`).
+
+use std::fmt;
+
+/// An s-expression: an atom or a parenthesized list.
+///
+/// # Examples
+///
+/// ```
+/// use sz_cad::Sexp;
+/// let s: Sexp = "(Union Unit (Translate 1 2 3 Unit))".parse().unwrap();
+/// assert_eq!(s.to_string(), "(Union Unit (Translate 1 2 3 Unit))");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Sexp {
+    /// A bare token.
+    Atom(String),
+    /// A parenthesized sequence.
+    List(Vec<Sexp>),
+}
+
+impl Sexp {
+    /// Convenience constructor for an atom.
+    pub fn atom(s: impl Into<String>) -> Sexp {
+        Sexp::Atom(s.into())
+    }
+
+    /// Convenience constructor for a list.
+    pub fn list(items: Vec<Sexp>) -> Sexp {
+        Sexp::List(items)
+    }
+
+    /// The atom's text, if this is an atom.
+    pub fn as_atom(&self) -> Option<&str> {
+        match self {
+            Sexp::Atom(s) => Some(s),
+            Sexp::List(_) => None,
+        }
+    }
+
+    /// The list's items, if this is a list.
+    pub fn as_list(&self) -> Option<&[Sexp]> {
+        match self {
+            Sexp::Atom(_) => None,
+            Sexp::List(items) => Some(items),
+        }
+    }
+}
+
+impl fmt::Display for Sexp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sexp::Atom(s) => f.write_str(s),
+            Sexp::List(items) => {
+                f.write_str("(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// Error produced when parsing an [`Sexp`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SexpParseError {
+    message: String,
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+}
+
+impl SexpParseError {
+    fn new(message: impl Into<String>, offset: usize) -> Self {
+        SexpParseError {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for SexpParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for SexpParseError {}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        loop {
+            let rest = &self.src[self.pos..];
+            let trimmed = rest.trim_start();
+            self.pos += rest.len() - trimmed.len();
+            // Line comments with `;` (lisp style).
+            if trimmed.starts_with(';') {
+                match trimmed.find('\n') {
+                    Some(nl) => self.pos += nl + 1,
+                    None => self.pos = self.src.len(),
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn parse(&mut self) -> Result<Sexp, SexpParseError> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(SexpParseError::new("unexpected end of input", self.pos)),
+            Some('(') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        None => return Err(SexpParseError::new("unclosed `(`", self.pos)),
+                        Some(')') => {
+                            self.pos += 1;
+                            return Ok(Sexp::List(items));
+                        }
+                        Some(_) => items.push(self.parse()?),
+                    }
+                }
+            }
+            Some(')') => Err(SexpParseError::new("unexpected `)`", self.pos)),
+            Some(_) => {
+                let start = self.pos;
+                let rest = &self.src[self.pos..];
+                let end = rest
+                    .find(|c: char| c.is_whitespace() || c == '(' || c == ')' || c == ';')
+                    .unwrap_or(rest.len());
+                self.pos += end;
+                Ok(Sexp::Atom(self.src[start..start + end].to_owned()))
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for Sexp {
+    type Err = SexpParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut p = Parser { src: s, pos: 0 };
+        let sexp = p.parse()?;
+        p.skip_ws();
+        if p.pos != s.len() {
+            return Err(SexpParseError::new("trailing input", p.pos));
+        }
+        Ok(sexp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for s in ["a", "()", "(a)", "(a (b c) d)", "(Translate 1 2.5 -3 Unit)"] {
+            let e: Sexp = s.parse().unwrap();
+            assert_eq!(e.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let s = "( a ; a comment\n  b )";
+        let e: Sexp = s.parse().unwrap();
+        assert_eq!(e.to_string(), "(a b)");
+    }
+
+    #[test]
+    fn errors() {
+        for s in ["", "(", ")", "(a) b", "(a"] {
+            assert!(s.parse::<Sexp>().is_err(), "should reject {s:?}");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let e: Sexp = "(a b)".parse().unwrap();
+        assert!(e.as_atom().is_none());
+        assert_eq!(e.as_list().unwrap().len(), 2);
+        assert_eq!(e.as_list().unwrap()[0].as_atom(), Some("a"));
+    }
+}

@@ -1,0 +1,185 @@
+//! The e-class analysis carrying concrete values: numbers (with constant
+//! folding) and vectors. This is how the e-graph "surfaces" arithmetic to
+//! the solvers (paper §4): solver queries read these concrete values
+//! rather than walking syntax.
+
+use sz_cad::OrderedF64;
+use sz_egraph::{Analysis, DidMerge, EGraph, Id};
+
+use crate::CadLang;
+
+/// Per-class concrete data.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CadData {
+    /// The numeric value, if this class denotes a known number.
+    pub num: Option<f64>,
+    /// The concrete vector, if this class denotes a `Vec3` of known
+    /// numbers.
+    pub vec: Option<[f64; 3]>,
+}
+
+/// The Szalinski analysis: constant folding for arithmetic and concrete
+/// vector tracking. Merges are tolerant to float noise below `1e-9`
+/// (the rewrites compute vector arithmetic in slightly different orders).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CadAnalysis;
+
+/// The e-graph type used throughout the synthesizer.
+pub type CadGraph = EGraph<CadLang, CadAnalysis>;
+
+fn merge_near(to: &mut Option<f64>, from: Option<f64>) -> DidMerge {
+    match (&*to, from) {
+        (None, None) => DidMerge(false, false),
+        (None, Some(x)) => {
+            *to = Some(x);
+            DidMerge(true, false)
+        }
+        (Some(_), None) => DidMerge(false, true),
+        (Some(a), Some(b)) => {
+            debug_assert!(
+                (a - b).abs() <= 1e-6 * (1.0 + a.abs()),
+                "merged classes disagree on constant value: {a} vs {b}"
+            );
+            DidMerge(false, false)
+        }
+    }
+}
+
+fn merge_near3(to: &mut Option<[f64; 3]>, from: Option<[f64; 3]>) -> DidMerge {
+    match (&*to, from) {
+        (None, None) => DidMerge(false, false),
+        (None, Some(x)) => {
+            *to = Some(x);
+            DidMerge(true, false)
+        }
+        (Some(_), None) => DidMerge(false, true),
+        (Some(a), Some(b)) => {
+            debug_assert!(
+                a.iter()
+                    .zip(&b)
+                    .all(|(x, y)| (x - y).abs() <= 1e-6 * (1.0 + x.abs())),
+                "merged classes disagree on vector value: {a:?} vs {b:?}"
+            );
+            DidMerge(false, false)
+        }
+    }
+}
+
+impl Analysis<CadLang> for CadAnalysis {
+    type Data = CadData;
+
+    fn make(egraph: &EGraph<CadLang, Self>, enode: &CadLang) -> CadData {
+        let num = |id: &Id| egraph[*id].data.num;
+        let value = (|| match enode {
+            CadLang::Num(x) => Some(x.get()),
+            CadLang::Add([a, b]) => Some(num(a)? + num(b)?),
+            CadLang::Sub([a, b]) => Some(num(a)? - num(b)?),
+            CadLang::Mul([a, b]) => Some(num(a)? * num(b)?),
+            CadLang::Div([a, b]) => {
+                let d = num(b)?;
+                if d == 0.0 {
+                    None
+                } else {
+                    Some(num(a)? / d)
+                }
+            }
+            CadLang::Sin([a]) => Some(num(a)?.to_radians().sin()),
+            CadLang::Cos([a]) => Some(num(a)?.to_radians().cos()),
+            _ => None,
+        })();
+        let vec = match enode {
+            CadLang::Vec3([x, y, z]) => (|| Some([num(x)?, num(y)?, num(z)?]))(),
+            _ => None,
+        };
+        CadData { num: value, vec }
+    }
+
+    fn merge(&mut self, to: &mut CadData, from: CadData) -> DidMerge {
+        merge_near(&mut to.num, from.num) | merge_near3(&mut to.vec, from.vec)
+    }
+
+    fn modify(egraph: &mut EGraph<CadLang, Self>, id: Id) {
+        // Constant folding: materialize the literal so patterns that match
+        // numbers see it and extraction can choose it.
+        if let Some(x) = egraph[id].data.num {
+            let added = egraph.add(CadLang::Num(OrderedF64::new(x)));
+            egraph.union(id, added);
+        }
+    }
+}
+
+/// Reads the concrete vector of a `Vec3` class, if known.
+pub fn vec_of(egraph: &CadGraph, id: Id) -> Option<[f64; 3]> {
+    egraph[id].data.vec
+}
+
+/// Reads the concrete number of a numeric class, if known.
+pub fn num_of(egraph: &CadGraph, id: Id) -> Option<f64> {
+    egraph[id].data.num
+}
+
+/// Adds a concrete `Vec3` (three literals) to the e-graph.
+pub fn add_vec(egraph: &mut CadGraph, v: [f64; 3]) -> Id {
+    let x = egraph.add(CadLang::Num(OrderedF64::new(v[0])));
+    let y = egraph.add(CadLang::Num(OrderedF64::new(v[1])));
+    let z = egraph.add(CadLang::Num(OrderedF64::new(v[2])));
+    egraph.add(CadLang::Vec3([x, y, z]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_egraph::RecExpr;
+
+    fn graph(s: &str) -> (CadGraph, Id) {
+        let mut eg = CadGraph::default();
+        let expr: RecExpr<CadLang> = s.parse().unwrap();
+        let id = eg.add_expr(&expr);
+        eg.rebuild();
+        (eg, id)
+    }
+
+    #[test]
+    fn constant_folding_arithmetic() {
+        let (eg, id) = graph("(+ 1 (* 2 3))");
+        assert_eq!(num_of(&eg, id), Some(7.0));
+        // The literal 7 was materialized into the class.
+        let seven = eg.lookup_expr(&"7".parse().unwrap()).unwrap();
+        assert_eq!(eg.find(seven), eg.find(id));
+    }
+
+    #[test]
+    fn trig_folding_in_degrees() {
+        let (eg, id) = graph("(Sin 90)");
+        assert!((num_of(&eg, id).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_by_zero_stays_symbolic() {
+        let (eg, id) = graph("(/ 1 0)");
+        assert_eq!(num_of(&eg, id), None);
+    }
+
+    #[test]
+    fn vec_analysis() {
+        let (eg, id) = graph("(Vec3 1 (+ 1 1) 3)");
+        assert_eq!(vec_of(&eg, id), Some([1.0, 2.0, 3.0]));
+        let (eg, id) = graph("(Vec3 i 0 0)");
+        assert_eq!(vec_of(&eg, id), None);
+    }
+
+    #[test]
+    fn add_vec_roundtrip() {
+        let mut eg = CadGraph::default();
+        let id = add_vec(&mut eg, [1.5, -2.0, 0.0]);
+        eg.rebuild();
+        assert_eq!(vec_of(&eg, id), Some([1.5, -2.0, 0.0]));
+    }
+
+    #[test]
+    fn symbolic_vec_with_index_has_no_value() {
+        let (eg, id) = graph("(Vec3 (* 2 i) 0 0)");
+        assert_eq!(vec_of(&eg, id), None);
+        assert_eq!(num_of(&eg, id), None);
+    }
+}

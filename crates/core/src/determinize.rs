@@ -1,0 +1,325 @@
+//! List determinization (paper §4.2): choose, for every element of a list,
+//! one consistent affine decomposition out of the (possibly exponentially
+//! many) variants the rewrites created, so the function solvers get a
+//! well-defined concrete query.
+
+use sz_cad::AffineKind;
+use sz_egraph::{Id, Language};
+
+use crate::analysis::{vec_of, CadGraph};
+use crate::CadLang;
+
+/// One affine layer of a decomposed element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainLayer {
+    /// The transformation kind.
+    pub kind: AffineKind,
+    /// Its concrete vector.
+    pub vec: [f64; 3],
+    /// The e-class of the vector (reusable when rebuilding terms).
+    pub vec_id: Id,
+    /// The e-class of the subterm under this layer.
+    pub child: Id,
+}
+
+/// An element viewed as a chain of affine layers over a leaf class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffineChain {
+    /// Outermost-first affine layers.
+    pub layers: Vec<ChainLayer>,
+    /// The class of the innermost (non-decomposed) subterm.
+    pub leaf: Id,
+}
+
+impl AffineChain {
+    /// The kind sequence, outermost first.
+    pub fn signature(&self) -> Vec<AffineKind> {
+        self.layers.iter().map(|l| l.kind).collect()
+    }
+
+    /// Lexicographic sort key over the concatenated layer vectors
+    /// (paper §4.3's list sorting).
+    pub fn sort_key(&self) -> Vec<sz_cad::OrderedF64> {
+        self.layers
+            .iter()
+            .flat_map(|l| l.vec.iter().map(|&x| sz_cad::OrderedF64::new(x)))
+            .collect()
+    }
+}
+
+const MAX_CHAINS_PER_CLASS: usize = 64;
+const MAX_DEPTH: usize = 8;
+
+/// Enumerates affine decompositions of the class `id`, up to bounded
+/// depth and count. Every class at least offers the trivial chain
+/// (no layers, leaf = itself).
+pub fn chains_of(egraph: &CadGraph, id: Id) -> Vec<AffineChain> {
+    fn go(
+        egraph: &CadGraph,
+        id: Id,
+        depth: usize,
+        stack: &mut Vec<Id>,
+        out_budget: &mut usize,
+    ) -> Vec<AffineChain> {
+        let id = egraph.find(id);
+        let mut chains = vec![AffineChain {
+            layers: Vec::new(),
+            leaf: id,
+        }];
+        if depth >= MAX_DEPTH || stack.contains(&id) || *out_budget == 0 {
+            return chains;
+        }
+        stack.push(id);
+        // Split the budget fairly across this class's affine variants, so
+        // one variant's deep expansion (rewrites stack reorderings at
+        // every level) cannot starve the others — the original syntax
+        // must always contribute a chain.
+        let affine_nodes: Vec<&CadLang> = egraph[id]
+            .iter()
+            .filter(|n| n.affine_kind().is_some())
+            .collect();
+        let per_node = (*out_budget / affine_nodes.len().max(1)).max(4);
+        for node in affine_nodes {
+            let kind = node.affine_kind().expect("filtered to affine nodes");
+            let [vec_id, child] = [node.children()[0], node.children()[1]];
+            let Some(vec) = vec_of(egraph, vec_id) else {
+                continue;
+            };
+            let layer = ChainLayer {
+                kind,
+                vec,
+                vec_id: egraph.find(vec_id),
+                child: egraph.find(child),
+            };
+            // Every node is guaranteed a minimal emission quota even when
+            // the shared budget ran dry, so the original decomposition is
+            // never starved out by a sibling's expansion.
+            let mut node_budget = per_node.min((*out_budget).max(2));
+            for sub in go(egraph, child, depth + 1, stack, &mut node_budget.clone()) {
+                if node_budget == 0 {
+                    break;
+                }
+                node_budget -= 1;
+                let mut layers = Vec::with_capacity(sub.layers.len() + 1);
+                layers.push(layer);
+                layers.extend(sub.layers);
+                chains.push(AffineChain {
+                    layers,
+                    leaf: sub.leaf,
+                });
+                *out_budget = out_budget.saturating_sub(1);
+            }
+        }
+        stack.pop();
+        chains
+    }
+    let mut budget = MAX_CHAINS_PER_CLASS;
+    go(egraph, id, 0, &mut Vec::new(), &mut budget)
+}
+
+/// A determinized list: one chain per element, all sharing a signature.
+#[derive(Debug, Clone)]
+pub struct DetList {
+    /// The common kind sequence (outermost first). May be empty when the
+    /// elements have no common affine structure.
+    pub signature: Vec<AffineKind>,
+    /// `chains[i]` decomposes `elements[i]` under the signature.
+    pub chains: Vec<AffineChain>,
+}
+
+/// Maximum number of alternative determinizations handed to the solvers.
+const MAX_DETERMINIZATIONS: usize = 8;
+
+/// Determinizes a list of element classes under **every** consistent
+/// signature (longest first, up to a cap): for each signature admitted by
+/// all elements, selects one matching chain per element (paper §4.2:
+/// "pick an element and respect the same order for all others").
+///
+/// Returning all candidates rather than one is what lets the solvers
+/// populate the e-graph with *diverse* parameterizations — e.g. both the
+/// nested-loop and the trigonometric hex-cell programs of Figs. 18/19.
+pub fn determinize_all(egraph: &CadGraph, elements: &[Id]) -> Vec<DetList> {
+    if elements.is_empty() {
+        return Vec::new();
+    }
+    let all_chains: Vec<Vec<AffineChain>> =
+        elements.iter().map(|&e| chains_of(egraph, e)).collect();
+
+    // Candidate signatures from element 0, longest first.
+    let mut candidates: Vec<Vec<AffineKind>> =
+        all_chains[0].iter().map(AffineChain::signature).collect();
+    candidates.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+    candidates.dedup();
+
+    let mut out: Vec<DetList> = Vec::new();
+    for sig in candidates {
+        // Prefer a *coordinated* choice: all elements decomposed over the
+        // same leaf class (this is what lets `Mapi … (Repeat leaf n)`
+        // arise — e.g. every gear tooth bottoming out at the same
+        // `Translate(125,0,0, tooth)` subterm rather than at per-element
+        // reordered variants).
+        let mut chosen: Option<Vec<AffineChain>> = None;
+        'leaf: for c0 in all_chains[0].iter().filter(|c| c.signature() == sig) {
+            let mut chains = vec![c0.clone()];
+            for elem_chains in &all_chains[1..] {
+                match elem_chains
+                    .iter()
+                    .find(|c| c.signature() == sig && egraph.find(c.leaf) == egraph.find(c0.leaf))
+                {
+                    Some(c) => chains.push(c.clone()),
+                    None => continue 'leaf,
+                }
+            }
+            chosen = Some(chains);
+            break;
+        }
+        // Fall back to first-found per element (leaves may then differ).
+        if chosen.is_none() {
+            let mut chains = Vec::with_capacity(elements.len());
+            let mut ok = true;
+            for elem_chains in &all_chains {
+                match elem_chains.iter().find(|c| c.signature() == sig) {
+                    Some(c) => chains.push(c.clone()),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                chosen = Some(chains);
+            }
+        }
+        if let Some(chains) = chosen {
+            out.push(DetList {
+                signature: sig,
+                chains,
+            });
+            if out.len() >= MAX_DETERMINIZATIONS {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// The single preferred determinization (the longest consistent
+/// signature); see [`determinize_all`].
+pub fn determinize(egraph: &CadGraph, elements: &[Id]) -> Option<DetList> {
+    determinize_all(egraph, elements).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CadAnalysis;
+    use sz_egraph::{RecExpr, Runner};
+
+    fn graph(s: &str) -> (CadGraph, Id) {
+        let mut eg = CadGraph::default();
+        let expr: RecExpr<CadLang> = s.parse().unwrap();
+        let id = eg.add_expr(&expr);
+        eg.rebuild();
+        (eg, id)
+    }
+
+    #[test]
+    fn single_affine_chain() {
+        let (eg, id) = graph("(Translate (Vec3 2 0 0) Unit)");
+        let chains = chains_of(&eg, id);
+        // Trivial chain + the one-layer decomposition.
+        assert_eq!(chains.len(), 2);
+        let full = chains.iter().find(|c| c.layers.len() == 1).unwrap();
+        assert_eq!(full.layers[0].kind, AffineKind::Translate);
+        assert_eq!(full.layers[0].vec, [2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn nested_chain_and_leaf() {
+        let (eg, id) = graph("(Translate (Vec3 1 0 0) (Rotate (Vec3 0 0 30) (Scale (Vec3 2 2 2) Sphere)))");
+        let chains = chains_of(&eg, id);
+        let full = chains.iter().max_by_key(|c| c.layers.len()).unwrap();
+        assert_eq!(
+            full.signature(),
+            vec![AffineKind::Translate, AffineKind::Rotate, AffineKind::Scale]
+        );
+        let sphere = eg.lookup_expr(&"Sphere".parse().unwrap()).unwrap();
+        assert_eq!(eg.find(full.leaf), eg.find(sphere));
+    }
+
+    #[test]
+    fn determinize_uniform_list() {
+        let (mut eg, _) = graph("Nil");
+        let e1 = eg.add_expr(&"(Translate (Vec3 2 0 0) Unit)".parse().unwrap());
+        let e2 = eg.add_expr(&"(Translate (Vec3 4 0 0) Unit)".parse().unwrap());
+        eg.rebuild();
+        let det = determinize(&eg, &[e1, e2]).unwrap();
+        assert_eq!(det.signature, vec![AffineKind::Translate]);
+        assert_eq!(det.chains[0].layers[0].vec, [2.0, 0.0, 0.0]);
+        assert_eq!(det.chains[1].layers[0].vec, [4.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn determinize_resolves_reordered_variants() {
+        // Element 2 is written Scale∘Rotate; after the reorder rule both
+        // orders live in its class, so the determinizer can match
+        // element 1's Rotate∘Scale signature.
+        let (mut eg, _) = graph("Nil");
+        let e1 = eg.add_expr(
+            &"(Rotate (Vec3 0 0 30) (Scale (Vec3 2 2 2) Unit))".parse().unwrap(),
+        );
+        let e2 = eg.add_expr(
+            &"(Scale (Vec3 3 3 3) (Rotate (Vec3 0 0 60) Unit))".parse().unwrap(),
+        );
+        eg.rebuild();
+        let runner = Runner::new(CadAnalysis)
+            .with_egraph(eg)
+            .with_iter_limit(3)
+            .run(&crate::rules::reordering_rules());
+        let eg = runner.egraph;
+        let dets = determinize_all(&eg, &[e1, e2]);
+        let det = dets
+            .iter()
+            .find(|d| d.signature == vec![AffineKind::Rotate, AffineKind::Scale])
+            .expect("element 1's ordering must be available for both");
+        assert_eq!(det.chains[1].layers[0].vec, [0.0, 0.0, 60.0]);
+        assert_eq!(det.chains[1].layers[1].vec, [3.0, 3.0, 3.0]);
+        // The other ordering is offered as well (diversity for top-k).
+        assert!(dets
+            .iter()
+            .any(|d| d.signature == vec![AffineKind::Scale, AffineKind::Rotate]));
+    }
+
+    #[test]
+    fn determinize_mixed_depth_falls_back() {
+        let (mut eg, _) = graph("Nil");
+        let e1 = eg.add_expr(&"(Translate (Vec3 2 0 0) Unit)".parse().unwrap());
+        let e2 = eg.add_expr(&"Unit".parse().unwrap());
+        eg.rebuild();
+        let det = determinize(&eg, &[e1, e2]).unwrap();
+        // Only the empty signature is common.
+        assert!(det.signature.is_empty());
+    }
+
+    #[test]
+    fn chains_survive_identity_cycles() {
+        // identity-translate unions (Translate 0 c) with c, creating a
+        // self-referential class; chain enumeration must terminate.
+        let (mut eg, id) = graph("(Translate (Vec3 0 0 0) Unit)");
+        let unit = eg.lookup_expr(&"Unit".parse().unwrap()).unwrap();
+        eg.union(id, unit);
+        eg.rebuild();
+        let chains = chains_of(&eg, id);
+        assert!(!chains.is_empty());
+    }
+
+    #[test]
+    fn sort_key_orders_lexicographically() {
+        let (mut eg, _) = graph("Nil");
+        let e1 = eg.add_expr(&"(Translate (Vec3 4 0 0) Unit)".parse().unwrap());
+        let e2 = eg.add_expr(&"(Translate (Vec3 2 0 0) Unit)".parse().unwrap());
+        eg.rebuild();
+        let det = determinize(&eg, &[e1, e2]).unwrap();
+        assert!(det.chains[0].sort_key() > det.chains[1].sort_key());
+    }
+}

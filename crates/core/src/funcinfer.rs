@@ -1,0 +1,409 @@
+//! Function inference (paper §4): turn a determinized list of affine
+//! transformed CADs into `Mapi`/`Repeat` structure with solver-inferred
+//! closed forms — the "inverse transformation" at the heart of Szalinski.
+
+use std::collections::HashSet;
+
+use sz_cad::{AffineKind, Expr};
+use sz_egraph::Id;
+
+
+use crate::analysis::CadGraph;
+use crate::determinize::{determinize_all, DetList};
+use crate::lists::{add_cons_list, add_expr_tree, add_num, fold_sites, read_list};
+use crate::CadLang;
+
+/// The loop structure created by an inference pass (Table 1's `n-l`
+/// column distinguishes these shapes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoopShape {
+    /// A plain `Repeat` of one element.
+    Repeat(usize),
+    /// A single loop (`Mapi` over `Repeat`/list) with the given length.
+    Single(usize),
+    /// A nested index loop with the given bounds.
+    Nested(Vec<usize>),
+    /// An irregular loop: concatenated groups with the given sizes.
+    Irregular(Vec<usize>),
+}
+
+impl LoopShape {
+    /// Formats like the paper's `n-l` column: `n1,60` or `n2,3,5`.
+    pub fn table_tag(&self) -> String {
+        match self {
+            LoopShape::Repeat(n) | LoopShape::Single(n) => format!("n1,{n}"),
+            LoopShape::Nested(bs) => {
+                let inner: Vec<String> = bs.iter().map(|b| b.to_string()).collect();
+                format!("n{},{}", bs.len(), inner.join(","))
+            }
+            LoopShape::Irregular(sizes) => {
+                let inner: Vec<String> = sizes.iter().map(|s| s.to_string()).collect();
+                format!("irr,{}", inner.join("+"))
+            }
+        }
+    }
+}
+
+/// What an inference pass did to one list class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferenceRecord {
+    /// Number of list elements.
+    pub n: usize,
+    /// Closed-form tags used (`d1`, `d2`, `θ`), deduplicated, non-constant
+    /// layers only.
+    pub fit_tags: Vec<String>,
+    /// The loop structure inserted.
+    pub shape: LoopShape,
+}
+
+/// One fitted variant of an affine layer: component expressions plus
+/// the non-constant fit tags.
+pub(crate) struct LayerFit {
+    pub exprs: [Expr; 3],
+    pub tags: Vec<String>,
+}
+
+fn to_expr(f: &sz_solver::FittedFn, kind: AffineKind, depth: u8) -> Expr {
+    if kind == AffineKind::Rotate {
+        f.to_rotation_expr(depth).unwrap_or_else(|| f.to_expr(depth))
+    } else {
+        f.to_expr(depth)
+    }
+}
+
+/// Fits one affine layer's vectors. Returns up to two variants: the
+/// primary (simplest class per component) and, when some component also
+/// admits a sinusoid, a trigonometry-preferring variant — the source of
+/// the paper's §6.3 solution diversity.
+pub(crate) fn fit_layer(
+    kind: AffineKind,
+    vecs: &[[f64; 3]],
+    eps: f64,
+    depth: u8,
+) -> Vec<LayerFit> {
+    let mut primary: Vec<Expr> = Vec::with_capacity(3);
+    let mut trigged: Vec<Expr> = Vec::with_capacity(3);
+    let mut tags = Vec::new();
+    let mut trig_tags = Vec::new();
+    let mut any_trig_alt = false;
+    for comp in 0..3 {
+        let vals: Vec<f64> = vecs.iter().map(|v| v[comp]).collect();
+        let fits = sz_solver::fit_sequence_all(&vals, eps);
+        let Some(first) = fits.first() else {
+            return Vec::new();
+        };
+        if !first.is_constant() {
+            tags.push(first.kind_tag().to_owned());
+        }
+        primary.push(to_expr(first, kind, depth));
+        // Trig-preferring variant: take the sinusoid when available.
+        let trig = fits.iter().find(|f| matches!(f, sz_solver::FittedFn::Trig(_)));
+        match trig {
+            Some(t) => {
+                any_trig_alt |= !matches!(first, sz_solver::FittedFn::Trig(_));
+                trig_tags.push(t.kind_tag().to_owned());
+                trigged.push(to_expr(t, kind, depth));
+            }
+            None => {
+                if !first.is_constant() {
+                    trig_tags.push(first.kind_tag().to_owned());
+                }
+                trigged.push(to_expr(first, kind, depth));
+            }
+        }
+    }
+    let mut out = vec![LayerFit {
+        exprs: <[Expr; 3]>::try_from(primary).expect("three components"),
+        tags,
+    }];
+    if any_trig_alt {
+        out.push(LayerFit {
+            exprs: <[Expr; 3]>::try_from(trigged).expect("three components"),
+            tags: trig_tags,
+        });
+    }
+    out
+}
+
+/// Adds `affine(kind, vec-of-exprs, child)` to the e-graph.
+pub(crate) fn add_affine_exprs(
+    egraph: &mut CadGraph,
+    kind: AffineKind,
+    exprs: &[Expr; 3],
+    child: Id,
+) -> Id {
+    let x = add_expr_tree(egraph, &exprs[0]);
+    let y = add_expr_tree(egraph, &exprs[1]);
+    let z = add_expr_tree(egraph, &exprs[2]);
+    let vec = egraph.add(CadLang::Vec3([x, y, z]));
+    egraph.add(CadLang::affine(kind, vec, child))
+}
+
+fn infer_for_list(
+    egraph: &mut CadGraph,
+    list: Id,
+    elements: &[Id],
+    det: &DetList,
+    eps: f64,
+) -> Option<InferenceRecord> {
+    let n = elements.len();
+    let leaves: Vec<Id> = det.chains.iter().map(|c| egraph.find(c.leaf)).collect();
+    let same_leaf = leaves.windows(2).all(|w| w[0] == w[1]);
+
+    if det.signature.is_empty() {
+        // No common affine structure; identical elements still repeat.
+        if same_leaf && n >= 2 {
+            let n_id = add_num(egraph, n as f64);
+            let rep = egraph.add(CadLang::Repeat([leaves[0], n_id]));
+            egraph.union(list, rep);
+            return Some(InferenceRecord {
+                n,
+                fit_tags: vec![],
+                shape: LoopShape::Repeat(n),
+            });
+        }
+        return None;
+    }
+
+    // Fit every layer; all must admit closed forms. Each layer may offer
+    // a trig-preferring alternative; we materialize two program variants
+    // (primary and trig-preferred) for top-k diversity.
+    let depth = 0u8; // every Mapi layer binds its own `i`
+    let mut layer_fits: Vec<(AffineKind, Vec<LayerFit>)> = Vec::new();
+    for (l, &kind) in det.signature.iter().enumerate() {
+        let vecs: Vec<[f64; 3]> = det.chains.iter().map(|c| c.layers[l].vec).collect();
+        let fits = fit_layer(kind, &vecs, eps, depth);
+        if fits.is_empty() {
+            return None;
+        }
+        layer_fits.push((kind, fits));
+    }
+
+    let has_trig_variant = layer_fits.iter().any(|(_, fits)| fits.len() > 1);
+    let variants: &[usize] = if has_trig_variant { &[0, 1] } else { &[0] };
+    let mut record = None;
+    for &variant in variants {
+        // Inner list: Repeat for a shared leaf, else the explicit leaves.
+        let mut lst = if same_leaf {
+            let n_id = add_num(egraph, n as f64);
+            egraph.add(CadLang::Repeat([leaves[0], n_id]))
+        } else {
+            add_cons_list(egraph, &leaves)
+        };
+        // Wrap one Mapi per layer, innermost layer first (Fig. 10).
+        let mut all_tags: Vec<String> = Vec::new();
+        for (kind, fits) in layer_fits.iter().rev() {
+            let fit = fits.get(variant).unwrap_or(&fits[0]);
+            all_tags.extend(fit.tags.iter().cloned());
+            let param = egraph.add(CadLang::Param);
+            let body = add_affine_exprs(egraph, *kind, &fit.exprs, param);
+            let fun = egraph.add(CadLang::Fun([body]));
+            lst = egraph.add(CadLang::Mapi([fun, lst]));
+        }
+        egraph.union(list, lst);
+        if record.is_none() {
+            let mut tags = all_tags;
+            tags.sort();
+            tags.dedup();
+            record = Some(InferenceRecord {
+                n,
+                fit_tags: tags,
+                shape: LoopShape::Single(n),
+            });
+        }
+    }
+    record
+}
+
+/// Runs function inference over every `Fold` list in the e-graph
+/// (paper Fig. 5, `solver_invoke`), inserting `Mapi`/`Repeat` variants
+/// into the matched list classes. Every consistent determinization is
+/// tried, so diverse parameterizations coexist in the e-graph and the
+/// final top-k extraction chooses among them. Call
+/// [`CadGraph::rebuild`] afterwards.
+pub fn infer_functions(egraph: &mut CadGraph, eps: f64) -> Vec<InferenceRecord> {
+    let sites = fold_sites(egraph);
+    let mut seen: HashSet<Id> = HashSet::new();
+    let mut records = Vec::new();
+    for site in sites {
+        let list = egraph.find(site.list);
+        if !seen.insert(list) {
+            continue;
+        }
+        let Some(elements) = read_list(egraph, list) else {
+            continue;
+        };
+        if elements.len() < 2 {
+            continue;
+        }
+        for det in determinize_all(egraph, &elements) {
+            if let Some(rec) = infer_for_list(egraph, list, &elements, &det, eps) {
+                records.push(rec);
+            }
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lang_to_cad, CadAnalysis};
+    use sz_egraph::{AstSize, Extractor, RecExpr, Runner};
+
+    /// Saturate with the default rules, run function inference, rebuild,
+    /// then extract the best program.
+    fn infer_pipeline(input: &str) -> (String, Vec<InferenceRecord>) {
+        let expr: RecExpr<CadLang> = input.parse().unwrap();
+        let runner = Runner::new(CadAnalysis)
+            .with_expr(&expr)
+            .with_iter_limit(30)
+            .run(&crate::rules::rules());
+        let mut eg = runner.egraph;
+        let root = runner.roots[0];
+        let records = infer_functions(&mut eg, 1e-3);
+        eg.rebuild();
+        let ex = Extractor::new(&eg, AstSize);
+        let (_, best) = ex.find_best(root);
+        (lang_to_cad(&best).unwrap().to_string(), records)
+    }
+
+    #[test]
+    fn fig2_five_cubes() {
+        // Union of 5 cubes translated by 2(i+1) along x.
+        let teeth: Vec<String> = (1..=5)
+            .map(|i| format!("(Translate (Vec3 {} 0 0) Unit)", 2 * i))
+            .collect();
+        let input = format!(
+            "(Union {} (Union {} (Union {} (Union {} {}))))",
+            teeth[0], teeth[1], teeth[2], teeth[3], teeth[4]
+        );
+        let (best, records) = infer_pipeline(&input);
+        assert!(
+            best.contains("(Mapi (Fun (Translate (* 2 (+ i 1)) 0 0 c)) (Repeat Unit 5))"),
+            "got {best}"
+        );
+        assert!(records
+            .iter()
+            .any(|r| r.shape == LoopShape::Single(5) && r.fit_tags == ["d1"]));
+    }
+
+    #[test]
+    fn gear_rotation_form() {
+        // 6 teeth at multiples of 60°, translated then rotated.
+        let teeth: Vec<String> = (1..=6)
+            .map(|i| {
+                format!(
+                    "(Rotate (Vec3 0 0 {}) (Translate (Vec3 125 0 0) Ext:tooth))",
+                    60 * i
+                )
+            })
+            .collect();
+        let mut input = teeth.last().unwrap().clone();
+        for t in teeth[..5].iter().rev() {
+            input = format!("(Union {t} {input})");
+        }
+        let (best, _) = infer_pipeline(&input);
+        assert!(
+            best.contains("(Rotate 0 0 (/ (* 360 (+ i 1)) 6) c)"),
+            "rotation heuristic missing: {best}"
+        );
+        // The constant translate layer either stays inside the repeated
+        // leaf or becomes its own (constant) Mapi layer; both expose the
+        // tooth repetition.
+        assert!(
+            best.contains("(Repeat (Translate 125 0 0 (External tooth)) 6)")
+                || (best.contains("(Translate 125 0 0 c)")
+                    && best.contains("(Repeat (External tooth) 6)")),
+            "got {best}"
+        );
+    }
+
+    #[test]
+    fn fig10_nested_affine_layers() {
+        // Five cubes with three varying affine layers each (Fig. 10 uses
+        // three; we use five so the loop also wins on AST size).
+        let items: Vec<String> = (0..5)
+            .map(|i| {
+                format!(
+                    "(Translate (Vec3 {} {} {}) (Rotate (Vec3 {} 0 0) (Scale (Vec3 {} {} {}) Unit)))",
+                    2 * i + 2, 2 * i + 4, 2 * i + 6,
+                    15 * i + 30,
+                    2 * i + 1, 2 * i + 3, 2 * i + 5,
+                )
+            })
+            .collect();
+        let mut input = items.last().unwrap().clone();
+        for it in items[..items.len() - 1].iter().rev() {
+            input = format!("(Union {it} {input})");
+        }
+        let (best, records) = infer_pipeline(&input);
+        // Triple-nested Mapi over Repeat(Unit, 5).
+        assert_eq!(best.matches("Mapi").count(), 3, "got {best}");
+        assert!(best.contains("(Repeat Unit 5)"), "got {best}");
+        assert!(records.iter().any(|r| r.shape == LoopShape::Single(5)));
+    }
+
+    #[test]
+    fn identical_items_collapse_via_idempotence() {
+        // Union of three identical solids: idempotence makes the single
+        // solid the best program — smaller than any Repeat loop.
+        let input = "(Union (Scale (Vec3 2 2 2) Sphere) (Union (Scale (Vec3 2 2 2) Sphere) (Scale (Vec3 2 2 2) Sphere)))";
+        let (best, _) = infer_pipeline(input);
+        assert_eq!(best, "(Scale 2 2 2 Sphere)");
+    }
+
+    #[test]
+    fn unfittable_vectors_leave_input_best() {
+        let vals = [3.1, -7.4, 12.9, 0.2, -5.5, 9.9, 1.1, -2.2, 15.0, -11.0];
+        let items: Vec<String> = vals
+            .iter()
+            .map(|v| format!("(Translate (Vec3 {v} 0 0) Unit)"))
+            .collect();
+        let mut input = items.last().unwrap().clone();
+        for it in items[..items.len() - 1].iter().rev() {
+            input = format!("(Union {it} {input})");
+        }
+        let (best, _) = infer_pipeline(&input);
+        assert!(!best.contains("Mapi"), "no closed form should fit: {best}");
+    }
+
+    #[test]
+    fn mixed_leaves_map_over_list() {
+        // Same transform structure, different leaves: Mapi over an
+        // explicit list (enough elements for the loop to win on size).
+        let leaves = ["Unit", "Sphere", "Hexagon", "Cylinder", "Unit"];
+        let items: Vec<String> = leaves
+            .iter()
+            .enumerate()
+            .map(|(i, leaf)| format!("(Translate (Vec3 {} 0 0) {leaf})", 2 * (i + 1)))
+            .collect();
+        let mut input = items.last().unwrap().clone();
+        for it in items[..items.len() - 1].iter().rev() {
+            input = format!("(Union {it} {input})");
+        }
+        let (best, _) = infer_pipeline(&input);
+        assert!(
+            best.contains("(Mapi (Fun (Translate (* 2 (+ i 1)) 0 0 c)) (Cons Unit (Cons Sphere (Cons Hexagon (Cons Cylinder (Cons Unit Nil))))))"),
+            "got {best}"
+        );
+    }
+
+    #[test]
+    fn noisy_vectors_recovered() {
+        let vals = [5.001, 10.00001, 14.9998, 20.0];
+        let items: Vec<String> = vals
+            .iter()
+            .map(|v| format!("(Translate (Vec3 0 0 {v}) Unit)"))
+            .collect();
+        let input = format!(
+            "(Union {} (Union {} (Union {} {})))",
+            items[0], items[1], items[2], items[3]
+        );
+        let (best, _) = infer_pipeline(&input);
+        assert!(
+            best.contains("(Translate 0 0 (* 5 (+ i 1)) c)"),
+            "noise not cleaned: {best}"
+        );
+    }
+}

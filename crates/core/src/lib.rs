@@ -1,0 +1,66 @@
+//! # szalinski: CAD parameter inference with equality saturation
+//!
+//! A from-scratch reproduction of **Szalinski/ShrinkRay** (Nandi et al.,
+//! PLDI 2020 / arXiv:1909.12252): given a *flat* CSG program — the kind
+//! produced by mesh decompilers or by unrolling parametric CAD — recover
+//! editable **LambdaCAD** programs whose loops and closed-form index
+//! arithmetic expose the model's latent repetitive structure.
+//!
+//! ## Pipeline (paper Fig. 5)
+//!
+//! 1. the input is loaded into an e-graph over [`CadLang`];
+//! 2. [`rules()`] — ~40 semantics-preserving rewrites (affine lifting /
+//!    reordering / collapsing, fold introduction, boolean laws) saturate
+//!    the graph under fuel limits;
+//! 3. [`determinize`](determinize::determinize) picks one consistent
+//!    affine decomposition per list element;
+//! 4. [`list_manipulation`] adds lexicographically sorted list variants
+//!    inside commutative folds;
+//! 5. [`infer_functions`] fits closed forms (degree-1/2 polynomials with
+//!    ε tolerance, sinusoids) per affine layer and inserts
+//!    `Mapi`/`Repeat` structure; [`infer_loops`] finds nested loops via
+//!    m-factorization and the irregular-grid grouping fallback;
+//! 6. [`synthesize`] extracts the **top-k** programs under
+//!    [`CostKind::AstSize`] or [`CostKind::RewardLoops`].
+//!
+//! ## Example
+//!
+//! ```
+//! use szalinski::{synthesize, SynthConfig};
+//! use sz_cad::Cad;
+//!
+//! let flat = Cad::union_chain(
+//!     (1..=5).map(|i| Cad::translate(2.0 * i as f64, 0.0, 0.0, Cad::Unit)).collect(),
+//! );
+//! let result = synthesize(&flat, &SynthConfig::new());
+//! let (rank, prog) = result.structured().unwrap();
+//! assert_eq!(rank, 1);
+//! assert!(prog.cad.to_string().contains("Mapi"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod cost;
+pub mod determinize;
+pub mod funcinfer;
+pub mod lang;
+pub mod listmanip;
+pub mod lists;
+pub mod loopinfer;
+pub mod pipeline;
+pub mod report;
+pub mod rules;
+
+pub use analysis::{add_vec, num_of, vec_of, CadAnalysis, CadData, CadGraph};
+pub use cost::{CadCost, CostKind};
+pub use determinize::{chains_of, determinize, determinize_all, AffineChain, ChainLayer, DetList};
+pub use funcinfer::{infer_functions, InferenceRecord, LoopShape};
+pub use lang::{cad_to_lang, lang_to_cad, lang_to_cad_at, CadLang, FromLangError};
+pub use listmanip::list_manipulation;
+pub use lists::{add_cons_list, add_expr_tree, fold_sites, read_list, FoldSite};
+pub use loopinfer::{factorizations, index_sets, infer_loops};
+pub use pipeline::{synthesize, SynthConfig, SynthProgram, Synthesis};
+pub use report::{fit_tags, has_structure, loop_tags, TableRow};
+pub use rules::{all_rules, rules, structural_rules, CadRewrite};

@@ -1,0 +1,128 @@
+//! List manipulation (paper §4.3, Figs. 11–12): inside `Fold`s of
+//! commutative operators, add a lexicographically sorted variant of the
+//! element list so the function solvers see monotone sequences.
+
+use sz_cad::BoolOp;
+use sz_egraph::Id;
+
+use crate::analysis::CadGraph;
+use crate::determinize::determinize;
+use crate::lists::{add_cons_list, fold_sites, read_list};
+use crate::CadLang;
+
+/// For every `Fold(op, init, l)` with commutative `op`: determinize `l`,
+/// sort its elements by the vectors of their affine chains, and when the
+/// order changes add `Fold(op, init, sorted_l)` to the fold's class (the
+/// sorted list itself is a *new* class — element order is part of list
+/// identity; only the folded results are equal).
+///
+/// Returns the number of sorted variants added. Call
+/// [`CadGraph::rebuild`] afterwards.
+pub fn list_manipulation(egraph: &mut CadGraph) -> usize {
+    let sites = fold_sites(egraph);
+    let mut added = 0;
+    for site in sites {
+        if site.op == BoolOp::Diff {
+            continue; // difference does not commute; sorting is unsound
+        }
+        let Some(elements) = read_list(egraph, site.list) else {
+            continue;
+        };
+        if elements.len() < 2 {
+            continue;
+        }
+        let Some(det) = determinize(egraph, &elements) else {
+            continue;
+        };
+        if det.signature.is_empty() {
+            continue;
+        }
+        let mut order: Vec<usize> = (0..elements.len()).collect();
+        order.sort_by_key(|&i| det.chains[i].sort_key());
+        if order.windows(2).all(|w| w[0] < w[1]) {
+            continue; // already sorted
+        }
+        let sorted: Vec<Id> = order.iter().map(|&i| elements[i]).collect();
+        let new_list = add_cons_list(egraph, &sorted);
+        let op = egraph.add(CadLang::fold_op(site.op));
+        let new_fold = egraph.add(CadLang::Fold([op, site.init, new_list]));
+        let (_, did) = egraph.union(site.class, new_fold);
+        if did {
+            added += 1;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::funcinfer::infer_functions;
+    use crate::lang_to_cad;
+    use sz_egraph::{AstSize, Extractor, RecExpr};
+
+    fn graph(s: &str) -> (CadGraph, Id) {
+        let mut eg = CadGraph::default();
+        let expr: RecExpr<CadLang> = s.parse().unwrap();
+        let id = eg.add_expr(&expr);
+        eg.rebuild();
+        (eg, id)
+    }
+
+    #[test]
+    fn sorts_shuffled_list() {
+        // 4, 2, 8, 6 — unsorted, so no linear fit; after sorting 2,4,6,8
+        // function inference finds 2(i+1).
+        let (mut eg, root) = graph(
+            "(Fold UnionOp Empty \
+              (Cons (Translate (Vec3 4 0 0) Unit) \
+              (Cons (Translate (Vec3 2 0 0) Unit) \
+              (Cons (Translate (Vec3 8 0 0) Unit) \
+              (Cons (Translate (Vec3 6 0 0) Unit) Nil)))))",
+        );
+        let added = list_manipulation(&mut eg);
+        assert_eq!(added, 1);
+        eg.rebuild();
+        infer_functions(&mut eg, 1e-3);
+        eg.rebuild();
+        let ex = Extractor::new(&eg, AstSize);
+        let (_, best) = ex.find_best(root);
+        let out = lang_to_cad(&best).unwrap().to_string();
+        assert!(
+            out.contains("(Translate (* 2 (+ i 1)) 0 0 c)"),
+            "got {out}"
+        );
+    }
+
+    #[test]
+    fn sorted_list_is_left_alone() {
+        let (mut eg, _) = graph(
+            "(Fold UnionOp Empty \
+              (Cons (Translate (Vec3 2 0 0) Unit) \
+              (Cons (Translate (Vec3 4 0 0) Unit) Nil)))",
+        );
+        assert_eq!(list_manipulation(&mut eg), 0);
+    }
+
+    #[test]
+    fn diff_folds_are_not_sorted() {
+        let (mut eg, _) = graph(
+            "(Fold DiffOp Empty \
+              (Cons (Translate (Vec3 4 0 0) Unit) \
+              (Cons (Translate (Vec3 2 0 0) Unit) Nil)))",
+        );
+        assert_eq!(list_manipulation(&mut eg), 0);
+    }
+
+    #[test]
+    fn idempotent_after_first_run() {
+        let (mut eg, _) = graph(
+            "(Fold UnionOp Empty \
+              (Cons (Translate (Vec3 4 0 0) Unit) \
+              (Cons (Translate (Vec3 2 0 0) Unit) Nil)))",
+        );
+        assert_eq!(list_manipulation(&mut eg), 1);
+        eg.rebuild();
+        assert_eq!(list_manipulation(&mut eg), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Reading concrete lists out of the e-graph and writing new list
+//! structure back in — the interface between the e-graph and the solver
+//! passes.
+
+use sz_cad::{BoolOp, Cad, Expr, OrderedF64};
+use sz_egraph::Id;
+
+use crate::analysis::{num_of, CadGraph};
+use crate::{cad_to_lang, CadLang};
+
+/// A `Fold` occurrence: the class holding it and its three children.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FoldSite {
+    /// The e-class containing the `Fold` node.
+    pub class: Id,
+    /// The folded boolean operator.
+    pub op: BoolOp,
+    /// The accumulator class.
+    pub init: Id,
+    /// The list class.
+    pub list: Id,
+}
+
+/// Finds every `Fold` node in the e-graph (paper Fig. 12's
+/// `match_eg (eg, Fold (Var f) (Var acc) (Var l))`).
+pub fn fold_sites(egraph: &CadGraph) -> Vec<FoldSite> {
+    let mut sites = Vec::new();
+    for class in egraph.classes() {
+        for node in class.iter() {
+            let CadLang::Fold([op, init, list]) = node else {
+                continue;
+            };
+            let Some(op) = egraph[*op].iter().find_map(CadLang::as_fold_op) else {
+                continue;
+            };
+            sites.push(FoldSite {
+                class: egraph.find(class.id),
+                op,
+                init: egraph.find(*init),
+                list: egraph.find(*list),
+            });
+        }
+    }
+    sites.sort_by_key(|s| (s.class, s.list));
+    sites.dedup();
+    sites
+}
+
+/// Reads the concrete element list of a list class by following
+/// `Cons`/`Nil` (and constant-count `Repeat`) structure. Returns the
+/// element class ids in order, or `None` if the class has no concrete
+/// spine.
+pub fn read_list(egraph: &CadGraph, id: Id) -> Option<Vec<Id>> {
+    let mut out = Vec::new();
+    let mut cur = egraph.find(id);
+    for _ in 0..1_000_000 {
+        let class = &egraph[cur];
+        if class.iter().any(|n| matches!(n, CadLang::Nil)) {
+            return Some(out);
+        }
+        if let Some(CadLang::Cons([h, t])) =
+            class.iter().find(|n| matches!(n, CadLang::Cons(_)))
+        {
+            out.push(egraph.find(*h));
+            cur = egraph.find(*t);
+            continue;
+        }
+        if let Some(CadLang::Repeat([c, n])) =
+            class.iter().find(|n| matches!(n, CadLang::Repeat(_)))
+        {
+            let n = num_of(egraph, *n)?;
+            if n < 0.0 || n.fract() != 0.0 || n > 100_000.0 {
+                return None;
+            }
+            out.extend(std::iter::repeat(egraph.find(*c)).take(n as usize));
+            return Some(out);
+        }
+        return None;
+    }
+    None
+}
+
+/// Adds an explicit `Cons` list of the given element classes, returning
+/// the class of its head.
+pub fn add_cons_list(egraph: &mut CadGraph, elements: &[Id]) -> Id {
+    let mut tail = egraph.add(CadLang::Nil);
+    for &e in elements.iter().rev() {
+        tail = egraph.add(CadLang::Cons([e, tail]));
+    }
+    tail
+}
+
+/// Adds a numeric literal.
+pub fn add_num(egraph: &mut CadGraph, x: f64) -> Id {
+    egraph.add(CadLang::Num(OrderedF64::new(x)))
+}
+
+/// Adds a surface-AST arithmetic expression to the e-graph.
+pub fn add_expr_tree(egraph: &mut CadGraph, e: &Expr) -> Id {
+    match e {
+        Expr::Num(x) => egraph.add(CadLang::Num(*x)),
+        Expr::Idx(d) => egraph.add(CadLang::Idx(*d)),
+        Expr::Add(a, b) => {
+            let (a, b) = (add_expr_tree(egraph, a), add_expr_tree(egraph, b));
+            egraph.add(CadLang::Add([a, b]))
+        }
+        Expr::Sub(a, b) => {
+            let (a, b) = (add_expr_tree(egraph, a), add_expr_tree(egraph, b));
+            egraph.add(CadLang::Sub([a, b]))
+        }
+        Expr::Mul(a, b) => {
+            let (a, b) = (add_expr_tree(egraph, a), add_expr_tree(egraph, b));
+            egraph.add(CadLang::Mul([a, b]))
+        }
+        Expr::Div(a, b) => {
+            let (a, b) = (add_expr_tree(egraph, a), add_expr_tree(egraph, b));
+            egraph.add(CadLang::Div([a, b]))
+        }
+        Expr::Sin(a) => {
+            let a = add_expr_tree(egraph, a);
+            egraph.add(CadLang::Sin([a]))
+        }
+        Expr::Cos(a) => {
+            let a = add_expr_tree(egraph, a);
+            egraph.add(CadLang::Cos([a]))
+        }
+    }
+}
+
+/// Adds a whole surface-AST term to the e-graph, returning its class.
+pub fn add_cad_tree(egraph: &mut CadGraph, cad: &Cad) -> Id {
+    let expr = cad_to_lang(cad);
+    egraph.add_expr(&expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_egraph::RecExpr;
+
+    fn graph(s: &str) -> (CadGraph, Id) {
+        let mut eg = CadGraph::default();
+        let expr: RecExpr<CadLang> = s.parse().unwrap();
+        let id = eg.add_expr(&expr);
+        eg.rebuild();
+        (eg, id)
+    }
+
+    #[test]
+    fn read_cons_list() {
+        let (eg, _) = graph("(Fold UnionOp Empty (Cons Unit (Cons Sphere Nil)))");
+        let sites = fold_sites(&eg);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].op, BoolOp::Union);
+        let items = read_list(&eg, sites[0].list).unwrap();
+        assert_eq!(items.len(), 2);
+        let unit = eg.lookup_expr(&"Unit".parse().unwrap()).unwrap();
+        assert_eq!(eg.find(items[0]), eg.find(unit));
+    }
+
+    #[test]
+    fn read_repeat_list() {
+        let (eg, id) = graph("(Repeat Sphere 4)");
+        let items = read_list(&eg, id).unwrap();
+        assert_eq!(items.len(), 4);
+        assert!(items.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn read_list_declines_symbolic() {
+        let (eg, id) = graph("(Repeat Sphere (+ i 1))");
+        assert_eq!(read_list(&eg, id), None);
+        let (eg, id) = graph("Unit");
+        assert_eq!(read_list(&eg, id), None);
+    }
+
+    #[test]
+    fn cons_list_roundtrip() {
+        let (mut eg, _) = graph("(Cons Unit Nil)");
+        let unit = eg.lookup_expr(&"Unit".parse().unwrap()).unwrap();
+        let sphere = add_cad_tree(&mut eg, &Cad::Sphere);
+        let list = add_cons_list(&mut eg, &[unit, sphere, unit]);
+        eg.rebuild();
+        let items = read_list(&eg, list).unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(eg.find(items[1]), eg.find(sphere));
+    }
+
+    #[test]
+    fn expr_tree_constant_folds_via_analysis() {
+        let mut eg = CadGraph::default();
+        let e: Expr = "(+ 1 (* 2 3))".parse().unwrap();
+        let id = add_expr_tree(&mut eg, &e);
+        eg.rebuild();
+        assert_eq!(num_of(&eg, id), Some(7.0));
+    }
+
+    #[test]
+    fn fold_sites_dedup() {
+        let (eg, _) = graph("(Union (Fold UnionOp Empty (Cons Unit Nil)) (Fold UnionOp Empty (Cons Unit Nil)))");
+        // Hash-consing makes the two identical folds one site.
+        assert_eq!(fold_sites(&eg).len(), 1);
+    }
+}

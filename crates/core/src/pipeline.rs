@@ -1,0 +1,386 @@
+//! The Szalinski main loop (paper Fig. 5): equality saturation →
+//! determinization → list manipulation → function/loop inference →
+//! top-k extraction.
+
+use std::time::{Duration, Instant};
+
+use sz_cad::Cad;
+use sz_egraph::{KBestExtractor, Runner, StopReason};
+
+use crate::analysis::{CadAnalysis, CadGraph};
+use crate::cost::{CadCost, CostKind};
+use crate::funcinfer::{infer_functions, InferenceRecord};
+use crate::lang::{cad_to_lang, lang_to_cad};
+use crate::listmanip::list_manipulation;
+use crate::loopinfer::infer_loops;
+use crate::report::{fit_tags, has_structure, loop_tags, TableRow};
+use crate::rules::{all_rules, rules};
+
+/// Configuration ("fuel") for one synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Noise tolerance for the arithmetic solvers (the paper's ε).
+    pub eps: f64,
+    /// How many programs to return (the paper uses k = 5).
+    pub k: usize,
+    /// Saturation iteration limit per main-loop round.
+    pub iter_limit: usize,
+    /// E-node limit for saturation.
+    pub node_limit: usize,
+    /// Wall-clock limit for saturation.
+    pub time_limit: Duration,
+    /// Rounds of the outer main loop (the paper found one sufficient).
+    pub main_loop_fuel: usize,
+    /// Include the explosive structural boolean rules
+    /// (commutativity/associativity); off by default, measured in the
+    /// ablation bench.
+    pub structural_rules: bool,
+    /// Extraction cost function.
+    pub cost: CostKind,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            eps: 1e-3,
+            k: 5,
+            iter_limit: 150,
+            node_limit: 200_000,
+            time_limit: Duration::from_secs(60),
+            main_loop_fuel: 1,
+            structural_rules: false,
+            cost: CostKind::AstSize,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// Default configuration (ε = 10⁻³, k = 5, AST-size cost).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the solver tolerance.
+    pub fn with_eps(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    /// Sets k for top-k extraction.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the cost function.
+    pub fn with_cost(mut self, cost: CostKind) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Enables/disables the structural boolean rules.
+    pub fn with_structural_rules(mut self, on: bool) -> Self {
+        self.structural_rules = on;
+        self
+    }
+
+    /// Sets the saturation iteration limit.
+    pub fn with_iter_limit(mut self, limit: usize) -> Self {
+        self.iter_limit = limit;
+        self
+    }
+
+    /// Sets the saturation node limit.
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        self.node_limit = limit;
+        self
+    }
+
+    /// Sets the outer main-loop round count.
+    pub fn with_main_loop_fuel(mut self, fuel: usize) -> Self {
+        self.main_loop_fuel = fuel.max(1);
+        self
+    }
+}
+
+/// One synthesized program with its extraction cost.
+#[derive(Debug, Clone)]
+pub struct SynthProgram {
+    /// The extraction cost (see [`CostKind`]).
+    pub cost: usize,
+    /// The program.
+    pub cad: Cad,
+}
+
+/// The result of a synthesis run.
+#[derive(Debug, Clone)]
+pub struct Synthesis {
+    /// The flat input.
+    pub input: Cad,
+    /// Up to k programs, cheapest first.
+    pub top_k: Vec<SynthProgram>,
+    /// What the inference passes did.
+    pub records: Vec<InferenceRecord>,
+    /// Total wall-clock time.
+    pub time: Duration,
+    /// Final e-graph size (nodes).
+    pub egraph_nodes: usize,
+    /// Final e-graph size (classes).
+    pub egraph_classes: usize,
+    /// Why saturation stopped (last round).
+    pub stop_reason: Option<StopReason>,
+    /// Total saturation iterations across rounds.
+    pub iterations: usize,
+}
+
+impl Synthesis {
+    /// The lowest-cost program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if synthesis produced no programs (cannot happen for a
+    /// well-formed input: the input itself is always extractable).
+    pub fn best(&self) -> &SynthProgram {
+        &self.top_k[0]
+    }
+
+    /// The first structured program in the top-k, with its 1-based rank
+    /// (the paper's `r` column).
+    pub fn structured(&self) -> Option<(usize, &SynthProgram)> {
+        self.top_k
+            .iter()
+            .enumerate()
+            .find(|(_, p)| has_structure(&p.cad))
+            .map(|(i, p)| (i + 1, p))
+    }
+
+    /// Builds the Table-1 row for this run.
+    pub fn table_row(&self, name: &str) -> TableRow {
+        let best = self.best();
+        let (n_l, f, rank) = match self.structured() {
+            Some((rank, p)) => {
+                let loops = loop_tags(&p.cad).join("; ");
+                let fits = fit_tags(&p.cad).join(",");
+                (
+                    if loops.is_empty() { "-".into() } else { loops },
+                    if fits.is_empty() { "-".into() } else { fits },
+                    Some(rank),
+                )
+            }
+            None => ("-".to_owned(), "-".to_owned(), None),
+        };
+        TableRow {
+            name: name.to_owned(),
+            i_ns: self.input.num_nodes(),
+            o_ns: best.cad.num_nodes(),
+            i_p: self.input.num_prims(),
+            o_p: best.cad.num_prims(),
+            i_d: self.input.depth(),
+            o_d: best.cad.depth(),
+            n_l,
+            f,
+            time_s: self.time.as_secs_f64(),
+            rank,
+        }
+    }
+}
+
+/// Runs the full Szalinski pipeline on a flat CSG.
+///
+/// # Examples
+///
+/// ```
+/// use szalinski::{synthesize, SynthConfig};
+/// use sz_cad::Cad;
+///
+/// // Figure 2's input: five cubes spaced 2 apart along x.
+/// let items: Vec<Cad> = (1..=5)
+///     .map(|i| Cad::translate(2.0 * i as f64, 0.0, 0.0, Cad::Unit))
+///     .collect();
+/// let flat = Cad::union_chain(items);
+/// let result = synthesize(&flat, &SynthConfig::new());
+/// let (rank, prog) = result.structured().expect("finds the loop");
+/// assert_eq!(rank, 1);
+/// assert!(prog.cad.to_string().contains("(Repeat Unit 5)"));
+/// // The loop unrolls back to the input geometry.
+/// assert_eq!(prog.cad.eval_to_flat().unwrap(), flat);
+/// ```
+pub fn synthesize(input: &Cad, config: &SynthConfig) -> Synthesis {
+    let start = Instant::now();
+    let expr = cad_to_lang(input);
+    let ruleset = if config.structural_rules {
+        all_rules()
+    } else {
+        rules()
+    };
+
+    let mut egraph = CadGraph::new(CadAnalysis);
+    let root = egraph.add_expr(&expr);
+    egraph.rebuild();
+
+    let mut records = Vec::new();
+    let mut stop_reason = None;
+    let mut iterations = 0;
+    for _round in 0..config.main_loop_fuel {
+        // apply_rws: equality saturation with the syntactic rules.
+        let runner = Runner::new(CadAnalysis)
+            .with_egraph(std::mem::replace(&mut egraph, CadGraph::new(CadAnalysis)))
+            .with_iter_limit(config.iter_limit)
+            .with_node_limit(config.node_limit)
+            .with_time_limit(config.time_limit)
+            .run(&ruleset);
+        iterations += runner.iterations.len();
+        stop_reason = runner.stop_reason.clone();
+        egraph = runner.egraph;
+
+        // determ + list_manip: sorted list variants.
+        list_manipulation(&mut egraph);
+        egraph.rebuild();
+
+        // solver_invoke: function inference, then nested loops.
+        records.extend(infer_functions(&mut egraph, config.eps));
+        egraph.rebuild();
+        records.extend(infer_loops(&mut egraph, config.eps));
+        egraph.rebuild();
+    }
+
+    // extract_prog: top-k under the configured cost function. Distinct
+    // derivations can denote one tree (e.g. via the sorted-list fold
+    // variant), so extract extra candidates and deduplicate.
+    let kbest = KBestExtractor::new(&egraph, CadCost::new(config.cost), config.k * 2);
+    let mut top_k: Vec<SynthProgram> = Vec::new();
+    for (cost, e) in kbest.find_best_k(root) {
+        let Ok(cad) = lang_to_cad(&e) else { continue };
+        if top_k.iter().any(|p| p.cad == cad) {
+            continue;
+        }
+        top_k.push(SynthProgram { cost, cad });
+        if top_k.len() >= config.k {
+            break;
+        }
+    }
+
+    Synthesis {
+        input: input.clone(),
+        top_k,
+        records,
+        time: start.elapsed(),
+        egraph_nodes: egraph.total_number_of_nodes(),
+        egraph_classes: egraph.number_of_classes(),
+        stop_reason,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row_of_cubes(n: usize, spacing: f64) -> Cad {
+        Cad::union_chain(
+            (1..=n)
+                .map(|i| Cad::translate(spacing * i as f64, 0.0, 0.0, Cad::Unit))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn fig2_end_to_end() {
+        let flat = row_of_cubes(5, 2.0);
+        let result = synthesize(&flat, &SynthConfig::new());
+        let (_, prog) = result.structured().unwrap();
+        let s = prog.cad.to_string();
+        assert!(s.contains("Mapi"), "got {s}");
+        assert!(s.contains("(Repeat Unit 5)"), "got {s}");
+        assert!(prog.cad.num_nodes() < flat.num_nodes());
+        // Equivalence: evaluating the program reproduces the input.
+        assert_eq!(prog.cad.eval_to_flat().unwrap(), flat);
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_bounded() {
+        let flat = row_of_cubes(4, 3.0);
+        let result = synthesize(&flat, &SynthConfig::new().with_k(5));
+        assert!(result.top_k.len() <= 5);
+        assert!(!result.top_k.is_empty());
+        for w in result.top_k.windows(2) {
+            assert!(w[0].cost <= w[1].cost);
+        }
+    }
+
+    #[test]
+    fn no_structure_returns_input_like_program() {
+        let flat = Cad::diff(
+            Cad::scale(20.0, 20.0, 3.0, Cad::Unit),
+            Cad::translate(1.0, 2.0, 0.0, Cad::Sphere),
+        );
+        let result = synthesize(&flat, &SynthConfig::new());
+        assert!(result.structured().is_none());
+        assert_eq!(result.best().cad.num_nodes(), flat.num_nodes());
+    }
+
+    #[test]
+    fn table_row_reports_reduction() {
+        let flat = row_of_cubes(8, 2.0);
+        let result = synthesize(&flat, &SynthConfig::new());
+        let row = result.table_row("row-of-8");
+        assert!(row.o_ns < row.i_ns);
+        assert_eq!(row.i_p, 8);
+        assert_eq!(row.o_p, 1);
+        assert!(row.n_l.contains("n1,8") || row.n_l.contains("n2"), "{:?}", row.n_l);
+        assert_eq!(row.f, "d1");
+        assert!(row.rank.is_some());
+    }
+
+    #[test]
+    fn reward_loops_changes_extraction() {
+        // Two cubes: too few for AstSize to prefer the loop, but
+        // RewardLoops surfaces it (the wardrobe@ effect).
+        let flat = row_of_cubes(2, 2.0);
+        let default = synthesize(&flat, &SynthConfig::new());
+        let reward = synthesize(
+            &flat,
+            &SynthConfig::new().with_cost(CostKind::RewardLoops),
+        );
+        assert!(reward.structured().is_some());
+        let default_best_structured = default
+            .structured()
+            .map(|(rank, _)| rank)
+            .unwrap_or(usize::MAX);
+        let reward_best_structured = reward.structured().map(|(rank, _)| rank).unwrap();
+        assert!(reward_best_structured <= default_best_structured);
+        assert_eq!(reward_best_structured, 1);
+    }
+
+    #[test]
+    fn gear_like_model_under_diff() {
+        // Diff(base, union-of-teeth): the fold lives under a Diff, as in
+        // the real gear.
+        let teeth: Vec<Cad> = (1..=6)
+            .map(|i| {
+                Cad::rotate(
+                    0.0,
+                    0.0,
+                    60.0 * i as f64,
+                    Cad::translate(12.0, 0.0, 0.0, Cad::External("tooth".into())),
+                )
+            })
+            .collect();
+        let flat = Cad::diff(
+            Cad::scale(10.0, 10.0, 2.0, Cad::Cylinder),
+            Cad::union_chain(teeth),
+        );
+        let result = synthesize(&flat, &SynthConfig::new());
+        let (rank, prog) = result.structured().unwrap();
+        let s = prog.cad.to_string();
+        assert!(rank <= 5);
+        assert!(
+            s.contains("(Repeat (Translate 12 0 0 (External tooth)) 6)")
+                || s.contains("(Repeat (External tooth) 6)"),
+            "got {s}"
+        );
+        assert!(s.contains("(/ (* 360 (+ i 1)) 6)"), "got {s}");
+        // The base stays outside the loop, under the Diff.
+        assert!(s.starts_with("(Diff (Scale 10 10 2 Cylinder)"), "got {s}");
+    }
+}

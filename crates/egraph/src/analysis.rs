@@ -1,0 +1,128 @@
+//! E-class analyses: semilattice data attached to every e-class, maintained
+//! under congruence ("abstract interpretation over the e-graph").
+//!
+//! Szalinski uses analyses to track concrete values (numbers, vectors, and
+//! list structure) so that its arithmetic solvers can read concrete queries
+//! out of the e-graph.
+
+use std::fmt::Debug;
+
+use crate::{EGraph, Id, Language};
+
+/// Result of merging two analysis values: `DidMerge(a, b)` where `a` says
+/// the merged-into value changed and `b` says the merged-from value differed
+/// from the result.
+///
+/// Returning accurate flags keeps rebuilding cheap; returning
+/// `DidMerge(true, true)` is always sound but pessimal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DidMerge(pub bool, pub bool);
+
+impl std::ops::BitOr for DidMerge {
+    type Output = DidMerge;
+    fn bitor(self, rhs: DidMerge) -> DidMerge {
+        DidMerge(self.0 | rhs.0, self.1 | rhs.1)
+    }
+}
+
+/// An e-class analysis in the style of egg.
+///
+/// `Data` forms a join-semilattice: [`Analysis::make`] computes the value of
+/// a single e-node from its children's values, and [`Analysis::merge`] joins
+/// the values of two classes being unified. [`Analysis::modify`] may then
+/// inspect the merged class and mutate the e-graph (e.g. constant folding
+/// adds the literal node it discovered).
+///
+/// # Examples
+///
+/// ```
+/// use sz_egraph::{EGraph, tests_lang::{Arith, ConstFold}};
+/// let mut eg: EGraph<Arith, ConstFold> = EGraph::new(ConstFold);
+/// let id = eg.add_expr(&"(+ 1 (* 2 3))".parse().unwrap());
+/// eg.rebuild();
+/// assert_eq!(eg[id].data, Some(7));
+/// ```
+pub trait Analysis<L: Language>: Sized {
+    /// The per-class analysis value.
+    type Data: Debug + Clone;
+
+    /// Computes the value for a freshly added e-node, given (via `egraph`)
+    /// the values of its children.
+    fn make(egraph: &EGraph<L, Self>, enode: &L) -> Self::Data;
+
+    /// Joins `from` into `to`, reporting what changed.
+    fn merge(&mut self, to: &mut Self::Data, from: Self::Data) -> DidMerge;
+
+    /// Hook called when a class's value may have changed; may mutate the
+    /// e-graph (add nodes, union classes).
+    fn modify(_egraph: &mut EGraph<L, Self>, _id: Id) {}
+}
+
+/// The trivial analysis carrying no data.
+impl<L: Language> Analysis<L> for () {
+    type Data = ();
+    fn make(_egraph: &EGraph<L, Self>, _enode: &L) -> Self::Data {}
+    fn merge(&mut self, _to: &mut Self::Data, _from: Self::Data) -> DidMerge {
+        DidMerge(false, false)
+    }
+}
+
+/// Helper for merging `Option<T>` analysis data where `Some` beats `None`
+/// and two `Some`s must agree (asserted in debug builds).
+pub fn merge_option<T: PartialEq + Debug>(to: &mut Option<T>, from: Option<T>) -> DidMerge {
+    match (&mut *to, from) {
+        (None, None) => DidMerge(false, false),
+        (None, from @ Some(_)) => {
+            *to = from;
+            DidMerge(true, false)
+        }
+        (Some(_), None) => DidMerge(false, true),
+        (Some(a), Some(b)) => {
+            debug_assert_eq!(a, &b, "merged analysis values disagree");
+            DidMerge(false, false)
+        }
+    }
+}
+
+/// Helper for merging by maximum: keeps the larger value.
+pub fn merge_max<T: Ord>(to: &mut T, from: T) -> DidMerge {
+    if *to < from {
+        *to = from;
+        DidMerge(true, false)
+    } else if *to == from {
+        DidMerge(false, false)
+    } else {
+        DidMerge(false, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn didmerge_or() {
+        assert_eq!(
+            DidMerge(true, false) | DidMerge(false, true),
+            DidMerge(true, true)
+        );
+    }
+
+    #[test]
+    fn merge_option_semantics() {
+        let mut a = None;
+        assert_eq!(merge_option(&mut a, Some(3)), DidMerge(true, false));
+        assert_eq!(a, Some(3));
+        assert_eq!(merge_option(&mut a, None), DidMerge(false, true));
+        assert_eq!(merge_option(&mut a, Some(3)), DidMerge(false, false));
+    }
+
+    #[test]
+    fn merge_max_semantics() {
+        let mut a = 1;
+        assert_eq!(merge_max(&mut a, 5), DidMerge(true, false));
+        assert_eq!(merge_max(&mut a, 2), DidMerge(false, true));
+        assert_eq!(merge_max(&mut a, 5), DidMerge(false, false));
+        assert_eq!(a, 5);
+    }
+}

@@ -1,0 +1,81 @@
+//! Graphviz (DOT) export of e-graphs, for debugging and for the paper-style
+//! e-graph figures (Figs. 7, 9, 11).
+
+use std::fmt::Write as _;
+
+use crate::{Analysis, EGraph, Language};
+
+/// Renders the e-graph in Graphviz DOT format, with one cluster per
+/// e-class and one record node per e-node.
+///
+/// # Examples
+///
+/// ```
+/// use sz_egraph::{EGraph, tests_lang::Arith, to_dot};
+/// let mut eg: EGraph<Arith, ()> = EGraph::default();
+/// eg.add_expr(&"(+ 1 2)".parse().unwrap());
+/// eg.rebuild();
+/// let dot = to_dot(&eg);
+/// assert!(dot.contains("digraph egraph"));
+/// ```
+pub fn to_dot<L: Language, N: Analysis<L>>(egraph: &EGraph<L, N>) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph egraph {{");
+    let _ = writeln!(s, "  compound=true;");
+    let _ = writeln!(s, "  clusterrank=local;");
+
+    let mut ids = egraph.class_ids();
+    ids.sort_unstable();
+    for id in &ids {
+        let class = &egraph[*id];
+        let _ = writeln!(s, "  subgraph cluster_{id} {{");
+        let _ = writeln!(s, "    style=dotted; label=\"e{id}\";");
+        for (i, node) in class.iter().enumerate() {
+            let label = node.op_name().replace('"', "\\\"");
+            let _ = writeln!(s, "    n_{id}_{i} [label=\"{label}\"];");
+        }
+        let _ = writeln!(s, "  }}");
+    }
+    for id in &ids {
+        let class = &egraph[*id];
+        for (i, node) in class.iter().enumerate() {
+            for (j, &child) in node.children().iter().enumerate() {
+                let child = egraph.find(child);
+                // Point edges at the first node of the child cluster.
+                let _ = writeln!(
+                    s,
+                    "  n_{id}_{i} -> n_{child}_0 [lhead=cluster_{child}, label=\"{j}\"];"
+                );
+            }
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_lang::Arith;
+    use crate::EGraph;
+
+    #[test]
+    fn dot_contains_all_nodes() {
+        let mut eg: EGraph<Arith, ()> = EGraph::default();
+        eg.add_expr(&"(+ x (* y 2))".parse().unwrap());
+        eg.rebuild();
+        let dot = to_dot(&eg);
+        for op in ["+", "*", "x", "y", "2"] {
+            assert!(dot.contains(&format!("label=\"{op}\"")), "missing {op}");
+        }
+    }
+
+    #[test]
+    fn dot_has_edges() {
+        let mut eg: EGraph<Arith, ()> = EGraph::default();
+        eg.add_expr(&"(+ 1 2)".parse().unwrap());
+        eg.rebuild();
+        let dot = to_dot(&eg);
+        assert!(dot.contains("->"));
+    }
+}

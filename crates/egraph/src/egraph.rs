@@ -1,0 +1,489 @@
+//! The [`EGraph`] itself: hash-consed e-nodes, a union-find over e-classes,
+//! and deferred congruence-closure maintenance ("rebuilding").
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use crate::{Analysis, Id, Language, RecExpr, UnionFind};
+
+/// An equivalence class of e-nodes, plus its analysis data.
+#[derive(Debug, Clone)]
+pub struct EClass<L, D> {
+    /// This class's canonical id (at the time of the last rebuild).
+    pub id: Id,
+    /// The e-nodes in this class. Canonical and deduplicated after
+    /// [`EGraph::rebuild`].
+    pub nodes: Vec<L>,
+    /// The analysis value for this class.
+    pub data: D,
+    /// Parent e-nodes (and the class they live in): every e-node that has
+    /// this class as a child. Used for congruence repair.
+    pub(crate) parents: Vec<(L, Id)>,
+}
+
+impl<L: Language, D> EClass<L, D> {
+    /// Iterates over the e-nodes in this class.
+    pub fn iter(&self) -> impl Iterator<Item = &L> {
+        self.nodes.iter()
+    }
+
+    /// The number of e-nodes in this class.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the class has no nodes (never the case for a live class).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over the leaf e-nodes (no children) in this class.
+    pub fn leaves(&self) -> impl Iterator<Item = &L> {
+        self.nodes.iter().filter(|n| n.is_leaf())
+    }
+}
+
+/// An e-graph: a compact representation of a (possibly exponential) set of
+/// equivalent terms, with congruence closure maintained lazily.
+///
+/// This follows the design of egg (Willsey et al.): mutations (adds, unions)
+/// are cheap and defer invariant repair; [`EGraph::rebuild`] restores
+/// congruence and analysis invariants in one batched pass. Szalinski's
+/// paper credits exactly this structure for mitigating phase ordering.
+///
+/// # Examples
+///
+/// ```
+/// use sz_egraph::{EGraph, tests_lang::Arith};
+/// let mut eg: EGraph<Arith, ()> = EGraph::default();
+/// let a = eg.add_expr(&"(+ x 1)".parse().unwrap());
+/// let b = eg.add_expr(&"(+ 1 x)".parse().unwrap());
+/// assert_ne!(eg.find(a), eg.find(b));
+/// eg.union(a, b);
+/// eg.rebuild();
+/// assert_eq!(eg.find(a), eg.find(b));
+/// ```
+#[derive(Clone)]
+pub struct EGraph<L: Language, N: Analysis<L>> {
+    /// The user-provided analysis (often a unit struct).
+    pub analysis: N,
+    unionfind: UnionFind,
+    memo: HashMap<L, Id>,
+    classes: HashMap<Id, EClass<L, N::Data>>,
+    pending: Vec<(L, Id)>,
+    analysis_pending: VecDeque<(L, Id)>,
+    clean: bool,
+}
+
+impl<L: Language, N: Analysis<L> + Default> Default for EGraph<L, N> {
+    fn default() -> Self {
+        EGraph::new(N::default())
+    }
+}
+
+impl<L: Language, N: Analysis<L>> fmt::Debug for EGraph<L, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EGraph")
+            .field("classes", &self.classes.len())
+            .field("nodes", &self.total_number_of_nodes())
+            .field("clean", &self.clean)
+            .finish()
+    }
+}
+
+impl<L: Language, N: Analysis<L>> EGraph<L, N> {
+    /// Creates an empty e-graph with the given analysis.
+    pub fn new(analysis: N) -> Self {
+        EGraph {
+            analysis,
+            unionfind: UnionFind::new(),
+            memo: HashMap::new(),
+            classes: HashMap::new(),
+            pending: Vec::new(),
+            analysis_pending: VecDeque::new(),
+            clean: true,
+        }
+    }
+
+    /// The number of live e-classes.
+    pub fn number_of_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The total number of e-nodes across all classes.
+    pub fn total_number_of_nodes(&self) -> usize {
+        self.classes.values().map(|c| c.nodes.len()).sum()
+    }
+
+    /// True if [`EGraph::rebuild`] has run since the last mutation, i.e.
+    /// congruence and analysis invariants hold.
+    pub fn is_clean(&self) -> bool {
+        self.clean
+    }
+
+    /// Canonicalizes an e-class id.
+    pub fn find(&self, id: Id) -> Id {
+        self.unionfind.find_immutable(id)
+    }
+
+    /// Iterates over all e-classes.
+    pub fn classes(&self) -> impl Iterator<Item = &EClass<L, N::Data>> {
+        self.classes.values()
+    }
+
+    /// Iterates mutably over all e-classes (analysis data may be tweaked;
+    /// structural edits must go through [`EGraph::add`]/[`EGraph::union`]).
+    pub fn classes_mut(&mut self) -> impl Iterator<Item = &mut EClass<L, N::Data>> {
+        self.classes.values_mut()
+    }
+
+    fn canonicalize(&self, mut enode: L) -> L {
+        enode.update_children(|id| self.find(id));
+        enode
+    }
+
+    /// Looks up an e-node (children need not be canonical) without adding.
+    pub fn lookup(&self, enode: L) -> Option<Id> {
+        let enode = self.canonicalize(enode);
+        self.memo.get(&enode).map(|&id| self.find(id))
+    }
+
+    /// Looks up an entire expression; returns its class if every node is
+    /// already represented.
+    pub fn lookup_expr(&self, expr: &RecExpr<L>) -> Option<Id> {
+        let mut ids: Vec<Id> = Vec::with_capacity(expr.len());
+        for (_, node) in expr.iter() {
+            let node = node.map_children(|c| ids[usize::from(c)]);
+            let id = self.lookup(node)?;
+            ids.push(id);
+        }
+        ids.last().copied()
+    }
+
+    /// Adds an e-node, returning the id of its class. No-op (returning the
+    /// existing class) if a congruent node is already present.
+    pub fn add(&mut self, enode: L) -> Id {
+        let enode = self.canonicalize(enode);
+        if let Some(&existing) = self.memo.get(&enode) {
+            return self.find(existing);
+        }
+        let id = self.unionfind.make_set();
+        let data = N::make(self, &enode);
+        for &child in enode.children() {
+            let child = self.find(child);
+            self.classes
+                .get_mut(&child)
+                .expect("child class must exist")
+                .parents
+                .push((enode.clone(), id));
+        }
+        self.classes.insert(
+            id,
+            EClass {
+                id,
+                nodes: vec![enode.clone()],
+                data,
+                parents: Vec::new(),
+            },
+        );
+        self.memo.insert(enode, id);
+        N::modify(self, id);
+        id
+    }
+
+    /// Adds a whole expression, returning the class of its root.
+    pub fn add_expr(&mut self, expr: &RecExpr<L>) -> Id {
+        let mut ids: Vec<Id> = Vec::with_capacity(expr.len());
+        for (_, node) in expr.iter() {
+            let node = node.map_children(|c| ids[usize::from(c)]);
+            ids.push(self.add(node));
+        }
+        *ids.last().expect("cannot add an empty expression")
+    }
+
+    /// Asserts `a` and `b` equal, merging their classes. Returns the
+    /// canonical id and whether anything actually merged.
+    ///
+    /// Congruence is restored lazily: call [`EGraph::rebuild`] before the
+    /// next search.
+    pub fn union(&mut self, a: Id, b: Id) -> (Id, bool) {
+        let a = self.find(a);
+        let b = self.find(b);
+        if a == b {
+            return (a, false);
+        }
+        self.clean = false;
+        let id = self.perform_union(a, b);
+        (id, true)
+    }
+
+    fn perform_union(&mut self, a: Id, b: Id) -> Id {
+        // Keep the class with more parents as the root so we move less data.
+        let (id1, id2) = {
+            let pa = self.classes[&a].parents.len();
+            let pb = self.classes[&b].parents.len();
+            if pa >= pb {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        };
+        self.unionfind.union(id1, id2);
+        let class2 = self.classes.remove(&id2).expect("class must exist");
+        // Parents of the absorbed class may now be congruent to other nodes.
+        self.pending.extend(class2.parents.iter().cloned());
+
+        let class1 = self.classes.get_mut(&id1).expect("class must exist");
+        let did = self.analysis.merge(&mut class1.data, class2.data);
+        if did.0 {
+            self.analysis_pending
+                .extend(class1.parents.iter().cloned());
+        }
+        if did.1 {
+            self.analysis_pending
+                .extend(class2.parents.iter().cloned());
+        }
+        class1.nodes.extend(class2.nodes);
+        class1.parents.extend(class2.parents);
+        N::modify(self, id1);
+        id1
+    }
+
+    /// Restores congruence and analysis invariants after a batch of
+    /// mutations; returns the number of unions performed during repair.
+    pub fn rebuild(&mut self) -> usize {
+        let mut n_unions = 0;
+        while !self.pending.is_empty() || !self.analysis_pending.is_empty() {
+            while let Some((node, class)) = self.pending.pop() {
+                let node = self.canonicalize(node);
+                let class = self.find(class);
+                if let Some(old) = self.memo.insert(node, class) {
+                    let old = self.find(old);
+                    if old != class {
+                        self.perform_union(old, class);
+                        n_unions += 1;
+                    }
+                }
+            }
+            while let Some((node, id)) = self.analysis_pending.pop_front() {
+                let cid = self.find(id);
+                if !self.classes.contains_key(&cid) {
+                    continue;
+                }
+                let node_data = N::make(self, &node);
+                let class = self.classes.get_mut(&cid).expect("checked above");
+                let did = self.analysis.merge(&mut class.data, node_data);
+                if did.0 {
+                    self.analysis_pending
+                        .extend(class.parents.iter().cloned());
+                    N::modify(self, cid);
+                }
+            }
+        }
+        self.rebuild_classes();
+        self.clean = true;
+        n_unions
+    }
+
+    fn rebuild_classes(&mut self) {
+        let uf = &self.unionfind;
+        for class in self.classes.values_mut() {
+            for node in &mut class.nodes {
+                node.update_children(|id| uf.find_immutable(id));
+            }
+            class.nodes.sort_unstable();
+            class.nodes.dedup();
+        }
+    }
+
+    /// Returns the ids of all classes, canonical and sorted.
+    pub fn class_ids(&self) -> Vec<Id> {
+        let mut ids: Vec<Id> = self.classes.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Extracts *some* term from the class `id` (an arbitrary acyclic
+    /// choice, not cost-minimal); useful for debugging.
+    pub fn id_to_expr(&self, id: Id) -> RecExpr<L> {
+        // Choose, per class, the first node all of whose children are
+        // strictly "older" in a BFS order; falls back to leaves first.
+        let mut expr = RecExpr::new();
+        let mut memo: HashMap<Id, Id> = HashMap::new();
+        let root = self.find(id);
+        let id = self.pick_node_rec(root, &mut expr, &mut memo, &mut Vec::new());
+        let _ = id;
+        expr
+    }
+
+    fn pick_node_rec(
+        &self,
+        id: Id,
+        expr: &mut RecExpr<L>,
+        memo: &mut HashMap<Id, Id>,
+        stack: &mut Vec<Id>,
+    ) -> Id {
+        let id = self.find(id);
+        if let Some(&done) = memo.get(&id) {
+            return done;
+        }
+        assert!(
+            !stack.contains(&id),
+            "id_to_expr hit a cycle through class {id}; \
+             use an Extractor with a cost function instead"
+        );
+        stack.push(id);
+        // Prefer leaves, then nodes not re-entering the current stack.
+        let class = &self[id];
+        let node = class
+            .leaves()
+            .next()
+            .cloned()
+            .or_else(|| {
+                class
+                    .iter()
+                    .find(|n| n.children().iter().all(|c| !stack.contains(&self.find(*c))))
+                    .cloned()
+            })
+            .unwrap_or_else(|| class.nodes[0].clone());
+        let node = node.map_children(|c| self.pick_node_rec(c, expr, memo, stack));
+        stack.pop();
+        let new_id = expr.add(node);
+        memo.insert(id, new_id);
+        new_id
+    }
+}
+
+impl<L: Language, N: Analysis<L>> std::ops::Index<Id> for EGraph<L, N> {
+    type Output = EClass<L, N::Data>;
+    fn index(&self, id: Id) -> &Self::Output {
+        let id = self.find(id);
+        self.classes
+            .get(&id)
+            .unwrap_or_else(|| panic!("no class for id {id}"))
+    }
+}
+
+impl<L: Language, N: Analysis<L>> std::ops::IndexMut<Id> for EGraph<L, N> {
+    fn index_mut(&mut self, id: Id) -> &mut Self::Output {
+        let id = self.find(id);
+        self.classes
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("no class for id {id}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_lang::{Arith, ConstFold};
+
+    fn eg() -> EGraph<Arith, ()> {
+        EGraph::default()
+    }
+
+    #[test]
+    fn add_is_hash_consed() {
+        let mut eg = eg();
+        let a = eg.add_expr(&"(+ x y)".parse().unwrap());
+        let b = eg.add_expr(&"(+ x y)".parse().unwrap());
+        assert_eq!(a, b);
+        assert_eq!(eg.number_of_classes(), 3);
+    }
+
+    #[test]
+    fn union_merges_classes() {
+        let mut eg = eg();
+        let a = eg.add_expr(&"x".parse().unwrap());
+        let b = eg.add_expr(&"y".parse().unwrap());
+        let (_, did) = eg.union(a, b);
+        assert!(did);
+        let (_, did) = eg.union(a, b);
+        assert!(!did);
+        eg.rebuild();
+        assert_eq!(eg.find(a), eg.find(b));
+        assert_eq!(eg.number_of_classes(), 1);
+    }
+
+    #[test]
+    fn congruence_upward_merging() {
+        // If x = y then f(x) = f(y): union children, rebuild, parents merge.
+        let mut eg = eg();
+        let fx = eg.add_expr(&"(+ x 1)".parse().unwrap());
+        let fy = eg.add_expr(&"(+ y 1)".parse().unwrap());
+        assert_ne!(eg.find(fx), eg.find(fy));
+        let x = eg.lookup_expr(&"x".parse().unwrap()).unwrap();
+        let y = eg.lookup_expr(&"y".parse().unwrap()).unwrap();
+        eg.union(x, y);
+        eg.rebuild();
+        assert_eq!(eg.find(fx), eg.find(fy));
+    }
+
+    #[test]
+    fn congruence_cascades() {
+        // g(f(x)) = g(f(y)) after x = y.
+        let mut eg = eg();
+        let a = eg.add_expr(&"(* (+ x 1) 2)".parse().unwrap());
+        let b = eg.add_expr(&"(* (+ y 1) 2)".parse().unwrap());
+        let x = eg.lookup_expr(&"x".parse().unwrap()).unwrap();
+        let y = eg.lookup_expr(&"y".parse().unwrap()).unwrap();
+        eg.union(x, y);
+        eg.rebuild();
+        assert_eq!(eg.find(a), eg.find(b));
+        // The classes for (+ x 1)/(+ y 1) merged, so only: x/y, 1, 2, +, *.
+        assert_eq!(eg.number_of_classes(), 5);
+    }
+
+    #[test]
+    fn lookup_expr_finds_existing() {
+        let mut eg = eg();
+        let a = eg.add_expr(&"(+ x (* y 2))".parse().unwrap());
+        assert_eq!(eg.lookup_expr(&"(+ x (* y 2))".parse().unwrap()), Some(a));
+        assert_eq!(eg.lookup_expr(&"(+ x (* y 3))".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn analysis_constant_folding() {
+        let mut eg: EGraph<Arith, ConstFold> = EGraph::new(ConstFold);
+        let id = eg.add_expr(&"(+ 1 (* 2 3))".parse().unwrap());
+        eg.rebuild();
+        assert_eq!(eg[id].data, Some(7));
+        // modify() added the literal 7 into the root class.
+        let seven = eg.lookup_expr(&"7".parse().unwrap()).unwrap();
+        assert_eq!(eg.find(seven), eg.find(id));
+    }
+
+    #[test]
+    fn analysis_propagates_through_unions() {
+        let mut eg: EGraph<Arith, ConstFold> = EGraph::new(ConstFold);
+        let root = eg.add_expr(&"(+ x 1)".parse().unwrap());
+        eg.rebuild();
+        assert_eq!(eg[root].data, None);
+        let x = eg.lookup_expr(&"x".parse().unwrap()).unwrap();
+        let two = eg.add(Arith::Num(2));
+        eg.union(x, two);
+        eg.rebuild();
+        assert_eq!(eg[root].data, Some(3));
+    }
+
+    #[test]
+    fn id_to_expr_roundtrips() {
+        let mut eg = eg();
+        let a = eg.add_expr(&"(* (+ x 1) (+ x 1))".parse().unwrap());
+        eg.rebuild();
+        let out = eg.id_to_expr(a);
+        assert_eq!(out.to_string(), "(* (+ x 1) (+ x 1))");
+    }
+
+    #[test]
+    fn clean_flag_tracks_state() {
+        let mut eg = eg();
+        assert!(eg.is_clean());
+        let a = eg.add_expr(&"x".parse().unwrap());
+        let b = eg.add_expr(&"y".parse().unwrap());
+        eg.union(a, b);
+        assert!(!eg.is_clean());
+        eg.rebuild();
+        assert!(eg.is_clean());
+    }
+}

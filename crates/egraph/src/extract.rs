@@ -1,0 +1,478 @@
+//! Extraction: choosing the best (or k best) terms represented by an
+//! e-class under a cost function.
+//!
+//! Szalinski's final phase extracts the **top-k** lowest-cost LambdaCAD
+//! programs so the user can pick the parameterization that suits their
+//! edit (paper §5.1); [`KBestExtractor`] implements that.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt::Debug;
+
+use crate::{Analysis, EGraph, Id, Language, RecExpr};
+
+/// A cost function over e-nodes.
+///
+/// The cost of a node is computed from the already-chosen costs of its
+/// children (one cost per child *position*, so a class used twice may be
+/// charged twice).
+///
+/// # Correctness requirement
+///
+/// For extraction to terminate on cyclic e-graphs, the cost of a node must
+/// be **strictly greater** than each of its children's costs (true for any
+/// "every node costs something positive" function such as [`AstSize`]).
+pub trait CostFunction<L: Language> {
+    /// The totally ordered cost type.
+    type Cost: Ord + Clone + Debug;
+
+    /// Computes the cost of `enode` given its children's costs
+    /// (`child_costs[i]` corresponds to `enode.children()[i]`).
+    fn cost(&mut self, enode: &L, child_costs: &[Self::Cost]) -> Self::Cost;
+}
+
+/// Cost = number of nodes in the term (the paper's default cost function).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AstSize;
+
+impl<L: Language> CostFunction<L> for AstSize {
+    type Cost = usize;
+    fn cost(&mut self, _enode: &L, child_costs: &[usize]) -> usize {
+        child_costs.iter().sum::<usize>() + 1
+    }
+}
+
+/// Cost = depth of the term.
+///
+/// Note: depth alone is *not* strictly monotone (a node costs `1 + max`),
+/// but it is still strictly greater than every child's cost, which is the
+/// property extraction needs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AstDepth;
+
+impl<L: Language> CostFunction<L> for AstDepth {
+    type Cost = usize;
+    fn cost(&mut self, _enode: &L, child_costs: &[usize]) -> usize {
+        child_costs.iter().max().copied().unwrap_or(0) + 1
+    }
+}
+
+/// One-best extraction: computes the minimal-cost term of every class.
+///
+/// # Examples
+///
+/// ```
+/// use sz_egraph::{EGraph, Extractor, AstSize, Runner, Rewrite, tests_lang::{Arith, ConstFold}};
+/// let rules: Vec<Rewrite<Arith, ConstFold>> =
+///     vec![Rewrite::parse("comm", "(+ ?a ?b)", "(+ ?b ?a)").unwrap()];
+/// let runner = Runner::new(ConstFold)
+///     .with_expr(&"(+ 1 (+ 2 3))".parse().unwrap())
+///     .run(&rules);
+/// let extractor = Extractor::new(&runner.egraph, AstSize);
+/// let (cost, best) = extractor.find_best(runner.roots[0]);
+/// // Constant folding put `6` in the root class; it is the smallest term.
+/// assert_eq!(cost, 1);
+/// assert_eq!(best.to_string(), "6");
+/// ```
+pub struct Extractor<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> {
+    egraph: &'a EGraph<L, N>,
+    cost_function: std::cell::RefCell<CF>,
+    best: HashMap<Id, (CF::Cost, L)>,
+}
+
+impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> Extractor<'a, L, N, CF> {
+    /// Builds the cost table for the whole e-graph.
+    pub fn new(egraph: &'a EGraph<L, N>, cost_function: CF) -> Self {
+        let mut extractor = Extractor {
+            egraph,
+            cost_function: std::cell::RefCell::new(cost_function),
+            best: HashMap::new(),
+        };
+        extractor.fixpoint();
+        extractor
+    }
+
+    fn node_cost(&self, node: &L) -> Option<CF::Cost> {
+        let mut child_costs = Vec::with_capacity(node.children().len());
+        for &c in node.children() {
+            let (cost, _) = self.best.get(&self.egraph.find(c))?;
+            child_costs.push(cost.clone());
+        }
+        Some(self.cost_function.borrow_mut().cost(node, &child_costs))
+    }
+
+    fn fixpoint(&mut self) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for class in self.egraph.classes() {
+                for node in class.iter() {
+                    let Some(cost) = self.node_cost(node) else {
+                        continue;
+                    };
+                    // Tie-break on the node itself so extraction is
+                    // deterministic regardless of class iteration order.
+                    let better = match self.best.get(&class.id) {
+                        Some((old, old_node)) => {
+                            cost < *old || (cost == *old && node < old_node)
+                        }
+                        None => true,
+                    };
+                    if better {
+                        self.best.insert(class.id, (cost, node.clone()));
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The cost of the best term in `id`'s class, if one is extractable.
+    pub fn best_cost(&self, id: Id) -> Option<CF::Cost> {
+        self.best
+            .get(&self.egraph.find(id))
+            .map(|(c, _)| c.clone())
+    }
+
+    /// Extracts the minimal-cost term for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class has no extractable term (e.g. empty e-graph).
+    pub fn find_best(&self, id: Id) -> (CF::Cost, RecExpr<L>) {
+        let root = self.egraph.find(id);
+        let cost = self
+            .best_cost(root)
+            .unwrap_or_else(|| panic!("no extractable term for class {root}"));
+        let mut expr = RecExpr::new();
+        let mut memo = HashMap::new();
+        self.build(root, &mut expr, &mut memo);
+        (cost, expr)
+    }
+
+    fn build(&self, id: Id, expr: &mut RecExpr<L>, memo: &mut HashMap<Id, Id>) -> Id {
+        let id = self.egraph.find(id);
+        if let Some(&done) = memo.get(&id) {
+            return done;
+        }
+        let (_, node) = &self.best[&id];
+        let node = node.map_children(|c| self.build(c, expr, memo));
+        let new = expr.add(node);
+        memo.insert(id, new);
+        new
+    }
+}
+
+/// An entry in the k-best table: one concrete derivation of a term for a
+/// class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry<L, C> {
+    cost: C,
+    node: L,
+    /// `choices[i]` indexes into the entry list of `node.children()[i]`'s
+    /// class.
+    choices: Vec<usize>,
+}
+
+/// K-best extraction: the `k` lowest-cost *distinct derivations* per class.
+///
+/// Implements the classic bottom-up k-best DAG algorithm: iterate the
+/// "top-k of candidate combinations" operator to fixpoint. Candidates per
+/// e-node are enumerated best-first with a frontier heap (as in k-shortest
+/// paths), so each iteration costs `O(nodes · k log k)`.
+///
+/// # Examples
+///
+/// ```
+/// use sz_egraph::{EGraph, KBestExtractor, AstSize, tests_lang::Arith};
+/// let mut eg: EGraph<Arith, ()> = EGraph::default();
+/// let a = eg.add_expr(&"(+ 1 2)".parse().unwrap());
+/// let b = eg.add_expr(&"(* 3 4)".parse().unwrap());
+/// eg.union(a, b);
+/// eg.rebuild();
+/// let kbest = KBestExtractor::new(&eg, AstSize, 5);
+/// let progs = kbest.find_best_k(a);
+/// assert_eq!(progs.len(), 2); // the two 3-node variants
+/// ```
+pub struct KBestExtractor<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> {
+    egraph: &'a EGraph<L, N>,
+    k: usize,
+    table: HashMap<Id, Vec<Entry<L, CF::Cost>>>,
+}
+
+impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> KBestExtractor<'a, L, N, CF> {
+    /// Builds the k-best table for the whole e-graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(egraph: &'a EGraph<L, N>, mut cost_function: CF, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        let mut table: HashMap<Id, Vec<Entry<L, CF::Cost>>> = HashMap::new();
+        // Iterate to fixpoint; the iteration count is bounded by the depth
+        // of the best derivations, itself bounded by class count.
+        let max_iters = egraph.number_of_classes() + 2;
+        for _ in 0..max_iters {
+            let mut new_table: HashMap<Id, Vec<Entry<L, CF::Cost>>> = HashMap::new();
+            for class in egraph.classes() {
+                let mut candidates: Vec<Entry<L, CF::Cost>> = Vec::new();
+                for node in class.iter() {
+                    enumerate_node_entries(egraph, &table, node, k, &mut cost_function,
+                        &mut candidates);
+                }
+                candidates.sort_by(|a, b| a.cost.cmp(&b.cost));
+                candidates.dedup();
+                candidates.truncate(k);
+                if !candidates.is_empty() {
+                    new_table.insert(class.id, candidates);
+                }
+            }
+            let stable = new_table == table;
+            table = new_table;
+            if stable {
+                break;
+            }
+        }
+        KBestExtractor { egraph, k, table }
+    }
+
+    /// The configured k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Extracts up to `k` lowest-cost terms for `id`, cheapest first.
+    pub fn find_best_k(&self, id: Id) -> Vec<(CF::Cost, RecExpr<L>)> {
+        let root = self.egraph.find(id);
+        let Some(entries) = self.table.get(&root) else {
+            return Vec::new();
+        };
+        entries
+            .iter()
+            .map(|e| {
+                let mut expr = RecExpr::new();
+                self.build_entry(root, e, &mut expr, 0);
+                (e.cost.clone(), expr)
+            })
+            .collect()
+    }
+
+    fn build_entry(
+        &self,
+        _class: Id,
+        entry: &Entry<L, CF::Cost>,
+        expr: &mut RecExpr<L>,
+        depth: usize,
+    ) -> Id {
+        assert!(
+            depth < 10_000,
+            "k-best extraction exceeded depth limit; \
+             is the cost function strictly monotone?"
+        );
+        let node = &entry.node;
+        let mut child_ids = Vec::with_capacity(node.children().len());
+        for (i, &c) in node.children().iter().enumerate() {
+            let cclass = self.egraph.find(c);
+            let centry = &self.table[&cclass][entry.choices[i]];
+            child_ids.push(self.build_entry(cclass, centry, expr, depth + 1));
+        }
+        let mut j = 0;
+        let node = node.map_children(|_| {
+            let id = child_ids[j];
+            j += 1;
+            id
+        });
+        expr.add(node)
+    }
+}
+
+/// Pushes up to `k` best-cost entries derivable from `node` given the
+/// current `table`, using a best-first frontier over choice vectors.
+fn enumerate_node_entries<L: Language, N: Analysis<L>, CF: CostFunction<L>>(
+    egraph: &EGraph<L, N>,
+    table: &HashMap<Id, Vec<Entry<L, CF::Cost>>>,
+    node: &L,
+    k: usize,
+    cost_function: &mut CF,
+    out: &mut Vec<Entry<L, CF::Cost>>,
+) {
+    let children = node.children();
+    // Collect each child's entry costs; bail if any child has none yet.
+    let mut child_entries: Vec<&Vec<Entry<L, CF::Cost>>> = Vec::with_capacity(children.len());
+    for &c in children {
+        match table.get(&egraph.find(c)) {
+            Some(entries) => child_entries.push(entries),
+            None => return,
+        }
+    }
+    if children.is_empty() {
+        let cost = cost_function.cost(node, &[]);
+        out.push(Entry {
+            cost,
+            node: node.clone(),
+            choices: Vec::new(),
+        });
+        return;
+    }
+
+    // Best-first enumeration of choice vectors.
+    #[derive(PartialEq, Eq)]
+    struct Frontier<C: Ord>(C, Vec<usize>);
+    impl<C: Ord> Ord for Frontier<C> {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse for a min-heap.
+            other.0.cmp(&self.0).then_with(|| other.1.cmp(&self.1))
+        }
+    }
+    impl<C: Ord> PartialOrd for Frontier<C> {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let cost_of = |choices: &[usize], cf: &mut CF| -> CF::Cost {
+        let child_costs: Vec<CF::Cost> = choices
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| child_entries[i][j].cost.clone())
+            .collect();
+        cf.cost(node, &child_costs)
+    };
+
+    let first = vec![0usize; children.len()];
+    let mut heap = BinaryHeap::new();
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(first.clone());
+    heap.push(Frontier(cost_of(&first, cost_function), first));
+
+    let mut produced = 0;
+    while let Some(Frontier(cost, choices)) = heap.pop() {
+        out.push(Entry {
+            cost,
+            node: node.clone(),
+            choices: choices.clone(),
+        });
+        produced += 1;
+        if produced >= k {
+            break;
+        }
+        for i in 0..choices.len() {
+            let mut next = choices.clone();
+            next[i] += 1;
+            if next[i] < child_entries[i].len() && seen.insert(next.clone()) {
+                heap.push(Frontier(cost_of(&next, cost_function), next));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_lang::Arith;
+    use crate::{Rewrite, Runner};
+
+    #[test]
+    fn extractor_prefers_smaller() {
+        let mut eg: EGraph<Arith, ()> = EGraph::default();
+        let big = eg.add_expr(&"(+ x (+ x (+ x x)))".parse().unwrap());
+        let small = eg.add_expr(&"(* 4 x)".parse().unwrap());
+        eg.union(big, small);
+        eg.rebuild();
+        let ex = Extractor::new(&eg, AstSize);
+        let (cost, best) = ex.find_best(big);
+        assert_eq!(cost, 3);
+        assert_eq!(best.to_string(), "(* 4 x)");
+    }
+
+    #[test]
+    fn extractor_handles_cycles() {
+        // x = x + 0 introduces a cycle; extraction should still terminate
+        // and pick the leaf.
+        let rules: Vec<Rewrite<Arith, ()>> =
+            vec![Rewrite::parse("add0", "?a", "(+ ?a 0)").unwrap()];
+        let runner = Runner::new(())
+            .with_expr(&"x".parse().unwrap())
+            .with_iter_limit(3)
+            .run(&rules);
+        let ex = Extractor::new(&runner.egraph, AstSize);
+        let (cost, best) = ex.find_best(runner.roots[0]);
+        assert_eq!(cost, 1);
+        assert_eq!(best.to_string(), "x");
+    }
+
+    #[test]
+    fn ast_depth_cost() {
+        let mut eg: EGraph<Arith, ()> = EGraph::default();
+        let deep = eg.add_expr(&"(+ 1 (+ 2 (+ 3 4)))".parse().unwrap());
+        let shallow = eg.add_expr(&"(+ (+ 1 2) (+ 3 4))".parse().unwrap());
+        eg.union(deep, shallow);
+        eg.rebuild();
+        let ex = Extractor::new(&eg, AstDepth);
+        let (cost, _) = ex.find_best(deep);
+        assert_eq!(cost, 3);
+    }
+
+    #[test]
+    fn kbest_orders_by_cost() {
+        let mut eg: EGraph<Arith, ()> = EGraph::default();
+        let a = eg.add_expr(&"(+ 1 (+ 2 3))".parse().unwrap()); // 5 nodes
+        let b = eg.add_expr(&"(* 2 3)".parse().unwrap()); // 3 nodes
+        let c = eg.add_expr(&"6".parse().unwrap()); // 1 node
+        eg.union(a, b);
+        eg.union(b, c);
+        eg.rebuild();
+        let kb = KBestExtractor::new(&eg, AstSize, 3);
+        let results = kb.find_best_k(a);
+        let costs: Vec<usize> = results.iter().map(|(c, _)| *c).collect();
+        assert_eq!(costs, vec![1, 3, 5]);
+        assert_eq!(results[0].1.to_string(), "6");
+    }
+
+    #[test]
+    fn kbest_k1_matches_extractor() {
+        let rules: Vec<Rewrite<Arith, ()>> = vec![
+            Rewrite::parse("comm-add", "(+ ?a ?b)", "(+ ?b ?a)").unwrap(),
+            Rewrite::parse("assoc", "(+ ?a (+ ?b ?c))", "(+ (+ ?a ?b) ?c)").unwrap(),
+        ];
+        let runner = Runner::new(())
+            .with_expr(&"(+ 1 (+ 2 (+ 3 4)))".parse().unwrap())
+            .run(&rules);
+        let root = runner.roots[0];
+        let ex = Extractor::new(&runner.egraph, AstSize);
+        let kb = KBestExtractor::new(&runner.egraph, AstSize, 1);
+        assert_eq!(ex.best_cost(root).unwrap(), kb.find_best_k(root)[0].0);
+    }
+
+    #[test]
+    fn kbest_enumerates_combinations_across_children() {
+        // Class P = {1-node, 3-node} appears twice under +; k-best of the
+        // parent must enumerate cost combinations 1+1, 1+3, 3+3 (+1 for +).
+        let mut eg: EGraph<Arith, ()> = EGraph::default();
+        let small = eg.add_expr(&"6".parse().unwrap());
+        let big = eg.add_expr(&"(* 2 3)".parse().unwrap());
+        eg.union(small, big);
+        let root = eg.add(Arith::Add([small, small]));
+        eg.rebuild();
+        let kb = KBestExtractor::new(&eg, AstSize, 4);
+        let costs: Vec<usize> = kb.find_best_k(root).iter().map(|(c, _)| *c).collect();
+        assert_eq!(costs, vec![3, 5, 5, 7]);
+    }
+
+    #[test]
+    fn kbest_handles_cycles() {
+        let rules: Vec<Rewrite<Arith, ()>> =
+            vec![Rewrite::parse("add0", "?a", "(+ ?a 0)").unwrap()];
+        let runner = Runner::new(())
+            .with_expr(&"(* x y)".parse().unwrap())
+            .with_iter_limit(2)
+            .run(&rules);
+        let kb = KBestExtractor::new(&runner.egraph, AstSize, 5);
+        let results = kb.find_best_k(runner.roots[0]);
+        assert_eq!(results[0].1.to_string(), "(* x y)");
+        // All results are finite, distinct derivations.
+        assert!(results.len() > 1);
+        for w in results.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+}

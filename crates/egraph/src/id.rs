@@ -1,0 +1,67 @@
+//! Opaque identifiers for e-classes.
+
+use std::fmt;
+
+/// An identifier for an e-class within an [`EGraph`](crate::EGraph), or for a
+/// node within a [`RecExpr`](crate::RecExpr).
+///
+/// `Id`s are small, `Copy`, and totally ordered. They are created by the
+/// e-graph (or by [`RecExpr::add`](crate::RecExpr::add)) and should be treated
+/// as opaque by client code; the only sanctioned way to fabricate one is
+/// [`Id::from`] on an index you obtained from this crate.
+///
+/// # Examples
+///
+/// ```
+/// use sz_egraph::Id;
+/// let id = Id::from(3usize);
+/// assert_eq!(usize::from(id), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Id(u32);
+
+impl Id {
+    /// The maximum representable id, used as a placeholder in patterns.
+    pub const MAX: Id = Id(u32::MAX);
+}
+
+impl From<usize> for Id {
+    fn from(n: usize) -> Id {
+        Id(u32::try_from(n).expect("e-graph grew past u32::MAX nodes"))
+    }
+}
+
+impl From<Id> for usize {
+    fn from(id: Id) -> usize {
+        id.0 as usize
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for n in [0usize, 1, 17, 100_000] {
+            assert_eq!(usize::from(Id::from(n)), n);
+        }
+    }
+
+    #[test]
+    fn ordering_matches_indices() {
+        assert!(Id::from(1usize) < Id::from(2usize));
+        assert!(Id::from(0usize) < Id::MAX);
+    }
+
+    #[test]
+    fn display_is_numeric() {
+        assert_eq!(Id::from(42usize).to_string(), "42");
+    }
+}

@@ -1,0 +1,69 @@
+//! # sz-egraph: equality saturation for the Szalinski reproduction
+//!
+//! A from-scratch e-graph library in the style of [egg] (Willsey et al.),
+//! built as the substrate for Szalinski/ShrinkRay-style CAD parameter
+//! inference. It provides:
+//!
+//! * [`EGraph`] — hash-consed e-nodes over a union-find of e-classes, with
+//!   *deferred* congruence maintenance ([`EGraph::rebuild`]);
+//! * [`Language`] — the trait connecting your term language to the engine;
+//! * [`Analysis`] — e-class analyses (semilattice data per class), used by
+//!   Szalinski to surface concrete numbers/vectors/lists to its solvers;
+//! * [`Pattern`] / [`Rewrite`] / [`Runner`] — e-matching, rewrite rules
+//!   (syntactic or arbitrary Rust [`FnApplier`]s), and a saturation driver
+//!   with fuel limits;
+//! * [`Extractor`] and [`KBestExtractor`] — one-best and **top-k** term
+//!   extraction under a [`CostFunction`], as required by the paper's
+//!   top-k output (§5.1).
+//!
+//! ## Example
+//!
+//! ```
+//! use sz_egraph::{Runner, Rewrite, Extractor, AstSize, tests_lang::Arith};
+//!
+//! let rules: Vec<Rewrite<Arith, ()>> = vec![
+//!     Rewrite::parse("comm-add", "(+ ?a ?b)", "(+ ?b ?a)").unwrap(),
+//!     Rewrite::parse("mul2", "(+ ?a ?a)", "(* 2 ?a)").unwrap(),
+//! ];
+//! let runner = Runner::new(())
+//!     .with_expr(&"(+ (* x y) (* x y))".parse().unwrap())
+//!     .run(&rules);
+//! let extractor = Extractor::new(&runner.egraph, AstSize);
+//! let (cost, best) = extractor.find_best(runner.roots[0]);
+//! assert_eq!(best.to_string(), "(* 2 (* x y))");
+//! assert_eq!(cost, 5);
+//! ```
+//!
+//! [egg]: https://egraphs-good.github.io/
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod analysis;
+mod dot;
+mod egraph;
+mod extract;
+mod id;
+mod language;
+mod pattern;
+mod recexpr;
+mod rewrite;
+mod runner;
+mod subst;
+mod unionfind;
+
+#[doc(hidden)]
+pub mod tests_lang;
+
+pub use analysis::{merge_max, merge_option, Analysis, DidMerge};
+pub use dot::to_dot;
+pub use egraph::{EClass, EGraph};
+pub use extract::{AstDepth, AstSize, CostFunction, Extractor, KBestExtractor};
+pub use id::Id;
+pub use language::{FromOpError, Language, Symbol};
+pub use pattern::{ENodeOrVar, Pattern, SearchMatches};
+pub use recexpr::{RecExpr, RecExprParseError};
+pub use rewrite::{Applier, ConditionalApplier, FnApplier, Rewrite};
+pub use runner::{Iteration, Runner, StopReason};
+pub use subst::{ParseVarError, Subst, Var};
+pub use unionfind::UnionFind;

@@ -1,0 +1,247 @@
+//! Rewrite rules: a searcher [`Pattern`] paired with an [`Applier`].
+//!
+//! Appliers may be plain patterns (purely syntactic rules) or arbitrary Rust
+//! functions (Szalinski's "arithmetic" rules that compute new constant
+//! vectors need the latter).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{Analysis, EGraph, Id, Language, Pattern, SearchMatches, Subst};
+
+/// The right-hand side of a [`Rewrite`]: given a match, mutate the e-graph
+/// and report which classes changed.
+pub trait Applier<L: Language, N: Analysis<L>> {
+    /// Applies this applier to one match, returning the ids of classes that
+    /// were newly unioned (for saturation detection).
+    fn apply_one(&self, egraph: &mut EGraph<L, N>, eclass: Id, subst: &Subst) -> Vec<Id>;
+}
+
+impl<L: Language, N: Analysis<L>> Applier<L, N> for Pattern<L> {
+    fn apply_one(&self, egraph: &mut EGraph<L, N>, eclass: Id, subst: &Subst) -> Vec<Id> {
+        let new = self.instantiate(egraph, subst);
+        let (id, did) = egraph.union(eclass, new);
+        if did {
+            vec![id]
+        } else {
+            vec![]
+        }
+    }
+}
+
+/// An applier backed by a Rust function.
+///
+/// The function receives the matched class and substitution; it may add
+/// nodes and return `Some(id)` of a class to union with the matched class,
+/// or `None` to decline (acting as a condition).
+pub struct FnApplier<F>(pub F);
+
+impl<L, N, F> Applier<L, N> for FnApplier<F>
+where
+    L: Language,
+    N: Analysis<L>,
+    F: Fn(&mut EGraph<L, N>, Id, &Subst) -> Option<Id>,
+{
+    fn apply_one(&self, egraph: &mut EGraph<L, N>, eclass: Id, subst: &Subst) -> Vec<Id> {
+        match (self.0)(egraph, eclass, subst) {
+            Some(new) => {
+                let (id, did) = egraph.union(eclass, new);
+                if did {
+                    vec![id]
+                } else {
+                    vec![]
+                }
+            }
+            None => vec![],
+        }
+    }
+}
+
+/// Wraps an applier with a precondition on the match.
+pub struct ConditionalApplier<C, A> {
+    /// The predicate; the applier runs only when this returns true.
+    pub condition: C,
+    /// The inner applier.
+    pub applier: A,
+}
+
+impl<L, N, C, A> Applier<L, N> for ConditionalApplier<C, A>
+where
+    L: Language,
+    N: Analysis<L>,
+    C: Fn(&EGraph<L, N>, Id, &Subst) -> bool,
+    A: Applier<L, N>,
+{
+    fn apply_one(&self, egraph: &mut EGraph<L, N>, eclass: Id, subst: &Subst) -> Vec<Id> {
+        if (self.condition)(egraph, eclass, subst) {
+            self.applier.apply_one(egraph, eclass, subst)
+        } else {
+            vec![]
+        }
+    }
+}
+
+/// A named rewrite rule `lhs ⇝ rhs`.
+///
+/// # Examples
+///
+/// ```
+/// use sz_egraph::{EGraph, Rewrite, Runner, tests_lang::Arith};
+/// let comm: Rewrite<Arith, ()> = Rewrite::parse("comm-add", "(+ ?a ?b)", "(+ ?b ?a)").unwrap();
+/// let runner = Runner::new(())
+///     .with_expr(&"(+ 1 2)".parse().unwrap())
+///     .run(&[comm]);
+/// let eg = runner.egraph;
+/// assert!(eg.lookup_expr(&"(+ 2 1)".parse().unwrap()).is_some());
+/// ```
+pub struct Rewrite<L: Language, N: Analysis<L>> {
+    name: String,
+    searcher: Pattern<L>,
+    applier: Arc<dyn Applier<L, N>>,
+}
+
+impl<L: Language, N: Analysis<L>> Clone for Rewrite<L, N> {
+    fn clone(&self) -> Self {
+        Rewrite {
+            name: self.name.clone(),
+            searcher: self.searcher.clone(),
+            applier: Arc::clone(&self.applier),
+        }
+    }
+}
+
+impl<L: Language, N: Analysis<L>> fmt::Debug for Rewrite<L, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Rewrite")
+            .field("name", &self.name)
+            .field("searcher", &self.searcher.to_string())
+            .finish()
+    }
+}
+
+impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
+    /// Creates a rewrite from a searcher pattern and any applier.
+    pub fn new(
+        name: impl Into<String>,
+        searcher: Pattern<L>,
+        applier: impl Applier<L, N> + 'static,
+    ) -> Self {
+        Rewrite {
+            name: name.into(),
+            searcher,
+            applier: Arc::new(applier),
+        }
+    }
+
+    /// Creates a purely syntactic rewrite by parsing both sides.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either side fails to parse, or if the right-hand
+    /// side uses a variable the left-hand side does not bind.
+    pub fn parse(name: &str, lhs: &str, rhs: &str) -> Result<Self, String> {
+        let searcher: Pattern<L> = lhs.parse().map_err(|e| format!("{name}: lhs: {e}"))?;
+        let applier: Pattern<L> = rhs.parse().map_err(|e| format!("{name}: rhs: {e}"))?;
+        let bound = searcher.vars();
+        for v in applier.vars() {
+            if !bound.contains(&v) {
+                return Err(format!("{name}: rhs variable {v} unbound by lhs"));
+            }
+        }
+        Ok(Rewrite::new(name, searcher, applier))
+    }
+
+    /// The rule's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The left-hand-side pattern.
+    pub fn searcher(&self) -> &Pattern<L> {
+        &self.searcher
+    }
+
+    /// Runs the searcher over the e-graph.
+    pub fn search(&self, egraph: &EGraph<L, N>) -> Vec<SearchMatches> {
+        self.searcher.search(egraph)
+    }
+
+    /// Applies the rule to previously found matches, returning changed
+    /// class ids.
+    pub fn apply(&self, egraph: &mut EGraph<L, N>, matches: &[SearchMatches]) -> Vec<Id> {
+        let mut changed = Vec::new();
+        for m in matches {
+            for subst in &m.substs {
+                changed.extend(self.applier.apply_one(egraph, m.eclass, subst));
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_lang::Arith;
+
+    #[test]
+    fn parse_checks_rhs_vars() {
+        let err = Rewrite::<Arith, ()>::parse("bad", "(+ ?a ?b)", "(+ ?a ?c)").unwrap_err();
+        assert!(err.contains("?c"));
+    }
+
+    #[test]
+    fn syntactic_rule_applies() {
+        let rule: Rewrite<Arith, ()> = Rewrite::parse("comm", "(+ ?a ?b)", "(+ ?b ?a)").unwrap();
+        let mut eg: EGraph<Arith, ()> = EGraph::default();
+        let a = eg.add_expr(&"(+ 1 2)".parse().unwrap());
+        eg.rebuild();
+        let ms = rule.search(&eg);
+        let changed = rule.apply(&mut eg, &ms);
+        assert!(!changed.is_empty());
+        eg.rebuild();
+        let b = eg.lookup_expr(&"(+ 2 1)".parse().unwrap()).unwrap();
+        assert_eq!(eg.find(a), eg.find(b));
+    }
+
+    #[test]
+    fn fn_applier_can_decline() {
+        // Fold additions of equal constants into multiplication by 2, via a
+        // function applier that inspects the substitution.
+        let rule: Rewrite<Arith, ()> = Rewrite::new(
+            "double",
+            "(+ ?a ?a)".parse().unwrap(),
+            FnApplier(|eg: &mut EGraph<Arith, ()>, _id, subst: &Subst| {
+                let a = subst["?a".parse().unwrap()];
+                let two = eg.add(Arith::Num(2));
+                Some(eg.add(Arith::Mul([two, a])))
+            }),
+        );
+        let mut eg: EGraph<Arith, ()> = EGraph::default();
+        let a = eg.add_expr(&"(+ x x)".parse().unwrap());
+        eg.rebuild();
+        let ms = rule.search(&eg);
+        rule.apply(&mut eg, &ms);
+        eg.rebuild();
+        let b = eg.lookup_expr(&"(* 2 x)".parse().unwrap()).unwrap();
+        assert_eq!(eg.find(a), eg.find(b));
+    }
+
+    #[test]
+    fn conditional_applier_gates() {
+        let always_false = ConditionalApplier {
+            condition: |_eg: &EGraph<Arith, ()>, _id: Id, _s: &Subst| false,
+            applier: "(+ ?b ?a)".parse::<Pattern<Arith>>().unwrap(),
+        };
+        let rule: Rewrite<Arith, ()> =
+            Rewrite::new("never", "(+ ?a ?b)".parse().unwrap(), always_false);
+        let mut eg: EGraph<Arith, ()> = EGraph::default();
+        eg.add_expr(&"(+ 1 2)".parse().unwrap());
+        eg.rebuild();
+        let ms = rule.search(&eg);
+        let changed = rule.apply(&mut eg, &ms);
+        assert!(changed.is_empty());
+        eg.rebuild();
+        assert!(eg.lookup_expr(&"(+ 2 1)".parse().unwrap()).is_none());
+    }
+}

@@ -1,0 +1,246 @@
+//! The equality-saturation [`Runner`]: iterates search → apply → rebuild
+//! until saturation or a resource limit ("fuel") is hit.
+
+use std::time::{Duration, Instant};
+
+use crate::{Analysis, EGraph, Id, Language, RecExpr, Rewrite};
+
+/// Why a [`Runner`] stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// No rule produced any new equivalence: the e-graph is saturated.
+    Saturated,
+    /// The iteration limit was reached.
+    IterationLimit(usize),
+    /// The e-node limit was reached.
+    NodeLimit(usize),
+    /// The time limit was reached.
+    TimeLimit(Duration),
+}
+
+/// Statistics for one saturation iteration.
+#[derive(Debug, Clone)]
+pub struct Iteration {
+    /// Number of e-nodes after this iteration.
+    pub egraph_nodes: usize,
+    /// Number of e-classes after this iteration.
+    pub egraph_classes: usize,
+    /// Per-rule number of matches applied this iteration.
+    pub applied: Vec<(String, usize)>,
+    /// Unions performed by congruence repair during rebuild.
+    pub rebuild_unions: usize,
+    /// Wall-clock time for the iteration.
+    pub time: Duration,
+}
+
+/// Drives equality saturation, in the role of `apply_rws` inside Szalinski's
+/// main loop (paper Fig. 5); the fuel argument there corresponds to the
+/// limits here.
+///
+/// # Examples
+///
+/// ```
+/// use sz_egraph::{Runner, Rewrite, tests_lang::Arith};
+/// let rules: Vec<Rewrite<Arith, ()>> = vec![
+///     Rewrite::parse("comm-add", "(+ ?a ?b)", "(+ ?b ?a)").unwrap(),
+///     Rewrite::parse("assoc-add", "(+ ?a (+ ?b ?c))", "(+ (+ ?a ?b) ?c)").unwrap(),
+/// ];
+/// let runner = Runner::new(())
+///     .with_expr(&"(+ 1 (+ 2 3))".parse().unwrap())
+///     .with_iter_limit(8)
+///     .run(&rules);
+/// assert!(runner.egraph.lookup_expr(&"(+ (+ 3 2) 1)".parse().unwrap()).is_some());
+/// ```
+pub struct Runner<L: Language, N: Analysis<L>> {
+    /// The e-graph being saturated.
+    pub egraph: EGraph<L, N>,
+    /// Classes of the expressions added via [`Runner::with_expr`].
+    pub roots: Vec<Id>,
+    /// Per-iteration statistics.
+    pub iterations: Vec<Iteration>,
+    /// Why the run stopped (set by [`Runner::run`]).
+    pub stop_reason: Option<StopReason>,
+    iter_limit: usize,
+    node_limit: usize,
+    time_limit: Duration,
+}
+
+impl<L: Language, N: Analysis<L>> Runner<L, N> {
+    /// Creates a runner with an empty e-graph and default limits
+    /// (30 iterations, 100 000 nodes, 30 seconds).
+    pub fn new(analysis: N) -> Self {
+        Runner {
+            egraph: EGraph::new(analysis),
+            roots: Vec::new(),
+            iterations: Vec::new(),
+            stop_reason: None,
+            iter_limit: 30,
+            node_limit: 100_000,
+            time_limit: Duration::from_secs(30),
+        }
+    }
+
+    /// Uses an existing e-graph (e.g. mid-pipeline) instead of a fresh one.
+    pub fn with_egraph(mut self, egraph: EGraph<L, N>) -> Self {
+        self.egraph = egraph;
+        self
+    }
+
+    /// Adds an expression whose class becomes a root.
+    pub fn with_expr(mut self, expr: &RecExpr<L>) -> Self {
+        let id = self.egraph.add_expr(expr);
+        self.roots.push(id);
+        self
+    }
+
+    /// Sets the iteration limit.
+    pub fn with_iter_limit(mut self, limit: usize) -> Self {
+        self.iter_limit = limit;
+        self
+    }
+
+    /// Sets the e-node limit.
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        self.node_limit = limit;
+        self
+    }
+
+    /// Sets the wall-clock time limit.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = limit;
+        self
+    }
+
+    /// Runs equality saturation with `rules` until saturation or a limit.
+    ///
+    /// Sets [`Runner::stop_reason`] and records [`Runner::iterations`].
+    pub fn run(mut self, rules: &[Rewrite<L, N>]) -> Self {
+        let start = Instant::now();
+        self.egraph.rebuild();
+        loop {
+            if self.iterations.len() >= self.iter_limit {
+                self.stop_reason = Some(StopReason::IterationLimit(self.iter_limit));
+                break;
+            }
+            if start.elapsed() > self.time_limit {
+                self.stop_reason = Some(StopReason::TimeLimit(self.time_limit));
+                break;
+            }
+            let iter_start = Instant::now();
+
+            // Search phase: collect all matches before applying any, so
+            // rules see a consistent e-graph.
+            let all_matches: Vec<_> = rules.iter().map(|r| r.search(&self.egraph)).collect();
+
+            // Apply phase.
+            let mut applied = Vec::with_capacity(rules.len());
+            let mut any_change = false;
+            for (rule, matches) in rules.iter().zip(&all_matches) {
+                let changed = rule.apply(&mut self.egraph, matches);
+                if !changed.is_empty() {
+                    any_change = true;
+                }
+                applied.push((rule.name().to_owned(), changed.len()));
+            }
+
+            let rebuild_unions = self.egraph.rebuild();
+            any_change |= rebuild_unions > 0;
+
+            self.iterations.push(Iteration {
+                egraph_nodes: self.egraph.total_number_of_nodes(),
+                egraph_classes: self.egraph.number_of_classes(),
+                applied,
+                rebuild_unions,
+                time: iter_start.elapsed(),
+            });
+
+            if !any_change {
+                self.stop_reason = Some(StopReason::Saturated);
+                break;
+            }
+            if self.egraph.total_number_of_nodes() > self.node_limit {
+                self.stop_reason = Some(StopReason::NodeLimit(self.node_limit));
+                break;
+            }
+        }
+        self
+    }
+}
+
+impl<L: Language, N: Analysis<L>> std::fmt::Debug for Runner<L, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runner")
+            .field("egraph", &self.egraph)
+            .field("roots", &self.roots)
+            .field("iterations", &self.iterations.len())
+            .field("stop_reason", &self.stop_reason)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_lang::Arith;
+
+    fn rules() -> Vec<Rewrite<Arith, ()>> {
+        vec![
+            Rewrite::parse("comm-add", "(+ ?a ?b)", "(+ ?b ?a)").unwrap(),
+            Rewrite::parse("comm-mul", "(* ?a ?b)", "(* ?b ?a)").unwrap(),
+            Rewrite::parse("assoc-add", "(+ ?a (+ ?b ?c))", "(+ (+ ?a ?b) ?c)").unwrap(),
+            Rewrite::parse("distr", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn saturates_small_input() {
+        let runner = Runner::new(())
+            .with_expr(&"(+ a b)".parse().unwrap())
+            .run(&rules());
+        assert_eq!(runner.stop_reason, Some(StopReason::Saturated));
+        assert!(runner
+            .egraph
+            .lookup_expr(&"(+ b a)".parse().unwrap())
+            .is_some());
+    }
+
+    #[test]
+    fn proves_distributivity_equality() {
+        let runner = Runner::new(())
+            .with_expr(&"(* 3 (+ x y))".parse().unwrap())
+            .with_expr(&"(+ (* 3 y) (* 3 x))".parse().unwrap())
+            .with_iter_limit(10)
+            .run(&rules());
+        let eg = &runner.egraph;
+        assert_eq!(eg.find(runner.roots[0]), eg.find(runner.roots[1]));
+    }
+
+    #[test]
+    fn iteration_limit_respected() {
+        let runner = Runner::new(())
+            .with_expr(&"(+ a (+ b (+ c (+ d e))))".parse().unwrap())
+            .with_iter_limit(1)
+            .run(&rules());
+        assert_eq!(runner.stop_reason, Some(StopReason::IterationLimit(1)));
+        assert_eq!(runner.iterations.len(), 1);
+    }
+
+    #[test]
+    fn node_limit_respected() {
+        let runner = Runner::new(())
+            .with_expr(&"(+ a (+ b (+ c (+ d (+ e (+ f g))))))".parse().unwrap())
+            .with_node_limit(20)
+            .run(&rules());
+        assert!(matches!(runner.stop_reason, Some(StopReason::NodeLimit(20))));
+    }
+
+    #[test]
+    fn iterations_record_rule_activity() {
+        let runner = Runner::new(())
+            .with_expr(&"(+ 1 2)".parse().unwrap())
+            .run(&rules());
+        let first = &runner.iterations[0];
+        let comm = first.applied.iter().find(|(n, _)| n == "comm-add").unwrap();
+        assert!(comm.1 > 0);
+    }
+}

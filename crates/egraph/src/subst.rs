@@ -1,0 +1,159 @@
+//! Pattern variables and substitutions produced by e-matching.
+
+use std::fmt;
+
+use crate::{Id, Symbol};
+
+/// A pattern variable such as `?x`.
+///
+/// # Examples
+///
+/// ```
+/// use sz_egraph::Var;
+/// let v: Var = "?x".parse().unwrap();
+/// assert_eq!(v.to_string(), "?x");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(Symbol);
+
+impl Var {
+    /// Creates a variable from its bare name (without the leading `?`).
+    pub fn from_name(name: &str) -> Var {
+        Var(Symbol::new(name))
+    }
+
+    /// The bare name, without the leading `?`.
+    pub fn name(&self) -> &'static str {
+        self.0.as_str()
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// Error returned when parsing a [`Var`] from a string without the leading
+/// `?` sigil.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVarError(String);
+
+impl fmt::Display for ParseVarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern variable must start with `?`: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseVarError {}
+
+impl std::str::FromStr for Var {
+    type Err = ParseVarError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.strip_prefix('?') {
+            Some(rest) if !rest.is_empty() => Ok(Var::from_name(rest)),
+            _ => Err(ParseVarError(s.to_owned())),
+        }
+    }
+}
+
+/// A mapping from pattern [`Var`]s to e-class [`Id`]s, produced by matching
+/// a pattern against an e-graph.
+///
+/// Stored as a small sorted-insertion vector: patterns have a handful of
+/// variables, so linear scans beat hashing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    bindings: Vec<(Var, Id)>,
+}
+
+impl Subst {
+    /// An empty substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a substitution with capacity for `n` bindings.
+    pub fn with_capacity(n: usize) -> Self {
+        Subst {
+            bindings: Vec::with_capacity(n),
+        }
+    }
+
+    /// Inserts a binding, returning the previous value if `var` was bound.
+    pub fn insert(&mut self, var: Var, id: Id) -> Option<Id> {
+        for (v, i) in &mut self.bindings {
+            if *v == var {
+                return Some(std::mem::replace(i, id));
+            }
+        }
+        self.bindings.push((var, id));
+        None
+    }
+
+    /// Looks up a binding.
+    pub fn get(&self, var: Var) -> Option<Id> {
+        self.bindings
+            .iter()
+            .find_map(|&(v, i)| (v == var).then_some(i))
+    }
+
+    /// The number of bound variables.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// True if nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Iterates over `(var, id)` bindings in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, Id)> + '_ {
+        self.bindings.iter().copied()
+    }
+}
+
+impl std::ops::Index<Var> for Subst {
+    type Output = Id;
+    fn index(&self, var: Var) -> &Id {
+        self.bindings
+            .iter()
+            .find_map(|(v, i)| (*v == var).then_some(i))
+            .unwrap_or_else(|| panic!("variable {var} not bound in substitution"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_parsing() {
+        assert!("x".parse::<Var>().is_err());
+        assert!("?".parse::<Var>().is_err());
+        let v: Var = "?abc".parse().unwrap();
+        assert_eq!(v.name(), "abc");
+    }
+
+    #[test]
+    fn subst_insert_get() {
+        let mut s = Subst::new();
+        let x = Var::from_name("x");
+        let y = Var::from_name("y");
+        assert_eq!(s.insert(x, Id::from(1usize)), None);
+        assert_eq!(s.insert(y, Id::from(2usize)), None);
+        assert_eq!(s.insert(x, Id::from(3usize)), Some(Id::from(1usize)));
+        assert_eq!(s.get(x), Some(Id::from(3usize)));
+        assert_eq!(s.get(y), Some(Id::from(2usize)));
+        assert_eq!(s[y], Id::from(2usize));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not bound")]
+    fn index_panics_on_missing() {
+        let s = Subst::new();
+        let _ = s[Var::from_name("zzz")];
+    }
+}

@@ -1,0 +1,161 @@
+//! A union-find (disjoint set) structure over [`Id`]s.
+//!
+//! This is the backbone of the e-graph: it maintains the partition of
+//! e-class ids into equivalence classes. We use path halving for `find`
+//! and union-by-size is *not* used — like egg, the e-graph dictates merge
+//! direction so that analysis data and class storage stay attached to the
+//! canonical id.
+
+use crate::Id;
+
+/// A union-find over a contiguous universe of [`Id`]s.
+///
+/// # Examples
+///
+/// ```
+/// use sz_egraph::UnionFind;
+/// let mut uf = UnionFind::default();
+/// let a = uf.make_set();
+/// let b = uf.make_set();
+/// assert_ne!(uf.find(a), uf.find(b));
+/// uf.union(a, b);
+/// assert_eq!(uf.find(a), uf.find(b));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    parents: Vec<Id>,
+}
+
+impl UnionFind {
+    /// Creates an empty union-find.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fresh singleton set and returns its id.
+    pub fn make_set(&mut self) -> Id {
+        let id = Id::from(self.parents.len());
+        self.parents.push(id);
+        id
+    }
+
+    /// The number of ids in the universe (not the number of sets).
+    pub fn size(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Returns true if no ids have been created.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    fn parent(&self, id: Id) -> Id {
+        self.parents[usize::from(id)]
+    }
+
+    /// Finds the canonical representative of `id` without path compression.
+    ///
+    /// Useful when only a shared reference is available.
+    pub fn find_immutable(&self, mut id: Id) -> Id {
+        while id != self.parent(id) {
+            id = self.parent(id);
+        }
+        id
+    }
+
+    /// Finds the canonical representative of `id`, compressing paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this union-find.
+    pub fn find(&mut self, mut id: Id) -> Id {
+        while id != self.parent(id) {
+            // Path halving: point id at its grandparent and continue.
+            let grandparent = self.parent(self.parent(id));
+            self.parents[usize::from(id)] = grandparent;
+            id = grandparent;
+        }
+        id
+    }
+
+    /// Unions the sets of `root1` and `root2`, making `root1` the canonical
+    /// representative, and returns it.
+    ///
+    /// Both arguments must already be canonical (i.e. results of [`find`]);
+    /// this is asserted in debug builds. The caller chooses the direction so
+    /// that it can keep auxiliary per-class data attached to `root1`.
+    ///
+    /// [`find`]: UnionFind::find
+    pub fn union(&mut self, root1: Id, root2: Id) -> Id {
+        debug_assert_eq!(root1, self.find_immutable(root1));
+        debug_assert_eq!(root2, self.find_immutable(root2));
+        self.parents[usize::from(root2)] = root1;
+        root1
+    }
+
+    /// Returns true if `a` and `b` are in the same set.
+    pub fn in_same_set(&self, a: Id, b: Id) -> bool {
+        self.find_immutable(a) == self.find_immutable(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize) -> (UnionFind, Vec<Id>) {
+        let mut uf = UnionFind::new();
+        let ids = (0..n).map(|_| uf.make_set()).collect();
+        (uf, ids)
+    }
+
+    #[test]
+    fn fresh_sets_are_distinct() {
+        let (uf, ids) = ids(10);
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                assert!(!uf.in_same_set(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let (mut uf, ids) = ids(6);
+        uf.union(ids[0], ids[1]);
+        uf.union(ids[2], ids[3]);
+        assert!(uf.in_same_set(ids[0], ids[1]));
+        assert!(uf.in_same_set(ids[2], ids[3]));
+        assert!(!uf.in_same_set(ids[1], ids[2]));
+
+        let r1 = uf.find(ids[1]);
+        let r2 = uf.find(ids[2]);
+        uf.union(r1, r2);
+        assert!(uf.in_same_set(ids[0], ids[3]));
+        assert!(!uf.in_same_set(ids[0], ids[4]));
+    }
+
+    #[test]
+    fn union_direction_is_respected() {
+        let (mut uf, ids) = ids(2);
+        let root = uf.union(ids[0], ids[1]);
+        assert_eq!(root, ids[0]);
+        assert_eq!(uf.find(ids[1]), ids[0]);
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let (mut uf, ids) = ids(100);
+        for w in ids.windows(2) {
+            let a = uf.find(w[0]);
+            let b = uf.find(w[1]);
+            if a != b {
+                uf.union(a, b);
+            }
+        }
+        let root = uf.find(ids[0]);
+        for &id in &ids {
+            assert_eq!(uf.find(id), root);
+        }
+    }
+}

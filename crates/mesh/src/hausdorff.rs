@@ -1,0 +1,129 @@
+//! Sampled Hausdorff distance between meshes — the "more rigorous
+//! approach" the paper suggests for validating synthesized designs (§7).
+
+use crate::{van_der_corput, Aabb, TriMesh, Vec3};
+
+/// Samples `n` points on the mesh surface, area-weighted, using
+/// deterministic low-discrepancy sequences.
+pub fn surface_samples(mesh: &TriMesh, n: usize) -> Vec<Vec3> {
+    if mesh.triangles.is_empty() || n == 0 {
+        return Vec::new();
+    }
+    // Cumulative areas for area-weighted triangle selection.
+    let mut cumulative = Vec::with_capacity(mesh.triangles.len());
+    let mut total = 0.0;
+    for i in 0..mesh.triangles.len() {
+        total += mesh.face_normal(i).norm() * 0.5;
+        cumulative.push(total);
+    }
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(n);
+    for s in 0..n {
+        let pick = van_der_corput(s + 1, 2) * total;
+        let tri = cumulative.partition_point(|&c| c < pick).min(mesh.triangles.len() - 1);
+        let [a, b, c] = mesh.triangle(tri);
+        // Uniform barycentric sample via the square-root trick.
+        let (u, v) = (van_der_corput(s + 1, 3), van_der_corput(s + 1, 5));
+        let su = u.sqrt();
+        let (w0, w1, w2) = (1.0 - su, su * (1.0 - v), su * v);
+        out.push(a * w0 + b * w1 + c * w2);
+    }
+    out
+}
+
+/// Directed Hausdorff distance `max_{a∈A} min_{b∈B} |a − b|`.
+pub fn directed_hausdorff(a: &[Vec3], b: &[Vec3]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return if a.is_empty() && b.is_empty() {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+    }
+    let mut worst: f64 = 0.0;
+    for &p in a {
+        let mut best = f64::INFINITY;
+        for &q in b {
+            best = best.min(p.dist2(q));
+            if best <= worst {
+                break; // cannot raise the maximum; skip ahead
+            }
+        }
+        worst = worst.max(best);
+    }
+    worst.sqrt()
+}
+
+/// Symmetric (two-sided) Hausdorff distance between sampled surfaces.
+pub fn hausdorff_distance(a: &TriMesh, b: &TriMesh, samples: usize) -> f64 {
+    let pa = surface_samples(a, samples);
+    let pb = surface_samples(b, samples);
+    directed_hausdorff(&pa, &pb).max(directed_hausdorff(&pb, &pa))
+}
+
+/// Convenience: the diagonal of the joint bounding box, for normalizing
+/// Hausdorff distances into relative error.
+pub fn joint_diagonal(a: &TriMesh, b: &TriMesh) -> f64 {
+    let bb: Aabb = a.aabb().union(b.aabb());
+    if bb.is_empty() {
+        0.0
+    } else {
+        bb.extent().norm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{unit_cube, Affine};
+
+    #[test]
+    fn identical_meshes_have_zero_distance() {
+        let a = unit_cube();
+        let d = hausdorff_distance(&a, &a.clone(), 256);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn translated_copy_distance_matches_offset() {
+        let a = unit_cube();
+        let mut b = unit_cube();
+        b.transform(&Affine::translate(Vec3::new(0.1, 0.0, 0.0)));
+        let d = hausdorff_distance(&a, &b, 512);
+        // Surface points shift by at most 0.1 (and the far faces by
+        // exactly 0.1).
+        assert!(d <= 0.1 + 1e-9 && d > 0.02, "d = {d}");
+    }
+
+    #[test]
+    fn directed_is_asymmetric() {
+        // B ⊂ A: every point of B is near A, but A's far end is far
+        // from B.
+        let a = vec![Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0)];
+        let b = vec![Vec3::ZERO];
+        assert_eq!(directed_hausdorff(&b, &a), 0.0);
+        assert_eq!(directed_hausdorff(&a, &b), 10.0);
+    }
+
+    #[test]
+    fn samples_lie_on_surface() {
+        let cube = unit_cube();
+        for p in surface_samples(&cube, 200) {
+            let on_face = [p.x.abs(), p.y.abs(), p.z.abs()]
+                .iter()
+                .any(|&c| (c - 0.5).abs() < 1e-9);
+            assert!(on_face, "{p:?} not on the cube surface");
+        }
+    }
+
+    #[test]
+    fn empty_mesh_conventions() {
+        let empty = TriMesh::new();
+        let cube = unit_cube();
+        assert!(surface_samples(&empty, 10).is_empty());
+        assert_eq!(hausdorff_distance(&empty, &empty, 16), 0.0);
+        assert_eq!(hausdorff_distance(&empty, &cube, 16), f64::INFINITY);
+    }
+}

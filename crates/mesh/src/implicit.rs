@@ -1,0 +1,303 @@
+//! Implicit (point-membership) semantics of flat CSG: compile a flat
+//! [`Cad`] into a [`Solid`] supporting signed-distance queries.
+//!
+//! This is the geometric ground truth used for **translation validation**
+//! (paper §7): a synthesized LambdaCAD program is correct iff its
+//! unrolled flat CSG denotes the same set of points as the input.
+
+use std::fmt;
+
+use sz_cad::{AffineKind, BoolOp, Cad};
+
+use crate::{Aabb, Affine, Vec3};
+
+/// Primitive solids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimKind {
+    /// `[-0.5, 0.5]³` cube. Also stands in for [`Cad::External`] parts
+    /// (documented substitution: external geometry is opaque, so any
+    /// fixed reference solid preserves the structure being validated).
+    Cube,
+    /// Radius-1, height-1 cylinder.
+    Cylinder,
+    /// Radius-1 sphere.
+    Sphere,
+    /// Circumradius-1, height-1 hexagonal prism.
+    Hexagon,
+}
+
+/// A compiled solid: primitives with accumulated inverse transforms,
+/// combined by boolean operators.
+#[derive(Debug, Clone)]
+pub enum Solid {
+    /// The empty solid.
+    Empty,
+    /// A transformed primitive: `inv` maps world points into the
+    /// primitive's canonical frame; `min_scale` is a lower bound on the
+    /// forward transform's distance scaling (for SDF calibration).
+    Prim {
+        /// Which primitive.
+        kind: PrimKind,
+        /// World → canonical frame.
+        inv: Affine,
+        /// Lower bound on forward distance scaling.
+        min_scale: f64,
+    },
+    /// A boolean combination.
+    Bool(BoolOp, Box<Solid>, Box<Solid>),
+}
+
+/// Error compiling a CAD term to a solid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError(String);
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot compile to a solid: {}", self.0)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn affine_of(kind: AffineKind, v: [f64; 3]) -> Affine {
+    let v = Vec3::from_array(v);
+    match kind {
+        AffineKind::Translate => Affine::translate(v),
+        AffineKind::Scale => Affine::scale(v),
+        AffineKind::Rotate => Affine::rotate_euler_deg(v),
+    }
+}
+
+/// Compiles a **flat** CSG term into a [`Solid`]. LambdaCAD programs must
+/// be evaluated to flat form first ([`Cad::eval_to_flat`]).
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for non-flat terms or symbolic vectors.
+pub fn compile(cad: &Cad) -> Result<Solid, CompileError> {
+    fn go(cad: &Cad, xform: Affine) -> Result<Solid, CompileError> {
+        let prim = |kind: PrimKind, xform: Affine| match xform.inverse() {
+            Some(inv) => Ok(Solid::Prim {
+                kind,
+                inv,
+                min_scale: xform.min_scale(),
+            }),
+            // Degenerate (zero-scale) primitives have no interior.
+            None => Ok(Solid::Empty),
+        };
+        match cad {
+            Cad::Empty => Ok(Solid::Empty),
+            Cad::Unit => prim(PrimKind::Cube, xform),
+            Cad::Cylinder => prim(PrimKind::Cylinder, xform),
+            Cad::Sphere => prim(PrimKind::Sphere, xform),
+            Cad::Hexagon => prim(PrimKind::Hexagon, xform),
+            Cad::External(_) => prim(PrimKind::Cube, xform),
+            Cad::Affine(kind, v, c) => {
+                let v = v
+                    .as_nums()
+                    .ok_or_else(|| CompileError("symbolic affine vector".into()))?;
+                go(c, xform.compose(&affine_of(*kind, v)))
+            }
+            Cad::Binop(op, a, b) => Ok(Solid::Bool(
+                *op,
+                Box::new(go(a, xform)?),
+                Box::new(go(b, xform)?),
+            )),
+            other => Err(CompileError(format!(
+                "not a flat CSG node: {other}"
+            ))),
+        }
+    }
+    go(cad, Affine::identity())
+}
+
+fn prim_sdf(kind: PrimKind, q: Vec3) -> f64 {
+    match kind {
+        PrimKind::Cube => {
+            let d = Vec3::new(q.x.abs() - 0.5, q.y.abs() - 0.5, q.z.abs() - 0.5);
+            let outside = Vec3::new(d.x.max(0.0), d.y.max(0.0), d.z.max(0.0)).norm();
+            let inside = d.x.max(d.y).max(d.z).min(0.0);
+            outside + inside
+        }
+        PrimKind::Sphere => q.norm() - 1.0,
+        PrimKind::Cylinder => {
+            let radial = (q.x * q.x + q.y * q.y).sqrt() - 1.0;
+            let axial = q.z.abs() - 0.5;
+            radial.max(axial)
+        }
+        PrimKind::Hexagon => {
+            // Regular hexagon with a vertex on +x: edge outward normals at
+            // 30° + 60°k; apothem = √3/2 for circumradius 1.
+            let apothem = 3.0f64.sqrt() / 2.0;
+            let mut planar = f64::NEG_INFINITY;
+            for k in 0..6 {
+                let a = (30.0 + 60.0 * k as f64).to_radians();
+                planar = planar.max(q.x * a.cos() + q.y * a.sin() - apothem);
+            }
+            planar.max(q.z.abs() - 0.5)
+        }
+    }
+}
+
+impl Solid {
+    /// An approximate signed distance: negative inside, positive outside;
+    /// the *sign* is exact, magnitudes are lower bounds.
+    pub fn sdf(&self, p: Vec3) -> f64 {
+        match self {
+            Solid::Empty => f64::INFINITY,
+            Solid::Prim {
+                kind,
+                inv,
+                min_scale,
+            } => prim_sdf(*kind, inv.apply(p)) * min_scale.max(1e-12),
+            Solid::Bool(op, a, b) => {
+                let da = a.sdf(p);
+                match op {
+                    BoolOp::Union => da.min(b.sdf(p)),
+                    BoolOp::Inter => da.max(b.sdf(p)),
+                    BoolOp::Diff => da.max(-b.sdf(p)),
+                }
+            }
+        }
+    }
+
+    /// True if the point is inside (boundary counts as inside).
+    pub fn contains(&self, p: Vec3) -> bool {
+        self.sdf(p) <= 0.0
+    }
+
+    /// A conservative bounding box.
+    pub fn aabb(&self) -> Aabb {
+        match self {
+            Solid::Empty => Aabb::empty(),
+            Solid::Prim { inv, .. } => {
+                let Some(fwd) = inv.inverse() else {
+                    return Aabb::empty();
+                };
+                let mut bb = Aabb::empty();
+                // All primitives fit in the canonical [-1, 1]³ box.
+                for &x in &[-1.0, 1.0] {
+                    for &y in &[-1.0, 1.0] {
+                        for &z in &[-1.0, 1.0] {
+                            bb.insert(fwd.apply(Vec3::new(x, y, z)));
+                        }
+                    }
+                }
+                bb
+            }
+            Solid::Bool(op, a, b) => {
+                let ba = a.aabb();
+                match op {
+                    BoolOp::Union => ba.union(b.aabb()),
+                    // Conservative: Diff ⊆ A; Inter ⊆ A as well.
+                    BoolOp::Diff | BoolOp::Inter => ba,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solid(s: &str) -> Solid {
+        compile(&s.parse::<Cad>().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn unit_cube_membership() {
+        let s = solid("Unit");
+        assert!(s.contains(Vec3::ZERO));
+        assert!(s.contains(Vec3::new(0.49, 0.49, 0.49)));
+        assert!(!s.contains(Vec3::new(0.51, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn translated_scaled_membership() {
+        // A 2×2×2 cube centered at (10, 0, 0).
+        let s = solid("(Translate 10 0 0 (Scale 2 2 2 Unit))");
+        assert!(s.contains(Vec3::new(10.9, 0.0, 0.0)));
+        assert!(!s.contains(Vec3::new(11.1, 0.0, 0.0)));
+        assert!(!s.contains(Vec3::ZERO));
+    }
+
+    #[test]
+    fn rotation_moves_material() {
+        // A long bar along x, rotated 90° about z → along y.
+        let s = solid("(Rotate 0 0 90 (Scale 10 1 1 Unit))");
+        assert!(s.contains(Vec3::new(0.0, 4.0, 0.0)));
+        assert!(!s.contains(Vec3::new(4.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn boolean_semantics() {
+        let union = solid("(Union Unit (Translate 2 0 0 Unit))");
+        assert!(union.contains(Vec3::new(2.0, 0.0, 0.0)));
+        assert!(union.contains(Vec3::ZERO));
+        assert!(!union.contains(Vec3::new(1.0, 0.0, 0.0)));
+
+        let diff = solid("(Diff (Scale 4 4 4 Unit) Sphere)");
+        assert!(!diff.contains(Vec3::ZERO));
+        assert!(diff.contains(Vec3::new(1.9, 0.0, 0.0)));
+
+        let inter = solid("(Inter (Scale 4 4 4 Unit) Sphere)");
+        assert!(inter.contains(Vec3::ZERO));
+        assert!(!inter.contains(Vec3::new(1.9, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn cylinder_and_hexagon_shape() {
+        let cyl = solid("Cylinder");
+        assert!(cyl.contains(Vec3::new(0.9, 0.0, 0.4)));
+        assert!(!cyl.contains(Vec3::new(0.9, 0.5, 0.0))); // r > 1
+        assert!(!cyl.contains(Vec3::new(0.0, 0.0, 0.6)));
+
+        let hex = solid("Hexagon");
+        assert!(hex.contains(Vec3::new(0.99, 0.0, 0.0))); // vertex on +x
+        assert!(!hex.contains(Vec3::new(0.0, 0.9, 0.0))); // apothem √3/2 ≈ .866
+        assert!(hex.contains(Vec3::new(0.0, 0.85, 0.0)));
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert!(!solid("Empty").contains(Vec3::ZERO));
+        // Zero scale flattens the cube to nothing.
+        assert!(!solid("(Scale 0 1 1 Unit)").contains(Vec3::ZERO));
+    }
+
+    #[test]
+    fn external_is_reference_cube() {
+        let s = solid("(Translate 5 0 0 (External tooth))");
+        assert!(s.contains(Vec3::new(5.0, 0.0, 0.0)));
+        assert!(!s.contains(Vec3::ZERO));
+    }
+
+    #[test]
+    fn non_flat_rejected() {
+        let cad: Cad = "(Fold Union Empty Nil)".parse().unwrap();
+        assert!(compile(&cad).is_err());
+    }
+
+    #[test]
+    fn aabb_is_conservative() {
+        let s = solid("(Union (Translate 10 0 0 Unit) (Translate -10 0 0 Sphere))");
+        let bb = s.aabb();
+        assert!(bb.contains(Vec3::new(10.0, 0.0, 0.0)));
+        assert!(bb.contains(Vec3::new(-10.5, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn sdf_sign_matches_containment_under_rotation() {
+        let s = solid("(Rotate 30 45 60 (Scale 3 1 2 Unit))");
+        // Points sampled on a coarse grid: sign(sdf) must equal membership
+        // computed through the inverse transform directly.
+        for ix in -4..=4 {
+            for iy in -4..=4 {
+                let p = Vec3::new(ix as f64 * 0.5, iy as f64 * 0.5, 0.3);
+                let inside = s.contains(p);
+                assert_eq!(s.sdf(p) <= 0.0, inside);
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # sz-mesh: geometry substrate for the Szalinski reproduction
+//!
+//! Everything geometric the paper's workflow touches:
+//!
+//! * [`Vec3`] / [`Affine`] — vector algebra and affine transforms with
+//!   the OpenSCAD rotation convention;
+//! * [`TriMesh`] + primitive meshes ([`unit_cube`], [`cylinder`],
+//!   [`sphere`], [`hexprism`]) and STL I/O (ASCII + binary) — the mesh
+//!   side of Fig. 1's pipeline;
+//! * [`Solid`] — implicit (signed-distance / membership) semantics of
+//!   flat CSG, compiled by [`compile`];
+//! * [`polygonize`] — marching tetrahedra, so CSG with `Diff`/`Inter`
+//!   can still be meshed ([`compile_mesh`] picks the right path);
+//! * validation — volumetric comparison ([`compare_volumes`]), sampled
+//!   Hausdorff distance ([`hausdorff_distance`]), and the end-to-end
+//!   translation-validation entry point [`validate_program`] (paper §7).
+//!
+//! ## Example
+//!
+//! ```
+//! use sz_mesh::{compile_mesh, MeshQuality, to_ascii_stl};
+//! use sz_cad::Cad;
+//! let cad: Cad = "(Union Unit (Translate 2 0 0 Sphere))".parse().unwrap();
+//! let mesh = compile_mesh(&cad, &MeshQuality::default()).unwrap();
+//! let stl = to_ascii_stl(&mesh, "model");
+//! assert!(stl.starts_with("solid model"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod compile;
+mod hausdorff;
+mod implicit;
+mod mat4;
+mod mesh;
+mod primitives;
+mod sample;
+mod stl;
+mod tetra;
+mod validate;
+mod vec3;
+
+pub use compile::{compile_mesh, MeshQuality};
+pub use hausdorff::{directed_hausdorff, hausdorff_distance, joint_diagonal, surface_samples};
+pub use implicit::{compile, CompileError, PrimKind, Solid};
+pub use mat4::Affine;
+pub use mesh::{Aabb, TriMesh};
+pub use primitives::{cylinder, hexprism, ngon_prism, sphere, unit_cube};
+pub use sample::{compare_volumes, halton3, van_der_corput, VolumeComparison};
+pub use stl::{
+    read_ascii_stl, read_binary_stl, to_ascii_stl, write_ascii_stl, write_binary_stl, StlError,
+};
+pub use tetra::polygonize;
+pub use vec3::Vec3;
+pub use validate::{validate_flat, validate_program, ValidateError, Validation};

@@ -1,0 +1,224 @@
+//! Affine transforms (3×3 linear part + translation), with the OpenSCAD
+//! rotation convention: `rotate([x, y, z])` applies Rx, then Ry, then Rz.
+
+use crate::Vec3;
+
+/// An affine transform `p ↦ M·p + t`.
+///
+/// # Examples
+///
+/// ```
+/// use sz_mesh::{Affine, Vec3};
+/// let t = Affine::translate(Vec3::new(1.0, 0.0, 0.0));
+/// let r = Affine::rotate_euler_deg(Vec3::new(0.0, 0.0, 90.0));
+/// let p = (r.compose(&t)).apply(Vec3::new(1.0, 0.0, 0.0)); // rotate after translate
+/// assert!((p - Vec3::new(0.0, 2.0, 0.0)).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Affine {
+    /// Row-major 3×3 linear part.
+    pub m: [[f64; 3]; 3],
+    /// Translation part.
+    pub t: Vec3,
+}
+
+impl Default for Affine {
+    fn default() -> Self {
+        Affine::identity()
+    }
+}
+
+impl Affine {
+    /// The identity transform.
+    pub fn identity() -> Affine {
+        Affine {
+            m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+            t: Vec3::ZERO,
+        }
+    }
+
+    /// Translation by `v`.
+    pub fn translate(v: Vec3) -> Affine {
+        Affine {
+            t: v,
+            ..Affine::identity()
+        }
+    }
+
+    /// Per-axis scaling by `v`.
+    pub fn scale(v: Vec3) -> Affine {
+        Affine {
+            m: [[v.x, 0.0, 0.0], [0.0, v.y, 0.0], [0.0, 0.0, v.z]],
+            t: Vec3::ZERO,
+        }
+    }
+
+    /// Rotation about a single axis (0 = x, 1 = y, 2 = z) by `deg` degrees.
+    pub fn rotate_axis_deg(axis: usize, deg: f64) -> Affine {
+        let (s, c) = deg.to_radians().sin_cos();
+        let m = match axis {
+            0 => [[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]],
+            1 => [[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]],
+            _ => [[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]],
+        };
+        Affine { m, t: Vec3::ZERO }
+    }
+
+    /// OpenSCAD-style Euler rotation: Rz(z)·Ry(y)·Rx(x).
+    pub fn rotate_euler_deg(angles: Vec3) -> Affine {
+        Affine::rotate_axis_deg(2, angles.z)
+            .compose(&Affine::rotate_axis_deg(1, angles.y))
+            .compose(&Affine::rotate_axis_deg(0, angles.x))
+    }
+
+    /// Applies the transform to a point.
+    pub fn apply(&self, p: Vec3) -> Vec3 {
+        Vec3::new(
+            self.m[0][0] * p.x + self.m[0][1] * p.y + self.m[0][2] * p.z + self.t.x,
+            self.m[1][0] * p.x + self.m[1][1] * p.y + self.m[1][2] * p.z + self.t.y,
+            self.m[2][0] * p.x + self.m[2][1] * p.y + self.m[2][2] * p.z + self.t.z,
+        )
+    }
+
+    /// Composition: `self ∘ other` (apply `other` first).
+    pub fn compose(&self, other: &Affine) -> Affine {
+        let mut m = [[0.0; 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                for (k, row) in other.m.iter().enumerate() {
+                    m[i][j] += self.m[i][k] * row[j];
+                }
+            }
+        }
+        let t = self.apply(other.t);
+        Affine { m, t }
+    }
+
+    /// Determinant of the linear part.
+    pub fn det(&self) -> f64 {
+        let m = &self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// Inverse transform, if the linear part is invertible.
+    pub fn inverse(&self) -> Option<Affine> {
+        let d = self.det();
+        if d.abs() < 1e-300 {
+            return None;
+        }
+        let m = &self.m;
+        let inv = [
+            [
+                (m[1][1] * m[2][2] - m[1][2] * m[2][1]) / d,
+                (m[0][2] * m[2][1] - m[0][1] * m[2][2]) / d,
+                (m[0][1] * m[1][2] - m[0][2] * m[1][1]) / d,
+            ],
+            [
+                (m[1][2] * m[2][0] - m[1][0] * m[2][2]) / d,
+                (m[0][0] * m[2][2] - m[0][2] * m[2][0]) / d,
+                (m[0][2] * m[1][0] - m[0][0] * m[1][2]) / d,
+            ],
+            [
+                (m[1][0] * m[2][1] - m[1][1] * m[2][0]) / d,
+                (m[0][1] * m[2][0] - m[0][0] * m[2][1]) / d,
+                (m[0][0] * m[1][1] - m[0][1] * m[1][0]) / d,
+            ],
+        ];
+        let out = Affine {
+            m: inv,
+            t: Vec3::ZERO,
+        };
+        let t = out.apply(-self.t);
+        Some(Affine { m: inv, t })
+    }
+
+    /// A lower bound on how much the transform can shrink distances
+    /// (the smallest singular value would be exact; we use a cheap bound
+    /// via column norms of the inverse).
+    pub fn min_scale(&self) -> f64 {
+        match self.inverse() {
+            None => 0.0,
+            Some(inv) => {
+                let col_norm = |j: usize| {
+                    (inv.m[0][j] * inv.m[0][j]
+                        + inv.m[1][j] * inv.m[1][j]
+                        + inv.m[2][j] * inv.m[2][j])
+                        .sqrt()
+                };
+                let max = col_norm(0).max(col_norm(1)).max(col_norm(2));
+                if max == 0.0 {
+                    0.0
+                } else {
+                    // ‖A⁻¹‖ ≤ √3·max column norm ⟹ σ_min(A) ≥ 1/(√3·max).
+                    1.0 / (3.0f64.sqrt() * max)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Vec3, b: Vec3) {
+        assert!((a - b).norm() < 1e-9, "{a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn rotation_convention_matches_openscad() {
+        // rotate([90, 0, 0]) sends +y to +z.
+        let r = Affine::rotate_euler_deg(Vec3::new(90.0, 0.0, 0.0));
+        assert_close(r.apply(Vec3::new(0.0, 1.0, 0.0)), Vec3::new(0.0, 0.0, 1.0));
+        // rotate([0, 0, 90]) sends +x to +y.
+        let r = Affine::rotate_euler_deg(Vec3::new(0.0, 0.0, 90.0));
+        assert_close(r.apply(Vec3::new(1.0, 0.0, 0.0)), Vec3::new(0.0, 1.0, 0.0));
+        // Combined: Rz·Ry·Rx order.
+        let r = Affine::rotate_euler_deg(Vec3::new(90.0, 0.0, 90.0));
+        // +y → (Rx) +z → (Rz) +z.
+        assert_close(r.apply(Vec3::new(0.0, 1.0, 0.0)), Vec3::new(0.0, 0.0, 1.0));
+        // +x → (Rx) +x → (Rz) +y.
+        assert_close(r.apply(Vec3::new(1.0, 0.0, 0.0)), Vec3::new(0.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn compose_and_apply() {
+        let s = Affine::scale(Vec3::new(2.0, 3.0, 4.0));
+        let t = Affine::translate(Vec3::new(1.0, 1.0, 1.0));
+        // translate after scale: p*s + t
+        let st = t.compose(&s);
+        assert_close(st.apply(Vec3::ONE), Vec3::new(3.0, 4.0, 5.0));
+        // scale after translate: (p + t)*s
+        let ts = s.compose(&t);
+        assert_close(ts.apply(Vec3::ONE), Vec3::new(4.0, 6.0, 8.0));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Affine::translate(Vec3::new(3.0, -1.0, 2.0))
+            .compose(&Affine::rotate_euler_deg(Vec3::new(30.0, 45.0, 60.0)))
+            .compose(&Affine::scale(Vec3::new(2.0, 0.5, 4.0)));
+        let inv = a.inverse().unwrap();
+        for p in [Vec3::ZERO, Vec3::ONE, Vec3::new(-2.0, 5.0, 0.25)] {
+            assert_close(inv.apply(a.apply(p)), p);
+        }
+    }
+
+    #[test]
+    fn singular_has_no_inverse() {
+        let a = Affine::scale(Vec3::new(1.0, 0.0, 1.0));
+        assert!(a.inverse().is_none());
+        assert_eq!(a.min_scale(), 0.0);
+    }
+
+    #[test]
+    fn min_scale_bounds() {
+        let a = Affine::scale(Vec3::new(2.0, 3.0, 4.0));
+        let ms = a.min_scale();
+        assert!(ms <= 2.0 + 1e-12 && ms > 0.5, "ms = {ms}");
+        let r = Affine::rotate_euler_deg(Vec3::new(10.0, 20.0, 30.0));
+        assert!(r.min_scale() > 0.5);
+    }
+}

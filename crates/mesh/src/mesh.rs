@@ -1,0 +1,241 @@
+//! Indexed triangle meshes.
+
+use crate::{Affine, Vec3};
+
+/// An axis-aligned bounding box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// An empty (inverted) box, the identity for [`Aabb::union`].
+    pub fn empty() -> Aabb {
+        Aabb {
+            min: Vec3::new(f64::INFINITY, f64::INFINITY, f64::INFINITY),
+            max: Vec3::new(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// The box containing both.
+    pub fn union(self, o: Aabb) -> Aabb {
+        Aabb {
+            min: self.min.min(o.min),
+            max: self.max.max(o.max),
+        }
+    }
+
+    /// Grows to include a point.
+    pub fn insert(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// True if no point was ever inserted.
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x
+    }
+
+    /// Expands by `pad` in every direction.
+    pub fn padded(self, pad: f64) -> Aabb {
+        Aabb {
+            min: self.min - Vec3::ONE * pad,
+            max: self.max + Vec3::ONE * pad,
+        }
+    }
+
+    /// The box diagonal vector.
+    pub fn extent(self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// True if the point is inside (inclusive).
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+}
+
+/// An indexed triangle mesh.
+///
+/// # Examples
+///
+/// ```
+/// use sz_mesh::unit_cube;
+/// let cube = unit_cube();
+/// assert_eq!(cube.triangles.len(), 12);
+/// assert!((cube.surface_area() - 6.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TriMesh {
+    /// Vertex positions.
+    pub vertices: Vec<Vec3>,
+    /// Triangles as CCW vertex-index triples.
+    pub triangles: Vec<[u32; 3]>,
+}
+
+impl TriMesh {
+    /// An empty mesh.
+    pub fn new() -> TriMesh {
+        TriMesh::default()
+    }
+
+    /// Appends a triangle by positions (no vertex sharing).
+    pub fn push_triangle(&mut self, a: Vec3, b: Vec3, c: Vec3) {
+        let base = self.vertices.len() as u32;
+        self.vertices.extend([a, b, c]);
+        self.triangles.push([base, base + 1, base + 2]);
+    }
+
+    /// The three corner positions of triangle `i`.
+    pub fn triangle(&self, i: usize) -> [Vec3; 3] {
+        let [a, b, c] = self.triangles[i];
+        [
+            self.vertices[a as usize],
+            self.vertices[b as usize],
+            self.vertices[c as usize],
+        ]
+    }
+
+    /// The (unnormalized CCW) normal of triangle `i`.
+    pub fn face_normal(&self, i: usize) -> Vec3 {
+        let [a, b, c] = self.triangle(i);
+        (b - a).cross(c - a)
+    }
+
+    /// Total surface area.
+    pub fn surface_area(&self) -> f64 {
+        (0..self.triangles.len())
+            .map(|i| self.face_normal(i).norm() * 0.5)
+            .sum()
+    }
+
+    /// Signed volume (positive for consistently CCW-oriented closed
+    /// meshes) via the divergence theorem.
+    pub fn signed_volume(&self) -> f64 {
+        (0..self.triangles.len())
+            .map(|i| {
+                let [a, b, c] = self.triangle(i);
+                a.dot(b.cross(c)) / 6.0
+            })
+            .sum()
+    }
+
+    /// Applies an affine transform in place, flipping triangle winding if
+    /// the transform inverts orientation (negative determinant).
+    pub fn transform(&mut self, t: &Affine) {
+        for v in &mut self.vertices {
+            *v = t.apply(*v);
+        }
+        if t.det() < 0.0 {
+            for tri in &mut self.triangles {
+                tri.swap(1, 2);
+            }
+        }
+    }
+
+    /// Appends all geometry of `other`.
+    pub fn merge(&mut self, other: &TriMesh) {
+        let base = self.vertices.len() as u32;
+        self.vertices.extend_from_slice(&other.vertices);
+        self.triangles
+            .extend(other.triangles.iter().map(|t| [t[0] + base, t[1] + base, t[2] + base]));
+    }
+
+    /// The bounding box of all vertices.
+    pub fn aabb(&self) -> Aabb {
+        let mut bb = Aabb::empty();
+        for &v in &self.vertices {
+            bb.insert(v);
+        }
+        bb
+    }
+
+    /// Checks index bounds and finiteness; returns a description of the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, v) in self.vertices.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(format!("vertex {i} is not finite: {v:?}"));
+            }
+        }
+        for (i, t) in self.triangles.iter().enumerate() {
+            for &ix in t {
+                if ix as usize >= self.vertices.len() {
+                    return Err(format!("triangle {i} references missing vertex {ix}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit_cube;
+
+    #[test]
+    fn cube_volume_and_area() {
+        let c = unit_cube();
+        assert!((c.signed_volume() - 1.0).abs() < 1e-12);
+        assert!((c.surface_area() - 6.0).abs() < 1e-12);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn transform_scales_volume() {
+        let mut c = unit_cube();
+        c.transform(&Affine::scale(Vec3::new(2.0, 3.0, 4.0)));
+        assert!((c.signed_volume() - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mirror_keeps_volume_positive() {
+        let mut c = unit_cube();
+        c.transform(&Affine::scale(Vec3::new(-1.0, 1.0, 1.0)));
+        assert!(
+            c.signed_volume() > 0.0,
+            "winding must flip under reflection"
+        );
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = unit_cube();
+        let mut b = unit_cube();
+        b.transform(&Affine::translate(Vec3::new(5.0, 0.0, 0.0)));
+        a.merge(&b);
+        assert_eq!(a.triangles.len(), 24);
+        assert!((a.signed_volume() - 2.0).abs() < 1e-9);
+        let bb = a.aabb();
+        assert!((bb.max.x - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aabb_basics() {
+        let mut bb = Aabb::empty();
+        assert!(bb.is_empty());
+        bb.insert(Vec3::ZERO);
+        bb.insert(Vec3::new(1.0, -2.0, 3.0));
+        assert!(!bb.is_empty());
+        assert!(bb.contains(Vec3::new(0.5, -1.0, 1.0)));
+        assert!(!bb.contains(Vec3::new(2.0, 0.0, 0.0)));
+        assert_eq!(bb.padded(1.0).extent(), Vec3::new(3.0, 4.0, 5.0));
+    }
+
+    #[test]
+    fn validate_catches_bad_index() {
+        let mut m = TriMesh::new();
+        m.vertices.push(Vec3::ZERO);
+        m.triangles.push([0, 1, 2]);
+        assert!(m.validate().is_err());
+    }
+}

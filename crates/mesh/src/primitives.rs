@@ -1,0 +1,159 @@
+//! Canonical primitive meshes, matching the paper's convention that
+//! primitives are unit-sized, origin-centered, and axis-aligned:
+//!
+//! * cube: `[-0.5, 0.5]³`;
+//! * cylinder: radius 1, height 1 (z ∈ `[-0.5, 0.5]`);
+//! * sphere: radius 1;
+//! * hexagonal prism: circumradius 1, height 1.
+
+use crate::{TriMesh, Vec3};
+
+/// The unit cube `[-0.5, 0.5]³` (12 triangles, CCW outward).
+pub fn unit_cube() -> TriMesh {
+    let mut m = TriMesh::new();
+    let v = |x: f64, y: f64, z: f64| Vec3::new(x - 0.5, y - 0.5, z - 0.5);
+    // Each face as two triangles with outward CCW winding.
+    let faces = [
+        // -z
+        [v(0., 0., 0.), v(0., 1., 0.), v(1., 1., 0.), v(1., 0., 0.)],
+        // +z
+        [v(0., 0., 1.), v(1., 0., 1.), v(1., 1., 1.), v(0., 1., 1.)],
+        // -y
+        [v(0., 0., 0.), v(1., 0., 0.), v(1., 0., 1.), v(0., 0., 1.)],
+        // +y
+        [v(0., 1., 0.), v(0., 1., 1.), v(1., 1., 1.), v(1., 1., 0.)],
+        // -x
+        [v(0., 0., 0.), v(0., 0., 1.), v(0., 1., 1.), v(0., 1., 0.)],
+        // +x
+        [v(1., 0., 0.), v(1., 1., 0.), v(1., 1., 1.), v(1., 0., 1.)],
+    ];
+    for f in faces {
+        m.push_triangle(f[0], f[1], f[2]);
+        m.push_triangle(f[0], f[2], f[3]);
+    }
+    m
+}
+
+/// A prism over a regular `n`-gon of circumradius 1, height 1, centered.
+pub fn ngon_prism(n: usize) -> TriMesh {
+    assert!(n >= 3, "prism needs at least 3 sides");
+    let mut m = TriMesh::new();
+    let ring = |z: f64| -> Vec<Vec3> {
+        (0..n)
+            .map(|i| {
+                let a = std::f64::consts::TAU * i as f64 / n as f64;
+                Vec3::new(a.cos(), a.sin(), z)
+            })
+            .collect()
+    };
+    let bot = ring(-0.5);
+    let top = ring(0.5);
+    let cb = Vec3::new(0.0, 0.0, -0.5);
+    let ct = Vec3::new(0.0, 0.0, 0.5);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        // Caps (bottom faces down: reverse order).
+        m.push_triangle(cb, bot[j], bot[i]);
+        m.push_triangle(ct, top[i], top[j]);
+        // Side quad.
+        m.push_triangle(bot[i], bot[j], top[j]);
+        m.push_triangle(bot[i], top[j], top[i]);
+    }
+    m
+}
+
+/// The canonical cylinder (radius 1, height 1), approximated by a
+/// `segments`-gon prism.
+pub fn cylinder(segments: usize) -> TriMesh {
+    ngon_prism(segments.max(3))
+}
+
+/// The canonical hexagonal prism.
+pub fn hexprism() -> TriMesh {
+    ngon_prism(6)
+}
+
+/// The unit sphere as a UV sphere with `stacks × slices` quads.
+pub fn sphere(stacks: usize, slices: usize) -> TriMesh {
+    let stacks = stacks.max(2);
+    let slices = slices.max(3);
+    let mut m = TriMesh::new();
+    let point = |st: usize, sl: usize| -> Vec3 {
+        let theta = std::f64::consts::PI * st as f64 / stacks as f64;
+        let phi = std::f64::consts::TAU * sl as f64 / slices as f64;
+        Vec3::new(
+            theta.sin() * phi.cos(),
+            theta.sin() * phi.sin(),
+            theta.cos(),
+        )
+    };
+    for st in 0..stacks {
+        for sl in 0..slices {
+            let a = point(st, sl);
+            let b = point(st + 1, sl);
+            let c = point(st + 1, sl + 1);
+            let d = point(st, sl + 1);
+            if st != 0 {
+                m.push_triangle(a, b, d);
+            }
+            if st != stacks - 1 {
+                m.push_triangle(b, c, d);
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cylinder_volume_approaches_pi() {
+        // Volume of an n-gon prism → π·r²·h as n → ∞.
+        let v = cylinder(128).signed_volume();
+        assert!((v - std::f64::consts::PI).abs() < 0.01, "v = {v}");
+    }
+
+    #[test]
+    fn sphere_volume_approaches_four_thirds_pi() {
+        let v = sphere(48, 96).signed_volume();
+        let want = 4.0 / 3.0 * std::f64::consts::PI;
+        assert!((v - want).abs() < 0.02, "v = {v}");
+    }
+
+    #[test]
+    fn hexprism_volume_exact() {
+        // Area of a regular hexagon with circumradius 1 is 3√3/2.
+        let v = hexprism().signed_volume();
+        let want = 3.0 * 3.0f64.sqrt() / 2.0;
+        assert!((v - want).abs() < 1e-12, "v = {v}");
+    }
+
+    #[test]
+    fn primitives_are_centered() {
+        for m in [unit_cube(), cylinder(32), sphere(16, 32), hexprism()] {
+            let bb = m.aabb();
+            let center = (bb.min + bb.max) * 0.5;
+            assert!(center.norm() < 1e-9, "center = {center:?}");
+            m.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn all_normals_point_outward() {
+        // For convex origin-centered solids, face normals must point away
+        // from the origin.
+        for m in [unit_cube(), cylinder(16), hexprism(), sphere(8, 12)] {
+            for i in 0..m.triangles.len() {
+                let [a, b, c] = m.triangle(i);
+                let centroid = (a + b + c) / 3.0;
+                let n = m.face_normal(i);
+                assert!(
+                    n.dot(centroid) > -1e-9,
+                    "inward normal at triangle {i}: {n:?} vs {centroid:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Deterministic quasi-random sampling (Halton sequences) for volumetric
+//! comparison of solids.
+
+use crate::{Aabb, Solid, Vec3};
+
+/// The `i`-th element of the van der Corput sequence in the given base.
+pub fn van_der_corput(mut i: usize, base: usize) -> f64 {
+    let mut result = 0.0;
+    let mut f = 1.0 / base as f64;
+    while i > 0 {
+        result += (i % base) as f64 * f;
+        i /= base;
+        f /= base as f64;
+    }
+    result
+}
+
+/// The `i`-th point of the 3D Halton sequence (bases 2, 3, 5) mapped into
+/// the box.
+pub fn halton3(i: usize, bb: Aabb) -> Vec3 {
+    let ext = bb.extent();
+    bb.min
+        + Vec3::new(
+            ext.x * van_der_corput(i + 1, 2),
+            ext.y * van_der_corput(i + 1, 3),
+            ext.z * van_der_corput(i + 1, 5),
+        )
+}
+
+/// Volumetric comparison of two solids over a common box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VolumeComparison {
+    /// Fraction of sample points whose membership matches.
+    pub agreement: f64,
+    /// Monte-Carlo intersection-over-union of the two solids.
+    pub iou: f64,
+    /// Points sampled.
+    pub samples: usize,
+    /// Points inside the first solid.
+    pub in_a: usize,
+    /// Points inside the second solid.
+    pub in_b: usize,
+}
+
+/// Compares two solids by sampling `samples` Halton points over the
+/// padded union of their bounding boxes.
+pub fn compare_volumes(a: &Solid, b: &Solid, samples: usize) -> VolumeComparison {
+    let bb = a.aabb().union(b.aabb());
+    let bb = if bb.is_empty() {
+        Aabb {
+            min: Vec3::new(-1.0, -1.0, -1.0),
+            max: Vec3::ONE,
+        }
+    } else {
+        bb.padded(bb.extent().norm() * 0.01 + 1e-6)
+    };
+    let mut agree = 0usize;
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    let mut in_a = 0usize;
+    let mut in_b = 0usize;
+    for i in 0..samples {
+        let p = halton3(i, bb);
+        let ia = a.contains(p);
+        let ib = b.contains(p);
+        agree += usize::from(ia == ib);
+        inter += usize::from(ia && ib);
+        union += usize::from(ia || ib);
+        in_a += usize::from(ia);
+        in_b += usize::from(ib);
+    }
+    VolumeComparison {
+        agreement: agree as f64 / samples.max(1) as f64,
+        iou: if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        },
+        samples,
+        in_a,
+        in_b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn solid(s: &str) -> Solid {
+        compile(&s.parse().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn van_der_corput_known_values() {
+        assert_eq!(van_der_corput(1, 2), 0.5);
+        assert_eq!(van_der_corput(2, 2), 0.25);
+        assert_eq!(van_der_corput(3, 2), 0.75);
+        assert_eq!(van_der_corput(1, 3), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn halton_points_stay_in_box() {
+        let bb = Aabb {
+            min: Vec3::new(-2.0, 0.0, 1.0),
+            max: Vec3::new(2.0, 1.0, 3.0),
+        };
+        for i in 0..100 {
+            assert!(bb.contains(halton3(i, bb)));
+        }
+    }
+
+    #[test]
+    fn identical_solids_agree_fully() {
+        let a = solid("(Union Unit (Translate 3 0 0 Sphere))");
+        let b = solid("(Union (Translate 3 0 0 Sphere) Unit)");
+        let cmp = compare_volumes(&a, &b, 4000);
+        assert_eq!(cmp.agreement, 1.0);
+        assert_eq!(cmp.iou, 1.0);
+    }
+
+    #[test]
+    fn disjoint_solids_have_zero_iou() {
+        let a = solid("Unit");
+        let b = solid("(Translate 100 0 0 Unit)");
+        let cmp = compare_volumes(&a, &b, 4000);
+        assert_eq!(cmp.iou, 0.0);
+        assert!(cmp.agreement > 0.9); // most of the box is in neither
+    }
+
+    #[test]
+    fn half_overlap_iou_near_third() {
+        // Two unit cubes overlapping half: |A∩B| = 0.5, |A∪B| = 1.5.
+        let a = solid("Unit");
+        let b = solid("(Translate 0.5 0 0 Unit)");
+        let cmp = compare_volumes(&a, &b, 20_000);
+        assert!((cmp.iou - 1.0 / 3.0).abs() < 0.05, "iou = {}", cmp.iou);
+    }
+
+    #[test]
+    fn empty_vs_empty_is_perfect() {
+        let cmp = compare_volumes(&Solid::Empty, &Solid::Empty, 100);
+        assert_eq!(cmp.agreement, 1.0);
+        assert_eq!(cmp.iou, 1.0);
+    }
+}

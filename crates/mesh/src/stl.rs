@@ -1,0 +1,203 @@
+//! STL import/export (ASCII and binary), the mesh interchange format of
+//! the paper's workflow (Fig. 1's "8000 line STL mesh").
+
+use std::io::{self, BufRead, Read, Write};
+
+use crate::{TriMesh, Vec3};
+
+/// Writes the mesh as ASCII STL.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_ascii_stl<W: Write>(mesh: &TriMesh, name: &str, mut w: W) -> io::Result<()> {
+    writeln!(w, "solid {name}")?;
+    for i in 0..mesh.triangles.len() {
+        let [a, b, c] = mesh.triangle(i);
+        let n = mesh.face_normal(i).normalized();
+        writeln!(w, "  facet normal {} {} {}", n.x, n.y, n.z)?;
+        writeln!(w, "    outer loop")?;
+        for v in [a, b, c] {
+            writeln!(w, "      vertex {} {} {}", v.x, v.y, v.z)?;
+        }
+        writeln!(w, "    endloop")?;
+        writeln!(w, "  endfacet")?;
+    }
+    writeln!(w, "endsolid {name}")
+}
+
+/// Renders the mesh as an ASCII STL string (for size comparisons à la
+/// Fig. 1).
+pub fn to_ascii_stl(mesh: &TriMesh, name: &str) -> String {
+    let mut buf = Vec::new();
+    write_ascii_stl(mesh, name, &mut buf).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("STL text is ASCII")
+}
+
+/// Writes the mesh as binary STL (80-byte header + u32 count + 50-byte
+/// facets).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_binary_stl<W: Write>(mesh: &TriMesh, mut w: W) -> io::Result<()> {
+    let mut header = [0u8; 80];
+    let tag = b"sz-mesh binary stl";
+    header[..tag.len()].copy_from_slice(tag);
+    w.write_all(&header)?;
+    w.write_all(&(mesh.triangles.len() as u32).to_le_bytes())?;
+    for i in 0..mesh.triangles.len() {
+        let n = mesh.face_normal(i).normalized();
+        let [a, b, c] = mesh.triangle(i);
+        for v in [n, a, b, c] {
+            for x in [v.x, v.y, v.z] {
+                w.write_all(&(x as f32).to_le_bytes())?;
+            }
+        }
+        w.write_all(&0u16.to_le_bytes())?; // attribute byte count
+    }
+    Ok(())
+}
+
+/// Error for STL parsing.
+#[derive(Debug)]
+pub enum StlError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Syntactic problem (message).
+    Parse(String),
+}
+
+impl std::fmt::Display for StlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StlError::Io(e) => write!(f, "i/o error reading STL: {e}"),
+            StlError::Parse(m) => write!(f, "malformed STL: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StlError {}
+
+impl From<io::Error> for StlError {
+    fn from(e: io::Error) -> Self {
+        StlError::Io(e)
+    }
+}
+
+/// Reads an ASCII STL document.
+///
+/// # Errors
+///
+/// Returns [`StlError`] on I/O failure or malformed input.
+pub fn read_ascii_stl<R: BufRead>(r: R) -> Result<TriMesh, StlError> {
+    let mut mesh = TriMesh::new();
+    let mut verts: Vec<Vec3> = Vec::with_capacity(3);
+    for line in r.lines() {
+        let line = line?;
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("vertex") => {
+                let mut take = || -> Result<f64, StlError> {
+                    words
+                        .next()
+                        .ok_or_else(|| StlError::Parse("vertex needs 3 coordinates".into()))?
+                        .parse()
+                        .map_err(|e| StlError::Parse(format!("bad coordinate: {e}")))
+                };
+                let v = Vec3::new(take()?, take()?, take()?);
+                verts.push(v);
+            }
+            Some("endloop") => {
+                if verts.len() != 3 {
+                    return Err(StlError::Parse(format!(
+                        "facet with {} vertices",
+                        verts.len()
+                    )));
+                }
+                mesh.push_triangle(verts[0], verts[1], verts[2]);
+                verts.clear();
+            }
+            _ => {}
+        }
+    }
+    Ok(mesh)
+}
+
+/// Reads a binary STL document.
+///
+/// # Errors
+///
+/// Returns [`StlError`] on I/O failure or truncation.
+pub fn read_binary_stl<R: Read>(mut r: R) -> Result<TriMesh, StlError> {
+    let mut header = [0u8; 80];
+    r.read_exact(&mut header)?;
+    let mut count = [0u8; 4];
+    r.read_exact(&mut count)?;
+    let count = u32::from_le_bytes(count) as usize;
+    let mut mesh = TriMesh::new();
+    let mut facet = [0u8; 50];
+    for _ in 0..count {
+        r.read_exact(&mut facet)?;
+        let f = |i: usize| -> f64 {
+            f32::from_le_bytes([facet[i], facet[i + 1], facet[i + 2], facet[i + 3]]) as f64
+        };
+        // Skip the normal (bytes 0..12); read the three vertices.
+        let a = Vec3::new(f(12), f(16), f(20));
+        let b = Vec3::new(f(24), f(28), f(32));
+        let c = Vec3::new(f(36), f(40), f(44));
+        mesh.push_triangle(a, b, c);
+    }
+    Ok(mesh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit_cube;
+
+    #[test]
+    fn ascii_roundtrip() {
+        let cube = unit_cube();
+        let text = to_ascii_stl(&cube, "cube");
+        assert!(text.starts_with("solid cube"));
+        assert_eq!(text.matches("facet normal").count(), 12);
+        let back = read_ascii_stl(text.as_bytes()).unwrap();
+        assert_eq!(back.triangles.len(), 12);
+        assert!((back.signed_volume() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let cube = unit_cube();
+        let mut buf = Vec::new();
+        write_binary_stl(&cube, &mut buf).unwrap();
+        assert_eq!(buf.len(), 80 + 4 + 50 * 12);
+        let back = read_binary_stl(buf.as_slice()).unwrap();
+        assert_eq!(back.triangles.len(), 12);
+        assert!((back.signed_volume() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ascii_line_count_scales_like_paper() {
+        // Each facet is 7 lines; the paper's gear STL is ~8000 lines.
+        let text = to_ascii_stl(&crate::sphere(16, 32), "s");
+        let lines = text.lines().count();
+        assert_eq!(lines, 2 + 7 * crate::sphere(16, 32).triangles.len());
+    }
+
+    #[test]
+    fn rejects_malformed_ascii() {
+        let bad = "solid x\nouter loop\nvertex 1 2\nendloop\nendsolid";
+        assert!(read_ascii_stl(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_binary() {
+        let cube = unit_cube();
+        let mut buf = Vec::new();
+        write_binary_stl(&cube, &mut buf).unwrap();
+        buf.truncate(buf.len() - 10);
+        assert!(read_binary_stl(buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Marching tetrahedra: polygonize an implicit [`Solid`] into a
+//! [`TriMesh`], enabling mesh export for CSG with differences and
+//! intersections (unions of primitives have an exact fast path in
+//! [`crate::compile_mesh`]).
+
+use crate::{Aabb, Solid, TriMesh, Vec3};
+
+/// The six tetrahedra decomposing a cube cell, as corner indices into the
+/// cell's 8 corners (standard Kuhn split along the main diagonal 0–7).
+const TETS: [[usize; 4]; 6] = [
+    [0, 5, 1, 7],
+    [0, 1, 3, 7],
+    [0, 3, 2, 7],
+    [0, 2, 6, 7],
+    [0, 6, 4, 7],
+    [0, 4, 5, 7],
+];
+
+/// Polygonizes `solid` over the box `bb` with a `res³` cell grid.
+///
+/// The surface is placed by linear interpolation of the (approximate)
+/// signed distance along tetrahedron edges, so the result converges to
+/// the true boundary as `res` grows.
+///
+/// # Panics
+///
+/// Panics if `res == 0`.
+pub fn polygonize(solid: &Solid, bb: Aabb, res: usize) -> TriMesh {
+    assert!(res > 0, "resolution must be positive");
+    let n = res + 1;
+    let ext = bb.extent();
+    let step = Vec3::new(ext.x / res as f64, ext.y / res as f64, ext.z / res as f64);
+    let point =
+        |i: usize, j: usize, k: usize| -> Vec3 {
+            bb.min + Vec3::new(step.x * i as f64, step.y * j as f64, step.z * k as f64)
+        };
+
+    // Sample the field once per grid point.
+    let mut field = vec![0.0f64; n * n * n];
+    let idx = |i: usize, j: usize, k: usize| (i * n + j) * n + k;
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                field[idx(i, j, k)] = solid.sdf(point(i, j, k));
+            }
+        }
+    }
+
+    let mut mesh = TriMesh::new();
+    for i in 0..res {
+        for j in 0..res {
+            for k in 0..res {
+                // Cell corners in binary order (bit 2 = x, bit 1 = y, bit 0 = z).
+                let corners: [(Vec3, f64); 8] = std::array::from_fn(|c| {
+                    let (di, dj, dk) = ((c >> 2) & 1, (c >> 1) & 1, c & 1);
+                    (
+                        point(i + di, j + dj, k + dk),
+                        field[idx(i + di, j + dj, k + dk)],
+                    )
+                });
+                for tet in TETS {
+                    march_tet(
+                        [
+                            corners[tet[0]],
+                            corners[tet[1]],
+                            corners[tet[2]],
+                            corners[tet[3]],
+                        ],
+                        &mut mesh,
+                    );
+                }
+            }
+        }
+    }
+    mesh
+}
+
+/// Emits 0–2 triangles for one tetrahedron.
+fn march_tet(corners: [(Vec3, f64); 4], mesh: &mut TriMesh) {
+    let inside: Vec<usize> = (0..4).filter(|&i| corners[i].1 <= 0.0).collect();
+    let outside: Vec<usize> = (0..4).filter(|&i| corners[i].1 > 0.0).collect();
+    let cross = |a: usize, b: usize| -> Vec3 {
+        let (pa, da) = corners[a];
+        let (pb, db) = corners[b];
+        let t = if (da - db).abs() < 1e-300 {
+            0.5
+        } else {
+            (da / (da - db)).clamp(0.0, 1.0)
+        };
+        pa + (pb - pa) * t
+    };
+    match (inside.as_slice(), outside.as_slice()) {
+        ([], _) | (_, []) => {}
+        (&[a], out) => {
+            // One corner inside: a single triangle.
+            let (p0, p1, p2) = (cross(a, out[0]), cross(a, out[1]), cross(a, out[2]));
+            push_oriented(mesh, p0, p1, p2, corners[a].0);
+        }
+        (inp, &[b]) => {
+            // One corner outside: a single triangle, flipped orientation.
+            let (p0, p1, p2) = (cross(inp[0], b), cross(inp[1], b), cross(inp[2], b));
+            push_oriented_away(mesh, p0, p1, p2, corners[b].0);
+        }
+        (&[a0, a1], &[b0, b1]) => {
+            // Quad case: two triangles.
+            let (p00, p01) = (cross(a0, b0), cross(a0, b1));
+            let (p10, p11) = (cross(a1, b0), cross(a1, b1));
+            let inside_ref = corners[a0].0;
+            push_oriented(mesh, p00, p01, p11, inside_ref);
+            push_oriented(mesh, p00, p11, p10, inside_ref);
+        }
+        _ => unreachable!("cases cover 1-3 inside corners"),
+    }
+}
+
+/// Pushes a triangle wound so its normal points *away* from `inside_pt`.
+fn push_oriented(mesh: &mut TriMesh, a: Vec3, b: Vec3, c: Vec3, inside_pt: Vec3) {
+    let n = (b - a).cross(c - a);
+    let to_inside = inside_pt - (a + b + c) / 3.0;
+    if n.dot(to_inside) > 0.0 {
+        mesh.push_triangle(a, c, b);
+    } else {
+        mesh.push_triangle(a, b, c);
+    }
+}
+
+/// Pushes a triangle wound so its normal points *toward* `outside_pt`.
+fn push_oriented_away(mesh: &mut TriMesh, a: Vec3, b: Vec3, c: Vec3, outside_pt: Vec3) {
+    let n = (b - a).cross(c - a);
+    let to_outside = outside_pt - (a + b + c) / 3.0;
+    if n.dot(to_outside) < 0.0 {
+        mesh.push_triangle(a, c, b);
+    } else {
+        mesh.push_triangle(a, b, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn poly(s: &str, res: usize) -> TriMesh {
+        let solid = compile(&s.parse().unwrap()).unwrap();
+        let bb = solid.aabb().padded(0.25);
+        polygonize(&solid, bb, res)
+    }
+
+    #[test]
+    fn sphere_volume_converges() {
+        let m = poly("Sphere", 40);
+        m.validate().unwrap();
+        let v = m.signed_volume();
+        let want = 4.0 / 3.0 * std::f64::consts::PI;
+        assert!((v - want).abs() / want < 0.05, "v = {v}");
+    }
+
+    #[test]
+    fn cube_volume_converges() {
+        let m = poly("(Scale 2 1 1 Unit)", 32);
+        let v = m.signed_volume();
+        assert!((v - 2.0).abs() < 0.15, "v = {v}");
+    }
+
+    #[test]
+    fn difference_has_hole() {
+        // Plate minus a through-hole cylinder: volume < plate volume.
+        let m = poly(
+            "(Diff (Scale 4 4 1 Unit) (Scale 1 1 2 Cylinder))",
+            48,
+        );
+        let v = m.signed_volume();
+        let plate = 16.0;
+        let hole = std::f64::consts::PI;
+        assert!(
+            (v - (plate - hole)).abs() / plate < 0.08,
+            "v = {v}, want ≈ {}",
+            plate - hole
+        );
+    }
+
+    #[test]
+    fn intersection_volume() {
+        // Two unit cubes overlapping by half.
+        let m = poly("(Inter Unit (Translate 0.5 0 0 Unit))", 32);
+        let v = m.signed_volume();
+        assert!((v - 0.5).abs() < 0.08, "v = {v}");
+    }
+
+    #[test]
+    fn empty_produces_no_triangles() {
+        let solid = compile(&"Empty".parse().unwrap()).unwrap();
+        let m = polygonize(
+            &solid,
+            Aabb {
+                min: Vec3::new(-1.0, -1.0, -1.0),
+                max: Vec3::ONE,
+            },
+            8,
+        );
+        assert!(m.triangles.is_empty());
+    }
+
+    #[test]
+    fn mesh_is_watertight_by_volume_stability() {
+        // Signed volume should be stable under resolution changes if the
+        // surface is consistently oriented.
+        let lo = poly("Sphere", 16).signed_volume();
+        let hi = poly("Sphere", 32).signed_volume();
+        assert!(lo > 0.0 && hi > 0.0);
+        assert!((lo - hi).abs() < 0.5);
+    }
+}

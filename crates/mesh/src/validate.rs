@@ -1,0 +1,167 @@
+//! Translation validation (paper §7): check that a synthesized LambdaCAD
+//! program denotes the same solid as the flat CSG it was derived from, by
+//! volumetric sampling and (optionally) mesh Hausdorff distance.
+
+use sz_cad::Cad;
+
+use crate::implicit::{compile, CompileError};
+use crate::sample::{compare_volumes, VolumeComparison};
+
+/// The outcome of validating a program against a reference solid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Validation {
+    /// Volumetric comparison statistics.
+    pub volume: VolumeComparison,
+    /// Whether the comparison clears the acceptance thresholds
+    /// (agreement ≥ 99.5 % and IoU ≥ 99 %).
+    pub equivalent: bool,
+}
+
+/// Errors from validation: evaluation of the program or solid
+/// compilation failed.
+#[derive(Debug)]
+pub enum ValidateError {
+    /// The LambdaCAD program failed to evaluate.
+    Eval(sz_cad::EvalError),
+    /// A flat term failed to compile to a solid.
+    Compile(CompileError),
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::Eval(e) => write!(f, "program evaluation failed: {e}"),
+            ValidateError::Compile(e) => write!(f, "solid compilation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl From<sz_cad::EvalError> for ValidateError {
+    fn from(e: sz_cad::EvalError) -> Self {
+        ValidateError::Eval(e)
+    }
+}
+
+impl From<CompileError> for ValidateError {
+    fn from(e: CompileError) -> Self {
+        ValidateError::Compile(e)
+    }
+}
+
+/// Validates two **flat** CSG terms for geometric equivalence by point
+/// sampling.
+///
+/// # Errors
+///
+/// Returns [`ValidateError::Compile`] for non-flat input.
+pub fn validate_flat(a: &Cad, b: &Cad, samples: usize) -> Result<Validation, ValidateError> {
+    let sa = compile(a)?;
+    let sb = compile(b)?;
+    let volume = compare_volumes(&sa, &sb, samples);
+    Ok(Validation {
+        volume,
+        equivalent: volume.agreement >= 0.995 && volume.iou >= 0.99,
+    })
+}
+
+/// Validates a LambdaCAD `program` against a flat `reference`: evaluates
+/// the program (unrolling loops) and compares solids.
+///
+/// This is the end-to-end check for Szalinski outputs: synthesized
+/// programs must denote the input geometry.
+///
+/// # Errors
+///
+/// Returns [`ValidateError`] if evaluation or compilation fails.
+///
+/// # Examples
+///
+/// ```
+/// use sz_mesh::validate_program;
+/// use sz_cad::Cad;
+/// let flat: Cad = "(Union (Translate 2 0 0 Unit) (Translate 4 0 0 Unit))".parse().unwrap();
+/// let prog: Cad =
+///     "(Fold Union Empty (Mapi (Fun (Translate (* 2 (+ i 1)) 0 0 c)) (Repeat Unit 2)))"
+///         .parse().unwrap();
+/// let v = validate_program(&prog, &flat, 4000).unwrap();
+/// assert!(v.equivalent);
+/// ```
+pub fn validate_program(
+    program: &Cad,
+    reference: &Cad,
+    samples: usize,
+) -> Result<Validation, ValidateError> {
+    let flat = program.eval_to_flat()?;
+    validate_flat(&flat, reference, samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Cad {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn identical_flat_terms_validate() {
+        let a = parse("(Diff (Scale 4 4 1 Unit) Cylinder)");
+        let v = validate_flat(&a, &a, 4000).unwrap();
+        assert!(v.equivalent);
+        assert_eq!(v.volume.agreement, 1.0);
+    }
+
+    #[test]
+    fn reordered_unions_validate() {
+        let a = parse("(Union Unit (Translate 3 0 0 Sphere))");
+        let b = parse("(Union (Translate 3 0 0 Sphere) Unit)");
+        assert!(validate_flat(&a, &b, 4000).unwrap().equivalent);
+    }
+
+    #[test]
+    fn different_geometry_fails() {
+        let a = parse("Unit");
+        let b = parse("(Translate 3 0 0 Unit)");
+        let v = validate_flat(&a, &b, 4000).unwrap();
+        assert!(!v.equivalent);
+        assert!(v.volume.iou < 0.5);
+    }
+
+    #[test]
+    fn synthesized_gear_ring_validates() {
+        // The Mapi form of a 6-tooth ring versus its flat unrolling.
+        let prog = parse(
+            "(Fold Union Empty (Mapi (Fun (Rotate 0 0 (/ (* 360 (+ i 1)) 6) (Translate 4 0 0 c))) (Repeat Unit 6)))",
+        );
+        let flat = prog.eval_to_flat().unwrap();
+        let v = validate_program(&prog, &flat, 6000).unwrap();
+        assert!(v.equivalent);
+    }
+
+    #[test]
+    fn rewrite_soundness_scale_translate() {
+        // The reorder-scale-translate rule, checked geometrically.
+        let a = parse("(Scale 2 3 4 (Translate 1 1 1 Unit))");
+        let b = parse("(Translate 2 3 4 (Scale 2 3 4 Unit))");
+        assert!(validate_flat(&a, &b, 6000).unwrap().equivalent);
+    }
+
+    #[test]
+    fn rewrite_soundness_rotate_translate() {
+        // rotate_z(90) ∘ translate(2,0,0) = translate(0,2,0) ∘ rotate_z(90).
+        let a = parse("(Rotate 0 0 90 (Translate 2 0 0 Unit))");
+        let b = parse("(Translate 0 2 0 (Rotate 0 0 90 Unit))");
+        assert!(validate_flat(&a, &b, 6000).unwrap().equivalent);
+    }
+
+    #[test]
+    fn eval_errors_propagate() {
+        let bad = parse("c");
+        assert!(matches!(
+            validate_program(&bad, &parse("Unit"), 100),
+            Err(ValidateError::Eval(_))
+        ));
+    }
+}

@@ -1,0 +1,131 @@
+//! Inputs for the paper's worked figures (2, 10, 14, 16, 17, 18/19).
+
+use sz_cad::Cad;
+
+/// Figure 2's input: `n` unit cubes translated by `spacing·(i+1)` along x.
+pub fn row_of_cubes(n: usize, spacing: f64) -> Cad {
+    Cad::union_chain(
+        (1..=n)
+            .map(|i| Cad::translate(spacing * i as f64, 0.0, 0.0, Cad::Unit))
+            .collect(),
+    )
+}
+
+/// Figure 10's input: `n` cubes, each scaled, rotated, and translated by
+/// linearly varying vectors (three nested affine layers).
+pub fn nested_affine_cubes(n: usize) -> Cad {
+    Cad::union_chain(
+        (0..n)
+            .map(|i| {
+                let i = i as f64;
+                Cad::translate(
+                    2.0 * i + 2.0,
+                    2.0 * i + 4.0,
+                    2.0 * i + 6.0,
+                    Cad::rotate(
+                        15.0 * i + 30.0,
+                        0.0,
+                        0.0,
+                        Cad::scale(2.0 * i + 1.0, 2.0 * i + 3.0, 2.0 * i + 5.0, Cad::Unit),
+                    ),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Figure 14's input: four cubes at `(±12, ±12, 0)` — a 2×2 grid.
+pub fn grid_2x2() -> Cad {
+    Cad::union_chain(
+        [(12.0, 12.0), (-12.0, 12.0), (-12.0, -12.0), (12.0, -12.0)]
+            .iter()
+            .map(|&(x, y)| Cad::translate(x, y, 0.0, Cad::Unit))
+            .collect(),
+    )
+}
+
+/// Figure 17's input: the "6" face of a die — 6 spheres in a 2×3 grid.
+pub fn dice_six_face() -> Cad {
+    Cad::union_chain(
+        (0..2)
+            .flat_map(|i| {
+                (0..3).map(move |j| {
+                    Cad::translate(
+                        -5.0,
+                        2.0 - 4.0 * i as f64,
+                        2.0 - 2.0 * j as f64,
+                        Cad::scale(0.75, 0.75, 0.75, Cad::Sphere),
+                    )
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Figure 16's input: the noisy mesh-decompiler output — three hexagonal
+/// prisms with floating-point noise, verbatim from the paper.
+pub fn noisy_hexagons() -> Cad {
+    let hex = |t: [f64; 3], s: [f64; 3]| {
+        Cad::translate(
+            t[0],
+            t[1],
+            t[2],
+            Cad::scale(s[0], s[1], s[2], Cad::rotate(0.0, 0.0, 0.0, Cad::Hexagon)),
+        )
+    };
+    Cad::union(
+        hex([9.5, 1.5, 0.25], [1.0, 0.866, 0.5]),
+        Cad::union(
+            hex([6.0, 1.4999996667, 0.25], [1.6, 1.386, 0.5]),
+            hex([2.0, 1.4999994660, 0.25], [2.0, 1.732, 0.5]),
+        ),
+    )
+}
+
+/// The hex-cell generator flat input (Figs. 15/18/19): plate minus four
+/// hex cells placed in circular order (both a 2×2-grid loop and a
+/// trigonometric form describe them).
+pub fn hexcell_plate() -> Cad {
+    crate::hc_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_inputs_are_flat() {
+        for (name, cad) in [
+            ("fig2", row_of_cubes(5, 2.0)),
+            ("fig10", nested_affine_cubes(3)),
+            ("fig14", grid_2x2()),
+            ("fig17", dice_six_face()),
+            ("fig16", noisy_hexagons()),
+            ("fig18", hexcell_plate()),
+        ] {
+            assert!(cad.is_flat_csg(), "{name} must be flat");
+        }
+    }
+
+    #[test]
+    fn fig2_shape() {
+        let f = row_of_cubes(5, 2.0);
+        assert_eq!(f.num_prims(), 5);
+        assert!(f.to_string().contains("(Translate 10 0 0 Unit)"));
+    }
+
+    #[test]
+    fn fig16_noise_is_within_epsilon() {
+        // The paper's noisy y-components are within 1e-3 of 1.5.
+        let s = noisy_hexagons().to_string();
+        assert!(s.contains("1.4999996667"));
+        assert!(s.contains("1.4999994660") || s.contains("1.499999466"));
+    }
+
+    #[test]
+    fn fig17_is_six_spheres() {
+        let f = dice_six_face();
+        assert_eq!(f.num_prims(), 6);
+        assert_eq!(f.depth(), 8);
+    }
+}

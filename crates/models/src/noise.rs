@@ -1,0 +1,97 @@
+//! Noise injection: simulate mesh-decompiler roundoff (paper §6.4) by
+//! perturbing every constant vector component of a flat CSG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sz_cad::{Cad, Expr, V3};
+
+/// Perturbs every numeric vector component of a flat CSG by a uniform
+/// offset in `[-amplitude, amplitude]`, deterministically from `seed`.
+///
+/// With `amplitude` at or below the solver tolerance (the paper's
+/// ε = 10⁻³), Szalinski must recover the same structure as from the
+/// clean input.
+///
+/// # Examples
+///
+/// ```
+/// use sz_models::{add_noise, row_of_cubes};
+/// let clean = row_of_cubes(5, 2.0);
+/// let noisy = add_noise(&clean, 5e-4, 42);
+/// assert_ne!(clean, noisy);
+/// assert!(noisy.is_flat_csg());
+/// ```
+pub fn add_noise(cad: &Cad, amplitude: f64, seed: u64) -> Cad {
+    let mut rng = StdRng::seed_from_u64(seed);
+    perturb(cad, amplitude, &mut rng)
+}
+
+fn perturb(cad: &Cad, amp: f64, rng: &mut StdRng) -> Cad {
+    match cad {
+        Cad::Affine(kind, v, c) => {
+            let mut jig = |e: &Expr| -> Expr {
+                match e.as_num() {
+                    Some(x) => Expr::num(x + rng.gen_range(-amp..=amp)),
+                    None => e.clone(),
+                }
+            };
+            Cad::Affine(
+                *kind,
+                V3(jig(&v.0), jig(&v.1), jig(&v.2)),
+                Box::new(perturb(c, amp, rng)),
+            )
+        }
+        Cad::Binop(op, a, b) => Cad::Binop(
+            *op,
+            Box::new(perturb(a, amp, rng)),
+            Box::new(perturb(b, amp, rng)),
+        ),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row_of_cubes;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let m = row_of_cubes(4, 2.0);
+        assert_eq!(add_noise(&m, 1e-3, 7), add_noise(&m, 1e-3, 7));
+        assert_ne!(add_noise(&m, 1e-3, 7), add_noise(&m, 1e-3, 8));
+    }
+
+    #[test]
+    fn amplitude_bounds_displacement() {
+        let m = row_of_cubes(4, 2.0);
+        let noisy = add_noise(&m, 1e-4, 1);
+        fn vectors(c: &Cad, out: &mut Vec<f64>) {
+            match c {
+                Cad::Affine(_, v, inner) => {
+                    out.extend(v.as_nums().unwrap());
+                    vectors(inner, out);
+                }
+                Cad::Binop(_, a, b) => {
+                    vectors(a, out);
+                    vectors(b, out);
+                }
+                _ => {}
+            }
+        }
+        let mut clean_vals = Vec::new();
+        let mut noisy_vals = Vec::new();
+        vectors(&m, &mut clean_vals);
+        vectors(&noisy, &mut noisy_vals);
+        for (a, b) in clean_vals.iter().zip(&noisy_vals) {
+            assert!((a - b).abs() <= 1e-4 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_amplitude_is_identity_shape() {
+        let m = row_of_cubes(3, 2.0);
+        let noisy = add_noise(&m, 0.0, 3);
+        assert_eq!(m, noisy);
+    }
+}

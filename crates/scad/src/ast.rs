@@ -1,0 +1,72 @@
+//! AST for the supported OpenSCAD subset.
+
+/// An OpenSCAD expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScadExpr {
+    /// Numeric literal.
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// Variable reference.
+    Var(String),
+    /// Vector literal `[a, b, c]`.
+    Vector(Vec<ScadExpr>),
+    /// Range `[start : end]` or `[start : step : end]`.
+    Range(Box<ScadExpr>, Option<Box<ScadExpr>>, Box<ScadExpr>),
+    /// Binary arithmetic.
+    Bin(BinOp, Box<ScadExpr>, Box<ScadExpr>),
+    /// Unary negation.
+    Neg(Box<ScadExpr>),
+    /// Function call (`sin`, `cos`, ...).
+    Call(String, Vec<ScadExpr>),
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Modulo.
+    Mod,
+}
+
+/// An OpenSCAD statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScadStmt {
+    /// `name = expr;`
+    Assign(String, ScadExpr),
+    /// A module call: `name(args) child;` or `name(args) { ... }`.
+    Call {
+        /// Module name (`cube`, `translate`, `union`, ...).
+        name: String,
+        /// Positional arguments.
+        args: Vec<ScadExpr>,
+        /// Named arguments (`center = true`).
+        named: Vec<(String, ScadExpr)>,
+        /// Child statements (block or single chained call).
+        children: Vec<ScadStmt>,
+    },
+    /// `for (var = range) { ... }`.
+    For {
+        /// Loop variable.
+        var: String,
+        /// Range or vector to iterate.
+        iter: ScadExpr,
+        /// Loop body.
+        body: Vec<ScadStmt>,
+    },
+}
+
+/// A parsed OpenSCAD program: a list of top-level statements, implicitly
+/// unioned (as OpenSCAD renders them).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScadProgram {
+    /// Top-level statements.
+    pub stmts: Vec<ScadStmt>,
+}

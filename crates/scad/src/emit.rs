@@ -1,0 +1,435 @@
+//! Emitting CAD programs as OpenSCAD source — the paper's backend "so
+//! that the results can be validated by rendering the models" (§6).
+//!
+//! LambdaCAD loops become OpenSCAD `for` loops: stacked `Mapi` layers
+//! over one list share a single loop variable (they are element-wise
+//! compositions), and `MapIdx` bounds become nested loops.
+
+use std::fmt::Write as _;
+
+use sz_cad::{BoolOp, Cad, Expr};
+
+/// Error for programs that cannot be rendered to OpenSCAD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmitError(String);
+
+impl std::fmt::Display for EmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot emit OpenSCAD: {}", self.0)
+    }
+}
+
+impl std::error::Error for EmitError {}
+
+struct Emitter {
+    out: String,
+    indent: usize,
+    /// Stack of loop-variable frames (innermost last).
+    frames: Vec<Vec<String>>,
+    /// Fresh-name counter for loop variables.
+    next_var: usize,
+    /// Names of referenced `External` parts.
+    externals: Vec<String>,
+}
+
+impl Emitter {
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn fresh_var(&mut self) -> String {
+        let name = match self.next_var {
+            0 => "i".to_owned(),
+            1 => "j".to_owned(),
+            2 => "k".to_owned(),
+            n => format!("i{n}"),
+        };
+        self.next_var += 1;
+        name
+    }
+
+    fn expr(&self, e: &Expr) -> Result<String, EmitError> {
+        Ok(match e {
+            Expr::Num(x) => x.to_string(),
+            Expr::Idx(d) => {
+                let frame = self
+                    .frames
+                    .last()
+                    .ok_or_else(|| EmitError("index variable outside a loop".into()))?;
+                frame
+                    .get(*d as usize)
+                    .cloned()
+                    .ok_or_else(|| EmitError("index variable beyond loop arity".into()))?
+            }
+            Expr::Add(a, b) => format!("({} + {})", self.expr(a)?, self.expr(b)?),
+            Expr::Sub(a, b) => format!("({} - {})", self.expr(a)?, self.expr(b)?),
+            Expr::Mul(a, b) => format!("({} * {})", self.expr(a)?, self.expr(b)?),
+            Expr::Div(a, b) => format!("({} / {})", self.expr(a)?, self.expr(b)?),
+            Expr::Sin(a) => format!("sin({})", self.expr(a)?),
+            Expr::Cos(a) => format!("cos({})", self.expr(a)?),
+        })
+    }
+
+    fn vec3(&self, v: &sz_cad::V3) -> Result<String, EmitError> {
+        Ok(format!(
+            "[{}, {}, {}]",
+            self.expr(&v.0)?,
+            self.expr(&v.1)?,
+            self.expr(&v.2)?
+        ))
+    }
+
+    fn solid(&mut self, cad: &Cad) -> Result<(), EmitError> {
+        match cad {
+            Cad::Empty => self.line("// empty"),
+            Cad::Unit => self.line("cube(1, center = true);"),
+            Cad::Cylinder => self.line("cylinder(r = 1, h = 1, center = true);"),
+            Cad::Sphere => self.line("sphere(r = 1);"),
+            Cad::Hexagon => self.line("cylinder(r = 1, h = 1, center = true, $fn = 6);"),
+            Cad::External(name) => {
+                if !self.externals.contains(name) {
+                    self.externals.push(name.clone());
+                }
+                self.line(&format!("external_{name}();"));
+            }
+            Cad::Affine(kind, v, c) => {
+                let head = match kind {
+                    sz_cad::AffineKind::Translate => "translate",
+                    sz_cad::AffineKind::Scale => "scale",
+                    sz_cad::AffineKind::Rotate => "rotate",
+                };
+                let vector = self.vec3(v)?;
+                self.line(&format!("{head}({vector})"));
+                self.indent += 1;
+                self.solid(c)?;
+                self.indent -= 1;
+            }
+            Cad::Binop(op, a, b) => {
+                let head = match op {
+                    BoolOp::Union => "union()",
+                    BoolOp::Diff => "difference()",
+                    BoolOp::Inter => "intersection()",
+                };
+                self.line(&format!("{head} {{"));
+                self.indent += 1;
+                self.solid(a)?;
+                self.solid(b)?;
+                self.indent -= 1;
+                self.line("}");
+            }
+            Cad::Fold(op, init, list) => {
+                let head = match op {
+                    BoolOp::Union => "union()",
+                    BoolOp::Inter => "intersection()",
+                    BoolOp::Diff => {
+                        return Err(EmitError(
+                            "Fold over Diff has no OpenSCAD block form".into(),
+                        ))
+                    }
+                };
+                self.line(&format!("{head} {{"));
+                self.indent += 1;
+                if !matches!(**init, Cad::Empty) {
+                    self.solid(init)?;
+                }
+                self.list(list)?;
+                self.indent -= 1;
+                self.line("}");
+            }
+            other => {
+                return Err(EmitError(format!(
+                    "list form `{other}` used where a solid is required"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits the *elements* of a list form (each element a solid).
+    fn list(&mut self, list: &Cad) -> Result<(), EmitError> {
+        match list {
+            Cad::Nil => {}
+            Cad::Cons(h, t) => {
+                self.solid(h)?;
+                self.list(t)?;
+            }
+            Cad::Concat(a, b) => {
+                self.list(a)?;
+                self.list(b)?;
+            }
+            Cad::Repeat(c, n) => {
+                // n identical children: a loop whose body ignores the index.
+                let n = self.expr(n)?;
+                let var = self.fresh_var();
+                self.line(&format!("for ({var} = [0 : {n} - 1])"));
+                self.indent += 1;
+                self.solid(c)?;
+                self.indent -= 1;
+            }
+            Cad::Mapi(f, inner) => {
+                let Cad::Fun(body) = &**f else {
+                    return Err(EmitError("Mapi expects a Fun".into()));
+                };
+                // Collect stacked Mapi layers: they share the element index.
+                let mut bodies: Vec<&Cad> = vec![body];
+                let mut base = inner;
+                while let Cad::Mapi(f2, inner2) = &**base {
+                    let Cad::Fun(b2) = &**f2 else {
+                        return Err(EmitError("Mapi expects a Fun".into()));
+                    };
+                    bodies.push(b2);
+                    base = inner2;
+                }
+                // Compose bodies outermost-first by substituting into `c`.
+                let composed = bodies
+                    .iter()
+                    .rev()
+                    .fold(Cad::Param, |acc, b| subst_param(b, &acc));
+                match &**base {
+                    Cad::Repeat(child, n) => {
+                        let n = self.expr(n)?;
+                        let var = self.fresh_var();
+                        self.line(&format!("for ({var} = [0 : {n} - 1])"));
+                        self.indent += 1;
+                        self.frames.push(vec![var]);
+                        let full = subst_param(&composed, child);
+                        self.solid(&full)?;
+                        self.frames.pop();
+                        self.indent -= 1;
+                    }
+                    other => {
+                        // Explicit element list: unroll, substituting the
+                        // concrete index for each element.
+                        let elems = collect_elements(other)?;
+                        for (idx, elem) in elems.iter().enumerate() {
+                            let with_elem = subst_param(&composed, elem);
+                            let concrete = subst_index(&with_elem, idx as f64);
+                            self.solid(&concrete)?;
+                        }
+                    }
+                }
+            }
+            Cad::MapIdx(bounds, body) => {
+                let mut vars = Vec::with_capacity(bounds.len());
+                for b in bounds {
+                    let n = self.expr(b)?;
+                    let var = self.fresh_var();
+                    self.line(&format!("for ({var} = [0 : {n} - 1])"));
+                    self.indent += 1;
+                    vars.push(var);
+                }
+                self.frames.push(vars);
+                self.solid(body)?;
+                self.frames.pop();
+                self.indent -= bounds.len();
+            }
+            other => {
+                return Err(EmitError(format!(
+                    "solid `{other}` used where a list is required"
+                )))
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Collects the elements of an explicit `Cons`/`Concat` list.
+fn collect_elements(list: &Cad) -> Result<Vec<Cad>, EmitError> {
+    match list {
+        Cad::Nil => Ok(vec![]),
+        Cad::Cons(h, t) => {
+            let mut out = vec![(**h).clone()];
+            out.extend(collect_elements(t)?);
+            Ok(out)
+        }
+        Cad::Concat(a, b) => {
+            let mut out = collect_elements(a)?;
+            out.extend(collect_elements(b)?);
+            Ok(out)
+        }
+        other => Err(EmitError(format!("not an explicit list: {other}"))),
+    }
+}
+
+/// Substitutes `replacement` for the `c` bound by the *outermost* frame
+/// (stops at nested `Fun` binders, which rebind `c`).
+fn subst_param(body: &Cad, replacement: &Cad) -> Cad {
+    match body {
+        Cad::Param => replacement.clone(),
+        Cad::Fun(_) | Cad::Mapi(_, _) => body.clone(),
+        Cad::Affine(k, v, c) => {
+            Cad::Affine(*k, v.clone(), Box::new(subst_param(c, replacement)))
+        }
+        Cad::Binop(op, a, b) => Cad::Binop(
+            *op,
+            Box::new(subst_param(a, replacement)),
+            Box::new(subst_param(b, replacement)),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Substitutes a concrete value for `Idx(0)` in the outermost frame of a
+/// body (stops at binders).
+fn subst_index(body: &Cad, value: f64) -> Cad {
+    fn in_expr(e: &Expr, value: f64) -> Expr {
+        match e {
+            Expr::Idx(0) => Expr::num(value),
+            Expr::Num(_) | Expr::Idx(_) => e.clone(),
+            Expr::Add(a, b) => Expr::add(in_expr(a, value), in_expr(b, value)),
+            Expr::Sub(a, b) => Expr::sub(in_expr(a, value), in_expr(b, value)),
+            Expr::Mul(a, b) => Expr::mul(in_expr(a, value), in_expr(b, value)),
+            Expr::Div(a, b) => Expr::div(in_expr(a, value), in_expr(b, value)),
+            Expr::Sin(a) => Expr::sin(in_expr(a, value)),
+            Expr::Cos(a) => Expr::cos(in_expr(a, value)),
+        }
+    }
+    match body {
+        Cad::Affine(k, v, c) => Cad::Affine(
+            *k,
+            sz_cad::V3(
+                in_expr(&v.0, value),
+                in_expr(&v.1, value),
+                in_expr(&v.2, value),
+            ),
+            Box::new(subst_index(c, value)),
+        ),
+        Cad::Binop(op, a, b) => Cad::Binop(
+            *op,
+            Box::new(subst_index(a, value)),
+            Box::new(subst_index(b, value)),
+        ),
+        Cad::Fun(_) | Cad::Mapi(_, _) | Cad::MapIdx(_, _) => body.clone(),
+        other => other.clone(),
+    }
+}
+
+/// Renders a CAD program (flat CSG or LambdaCAD) as OpenSCAD source.
+///
+/// # Errors
+///
+/// Returns [`EmitError`] for forms with no OpenSCAD counterpart
+/// (e.g. a `Fold` over `Diff`).
+///
+/// # Examples
+///
+/// ```
+/// use sz_scad::cad_to_scad;
+/// use sz_cad::Cad;
+/// let prog: Cad =
+///     "(Fold Union Empty (Mapi (Fun (Translate (* 2 (+ i 1)) 0 0 c)) (Repeat Unit 5)))"
+///         .parse().unwrap();
+/// let scad = cad_to_scad(&prog).unwrap();
+/// assert!(scad.contains("for (i = [0 : 5 - 1])"));
+/// ```
+pub fn cad_to_scad(cad: &Cad) -> Result<String, EmitError> {
+    let mut em = Emitter {
+        out: String::new(),
+        indent: 0,
+        frames: Vec::new(),
+        next_var: 0,
+        externals: Vec::new(),
+    };
+    em.solid(cad)?;
+    let mut header = String::new();
+    for name in &em.externals {
+        let _ = writeln!(
+            header,
+            "module external_{name}() {{ cube(1, center = true); }} // opaque part"
+        );
+    }
+    Ok(format!("{header}{}", em.out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scad_to_flat_csg;
+
+    fn parse(s: &str) -> Cad {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn flat_csg_emission() {
+        let scad = cad_to_scad(&parse(
+            "(Diff (Scale 4 4 1 Unit) (Translate 1 0 0 Cylinder))",
+        ))
+        .unwrap();
+        assert!(scad.contains("difference() {"));
+        assert!(scad.contains("scale([4, 4, 1])"));
+        assert!(scad.contains("translate([1, 0, 0])"));
+    }
+
+    #[test]
+    fn mapi_repeat_becomes_for_loop() {
+        let scad = cad_to_scad(&parse(
+            "(Fold Union Empty (Mapi (Fun (Rotate 0 0 (/ (* 360 (+ i 1)) 6) (Translate 12 0 0 c))) (Repeat Unit 6)))",
+        ))
+        .unwrap();
+        assert!(scad.contains("for (i = [0 : 6 - 1])"), "got:\n{scad}");
+        assert!(scad.contains("rotate([0, 0, ((360 * (i + 1)) / 6)])"), "got:\n{scad}");
+    }
+
+    #[test]
+    fn stacked_mapis_share_one_loop() {
+        let scad = cad_to_scad(&parse(
+            "(Fold Union Empty (Mapi (Fun (Translate (* 2 i) 0 0 c)) (Mapi (Fun (Scale (+ i 1) 1 1 c)) (Repeat Unit 3))))",
+        ))
+        .unwrap();
+        assert_eq!(scad.matches("for (").count(), 1, "got:\n{scad}");
+        assert!(scad.contains("translate([(2 * i), 0, 0])"));
+        assert!(scad.contains("scale([(i + 1), 1, 1])"));
+    }
+
+    #[test]
+    fn mapidx_nested_loops() {
+        let scad = cad_to_scad(&parse(
+            "(Fold Union Empty (MapIdx2 2 3 (Translate (- (* 24 i) 12) (- (* 24 j) 12) 0 Unit)))",
+        ))
+        .unwrap();
+        assert!(scad.contains("for (i = [0 : 2 - 1])"));
+        assert!(scad.contains("for (j = [0 : 3 - 1])"));
+    }
+
+    #[test]
+    fn externals_get_placeholder_modules() {
+        let scad = cad_to_scad(&parse("(Union (External tooth) Unit)")).unwrap();
+        assert!(scad.starts_with("module external_tooth()"));
+        assert!(scad.contains("external_tooth();"));
+    }
+
+    #[test]
+    fn roundtrip_through_flattener_preserves_structure() {
+        // Emit a loop program, re-parse with our own OpenSCAD frontend,
+        // flatten, and compare against direct evaluation.
+        let prog = parse(
+            "(Fold Union Empty (Mapi (Fun (Translate (* 2 (+ i 1)) 0 0 (Scale 1 1 1 c))) (Repeat Unit 4)))",
+        );
+        let scad = cad_to_scad(&prog).unwrap();
+        let reflattened = scad_to_flat_csg(&scad).unwrap();
+        let direct = prog.eval_to_flat().unwrap();
+        assert_eq!(reflattened.num_prims(), direct.num_prims());
+    }
+
+    #[test]
+    fn mapi_over_explicit_list_unrolls() {
+        let scad = cad_to_scad(&parse(
+            "(Fold Union Empty (Mapi (Fun (Translate (* 2 (+ i 1)) 0 0 c)) (Cons Unit (Cons Sphere Nil))))",
+        ))
+        .unwrap();
+        assert!(scad.contains("translate([2, 0, 0])"), "got:\n{scad}");
+        assert!(scad.contains("translate([4, 0, 0])"), "got:\n{scad}");
+        assert!(scad.contains("sphere(r = 1);"));
+    }
+
+    #[test]
+    fn fold_diff_is_rejected() {
+        let bad = parse("(Fold Diff Empty (Cons Unit Nil))");
+        assert!(cad_to_scad(&bad).is_err());
+    }
+}

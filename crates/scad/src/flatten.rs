@@ -1,0 +1,417 @@
+//! Flattening: evaluate a parsed (possibly loopy, parametric) OpenSCAD
+//! program into a **flat CSG** [`Cad`] — the translator the paper built
+//! to produce benchmark inputs from human-written Thingiverse models
+//! (§6.1: "we implemented a translator that can flatten these programs
+//! into loop-free CSG").
+
+use std::collections::HashMap;
+use std::fmt;
+
+use sz_cad::{BoolOp, Cad};
+
+use crate::ast::{BinOp, ScadExpr, ScadProgram, ScadStmt};
+
+/// Evaluation error while flattening.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlattenError(String);
+
+impl FlattenError {
+    fn new(m: impl Into<String>) -> Self {
+        FlattenError(m.into())
+    }
+}
+
+impl fmt::Display for FlattenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot flatten OpenSCAD program: {}", self.0)
+    }
+}
+
+impl std::error::Error for FlattenError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Num(f64),
+    Bool(bool),
+    Vec(Vec<f64>),
+}
+
+impl Value {
+    fn num(&self) -> Result<f64, FlattenError> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            other => Err(FlattenError::new(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    fn vec3(&self) -> Result<[f64; 3], FlattenError> {
+        match self {
+            Value::Vec(v) if v.len() == 3 => Ok([v[0], v[1], v[2]]),
+            Value::Num(n) => Ok([*n, *n, *n]),
+            other => Err(FlattenError::new(format!(
+                "expected 3-vector, got {other:?}"
+            ))),
+        }
+    }
+}
+
+type Env = HashMap<String, Value>;
+
+fn eval_expr(e: &ScadExpr, env: &Env) -> Result<Value, FlattenError> {
+    match e {
+        ScadExpr::Num(n) => Ok(Value::Num(*n)),
+        ScadExpr::Bool(b) => Ok(Value::Bool(*b)),
+        ScadExpr::Var(name) => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| FlattenError::new(format!("unbound variable `{name}`"))),
+        ScadExpr::Vector(items) => {
+            let vals = items
+                .iter()
+                .map(|i| eval_expr(i, env)?.num())
+                .collect::<Result<Vec<f64>, _>>()?;
+            Ok(Value::Vec(vals))
+        }
+        ScadExpr::Range(..) => Err(FlattenError::new("range outside of for(...)")),
+        ScadExpr::Neg(a) => Ok(Value::Num(-eval_expr(a, env)?.num()?)),
+        ScadExpr::Bin(op, a, b) => {
+            let a = eval_expr(a, env)?.num()?;
+            let b = eval_expr(b, env)?.num()?;
+            Ok(Value::Num(match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                BinOp::Mod => a.rem_euclid(b),
+            }))
+        }
+        ScadExpr::Call(name, args) => {
+            let nums = args
+                .iter()
+                .map(|a| eval_expr(a, env)?.num())
+                .collect::<Result<Vec<f64>, _>>()?;
+            let unary = |f: fn(f64) -> f64| -> Result<Value, FlattenError> {
+                if nums.len() == 1 {
+                    Ok(Value::Num(f(nums[0])))
+                } else {
+                    Err(FlattenError::new(format!("`{name}` expects 1 argument")))
+                }
+            };
+            match name.as_str() {
+                "sin" => unary(|x| x.to_radians().sin()),
+                "cos" => unary(|x| x.to_radians().cos()),
+                "tan" => unary(|x| x.to_radians().tan()),
+                "sqrt" => unary(f64::sqrt),
+                "abs" => unary(f64::abs),
+                "floor" => unary(f64::floor),
+                "ceil" => unary(f64::ceil),
+                _ => Err(FlattenError::new(format!("unsupported function `{name}`"))),
+            }
+        }
+    }
+}
+
+fn named<'a>(named: &'a [(String, ScadExpr)], key: &str) -> Option<&'a ScadExpr> {
+    named.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn flatten_stmts(stmts: &[ScadStmt], env: &mut Env) -> Result<Vec<Cad>, FlattenError> {
+    let mut out = Vec::new();
+    for stmt in stmts {
+        match stmt {
+            ScadStmt::Assign(name, value) => {
+                let v = eval_expr(value, env)?;
+                env.insert(name.clone(), v);
+            }
+            ScadStmt::For { var, iter, body } => {
+                let values: Vec<f64> = match iter {
+                    ScadExpr::Range(start, step, end) => {
+                        let start = eval_expr(start, env)?.num()?;
+                        let end = eval_expr(end, env)?.num()?;
+                        let step = match step {
+                            Some(s) => eval_expr(s, env)?.num()?,
+                            None => 1.0,
+                        };
+                        if step <= 0.0 {
+                            return Err(FlattenError::new("non-positive range step"));
+                        }
+                        let mut vs = Vec::new();
+                        let mut x = start;
+                        while x <= end + 1e-9 {
+                            vs.push(x);
+                            x += step;
+                        }
+                        vs
+                    }
+                    other => match eval_expr(other, env)? {
+                        Value::Vec(vs) => vs,
+                        v => return Err(FlattenError::new(format!("cannot iterate {v:?}"))),
+                    },
+                };
+                let shadowed = env.get(var).cloned();
+                for x in values {
+                    env.insert(var.clone(), Value::Num(x));
+                    out.extend(flatten_stmts(body, env)?);
+                }
+                match shadowed {
+                    Some(v) => {
+                        env.insert(var.clone(), v);
+                    }
+                    None => {
+                        env.remove(var);
+                    }
+                }
+            }
+            ScadStmt::Call {
+                name,
+                args,
+                named: named_args,
+                children,
+            } => out.extend(flatten_call(name, args, named_args, children, env)?),
+        }
+    }
+    Ok(out)
+}
+
+fn flatten_call(
+    name: &str,
+    args: &[ScadExpr],
+    named_args: &[(String, ScadExpr)],
+    children: &[ScadStmt],
+    env: &mut Env,
+) -> Result<Vec<Cad>, FlattenError> {
+    let centered = match named(named_args, "center") {
+        Some(e) => matches!(eval_expr(e, env)?, Value::Bool(true)),
+        None => false,
+    };
+    match name {
+        "cube" => {
+            let size = match args.first() {
+                Some(a) => eval_expr(a, env)?.vec3()?,
+                None => match named(named_args, "size") {
+                    Some(e) => eval_expr(e, env)?.vec3()?,
+                    None => [1.0, 1.0, 1.0],
+                },
+            };
+            let body = Cad::scale(size[0], size[1], size[2], Cad::Unit);
+            Ok(vec![if centered {
+                body
+            } else {
+                Cad::translate(size[0] / 2.0, size[1] / 2.0, size[2] / 2.0, body)
+            }])
+        }
+        "sphere" => {
+            let r = match args.first() {
+                Some(a) => eval_expr(a, env)?.num()?,
+                None => match named(named_args, "r") {
+                    Some(e) => eval_expr(e, env)?.num()?,
+                    None => 1.0,
+                },
+            };
+            Ok(vec![Cad::scale(r, r, r, Cad::Sphere)])
+        }
+        "cylinder" => {
+            let get = |key: &str, default: f64| -> Result<f64, FlattenError> {
+                match named(named_args, key) {
+                    Some(e) => eval_expr(e, env)?.num(),
+                    None => Ok(default),
+                }
+            };
+            let h = match args.first() {
+                Some(a) => eval_expr(a, env)?.num()?,
+                None => get("h", 1.0)?,
+            };
+            let r = match args.get(1) {
+                Some(a) => eval_expr(a, env)?.num()?,
+                None => get("r", 1.0)?,
+            };
+            // $fn = 6 renders a hexagonal prism; anything else is a
+            // cylinder (our canonical primitive is already faceted).
+            let is_hex = matches!(named(named_args, "$fn"),
+                Some(e) if eval_expr(e, env)?.num()? == 6.0);
+            let prim = if is_hex { Cad::Hexagon } else { Cad::Cylinder };
+            let body = Cad::scale(r, r, h, prim);
+            Ok(vec![if centered {
+                body
+            } else {
+                Cad::translate(0.0, 0.0, h / 2.0, body)
+            }])
+        }
+        "translate" | "scale" | "rotate" => {
+            let v = eval_expr(
+                args.first()
+                    .ok_or_else(|| FlattenError::new(format!("`{name}` needs a vector")))?,
+                env,
+            )?
+            .vec3()?;
+            let inner = flatten_stmts(children, env)?;
+            let child = Cad::union_chain(inner);
+            Ok(vec![match name {
+                "translate" => Cad::translate(v[0], v[1], v[2], child),
+                "scale" => Cad::scale(v[0], v[1], v[2], child),
+                _ => Cad::rotate(v[0], v[1], v[2], child),
+            }])
+        }
+        "union" => {
+            let inner = flatten_stmts(children, env)?;
+            Ok(vec![Cad::union_chain(inner)])
+        }
+        "difference" => {
+            let inner = flatten_stmts(children, env)?;
+            let mut iter = inner.into_iter();
+            let Some(first) = iter.next() else {
+                return Ok(vec![Cad::Empty]);
+            };
+            let rest: Vec<Cad> = iter.collect();
+            Ok(vec![if rest.is_empty() {
+                first
+            } else {
+                Cad::diff(first, Cad::union_chain(rest))
+            }])
+        }
+        "intersection" => {
+            let inner = flatten_stmts(children, env)?;
+            Ok(vec![Cad::chain(BoolOp::Inter, inner)])
+        }
+        "hull" | "mirror" | "minkowski" => {
+            // Unsupported features become External (paper §6.1's
+            // preprocessing of cnc-end-mill / sander / soldering).
+            let _ = flatten_stmts(children, env)?;
+            Ok(vec![Cad::External(format!("{name}_part"))])
+        }
+        other => Err(FlattenError::new(format!("unsupported module `{other}`"))),
+    }
+}
+
+/// Flattens a parsed program into a single flat CSG (top-level statements
+/// are unioned, as OpenSCAD renders them).
+///
+/// # Errors
+///
+/// Returns [`FlattenError`] for unsupported constructs or evaluation
+/// failures.
+pub fn flatten(program: &ScadProgram) -> Result<Cad, FlattenError> {
+    let mut env = Env::new();
+    let parts = flatten_stmts(&program.stmts, &mut env)?;
+    Ok(Cad::union_chain(parts))
+}
+
+/// Parses and flattens OpenSCAD source in one step.
+///
+/// # Errors
+///
+/// Returns a string error for parse or flatten failures.
+///
+/// # Examples
+///
+/// ```
+/// use sz_scad::scad_to_flat_csg;
+/// let flat = scad_to_flat_csg(
+///     "for (i = [1 : 3]) translate([i * 2, 0, 0]) cube(1, center = true);"
+/// ).unwrap();
+/// assert!(flat.is_flat_csg());
+/// assert_eq!(flat.num_prims(), 3);
+/// ```
+pub fn scad_to_flat_csg(src: &str) -> Result<Cad, String> {
+    let prog = crate::parse_scad(src).map_err(|e| e.to_string())?;
+    flatten(&prog).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(src: &str) -> Cad {
+        scad_to_flat_csg(src).unwrap()
+    }
+
+    #[test]
+    fn cube_conventions() {
+        // Uncentered cube sits in the positive octant.
+        assert_eq!(
+            flat("cube([2, 4, 6]);").to_string(),
+            "(Translate 1 2 3 (Scale 2 4 6 Unit))"
+        );
+        assert_eq!(
+            flat("cube([2, 4, 6], center = true);").to_string(),
+            "(Scale 2 4 6 Unit)"
+        );
+        assert_eq!(flat("cube(2, center = true);").to_string(), "(Scale 2 2 2 Unit)");
+    }
+
+    #[test]
+    fn cylinder_and_sphere_conventions() {
+        assert_eq!(
+            flat("cylinder(r = 3, h = 10, center = true);").to_string(),
+            "(Scale 3 3 10 Cylinder)"
+        );
+        assert_eq!(
+            flat("cylinder(r = 3, h = 10);").to_string(),
+            "(Translate 0 0 5 (Scale 3 3 10 Cylinder))"
+        );
+        assert_eq!(flat("sphere(r = 2);").to_string(), "(Scale 2 2 2 Sphere)");
+        assert_eq!(
+            flat("cylinder(r = 1, h = 1, center = true, $fn = 6);").to_string(),
+            "(Scale 1 1 1 Hexagon)"
+        );
+    }
+
+    #[test]
+    fn loop_unrolls() {
+        let f = flat("for (i = [1 : 3]) translate([i * 2, 0, 0]) cube(1, center = true);");
+        assert!(f.is_flat_csg());
+        assert_eq!(f.num_prims(), 3);
+        let s = f.to_string();
+        assert!(s.contains("(Translate 2 0 0"));
+        assert!(s.contains("(Translate 6 0 0"));
+    }
+
+    #[test]
+    fn variables_and_arithmetic() {
+        let f = flat(
+            "n = 4; r = 10;\n\
+             for (i = [0 : n - 1]) rotate([0, 0, i * 360 / n]) translate([r, 0, 0]) sphere(r = 1);",
+        );
+        assert_eq!(f.num_prims(), 4);
+        assert!(f.to_string().contains("(Rotate 0 0 270"));
+    }
+
+    #[test]
+    fn difference_and_intersection() {
+        let f = flat(
+            "difference() { cube([4, 4, 1], center = true); cylinder(r = 1, h = 3, center = true); }",
+        );
+        assert!(f.to_string().starts_with("(Diff"));
+        let f = flat("intersection() { cube(2, center = true); sphere(r = 1); }");
+        assert!(f.to_string().starts_with("(Inter"));
+    }
+
+    #[test]
+    fn hull_becomes_external() {
+        let f = flat("union() { hull() { cube(1); sphere(r = 1); } cube(1, center = true); }");
+        assert!(f.to_string().contains("(External hull_part)"));
+    }
+
+    #[test]
+    fn stepped_and_vector_loops() {
+        let f = flat("for (x = [0 : 5 : 10]) translate([x, 0, 0]) cube(1, center = true);");
+        assert_eq!(f.num_prims(), 3);
+        let f = flat("for (x = [1, 4, 9]) translate([x, 0, 0]) cube(1, center = true);");
+        assert_eq!(f.num_prims(), 3);
+    }
+
+    #[test]
+    fn nested_loops_flatten_fully() {
+        let f = flat(
+            "for (i = [0 : 1]) for (j = [0 : 2]) translate([i * 10, j * 10, 0]) cube(1, center = true);",
+        );
+        assert_eq!(f.num_prims(), 6);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(scad_to_flat_csg("frobnicate(1);").is_err());
+        assert!(scad_to_flat_csg("x = y + 1;").is_err());
+        assert!(scad_to_flat_csg("for (i = [5 : 0 : 1]) cube(1);").is_err());
+    }
+}

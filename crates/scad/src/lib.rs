@@ -1,0 +1,39 @@
+//! # sz-scad: OpenSCAD interoperability
+//!
+//! The paper's front- and back-end translators (§6.1):
+//!
+//! * [`parse_scad`] — a recursive-descent parser for the OpenSCAD subset
+//!   used by the benchmark models (primitives, affine transforms,
+//!   boolean blocks, variables, arithmetic, `for` loops over ranges and
+//!   vectors, `hull`/`mirror` mapped to `External` parts);
+//! * [`flatten`] / [`scad_to_flat_csg`] — the translator that unrolls a
+//!   parametric human-written model into the **flat CSG** Szalinski
+//!   takes as input;
+//! * [`cad_to_scad`] — the backend that renders synthesized LambdaCAD
+//!   programs as OpenSCAD (loops become `for`), so results can be
+//!   rendered and visually compared.
+//!
+//! ## Example
+//!
+//! ```
+//! use sz_scad::scad_to_flat_csg;
+//! let flat = scad_to_flat_csg(
+//!     "n = 4;\n\
+//!      for (i = [0 : n - 1]) rotate([0, 0, i * 360 / n]) translate([10, 0, 0]) cube(1, center = true);"
+//! ).unwrap();
+//! assert!(flat.is_flat_csg());
+//! assert_eq!(flat.num_prims(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod ast;
+mod emit;
+mod flatten;
+mod parser;
+
+pub use ast::{BinOp, ScadExpr, ScadProgram, ScadStmt};
+pub use emit::{cad_to_scad, EmitError};
+pub use flatten::{flatten, scad_to_flat_csg, FlattenError};
+pub use parser::{parse_scad, ScadParseError};

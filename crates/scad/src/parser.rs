@@ -1,0 +1,456 @@
+//! Lexer and recursive-descent parser for the OpenSCAD subset.
+
+use std::fmt;
+
+use crate::ast::{BinOp, ScadExpr, ScadProgram, ScadStmt};
+
+/// Parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScadParseError {
+    msg: String,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+impl ScadParseError {
+    fn new(msg: impl Into<String>, offset: usize) -> Self {
+        ScadParseError {
+            msg: msg.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for ScadParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OpenSCAD parse error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for ScadParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    Sym(char),
+    Colon,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    toks: Vec<(Tok, usize)>,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ScadParseError> {
+    let mut lx = Lexer {
+        src,
+        pos: 0,
+        toks: Vec::new(),
+    };
+    let bytes = src.as_bytes();
+    while lx.pos < bytes.len() {
+        let c = bytes[lx.pos] as char;
+        let start = lx.pos;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => lx.pos += 1,
+            '/' if bytes.get(lx.pos + 1) == Some(&b'/') => {
+                while lx.pos < bytes.len() && bytes[lx.pos] != b'\n' {
+                    lx.pos += 1;
+                }
+            }
+            '/' if bytes.get(lx.pos + 1) == Some(&b'*') => {
+                lx.pos += 2;
+                while lx.pos + 1 < bytes.len()
+                    && !(bytes[lx.pos] == b'*' && bytes[lx.pos + 1] == b'/')
+                {
+                    lx.pos += 1;
+                }
+                if lx.pos + 1 >= bytes.len() {
+                    return Err(ScadParseError::new("unterminated block comment", start));
+                }
+                lx.pos += 2;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let rest = &lx.src[lx.pos..];
+                let end = rest
+                    .find(|ch: char| !(ch.is_ascii_digit() || ch == '.' || ch == 'e' || ch == 'E'))
+                    .unwrap_or(rest.len());
+                // Back off a trailing 'e' that isn't followed by digits.
+                let mut text = &rest[..end];
+                while text.ends_with(['e', 'E', '.']) {
+                    text = &text[..text.len() - 1];
+                }
+                let n: f64 = text
+                    .parse()
+                    .map_err(|e| ScadParseError::new(format!("bad number: {e}"), start))?;
+                lx.toks.push((Tok::Num(n), start));
+                lx.pos += text.len();
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let rest = &lx.src[lx.pos..];
+                let end = rest
+                    .find(|ch: char| !(ch.is_ascii_alphanumeric() || ch == '_' || ch == '$'))
+                    .unwrap_or(rest.len());
+                lx.toks
+                    .push((Tok::Ident(rest[..end].to_owned()), start));
+                lx.pos += end;
+            }
+            ':' => {
+                lx.toks.push((Tok::Colon, start));
+                lx.pos += 1;
+            }
+            '(' | ')' | '[' | ']' | '{' | '}' | ',' | ';' | '=' | '+' | '-' | '*' | '/' | '%' => {
+                lx.toks.push((Tok::Sym(c), start));
+                lx.pos += 1;
+            }
+            other => {
+                return Err(ScadParseError::new(
+                    format!("unexpected character `{other}`"),
+                    start,
+                ))
+            }
+        }
+    }
+    Ok(lx.toks)
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|&(_, o)| o)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), ScadParseError> {
+        match self.bump() {
+            Some(Tok::Sym(s)) if s == c => Ok(()),
+            other => Err(ScadParseError::new(
+                format!("expected `{c}`, found {other:?}"),
+                self.offset(),
+            )),
+        }
+    }
+
+    fn eat_sym(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Sym(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    // expr := term (('+'|'-') term)*
+    fn expr(&mut self) -> Result<ScadExpr, ScadParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            if self.eat_sym('+') {
+                lhs = ScadExpr::Bin(BinOp::Add, Box::new(lhs), Box::new(self.term()?));
+            } else if self.eat_sym('-') {
+                lhs = ScadExpr::Bin(BinOp::Sub, Box::new(lhs), Box::new(self.term()?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    // term := factor (('*'|'/'|'%') factor)*
+    fn term(&mut self) -> Result<ScadExpr, ScadParseError> {
+        let mut lhs = self.factor()?;
+        loop {
+            if self.eat_sym('*') {
+                lhs = ScadExpr::Bin(BinOp::Mul, Box::new(lhs), Box::new(self.factor()?));
+            } else if self.eat_sym('/') {
+                lhs = ScadExpr::Bin(BinOp::Div, Box::new(lhs), Box::new(self.factor()?));
+            } else if self.eat_sym('%') {
+                lhs = ScadExpr::Bin(BinOp::Mod, Box::new(lhs), Box::new(self.factor()?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<ScadExpr, ScadParseError> {
+        let off = self.offset();
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(ScadExpr::Num(n)),
+            Some(Tok::Sym('-')) => Ok(ScadExpr::Neg(Box::new(self.factor()?))),
+            Some(Tok::Sym('(')) => {
+                let e = self.expr()?;
+                self.expect_sym(')')?;
+                Ok(e)
+            }
+            Some(Tok::Sym('[')) => {
+                // Vector or range.
+                let first = self.expr()?;
+                if self.peek() == Some(&Tok::Colon) {
+                    self.pos += 1;
+                    let second = self.expr()?;
+                    if self.peek() == Some(&Tok::Colon) {
+                        self.pos += 1;
+                        let third = self.expr()?;
+                        self.expect_sym(']')?;
+                        Ok(ScadExpr::Range(
+                            Box::new(first),
+                            Some(Box::new(second)),
+                            Box::new(third),
+                        ))
+                    } else {
+                        self.expect_sym(']')?;
+                        Ok(ScadExpr::Range(Box::new(first), None, Box::new(second)))
+                    }
+                } else {
+                    let mut items = vec![first];
+                    while self.eat_sym(',') {
+                        items.push(self.expr()?);
+                    }
+                    self.expect_sym(']')?;
+                    Ok(ScadExpr::Vector(items))
+                }
+            }
+            Some(Tok::Ident(name)) => {
+                if name == "true" {
+                    return Ok(ScadExpr::Bool(true));
+                }
+                if name == "false" {
+                    return Ok(ScadExpr::Bool(false));
+                }
+                if self.peek() == Some(&Tok::Sym('(')) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !self.eat_sym(')') {
+                        args.push(self.expr()?);
+                        while self.eat_sym(',') {
+                            args.push(self.expr()?);
+                        }
+                        self.expect_sym(')')?;
+                    }
+                    Ok(ScadExpr::Call(name, args))
+                } else {
+                    Ok(ScadExpr::Var(name))
+                }
+            }
+            other => Err(ScadParseError::new(
+                format!("expected expression, found {other:?}"),
+                off,
+            )),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<ScadStmt, ScadParseError> {
+        let off = self.offset();
+        let Some(Tok::Ident(name)) = self.bump() else {
+            return Err(ScadParseError::new("expected statement", off));
+        };
+        if name == "for" {
+            self.expect_sym('(')?;
+            let var = match self.bump() {
+                Some(Tok::Ident(v)) => v,
+                other => {
+                    return Err(ScadParseError::new(
+                        format!("expected loop variable, found {other:?}"),
+                        off,
+                    ))
+                }
+            };
+            self.expect_sym('=')?;
+            let iter = self.expr()?;
+            self.expect_sym(')')?;
+            let body = self.child_block()?;
+            return Ok(ScadStmt::For { var, iter, body });
+        }
+        // Assignment?
+        if self.peek() == Some(&Tok::Sym('=')) {
+            self.pos += 1;
+            let value = self.expr()?;
+            self.expect_sym(';')?;
+            return Ok(ScadStmt::Assign(name, value));
+        }
+        // Module call.
+        self.expect_sym('(')?;
+        let mut args = Vec::new();
+        let mut named = Vec::new();
+        if !self.eat_sym(')') {
+            loop {
+                // Named argument: IDENT '=' expr (lookahead two tokens).
+                if let (Some(Tok::Ident(key)), Some(Tok::Sym('='))) = (
+                    self.toks.get(self.pos).map(|(t, _)| t),
+                    self.toks.get(self.pos + 1).map(|(t, _)| t),
+                ) {
+                    let key = key.clone();
+                    self.pos += 2;
+                    named.push((key, self.expr()?));
+                } else {
+                    args.push(self.expr()?);
+                }
+                if !self.eat_sym(',') {
+                    break;
+                }
+            }
+            self.expect_sym(')')?;
+        }
+        let children = if self.eat_sym(';') {
+            Vec::new()
+        } else {
+            self.child_block()?
+        };
+        Ok(ScadStmt::Call {
+            name,
+            args,
+            named,
+            children,
+        })
+    }
+
+    fn child_block(&mut self) -> Result<Vec<ScadStmt>, ScadParseError> {
+        if self.eat_sym('{') {
+            let mut body = Vec::new();
+            while !self.eat_sym('}') {
+                if self.peek().is_none() {
+                    return Err(ScadParseError::new("unclosed `{`", self.offset()));
+                }
+                body.push(self.stmt()?);
+            }
+            Ok(body)
+        } else {
+            // Single chained statement: translate(...) cube(...);
+            Ok(vec![self.stmt()?])
+        }
+    }
+}
+
+/// Parses an OpenSCAD program (the supported subset).
+///
+/// # Errors
+///
+/// Returns [`ScadParseError`] with a byte offset on malformed input.
+pub fn parse_scad(src: &str) -> Result<ScadProgram, ScadParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut stmts = Vec::new();
+    while p.peek().is_some() {
+        stmts.push(p.stmt()?);
+    }
+    Ok(ScadProgram { stmts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_primitives_and_transforms() {
+        let prog = parse_scad(
+            "translate([1, 2, 3]) cube([2, 2, 2], center = true);\n\
+             sphere(r = 5);",
+        )
+        .unwrap();
+        assert_eq!(prog.stmts.len(), 2);
+        match &prog.stmts[0] {
+            ScadStmt::Call { name, children, .. } => {
+                assert_eq!(name, "translate");
+                assert_eq!(children.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_loops_and_ranges() {
+        let prog = parse_scad(
+            "n = 6;\n\
+             for (i = [0 : n - 1]) rotate([0, 0, i * 360 / n]) translate([10, 0, 0]) cube(1);",
+        )
+        .unwrap();
+        assert_eq!(prog.stmts.len(), 2);
+        match &prog.stmts[1] {
+            ScadStmt::For { var, iter, body } => {
+                assert_eq!(var, "i");
+                assert!(matches!(iter, ScadExpr::Range(_, None, _)));
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_stepped_range_and_vector_iter() {
+        let prog = parse_scad("for (x = [0 : 2 : 10]) cube(1); for (y = [1, 4, 9]) cube(1);")
+            .unwrap();
+        assert!(matches!(
+            &prog.stmts[0],
+            ScadStmt::For {
+                iter: ScadExpr::Range(_, Some(_), _),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &prog.stmts[1],
+            ScadStmt::For {
+                iter: ScadExpr::Vector(v),
+                ..
+            } if v.len() == 3
+        ));
+    }
+
+    #[test]
+    fn parses_boolean_blocks_and_comments() {
+        let prog = parse_scad(
+            "// a plate with a hole\n\
+             difference() {\n\
+               cube([20, 20, 3], center = true); /* base */\n\
+               cylinder(r = 2, h = 10, center = true);\n\
+             }",
+        )
+        .unwrap();
+        match &prog.stmts[0] {
+            ScadStmt::Call { name, children, .. } => {
+                assert_eq!(name, "difference");
+                assert_eq!(children.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let prog = parse_scad("x = 1 + 2 * 3;").unwrap();
+        match &prog.stmts[0] {
+            ScadStmt::Assign(_, ScadExpr::Bin(BinOp::Add, a, _)) => {
+                assert_eq!(**a, ScadExpr::Num(1.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["cube(", "translate([1,2,3) cube(1);", "for i cube(1);", "@"] {
+            assert!(parse_scad(bad).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn trig_calls_parse() {
+        let prog = parse_scad("x = 10 + 7 * sin(90 * 2 + 45);").unwrap();
+        assert!(matches!(&prog.stmts[0], ScadStmt::Assign(_, _)));
+    }
+}

@@ -1,0 +1,51 @@
+//! # sz-solver: arithmetic function solvers
+//!
+//! Szalinski's "arithmetic component": given lists of concrete vector
+//! components extracted from the e-graph, find editable **closed forms**
+//! (paper §4.1). Three model classes are supported, exactly as in the
+//! paper:
+//!
+//! 1. degree-1 polynomials `a·i + b` — [`fit_poly1`];
+//! 2. degree-2 polynomials `a·i² + b·i + c` — [`fit_poly2`];
+//! 3. sinusoids `a·sin(b·i + c) + d` (degrees) — [`fit_trig`].
+//!
+//! The paper solves (1)–(2) with Z3 under an explicit noise tolerance
+//! (`|model(i) − x_i| ≤ ε`, ε = 0.001) and (3) with nonlinear least
+//! squares on top of the Owl library. Both external dependencies are
+//! replaced here by self-contained implementations with the same
+//! contracts: least squares via a one-sided Jacobi [`svd`], hard ε
+//! *verification* of every returned polynomial, and a frequency-scan +
+//! Gauss–Newton sine fitter selected by the coefficient of determination
+//! ([`r_squared`]), with parameter snapping ([`snap`], [`snap_angle`]) so
+//! results stay human-editable.
+//!
+//! [`fit_sequence`] performs the paper's model selection and
+//! [`FittedFn::to_expr`] emits the result as a LambdaCAD expression
+//! (including the `360·(i+1)/b` rotation heuristic via
+//! [`FittedFn::to_rotation_expr`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use sz_solver::fit_sequence;
+//! // Noisy decompiler output, recovered as 5·(i+1):
+//! let f = fit_sequence(&[5.001, 10.00001, 14.9998, 20.0], 1e-3).unwrap();
+//! assert_eq!(f.to_expr(0).to_string(), "(* 5 (+ i 1))");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod fit;
+mod mat;
+mod poly;
+mod snap;
+mod svd;
+mod trig;
+
+pub use fit::{fit_sequence, fit_sequence_all, FittedFn};
+pub use mat::Mat;
+pub use poly::{fit_const, fit_poly1, fit_poly2, Poly, DEFAULT_EPS};
+pub use snap::{is_nice, snap, snap_angle, snap_rational};
+pub use svd::{lstsq, svd, Svd};
+pub use trig::{fit_trig, r_squared, TrigFit};

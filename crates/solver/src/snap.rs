@@ -1,0 +1,141 @@
+//! Snapping noisy floats to "nice" values (integers, small rationals,
+//! square-root multiples), so that inferred closed forms are editable.
+//!
+//! The paper's examples show exactly this behaviour: a decompiled vector
+//! component `1.4999994660` is reported back as `1.5`, and a trig
+//! amplitude `7.07` stands for `10/√2`.
+
+/// Snaps `x` to the nearest nice value if within `eps`; otherwise returns
+/// `x` unchanged.
+///
+/// Nice values tried, in order: integers; rationals `p/q` with `q ≤ 16`;
+/// multiples of `√2` and `√3` with small rational coefficients.
+///
+/// # Examples
+///
+/// ```
+/// use sz_solver::snap;
+/// assert_eq!(snap(4.9999993, 1e-3), 5.0);
+/// assert_eq!(snap(0.33333421, 1e-3), 1.0 / 3.0);
+/// assert_eq!(snap(0.123456, 1e-6), 0.123456); // already "its own" value
+/// ```
+pub fn snap(x: f64, eps: f64) -> f64 {
+    if !x.is_finite() {
+        return x;
+    }
+    // Integers first: they are the most interpretable.
+    let rounded = x.round();
+    if (x - rounded).abs() <= eps {
+        return rounded;
+    }
+    // Small rationals.
+    if let Some(r) = snap_rational(x, eps, 16) {
+        return r;
+    }
+    // √2 / √3 multiples with small rational coefficients (q ≤ 4).
+    for root in [2.0f64.sqrt(), 3.0f64.sqrt()] {
+        let coeff = x / root;
+        if let Some(c) = snap_rational(coeff, eps / root, 4) {
+            if c != 0.0 {
+                return c * root;
+            }
+        }
+    }
+    x
+}
+
+/// Snaps to the closest `p/q` with `1 ≤ q ≤ max_den`, if within `eps`.
+pub fn snap_rational(x: f64, eps: f64, max_den: u32) -> Option<f64> {
+    let mut best: Option<(f64, f64)> = None; // (error, value)
+    for q in 1..=max_den {
+        let p = (x * q as f64).round();
+        let cand = p / q as f64;
+        let err = (x - cand).abs();
+        if err <= eps {
+            match best {
+                Some((e, _)) if e <= err => {}
+                _ => best = Some((err, cand)),
+            }
+        }
+    }
+    best.map(|(_, v)| v)
+}
+
+/// True if `x` sits (within `eps`) on the "nice" grid [`snap`] targets:
+/// integers, rationals `p/q` with `q ≤ 16`, or small √2/√3 multiples.
+/// Used to gate low-evidence fits (few samples) on interpretability.
+pub fn is_nice(x: f64, eps: f64) -> bool {
+    if !x.is_finite() {
+        return false;
+    }
+    (x - x.round()).abs() <= eps
+        || snap_rational(x, eps, 16).is_some()
+        || [2.0f64.sqrt(), 3.0f64.sqrt()]
+            .iter()
+            .any(|root| snap_rational(x / root, eps / root, 4).is_some())
+}
+
+/// Snaps an angle in degrees to multiples of 15° or to `360/k` for small
+/// `k`, if within `eps`; otherwise returns it unchanged. Used for rotation
+/// parameters where `360/n_teeth`-style values abound.
+pub fn snap_angle(x: f64, eps: f64) -> f64 {
+    let fifteen = (x / 15.0).round() * 15.0;
+    if (x - fifteen).abs() <= eps {
+        return fifteen;
+    }
+    for k in 1..=120u32 {
+        let cand = 360.0 / k as f64;
+        if (x - cand).abs() <= eps {
+            return cand;
+        }
+        if (x + cand).abs() <= eps {
+            return -cand;
+        }
+    }
+    snap(x, eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_win() {
+        assert_eq!(snap(5.0004, 1e-3), 5.0);
+        assert_eq!(snap(-12.0001, 1e-3), -12.0);
+        assert_eq!(snap(0.0002, 1e-3), 0.0);
+    }
+
+    #[test]
+    fn rationals() {
+        assert_eq!(snap(0.5001, 1e-3), 0.5);
+        assert_eq!(snap(0.24999, 1e-3), 0.25);
+        assert!((snap(0.866, 2e-3) - 0.866).abs() < 2e-3); // √3/2 ≈ 0.8660
+    }
+
+    #[test]
+    fn sqrt_multiples() {
+        let s2 = 2.0f64.sqrt();
+        assert!((snap(1.41424, 1e-3) - s2).abs() < 1e-12);
+        assert!((snap(0.7071, 1e-3) - s2 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn far_values_unchanged() {
+        assert_eq!(snap(0.123456, 1e-6), 0.123456);
+        assert_eq!(snap(17.0317, 1e-4), 17.0317);
+    }
+
+    #[test]
+    fn angles() {
+        assert_eq!(snap_angle(6.00001, 1e-3), 6.0); // 360/60
+        assert_eq!(snap_angle(45.0002, 1e-3), 45.0);
+        assert_eq!(snap_angle(5.142857, 1e-4), 360.0 / 70.0);
+    }
+
+    #[test]
+    fn non_finite_passthrough() {
+        assert!(snap(f64::NAN, 1e-3).is_nan());
+        assert_eq!(snap(f64::INFINITY, 1e-3), f64::INFINITY);
+    }
+}

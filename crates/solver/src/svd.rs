@@ -1,0 +1,186 @@
+//! One-sided Jacobi singular value decomposition for small matrices.
+//!
+//! This replaces the paper's use of the Owl library: the trigonometric
+//! solver's "iterative SVD refinement" needs least-squares solves that are
+//! robust to rank deficiency, which the SVD pseudo-inverse provides.
+
+use crate::Mat;
+
+/// The decomposition `A = U · diag(S) · Vᵀ` with `U` column-orthonormal
+/// (`m × n`), `S` the singular values (length `n`), and `V` orthogonal
+/// (`n × n`). Requires `m ≥ n`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m × n`.
+    pub u: Mat,
+    /// Singular values, descending order not guaranteed.
+    pub s: Vec<f64>,
+    /// Right singular vectors, `n × n`.
+    pub v: Mat,
+}
+
+/// Computes the SVD of `a` by one-sided Jacobi rotations.
+///
+/// # Panics
+///
+/// Panics if `a` has more columns than rows (pad or transpose first).
+pub fn svd(a: &Mat) -> Svd {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(m >= n, "one-sided Jacobi SVD requires rows >= cols");
+
+    let mut b = a.clone();
+    let mut v = Mat::identity(n);
+    let eps = 1e-14;
+
+    for _sweep in 0..60 {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let mut alpha = 0.0;
+                let mut beta = 0.0;
+                let mut gamma = 0.0;
+                for i in 0..m {
+                    alpha += b[(i, p)] * b[(i, p)];
+                    beta += b[(i, q)] * b[(i, q)];
+                    gamma += b[(i, p)] * b[(i, q)];
+                }
+                off = off.max(gamma.abs() / (alpha * beta).sqrt().max(1e-300));
+                if gamma.abs() <= eps * (alpha * beta).sqrt() {
+                    continue;
+                }
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let bp = b[(i, p)];
+                    let bq = b[(i, q)];
+                    b[(i, p)] = c * bp - s * bq;
+                    b[(i, q)] = s * bp + c * bq;
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)];
+                    v[(i, p)] = c * vp - s * vq;
+                    v[(i, q)] = s * vp + c * vq;
+                }
+            }
+        }
+        if off < eps {
+            break;
+        }
+    }
+
+    let mut s = Vec::with_capacity(n);
+    let mut u = Mat::zeros(m, n);
+    for j in 0..n {
+        let norm = b.col_norm(j);
+        s.push(norm);
+        if norm > 0.0 {
+            for i in 0..m {
+                u[(i, j)] = b[(i, j)] / norm;
+            }
+        }
+    }
+    Svd { u, s, v }
+}
+
+/// Minimum-norm least-squares solution of `A x ≈ b` via the SVD
+/// pseudo-inverse, truncating singular values below `rcond · max(s)`.
+///
+/// # Panics
+///
+/// Panics if dimensions mismatch.
+pub fn lstsq(a: &Mat, b: &[f64], rcond: f64) -> Vec<f64> {
+    assert_eq!(a.rows(), b.len(), "rhs length must match rows");
+    let decomposition = svd(a);
+    let smax = decomposition
+        .s
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
+    let n = a.cols();
+    // x = V · diag(1/s) · Uᵀ · b
+    let utb: Vec<f64> = (0..n)
+        .map(|j| (0..a.rows()).map(|i| decomposition.u[(i, j)] * b[i]).sum())
+        .collect();
+    let mut x = vec![0.0; n];
+    for j in 0..n {
+        if decomposition.s[j] > rcond * smax {
+            let w = utb[j] / decomposition.s[j];
+            for i in 0..n {
+                x[i] += decomposition.v[(i, j)] * w;
+            }
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(d: &Svd) -> Mat {
+        let mut sv = Mat::zeros(d.s.len(), d.s.len());
+        for (i, &s) in d.s.iter().enumerate() {
+            sv[(i, i)] = s;
+        }
+        d.u.mul(&sv).mul(&d.v.transpose())
+    }
+
+    #[test]
+    fn reconstructs_input() {
+        let a = Mat::from_rows(&[&[2.0, 0.0], &[0.0, 3.0], &[1.0, 1.0]]);
+        let d = svd(&a);
+        let r = reconstruct(&d);
+        for i in 0..3 {
+            for j in 0..2 {
+                assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_values_of_diagonal() {
+        let a = Mat::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        let mut s = svd(&a).s;
+        s.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        assert!((s[0] - 4.0).abs() < 1e-10);
+        assert!((s[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lstsq_exact_system() {
+        // y = 2x + 1 sampled exactly.
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0]]);
+        let b = [1.0, 3.0, 5.0];
+        let x = lstsq(&a, &b, 1e-12);
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lstsq_overdetermined_noisy() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 1.0]).collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Mat::from_rows(&row_refs);
+        let b: Vec<f64> = (0..10)
+            .map(|i| 3.0 * i as f64 - 2.0 + if i % 2 == 0 { 1e-4 } else { -1e-4 })
+            .collect();
+        let x = lstsq(&a, &b, 1e-12);
+        assert!((x[0] - 3.0).abs() < 1e-3);
+        assert!((x[1] + 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn lstsq_rank_deficient_min_norm() {
+        // Two identical columns: the min-norm solution splits the weight.
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let b = [2.0, 4.0, 6.0];
+        let x = lstsq(&a, &b, 1e-10);
+        assert!((x[0] - 1.0).abs() < 1e-8);
+        assert!((x[1] - 1.0).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,61 @@
+//! Solution diversity (paper §6.3, Figs. 15/18/19): the hex-cell
+//! generator admits both a nested-loop and a trigonometric program; each
+//! supports a different edit (add a column vs. make a flower).
+//!
+//! ```text
+//! cargo run --release --example hexcell
+//! ```
+
+use sz_cad::Cad;
+use sz_models::hexcell_plate;
+use szalinski::{synthesize, SynthConfig};
+
+fn main() {
+    let flat = hexcell_plate();
+    println!("input: {} nodes\n{}\n", flat.num_nodes(), flat.to_pretty(72));
+
+    let result = synthesize(&flat, &SynthConfig::new().with_k(24));
+
+    let loopy = result
+        .top_k
+        .iter()
+        .find(|p| p.cad.to_string().contains("MapIdx2"))
+        .expect("nested-loop variant in top-k");
+    let trig = result
+        .top_k
+        .iter()
+        .find(|p| p.cad.to_string().contains("Sin"))
+        .expect("trigonometric variant in top-k");
+
+    println!("nested-loop variant (Fig. 18):\n{}\n", loopy.cad.to_pretty(72));
+    println!("trigonometric variant (Fig. 19):\n{}\n", trig.cad.to_pretty(72));
+
+    // Edit 1 (loop variant): add a column by bumping one loop bound.
+    let widened: Cad = loopy
+        .cad
+        .to_string()
+        .replacen("(MapIdx2 2 2", "(MapIdx2 2 3", 1)
+        .parse()
+        .expect("edited loop parses");
+    println!(
+        "loop edit (extra column): {} -> {} cells",
+        loopy.cad.eval_to_flat().unwrap().num_prims() - 1,
+        widened.eval_to_flat().unwrap().num_prims() - 1
+    );
+
+    // Edit 2 (trig variant): a 10-cell flower by changing the count and
+    // frequency (the paper's 90° -> 36° edit).
+    let flower: Cad = trig
+        .cad
+        .to_string()
+        .replace("(* 90 i)", "(* 36 i)")
+        .replace("(Repeat Hexagon 4)", "(Repeat Hexagon 10)")
+        .replace("Hexagon) 4)", "Hexagon) 10)")
+        .parse()
+        .expect("edited trig parses");
+    println!(
+        "trig edit (flower): {} -> {} cells",
+        trig.cad.eval_to_flat().unwrap().num_prims() - 1,
+        flower.eval_to_flat().unwrap().num_prims() - 1
+    );
+}

@@ -1,0 +1,58 @@
+//! Figure 15: write STL renderings of the dice and hex-cell models, plus
+//! the two edited hex-cell variants (extra column; 10-cell flower).
+//!
+//! ```text
+//! cargo run --release --example renderings
+//! # STL files land in target/renderings/
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use sz_cad::Cad;
+use sz_mesh::{compile_mesh, write_ascii_stl, MeshQuality};
+use sz_models::{dice, hexcell_plate};
+
+fn export(cad: &Cad, name: &str, dir: &Path) {
+    let flat = cad.eval_to_flat().expect("evaluates");
+    let quality = MeshQuality {
+        grid_resolution: 96,
+        ..MeshQuality::default()
+    };
+    let mesh = compile_mesh(&flat, &quality).expect("compiles");
+    let path = dir.join(format!("{name}.stl"));
+    let file = fs::File::create(&path).expect("create file");
+    write_ascii_stl(&mesh, name, std::io::BufWriter::new(file)).expect("write STL");
+    println!(
+        "{}: {} triangles -> {}",
+        name,
+        mesh.triangles.len(),
+        path.display()
+    );
+}
+
+fn main() {
+    let dir = Path::new("target/renderings");
+    fs::create_dir_all(dir).expect("create output dir");
+
+    // Fig. 15 (left to right): the die, the hex-cell plate …
+    export(&dice(), "dice", dir);
+    export(&hexcell_plate(), "hc_bits", dir);
+
+    // … the loop edit adding a column of cells …
+    let extra_column: Cad =
+        "(Diff (Scale 30 20 3 Unit) (Fold Union Empty (MapIdx2 3 2 \
+          (Translate (+ 5 (* 10 i)) (+ 5 (* 10 j)) 1.5 (Scale 3 3 4 Hexagon)))))"
+            .parse()
+            .expect("edited model parses");
+    export(&extra_column, "hc_bits_extra_column", dir);
+
+    // … and the trig edit making a 10-cell flower (Fig. 19 right).
+    let flower: Cad =
+        "(Diff (Scale 20 20 3 Unit) (Fold Union Empty (Mapi (Fun (Translate \
+          (+ 10 (* 7.07 (Sin (+ (* 36 i) 315)))) \
+          (+ 10 (* 7.07 (Sin (+ (* 36 i) 225)))) 1.5 c)) (Repeat (Scale 2 2 4 Hexagon) 10))))"
+            .parse()
+            .expect("flower model parses");
+    export(&flower, "hc_bits_flower", dir);
+}

@@ -1,0 +1,23 @@
+//! # szalinski-repro: facade crate
+//!
+//! One-stop access to the whole Szalinski/ShrinkRay reproduction:
+//!
+//! * [`szalinski`] — the synthesizer (equality saturation + inverse
+//!   transformations);
+//! * [`sz_cad`] — the CSG/LambdaCAD languages and evaluator;
+//! * [`sz_egraph`] — the e-graph engine;
+//! * [`sz_solver`] — the arithmetic function solvers;
+//! * [`sz_mesh`] — meshes, STL, implicit geometry, translation validation;
+//! * [`sz_scad`] — OpenSCAD import/export;
+//! * [`sz_models`] — the 16-model benchmark suite and figure inputs.
+//!
+//! See the `examples/` directory for runnable walkthroughs and
+//! `crates/bench` for the table/figure harnesses.
+
+pub use sz_cad;
+pub use sz_egraph;
+pub use sz_mesh;
+pub use sz_models;
+pub use sz_scad;
+pub use sz_solver;
+pub use szalinski;

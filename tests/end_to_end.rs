@@ -1,0 +1,97 @@
+//! End-to-end pipeline tests with geometric (translation) validation:
+//! every synthesized program must denote the same solid as its input.
+
+use sz_mesh::validate_program;
+use sz_models::{gear, row_of_cubes};
+use szalinski::{synthesize, SynthConfig};
+
+fn config() -> SynthConfig {
+    SynthConfig::new().with_iter_limit(60).with_node_limit(80_000)
+}
+
+#[test]
+fn small_gear_end_to_end() {
+    // A 12-tooth gear keeps debug-mode runtime low; the 60-tooth run is
+    // in the release bench harness.
+    let flat = gear(12);
+    let result = synthesize(&flat, &config());
+    let (rank, prog) = result.structured().expect("gear has structure");
+    assert!(rank <= 5, "structured program must be in the top-5");
+    let s = prog.cad.to_string();
+    assert!(s.contains("(/ (* 360 (+ i 1)) 12)"), "rotation form: {s}");
+    assert!(prog.cad.num_nodes() < flat.num_nodes() / 2);
+    let v = validate_program(&prog.cad, &flat, 6000).unwrap();
+    assert!(v.equivalent, "geometry must be preserved: {v:?}");
+}
+
+#[test]
+fn every_top_k_program_is_equivalent_to_input() {
+    // Soundness across the whole top-k, not just the winner.
+    let flat = row_of_cubes(6, 3.0);
+    let result = synthesize(&flat, &config());
+    assert!(!result.top_k.is_empty());
+    for prog in &result.top_k {
+        let v = validate_program(&prog.cad, &flat, 4000).unwrap();
+        assert!(
+            v.equivalent,
+            "unsound program (cost {}): {}",
+            prog.cost, prog.cad
+        );
+    }
+}
+
+#[test]
+fn synthesis_is_deterministic() {
+    let flat = row_of_cubes(4, 2.0);
+    let a = synthesize(&flat, &config());
+    let b = synthesize(&flat, &config());
+    let strings = |r: &szalinski::Synthesis| -> Vec<String> {
+        r.top_k.iter().map(|p| p.cad.to_string()).collect()
+    };
+    assert_eq!(strings(&a), strings(&b));
+}
+
+#[test]
+fn noise_within_epsilon_preserves_structure() {
+    // §6.4: ε-bounded noise must not change the discovered structure.
+    let clean = row_of_cubes(6, 2.0);
+    let noisy = sz_models::add_noise(&clean, 4e-4, 17);
+    let clean_result = synthesize(&clean, &config());
+    let noisy_result = synthesize(&noisy, &config());
+    let (_, clean_prog) = clean_result.structured().expect("clean structure");
+    let (_, noisy_prog) = noisy_result.structured().expect("noisy structure");
+    // The recovered programs are *identical*: snapping removed the noise.
+    assert_eq!(clean_prog.cad, noisy_prog.cad);
+}
+
+#[test]
+fn scad_to_synthesis_to_scad() {
+    // The full §6.1 loop: parametric OpenSCAD -> flat -> synthesized ->
+    // OpenSCAD, preserving primitive counts.
+    let src = "for (i = [1 : 6]) translate([i * 4, 0, 0]) cube(2, center = true);";
+    let flat = sz_scad::scad_to_flat_csg(src).unwrap();
+    assert_eq!(flat.num_prims(), 6);
+    let result = synthesize(&flat, &config());
+    let (_, prog) = result.structured().expect("structure");
+    let emitted = sz_scad::cad_to_scad(&prog.cad).unwrap();
+    assert!(emitted.contains("for ("), "loop survives: {emitted}");
+    let reflat = sz_scad::scad_to_flat_csg(&emitted).unwrap();
+    assert_eq!(reflat.num_prims(), 6);
+}
+
+#[test]
+fn stl_pipeline_from_synthesized_program() {
+    // Program -> flat -> mesh -> STL -> mesh again.
+    let flat = row_of_cubes(3, 2.0);
+    let result = synthesize(&flat, &config());
+    let prog = &result.best().cad;
+    let mesh = sz_mesh::compile_mesh(
+        &prog.eval_to_flat().unwrap(),
+        &sz_mesh::MeshQuality::default(),
+    )
+    .unwrap();
+    let stl = sz_mesh::to_ascii_stl(&mesh, "row");
+    let back = sz_mesh::read_ascii_stl(stl.as_bytes()).unwrap();
+    assert_eq!(back.triangles.len(), mesh.triangles.len());
+    assert!((back.signed_volume() - 3.0).abs() < 1e-6);
+}

@@ -1,0 +1,153 @@
+//! Property-based tests over the whole stack: parser/printer round
+//! trips, rewrite soundness under the geometric semantics, solver
+//! recovery of planted closed forms, and evaluator/validator agreement.
+
+use proptest::prelude::*;
+use sz_cad::{AffineKind, Cad};
+use sz_mesh::validate_flat;
+use sz_solver::{fit_sequence, FittedFn};
+
+/// A strategy for random *flat* CSG terms of bounded size.
+fn arb_flat_cad() -> impl Strategy<Value = Cad> {
+    let leaf = prop_oneof![
+        Just(Cad::Unit),
+        Just(Cad::Sphere),
+        Just(Cad::Cylinder),
+        Just(Cad::Hexagon),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            // Affine with well-conditioned constants.
+            (
+                prop_oneof![
+                    Just(AffineKind::Translate),
+                    Just(AffineKind::Scale),
+                    Just(AffineKind::Rotate)
+                ],
+                -4.0f64..4.0,
+                -4.0f64..4.0,
+                -4.0f64..4.0,
+                inner.clone()
+            )
+                .prop_map(|(kind, x, y, z, c)| {
+                    let v = match kind {
+                        // Keep scales away from zero.
+                        AffineKind::Scale => [x.abs() + 0.5, y.abs() + 0.5, z.abs() + 0.5],
+                        // Axis-aligned rotations (the rewrites' domain).
+                        AffineKind::Rotate => [0.0, 0.0, x * 45.0],
+                        AffineKind::Translate => [x, y, z],
+                    };
+                    Cad::Affine(kind, v.into(), Box::new(c))
+                }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Cad::union(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Cad::diff(a, b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cad_print_parse_roundtrip(cad in arb_flat_cad()) {
+        let s = cad.to_string();
+        let back: Cad = s.parse().unwrap();
+        prop_assert_eq!(back, cad);
+    }
+
+    #[test]
+    fn pretty_print_parse_roundtrip(cad in arb_flat_cad()) {
+        let back: Cad = cad.to_pretty(40).parse().unwrap();
+        prop_assert_eq!(back, cad);
+    }
+
+    #[test]
+    fn eval_is_identity_on_flat(cad in arb_flat_cad()) {
+        // Flat terms are fixed points of evaluation (modulo Empty
+        // simplification, which these never contain).
+        let flat = cad.eval_to_flat().unwrap();
+        prop_assert_eq!(flat, cad);
+    }
+
+    #[test]
+    fn top_k_programs_preserve_geometry(cad in arb_flat_cad()) {
+        // The central soundness property: anything Szalinski returns is
+        // geometrically equal to its input.
+        let config = szalinski::SynthConfig::new()
+            .with_iter_limit(12)
+            .with_node_limit(12_000)
+            .with_k(3);
+        let result = szalinski::synthesize(&cad, &config);
+        for prog in &result.top_k {
+            let flat = prog.cad.eval_to_flat().unwrap();
+            let v = validate_flat(&flat, &cad, 1500).unwrap();
+            prop_assert!(
+                v.volume.agreement >= 0.98,
+                "agreement {} for {}",
+                v.volume.agreement,
+                prog.cad
+            );
+        }
+    }
+
+    #[test]
+    fn solver_recovers_planted_linear(a in -20.0f64..20.0, b in -20.0f64..20.0, n in 3usize..20) {
+        let vals: Vec<f64> = (0..n).map(|i| a * i as f64 + b).collect();
+        let f = fit_sequence(&vals, 1e-3).expect("linear data fits");
+        for (i, &v) in vals.iter().enumerate() {
+            prop_assert!((f.eval(i as f64) - v).abs() <= 2e-3);
+        }
+    }
+
+    #[test]
+    fn solver_recovers_planted_linear_under_noise(
+        a in -10.0f64..10.0,
+        b in -10.0f64..10.0,
+        seed in 0u64..1000,
+        n in 4usize..16,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let vals: Vec<f64> = (0..n)
+            .map(|i| a * i as f64 + b + rng.gen_range(-4e-4..4e-4))
+            .collect();
+        let f = fit_sequence(&vals, 1e-3).expect("noisy linear data fits");
+        // The fitted form must match the *clean* model closely.
+        for i in 0..n {
+            prop_assert!((f.eval(i as f64) - (a * i as f64 + b)).abs() <= 2e-3);
+        }
+    }
+
+    #[test]
+    fn solver_never_fits_large_random_scatter(seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Widely scattered integers-plus-junk, 9 samples: none of the
+        // three model classes should claim them.
+        let vals: Vec<f64> = (0..9).map(|_| rng.gen_range(-50.0..50.0)).collect();
+        if let Some(f) = fit_sequence(&vals, 1e-3) {
+            // If something fit, it must genuinely reproduce the data.
+            for (i, &v) in vals.iter().enumerate() {
+                prop_assert!((f.eval(i as f64) - v).abs() <= 1e-2, "spurious {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn trig_fits_report_high_r2(amp in 1.0f64..10.0, phase in 0.0f64..360.0, n in 6usize..16) {
+        let vals: Vec<f64> = (0..n)
+            .map(|i| amp * ((30.0 * i as f64 + phase).to_radians()).sin())
+            .collect();
+        if let Some(FittedFn::Trig(t)) = fit_sequence(&vals, 1e-3) {
+            prop_assert!(t.r2 > 0.999);
+        }
+    }
+
+    #[test]
+    fn scad_emission_reflattens(n in 2usize..8, spacing in 1.0f64..5.0) {
+        let flat = sz_models::row_of_cubes(n, spacing);
+        let scad = sz_scad::cad_to_scad(&flat).unwrap();
+        let back = sz_scad::scad_to_flat_csg(&scad).unwrap();
+        prop_assert_eq!(back.num_prims(), n);
+    }
+}

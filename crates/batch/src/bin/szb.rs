@@ -1,0 +1,363 @@
+//! `szb` — batch synthesis CLI.
+//!
+//! Decompiles a whole corpus (a directory of `.scad`/`.csexp` files, or
+//! the paper's 16-model suite) end-to-end: parse → synthesize → emit
+//! structured OpenSCAD, in parallel, with a persistent result cache and
+//! a JSON-lines report.
+//!
+//! ```text
+//! szb --suite16 --workers 4 --cache warm.sexp
+//! szb models/ --out decompiled/ --report BENCH_batch.json
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use sz_batch::{
+    dir_jobs, sanitize_name, suite16_jobs, write_report, BatchEngine, BatchJob, JobStatus,
+    ResultCache,
+};
+use szalinski::{CostKind, SynthConfig, TableRow};
+
+const USAGE: &str = "\
+szb — parallel batch synthesis over a model corpus
+
+USAGE:
+    szb [OPTIONS] <INPUT_DIR>
+    szb [OPTIONS] --suite16
+
+INPUT:
+    <INPUT_DIR>            directory of .scad / .csexp models (non-recursive)
+    --suite16              the paper's 16-model Table-1 corpus
+
+EXECUTION:
+    --workers <N>          worker threads (default: available cores)
+    --sequential           plain in-order loop, no thread pool (baseline)
+    --deadline <SECS>      per-job wall-clock deadline (clamps saturation time)
+
+CACHE & OUTPUT:
+    --cache <FILE>         persistent result cache (loaded before, saved after)
+    --report <FILE>        JSON-lines report (default: BENCH_batch.json; 'none' disables)
+    --out <DIR>            write each job's best program as <name>.scad and <name>.csexp
+
+SYNTHESIS FUEL:
+    --k <N>                top-k programs to return        (default 5)
+    --eps <X>              solver tolerance                (default 1e-3)
+    --iter-limit <N>       saturation iteration limit      (default 150)
+    --node-limit <N>       saturation e-node limit         (default 200000)
+    --time-limit <SECS>    saturation time limit           (default 60)
+    --structural-rules     include assoc/comm boolean rules
+    --backoff              throttle explosive rules (backoff scheduler)
+    --reward-loops         extract with the loop-rewarding cost function
+
+MISC:
+    --quiet                suppress the per-job table
+    --help                 show this text
+";
+
+struct Options {
+    input_dir: Option<PathBuf>,
+    suite16: bool,
+    workers: Option<usize>,
+    sequential: bool,
+    deadline: Option<Duration>,
+    cache: Option<PathBuf>,
+    report: Option<PathBuf>,
+    out_dir: Option<PathBuf>,
+    config: SynthConfig,
+    quiet: bool,
+}
+
+/// Parses a positive, finite seconds value (`Duration::from_secs_f64`
+/// panics on NaN/negative/infinite input, so reject those up front).
+fn parse_secs(flag: &str, text: &str) -> Result<Duration, String> {
+    let secs: f64 = text.parse().map_err(|e| format!("{flag}: {e}"))?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(format!("{flag} must be a positive number of seconds"));
+    }
+    Ok(Duration::from_secs_f64(secs))
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        input_dir: None,
+        suite16: false,
+        workers: None,
+        sequential: false,
+        deadline: None,
+        cache: None,
+        report: Some(PathBuf::from("BENCH_batch.json")),
+        out_dir: None,
+        config: SynthConfig::new(),
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--suite16" => opts.suite16 = true,
+            "--sequential" => opts.sequential = true,
+            "--structural-rules" => opts.config = opts.config.clone().with_structural_rules(true),
+            "--backoff" => opts.config = opts.config.clone().with_backoff(true),
+            "--reward-loops" => opts.config = opts.config.clone().with_cost(CostKind::RewardLoops),
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            "--workers" => {
+                opts.workers = Some(value()?.parse().map_err(|e| format!("--workers: {e}"))?)
+            }
+            "--deadline" => {
+                opts.deadline = Some(parse_secs("--deadline", value()?)?);
+            }
+            "--cache" => opts.cache = Some(PathBuf::from(value()?)),
+            "--report" => {
+                let v = value()?;
+                opts.report = (v != "none").then(|| PathBuf::from(v));
+            }
+            "--out" => opts.out_dir = Some(PathBuf::from(value()?)),
+            "--k" => {
+                opts.config = opts
+                    .config
+                    .clone()
+                    .with_k(value()?.parse().map_err(|e| format!("--k: {e}"))?)
+            }
+            "--eps" => {
+                opts.config = opts
+                    .config
+                    .clone()
+                    .with_eps(value()?.parse().map_err(|e| format!("--eps: {e}"))?)
+            }
+            "--iter-limit" => {
+                opts.config = opts
+                    .config
+                    .clone()
+                    .with_iter_limit(value()?.parse().map_err(|e| format!("--iter-limit: {e}"))?)
+            }
+            "--node-limit" => {
+                opts.config = opts
+                    .config
+                    .clone()
+                    .with_node_limit(value()?.parse().map_err(|e| format!("--node-limit: {e}"))?)
+            }
+            "--time-limit" => {
+                opts.config.time_limit = parse_secs("--time-limit", value()?)?;
+            }
+            other if !other.starts_with('-') && opts.input_dir.is_none() => {
+                opts.input_dir = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    match (&opts.input_dir, opts.suite16) {
+        (Some(_), true) => Err("give either an input directory or --suite16, not both".into()),
+        (None, false) => Err("no input: give a directory of models or --suite16".into()),
+        _ => Ok(opts),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("szb: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Enumerate the corpus.
+    let jobs: Vec<BatchJob> = if opts.suite16 {
+        suite16_jobs(&opts.config)
+    } else {
+        let dir = opts.input_dir.as_ref().unwrap();
+        match dir_jobs(dir, &opts.config) {
+            Ok((jobs, skips)) => {
+                for skip in &skips {
+                    eprintln!("szb: skipping {skip}");
+                }
+                jobs
+            }
+            Err(e) => {
+                eprintln!("szb: cannot scan {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+    };
+    if jobs.is_empty() {
+        eprintln!("szb: no models to run");
+        return ExitCode::from(2);
+    }
+
+    // Warm the cache from disk if requested.
+    let cache = match &opts.cache {
+        Some(path) => match ResultCache::load(path) {
+            Ok(cache) => {
+                if !opts.quiet && !cache.is_empty() {
+                    println!(
+                        "cache: loaded {} entries from {}",
+                        cache.len(),
+                        path.display()
+                    );
+                }
+                Some(Arc::new(Mutex::new(cache)))
+            }
+            Err(e) => {
+                eprintln!("szb: cannot load cache: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+
+    let mut engine = BatchEngine::new();
+    if let Some(workers) = opts.workers {
+        engine = engine.with_workers(workers);
+    }
+    if let Some(deadline) = opts.deadline {
+        engine = engine.with_deadline(deadline);
+    }
+    if let Some(cache) = &cache {
+        engine = engine.with_cache(Arc::clone(cache));
+    }
+
+    let n_jobs = jobs.len();
+    if !opts.quiet {
+        println!(
+            "szb: {n_jobs} jobs, {} ({} mode)",
+            match opts.workers {
+                Some(w) => format!("{w} workers"),
+                None => "auto workers".to_owned(),
+            },
+            if opts.sequential {
+                "sequential"
+            } else {
+                "parallel"
+            },
+        );
+    }
+    let report = if opts.sequential {
+        engine.run_sequential(jobs)
+    } else {
+        engine.run(jobs)
+    };
+
+    // Per-job table.
+    if !opts.quiet {
+        println!();
+        println!("{}  cached", TableRow::header());
+        println!("{}", "-".repeat(126));
+        for outcome in &report.outcomes {
+            match (&outcome.status, &outcome.row) {
+                (JobStatus::Ok, Some(row)) => println!(
+                    "{}  {}",
+                    row.format(),
+                    if outcome.cached { "yes" } else { "no" }
+                ),
+                (status, _) => println!(
+                    "{:<24} {status:?}",
+                    outcome.name.chars().take(24).collect::<String>()
+                ),
+            }
+        }
+        println!("{}", "-".repeat(126));
+    }
+
+    // Aggregates.
+    println!(
+        "szb: {}/{} ok in {:.2}s ({:.2} jobs/s, {} workers) | cache: {} hits / {} misses ({:.0}% hit rate) | mean size reduction {:.0}%, structure {:.0}%",
+        report.ok_count(),
+        n_jobs,
+        report.wall_time.as_secs_f64(),
+        report.throughput(),
+        report.workers,
+        report.cache_hits(),
+        report.cache_misses(),
+        report.cache_hit_rate() * 100.0,
+        report.mean_size_reduction() * 100.0,
+        report.structure_fraction() * 100.0,
+    );
+
+    // JSONL report.
+    if let Some(path) = &opts.report {
+        match std::fs::File::create(path).map(|f| write_report(f, &report)) {
+            Ok(Ok(())) => {
+                if !opts.quiet {
+                    println!("szb: wrote report to {}", path.display());
+                }
+            }
+            Ok(Err(e)) | Err(e) => {
+                eprintln!("szb: cannot write report {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Persist the cache.
+    if let (Some(path), Some(cache)) = (&opts.cache, &cache) {
+        let cache = cache.lock().unwrap();
+        if let Err(e) = cache.save(path) {
+            eprintln!("szb: cannot save cache {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !opts.quiet {
+            println!("cache: saved {} entries to {}", cache.len(), path.display());
+        }
+    }
+
+    // Structured OpenSCAD emission.
+    if let Some(out_dir) = &opts.out_dir {
+        if let Err(e) = std::fs::create_dir_all(out_dir) {
+            eprintln!("szb: cannot create {}: {e}", out_dir.display());
+            return ExitCode::FAILURE;
+        }
+        let mut emitted = 0usize;
+        let mut used_stems = std::collections::HashSet::new();
+        for outcome in &report.outcomes {
+            let Some(best) = outcome.best() else { continue };
+            // Distinct job names can sanitize to the same stem
+            // (`a:b` and `a_b`); suffix until unique so no output is
+            // silently overwritten.
+            let mut stem = sanitize_name(&outcome.name);
+            let mut tie = 1usize;
+            while !used_stems.insert(stem.clone()) {
+                tie += 1;
+                stem = format!("{}_{tie}", sanitize_name(&outcome.name));
+            }
+            let cad: sz_cad::Cad = best.parse().expect("engine emits valid programs");
+            if let Err(e) = std::fs::write(out_dir.join(format!("{stem}.csexp")), best) {
+                eprintln!("szb: cannot write {stem}.csexp: {e}");
+                return ExitCode::FAILURE;
+            }
+            match sz_scad::cad_to_scad(&cad) {
+                Ok(scad) => {
+                    if let Err(e) = std::fs::write(out_dir.join(format!("{stem}.scad")), scad) {
+                        eprintln!("szb: cannot write {stem}.scad: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    emitted += 1;
+                }
+                Err(e) => eprintln!("szb: no OpenSCAD for {}: {e}", outcome.name),
+            }
+        }
+        if !opts.quiet {
+            println!(
+                "szb: emitted {emitted} OpenSCAD programs to {}",
+                out_dir.display()
+            );
+        }
+    }
+
+    if report.ok_count() == n_jobs {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

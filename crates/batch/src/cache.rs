@@ -1,0 +1,317 @@
+//! Content-addressed result cache for synthesis runs.
+//!
+//! The key is a stable 64-bit FNV-1a hash over the input's canonical
+//! s-expression plus [`SynthConfig::fingerprint`] — re-decompiling an
+//! unchanged model under an unchanged configuration is a lookup, not a
+//! saturation run. The cache persists to disk as one s-expression per
+//! line (the repo's native interchange format), so a second `szb`
+//! invocation starts warm.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use sz_cad::{Cad, Sexp};
+use szalinski::SynthConfig;
+
+/// Stable FNV-1a (64-bit) over bytes; explicit so the key never changes
+/// with std's `Hasher` internals across releases.
+fn fnv1a(chunks: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Separator byte so ("ab","c") and ("a","bc") differ.
+        h ^= 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The content-addressed key of one `(input, config)` job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobKey(pub u64);
+
+impl JobKey {
+    /// Hashes the canonical input s-expression and config fingerprint.
+    pub fn of(input: &Cad, config: &SynthConfig) -> JobKey {
+        JobKey(fnv1a(&[
+            input.to_string().as_bytes(),
+            config.fingerprint().as_bytes(),
+        ]))
+    }
+}
+
+impl fmt::Display for JobKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// A cached synthesis outcome: the top-k programs (cost plus term) and
+/// the wall-clock seconds the original run took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedRun {
+    /// `(cost, program)` pairs, cheapest first, as extraction returned
+    /// them.
+    pub programs: Vec<(usize, Cad)>,
+    /// Wall-clock seconds of the original (uncached) run.
+    pub time_s: f64,
+}
+
+/// In-memory content-addressed store with s-expression persistence.
+#[derive(Debug, Default, Clone)]
+pub struct ResultCache {
+    map: HashMap<u64, CachedRun>,
+}
+
+/// Error loading a persisted cache file.
+#[derive(Debug)]
+pub enum CacheLoadError {
+    /// The file could not be read.
+    Io(io::Error),
+    /// A line was not a well-formed cache entry (1-based line number).
+    Malformed(usize, String),
+}
+
+impl fmt::Display for CacheLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheLoadError::Io(e) => write!(f, "cache io error: {e}"),
+            CacheLoadError::Malformed(line, what) => {
+                write!(f, "malformed cache entry on line {line}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheLoadError {}
+
+impl From<io::Error> for CacheLoadError {
+    fn from(e: io::Error) -> Self {
+        CacheLoadError::Io(e)
+    }
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached runs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up a run by key.
+    pub fn get(&self, key: JobKey) -> Option<&CachedRun> {
+        self.map.get(&key.0)
+    }
+
+    /// Stores a run under `key` (last write wins).
+    pub fn insert(&mut self, key: JobKey, run: CachedRun) {
+        self.map.insert(key.0, run);
+    }
+
+    /// Serializes to the line-oriented s-expression format, sorted by
+    /// key so saves are byte-stable.
+    pub fn to_lines(&self) -> String {
+        let mut keys: Vec<&u64> = self.map.keys().collect();
+        keys.sort();
+        let mut out = String::new();
+        for k in keys {
+            let run = &self.map[k];
+            let progs: Vec<Sexp> = run
+                .programs
+                .iter()
+                .map(|(cost, cad)| {
+                    Sexp::list(vec![
+                        Sexp::atom(cost.to_string()),
+                        cad.to_string().parse().expect("Cad prints valid sexp"),
+                    ])
+                })
+                .collect();
+            let entry = Sexp::list(vec![
+                Sexp::atom("entry"),
+                Sexp::atom(format!("{:016x}", k)),
+                Sexp::list(vec![
+                    Sexp::atom("time-s"),
+                    Sexp::atom(run.time_s.to_string()),
+                ]),
+                Sexp::list(std::iter::once(Sexp::atom("progs")).chain(progs).collect()),
+            ]);
+            out.push_str(&entry.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the format written by [`ResultCache::to_lines`].
+    pub fn from_lines(text: &str) -> Result<Self, CacheLoadError> {
+        let mut cache = ResultCache::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let malformed = |what: &str| CacheLoadError::Malformed(lineno + 1, what.to_owned());
+            let sexp: Sexp = line
+                .parse()
+                .map_err(|e: sz_cad::SexpParseError| malformed(&e.to_string()))?;
+            let items = sexp.as_list().ok_or_else(|| malformed("not a list"))?;
+            match items {
+                [tag, key, time, progs] if tag.as_atom() == Some("entry") => {
+                    let key = key
+                        .as_atom()
+                        .and_then(|k| u64::from_str_radix(k, 16).ok())
+                        .ok_or_else(|| malformed("bad key"))?;
+                    let time_s = match time.as_list() {
+                        Some([t, v]) if t.as_atom() == Some("time-s") => v
+                            .as_atom()
+                            .and_then(|v| v.parse::<f64>().ok())
+                            .ok_or_else(|| malformed("bad time"))?,
+                        _ => return Err(malformed("bad time field")),
+                    };
+                    let progs = match progs.as_list() {
+                        Some([tag, rest @ ..]) if tag.as_atom() == Some("progs") => rest,
+                        _ => return Err(malformed("bad progs field")),
+                    };
+                    let mut programs = Vec::with_capacity(progs.len());
+                    for p in progs {
+                        match p.as_list() {
+                            Some([cost, term]) => {
+                                let cost = cost
+                                    .as_atom()
+                                    .and_then(|c| c.parse::<usize>().ok())
+                                    .ok_or_else(|| malformed("bad cost"))?;
+                                let cad = term
+                                    .to_string()
+                                    .parse::<Cad>()
+                                    .map_err(|e| malformed(&format!("bad program: {e}")))?;
+                                programs.push((cost, cad));
+                            }
+                            _ => return Err(malformed("bad program entry")),
+                        }
+                    }
+                    cache.insert(JobKey(key), CachedRun { programs, time_s });
+                }
+                _ => return Err(malformed("not an (entry ...) form")),
+            }
+        }
+        Ok(cache)
+    }
+
+    /// Loads a cache file; a missing file is an empty cache (cold
+    /// start), any other error is reported.
+    pub fn load(path: &Path) -> Result<Self, CacheLoadError> {
+        let mut text = String::new();
+        match std::fs::File::open(path) {
+            Ok(mut f) => {
+                f.read_to_string(&mut text)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Self::new()),
+            Err(e) => return Err(e.into()),
+        }
+        Self::from_lines(&text)
+    }
+
+    /// Writes the cache to `path` (atomically via a sibling temp file).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.to_lines().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cad(n: usize) -> Cad {
+        Cad::union_chain(
+            (1..=n)
+                .map(|i| Cad::translate(2.0 * i as f64, 0.0, 0.0, Cad::Unit))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn key_is_stable_and_content_addressed() {
+        let config = SynthConfig::new();
+        let a = JobKey::of(&sample_cad(4), &config);
+        let b = JobKey::of(&sample_cad(4), &config);
+        assert_eq!(a, b);
+        // Different input or different config: different key.
+        assert_ne!(a, JobKey::of(&sample_cad(5), &config));
+        assert_ne!(a, JobKey::of(&sample_cad(4), &config.clone().with_k(7)));
+    }
+
+    #[test]
+    fn roundtrip_through_lines() {
+        let mut cache = ResultCache::new();
+        let key = JobKey::of(&sample_cad(3), &SynthConfig::new());
+        let run = CachedRun {
+            programs: vec![
+                (9, "(Fold Union Empty (Mapi (Fun (Translate (* 2 (+ i 1)) 0 0 c)) (Repeat Unit 3)))"
+                    .parse()
+                    .unwrap()),
+                (12, sample_cad(3)),
+            ],
+            time_s: 1.25,
+        };
+        cache.insert(key, run.clone());
+        let text = cache.to_lines();
+        let back = ResultCache::from_lines(&text).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.get(key).unwrap(), &run);
+        // Byte-stable: serializing again yields identical text.
+        assert_eq!(back.to_lines(), text);
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let dir = std::env::temp_dir().join("sz_batch_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.sexp");
+        let _ = std::fs::remove_file(&path);
+
+        // Missing file loads empty.
+        assert!(ResultCache::load(&path).unwrap().is_empty());
+
+        let mut cache = ResultCache::new();
+        cache.insert(
+            JobKey(42),
+            CachedRun {
+                programs: vec![(5, Cad::Unit)],
+                time_s: 0.5,
+            },
+        );
+        cache.save(&path).unwrap();
+        let back = ResultCache::load(&path).unwrap();
+        assert_eq!(back.get(JobKey(42)).unwrap().programs[0].1, Cad::Unit);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        let err = ResultCache::from_lines("(entry zz)").unwrap_err();
+        match err {
+            CacheLoadError::Malformed(1, _) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(ResultCache::from_lines("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! Corpus enumeration: turning the 16-model suite or a directory of
+//! `.scad`/`.csexp` files into [`BatchJob`]s.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use sz_cad::Cad;
+use szalinski::SynthConfig;
+
+use crate::engine::BatchJob;
+
+/// Jobs for the paper's 16-model Table-1 suite, in paper order.
+pub fn suite16_jobs(config: &SynthConfig) -> Vec<BatchJob> {
+    sz_models::all_models()
+        .into_iter()
+        .map(|m| BatchJob::new(m.name, m.flat, config.clone()))
+        .collect()
+}
+
+/// Why one corpus file could not be loaded (the batch continues; these
+/// are reported alongside the jobs).
+#[derive(Debug)]
+pub struct CorpusSkip {
+    /// The offending file.
+    pub path: PathBuf,
+    /// Parse/translation error text.
+    pub reason: String,
+}
+
+impl fmt::Display for CorpusSkip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.reason)
+    }
+}
+
+/// Scans `dir` (non-recursively) for `.scad` and `.csexp` files and
+/// builds one job per loadable file, sorted by file name so batch
+/// order — and therefore reports — are deterministic.
+///
+/// * `.scad` — parametric OpenSCAD, flattened to CSG via
+///   [`sz_scad::scad_to_flat_csg`];
+/// * `.csexp` — a flat CSG s-expression, parsed via [`Cad`]'s `FromStr`.
+///
+/// Unloadable files become [`CorpusSkip`]s instead of failing the whole
+/// corpus.
+pub fn dir_jobs(dir: &Path, config: &SynthConfig) -> io::Result<(Vec<BatchJob>, Vec<CorpusSkip>)> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|e| e.to_str()),
+                Some("scad") | Some("csexp")
+            )
+        })
+        .collect();
+    paths.sort();
+
+    // Job names default to the file stem; when two files share a stem
+    // (`model.scad` + `model.csexp`) keep the extension so names — and
+    // therefore `--out` artifacts — never collide.
+    let mut stem_counts: HashMap<String, usize> = HashMap::new();
+    for path in &paths {
+        if let Some(stem) = path.file_stem() {
+            *stem_counts
+                .entry(stem.to_string_lossy().into_owned())
+                .or_default() += 1;
+        }
+    }
+
+    let mut jobs = Vec::new();
+    let mut skips = Vec::new();
+    for path in paths {
+        let name = match path.file_stem() {
+            Some(stem) => {
+                let stem = stem.to_string_lossy().into_owned();
+                if stem_counts[&stem] > 1 {
+                    path.file_name()
+                        .map(|f| f.to_string_lossy().into_owned())
+                        .unwrap_or(stem)
+                } else {
+                    stem
+                }
+            }
+            None => path.display().to_string(),
+        };
+        let mut skip = |reason: String| {
+            skips.push(CorpusSkip {
+                path: path.clone(),
+                reason,
+            })
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                skip(format!("read error: {e}"));
+                continue;
+            }
+        };
+        let flat = match path.extension().and_then(|e| e.to_str()) {
+            Some("scad") => match sz_scad::scad_to_flat_csg(&text) {
+                Ok(flat) => flat,
+                Err(e) => {
+                    skip(format!("OpenSCAD translation failed: {e}"));
+                    continue;
+                }
+            },
+            Some("csexp") => match text.trim().parse::<Cad>() {
+                Ok(cad) if cad.is_flat_csg() => cad,
+                Ok(_) => {
+                    skip("not a flat CSG".to_owned());
+                    continue;
+                }
+                Err(e) => {
+                    skip(format!("CSG parse failed: {e}"));
+                    continue;
+                }
+            },
+            _ => unreachable!("filtered above"),
+        };
+        jobs.push(BatchJob::new(name, flat, config.clone()));
+    }
+    Ok((jobs, skips))
+}
+
+/// Makes a job name safe as a file stem (`3362402:gear` →
+/// `3362402_gear`).
+pub fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite16_has_sixteen_named_jobs() {
+        let jobs = suite16_jobs(&SynthConfig::new());
+        assert_eq!(jobs.len(), 16);
+        assert!(jobs.iter().all(|j| j.input.is_flat_csg()));
+        assert!(jobs.iter().any(|j| j.name == "3362402:gear"));
+    }
+
+    #[test]
+    fn dir_scan_loads_both_formats_and_reports_skips() {
+        let dir = std::env::temp_dir().join("sz_batch_corpus_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("b_fins.scad"),
+            "for (i = [0 : 3]) translate([i * 6, 0, 0]) cube([2, 30, 40], center = true);",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("a_row.csexp"),
+            "(Union (Translate 2 0 0 Unit) (Translate 4 0 0 Unit))",
+        )
+        .unwrap();
+        std::fs::write(dir.join("broken.csexp"), "(Union Unit").unwrap();
+        std::fs::write(dir.join("looped.csexp"), "(Repeat Unit 3)").unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not a model").unwrap();
+
+        let (jobs, skips) = dir_jobs(&dir, &SynthConfig::new()).unwrap();
+        // Sorted by file name: a_row before b_fins.
+        assert_eq!(
+            jobs.iter().map(|j| j.name.as_str()).collect::<Vec<_>>(),
+            vec!["a_row", "b_fins"]
+        );
+        assert_eq!(jobs[1].input.num_prims(), 4);
+        assert_eq!(skips.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn colliding_stems_keep_their_extensions() {
+        let dir = std::env::temp_dir().join("sz_batch_corpus_collide");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("model.scad"),
+            "for (i = [0 : 2]) translate([i * 4, 0, 0]) cube(1, center = true);",
+        )
+        .unwrap();
+        std::fs::write(dir.join("model.csexp"), "(Translate 1 0 0 Unit)").unwrap();
+        let (jobs, skips) = dir_jobs(&dir, &SynthConfig::new()).unwrap();
+        assert!(skips.is_empty());
+        let mut names: Vec<&str> = jobs.iter().map(|j| j.name.as_str()).collect();
+        names.sort();
+        assert_eq!(names, vec!["model.csexp", "model.scad"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sanitize() {
+        assert_eq!(sanitize_name("3362402:gear"), "3362402_gear");
+        assert_eq!(sanitize_name("a/b c"), "a_b_c");
+        assert_eq!(sanitize_name("ok-name_1.2"), "ok-name_1.2");
+    }
+}

@@ -1,0 +1,486 @@
+//! The batch-synthesis engine: fans `(Cad, SynthConfig)` jobs across a
+//! work-stealing pool, consults the content-addressed [`ResultCache`],
+//! and collects per-job outcomes plus aggregate statistics.
+//!
+//! Parallel and sequential execution share one per-job code path
+//! ([`BatchEngine::run`] vs [`BatchEngine::run_sequential`]), so the
+//! batch output is byte-identical to a plain loop over
+//! [`szalinski::try_synthesize`] — verified by the crate's determinism
+//! tests.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sz_cad::Cad;
+use szalinski::{try_synthesize, SynthConfig, SynthError, Synthesis, TableRow};
+
+use crate::cache::{CachedRun, JobKey, ResultCache};
+use crate::pool::run_tasks;
+
+/// One unit of batch work: a named flat CSG plus its synthesis config.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Job name (model name or source file stem); used in reports.
+    pub name: String,
+    /// The flat CSG input.
+    pub input: Cad,
+    /// Synthesis fuel/configuration for this job.
+    pub config: SynthConfig,
+}
+
+impl BatchJob {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, input: Cad, config: SynthConfig) -> Self {
+        BatchJob {
+            name: name.into(),
+            input,
+            config,
+        }
+    }
+}
+
+/// Terminal state of one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Synthesis produced programs (fresh or cached).
+    Ok,
+    /// The pipeline rejected the input (e.g. not a flat CSG).
+    Rejected(SynthError),
+    /// The job panicked; the message is the panic payload.
+    Panicked(String),
+}
+
+impl JobStatus {
+    /// Short machine-readable tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            JobStatus::Ok => "ok",
+            JobStatus::Rejected(_) => "rejected",
+            JobStatus::Panicked(_) => "panicked",
+        }
+    }
+}
+
+/// The per-job result record.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Job name.
+    pub name: String,
+    /// Terminal state.
+    pub status: JobStatus,
+    /// Whether the result came from the cache (no saturation run).
+    pub cached: bool,
+    /// Whether wall-clock time exceeded the engine's per-job deadline
+    /// (the saturation time limit is clamped to the deadline, so this
+    /// marks jobs that *cooperatively* ran out of time; their programs
+    /// are still valid, just less saturated).
+    pub hit_deadline: bool,
+    /// Wall-clock time of this job (lookup time for cache hits).
+    pub time: Duration,
+    /// Saturation iterations spent (0 for cache hits).
+    pub iterations: usize,
+    /// `(cost, program-sexp)` pairs, cheapest first.
+    pub programs: Vec<(usize, String)>,
+    /// The Table-1-style row (absent on rejection/panic).
+    pub row: Option<TableRow>,
+}
+
+impl JobOutcome {
+    /// The best program's s-expression, if any.
+    pub fn best(&self) -> Option<&str> {
+        self.programs.first().map(|(_, s)| s.as_str())
+    }
+}
+
+/// Aggregate result of one batch run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-job outcomes, in job-submission order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Wall-clock time of the whole batch.
+    pub wall_time: Duration,
+    /// Worker threads used (1 for sequential runs).
+    pub workers: usize,
+}
+
+impl BatchReport {
+    /// Jobs that finished with programs.
+    pub fn ok_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status == JobStatus::Ok)
+            .count()
+    }
+
+    /// Jobs served from the cache.
+    pub fn cache_hits(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.cached).count()
+    }
+
+    /// Jobs that ran fresh synthesis.
+    pub fn cache_misses(&self) -> usize {
+        self.outcomes.len() - self.cache_hits()
+    }
+
+    /// Cache hit rate in `[0, 1]` (0 on an empty batch).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            0.0
+        } else {
+            self.cache_hits() as f64 / self.outcomes.len() as f64
+        }
+    }
+
+    /// Jobs per wall-clock second (the batch throughput).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs > 0.0 {
+            self.outcomes.len() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean `1 − o_ns/i_ns` over successful jobs (the paper's headline
+    /// size-reduction metric).
+    pub fn mean_size_reduction(&self) -> f64 {
+        let rows: Vec<&TableRow> = self
+            .outcomes
+            .iter()
+            .filter_map(|o| o.row.as_ref())
+            .collect();
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter().map(|r| r.size_reduction()).sum::<f64>() / rows.len() as f64
+    }
+
+    /// Fraction of successful jobs whose top-k exposed structure.
+    pub fn structure_fraction(&self) -> f64 {
+        let rows: Vec<&TableRow> = self
+            .outcomes
+            .iter()
+            .filter_map(|o| o.row.as_ref())
+            .collect();
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter().filter(|r| r.rank.is_some()).count() as f64 / rows.len() as f64
+    }
+}
+
+/// The batch engine: a builder over worker count, per-job deadline, and
+/// a shared result cache.
+///
+/// # Examples
+///
+/// ```
+/// use sz_batch::{BatchEngine, BatchJob};
+/// use szalinski::SynthConfig;
+/// use sz_cad::Cad;
+///
+/// let config = SynthConfig::new().with_iter_limit(20).with_node_limit(20_000);
+/// let jobs: Vec<BatchJob> = (3..6)
+///     .map(|n| {
+///         let flat = Cad::union_chain(
+///             (1..=n).map(|i| Cad::translate(2.0 * i as f64, 0.0, 0.0, Cad::Unit)).collect(),
+///         );
+///         BatchJob::new(format!("row{n}"), flat, config.clone())
+///     })
+///     .collect();
+/// let report = BatchEngine::new().with_workers(2).run(jobs);
+/// assert_eq!(report.ok_count(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BatchEngine {
+    workers: usize,
+    deadline: Option<Duration>,
+    cache: Option<Arc<Mutex<ResultCache>>>,
+}
+
+impl BatchEngine {
+    /// Engine with default settings: one worker per available core, no
+    /// deadline, no cache.
+    pub fn new() -> Self {
+        BatchEngine {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            deadline: None,
+            cache: None,
+        }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets a per-job wall-clock deadline. Saturation time limits are
+    /// clamped to it, so jobs end cooperatively; outcomes whose wall
+    /// clock still exceeded it are flagged [`JobOutcome::hit_deadline`].
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a shared result cache (hits skip saturation entirely;
+    /// fresh successes are inserted).
+    pub fn with_cache(mut self, cache: Arc<Mutex<ResultCache>>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Runs the batch across the work-stealing pool.
+    pub fn run(&self, jobs: Vec<BatchJob>) -> BatchReport {
+        let start = Instant::now();
+        let deadline = self.deadline;
+        let cache = &self.cache;
+        // Keep the names outside the pool so a panicked job's outcome
+        // still says which job it was.
+        let names: Vec<String> = jobs.iter().map(|j| j.name.clone()).collect();
+        let tasks: Vec<_> = jobs
+            .into_iter()
+            .map(|job| move || execute_job(job, cache.as_ref(), deadline))
+            .collect();
+        let outcomes = run_tasks(tasks, self.workers)
+            .into_iter()
+            .zip(names)
+            .map(|(r, name)| match r {
+                Ok(outcome) => outcome,
+                Err(panic) => JobOutcome {
+                    name,
+                    status: JobStatus::Panicked(panic.message),
+                    cached: false,
+                    hit_deadline: false,
+                    time: Duration::ZERO,
+                    iterations: 0,
+                    programs: Vec::new(),
+                    row: None,
+                },
+            })
+            .collect();
+        BatchReport {
+            outcomes,
+            wall_time: start.elapsed(),
+            workers: self.workers,
+        }
+    }
+
+    /// Runs the batch as a plain sequential loop on the calling thread
+    /// (no pool). Used as the determinism/throughput baseline; the
+    /// per-job code path is identical to [`BatchEngine::run`].
+    pub fn run_sequential(&self, jobs: Vec<BatchJob>) -> BatchReport {
+        let start = Instant::now();
+        let outcomes = jobs
+            .into_iter()
+            .map(|job| execute_job(job, self.cache.as_ref(), self.deadline))
+            .collect();
+        BatchReport {
+            outcomes,
+            wall_time: start.elapsed(),
+            workers: 1,
+        }
+    }
+}
+
+/// The single per-job code path shared by parallel and sequential runs.
+fn execute_job(
+    job: BatchJob,
+    cache: Option<&Arc<Mutex<ResultCache>>>,
+    deadline: Option<Duration>,
+) -> JobOutcome {
+    let start = Instant::now();
+    let mut config = job.config.clone();
+    if let Some(d) = deadline {
+        config.time_limit = config.time_limit.min(d);
+    }
+    // Key on the *effective* config: a different deadline clamp is a
+    // different run and must not alias in the cache.
+    let key = cache.map(|_| JobKey::of(&job.input, &config));
+
+    // Cache lookup: a hit reconstructs the outcome without saturating.
+    if let (Some(cache), Some(key)) = (cache, key) {
+        let hit = cache.lock().unwrap().get(key).cloned();
+        if let Some(run) = hit {
+            return outcome_from_cache(&job, run, start.elapsed());
+        }
+    }
+    match try_synthesize(&job.input, &config) {
+        Ok(result) => {
+            if let (Some(cache), Some(key)) = (cache, key) {
+                let run = CachedRun {
+                    programs: result
+                        .top_k
+                        .iter()
+                        .map(|p| (p.cost, p.cad.clone()))
+                        .collect(),
+                    time_s: result.time.as_secs_f64(),
+                };
+                cache.lock().unwrap().insert(key, run);
+            }
+            let time = start.elapsed();
+            JobOutcome {
+                row: Some(result.table_row(&job.name)),
+                programs: result
+                    .top_k
+                    .iter()
+                    .map(|p| (p.cost, p.cad.to_string()))
+                    .collect(),
+                status: JobStatus::Ok,
+                cached: false,
+                hit_deadline: deadline.is_some_and(|d| time > d),
+                time,
+                iterations: result.iterations,
+                name: job.name,
+            }
+        }
+        Err(e) => JobOutcome {
+            name: job.name,
+            status: JobStatus::Rejected(e),
+            cached: false,
+            hit_deadline: false,
+            time: start.elapsed(),
+            iterations: 0,
+            programs: Vec::new(),
+            row: None,
+        },
+    }
+}
+
+/// Rebuilds a [`JobOutcome`] from a cached run: zero saturation
+/// iterations, table row recomputed from the stored programs.
+fn outcome_from_cache(job: &BatchJob, run: CachedRun, lookup: Duration) -> JobOutcome {
+    let programs: Vec<(usize, String)> = run
+        .programs
+        .iter()
+        .map(|(cost, cad)| (*cost, cad.to_string()))
+        .collect();
+    // A Synthesis shell over the cached programs lets the existing
+    // TableRow construction (tags, ranks, metrics) apply unchanged.
+    let shell = Synthesis {
+        input: job.input.clone(),
+        top_k: run
+            .programs
+            .into_iter()
+            .map(|(cost, cad)| szalinski::SynthProgram { cost, cad })
+            .collect(),
+        records: Vec::new(),
+        time: Duration::from_secs_f64(run.time_s),
+        egraph_nodes: 0,
+        egraph_classes: 0,
+        stop_reason: None,
+        iterations: 0,
+    };
+    let row = shell
+        .try_best()
+        .is_some()
+        .then(|| shell.table_row(&job.name));
+    JobOutcome {
+        name: job.name.clone(),
+        status: JobStatus::Ok,
+        cached: true,
+        hit_deadline: false,
+        time: lookup,
+        iterations: 0,
+        programs,
+        row,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(n: usize) -> Cad {
+        Cad::union_chain(
+            (1..=n)
+                .map(|i| Cad::translate(2.0 * i as f64, 0.0, 0.0, Cad::Unit))
+                .collect(),
+        )
+    }
+
+    fn quick() -> SynthConfig {
+        SynthConfig::new()
+            .with_iter_limit(20)
+            .with_node_limit(20_000)
+    }
+
+    fn jobs() -> Vec<BatchJob> {
+        (3..7)
+            .map(|n| BatchJob::new(format!("row{n}"), row(n), quick()))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let par = BatchEngine::new().with_workers(4).run(jobs());
+        let seq = BatchEngine::new().run_sequential(jobs());
+        assert_eq!(par.outcomes.len(), seq.outcomes.len());
+        for (a, b) in par.outcomes.iter().zip(&seq.outcomes) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.programs, b.programs);
+            assert_eq!(a.status, b.status);
+        }
+    }
+
+    #[test]
+    fn rejected_inputs_are_reported_not_panicked() {
+        let mut js = jobs();
+        js.push(BatchJob::new(
+            "bad",
+            "(Repeat Unit 3)".parse().unwrap(),
+            quick(),
+        ));
+        let report = BatchEngine::new().with_workers(2).run(js);
+        assert_eq!(report.ok_count(), 4);
+        let bad = report.outcomes.last().unwrap();
+        assert_eq!(bad.status, JobStatus::Rejected(SynthError::NotFlat));
+        assert!(bad.row.is_none());
+    }
+
+    #[test]
+    fn cache_hit_skips_saturation() {
+        let cache = Arc::new(Mutex::new(ResultCache::new()));
+        let engine = BatchEngine::new().with_workers(2).with_cache(cache.clone());
+        let cold = engine.run(jobs());
+        assert_eq!(cold.cache_hits(), 0);
+        assert!(cold.outcomes.iter().all(|o| o.iterations > 0));
+        assert_eq!(cache.lock().unwrap().len(), 4);
+
+        let warm = engine.run(jobs());
+        assert_eq!(warm.cache_hits(), 4);
+        assert!((warm.cache_hit_rate() - 1.0).abs() < f64::EPSILON);
+        assert!(warm.outcomes.iter().all(|o| o.iterations == 0));
+        for (a, b) in cold.outcomes.iter().zip(&warm.outcomes) {
+            assert_eq!(
+                a.programs, b.programs,
+                "cached result differs for {}",
+                a.name
+            );
+            let (ra, rb) = (a.row.as_ref().unwrap(), b.row.as_ref().unwrap());
+            assert_eq!(ra.n_l, rb.n_l);
+            assert_eq!(ra.f, rb.f);
+            assert_eq!(ra.rank, rb.rank);
+            assert_eq!(ra.o_ns, rb.o_ns);
+        }
+    }
+
+    #[test]
+    fn deadline_clamps_time_limit_and_flags() {
+        // A generous deadline changes nothing for these tiny jobs.
+        let report = BatchEngine::new()
+            .with_deadline(Duration::from_secs(60))
+            .run_sequential(jobs());
+        assert_eq!(report.ok_count(), 4);
+        assert!(report.outcomes.iter().all(|o| !o.hit_deadline));
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let report = BatchEngine::new().with_workers(2).run(jobs());
+        assert_eq!(report.outcomes.len(), 4);
+        assert!(report.throughput() > 0.0);
+        assert!(report.mean_size_reduction() > 0.0);
+        assert!(report.structure_fraction() > 0.5);
+    }
+}

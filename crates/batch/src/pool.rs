@@ -1,0 +1,174 @@
+//! A lock-based work-stealing thread pool over `std` threads.
+//!
+//! Batch synthesis jobs are coarse (milliseconds to minutes each), so a
+//! simple scheme is plenty: tasks are dealt round-robin into per-worker
+//! deques; each worker drains its own deque from the front and, when
+//! empty, steals from the *back* of a sibling's deque. Results flow back
+//! over an mpsc channel and are returned in submission order.
+//!
+//! Every task runs under [`std::panic::catch_unwind`], so one job
+//! blowing up cannot take down the batch — the panic is captured as a
+//! [`TaskPanic`] result for that task alone.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// A captured panic from one task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The panic payload, if it was a string (the common case).
+    pub message: String,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> TaskPanic {
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    };
+    TaskPanic { message }
+}
+
+/// Runs `tasks` on `workers` threads with work stealing; returns one
+/// result per task, in submission order. Panicking tasks yield
+/// `Err(TaskPanic)`; all other tasks are unaffected.
+///
+/// `workers` is clamped to `1..=tasks.len()`. With `workers == 1` the
+/// pool still runs on a separate thread, preserving identical behavior
+/// (ordering, panic isolation) at every width.
+pub fn run_tasks<T, F>(tasks: Vec<F>, workers: usize) -> Vec<Result<T, TaskPanic>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+
+    // Deal tasks round-robin so every worker starts with local work.
+    let deques: Vec<Mutex<VecDeque<(usize, F)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, task) in tasks.into_iter().enumerate() {
+        deques[i % workers].lock().unwrap().push_back((i, task));
+    }
+    let deques = &deques;
+
+    let (tx, rx) = mpsc::channel::<(usize, Result<T, TaskPanic>)>();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let next = {
+                    let mut own = deques[w].lock().unwrap();
+                    own.pop_front()
+                }
+                .or_else(|| {
+                    // Steal from the back of the first non-empty sibling.
+                    (1..workers).find_map(|offset| {
+                        let victim = (w + offset) % workers;
+                        deques[victim].lock().unwrap().pop_back()
+                    })
+                });
+                match next {
+                    Some((i, task)) => {
+                        let result = catch_unwind(AssertUnwindSafe(task)).map_err(panic_message);
+                        // The receiver lives until the scope ends, so a
+                        // send can only fail if the main thread panicked;
+                        // nothing useful to do then.
+                        let _ = tx.send((i, result));
+                    }
+                    None => break,
+                }
+            });
+        }
+        drop(tx);
+
+        let mut out: Vec<Option<Result<T, TaskPanic>>> = (0..n).map(|_| None).collect();
+        for (i, result) in rx {
+            debug_assert!(out[i].is_none(), "task {i} reported twice");
+            out[i] = Some(result);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every task reports exactly once"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_in_submission_order() {
+        let tasks: Vec<_> = (0..50).map(|i| move || i * 2).collect();
+        let results = run_tasks(tasks, 4);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), i * 2);
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated() {
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("job 1 exploded")),
+            Box::new(|| 3),
+        ];
+        let results = run_tasks(tasks, 2);
+        assert_eq!(results[0], Ok(1));
+        assert_eq!(results[1].as_ref().unwrap_err().message, "job 1 exploded");
+        assert_eq!(results[2], Ok(3));
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        static COUNT: AtomicUsize = AtomicUsize::new(0);
+        let tasks: Vec<_> = (0..97)
+            .map(|i| {
+                move || {
+                    COUNT.fetch_add(1, Ordering::SeqCst);
+                    i
+                }
+            })
+            .collect();
+        let results = run_tasks(tasks, 8);
+        assert_eq!(COUNT.load(Ordering::SeqCst), 97);
+        assert_eq!(results.len(), 97);
+    }
+
+    #[test]
+    fn stealing_drains_imbalanced_queues() {
+        // One slow task on worker 0's deque; the rest are instant. With
+        // stealing, total wall time is bounded by the slow task alone.
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32)
+            .map(|i| -> Box<dyn FnOnce() -> usize + Send> {
+                if i == 0 {
+                    Box::new(|| {
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        0
+                    })
+                } else {
+                    Box::new(move || i)
+                }
+            })
+            .collect();
+        let results = run_tasks(tasks, 4);
+        assert_eq!(results.len(), 32);
+        assert!(results.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn zero_tasks_and_excess_workers() {
+        let none: Vec<fn() -> u8> = Vec::new();
+        assert!(run_tasks(none, 8).is_empty());
+        let one = vec![|| 7u8];
+        assert_eq!(run_tasks(one, 64)[0], Ok(7));
+    }
+}

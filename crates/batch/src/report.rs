@@ -1,0 +1,190 @@
+//! JSON-lines report sink: one record per job plus a trailing aggregate
+//! summary, feeding `BENCH_batch.json`. The writer is hand-rolled (the
+//! environment has no serde) but emits strict JSON — escaping is
+//! centralized in [`json_string`].
+
+use std::io::{self, Write};
+
+use crate::engine::{BatchReport, JobOutcome, JobStatus};
+
+/// Escapes `s` as a JSON string literal (with quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        // f64 Display round-trips and never prints NaN/inf here.
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders one job outcome as a single JSON object (no trailing
+/// newline).
+pub fn job_record(o: &JobOutcome) -> String {
+    let mut fields = vec![
+        ("type".to_owned(), "\"job\"".to_owned()),
+        ("name".to_owned(), json_string(&o.name)),
+        ("status".to_owned(), json_string(o.status.tag())),
+        ("cached".to_owned(), o.cached.to_string()),
+        ("hit_deadline".to_owned(), o.hit_deadline.to_string()),
+        ("time_s".to_owned(), json_f64(o.time.as_secs_f64())),
+        ("iterations".to_owned(), o.iterations.to_string()),
+        ("programs".to_owned(), o.programs.len().to_string()),
+    ];
+    match &o.status {
+        JobStatus::Rejected(e) => fields.push(("error".to_owned(), json_string(&e.to_string()))),
+        JobStatus::Panicked(msg) => fields.push(("error".to_owned(), json_string(msg))),
+        JobStatus::Ok => {}
+    }
+    if let Some(row) = &o.row {
+        fields.extend([
+            ("i_ns".to_owned(), row.i_ns.to_string()),
+            ("o_ns".to_owned(), row.o_ns.to_string()),
+            ("i_p".to_owned(), row.i_p.to_string()),
+            ("o_p".to_owned(), row.o_p.to_string()),
+            ("i_d".to_owned(), row.i_d.to_string()),
+            ("o_d".to_owned(), row.o_d.to_string()),
+            ("n_l".to_owned(), json_string(&row.n_l)),
+            ("f".to_owned(), json_string(&row.f)),
+            (
+                "rank".to_owned(),
+                row.rank.map_or("null".to_owned(), |r| r.to_string()),
+            ),
+            ("size_reduction".to_owned(), json_f64(row.size_reduction())),
+        ]);
+    }
+    if let Some(best) = o.best() {
+        fields.push(("best".to_owned(), json_string(best)));
+    }
+    render_object(&fields)
+}
+
+/// Renders the aggregate summary as a single JSON object.
+pub fn summary_record(report: &BatchReport) -> String {
+    let fields = vec![
+        ("type".to_owned(), "\"summary\"".to_owned()),
+        ("jobs".to_owned(), report.outcomes.len().to_string()),
+        ("ok".to_owned(), report.ok_count().to_string()),
+        ("workers".to_owned(), report.workers.to_string()),
+        ("cache_hits".to_owned(), report.cache_hits().to_string()),
+        ("cache_misses".to_owned(), report.cache_misses().to_string()),
+        (
+            "cache_hit_rate".to_owned(),
+            json_f64(report.cache_hit_rate()),
+        ),
+        (
+            "wall_time_s".to_owned(),
+            json_f64(report.wall_time.as_secs_f64()),
+        ),
+        ("jobs_per_s".to_owned(), json_f64(report.throughput())),
+        (
+            "mean_size_reduction".to_owned(),
+            json_f64(report.mean_size_reduction()),
+        ),
+        (
+            "structure_fraction".to_owned(),
+            json_f64(report.structure_fraction()),
+        ),
+    ];
+    render_object(&fields)
+}
+
+fn render_object(fields: &[(String, String)]) -> String {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("{}:{}", json_string(k), v))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Writes the full JSONL report: one line per job, then the summary.
+pub fn write_report<W: Write>(mut w: W, report: &BatchReport) -> io::Result<()> {
+    for outcome in &report.outcomes {
+        writeln!(w, "{}", job_record(outcome))?;
+    }
+    writeln!(w, "{}", summary_record(report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn outcome(name: &str, cached: bool) -> JobOutcome {
+        JobOutcome {
+            name: name.to_owned(),
+            status: JobStatus::Ok,
+            cached,
+            hit_deadline: false,
+            time: Duration::from_millis(250),
+            iterations: if cached { 0 } else { 7 },
+            programs: vec![(3, "(Repeat Unit 3)".to_owned())],
+            row: None,
+        }
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn job_record_shape() {
+        let rec = job_record(&outcome("3362402:gear", false));
+        assert!(rec.starts_with('{') && rec.ends_with('}'));
+        assert!(rec.contains(r#""type":"job""#));
+        assert!(rec.contains(r#""name":"3362402:gear""#));
+        assert!(rec.contains(r#""cached":false"#));
+        assert!(rec.contains(r#""iterations":7"#));
+        assert!(rec.contains(r#""best":"(Repeat Unit 3)""#));
+    }
+
+    #[test]
+    fn panic_records_carry_the_message() {
+        let mut o = outcome("boom", false);
+        o.status = JobStatus::Panicked("index out of bounds".to_owned());
+        o.programs.clear();
+        let rec = job_record(&o);
+        assert!(rec.contains(r#""status":"panicked""#));
+        assert!(rec.contains(r#""error":"index out of bounds""#));
+    }
+
+    #[test]
+    fn full_report_is_one_object_per_line() {
+        let report = BatchReport {
+            outcomes: vec![outcome("a", false), outcome("b", true)],
+            wall_time: Duration::from_secs(1),
+            workers: 4,
+        };
+        let mut buf = Vec::new();
+        write_report(&mut buf, &report).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].contains(r#""type":"summary""#));
+        assert!(lines[2].contains(r#""cache_hits":1"#));
+        assert!(lines[2].contains(r#""workers":4"#));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end tests of the `szb` binary (cargo builds it and exposes
+//! the path via `CARGO_BIN_EXE_szb`): directory corpus mode, report and
+//! OpenSCAD emission, and the cross-process warm-cache rerun.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn szb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_szb"))
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("szb_cli_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_corpus(dir: &Path) {
+    std::fs::write(
+        dir.join("fins.scad"),
+        "for (i = [0 : 5]) translate([i * 6, 0, 0]) cube([2, 30, 40], center = true);",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("row.csexp"),
+        "(Union (Translate 2 0 0 Unit) (Union (Translate 4 0 0 Unit) (Translate 6 0 0 Unit)))",
+    )
+    .unwrap();
+}
+
+#[test]
+fn decompiles_directory_and_emits_artifacts() {
+    let dir = fresh_dir("dir_mode");
+    write_corpus(&dir);
+    let out = szb()
+        .current_dir(&dir)
+        .args([
+            ".",
+            "--workers",
+            "2",
+            "--iter-limit",
+            "30",
+            "--node-limit",
+            "30000",
+            "--report",
+            "report.jsonl",
+            "--out",
+            "decompiled",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "szb failed: {stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("2/2 ok"), "{stdout}");
+
+    // JSONL report: 2 job lines + 1 summary line.
+    let report = std::fs::read_to_string(dir.join("report.jsonl")).unwrap();
+    let lines: Vec<&str> = report.lines().collect();
+    assert_eq!(lines.len(), 3);
+    assert!(lines[0].contains("\"name\":\"fins\""));
+    assert!(lines[2].contains("\"type\":\"summary\""));
+
+    // Structured OpenSCAD out: the fins loop must come back as a `for`.
+    let scad = std::fs::read_to_string(dir.join("decompiled/fins.scad")).unwrap();
+    assert!(scad.contains("for"), "expected a loop in: {scad}");
+    assert!(dir.join("decompiled/row.csexp").exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn warm_cache_rerun_across_processes() {
+    let dir = fresh_dir("warm_cache");
+    write_corpus(&dir);
+    let run = || {
+        let out = szb()
+            .current_dir(&dir)
+            .args([
+                ".",
+                "--iter-limit",
+                "30",
+                "--node-limit",
+                "30000",
+                "--cache",
+                "cache.sexp",
+                "--report",
+                "none",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let cold = run();
+    assert!(cold.contains("0 hits / 2 misses"), "{cold}");
+    let warm = run();
+    assert!(warm.contains("2 hits / 0 misses (100% hit rate)"), "{warm}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = szb().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no input"));
+
+    let out = szb().args(["--bogus-flag"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -3,18 +3,34 @@
 //! by the aggregate row and the paper's headline claims.
 //!
 //! ```text
-//! cargo run --release -p sz-bench --bin table1
+//! cargo run --release -p sz-bench --bin table1 [-- --workers N]
 //! ```
 
-use sz_bench::{aggregate, run_table1};
+use sz_batch::BatchEngine;
+use sz_bench::{aggregate, run_table1_with};
 use szalinski::TableRow;
 
 fn main() {
+    let mut engine = BatchEngine::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers needs a number");
+                engine = engine.with_workers(n);
+            }
+            other => panic!("unknown argument {other} (supported: --workers N)"),
+        }
+    }
+
     println!("Reproducing Table 1 (16 Thingiverse models, k = 5, eps = 1e-3)");
     println!();
     println!("{}", TableRow::header());
     println!("{}", "-".repeat(118));
-    let rows = run_table1();
+    let rows = run_table1_with(&engine);
     for row in &rows {
         println!("{}", row.format());
     }

@@ -17,6 +17,7 @@
 
 use std::time::Duration;
 
+use sz_batch::BatchEngine;
 use sz_models::Model;
 use szalinski::{synthesize, CostKind, SynthConfig, Synthesis, TableRow};
 
@@ -38,23 +39,39 @@ pub fn run_model(model: &Model, config: &SynthConfig) -> (TableRow, Synthesis) {
 
 /// Runs the full Table 1, returning rows in paper order (plus the
 /// `wardrobe@` reward-loops rerun as the final row).
+///
+/// Uses one worker per core via the `sz-batch` engine; see
+/// [`run_table1_with`] to control worker count or attach a cache.
 pub fn run_table1() -> Vec<TableRow> {
-    let config = table1_config();
-    let mut rows = Vec::new();
-    for model in sz_models::all_models() {
-        let (row, _) = run_model(&model, &config);
-        rows.push(row);
-    }
-    // The paper's extra row: wardrobe with the reward-loops cost function.
+    run_table1_with(&BatchEngine::new())
+}
+
+/// [`run_table1`] on a caller-configured batch engine (worker count,
+/// per-job deadline, result cache).
+pub fn run_table1_with(engine: &BatchEngine) -> Vec<TableRow> {
+    // The 16 paper rows, plus the wardrobe@ reward-loops rerun as one
+    // extra job at the end of the same batch.
+    let mut jobs = sz_batch::suite16_jobs(&table1_config());
     let wardrobe = sz_models::all_models()
         .into_iter()
         .find(|m| m.name == "510849:wardrobe")
         .expect("wardrobe model exists");
-    let reward = table1_config().with_cost(CostKind::RewardLoops);
-    let (mut row, _) = run_model(&wardrobe, &reward);
-    row.name = "510849:wardrobe@".into();
-    rows.push(row);
-    rows
+    jobs.push(sz_batch::BatchJob::new(
+        "510849:wardrobe@",
+        wardrobe.flat,
+        table1_config().with_cost(CostKind::RewardLoops),
+    ));
+
+    engine
+        .run(jobs)
+        .outcomes
+        .into_iter()
+        .map(|outcome| {
+            outcome
+                .row
+                .unwrap_or_else(|| panic!("table1 job {:?} failed", outcome.status))
+        })
+        .collect()
 }
 
 /// Aggregate statistics over Table-1 rows (the paper's headline claims).

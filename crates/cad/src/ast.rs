@@ -97,6 +97,9 @@ pub enum Expr {
     Cos(Box<Expr>),
 }
 
+// The arithmetic smart constructors are associated functions taking both
+// operands (constant folding), not operator-trait methods on `self`.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// A numeric literal.
     pub fn num(x: f64) -> Expr {

@@ -72,7 +72,7 @@ pub fn read_list(egraph: &CadGraph, id: Id) -> Option<Vec<Id>> {
             if n < 0.0 || n.fract() != 0.0 || n > 100_000.0 {
                 return None;
             }
-            out.extend(std::iter::repeat(egraph.find(*c)).take(n as usize));
+            out.extend(std::iter::repeat_n(egraph.find(*c), n as usize));
             return Some(out);
         }
         return None;

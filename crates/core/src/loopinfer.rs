@@ -35,7 +35,7 @@ pub fn factorizations(n: usize, m: usize) -> Vec<Vec<usize>> {
             return;
         }
         for f in 2..=n / 2 {
-            if n % f == 0 {
+            if n.is_multiple_of(f) {
                 acc.push(f);
                 go(n / f, m - 1, acc, out);
                 acc.pop();
@@ -53,12 +53,14 @@ pub fn factorizations(n: usize, m: usize) -> Vec<Vec<usize>> {
 pub fn index_sets(factors: &[usize]) -> Vec<Vec<usize>> {
     let total: usize = factors.iter().product();
     let mut sets = vec![vec![0usize; total]; factors.len()];
-    for flat in 0..total {
-        let mut rem = flat;
-        for (pos, &f) in factors.iter().enumerate().rev() {
-            sets[pos][flat] = rem % f;
-            rem /= f;
+    // Each position (from the right) holds digit `(flat / stride) % f`,
+    // where `stride` is the product of the factors to its right.
+    let mut stride = 1usize;
+    for (set, &f) in sets.iter_mut().zip(factors.iter()).rev() {
+        for (flat, slot) in set.iter_mut().enumerate() {
+            *slot = (flat / stride) % f;
         }
+        stride *= f;
     }
     sets
 }
@@ -174,10 +176,7 @@ fn infer_regular(
                 comp_expr(&forms[1], kind),
                 comp_expr(&forms[2], kind),
             ];
-            let body = {
-                let b = add_affine_exprs(egraph, kind, &exprs, child);
-                b
-            };
+            let body = add_affine_exprs(egraph, kind, &exprs, child);
             let bounds: Vec<Id> = factors.iter().map(|&f| add_num(egraph, f as f64)).collect();
             let node = match m {
                 2 => CadLang::MapIdx2([bounds[0], bounds[1], body]),
@@ -228,6 +227,9 @@ fn infer_irregular(
         let mut tags: Vec<String> = Vec::new();
         for (gval, idxs) in &groups {
             let mut exprs: Vec<Expr> = Vec::with_capacity(3);
+            // `comp` indexes *each* vecs[i], not a single collection, so
+            // the iterator rewrite clippy suggests does not apply.
+            #[allow(clippy::needless_range_loop)]
             for comp in 0..3 {
                 if comp == g {
                     exprs.push(Expr::num(sz_solver::snap(*gval, 2.0 * eps)));

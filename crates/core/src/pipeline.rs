@@ -2,10 +2,11 @@
 //! determinization → list manipulation → function/loop inference →
 //! top-k extraction.
 
+use std::fmt;
 use std::time::{Duration, Instant};
 
 use sz_cad::Cad;
-use sz_egraph::{KBestExtractor, Runner, StopReason};
+use sz_egraph::{KBestExtractor, Runner, Scheduler, StopReason};
 
 use crate::analysis::{CadAnalysis, CadGraph};
 use crate::cost::{CadCost, CostKind};
@@ -35,6 +36,10 @@ pub struct SynthConfig {
     /// (commutativity/associativity); off by default, measured in the
     /// ablation bench.
     pub structural_rules: bool,
+    /// Throttle explosive rules with the e-graph's backoff scheduler
+    /// ([`Scheduler::backoff`]); off by default so results match the
+    /// paper's unthrottled saturation exactly.
+    pub backoff: bool,
     /// Extraction cost function.
     pub cost: CostKind,
 }
@@ -49,6 +54,7 @@ impl Default for SynthConfig {
             time_limit: Duration::from_secs(60),
             main_loop_fuel: 1,
             structural_rules: false,
+            backoff: false,
             cost: CostKind::AstSize,
         }
     }
@@ -101,7 +107,59 @@ impl SynthConfig {
         self.main_loop_fuel = fuel.max(1);
         self
     }
+
+    /// Enables/disables backoff rule scheduling during saturation.
+    pub fn with_backoff(mut self, on: bool) -> Self {
+        self.backoff = on;
+        self
+    }
+
+    /// A stable, human-readable fingerprint of every fuel/config field.
+    ///
+    /// Used (together with the input s-expression) as the key of the
+    /// batch engine's content-addressed result cache, so it must change
+    /// whenever any field that can affect synthesis output changes.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "eps={:e};k={};iter={};nodes={};time_ms={};fuel={};structural={};backoff={};cost={:?}",
+            self.eps,
+            self.k,
+            self.iter_limit,
+            self.node_limit,
+            self.time_limit.as_millis(),
+            self.main_loop_fuel,
+            self.structural_rules,
+            self.backoff,
+            self.cost,
+        )
+    }
 }
+
+/// Why [`try_synthesize`] rejected a run (the panic-free entry point
+/// used by batch drivers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthError {
+    /// The input is not a flat CSG (contains loops, lists, index
+    /// variables, or non-constant vectors), so the paper's pipeline
+    /// contract does not apply.
+    NotFlat,
+    /// Extraction produced no program (cannot happen for well-formed
+    /// inputs; reported instead of panicking for defense in depth).
+    NoPrograms,
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::NotFlat => {
+                write!(f, "input is not a flat CSG (see Cad::is_flat_csg)")
+            }
+            SynthError::NoPrograms => write!(f, "extraction produced no programs"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
 
 /// One synthesized program with its extraction cost.
 #[derive(Debug, Clone)]
@@ -140,8 +198,14 @@ impl Synthesis {
     ///
     /// Panics if synthesis produced no programs (cannot happen for a
     /// well-formed input: the input itself is always extractable).
+    /// Batch drivers should prefer [`Synthesis::try_best`].
     pub fn best(&self) -> &SynthProgram {
         &self.top_k[0]
+    }
+
+    /// The lowest-cost program, or `None` when extraction found nothing.
+    pub fn try_best(&self) -> Option<&SynthProgram> {
+        self.top_k.first()
     }
 
     /// The first structured program in the top-k, with its 1-based rank
@@ -207,6 +271,11 @@ impl Synthesis {
 /// ```
 pub fn synthesize(input: &Cad, config: &SynthConfig) -> Synthesis {
     let start = Instant::now();
+    let scheduler = if config.backoff {
+        Scheduler::backoff()
+    } else {
+        Scheduler::Simple
+    };
     let expr = cad_to_lang(input);
     let ruleset = if config.structural_rules {
         all_rules()
@@ -228,6 +297,7 @@ pub fn synthesize(input: &Cad, config: &SynthConfig) -> Synthesis {
             .with_iter_limit(config.iter_limit)
             .with_node_limit(config.node_limit)
             .with_time_limit(config.time_limit)
+            .with_scheduler(scheduler.clone())
             .run(&ruleset);
         iterations += runner.iterations.len();
         stop_reason = runner.stop_reason.clone();
@@ -270,6 +340,43 @@ pub fn synthesize(input: &Cad, config: &SynthConfig) -> Synthesis {
         stop_reason,
         iterations,
     }
+}
+
+/// Panic-free pipeline entry point for batch drivers.
+///
+/// Unlike [`synthesize`] this enforces the paper's input contract — the
+/// input must be a *flat* CSG — and reports failures as values instead
+/// of relying on downstream panics. All inputs and outputs are `Send`,
+/// so runs can be fanned out across worker threads (see `sz-batch`).
+///
+/// # Examples
+///
+/// ```
+/// use szalinski::{try_synthesize, SynthConfig, SynthError};
+/// use sz_cad::Cad;
+///
+/// let flat = Cad::union_chain(
+///     (1..=4).map(|i| Cad::translate(2.0 * i as f64, 0.0, 0.0, Cad::Unit)).collect(),
+/// );
+/// let result = try_synthesize(&flat, &SynthConfig::new()).unwrap();
+/// assert!(!result.top_k.is_empty());
+///
+/// // A LambdaCAD term (not flat) is rejected, not mis-synthesized.
+/// let looped: Cad = "(Repeat Unit 3)".parse().unwrap();
+/// assert!(matches!(
+///     try_synthesize(&looped, &SynthConfig::new()),
+///     Err(SynthError::NotFlat)
+/// ));
+/// ```
+pub fn try_synthesize(input: &Cad, config: &SynthConfig) -> Result<Synthesis, SynthError> {
+    if !input.is_flat_csg() {
+        return Err(SynthError::NotFlat);
+    }
+    let result = synthesize(input, config);
+    if result.top_k.is_empty() {
+        return Err(SynthError::NoPrograms);
+    }
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -350,6 +457,74 @@ mod tests {
         let reward_best_structured = reward.structured().map(|(rank, _)| rank).unwrap();
         assert!(reward_best_structured <= default_best_structured);
         assert_eq!(reward_best_structured, 1);
+    }
+
+    #[test]
+    fn pipeline_types_are_send() {
+        // The batch engine moves jobs and results across threads; keep
+        // the whole pipeline surface Send (and the config Sync).
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Cad>();
+        assert_send::<SynthConfig>();
+        assert_send::<Synthesis>();
+        assert_send::<SynthError>();
+        assert_sync::<SynthConfig>();
+    }
+
+    #[test]
+    fn try_synthesize_rejects_non_flat_input() {
+        let looped: Cad = "(Fold Union Empty (Repeat Unit 3))".parse().unwrap();
+        assert_eq!(
+            try_synthesize(&looped, &SynthConfig::new()).unwrap_err(),
+            SynthError::NotFlat
+        );
+    }
+
+    #[test]
+    fn try_synthesize_matches_synthesize_on_flat_input() {
+        let flat = row_of_cubes(5, 2.0);
+        let config = SynthConfig::new();
+        let a = synthesize(&flat, &config);
+        let b = try_synthesize(&flat, &config).unwrap();
+        let progs = |s: &Synthesis| -> Vec<(usize, String)> {
+            s.top_k.iter().map(|p| (p.cost, p.cad.to_string())).collect()
+        };
+        assert_eq!(progs(&a), progs(&b));
+    }
+
+    #[test]
+    fn backoff_config_still_finds_structure() {
+        // Backoff must not cost the pipeline its result on the worked
+        // figure; with structural rules on it throttles the explosion.
+        let flat = row_of_cubes(5, 2.0);
+        let config = SynthConfig::new()
+            .with_structural_rules(true)
+            .with_backoff(true)
+            .with_iter_limit(25)
+            .with_node_limit(60_000);
+        let result = synthesize(&flat, &config);
+        let (_, prog) = result.structured().expect("still finds the loop");
+        assert!(prog.cad.to_string().contains("(Repeat Unit 5)"));
+    }
+
+    #[test]
+    fn fingerprint_changes_with_fields() {
+        let base = SynthConfig::new();
+        assert_eq!(base.fingerprint(), SynthConfig::new().fingerprint());
+        let variants = [
+            base.clone().with_eps(1e-2),
+            base.clone().with_k(7),
+            base.clone().with_iter_limit(1),
+            base.clone().with_node_limit(1),
+            base.clone().with_main_loop_fuel(3),
+            base.clone().with_structural_rules(true),
+            base.clone().with_backoff(true),
+            base.clone().with_cost(CostKind::RewardLoops),
+        ];
+        for v in &variants {
+            assert_ne!(v.fingerprint(), base.fingerprint(), "{:?}", v);
+        }
     }
 
     #[test]

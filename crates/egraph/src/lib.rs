@@ -49,6 +49,7 @@ mod pattern;
 mod recexpr;
 mod rewrite;
 mod runner;
+mod scheduler;
 mod subst;
 mod unionfind;
 
@@ -65,5 +66,6 @@ pub use pattern::{ENodeOrVar, Pattern, SearchMatches};
 pub use recexpr::{RecExpr, RecExprParseError};
 pub use rewrite::{Applier, ConditionalApplier, FnApplier, Rewrite};
 pub use runner::{Iteration, Runner, StopReason};
+pub use scheduler::{BackoffScheduler, Scheduler};
 pub use subst::{ParseVarError, Subst, Var};
 pub use unionfind::UnionFind;

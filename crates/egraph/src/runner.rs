@@ -3,7 +3,7 @@
 
 use std::time::{Duration, Instant};
 
-use crate::{Analysis, EGraph, Id, Language, RecExpr, Rewrite};
+use crate::{Analysis, EGraph, Id, Language, RecExpr, Rewrite, Scheduler};
 
 /// Why a [`Runner`] stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +27,9 @@ pub struct Iteration {
     pub egraph_classes: usize,
     /// Per-rule number of matches applied this iteration.
     pub applied: Vec<(String, usize)>,
+    /// Rules skipped this iteration by the [`Scheduler`] (banned, or
+    /// freshly throttled after an explosive search).
+    pub banned: usize,
     /// Unions performed by congruence repair during rebuild.
     pub rebuild_unions: usize,
     /// Wall-clock time for the iteration.
@@ -63,6 +66,7 @@ pub struct Runner<L: Language, N: Analysis<L>> {
     iter_limit: usize,
     node_limit: usize,
     time_limit: Duration,
+    scheduler: Scheduler,
 }
 
 impl<L: Language, N: Analysis<L>> Runner<L, N> {
@@ -77,6 +81,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             iter_limit: 30,
             node_limit: 100_000,
             time_limit: Duration::from_secs(30),
+            scheduler: Scheduler::Simple,
         }
     }
 
@@ -111,12 +116,23 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
         self
     }
 
+    /// Sets the rule scheduler (default: [`Scheduler::Simple`]).
+    ///
+    /// [`Scheduler::backoff`] throttles rules whose match counts explode
+    /// — with it, a quiet iteration while rules are banned does not count
+    /// as saturation.
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
     /// Runs equality saturation with `rules` until saturation or a limit.
     ///
     /// Sets [`Runner::stop_reason`] and records [`Runner::iterations`].
     pub fn run(mut self, rules: &[Rewrite<L, N>]) -> Self {
         let start = Instant::now();
         self.egraph.rebuild();
+        self.scheduler.ensure_rules(rules.len());
         loop {
             if self.iterations.len() >= self.iter_limit {
                 self.stop_reason = Some(StopReason::IterationLimit(self.iter_limit));
@@ -126,17 +142,39 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                 self.stop_reason = Some(StopReason::TimeLimit(self.time_limit));
                 break;
             }
+            let iteration = self.iterations.len();
             let iter_start = Instant::now();
 
             // Search phase: collect all matches before applying any, so
-            // rules see a consistent e-graph.
-            let all_matches: Vec<_> = rules.iter().map(|r| r.search(&self.egraph)).collect();
+            // rules see a consistent e-graph. The scheduler may skip
+            // banned rules or throw away an explosive rule's matches
+            // (banning it for the next iterations).
+            let mut banned = 0usize;
+            let mut all_matches = Vec::with_capacity(rules.len());
+            for (i, rule) in rules.iter().enumerate() {
+                if !self.scheduler.can_search(iteration, i) {
+                    banned += 1;
+                    all_matches.push(None);
+                    continue;
+                }
+                let matches = rule.search(&self.egraph);
+                let n: usize = matches.iter().map(|m| m.substs.len()).sum();
+                if self.scheduler.admit(iteration, i, n) {
+                    all_matches.push(Some(matches));
+                } else {
+                    banned += 1;
+                    all_matches.push(None);
+                }
+            }
 
             // Apply phase.
             let mut applied = Vec::with_capacity(rules.len());
             let mut any_change = false;
             for (rule, matches) in rules.iter().zip(&all_matches) {
-                let changed = rule.apply(&mut self.egraph, matches);
+                let changed = match matches {
+                    Some(matches) => rule.apply(&mut self.egraph, matches),
+                    None => Vec::new(),
+                };
                 if !changed.is_empty() {
                     any_change = true;
                 }
@@ -150,11 +188,14 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                 egraph_nodes: self.egraph.total_number_of_nodes(),
                 egraph_classes: self.egraph.number_of_classes(),
                 applied,
+                banned,
                 rebuild_unions,
                 time: iter_start.elapsed(),
             });
 
-            if !any_change {
+            if !any_change && banned == 0 && !self.scheduler.any_banned(iteration + 1) {
+                // Only a full, unthrottled quiet iteration proves
+                // saturation; banned rules may still add equalities later.
                 self.stop_reason = Some(StopReason::Saturated);
                 break;
             }
@@ -242,5 +283,72 @@ mod tests {
         let first = &runner.iterations[0];
         let comm = first.applied.iter().find(|(n, _)| n == "comm-add").unwrap();
         assert!(comm.1 > 0);
+    }
+
+    #[test]
+    fn backoff_throttles_explosive_rules() {
+        // Assoc/comm over a deep sum explodes; with a tight match limit
+        // the scheduler must ban rules (recorded per iteration) and keep
+        // the graph smaller than the unthrottled run at equal fuel.
+        let expr: crate::RecExpr<Arith> =
+            "(+ a (+ b (+ c (+ d (+ e (+ f (+ g h)))))))".parse().unwrap();
+        let plain = Runner::new(())
+            .with_expr(&expr)
+            .with_iter_limit(6)
+            .with_node_limit(1_000_000)
+            .run(&rules());
+        let throttled = Runner::new(())
+            .with_expr(&expr)
+            .with_iter_limit(6)
+            .with_node_limit(1_000_000)
+            .with_scheduler(Scheduler::backoff_with(32, 2))
+            .run(&rules());
+        assert!(
+            throttled.iterations.iter().any(|it| it.banned > 0),
+            "tight limit must ban at least one rule"
+        );
+        assert!(
+            throttled.egraph.total_number_of_nodes() < plain.egraph.total_number_of_nodes(),
+            "throttled {} !< plain {}",
+            throttled.egraph.total_number_of_nodes(),
+            plain.egraph.total_number_of_nodes()
+        );
+    }
+
+    #[test]
+    fn backoff_still_saturates_small_inputs() {
+        // On a tiny input nothing exceeds the default limits: behavior
+        // (and the saturation verdict) must match the simple scheduler.
+        let runner = Runner::new(())
+            .with_expr(&"(+ a b)".parse().unwrap())
+            .with_scheduler(Scheduler::backoff())
+            .run(&rules());
+        assert_eq!(runner.stop_reason, Some(StopReason::Saturated));
+        assert!(runner
+            .egraph
+            .lookup_expr(&"(+ b a)".parse().unwrap())
+            .is_some());
+        assert!(runner.iterations.iter().all(|it| it.banned == 0));
+    }
+
+    #[test]
+    fn quiet_iteration_with_bans_is_not_saturation() {
+        // Force a ban, then check the runner does not report Saturated
+        // while the ban is pending even if an iteration applies nothing.
+        let runner = Runner::new(())
+            .with_expr(&"(+ a (+ b c))".parse().unwrap())
+            .with_iter_limit(50)
+            .with_scheduler(Scheduler::backoff_with(1, 3))
+            .run(&rules());
+        match runner.stop_reason {
+            Some(StopReason::Saturated) => {
+                // If it did saturate, the final iteration must have been
+                // fully unthrottled.
+                let last = runner.iterations.last().unwrap();
+                assert_eq!(last.banned, 0);
+            }
+            Some(StopReason::IterationLimit(_)) => {}
+            other => panic!("unexpected stop reason {other:?}"),
+        }
     }
 }

@@ -1,0 +1,181 @@
+//! Rule scheduling for the [`Runner`](crate::Runner): throttles rules
+//! whose match counts explode (e.g. associativity/commutativity) in the
+//! style of egg's `BackoffScheduler`.
+
+/// Decides, per iteration, which rules may search and whether their
+/// matches are applied.
+///
+/// The default [`Scheduler::Simple`] applies every rule every iteration
+/// (the seed behavior). [`Scheduler::Backoff`] temporarily bans rules
+/// whose match counts exceed a limit, with the limit and ban length
+/// doubling on each repeat offense — this keeps explosive rule sets
+/// (like the structural assoc/comm family) from drowning saturation.
+#[derive(Debug, Clone, Default)]
+pub enum Scheduler {
+    /// Apply every rule every iteration.
+    #[default]
+    Simple,
+    /// Exponential-backoff throttling of high-match rules.
+    Backoff(BackoffScheduler),
+}
+
+impl Scheduler {
+    /// A backoff scheduler with egg's default limits
+    /// (1000 matches, 5-iteration bans).
+    pub fn backoff() -> Self {
+        Scheduler::Backoff(BackoffScheduler::default())
+    }
+
+    /// A backoff scheduler with explicit limits.
+    pub fn backoff_with(match_limit: usize, ban_length: usize) -> Self {
+        Scheduler::Backoff(BackoffScheduler {
+            match_limit: match_limit.max(1),
+            ban_length: ban_length.max(1),
+            stats: Vec::new(),
+        })
+    }
+
+    /// Prepares per-rule bookkeeping for `n_rules` rules.
+    pub(crate) fn ensure_rules(&mut self, n_rules: usize) {
+        if let Scheduler::Backoff(b) = self {
+            b.stats.resize_with(n_rules, RuleStats::default);
+        }
+    }
+
+    /// May rule `rule` search during `iteration`?
+    pub(crate) fn can_search(&self, iteration: usize, rule: usize) -> bool {
+        match self {
+            Scheduler::Simple => true,
+            Scheduler::Backoff(b) => b.stats[rule].banned_until <= iteration,
+        }
+    }
+
+    /// Reports the rule's total match count for this iteration; returns
+    /// `false` (and bans the rule) when the matches must be discarded.
+    pub(crate) fn admit(&mut self, iteration: usize, rule: usize, n_matches: usize) -> bool {
+        match self {
+            Scheduler::Simple => true,
+            Scheduler::Backoff(b) => {
+                let stats = &mut b.stats[rule];
+                let threshold = b.match_limit.saturating_shl(stats.times_banned);
+                if n_matches > threshold {
+                    let ban_length = b.ban_length.saturating_shl(stats.times_banned);
+                    stats.times_banned += 1;
+                    stats.banned_until = iteration + 1 + ban_length;
+                    false
+                } else {
+                    true
+                }
+            }
+        }
+    }
+
+    /// True if any rule is still banned at `iteration` — in that case a
+    /// quiet iteration is *not* saturation (the banned rule may still
+    /// produce new equalities once its ban expires).
+    pub(crate) fn any_banned(&self, iteration: usize) -> bool {
+        match self {
+            Scheduler::Simple => false,
+            Scheduler::Backoff(b) => b.stats.iter().any(|s| s.banned_until > iteration),
+        }
+    }
+}
+
+/// Exponential-backoff state (see [`Scheduler::Backoff`]).
+#[derive(Debug, Clone)]
+pub struct BackoffScheduler {
+    match_limit: usize,
+    ban_length: usize,
+    stats: Vec<RuleStats>,
+}
+
+impl Default for BackoffScheduler {
+    fn default() -> Self {
+        BackoffScheduler {
+            match_limit: 1000,
+            ban_length: 5,
+            stats: Vec::new(),
+        }
+    }
+}
+
+impl BackoffScheduler {
+    /// How often rule `rule` has been banned so far.
+    pub fn times_banned(&self, rule: usize) -> usize {
+        self.stats.get(rule).map_or(0, |s| s.times_banned)
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct RuleStats {
+    times_banned: usize,
+    /// First iteration at which the rule may run again.
+    banned_until: usize,
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, shift: usize) -> Self;
+}
+
+impl SaturatingShl for usize {
+    fn saturating_shl(self, shift: usize) -> usize {
+        if shift >= usize::BITS as usize || self.leading_zeros() < shift as u32 {
+            usize::MAX
+        } else {
+            self << shift
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_never_bans() {
+        let mut s = Scheduler::Simple;
+        s.ensure_rules(3);
+        assert!(s.can_search(0, 0));
+        assert!(s.admit(0, 0, usize::MAX));
+        assert!(!s.any_banned(0));
+    }
+
+    #[test]
+    fn backoff_bans_and_expires() {
+        let mut s = Scheduler::backoff_with(10, 2);
+        s.ensure_rules(1);
+        // Under the limit: admitted.
+        assert!(s.admit(0, 0, 10));
+        // Over the limit: rejected and banned for 2 iterations.
+        assert!(!s.admit(1, 0, 11));
+        assert!(!s.can_search(2, 0));
+        assert!(!s.can_search(3, 0));
+        assert!(s.any_banned(3));
+        assert!(s.can_search(4, 0));
+        assert!(!s.any_banned(4));
+    }
+
+    #[test]
+    fn backoff_threshold_doubles() {
+        let mut s = Scheduler::backoff_with(10, 1);
+        s.ensure_rules(1);
+        assert!(!s.admit(0, 0, 11)); // ban #1, threshold now 20
+        assert!(s.can_search(2, 0));
+        assert!(s.admit(2, 0, 15)); // 15 <= 20: admitted
+        assert!(!s.admit(3, 0, 21)); // ban #2, ban length now 2
+        assert!(!s.can_search(5, 0));
+        assert!(s.can_search(6, 0));
+        if let Scheduler::Backoff(b) = &s {
+            assert_eq!(b.times_banned(0), 2);
+        } else {
+            unreachable!();
+        }
+    }
+
+    #[test]
+    fn shift_saturates() {
+        assert_eq!(usize::MAX.saturating_shl(1), usize::MAX);
+        assert_eq!(1usize.saturating_shl(usize::BITS as usize), usize::MAX);
+        assert_eq!(8usize.saturating_shl(2), 32);
+    }
+}

@@ -83,10 +83,10 @@ impl Affine {
     /// Composition: `self ∘ other` (apply `other` first).
     pub fn compose(&self, other: &Affine) -> Affine {
         let mut m = [[0.0; 3]; 3];
-        for i in 0..3 {
-            for j in 0..3 {
-                for (k, row) in other.m.iter().enumerate() {
-                    m[i][j] += self.m[i][k] * row[j];
+        for (i, mrow) in m.iter_mut().enumerate() {
+            for (j, cell) in mrow.iter_mut().enumerate() {
+                for (k, orow) in other.m.iter().enumerate() {
+                    *cell += self.m[i][k] * orow[j];
                 }
             }
         }

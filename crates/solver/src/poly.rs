@@ -173,12 +173,9 @@ pub fn fit_const(values: &[f64], eps: f64) -> Option<f64> {
         return None;
     }
     let mean = values.iter().sum::<f64>() / values.len() as f64;
-    for cand in [snap(mean, 2.0 * eps), mean] {
-        if values.iter().all(|&x| (x - cand).abs() <= eps) {
-            return Some(cand);
-        }
-    }
-    None
+    [snap(mean, 2.0 * eps), mean]
+        .into_iter()
+        .find(|&cand| values.iter().all(|&x| (x - cand).abs() <= eps))
 }
 
 #[cfg(test)]
@@ -229,7 +226,7 @@ mod tests {
         let vals: Vec<f64> = (0..6)
             .map(|i| {
                 let i = i as f64;
-                let noise = if i as usize % 2 == 0 { 4e-4 } else { -4e-4 };
+                let noise = if (i as usize).is_multiple_of(2) { 4e-4 } else { -4e-4 };
                 i * i + noise
             })
             .collect();

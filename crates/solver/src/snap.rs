@@ -114,6 +114,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::approx_constant)] // approximate inputs are the point
     fn sqrt_multiples() {
         let s2 = 2.0f64.sqrt();
         assert!((snap(1.41424, 1e-3) - s2).abs() < 1e-12);

@@ -107,11 +107,11 @@ pub fn lstsq(a: &Mat, b: &[f64], rcond: f64) -> Vec<f64> {
         .map(|j| (0..a.rows()).map(|i| decomposition.u[(i, j)] * b[i]).sum())
         .collect();
     let mut x = vec![0.0; n];
-    for j in 0..n {
+    for (j, &utbj) in utb.iter().enumerate() {
         if decomposition.s[j] > rcond * smax {
-            let w = utb[j] / decomposition.s[j];
-            for i in 0..n {
-                x[i] += decomposition.v[(i, j)] * w;
+            let w = utbj / decomposition.s[j];
+            for (i, xi) in x.iter_mut().enumerate() {
+                *xi += decomposition.v[(i, j)] * w;
             }
         }
     }

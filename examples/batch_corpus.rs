@@ -1,0 +1,51 @@
+//! Batch synthesis walkthrough: run the 16-model corpus through the
+//! `sz-batch` engine, then rerun it warm to show the content-addressed
+//! cache short-circuiting saturation.
+//!
+//! ```text
+//! cargo run --release --example batch_corpus
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use szalinski_repro::sz_batch::{suite16_jobs, BatchEngine, ResultCache};
+use szalinski_repro::szalinski::SynthConfig;
+
+fn main() {
+    let config = SynthConfig::new().with_iter_limit(60).with_node_limit(80_000);
+    let cache = Arc::new(Mutex::new(ResultCache::new()));
+    let engine = BatchEngine::new().with_cache(Arc::clone(&cache));
+
+    println!("cold run (16 models, {} workers)...", engine_workers());
+    let cold = engine.run(suite16_jobs(&config));
+    for outcome in &cold.outcomes {
+        let row = outcome.row.as_ref().expect("suite16 synthesizes");
+        println!(
+            "  {:<24} {:>4} -> {:>3} nodes, rank {:?}, {:>6.2}s",
+            outcome.name,
+            row.i_ns,
+            row.o_ns,
+            row.rank,
+            outcome.time.as_secs_f64()
+        );
+    }
+    println!(
+        "cold: {:.2}s wall, {:.2} jobs/s, {} cache hits",
+        cold.wall_time.as_secs_f64(),
+        cold.throughput(),
+        cold.cache_hits()
+    );
+
+    let warm = engine.run(suite16_jobs(&config));
+    println!(
+        "warm: {:.3}s wall, {:.0}% hit rate, {} saturation iterations",
+        warm.wall_time.as_secs_f64(),
+        warm.cache_hit_rate() * 100.0,
+        warm.outcomes.iter().map(|o| o.iterations).sum::<usize>()
+    );
+    assert_eq!(warm.cache_hits(), 16);
+}
+
+fn engine_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

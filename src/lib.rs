@@ -9,11 +9,69 @@
 //! * [`sz_solver`] — the arithmetic function solvers;
 //! * [`sz_mesh`] — meshes, STL, implicit geometry, translation validation;
 //! * [`sz_scad`] — OpenSCAD import/export;
-//! * [`sz_models`] — the 16-model benchmark suite and figure inputs.
+//! * [`sz_models`] — the 16-model benchmark suite and figure inputs;
+//! * [`sz_batch`] — corpus-scale parallel batch synthesis with result
+//!   caching (and the `szb` CLI).
 //!
 //! See the `examples/` directory for runnable walkthroughs and
 //! `crates/bench` for the table/figure harnesses.
+//!
+//! # Architecture
+//!
+//! The workspace is layered; every arrow is a Cargo dependency and
+//! points strictly downward (no cycles):
+//!
+//! ```text
+//!                    ┌─────────────────────────────┐
+//!                    │  sz-bench  (tables/figures) │
+//!                    └──────┬──────────────┬───────┘
+//!                           │              │
+//!          ┌────────────────▼───┐          │
+//!          │ sz-batch (szb CLI) │          │
+//!          │ pool · cache · rpt │          │
+//!          └─┬─────┬──────┬─────┘          │
+//!            │     │      │                │
+//!   ┌────────▼┐ ┌──▼────┐ │  ┌─────────┐  │
+//!   │ sz-scad │ │ sz-   │ └──► szalinski◄──┘   ┌─────────┐
+//!   │ (SCAD   │ │ models│    │ (pipeline)│────► sz-solver│
+//!   │  I/O)   │ └──┬────┘    └──┬────┬───┘     └────┬────┘
+//!   └────┬────┘    │            │    │               │
+//!        │         │   ┌───────▼─┐  │               │
+//!        │         │   │sz-egraph│  │               │
+//!        │         │   └─────────┘  │               │
+//!        └─────────┴────────────────▼───────────────┘
+//!                               sz-cad
+//!                    (sz-mesh also sits on sz-cad)
+//! ```
+//!
+//! * **`sz-cad`** is the foundation: the `Cad` AST shared by every
+//!   layer, its s-expression interchange format, evaluator, and
+//!   metrics.
+//! * **`sz-egraph`**, **`sz-solver`**, **`sz-mesh`**, **`sz-scad`**,
+//!   and **`sz-models`** are independent mid-layer crates (engine,
+//!   arithmetic fitting, geometry validation, OpenSCAD I/O, benchmark
+//!   corpus).
+//! * **`szalinski`** (core) composes them into the paper's pipeline:
+//!   saturate → determinize → list-manipulate → infer → extract. Batch
+//!   callers use the panic-free, `Send`-safe
+//!   [`szalinski::try_synthesize`]; the e-graph [`sz_egraph::Runner`]
+//!   optionally throttles explosive rules with
+//!   [`sz_egraph::Scheduler::backoff`].
+//! * **`sz-batch`** is the corpus engine added on top: a work-stealing
+//!   thread pool with per-job panic isolation and deadlines, a
+//!   content-addressed result cache (input s-expression + config
+//!   fingerprint) with on-disk persistence, a JSON-lines report sink
+//!   (`BENCH_batch.json`), and the `szb` binary that decompiles a
+//!   directory of `.scad`/`.csexp` models end-to-end.
+//! * **`sz-bench`** regenerates the paper's Table 1 and figures, now
+//!   through the batch engine (`run_table1_with`), plus Criterion-style
+//!   micro-benches.
+//!
+//! Offline stand-ins for `rand`/`proptest`/`criterion` live in
+//! `third_party/` (the build environment has no crates.io access); see
+//! `third_party/README.md`.
 
+pub use sz_batch;
 pub use sz_cad;
 pub use sz_egraph;
 pub use sz_mesh;

@@ -1,0 +1,224 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use — [`Criterion`],
+//! `benchmark_group`, `bench_function`, [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — as a plain
+//! wall-clock harness: each benchmark runs a short warm-up, then
+//! `sample_size` timed samples, and prints min/mean/max per iteration.
+//! There are no statistics, plots, or saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// The benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the number of timed samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.clone();
+        run_bench(&cfg, &name.into(), f);
+        self
+    }
+}
+
+/// A named group sharing configuration (from [`Criterion::benchmark_group`]).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut cfg = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            cfg.sample_size = n;
+        }
+        run_bench(&cfg, &format!("{}/{}", self.name, id.into()), f);
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std_black_box(f());
+        }
+        self.samples
+            .push(start.elapsed() / self.iters_per_sample as u32);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(cfg: &Criterion, name: &str, mut f: F) {
+    // Warm-up: run once (at least), up to the warm-up budget, and use the
+    // observed time to pick an iteration count per sample.
+    let warm_start = Instant::now();
+    let mut one = Duration::ZERO;
+    let mut warm_runs = 0u32;
+    while warm_runs == 0 || warm_start.elapsed() < cfg.warm_up_time {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        one = b.samples.last().copied().unwrap_or(one);
+        warm_runs += 1;
+        if one > cfg.warm_up_time {
+            break;
+        }
+    }
+
+    let budget_per_sample = cfg.measurement_time / cfg.sample_size as u32;
+    let iters = if one.is_zero() {
+        1000
+    } else {
+        (budget_per_sample.as_nanos() / one.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: iters,
+    };
+    for _ in 0..cfg.sample_size {
+        f(&mut b);
+    }
+    let n = b.samples.len().max(1) as u32;
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / n;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "bench {name:<48} {mean:>12?}/iter (min {min:?}, max {max:?}, {} samples x {iters} iters)",
+        b.samples.len()
+    );
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3);
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_sample_size_override() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut runs = 0u64;
+        group.bench_function("inner", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0);
+    }
+}

@@ -16,8 +16,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use sz_batch::{
-    dir_jobs, sanitize_name, suite16_jobs, write_report, BatchEngine, BatchJob, JobStatus,
-    ResultCache,
+    attach_snapshot_dir, dir_jobs, sanitize_name, save_snapshot_dir, suite16_jobs, write_report,
+    BatchEngine, BatchJob, JobStatus, ResultCache,
 };
 use szalinski::{CostKind, SynthConfig, TableRow};
 
@@ -39,6 +39,11 @@ EXECUTION:
 
 CACHE & OUTPUT:
     --cache <FILE>         persistent result cache (loaded before, saved after)
+    --snapshots <DIR>      persistent e-graph snapshot tier: cold runs store a
+                           snapshot per (input, saturation-config); later runs
+                           whose config differs only in extraction fields
+                           (--k, --reward-loops) resume from it, skipping
+                           saturation entirely
     --report <FILE>        JSON-lines report (default: BENCH_batch.json; 'none' disables)
     --out <DIR>            write each job's best program as <name>.scad and <name>.csexp
 
@@ -64,6 +69,7 @@ struct Options {
     sequential: bool,
     deadline: Option<Duration>,
     cache: Option<PathBuf>,
+    snapshots: Option<PathBuf>,
     report: Option<PathBuf>,
     out_dir: Option<PathBuf>,
     config: SynthConfig,
@@ -88,6 +94,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         sequential: false,
         deadline: None,
         cache: None,
+        snapshots: None,
         report: Some(PathBuf::from("BENCH_batch.json")),
         out_dir: None,
         config: SynthConfig::new(),
@@ -113,6 +120,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.deadline = Some(parse_secs("--deadline", value()?)?);
             }
             "--cache" => opts.cache = Some(PathBuf::from(value()?)),
+            "--snapshots" => opts.snapshots = Some(PathBuf::from(value()?)),
             "--report" => {
                 let v = value()?;
                 opts.report = (v != "none").then(|| PathBuf::from(v));
@@ -196,8 +204,10 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    // Warm the cache from disk if requested.
-    let cache = match &opts.cache {
+    // Warm the cache from disk if requested. A --snapshots dir implies a
+    // cache (in-memory program tier) even without --cache, and grants
+    // the snapshot tier its byte budget.
+    let mut loaded_cache = match &opts.cache {
         Some(path) => match ResultCache::load(path) {
             Ok(cache) => {
                 if !opts.quiet && !cache.is_empty() {
@@ -207,15 +217,29 @@ fn main() -> ExitCode {
                         path.display()
                     );
                 }
-                Some(Arc::new(Mutex::new(cache)))
+                Some(cache)
             }
             Err(e) => {
                 eprintln!("szb: cannot load cache: {e}");
                 return ExitCode::from(2);
             }
         },
-        None => None,
+        None => opts.snapshots.is_some().then(ResultCache::new),
     };
+    if let (Some(dir), Some(cache)) = (&opts.snapshots, &mut loaded_cache) {
+        match attach_snapshot_dir(cache, dir) {
+            Ok(n) => {
+                if !opts.quiet && n > 0 {
+                    println!("snapshots: loaded {n} from {}", dir.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("szb: cannot load snapshots from {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let cache = loaded_cache.map(|c| Arc::new(Mutex::new(c)));
 
     let mut engine = BatchEngine::new();
     if let Some(workers) = opts.workers {
@@ -284,6 +308,13 @@ fn main() -> ExitCode {
         report.mean_size_reduction() * 100.0,
         report.structure_fraction() * 100.0,
     );
+    if opts.snapshots.is_some() {
+        println!(
+            "szb: snapshots: {} hits ({:.0}% hit rate)",
+            report.snapshot_hits(),
+            report.snapshot_hit_rate() * 100.0,
+        );
+    }
 
     // JSONL report.
     if let Some(path) = &opts.report {
@@ -300,16 +331,47 @@ fn main() -> ExitCode {
         }
     }
 
-    // Persist the cache.
+    // Persist the snapshot tier and the cache file. One failing must
+    // not abandon the other — a full-disk snapshot dir should still
+    // leave the (cheap, valuable) program cache on disk.
+    let mut persist_failed = false;
+    if let (Some(dir), Some(cache)) = (&opts.snapshots, &cache) {
+        let cache = cache.lock().unwrap();
+        match save_snapshot_dir(&cache, dir) {
+            Ok(n) => {
+                if !opts.quiet {
+                    println!(
+                        "snapshots: saved {n} to {} ({} bytes)",
+                        dir.display(),
+                        cache.snapshot_bytes()
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("szb: cannot save snapshots to {}: {e}", dir.display());
+                persist_failed = true;
+            }
+        }
+    }
     if let (Some(path), Some(cache)) = (&opts.cache, &cache) {
         let cache = cache.lock().unwrap();
-        if let Err(e) = cache.save(path) {
+        // With a --snapshots dir, the dir is the snapshot tier's home;
+        // embedding every snapshot in the cache file too would double
+        // the bytes written and reloaded.
+        let saved = if opts.snapshots.is_some() {
+            cache.save_programs_only(path)
+        } else {
+            cache.save(path)
+        };
+        if let Err(e) = saved {
             eprintln!("szb: cannot save cache {}: {e}", path.display());
-            return ExitCode::FAILURE;
-        }
-        if !opts.quiet {
+            persist_failed = true;
+        } else if !opts.quiet {
             println!("cache: saved {} entries to {}", cache.len(), path.display());
         }
+    }
+    if persist_failed {
+        return ExitCode::FAILURE;
     }
 
     // Structured OpenSCAD emission.

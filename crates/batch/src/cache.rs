@@ -1,11 +1,26 @@
-//! Content-addressed result cache for synthesis runs.
+//! Content-addressed result cache for synthesis runs — **two tiers**.
 //!
-//! The key is a stable 64-bit FNV-1a hash over the input's canonical
-//! s-expression plus [`SynthConfig::fingerprint`] — re-decompiling an
-//! unchanged model under an unchanged configuration is a lookup, not a
-//! saturation run. The cache persists to disk as one s-expression per
-//! line (the repo's native interchange format), so a second `szb`
-//! invocation starts warm.
+//! * **Program tier** ([`JobKey`] → [`CachedRun`]): keyed on a stable
+//!   64-bit FNV-1a hash over the input's canonical s-expression plus the
+//!   *full* [`SynthConfig::fingerprint`]. A hit skips the whole pipeline.
+//! * **Snapshot tier** ([`SnapshotKey`] → serialized
+//!   [`szalinski::SynthSnapshot`] text): keyed on the input plus only
+//!   [`SynthConfig::saturation_fingerprint`], so a config change that
+//!   touches extraction-only fields (`k`, cost function) still hits — the
+//!   engine restores the saturated e-graph and re-runs extraction alone
+//!   ([`szalinski::resume_synthesize`]), skipping every saturation
+//!   iteration. Snapshots are large, so the tier is **size-bounded**:
+//!   disabled until [`ResultCache::set_snapshot_budget`] grants bytes,
+//!   and evicting largest-first (ties by key) when over budget.
+//!
+//! Both tiers persist to disk as one s-expression per line (the repo's
+//! native interchange format) — `(entry …)` for programs, `(snap …)` for
+//! snapshots with the multi-line snapshot text percent-escaped into a
+//! single atom — so a second `szb` invocation starts warm. Snapshots can
+//! alternatively persist as individual `<key>.snap` files in a directory
+//! ([`load_snapshot_dir`] / [`save_snapshot_dir`], the `szb --snapshots`
+//! flow), which keeps the line cache small and the snapshots
+//! human-inspectable.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -14,6 +29,9 @@ use std::path::Path;
 
 use sz_cad::{Cad, Sexp};
 use szalinski::SynthConfig;
+
+/// Default snapshot-tier budget granted by `szb --snapshots` (bytes).
+pub const DEFAULT_SNAPSHOT_BUDGET: usize = 256 * 1024 * 1024;
 
 /// Stable FNV-1a (64-bit) over bytes; explicit so the key never changes
 /// with std's `Hasher` internals across releases.
@@ -51,6 +69,29 @@ impl fmt::Display for JobKey {
     }
 }
 
+/// The content-addressed key of one `(input, saturation-config)` pair —
+/// the snapshot tier's key. Unlike [`JobKey`] it ignores extraction-only
+/// config fields, so cost-/k-only reruns share the saturated e-graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SnapshotKey(pub u64);
+
+impl SnapshotKey {
+    /// Hashes the canonical input s-expression and the config's
+    /// [`SynthConfig::saturation_fingerprint`].
+    pub fn of(input: &Cad, config: &SynthConfig) -> SnapshotKey {
+        SnapshotKey(fnv1a(&[
+            input.to_string().as_bytes(),
+            config.saturation_fingerprint().as_bytes(),
+        ]))
+    }
+}
+
+impl fmt::Display for SnapshotKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
 /// A cached synthesis outcome: the top-k programs (cost plus term) and
 /// the wall-clock seconds the original run took.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,10 +103,16 @@ pub struct CachedRun {
     pub time_s: f64,
 }
 
-/// In-memory content-addressed store with s-expression persistence.
+/// In-memory two-tier content-addressed store with s-expression
+/// persistence (see the [module docs](self)).
 #[derive(Debug, Default, Clone)]
 pub struct ResultCache {
     map: HashMap<u64, CachedRun>,
+    /// Snapshot tier: key → serialized `SynthSnapshot` text.
+    snaps: HashMap<u64, String>,
+    /// Byte budget for the snapshot tier; 0 disables *capturing* new
+    /// snapshots (already-loaded ones still serve lookups).
+    snap_budget: usize,
 }
 
 /// Error loading a persisted cache file.
@@ -84,6 +131,18 @@ impl fmt::Display for CacheLoadError {
             CacheLoadError::Malformed(line, what) => {
                 write!(f, "malformed cache entry on line {line}: {what}")
             }
+        }
+    }
+}
+
+impl CacheLoadError {
+    /// The 1-based line number of a malformed entry, if the error is
+    /// positional (I/O errors have no position). Programmatic access to
+    /// what was previously only embedded in the `Display` text.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            CacheLoadError::Io(_) => None,
+            CacheLoadError::Malformed(line, _) => Some(*line),
         }
     }
 }
@@ -122,9 +181,91 @@ impl ResultCache {
         self.map.insert(key.0, run);
     }
 
+    /// Grants the snapshot tier a byte budget, evicting immediately if
+    /// the currently held snapshots exceed it. A budget of 0 stops new
+    /// snapshots from being captured but keeps existing entries
+    /// readable.
+    pub fn set_snapshot_budget(&mut self, bytes: usize) {
+        self.snap_budget = bytes;
+        if bytes > 0 {
+            self.evict_snapshots();
+        }
+    }
+
+    /// Builder form of [`ResultCache::set_snapshot_budget`].
+    pub fn with_snapshot_budget(mut self, bytes: usize) -> Self {
+        self.set_snapshot_budget(bytes);
+        self
+    }
+
+    /// The snapshot tier's byte budget (0 = capture disabled).
+    pub fn snapshot_budget(&self) -> usize {
+        self.snap_budget
+    }
+
+    /// Number of stored snapshots.
+    pub fn snapshot_count(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// Total bytes held by the snapshot tier.
+    pub fn snapshot_bytes(&self) -> usize {
+        self.snaps.values().map(|t| t.len()).sum()
+    }
+
+    /// Looks up a serialized snapshot by key.
+    pub fn get_snapshot(&self, key: SnapshotKey) -> Option<&str> {
+        self.snaps.get(&key.0).map(String::as_str)
+    }
+
+    /// Stores a serialized snapshot, then evicts largest-first (ties by
+    /// key, descending) until the tier fits its budget. The freshly
+    /// inserted snapshot is itself evicted if it alone exceeds the
+    /// budget — the bound is unconditional.
+    pub fn insert_snapshot(&mut self, key: SnapshotKey, text: String) {
+        if self.snap_budget == 0 {
+            return;
+        }
+        self.snaps.insert(key.0, text);
+        self.evict_snapshots();
+    }
+
+    /// Iterates `(key, text)` over stored snapshots in key order.
+    pub fn snapshots(&self) -> impl Iterator<Item = (SnapshotKey, &str)> {
+        let mut keys: Vec<u64> = self.snaps.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter()
+            .map(|k| (SnapshotKey(k), self.snaps[&k].as_str()))
+    }
+
+    fn evict_snapshots(&mut self) {
+        while self.snapshot_bytes() > self.snap_budget && !self.snaps.is_empty() {
+            let victim = self
+                .snaps
+                .iter()
+                .max_by_key(|(k, t)| (t.len(), **k))
+                .map(|(k, _)| *k)
+                .expect("non-empty");
+            self.snaps.remove(&victim);
+        }
+    }
+
+    /// [`ResultCache::to_lines`] without the snapshot tier — for
+    /// callers that persist snapshots elsewhere (a
+    /// [`save_snapshot_dir`] directory) and want the line cache to stay
+    /// small instead of embedding every snapshot twice.
+    pub fn to_lines_programs_only(&self) -> String {
+        self.render_lines(false)
+    }
+
     /// Serializes to the line-oriented s-expression format, sorted by
-    /// key so saves are byte-stable.
+    /// key so saves are byte-stable. Snapshot-tier entries follow the
+    /// program entries as `(snap <key> <escaped-text>)` lines.
     pub fn to_lines(&self) -> String {
+        self.render_lines(true)
+    }
+
+    fn render_lines(&self, include_snapshots: bool) -> String {
         let mut keys: Vec<&u64> = self.map.keys().collect();
         keys.sort();
         let mut out = String::new();
@@ -151,6 +292,17 @@ impl ResultCache {
             ]);
             out.push_str(&entry.to_string());
             out.push('\n');
+        }
+        if include_snapshots {
+            for (key, text) in self.snapshots() {
+                let entry = Sexp::list(vec![
+                    Sexp::atom("snap"),
+                    Sexp::atom(key.to_string()),
+                    Sexp::atom(sz_egraph::escape_token(text)),
+                ]);
+                out.push_str(&entry.to_string());
+                out.push('\n');
+            }
         }
         out
     }
@@ -204,7 +356,23 @@ impl ResultCache {
                     }
                     cache.insert(JobKey(key), CachedRun { programs, time_s });
                 }
-                _ => return Err(malformed("not an (entry ...) form")),
+                [tag, key, text] if tag.as_atom() == Some("snap") => {
+                    let key = key
+                        .as_atom()
+                        .and_then(|k| u64::from_str_radix(k, 16).ok())
+                        .ok_or_else(|| malformed("bad snapshot key"))?;
+                    let text = text
+                        .as_atom()
+                        .ok_or_else(|| malformed("snapshot text must be an atom"))
+                        .and_then(|t| {
+                            sz_egraph::unescape_token(t)
+                                .map_err(|e| malformed(&format!("bad snapshot text: {e}")))
+                        })?;
+                    // Loaded snapshots bypass the budget (which may be
+                    // granted later, re-evicting); insert directly.
+                    cache.snaps.insert(key, text);
+                }
+                _ => return Err(malformed("not an (entry ...) or (snap ...) form")),
             }
         }
         Ok(cache)
@@ -226,14 +394,101 @@ impl ResultCache {
 
     /// Writes the cache to `path` (atomically via a sibling temp file).
     pub fn save(&self, path: &Path) -> io::Result<()> {
+        self.save_text(path, self.to_lines())
+    }
+
+    /// [`ResultCache::save`] without the snapshot tier (see
+    /// [`ResultCache::to_lines_programs_only`]).
+    pub fn save_programs_only(&self, path: &Path) -> io::Result<()> {
+        self.save_text(path, self.to_lines_programs_only())
+    }
+
+    fn save_text(&self, path: &Path, text: String) -> io::Result<()> {
         let tmp = path.with_extension("tmp");
         {
             let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(self.to_lines().as_bytes())?;
+            f.write_all(text.as_bytes())?;
             f.sync_all()?;
         }
         std::fs::rename(&tmp, path)
     }
+}
+
+/// Loads a snapshot dir and enables capture in one step: loads every
+/// `.snap` file via [`load_snapshot_dir`], then grants the tier the
+/// [`DEFAULT_SNAPSHOT_BUDGET`]. Returns the number of snapshots loaded.
+/// This is the shared open sequence behind `szb --snapshots` and
+/// `table1 --snapshots`; pair it with [`save_snapshot_dir`] after the
+/// run.
+pub fn attach_snapshot_dir(cache: &mut ResultCache, dir: &Path) -> io::Result<usize> {
+    let loaded = load_snapshot_dir(cache, dir)?;
+    cache.set_snapshot_budget(DEFAULT_SNAPSHOT_BUDGET);
+    Ok(loaded)
+}
+
+/// Loads every `<key16>.snap` file in `dir` into `cache`'s snapshot tier
+/// (bypassing the budget like [`ResultCache::from_lines`]; grant the
+/// budget afterwards to enforce it). Files whose stem is not a 16-digit
+/// hex key are ignored. Returns the number of snapshots loaded; a
+/// missing directory loads zero (cold start).
+pub fn load_snapshot_dir(cache: &mut ResultCache, dir: &Path) -> io::Result<usize> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let mut loaded = 0;
+    for entry in entries {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("snap") {
+            continue;
+        }
+        let Some(key) = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .filter(|s| s.len() == 16)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+        else {
+            continue;
+        };
+        cache.snaps.insert(key, std::fs::read_to_string(&path)?);
+        loaded += 1;
+    }
+    Ok(loaded)
+}
+
+/// Writes `cache`'s snapshot tier to `dir` as one `<key16>.snap` file
+/// per snapshot (creating `dir` if needed) and removes stale `.snap`
+/// files for keys no longer held (e.g. evicted). Returns the number of
+/// snapshots saved.
+pub fn save_snapshot_dir(cache: &ResultCache, dir: &Path) -> io::Result<usize> {
+    std::fs::create_dir_all(dir)?;
+    let mut saved = 0;
+    for (key, text) in cache.snapshots() {
+        // Atomic per file (write a sibling temp, then rename), so a kill
+        // mid-save never leaves a torn .snap that silently disables the
+        // tier for that model on every later run.
+        let tmp = dir.join(format!("{key}.tmp"));
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, dir.join(format!("{key}.snap")))?;
+        saved += 1;
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("snap") {
+            continue;
+        }
+        let held = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .filter(|s| s.len() == 16)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .is_some_and(|k| cache.snaps.contains_key(&k));
+        if !held {
+            std::fs::remove_file(&path)?;
+        }
+    }
+    Ok(saved)
 }
 
 #[cfg(test)]
@@ -313,5 +568,142 @@ mod tests {
             other => panic!("unexpected: {other:?}"),
         }
         assert!(ResultCache::from_lines("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_line_numbers_survive_leading_good_entries() {
+        // A valid entry, a valid snapshot, then garbage on line 4: the
+        // error must name line 4, not lose the position.
+        let mut cache = ResultCache::new().with_snapshot_budget(1 << 20);
+        cache.insert(
+            JobKey(7),
+            CachedRun {
+                programs: vec![(1, Cad::Unit)],
+                time_s: 0.1,
+            },
+        );
+        cache.insert_snapshot(SnapshotKey(9), "szsynth v1\nfake".to_owned());
+        let mut text = cache.to_lines();
+        text.push_str("\n(entry broken)\n");
+        let err = ResultCache::from_lines(&text).unwrap_err();
+        assert_eq!(err.line(), Some(4), "{err}");
+        assert!(err.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn mixed_program_and_snapshot_file_roundtrips() {
+        let mut cache = ResultCache::new().with_snapshot_budget(1 << 20);
+        let key = JobKey::of(&sample_cad(3), &SynthConfig::new());
+        cache.insert(
+            key,
+            CachedRun {
+                programs: vec![(5, sample_cad(3))],
+                time_s: 0.25,
+            },
+        );
+        let skey = SnapshotKey::of(&sample_cad(3), &SynthConfig::new());
+        let snap_text = "szsynth v1\ninput (Union Unit Unit)\nsatfp x\nszsnap v1\nuf 0\nroots\niterations 2\nscheduler simple\nend\n";
+        cache.insert_snapshot(skey, snap_text.to_owned());
+
+        let lines = cache.to_lines();
+        assert!(lines.contains("(entry "));
+        assert!(lines.contains("(snap "));
+        let back = ResultCache::from_lines(&lines).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.snapshot_count(), 1);
+        assert_eq!(back.get_snapshot(skey), Some(snap_text));
+        assert_eq!(back.get(key).unwrap().programs.len(), 1);
+        // Byte-stable reserialization.
+        assert_eq!(back.to_lines(), lines);
+    }
+
+    #[test]
+    fn programs_only_serialization_omits_snapshots() {
+        let mut cache = ResultCache::new().with_snapshot_budget(1 << 20);
+        cache.insert(
+            JobKey(7),
+            CachedRun {
+                programs: vec![(1, Cad::Unit)],
+                time_s: 0.1,
+            },
+        );
+        cache.insert_snapshot(SnapshotKey(9), "szsynth v1\nbig".to_owned());
+        let slim = cache.to_lines_programs_only();
+        assert!(slim.contains("(entry "));
+        assert!(!slim.contains("(snap "));
+        // Loading the slim form keeps programs, drops snapshots.
+        let back = ResultCache::from_lines(&slim).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.snapshot_count(), 0);
+    }
+
+    #[test]
+    fn snapshot_keys_split_saturation_from_extraction() {
+        let config = SynthConfig::new();
+        let base = SnapshotKey::of(&sample_cad(4), &config);
+        // Extraction-only changes share the snapshot key...
+        assert_eq!(
+            base,
+            SnapshotKey::of(&sample_cad(4), &config.clone().with_k(9))
+        );
+        // ...saturation changes do not.
+        assert_ne!(
+            base,
+            SnapshotKey::of(&sample_cad(4), &config.clone().with_structural_rules(true))
+        );
+        assert_ne!(base, SnapshotKey::of(&sample_cad(5), &config));
+    }
+
+    #[test]
+    fn snapshot_tier_is_disabled_without_budget() {
+        let mut cache = ResultCache::new();
+        assert_eq!(cache.snapshot_budget(), 0);
+        cache.insert_snapshot(SnapshotKey(1), "x".repeat(10));
+        assert_eq!(cache.snapshot_count(), 0);
+    }
+
+    #[test]
+    fn eviction_is_size_bounded_largest_first() {
+        let mut cache = ResultCache::new().with_snapshot_budget(100);
+        cache.insert_snapshot(SnapshotKey(1), "a".repeat(40));
+        cache.insert_snapshot(SnapshotKey(2), "b".repeat(70));
+        // 110 bytes > 100: the 70-byte entry (largest) is evicted.
+        assert_eq!(cache.snapshot_count(), 1);
+        assert!(cache.get_snapshot(SnapshotKey(1)).is_some());
+        assert!(cache.snapshot_bytes() <= 100);
+        // An entry alone over budget is evicted immediately.
+        cache.insert_snapshot(SnapshotKey(3), "c".repeat(200));
+        assert!(cache.get_snapshot(SnapshotKey(3)).is_none());
+        // Shrinking the budget re-evicts.
+        cache.set_snapshot_budget(10);
+        assert_eq!(cache.snapshot_count(), 0);
+    }
+
+    #[test]
+    fn snapshot_dir_roundtrip_and_stale_cleanup() {
+        let dir = std::env::temp_dir().join("sz_batch_snapdir_test");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Missing dir loads zero.
+        let mut cache = ResultCache::new().with_snapshot_budget(1 << 20);
+        assert_eq!(load_snapshot_dir(&mut cache, &dir).unwrap(), 0);
+
+        cache.insert_snapshot(SnapshotKey(0xabcd), "snapshot a".to_owned());
+        cache.insert_snapshot(SnapshotKey(0x1234), "snapshot b".to_owned());
+        assert_eq!(save_snapshot_dir(&cache, &dir).unwrap(), 2);
+
+        let mut back = ResultCache::new();
+        assert_eq!(load_snapshot_dir(&mut back, &dir).unwrap(), 2);
+        assert_eq!(back.get_snapshot(SnapshotKey(0xabcd)), Some("snapshot a"));
+        assert_eq!(back.get_snapshot(SnapshotKey(0x1234)), Some("snapshot b"));
+
+        // Dropping an entry and resaving removes its stale file.
+        let mut smaller = ResultCache::new().with_snapshot_budget(1 << 20);
+        smaller.insert_snapshot(SnapshotKey(0x1234), "snapshot b".to_owned());
+        assert_eq!(save_snapshot_dir(&smaller, &dir).unwrap(), 1);
+        let mut reloaded = ResultCache::new();
+        assert_eq!(load_snapshot_dir(&mut reloaded, &dir).unwrap(), 1);
+        assert!(reloaded.get_snapshot(SnapshotKey(0xabcd)).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -12,9 +12,12 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sz_cad::Cad;
-use szalinski::{try_synthesize, SynthConfig, SynthError, Synthesis, TableRow};
+use szalinski::{
+    resume_synthesize, try_synthesize, try_synthesize_with_snapshot, SynthConfig, SynthError,
+    SynthSnapshot, Synthesis, TableRow,
+};
 
-use crate::cache::{CachedRun, JobKey, ResultCache};
+use crate::cache::{CachedRun, JobKey, ResultCache, SnapshotKey};
 use crate::pool::run_tasks;
 
 /// One unit of batch work: a named flat CSG plus its synthesis config.
@@ -68,8 +71,13 @@ pub struct JobOutcome {
     pub name: String,
     /// Terminal state.
     pub status: JobStatus,
-    /// Whether the result came from the cache (no saturation run).
+    /// Whether the result came from the program cache tier (no pipeline
+    /// run at all).
     pub cached: bool,
+    /// Whether the result was **resumed** from the snapshot cache tier:
+    /// the saturated e-graph was restored and only extraction ran
+    /// (zero saturation iterations). Mutually exclusive with `cached`.
+    pub snapshot_hit: bool,
     /// Whether wall-clock time exceeded the engine's per-job deadline
     /// (the saturation time limit is clamped to the deadline, so this
     /// marks jobs that *cooperatively* ran out of time; their programs
@@ -128,6 +136,21 @@ impl BatchReport {
             0.0
         } else {
             self.cache_hits() as f64 / self.outcomes.len() as f64
+        }
+    }
+
+    /// Jobs resumed from the snapshot cache tier (saturation skipped,
+    /// extraction re-run).
+    pub fn snapshot_hits(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.snapshot_hit).count()
+    }
+
+    /// Snapshot-tier hit rate in `[0, 1]` (0 on an empty batch).
+    pub fn snapshot_hit_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            0.0
+        } else {
+            self.snapshot_hits() as f64 / self.outcomes.len() as f64
         }
     }
 
@@ -251,6 +274,7 @@ impl BatchEngine {
                     name,
                     status: JobStatus::Panicked(panic.message),
                     cached: false,
+                    snapshot_hit: false,
                     hit_deadline: false,
                     time: Duration::ZERO,
                     iterations: 0,
@@ -283,7 +307,9 @@ impl BatchEngine {
     }
 }
 
-/// The single per-job code path shared by parallel and sequential runs.
+/// The single per-job code path shared by parallel and sequential runs:
+/// program-tier lookup, then snapshot-tier resume, then a cold run
+/// (capturing a snapshot when the tier has a budget).
 fn execute_job(
     job: BatchJob,
     cache: Option<&Arc<Mutex<ResultCache>>>,
@@ -298,52 +324,102 @@ fn execute_job(
     // different run and must not alias in the cache.
     let key = cache.map(|_| JobKey::of(&job.input, &config));
 
-    // Cache lookup: a hit reconstructs the outcome without saturating.
+    // Program tier: a hit reconstructs the outcome without any pipeline
+    // work.
     if let (Some(cache), Some(key)) = (cache, key) {
         let hit = cache.lock().unwrap().get(key).cloned();
         if let Some(run) = hit {
             return outcome_from_cache(&job, run, start.elapsed());
         }
+        // Snapshot tier: restore the saturated e-graph and re-run only
+        // extraction. A stale, corrupt, or mismatched snapshot falls
+        // through to a cold run — the tier can slow a job down but never
+        // fail it.
+        let skey = SnapshotKey::of(&job.input, &config);
+        let text = cache.lock().unwrap().get_snapshot(skey).map(str::to_owned);
+        if let Some(text) = text {
+            if let Ok(snapshot) = text.parse::<SynthSnapshot>() {
+                if let Ok(result) = resume_synthesize(&job.input, &config, &snapshot) {
+                    if !result.top_k.is_empty() {
+                        cache.lock().unwrap().insert(key, cached_run_of(&result));
+                        return outcome_from_result(job.name, result, start, deadline, true);
+                    }
+                }
+            }
+        }
     }
-    match try_synthesize(&job.input, &config) {
-        Ok(result) => {
+
+    // Cold run; capture a snapshot only when the cache grants the
+    // snapshot tier a byte budget (capture serializes the whole e-graph,
+    // which is not free).
+    let capture = cache.is_some_and(|c| c.lock().unwrap().snapshot_budget() > 0);
+    let synth = if capture {
+        try_synthesize_with_snapshot(&job.input, &config).map(|(r, s)| (r, Some(s)))
+    } else {
+        try_synthesize(&job.input, &config).map(|r| (r, None))
+    };
+    match synth {
+        Ok((result, snapshot)) => {
             if let (Some(cache), Some(key)) = (cache, key) {
-                let run = CachedRun {
-                    programs: result
-                        .top_k
-                        .iter()
-                        .map(|p| (p.cost, p.cad.clone()))
-                        .collect(),
-                    time_s: result.time.as_secs_f64(),
-                };
-                cache.lock().unwrap().insert(key, run);
+                let mut cache = cache.lock().unwrap();
+                cache.insert(key, cached_run_of(&result));
+                if let Some(snapshot) = snapshot {
+                    let skey = SnapshotKey::of(&job.input, &config);
+                    cache.insert_snapshot(skey, snapshot.to_string());
+                }
             }
-            let time = start.elapsed();
-            JobOutcome {
-                row: Some(result.table_row(&job.name)),
-                programs: result
-                    .top_k
-                    .iter()
-                    .map(|p| (p.cost, p.cad.to_string()))
-                    .collect(),
-                status: JobStatus::Ok,
-                cached: false,
-                hit_deadline: deadline.is_some_and(|d| time > d),
-                time,
-                iterations: result.iterations,
-                name: job.name,
-            }
+            outcome_from_result(job.name, result, start, deadline, false)
         }
         Err(e) => JobOutcome {
             name: job.name,
             status: JobStatus::Rejected(e),
             cached: false,
+            snapshot_hit: false,
             hit_deadline: false,
             time: start.elapsed(),
             iterations: 0,
             programs: Vec::new(),
             row: None,
         },
+    }
+}
+
+/// The program-tier cache entry for a fresh or resumed result.
+fn cached_run_of(result: &Synthesis) -> CachedRun {
+    CachedRun {
+        programs: result
+            .top_k
+            .iter()
+            .map(|p| (p.cost, p.cad.clone()))
+            .collect(),
+        time_s: result.time.as_secs_f64(),
+    }
+}
+
+/// Builds the outcome of a run that actually executed (cold or resumed
+/// from a snapshot).
+fn outcome_from_result(
+    name: String,
+    result: Synthesis,
+    start: Instant,
+    deadline: Option<Duration>,
+    snapshot_hit: bool,
+) -> JobOutcome {
+    let time = start.elapsed();
+    JobOutcome {
+        row: Some(result.table_row(&name)),
+        programs: result
+            .top_k
+            .iter()
+            .map(|p| (p.cost, p.cad.to_string()))
+            .collect(),
+        status: JobStatus::Ok,
+        cached: false,
+        snapshot_hit,
+        hit_deadline: deadline.is_some_and(|d| time > d),
+        time,
+        iterations: result.iterations,
+        name,
     }
 }
 
@@ -379,6 +455,7 @@ fn outcome_from_cache(job: &BatchJob, run: CachedRun, lookup: Duration) -> JobOu
         name: job.name.clone(),
         status: JobStatus::Ok,
         cached: true,
+        snapshot_hit: false,
         hit_deadline: false,
         time: lookup,
         iterations: 0,

@@ -8,12 +8,22 @@
 //!
 //! * [`pool`] — a work-stealing thread pool over `std` threads with
 //!   per-task panic isolation;
-//! * [`cache`] — a content-addressed result cache keyed on a stable
-//!   hash of the input s-expression plus
-//!   [`SynthConfig::fingerprint`](szalinski::SynthConfig::fingerprint),
-//!   with line-oriented s-expression persistence for warm restarts;
+//! * [`cache`] — a **two-tier** content-addressed cache: a *program
+//!   tier* keyed on the input s-expression plus the full
+//!   [`SynthConfig::fingerprint`](szalinski::SynthConfig::fingerprint)
+//!   (hits skip the whole pipeline), and a size-bounded *snapshot tier*
+//!   keyed on the input plus only
+//!   [`SynthConfig::saturation_fingerprint`](szalinski::SynthConfig::saturation_fingerprint),
+//!   holding serialized saturated e-graphs
+//!   ([`szalinski::SynthSnapshot`]) so extraction-only config changes
+//!   resume instead of re-saturating; both tiers persist via
+//!   line-oriented s-expressions, snapshots alternatively as a
+//!   directory of `.snap` files ([`load_snapshot_dir`] /
+//!   [`save_snapshot_dir`]);
 //! * [`engine`] — [`BatchEngine`]: fans [`BatchJob`]s across the pool
-//!   under per-job wall-clock deadlines, consults the cache, and
+//!   under per-job wall-clock deadlines, consults both cache tiers
+//!   (program hit → no work; snapshot hit →
+//!   [`szalinski::resume_synthesize`], zero saturation iterations), and
 //!   aggregates a [`BatchReport`];
 //! * [`report`] — the JSON-lines sink feeding `BENCH_batch.json`;
 //! * [`corpus`] — job enumeration from the 16-model suite or a
@@ -26,6 +36,8 @@
 //! ```text
 //! szb --suite16 --workers 4 --cache warm.sexp --report BENCH_batch.json
 //! szb path/to/models --out decompiled/
+//! szb --suite16 --snapshots snaps/            # store e-graph snapshots
+//! szb --suite16 --snapshots snaps/ --reward-loops   # resumes, no saturation
 //! ```
 //!
 //! ## Determinism
@@ -60,7 +72,10 @@ pub mod engine;
 pub mod pool;
 pub mod report;
 
-pub use cache::{CacheLoadError, CachedRun, JobKey, ResultCache};
+pub use cache::{
+    attach_snapshot_dir, load_snapshot_dir, save_snapshot_dir, CacheLoadError, CachedRun, JobKey,
+    ResultCache, SnapshotKey, DEFAULT_SNAPSHOT_BUDGET,
+};
 pub use corpus::{dir_jobs, sanitize_name, suite16_jobs, CorpusSkip};
 pub use engine::{BatchEngine, BatchJob, BatchReport, JobOutcome, JobStatus};
 pub use pool::{run_tasks, TaskPanic};

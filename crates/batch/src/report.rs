@@ -43,6 +43,7 @@ pub fn job_record(o: &JobOutcome) -> String {
         ("name".to_owned(), json_string(&o.name)),
         ("status".to_owned(), json_string(o.status.tag())),
         ("cached".to_owned(), o.cached.to_string()),
+        ("snapshot_hit".to_owned(), o.snapshot_hit.to_string()),
         ("hit_deadline".to_owned(), o.hit_deadline.to_string()),
         ("time_s".to_owned(), json_f64(o.time.as_secs_f64())),
         ("iterations".to_owned(), o.iterations.to_string()),
@@ -90,6 +91,14 @@ pub fn summary_record(report: &BatchReport) -> String {
             json_f64(report.cache_hit_rate()),
         ),
         (
+            "snapshot_hits".to_owned(),
+            report.snapshot_hits().to_string(),
+        ),
+        (
+            "snapshot_hit_rate".to_owned(),
+            json_f64(report.snapshot_hit_rate()),
+        ),
+        (
             "wall_time_s".to_owned(),
             json_f64(report.wall_time.as_secs_f64()),
         ),
@@ -132,6 +141,7 @@ mod tests {
             name: name.to_owned(),
             status: JobStatus::Ok,
             cached,
+            snapshot_hit: false,
             hit_deadline: false,
             time: Duration::from_millis(250),
             iterations: if cached { 0 } else { 7 },

@@ -1,0 +1,169 @@
+//! Differential tests for the snapshot cache tier: resumed runs must be
+//! byte-identical to cold runs, cost-only config changes must hit the
+//! tier with rate 1.0, and rule-set changes must invalidate it.
+
+use std::sync::{Arc, Mutex};
+
+use sz_batch::{BatchEngine, BatchJob, JobOutcome, ResultCache};
+use sz_cad::Cad;
+use szalinski::{CostKind, SynthConfig};
+
+fn row(n: usize) -> Cad {
+    Cad::union_chain(
+        (1..=n)
+            .map(|i| Cad::translate(2.0 * i as f64, 0.0, 0.0, Cad::Unit))
+            .collect(),
+    )
+}
+
+fn quick() -> SynthConfig {
+    SynthConfig::new()
+        .with_iter_limit(20)
+        .with_node_limit(20_000)
+}
+
+fn jobs(config: &SynthConfig) -> Vec<BatchJob> {
+    (3..7)
+        .map(|n| BatchJob::new(format!("row{n}"), row(n), config.clone()))
+        .collect()
+}
+
+fn shared_cache() -> Arc<Mutex<ResultCache>> {
+    Arc::new(Mutex::new(
+        ResultCache::new().with_snapshot_budget(64 << 20),
+    ))
+}
+
+fn programs(outcomes: &[JobOutcome]) -> Vec<Vec<(usize, String)>> {
+    outcomes.iter().map(|o| o.programs.clone()).collect()
+}
+
+#[test]
+fn cost_only_change_resumes_with_full_hit_rate() {
+    let cache = shared_cache();
+    let engine = BatchEngine::new().with_workers(2).with_cache(cache.clone());
+
+    // Cold: no hits anywhere, snapshots captured for every job.
+    let cold = engine.run(jobs(&quick()));
+    assert_eq!(cold.ok_count(), 4);
+    assert_eq!(cold.cache_hits(), 0);
+    assert_eq!(cold.snapshot_hits(), 0);
+    assert!(cold.outcomes.iter().all(|o| o.iterations > 0));
+    assert_eq!(cache.lock().unwrap().snapshot_count(), 4);
+
+    // Cost-only config change: program tier misses, snapshot tier hits
+    // at rate 1.0, and no job spends a single saturation iteration.
+    let reward = quick().with_cost(CostKind::RewardLoops);
+    let resumed = engine.run(jobs(&reward));
+    assert_eq!(resumed.ok_count(), 4);
+    assert_eq!(resumed.cache_hits(), 0, "full fingerprints differ");
+    assert_eq!(resumed.snapshot_hits(), 4);
+    assert!((resumed.snapshot_hit_rate() - 1.0).abs() < f64::EPSILON);
+    assert!(resumed.outcomes.iter().all(|o| o.iterations == 0));
+
+    // Differential: byte-identical to a cold run of the changed config.
+    let fresh = BatchEngine::new().with_workers(2).run(jobs(&reward));
+    assert_eq!(programs(&resumed.outcomes), programs(&fresh.outcomes));
+    for (a, b) in resumed.outcomes.iter().zip(&fresh.outcomes) {
+        let (ra, rb) = (a.row.as_ref().unwrap(), b.row.as_ref().unwrap());
+        assert_eq!((ra.o_ns, ra.o_p, ra.o_d), (rb.o_ns, rb.o_p, rb.o_d));
+        assert_eq!((&ra.n_l, &ra.f, ra.rank), (&rb.n_l, &rb.f, rb.rank));
+    }
+
+    // A resumed result lands in the program tier: a third identical run
+    // is a plain program-cache hit.
+    let third = engine.run(jobs(&reward));
+    assert_eq!(third.cache_hits(), 4);
+    assert_eq!(third.snapshot_hits(), 0);
+    assert_eq!(programs(&third.outcomes), programs(&resumed.outcomes));
+}
+
+#[test]
+fn same_config_rerun_prefers_program_tier() {
+    let cache = shared_cache();
+    let engine = BatchEngine::new().with_workers(2).with_cache(cache);
+    let cold = engine.run(jobs(&quick()));
+    let warm = engine.run(jobs(&quick()));
+    assert_eq!(warm.cache_hits(), 4);
+    assert_eq!(warm.snapshot_hits(), 0, "program tier shadows snapshots");
+    assert_eq!(programs(&warm.outcomes), programs(&cold.outcomes));
+}
+
+#[test]
+fn rule_set_change_invalidates_snapshots() {
+    let cache = shared_cache();
+    let engine = BatchEngine::new().with_workers(2).with_cache(cache.clone());
+    engine.run(jobs(&quick()));
+    assert_eq!(cache.lock().unwrap().snapshot_count(), 4);
+
+    // structural_rules changes the rule set → saturation fingerprint →
+    // snapshot keys: everything re-saturates.
+    let structural = quick().with_structural_rules(true).with_backoff(true);
+    let rerun = engine.run(jobs(&structural));
+    assert_eq!(rerun.snapshot_hits(), 0);
+    assert_eq!(rerun.cache_hits(), 0);
+    assert!(rerun.outcomes.iter().all(|o| o.iterations > 0));
+    // The new saturation configs store their own snapshots alongside.
+    assert_eq!(cache.lock().unwrap().snapshot_count(), 8);
+}
+
+#[test]
+fn corrupt_snapshot_falls_back_to_cold_run() {
+    use sz_batch::SnapshotKey;
+
+    let cache = shared_cache();
+    let engine = BatchEngine::new().with_workers(2).with_cache(cache.clone());
+    let config = quick();
+    let job = || vec![BatchJob::new("row5", row(5), config.clone())];
+    let cold = engine.run(job());
+
+    // Poison the stored snapshot; a cost-only rerun must still succeed
+    // (cold), not fail or hit.
+    let skey = SnapshotKey::of(&row(5), &config);
+    cache
+        .lock()
+        .unwrap()
+        .insert_snapshot(skey, "szsynth v1\ngarbage".to_owned());
+    let reward = config.clone().with_cost(CostKind::RewardLoops);
+    let rerun = engine.run(vec![BatchJob::new("row5", row(5), reward)]);
+    assert_eq!(rerun.ok_count(), 1);
+    assert_eq!(rerun.snapshot_hits(), 0);
+    assert!(rerun.outcomes[0].iterations > 0, "fell back to a cold run");
+    assert_eq!(cold.ok_count(), 1);
+}
+
+#[test]
+fn cache_without_budget_captures_no_snapshots() {
+    let cache = Arc::new(Mutex::new(ResultCache::new()));
+    let engine = BatchEngine::new().with_workers(2).with_cache(cache.clone());
+    engine.run(jobs(&quick()));
+    assert_eq!(cache.lock().unwrap().snapshot_count(), 0);
+    // Program tier still works as before.
+    let warm = engine.run(jobs(&quick()));
+    assert_eq!(warm.cache_hits(), 4);
+}
+
+#[test]
+fn mixed_cache_file_roundtrips_through_disk() {
+    let dir = std::env::temp_dir().join("sz_batch_snapshot_cache_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cache.sexp");
+    let _ = std::fs::remove_file(&path);
+
+    let cache = shared_cache();
+    let engine = BatchEngine::new().with_workers(2).with_cache(cache.clone());
+    engine.run(jobs(&quick()));
+    cache.lock().unwrap().save(&path).unwrap();
+
+    // A fresh process loads both tiers and resumes from the snapshots.
+    let loaded = ResultCache::load(&path).unwrap();
+    assert_eq!(loaded.len(), 4);
+    assert_eq!(loaded.snapshot_count(), 4);
+    let loaded = Arc::new(Mutex::new(loaded.with_snapshot_budget(64 << 20)));
+    let engine2 = BatchEngine::new().with_workers(2).with_cache(loaded);
+    let reward = quick().with_cost(CostKind::RewardLoops);
+    let resumed = engine2.run(jobs(&reward));
+    assert_eq!(resumed.snapshot_hits(), 4);
+    assert!(resumed.outcomes.iter().all(|o| o.iterations == 0));
+    std::fs::remove_file(&path).unwrap();
+}

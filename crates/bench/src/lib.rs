@@ -49,6 +49,25 @@ pub fn run_table1() -> Vec<TableRow> {
 /// [`run_table1`] on a caller-configured batch engine (worker count,
 /// per-job deadline, result cache).
 pub fn run_table1_with(engine: &BatchEngine) -> Vec<TableRow> {
+    run_table1_report(engine)
+        .outcomes
+        .into_iter()
+        .map(|outcome| {
+            outcome
+                .row
+                .unwrap_or_else(|| panic!("table1 job {:?} failed", outcome.status))
+        })
+        .collect()
+}
+
+/// [`run_table1_with`], returning the full [`BatchReport`] (cache and
+/// snapshot-tier hit counts included). Note the `wardrobe@` job shares
+/// `wardrobe`'s saturation config and differs only in the cost
+/// function, so with a snapshot-tier cache attached it can resume from
+/// `wardrobe`'s saturated e-graph instead of re-saturating (guaranteed
+/// on a second invocation over a persisted snapshot dir; opportunistic
+/// within one parallel batch).
+pub fn run_table1_report(engine: &BatchEngine) -> sz_batch::BatchReport {
     // The 16 paper rows, plus the wardrobe@ reward-loops rerun as one
     // extra job at the end of the same batch.
     let mut jobs = sz_batch::suite16_jobs(&table1_config());
@@ -61,17 +80,7 @@ pub fn run_table1_with(engine: &BatchEngine) -> Vec<TableRow> {
         wardrobe.flat,
         table1_config().with_cost(CostKind::RewardLoops),
     ));
-
-    engine
-        .run(jobs)
-        .outcomes
-        .into_iter()
-        .map(|outcome| {
-            outcome
-                .row
-                .unwrap_or_else(|| panic!("table1 job {:?} failed", outcome.status))
-        })
-        .collect()
+    engine.run(jobs)
 }
 
 /// Aggregate statistics over Table-1 rows (the paper's headline claims).

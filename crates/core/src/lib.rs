@@ -61,6 +61,10 @@ pub use lang::{cad_to_lang, lang_to_cad, lang_to_cad_at, CadLang, FromLangError}
 pub use listmanip::list_manipulation;
 pub use lists::{add_cons_list, add_expr_tree, fold_sites, read_list, FoldSite};
 pub use loopinfer::{factorizations, index_sets, infer_loops};
-pub use pipeline::{synthesize, try_synthesize, SynthConfig, SynthError, SynthProgram, Synthesis};
+pub use pipeline::{
+    resume_synthesize, synthesize, synthesize_with_snapshot, try_synthesize,
+    try_synthesize_with_snapshot, ResumeError, SynthConfig, SynthError, SynthProgram,
+    SynthSnapshot, Synthesis,
+};
 pub use report::{fit_tags, has_structure, loop_tags, TableRow};
 pub use rules::{all_rules, rules, structural_rules, CadRewrite};

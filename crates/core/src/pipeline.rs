@@ -6,7 +6,7 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use sz_cad::Cad;
-use sz_egraph::{KBestExtractor, Runner, Scheduler, StopReason};
+use sz_egraph::{Id, KBestExtractor, Runner, Scheduler, Snapshot, SnapshotParseError, StopReason};
 
 use crate::analysis::{CadAnalysis, CadGraph};
 use crate::cost::{CadCost, CostKind};
@@ -119,18 +119,40 @@ impl SynthConfig {
     /// Used (together with the input s-expression) as the key of the
     /// batch engine's content-addressed result cache, so it must change
     /// whenever any field that can affect synthesis output changes.
+    /// Built as [`SynthConfig::saturation_fingerprint`] plus the
+    /// extraction-only fields, so the two keys can never drift apart: a
+    /// field added to the saturation half automatically reaches both.
     pub fn fingerprint(&self) -> String {
         format!(
-            "eps={:e};k={};iter={};nodes={};time_ms={};fuel={};structural={};backoff={};cost={:?}",
-            self.eps,
+            "{};k={};cost={:?}",
+            self.saturation_fingerprint(),
             self.k,
+            self.cost,
+        )
+    }
+
+    /// The **saturation** half of [`SynthConfig::fingerprint`]: only the
+    /// fields that shape the saturated e-graph (solver tolerance, fuel
+    /// limits, rule set, scheduling). Extraction-only fields — `k` and
+    /// `cost` — are deliberately excluded.
+    ///
+    /// This split is what makes e-graph snapshots reusable across
+    /// extraction-only config changes: two configs with equal saturation
+    /// fingerprints produce the same saturated graph for a given input,
+    /// so a cost- or k-only change can resume from a stored snapshot
+    /// (see [`resume_synthesize`]) instead of re-saturating, while any
+    /// rule-set or fuel change invalidates it.
+    pub fn saturation_fingerprint(&self) -> String {
+        format!(
+            "snapv{};eps={:e};iter={};nodes={};time_ms={};fuel={};structural={};backoff={}",
+            sz_egraph::SNAPSHOT_FORMAT_VERSION,
+            self.eps,
             self.iter_limit,
             self.node_limit,
             self.time_limit.as_millis(),
             self.main_loop_fuel,
             self.structural_rules,
             self.backoff,
-            self.cost,
         )
     }
 }
@@ -271,6 +293,32 @@ impl Synthesis {
 /// ```
 pub fn synthesize(input: &Cad, config: &SynthConfig) -> Synthesis {
     let start = Instant::now();
+    let sat = saturate(input, config);
+    let top_k = extract_top_k(&sat.egraph, sat.root, config);
+    Synthesis {
+        input: input.clone(),
+        top_k,
+        records: sat.records,
+        time: start.elapsed(),
+        egraph_nodes: sat.egraph.total_number_of_nodes(),
+        egraph_classes: sat.egraph.number_of_classes(),
+        stop_reason: sat.stop_reason,
+        iterations: sat.iterations,
+    }
+}
+
+/// The saturated e-graph coming out of the main loop, before extraction.
+struct Saturated {
+    egraph: CadGraph,
+    root: Id,
+    records: Vec<InferenceRecord>,
+    stop_reason: Option<StopReason>,
+    iterations: usize,
+}
+
+/// Runs the main loop (saturation → list manipulation → inference) and
+/// returns the final, rebuilt e-graph.
+fn saturate(input: &Cad, config: &SynthConfig) -> Saturated {
     let scheduler = if config.backoff {
         Scheduler::backoff()
     } else {
@@ -313,11 +361,20 @@ pub fn synthesize(input: &Cad, config: &SynthConfig) -> Synthesis {
         records.extend(infer_loops(&mut egraph, config.eps));
         egraph.rebuild();
     }
+    Saturated {
+        egraph,
+        root,
+        records,
+        stop_reason,
+        iterations,
+    }
+}
 
-    // extract_prog: top-k under the configured cost function. Distinct
-    // derivations can denote one tree (e.g. via the sorted-list fold
-    // variant), so extract extra candidates and deduplicate.
-    let kbest = KBestExtractor::new(&egraph, CadCost::new(config.cost), config.k * 2);
+/// extract_prog: top-k under the configured cost function. Distinct
+/// derivations can denote one tree (e.g. via the sorted-list fold
+/// variant), so extract extra candidates and deduplicate.
+fn extract_top_k(egraph: &CadGraph, root: Id, config: &SynthConfig) -> Vec<SynthProgram> {
+    let kbest = KBestExtractor::new(egraph, CadCost::new(config.cost), config.k * 2);
     let mut top_k: Vec<SynthProgram> = Vec::new();
     for (cost, e) in kbest.find_best_k(root) {
         let Ok(cad) = lang_to_cad(&e) else { continue };
@@ -329,17 +386,7 @@ pub fn synthesize(input: &Cad, config: &SynthConfig) -> Synthesis {
             break;
         }
     }
-
-    Synthesis {
-        input: input.clone(),
-        top_k,
-        records,
-        time: start.elapsed(),
-        egraph_nodes: egraph.total_number_of_nodes(),
-        egraph_classes: egraph.number_of_classes(),
-        stop_reason,
-        iterations,
-    }
+    top_k
 }
 
 /// Panic-free pipeline entry point for batch drivers.
@@ -377,6 +424,233 @@ pub fn try_synthesize(input: &Cad, config: &SynthConfig) -> Result<Synthesis, Sy
         return Err(SynthError::NoPrograms);
     }
     Ok(result)
+}
+
+/// A persisted saturated e-graph plus the compatibility metadata needed
+/// to resume extraction from it: the input's canonical s-expression and
+/// the producing config's [`SynthConfig::saturation_fingerprint`].
+///
+/// Serialized as text: a two-line `szsynth v1` header (input, saturation
+/// fingerprint) followed by an `sz_egraph` [`Snapshot`]. Because the
+/// saturation fingerprint embeds the snapshot format version, bumping
+/// [`sz_egraph::SNAPSHOT_FORMAT_VERSION`] invalidates every stored
+/// snapshot key — stale snapshots can never poison a cache across
+/// releases.
+///
+/// # Examples
+///
+/// ```
+/// use szalinski::{synthesize_with_snapshot, resume_synthesize, SynthConfig};
+/// use sz_cad::Cad;
+///
+/// let flat = Cad::union_chain(
+///     (1..=4).map(|i| Cad::translate(2.0 * i as f64, 0.0, 0.0, Cad::Unit)).collect(),
+/// );
+/// let config = SynthConfig::new();
+/// let (cold, snapshot) = synthesize_with_snapshot(&flat, &config);
+/// // Round-trip through text (what the batch cache stores), then resume.
+/// let snapshot = snapshot.to_string().parse().unwrap();
+/// let resumed = resume_synthesize(&flat, &config, &snapshot).unwrap();
+/// assert_eq!(resumed.iterations, 0); // no re-saturation
+/// assert_eq!(
+///     resumed.best().cad.to_string(),
+///     cold.best().cad.to_string(),
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthSnapshot {
+    input: String,
+    sat_fp: String,
+    snapshot: Snapshot<crate::CadLang>,
+}
+
+impl SynthSnapshot {
+    /// Pairs a raw e-graph snapshot with its compatibility metadata.
+    /// (Normally produced by [`synthesize_with_snapshot`]; public for
+    /// tests and tooling.)
+    pub fn new(input: &Cad, config: &SynthConfig, snapshot: Snapshot<crate::CadLang>) -> Self {
+        SynthSnapshot {
+            input: input.to_string(),
+            sat_fp: config.saturation_fingerprint(),
+            snapshot,
+        }
+    }
+
+    /// The input's canonical s-expression.
+    pub fn input_sexp(&self) -> &str {
+        &self.input
+    }
+
+    /// The producing config's saturation fingerprint.
+    pub fn saturation_fingerprint(&self) -> &str {
+        &self.sat_fp
+    }
+
+    /// Saturation iterations the producing run spent.
+    pub fn iterations(&self) -> usize {
+        self.snapshot.iterations()
+    }
+
+    /// The underlying e-graph snapshot.
+    pub fn egraph_snapshot(&self) -> &Snapshot<crate::CadLang> {
+        &self.snapshot
+    }
+}
+
+impl fmt::Display for SynthSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "szsynth v1")?;
+        writeln!(f, "input {}", self.input)?;
+        writeln!(f, "satfp {}", self.sat_fp)?;
+        write!(f, "{}", self.snapshot)
+    }
+}
+
+impl std::str::FromStr for SynthSnapshot {
+    type Err = SnapshotParseError;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        let mut lines = text.splitn(4, '\n');
+        let header = lines
+            .next()
+            .ok_or_else(|| SnapshotParseError::new(1, "empty snapshot"))?;
+        if header != "szsynth v1" {
+            return Err(SnapshotParseError::new(
+                1,
+                format!("unsupported header `{header}` (this build reads `szsynth v1`)"),
+            ));
+        }
+        let input = lines
+            .next()
+            .and_then(|l| l.strip_prefix("input "))
+            .ok_or_else(|| SnapshotParseError::new(2, "expected `input <sexp>`"))?
+            .to_owned();
+        let sat_fp = lines
+            .next()
+            .and_then(|l| l.strip_prefix("satfp "))
+            .ok_or_else(|| SnapshotParseError::new(3, "expected `satfp <fingerprint>`"))?
+            .to_owned();
+        let rest = lines
+            .next()
+            .ok_or_else(|| SnapshotParseError::new(4, "missing e-graph snapshot"))?;
+        let snapshot = rest
+            .parse::<Snapshot<crate::CadLang>>()
+            .map_err(|e| e.offset_lines(3))?;
+        Ok(SynthSnapshot {
+            input,
+            sat_fp,
+            snapshot,
+        })
+    }
+}
+
+/// Why [`resume_synthesize`] refused to reuse a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The snapshot was taken for a different input.
+    InputMismatch,
+    /// The snapshot's saturation fingerprint does not match the config
+    /// (rule set, fuel, or tolerance changed — re-saturation required).
+    ConfigMismatch,
+    /// The snapshot records no root class (corrupt or hand-edited).
+    NoRoot,
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::InputMismatch => write!(f, "snapshot was taken for a different input"),
+            ResumeError::ConfigMismatch => write!(
+                f,
+                "snapshot's saturation fingerprint does not match the config"
+            ),
+            ResumeError::NoRoot => write!(f, "snapshot records no root class"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+/// [`synthesize`], additionally capturing a [`SynthSnapshot`] of the
+/// saturated e-graph so later runs can resume extraction from it.
+pub fn synthesize_with_snapshot(input: &Cad, config: &SynthConfig) -> (Synthesis, SynthSnapshot) {
+    let start = Instant::now();
+    let sat = saturate(input, config);
+    let snapshot = Snapshot::of_egraph(&sat.egraph, &[sat.root])
+        .expect("the main loop always rebuilds before returning")
+        .with_iterations(sat.iterations);
+    let top_k = extract_top_k(&sat.egraph, sat.root, config);
+    (
+        Synthesis {
+            input: input.clone(),
+            top_k,
+            records: sat.records,
+            time: start.elapsed(),
+            egraph_nodes: sat.egraph.total_number_of_nodes(),
+            egraph_classes: sat.egraph.number_of_classes(),
+            stop_reason: sat.stop_reason,
+            iterations: sat.iterations,
+        },
+        SynthSnapshot::new(input, config, snapshot),
+    )
+}
+
+/// [`try_synthesize`], additionally capturing a [`SynthSnapshot`].
+pub fn try_synthesize_with_snapshot(
+    input: &Cad,
+    config: &SynthConfig,
+) -> Result<(Synthesis, SynthSnapshot), SynthError> {
+    if !input.is_flat_csg() {
+        return Err(SynthError::NotFlat);
+    }
+    let (result, snapshot) = synthesize_with_snapshot(input, config);
+    if result.top_k.is_empty() {
+        return Err(SynthError::NoPrograms);
+    }
+    Ok((result, snapshot))
+}
+
+/// Resumes a synthesis run from a snapshot: restores the saturated
+/// e-graph and re-runs only extraction, skipping saturation entirely
+/// (the returned [`Synthesis::iterations`] is 0).
+///
+/// The config may differ from the producing run in **extraction-only**
+/// fields (`k`, `cost`); the saturated graph is the same either way, so
+/// the result is identical to a cold run under `config` — see
+/// `tests/incremental_differential.rs` for the proof over the paper's
+/// corpus.
+///
+/// # Errors
+///
+/// [`ResumeError`] if the snapshot belongs to a different input or to a
+/// config with a different [`SynthConfig::saturation_fingerprint`].
+pub fn resume_synthesize(
+    input: &Cad,
+    config: &SynthConfig,
+    snapshot: &SynthSnapshot,
+) -> Result<Synthesis, ResumeError> {
+    if snapshot.input != input.to_string() {
+        return Err(ResumeError::InputMismatch);
+    }
+    if snapshot.sat_fp != config.saturation_fingerprint() {
+        return Err(ResumeError::ConfigMismatch);
+    }
+    let &[root] = snapshot.snapshot.roots() else {
+        return Err(ResumeError::NoRoot);
+    };
+    let start = Instant::now();
+    let egraph = snapshot.snapshot.restore(CadAnalysis);
+    let top_k = extract_top_k(&egraph, root, config);
+    Ok(Synthesis {
+        input: input.clone(),
+        top_k,
+        records: Vec::new(),
+        time: start.elapsed(),
+        egraph_nodes: egraph.total_number_of_nodes(),
+        egraph_classes: egraph.number_of_classes(),
+        stop_reason: None,
+        iterations: 0,
+    })
 }
 
 #[cfg(test)]
@@ -434,7 +708,11 @@ mod tests {
         assert!(row.o_ns < row.i_ns);
         assert_eq!(row.i_p, 8);
         assert_eq!(row.o_p, 1);
-        assert!(row.n_l.contains("n1,8") || row.n_l.contains("n2"), "{:?}", row.n_l);
+        assert!(
+            row.n_l.contains("n1,8") || row.n_l.contains("n2"),
+            "{:?}",
+            row.n_l
+        );
         assert_eq!(row.f, "d1");
         assert!(row.rank.is_some());
     }
@@ -445,10 +723,7 @@ mod tests {
         // RewardLoops surfaces it (the wardrobe@ effect).
         let flat = row_of_cubes(2, 2.0);
         let default = synthesize(&flat, &SynthConfig::new());
-        let reward = synthesize(
-            &flat,
-            &SynthConfig::new().with_cost(CostKind::RewardLoops),
-        );
+        let reward = synthesize(&flat, &SynthConfig::new().with_cost(CostKind::RewardLoops));
         assert!(reward.structured().is_some());
         let default_best_structured = default
             .structured()
@@ -488,7 +763,10 @@ mod tests {
         let a = synthesize(&flat, &config);
         let b = try_synthesize(&flat, &config).unwrap();
         let progs = |s: &Synthesis| -> Vec<(usize, String)> {
-            s.top_k.iter().map(|p| (p.cost, p.cad.to_string())).collect()
+            s.top_k
+                .iter()
+                .map(|p| (p.cost, p.cad.to_string()))
+                .collect()
         };
         assert_eq!(progs(&a), progs(&b));
     }
@@ -524,6 +802,114 @@ mod tests {
         ];
         for v in &variants {
             assert_ne!(v.fingerprint(), base.fingerprint(), "{:?}", v);
+        }
+    }
+
+    #[test]
+    fn saturation_fingerprint_splits_extraction_fields() {
+        let base = SynthConfig::new();
+        // Extraction-only changes keep the saturation fingerprint.
+        assert_eq!(
+            base.clone().with_k(9).saturation_fingerprint(),
+            base.saturation_fingerprint()
+        );
+        assert_eq!(
+            base.clone()
+                .with_cost(CostKind::RewardLoops)
+                .saturation_fingerprint(),
+            base.saturation_fingerprint()
+        );
+        // ...but still change the full fingerprint.
+        assert_ne!(base.clone().with_k(9).fingerprint(), base.fingerprint());
+        // Saturation-affecting changes invalidate it.
+        for v in [
+            base.clone().with_eps(1e-2),
+            base.clone().with_iter_limit(1),
+            base.clone().with_node_limit(1),
+            base.clone().with_main_loop_fuel(3),
+            base.clone().with_structural_rules(true),
+            base.clone().with_backoff(true),
+        ] {
+            assert_ne!(
+                v.saturation_fingerprint(),
+                base.saturation_fingerprint(),
+                "{v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_reproduces_cold_run_byte_for_byte() {
+        let flat = row_of_cubes(5, 2.0);
+        let config = SynthConfig::new();
+        let (cold, snapshot) = synthesize_with_snapshot(&flat, &config);
+        let resumed = resume_synthesize(&flat, &config, &snapshot).unwrap();
+        assert_eq!(resumed.iterations, 0);
+        assert!(cold.iterations > 0);
+        assert_eq!(resumed.egraph_nodes, cold.egraph_nodes);
+        assert_eq!(resumed.egraph_classes, cold.egraph_classes);
+        let progs = |s: &Synthesis| -> Vec<(usize, String)> {
+            s.top_k
+                .iter()
+                .map(|p| (p.cost, p.cad.to_string()))
+                .collect()
+        };
+        assert_eq!(progs(&resumed), progs(&cold));
+    }
+
+    #[test]
+    fn resume_supports_cost_only_config_change() {
+        // Snapshot under AstSize, resume under RewardLoops: must equal a
+        // cold RewardLoops run (the saturated graph is cost-agnostic).
+        let flat = row_of_cubes(2, 2.0);
+        let (_, snapshot) = synthesize_with_snapshot(&flat, &SynthConfig::new());
+        let reward = SynthConfig::new().with_cost(CostKind::RewardLoops);
+        let resumed = resume_synthesize(&flat, &reward, &snapshot).unwrap();
+        let cold = synthesize(&flat, &reward);
+        assert_eq!(resumed.best().cad.to_string(), cold.best().cad.to_string());
+        assert_eq!(resumed.structured().map(|(r, _)| r), Some(1));
+    }
+
+    #[test]
+    fn resume_rejects_mismatches() {
+        let flat = row_of_cubes(3, 2.0);
+        let config = SynthConfig::new();
+        let (_, snapshot) = synthesize_with_snapshot(&flat, &config);
+        assert_eq!(
+            resume_synthesize(&row_of_cubes(4, 2.0), &config, &snapshot).unwrap_err(),
+            ResumeError::InputMismatch
+        );
+        // A rule-set change is a saturation change: snapshot refused.
+        assert_eq!(
+            resume_synthesize(
+                &flat,
+                &config.clone().with_structural_rules(true),
+                &snapshot
+            )
+            .unwrap_err(),
+            ResumeError::ConfigMismatch
+        );
+    }
+
+    #[test]
+    fn synth_snapshot_text_roundtrip_and_errors() {
+        let flat = row_of_cubes(3, 2.0);
+        let (_, snapshot) = synthesize_with_snapshot(&flat, &SynthConfig::new());
+        let text = snapshot.to_string();
+        let back: SynthSnapshot = text.parse().unwrap();
+        assert_eq!(back, snapshot);
+        assert_eq!(back.to_string(), text, "reserialization is byte-stable");
+        assert!(back.iterations() > 0);
+
+        // Header and truncation corruption yield errors, never panics.
+        assert!("szsynth v9\n".parse::<SynthSnapshot>().is_err());
+        let err = text
+            .replacen("szsnap v1", "szsnap v99", 1)
+            .parse::<SynthSnapshot>()
+            .unwrap_err();
+        assert_eq!(err.line(), 4, "inner errors are offset past the header");
+        for cut in [0, 10, text.len() / 2, text.len() - 10] {
+            assert!(text[..cut].parse::<SynthSnapshot>().is_err());
         }
     }
 

@@ -105,6 +105,91 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         }
     }
 
+    /// Read access to the union-find, for snapshot capture.
+    pub(crate) fn unionfind(&self) -> &UnionFind {
+        &self.unionfind
+    }
+
+    /// Reconstructs an e-graph from snapshot parts: the full union-find
+    /// plus each canonical class's nodes. The hash-cons memo and parent
+    /// lists are derived; analysis data is recomputed to fixpoint from
+    /// the nodes (seeded at `Default`, joined with [`Analysis::merge`]).
+    /// [`Analysis::modify`] is *not* re-run — its structural effects are
+    /// already part of the snapshotted node set.
+    ///
+    /// Callers (the `snapshot` module) must have validated that class
+    /// ids and node children are canonical and that every union-find
+    /// root has a class.
+    pub(crate) fn from_snapshot_parts(
+        analysis: N,
+        unionfind: UnionFind,
+        class_list: &[(Id, Vec<L>)],
+    ) -> Self
+    where
+        N::Data: Default,
+    {
+        let mut classes: HashMap<Id, EClass<L, N::Data>> = HashMap::with_capacity(class_list.len());
+        let mut memo = HashMap::new();
+        for (id, nodes) in class_list {
+            for node in nodes {
+                memo.insert(node.clone(), *id);
+            }
+            classes.insert(
+                *id,
+                EClass {
+                    id: *id,
+                    nodes: nodes.clone(),
+                    data: N::Data::default(),
+                    parents: Vec::new(),
+                },
+            );
+        }
+        // Parent lists, in deterministic (sorted class, node) order.
+        for (id, nodes) in class_list {
+            for node in nodes {
+                for &child in node.children() {
+                    classes
+                        .get_mut(&child)
+                        .expect("snapshot validated: child class exists")
+                        .parents
+                        .push((node.clone(), *id));
+                }
+            }
+        }
+        let mut egraph = EGraph {
+            analysis,
+            unionfind,
+            memo,
+            classes,
+            pending: Vec::new(),
+            analysis_pending: VecDeque::new(),
+            clean: true,
+        };
+        // Analysis fixpoint. Ascending id order roughly follows creation
+        // order (children before parents), so this usually converges in
+        // two passes; cycles are handled by iterating until quiescent.
+        let ids: Vec<Id> = {
+            let mut ids: Vec<Id> = egraph.classes.keys().copied().collect();
+            ids.sort_unstable();
+            ids
+        };
+        loop {
+            let mut changed = false;
+            for &id in &ids {
+                let nodes = egraph.classes[&id].nodes.clone();
+                for node in &nodes {
+                    let data = N::make(&egraph, node);
+                    let class = egraph.classes.get_mut(&id).expect("class exists");
+                    changed |= egraph.analysis.merge(&mut class.data, data).0;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        egraph
+    }
+
     /// The number of live e-classes.
     pub fn number_of_classes(&self) -> usize {
         self.classes.len()
@@ -236,12 +321,10 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         let class1 = self.classes.get_mut(&id1).expect("class must exist");
         let did = self.analysis.merge(&mut class1.data, class2.data);
         if did.0 {
-            self.analysis_pending
-                .extend(class1.parents.iter().cloned());
+            self.analysis_pending.extend(class1.parents.iter().cloned());
         }
         if did.1 {
-            self.analysis_pending
-                .extend(class2.parents.iter().cloned());
+            self.analysis_pending.extend(class2.parents.iter().cloned());
         }
         class1.nodes.extend(class2.nodes);
         class1.parents.extend(class2.parents);
@@ -274,8 +357,7 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
                 let class = self.classes.get_mut(&cid).expect("checked above");
                 let did = self.analysis.merge(&mut class.data, node_data);
                 if did.0 {
-                    self.analysis_pending
-                        .extend(class.parents.iter().cloned());
+                    self.analysis_pending.extend(class.parents.iter().cloned());
                     N::modify(self, cid);
                 }
             }

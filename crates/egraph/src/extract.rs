@@ -112,9 +112,7 @@ impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> Extractor<'a, L, N, C
                     // Tie-break on the node itself so extraction is
                     // deterministic regardless of class iteration order.
                     let better = match self.best.get(&class.id) {
-                        Some((old, old_node)) => {
-                            cost < *old || (cost == *old && node < old_node)
-                        }
+                        Some((old, old_node)) => cost < *old || (cost == *old && node < old_node),
                         None => true,
                     };
                     if better {
@@ -128,9 +126,7 @@ impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> Extractor<'a, L, N, C
 
     /// The cost of the best term in `id`'s class, if one is extractable.
     pub fn best_cost(&self, id: Id) -> Option<CF::Cost> {
-        self.best
-            .get(&self.egraph.find(id))
-            .map(|(c, _)| c.clone())
+        self.best.get(&self.egraph.find(id)).map(|(c, _)| c.clone())
     }
 
     /// Extracts the minimal-cost term for `id`.
@@ -216,8 +212,14 @@ impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> KBestExtractor<'a, L,
             for class in egraph.classes() {
                 let mut candidates: Vec<Entry<L, CF::Cost>> = Vec::new();
                 for node in class.iter() {
-                    enumerate_node_entries(egraph, &table, node, k, &mut cost_function,
-                        &mut candidates);
+                    enumerate_node_entries(
+                        egraph,
+                        &table,
+                        node,
+                        k,
+                        &mut cost_function,
+                        &mut candidates,
+                    );
                 }
                 candidates.sort_by(|a, b| a.cost.cmp(&b.cost));
                 candidates.dedup();

@@ -14,7 +14,12 @@
 //!   with fuel limits;
 //! * [`Extractor`] and [`KBestExtractor`] — one-best and **top-k** term
 //!   extraction under a [`CostFunction`], as required by the paper's
-//!   top-k output (§5.1).
+//!   top-k output (§5.1);
+//! * [`Snapshot`] — a versioned, deterministic text serialization of
+//!   e-graph + runner state ([`Runner::snapshot`] /
+//!   [`Runner::resume_from`]), so saturated graphs can be persisted and
+//!   resumed instead of re-saturated (the substrate of `sz-batch`'s
+//!   snapshot cache tier).
 //!
 //! ## Example
 //!
@@ -50,6 +55,7 @@ mod recexpr;
 mod rewrite;
 mod runner;
 mod scheduler;
+mod snapshot;
 mod subst;
 mod unionfind;
 
@@ -67,5 +73,9 @@ pub use recexpr::{RecExpr, RecExprParseError};
 pub use rewrite::{Applier, ConditionalApplier, FnApplier, Rewrite};
 pub use runner::{Iteration, Runner, StopReason};
 pub use scheduler::{BackoffScheduler, Scheduler};
+pub use snapshot::{
+    escape_token, unescape_token, Snapshot, SnapshotError, SnapshotParseError,
+    SNAPSHOT_FORMAT_VERSION,
+};
 pub use subst::{ParseVarError, Subst, Var};
 pub use unionfind::UnionFind;

@@ -3,7 +3,8 @@
 
 use std::time::{Duration, Instant};
 
-use crate::{Analysis, EGraph, Id, Language, RecExpr, Rewrite, Scheduler};
+use crate::snapshot::SchedState;
+use crate::{Analysis, EGraph, Id, Language, RecExpr, Rewrite, Scheduler, Snapshot, SnapshotError};
 
 /// Why a [`Runner`] stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +64,11 @@ pub struct Runner<L: Language, N: Analysis<L>> {
     pub iterations: Vec<Iteration>,
     /// Why the run stopped (set by [`Runner::run`]).
     pub stop_reason: Option<StopReason>,
+    /// Saturation iterations spent *before* this runner existed — set by
+    /// [`Runner::resume_from`], zero otherwise. [`Runner::iterations`]
+    /// only records this run's iterations; a resumed run's lifetime total
+    /// is `prior_iterations + iterations.len()`.
+    pub prior_iterations: usize,
     iter_limit: usize,
     node_limit: usize,
     time_limit: Duration,
@@ -78,6 +84,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             roots: Vec::new(),
             iterations: Vec::new(),
             stop_reason: None,
+            prior_iterations: 0,
             iter_limit: 30,
             node_limit: 100_000,
             time_limit: Duration::from_secs(30),
@@ -89,6 +96,68 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
     pub fn with_egraph(mut self, egraph: EGraph<L, N>) -> Self {
         self.egraph = egraph;
         self
+    }
+
+    /// Rebuilds a runner from a [`Snapshot`]: the e-graph, roots,
+    /// iteration count, and scheduler backoff state are restored, so a
+    /// subsequent [`Runner::run`] continues saturating where the
+    /// snapshotted run stopped instead of starting cold.
+    ///
+    /// Limits are reset to the defaults; re-apply `with_*` as needed.
+    /// `N::Data: Default` is required because analysis data is
+    /// recomputed from the snapshotted nodes (see
+    /// [`Snapshot::restore`]).
+    pub fn resume_from(snapshot: &Snapshot<L>, analysis: N) -> Self
+    where
+        N::Data: Default,
+    {
+        let mut runner = Runner::new(analysis);
+        runner.egraph = snapshot.restore(runner.egraph.analysis);
+        runner.roots = snapshot.roots().to_vec();
+        runner.prior_iterations = snapshot.iterations();
+        runner.scheduler = match &snapshot.scheduler {
+            SchedState::Simple => Scheduler::Simple,
+            SchedState::Backoff {
+                match_limit,
+                ban_length,
+                stats,
+            } => Scheduler::restore_state(*match_limit, *ban_length, stats.clone()),
+        };
+        runner
+    }
+
+    /// Captures this runner's state as a serializable [`Snapshot`]:
+    /// e-graph, roots, lifetime iteration count, and scheduler state.
+    ///
+    /// Backoff `banned_until` values are live in *this run's* iteration
+    /// frame, while a resumed run numbers its iterations from 0 again —
+    /// so they are rebased to "iterations past this run's end" on
+    /// capture. [`Runner::resume_from`] then reads them directly: a rule
+    /// banned for 5 more iterations at snapshot time stays banned for
+    /// exactly the first 5 resumed iterations.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::NotClean`] if the e-graph has pending mutations
+    /// (cannot happen after [`Runner::run`], which always rebuilds).
+    pub fn snapshot(&self) -> Result<Snapshot<L>, SnapshotError> {
+        let mut snapshot = Snapshot::of_egraph(&self.egraph, &self.roots)?
+            .with_iterations(self.prior_iterations + self.iterations.len());
+        let this_run = self.iterations.len();
+        snapshot.scheduler = match self.scheduler.dump_state() {
+            None => SchedState::Simple,
+            Some((match_limit, ban_length, stats)) => SchedState::Backoff {
+                match_limit,
+                ban_length,
+                stats: stats
+                    .into_iter()
+                    .map(|(times_banned, banned_until)| {
+                        (times_banned, banned_until.saturating_sub(this_run))
+                    })
+                    .collect(),
+            },
+        };
+        Ok(snapshot)
     }
 
     /// Adds an expression whose class becomes a root.
@@ -272,7 +341,10 @@ mod tests {
             .with_expr(&"(+ a (+ b (+ c (+ d (+ e (+ f g))))))".parse().unwrap())
             .with_node_limit(20)
             .run(&rules());
-        assert!(matches!(runner.stop_reason, Some(StopReason::NodeLimit(20))));
+        assert!(matches!(
+            runner.stop_reason,
+            Some(StopReason::NodeLimit(20))
+        ));
     }
 
     #[test]
@@ -290,8 +362,9 @@ mod tests {
         // Assoc/comm over a deep sum explodes; with a tight match limit
         // the scheduler must ban rules (recorded per iteration) and keep
         // the graph smaller than the unthrottled run at equal fuel.
-        let expr: crate::RecExpr<Arith> =
-            "(+ a (+ b (+ c (+ d (+ e (+ f (+ g h)))))))".parse().unwrap();
+        let expr: crate::RecExpr<Arith> = "(+ a (+ b (+ c (+ d (+ e (+ f (+ g h)))))))"
+            .parse()
+            .unwrap();
         let plain = Runner::new(())
             .with_expr(&expr)
             .with_iter_limit(6)
@@ -329,6 +402,43 @@ mod tests {
             .lookup_expr(&"(+ b a)".parse().unwrap())
             .is_some());
         assert!(runner.iterations.iter().all(|it| it.banned == 0));
+    }
+
+    #[test]
+    fn snapshot_rebases_bans_to_remaining_iterations() {
+        // A mid-ban snapshot must store bans as "iterations remaining",
+        // because a resumed run numbers iterations from 0 again; stored
+        // absolute values would over-ban rules by the whole prior run.
+        let runner = Runner::new(())
+            .with_expr(&"(+ a (+ b (+ c (+ d e))))".parse().unwrap())
+            .with_iter_limit(2)
+            .with_scheduler(Scheduler::backoff_with(1, 50))
+            .run(&rules());
+        let this_run = runner.iterations.len();
+        let (_, _, live) = runner.scheduler.dump_state().unwrap();
+        assert!(
+            live.iter().any(|&(_, until)| until > this_run),
+            "test needs a rule still banned at snapshot time"
+        );
+        let snapshot = runner.snapshot().unwrap();
+        let SchedState::Backoff { stats, .. } = &snapshot.scheduler else {
+            panic!("backoff state must survive snapshotting");
+        };
+        for ((times, until), &(live_times, live_until)) in stats.iter().zip(&live) {
+            assert_eq!(*times, live_times);
+            assert_eq!(*until, live_until.saturating_sub(this_run));
+        }
+        // The resumed runner starts with exactly the remaining ban: a
+        // still-banned rule cannot search at iteration 0 but can at the
+        // first iteration past its remaining ban.
+        let resumed = Runner::resume_from(&snapshot, ());
+        for (rule, &(_, until)) in live.iter().enumerate() {
+            let remaining = until.saturating_sub(this_run);
+            if remaining > 0 {
+                assert!(!resumed.scheduler.can_search(0, rule));
+            }
+            assert!(resumed.scheduler.can_search(remaining, rule));
+        }
     }
 
     #[test]

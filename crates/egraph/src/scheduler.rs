@@ -70,6 +70,43 @@ impl Scheduler {
         }
     }
 
+    /// Dumps backoff state for snapshots: `(match_limit, ban_length,
+    /// per-rule (times_banned, banned_until))`; `None` for
+    /// [`Scheduler::Simple`].
+    pub(crate) fn dump_state(&self) -> Option<BackoffState> {
+        match self {
+            Scheduler::Simple => None,
+            Scheduler::Backoff(b) => Some((
+                b.match_limit,
+                b.ban_length,
+                b.stats
+                    .iter()
+                    .map(|s| (s.times_banned, s.banned_until))
+                    .collect(),
+            )),
+        }
+    }
+
+    /// Rebuilds a backoff scheduler from snapshot state (the inverse of
+    /// [`Scheduler::dump_state`]).
+    pub(crate) fn restore_state(
+        match_limit: usize,
+        ban_length: usize,
+        stats: Vec<(usize, usize)>,
+    ) -> Self {
+        Scheduler::Backoff(BackoffScheduler {
+            match_limit,
+            ban_length,
+            stats: stats
+                .into_iter()
+                .map(|(times_banned, banned_until)| RuleStats {
+                    times_banned,
+                    banned_until,
+                })
+                .collect(),
+        })
+    }
+
     /// True if any rule is still banned at `iteration` — in that case a
     /// quiet iteration is *not* saturation (the banned rule may still
     /// produce new equalities once its ban expires).
@@ -80,6 +117,10 @@ impl Scheduler {
         }
     }
 }
+
+/// Snapshot dump of backoff state: `(match_limit, ban_length, per-rule
+/// (times_banned, banned_until))`.
+pub(crate) type BackoffState = (usize, usize, Vec<(usize, usize)>);
 
 /// Exponential-backoff state (see [`Scheduler::Backoff`]).
 #[derive(Debug, Clone)]

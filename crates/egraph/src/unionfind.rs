@@ -97,6 +97,17 @@ impl UnionFind {
     pub fn in_same_set(&self, a: Id, b: Id) -> bool {
         self.find_immutable(a) == self.find_immutable(b)
     }
+
+    /// The raw parent array (index = id), for snapshot serialization.
+    pub(crate) fn as_parents(&self) -> &[Id] {
+        &self.parents
+    }
+
+    /// Rebuilds a union-find from a parent array. The caller (the
+    /// `snapshot` module) must have validated bounds and acyclicity.
+    pub(crate) fn from_parents(parents: Vec<Id>) -> Self {
+        UnionFind { parents }
+    }
 }
 
 #[cfg(test)]

@@ -5,8 +5,8 @@
 use std::collections::{HashMap, HashSet};
 
 use proptest::prelude::*;
-use sz_egraph::{AstSize, EGraph, Extractor, Id, KBestExtractor, Language, RecExpr, UnionFind};
 use sz_egraph::tests_lang::Arith;
+use sz_egraph::{AstSize, EGraph, Extractor, Id, KBestExtractor, Language, RecExpr, UnionFind};
 
 proptest! {
     #[test]

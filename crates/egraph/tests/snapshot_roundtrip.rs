@@ -1,0 +1,219 @@
+//! Property tests for snapshot round-tripping (vendored proptest): for
+//! arbitrary rewrite workloads, parsing a snapshot's text reproduces an
+//! e-graph with identical class count, node count, and canonical ids —
+//! and corrupted/truncated text yields structured errors, never panics.
+//!
+//! The golden-format test lives alongside: `tests/fixtures/*.snap` pins
+//! the exact bytes of the current format so any serialization change
+//! forces a [`SNAPSHOT_FORMAT_VERSION`] bump.
+
+use proptest::prelude::*;
+use sz_egraph::tests_lang::{Arith, ConstFold};
+use sz_egraph::{
+    EGraph, Id, RecExpr, Rewrite, Runner, Scheduler, Snapshot, SNAPSHOT_FORMAT_VERSION,
+};
+
+fn rules() -> Vec<Rewrite<Arith, ConstFold>> {
+    vec![
+        Rewrite::parse("comm-add", "(+ ?a ?b)", "(+ ?b ?a)").unwrap(),
+        Rewrite::parse("comm-mul", "(* ?a ?b)", "(* ?b ?a)").unwrap(),
+        Rewrite::parse("assoc-add", "(+ ?a (+ ?b ?c))", "(+ (+ ?a ?b) ?c)").unwrap(),
+        Rewrite::parse("distr", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))").unwrap(),
+    ]
+}
+
+/// Random arithmetic expressions as strings (parsed into `RecExpr`).
+fn arb_expr() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (-3i64..4).prop_map(|n| n.to_string()),
+        prop_oneof![Just("x"), Just("y"), Just("z")].prop_map(str::to_owned),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (prop_oneof![Just("+"), Just("*")], inner.clone(), inner)
+            .prop_map(|(op, a, b)| format!("({op} {a} {b})"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn roundtrip_preserves_counts_and_canonical_ids(
+        expr in arb_expr(),
+        iters in 1usize..4,
+        backoff in 0usize..2,
+    ) {
+        let expr: RecExpr<Arith> = expr.parse().unwrap();
+        let scheduler = if backoff == 1 {
+            Scheduler::backoff_with(8, 2)
+        } else {
+            Scheduler::Simple
+        };
+        let runner = Runner::new(ConstFold)
+            .with_expr(&expr)
+            .with_iter_limit(iters)
+            .with_node_limit(5_000)
+            .with_scheduler(scheduler)
+            .run(&rules());
+        let snapshot = runner.snapshot().unwrap();
+        let text = snapshot.to_string();
+
+        // Text round trip is exact.
+        let back: Snapshot<Arith> = text.parse().unwrap();
+        prop_assert_eq!(&back, &snapshot);
+        prop_assert_eq!(back.to_string(), text);
+
+        // Restored e-graph: identical class count, node count, and
+        // canonical id for every id ever created — plus identical
+        // recomputed analysis data.
+        let restored: EGraph<Arith, ConstFold> = back.restore(ConstFold);
+        prop_assert_eq!(
+            restored.number_of_classes(),
+            runner.egraph.number_of_classes()
+        );
+        prop_assert_eq!(
+            restored.total_number_of_nodes(),
+            runner.egraph.total_number_of_nodes()
+        );
+        for class in runner.egraph.classes() {
+            prop_assert_eq!(restored.find(class.id), class.id);
+            prop_assert_eq!(&restored[class.id].data, &class.data);
+        }
+        prop_assert_eq!(
+            restored.find(runner.roots[0]),
+            runner.egraph.find(runner.roots[0])
+        );
+    }
+
+    #[test]
+    fn truncated_snapshots_error_never_panic(
+        expr in arb_expr(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let expr: RecExpr<Arith> = expr.parse().unwrap();
+        let runner = Runner::new(ConstFold)
+            .with_expr(&expr)
+            .with_iter_limit(2)
+            .run(&rules());
+        let text = runner.snapshot().unwrap().to_string();
+        // Cut anywhere strictly inside the text (clamped to a char
+        // boundary); dropping only the final newline is the one benign
+        // truncation, so stop short of it.
+        let mut cut = ((text.len() - 1) as f64 * cut_frac) as usize;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let err = text[..cut].parse::<Snapshot<Arith>>();
+        prop_assert!(err.is_err(), "truncation at {} must not parse", cut);
+        let err = err.unwrap_err();
+        prop_assert!(err.line() >= 1);
+    }
+
+    #[test]
+    fn corrupted_tokens_error_never_panic(
+        expr in arb_expr(),
+        victim in 0usize..6,
+    ) {
+        let expr: RecExpr<Arith> = expr.parse().unwrap();
+        let runner = Runner::new(ConstFold)
+            .with_expr(&expr)
+            .with_iter_limit(1)
+            .run(&rules());
+        let text = runner.snapshot().unwrap().to_string();
+        let corrupted = match victim {
+            0 => text.replacen("szsnap v1", "szsnap v2", 1),
+            1 => text.replacen("uf ", "uf x", 1),
+            2 => text.replacen("class ", "class 999999 ", 1),
+            3 => text.replacen("roots", "roots 999999", 1),
+            4 => text.replacen("iterations ", "iterations -", 1),
+            _ => text.replacen("end", "fin", 1),
+        };
+        prop_assert!(corrupted.parse::<Snapshot<Arith>>().is_err());
+    }
+}
+
+#[test]
+fn resumed_runner_continues_where_cold_stopped() {
+    // A workload the iteration limit cuts short: resume it and check the
+    // lifetime iteration count and final graph match a straight-through
+    // run's *behavior* (same root class equivalences).
+    let expr: RecExpr<Arith> = "(+ a (+ b (+ c d)))".parse().unwrap();
+    let cold = Runner::new(ConstFold)
+        .with_expr(&expr)
+        .with_iter_limit(1)
+        .run(&rules());
+    assert!(cold.stop_reason.is_some());
+    let snapshot = cold.snapshot().unwrap();
+    assert_eq!(snapshot.iterations(), 1);
+
+    let resumed = Runner::resume_from(&snapshot, ConstFold)
+        .with_iter_limit(8)
+        .run(&rules());
+    assert_eq!(resumed.prior_iterations, 1);
+    assert!(
+        resumed.prior_iterations + resumed.iterations.len() > 1,
+        "resumed run continues saturating"
+    );
+    // Equalities found by the first run survive the round trip.
+    let a = resumed
+        .egraph
+        .lookup_expr(&"(+ a (+ b (+ c d)))".parse().unwrap())
+        .unwrap();
+    let b = resumed
+        .egraph
+        .lookup_expr(&"(+ (+ b (+ c d)) a)".parse().unwrap())
+        .unwrap();
+    assert_eq!(resumed.egraph.find(a), resumed.egraph.find(b));
+}
+
+#[test]
+fn golden_fixture_pins_format_bytes() {
+    // A deterministically built e-graph (adds + unions only — no rule
+    // search, whose hash-map iteration order varies) must serialize to
+    // exactly the checked-in fixture. If this fails because you changed
+    // the serialization: bump SNAPSHOT_FORMAT_VERSION and regenerate
+    // with SZ_REGEN_FIXTURES=1 cargo test -p sz-egraph.
+    let mut eg: EGraph<Arith, ()> = EGraph::default();
+    let a = eg.add_expr(&"(+ (* 2 3) x)".parse().unwrap());
+    let b = eg.add_expr(&"(+ x (* 3 2))".parse().unwrap());
+    eg.union(a, b);
+    eg.rebuild();
+    let text = Snapshot::of_egraph(&eg, &[a])
+        .unwrap()
+        .with_iterations(2)
+        .to_string();
+
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/arith_small.snap");
+    if std::env::var_os("SZ_REGEN_FIXTURES").is_some() {
+        std::fs::write(&path, &text).unwrap();
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture missing ({e}); regenerate with SZ_REGEN_FIXTURES=1"));
+    assert_eq!(
+        text.lines().next().unwrap(),
+        format!("szsnap v{SNAPSHOT_FORMAT_VERSION}"),
+        "header must carry the current format version"
+    );
+    assert_eq!(
+        text, expected,
+        "snapshot serialization changed: bump SNAPSHOT_FORMAT_VERSION \
+         and regenerate fixtures (SZ_REGEN_FIXTURES=1 cargo test -p sz-egraph)"
+    );
+}
+
+#[test]
+fn golden_backoff_fixture_reparses_byte_stable() {
+    // Hand-written fixture exercising the backoff-scheduler lines: it
+    // must parse and reserialize byte-for-byte (both directions of the
+    // format contract).
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/backoff_sched.snap");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let snapshot: Snapshot<Arith> = text.parse().unwrap();
+    assert_eq!(snapshot.iterations(), 5);
+    assert_eq!(snapshot.roots(), [Id::from(2usize)]);
+    assert_eq!(snapshot.to_string(), text);
+    let restored: EGraph<Arith, ()> = snapshot.restore(());
+    assert_eq!(restored.number_of_classes(), 3);
+}

@@ -1,6 +1,9 @@
 //! Batch synthesis walkthrough: run the 16-model corpus through the
-//! `sz-batch` engine, then rerun it warm to show the content-addressed
-//! cache short-circuiting saturation.
+//! `sz-batch` engine, rerun it warm to show the content-addressed
+//! program cache short-circuiting saturation, then change *only the
+//! cost function* to show the snapshot tier resuming saturated e-graphs
+//! instead of recomputing them (the `szb --snapshots <dir>` flow,
+//! in-process).
 //!
 //! ```text
 //! cargo run --release --example batch_corpus
@@ -9,11 +12,15 @@
 use std::sync::{Arc, Mutex};
 
 use szalinski_repro::sz_batch::{suite16_jobs, BatchEngine, ResultCache};
-use szalinski_repro::szalinski::SynthConfig;
+use szalinski_repro::szalinski::{CostKind, SynthConfig};
 
 fn main() {
     let config = SynthConfig::new().with_iter_limit(60).with_node_limit(80_000);
-    let cache = Arc::new(Mutex::new(ResultCache::new()));
+    // Grant the snapshot tier a byte budget; without one the cache only
+    // serves the program tier (`szb` does this via `--snapshots <dir>`).
+    let cache = Arc::new(Mutex::new(
+        ResultCache::new().with_snapshot_budget(256 << 20),
+    ));
     let engine = BatchEngine::new().with_cache(Arc::clone(&cache));
 
     println!("cold run (16 models, {} workers)...", engine_workers());
@@ -44,6 +51,28 @@ fn main() {
         warm.outcomes.iter().map(|o| o.iterations).sum::<usize>()
     );
     assert_eq!(warm.cache_hits(), 16);
+
+    // A cost-only config change misses the program tier (different full
+    // fingerprint) but hits the snapshot tier (same saturation
+    // fingerprint): every job restores its saturated e-graph and re-runs
+    // extraction alone.
+    let reward = config.with_cost(CostKind::RewardLoops);
+    let resumed = engine.run(suite16_jobs(&reward));
+    println!(
+        "cost-only rerun: {:.2}s wall, {} snapshot resumes ({:.0}% tier hit rate), {} saturation iterations",
+        resumed.wall_time.as_secs_f64(),
+        resumed.snapshot_hits(),
+        resumed.snapshot_hit_rate() * 100.0,
+        resumed.outcomes.iter().map(|o| o.iterations).sum::<usize>()
+    );
+    assert_eq!(resumed.snapshot_hits(), 16);
+    assert!(resumed.outcomes.iter().all(|o| o.iterations == 0));
+    let cache = cache.lock().unwrap();
+    println!(
+        "snapshot tier: {} snapshots, {} bytes",
+        cache.snapshot_count(),
+        cache.snapshot_bytes()
+    );
 }
 
 fn engine_workers() -> usize {

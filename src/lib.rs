@@ -56,13 +56,19 @@
 //!   callers use the panic-free, `Send`-safe
 //!   [`szalinski::try_synthesize`]; the e-graph [`sz_egraph::Runner`]
 //!   optionally throttles explosive rules with
-//!   [`sz_egraph::Scheduler::backoff`].
+//!   [`sz_egraph::Scheduler::backoff`]. Saturated e-graphs persist as
+//!   versioned text [`sz_egraph::Snapshot`]s; the pipeline's
+//!   [`szalinski::resume_synthesize`] restores one and re-runs only
+//!   extraction, so config changes that touch extraction-only fields
+//!   (`k`, cost) skip saturation entirely.
 //! * **`sz-batch`** is the corpus engine added on top: a work-stealing
 //!   thread pool with per-job panic isolation and deadlines, a
-//!   content-addressed result cache (input s-expression + config
-//!   fingerprint) with on-disk persistence, a JSON-lines report sink
-//!   (`BENCH_batch.json`), and the `szb` binary that decompiles a
-//!   directory of `.scad`/`.csexp` models end-to-end.
+//!   **two-tier** content-addressed cache (programs keyed on the full
+//!   config fingerprint; size-bounded e-graph snapshots keyed on the
+//!   saturation fingerprint) with on-disk persistence, a JSON-lines
+//!   report sink (`BENCH_batch.json`), and the `szb` binary that
+//!   decompiles a directory of `.scad`/`.csexp` models end-to-end
+//!   (`--snapshots <dir>` enables incremental re-runs).
 //! * **`sz-bench`** regenerates the paper's Table 1 and figures, now
 //!   through the batch engine (`run_table1_with`), plus Criterion-style
 //!   micro-benches.

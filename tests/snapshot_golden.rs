@@ -1,0 +1,79 @@
+//! Golden-file tests for the pipeline-level snapshot format
+//! (`szsynth v1` wrapping `szsnap v1`): the checked-in fixture pins the
+//! exact bytes, so any serialization change forces a format-version
+//! bump (guarding the batch cache against cross-release poisoning).
+
+use std::path::Path;
+
+use sz_cad::Cad;
+use sz_egraph::{Snapshot, SNAPSHOT_FORMAT_VERSION};
+use szalinski::{cad_to_lang, CadAnalysis, CadGraph, SynthConfig, SynthSnapshot};
+
+/// Builds a `SynthSnapshot` deterministically: the input is loaded into
+/// the e-graph but no rules run (rule search iterates hash maps, whose
+/// order — and hence id assignment — varies between processes).
+fn deterministic_snapshot() -> (SynthSnapshot, String) {
+    let input: Cad = "(Union (Translate 2 0 0 Unit) (Translate 4 0 0 Unit))"
+        .parse()
+        .unwrap();
+    let mut egraph = CadGraph::new(CadAnalysis);
+    let root = egraph.add_expr(&cad_to_lang(&input));
+    egraph.rebuild();
+    let snapshot = Snapshot::of_egraph(&egraph, &[root])
+        .unwrap()
+        .with_iterations(3);
+    let config = SynthConfig::new();
+    (SynthSnapshot::new(&input, &config, snapshot), config.saturation_fingerprint())
+}
+
+#[test]
+fn golden_fixture_pins_synth_snapshot_bytes() {
+    let (snapshot, _) = deterministic_snapshot();
+    let text = snapshot.to_string();
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/synth_row2.snap");
+    if std::env::var_os("SZ_REGEN_FIXTURES").is_some() {
+        std::fs::write(&path, &text).unwrap();
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture missing ({e}); regenerate with SZ_REGEN_FIXTURES=1"));
+    assert_eq!(
+        text, expected,
+        "snapshot serialization changed: bump sz_egraph::SNAPSHOT_FORMAT_VERSION \
+         and regenerate fixtures (SZ_REGEN_FIXTURES=1 cargo test)"
+    );
+}
+
+#[test]
+fn header_and_fingerprint_carry_the_format_version() {
+    let (snapshot, sat_fp) = deterministic_snapshot();
+    let text = snapshot.to_string();
+    assert_eq!(text.lines().next(), Some("szsynth v1"));
+    assert!(
+        text.lines()
+            .any(|l| l == format!("szsnap v{SNAPSHOT_FORMAT_VERSION}")),
+        "embedded e-graph snapshot must carry the current version"
+    );
+    // The saturation fingerprint — the snapshot cache key — embeds the
+    // format version, so bumping it orphans every stored snapshot
+    // instead of letting a stale one poison the cache.
+    assert!(
+        sat_fp.contains(&format!("snapv{SNAPSHOT_FORMAT_VERSION}")),
+        "cache key must embed the snapshot format version: {sat_fp}"
+    );
+}
+
+#[test]
+fn fixture_reparses_byte_stable_and_restores() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/synth_row2.snap");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let snapshot: SynthSnapshot = text.parse().unwrap();
+    assert_eq!(snapshot.to_string(), text);
+    assert_eq!(snapshot.iterations(), 3);
+    assert_eq!(
+        snapshot.input_sexp(),
+        "(Union (Translate 2 0 0 Unit) (Translate 4 0 0 Unit))"
+    );
+    let egraph = snapshot.egraph_snapshot().restore(CadAnalysis);
+    assert!(egraph.number_of_classes() > 0);
+    assert!(egraph.is_clean());
+}

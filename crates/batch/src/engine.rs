@@ -13,8 +13,8 @@ use std::time::{Duration, Instant};
 
 use sz_cad::Cad;
 use szalinski::{
-    resume_synthesize, try_synthesize, try_synthesize_with_snapshot, SynthConfig, SynthError,
-    SynthSnapshot, Synthesis, TableRow,
+    resume_synthesize, try_synthesize, try_synthesize_with_snapshot, RuleStat, SynthConfig,
+    SynthError, SynthSnapshot, Synthesis, TableRow,
 };
 
 use crate::cache::{CachedRun, JobKey, ResultCache, SnapshotKey};
@@ -91,12 +91,32 @@ pub struct JobOutcome {
     pub programs: Vec<(usize, String)>,
     /// The Table-1-style row (absent on rejection/panic).
     pub row: Option<TableRow>,
+    /// Per-rule e-matching profile of the saturation this job actually
+    /// ran (empty for cache hits and snapshot resumes, which skip
+    /// saturation). Feeds the JSONL report and `BENCH_ematch.json`.
+    pub rule_stats: Vec<RuleStat>,
 }
 
 impl JobOutcome {
     /// The best program's s-expression, if any.
     pub fn best(&self) -> Option<&str> {
         self.programs.first().map(|(_, s)| s.as_str())
+    }
+
+    /// Total e-matching (search) time across this job's rules.
+    pub fn search_time_s(&self) -> f64 {
+        self.rule_stats
+            .iter()
+            .map(|s| s.search_time.as_secs_f64())
+            .sum()
+    }
+
+    /// Total rule-application time across this job's rules.
+    pub fn apply_time_s(&self) -> f64 {
+        self.rule_stats
+            .iter()
+            .map(|s| s.apply_time.as_secs_f64())
+            .sum()
     }
 }
 
@@ -280,6 +300,7 @@ impl BatchEngine {
                     iterations: 0,
                     programs: Vec::new(),
                     row: None,
+                    rule_stats: Vec::new(),
                 },
             })
             .collect();
@@ -380,6 +401,7 @@ fn execute_job(
             iterations: 0,
             programs: Vec::new(),
             row: None,
+            rule_stats: Vec::new(),
         },
     }
 }
@@ -419,6 +441,7 @@ fn outcome_from_result(
         hit_deadline: deadline.is_some_and(|d| time > d),
         time,
         iterations: result.iterations,
+        rule_stats: result.rule_stats,
         name,
     }
 }
@@ -446,6 +469,7 @@ fn outcome_from_cache(job: &BatchJob, run: CachedRun, lookup: Duration) -> JobOu
         egraph_classes: 0,
         stop_reason: None,
         iterations: 0,
+        rule_stats: Vec::new(),
     };
     let row = shell
         .try_best()
@@ -461,6 +485,7 @@ fn outcome_from_cache(job: &BatchJob, run: CachedRun, lookup: Duration) -> JobOu
         iterations: 0,
         programs,
         row,
+        rule_stats: Vec::new(),
     }
 }
 

@@ -25,7 +25,10 @@
 //!   (program hit → no work; snapshot hit →
 //!   [`szalinski::resume_synthesize`], zero saturation iterations), and
 //!   aggregates a [`BatchReport`];
-//! * [`report`] — the JSON-lines sink feeding `BENCH_batch.json`;
+//! * [`report`] — the JSON-lines sink feeding `BENCH_batch.json`; job
+//!   records carry the e-matching profile of the saturation they ran
+//!   (`search_time_s`/`apply_time_s` totals plus a per-rule `rules[]`
+//!   array from [`JobOutcome::rule_stats`]);
 //! * [`corpus`] — job enumeration from the 16-model suite or a
 //!   directory of `.scad`/`.csexp` files.
 //!

@@ -26,8 +26,13 @@ pub fn json_string(s: &str) -> String {
     out
 }
 
-fn json_f64(x: f64) -> String {
+/// Renders a float as a JSON number: `-0.0` is normalized to `0` and
+/// non-finite values become `null` (JSON has no NaN/inf).
+pub fn json_f64(x: f64) -> String {
     if x.is_finite() {
+        // Normalize -0.0 (e.g. the empty-iterator sum) so records never
+        // contain the JSON-unfriendly `-0`.
+        let x = if x == 0.0 { 0.0 } else { x };
         // f64 Display round-trips and never prints NaN/inf here.
         format!("{x}")
     } else {
@@ -48,7 +53,29 @@ pub fn job_record(o: &JobOutcome) -> String {
         ("time_s".to_owned(), json_f64(o.time.as_secs_f64())),
         ("iterations".to_owned(), o.iterations.to_string()),
         ("programs".to_owned(), o.programs.len().to_string()),
+        ("search_time_s".to_owned(), json_f64(o.search_time_s())),
+        ("apply_time_s".to_owned(), json_f64(o.apply_time_s())),
     ];
+    if !o.rule_stats.is_empty() {
+        // Per-rule e-matching profile; rules that never matched are
+        // elided to keep records compact.
+        let rules: Vec<String> = o
+            .rule_stats
+            .iter()
+            .filter(|s| s.matches > 0)
+            .map(|s| {
+                render_object(&[
+                    ("name".to_owned(), json_string(&s.name)),
+                    ("matches".to_owned(), s.matches.to_string()),
+                    ("applied".to_owned(), s.applied.to_string()),
+                    ("search_s".to_owned(), json_f64(s.search_time.as_secs_f64())),
+                    ("apply_s".to_owned(), json_f64(s.apply_time.as_secs_f64())),
+                    ("times_banned".to_owned(), s.times_banned.to_string()),
+                ])
+            })
+            .collect();
+        fields.push(("rules".to_owned(), format!("[{}]", rules.join(","))));
+    }
     match &o.status {
         JobStatus::Rejected(e) => fields.push(("error".to_owned(), json_string(&e.to_string()))),
         JobStatus::Panicked(msg) => fields.push(("error".to_owned(), json_string(msg))),
@@ -102,6 +129,14 @@ pub fn summary_record(report: &BatchReport) -> String {
             "wall_time_s".to_owned(),
             json_f64(report.wall_time.as_secs_f64()),
         ),
+        (
+            "search_time_s".to_owned(),
+            json_f64(report.outcomes.iter().map(|o| o.search_time_s()).sum()),
+        ),
+        (
+            "apply_time_s".to_owned(),
+            json_f64(report.outcomes.iter().map(|o| o.apply_time_s()).sum()),
+        ),
         ("jobs_per_s".to_owned(), json_f64(report.throughput())),
         (
             "mean_size_reduction".to_owned(),
@@ -147,6 +182,30 @@ mod tests {
             iterations: if cached { 0 } else { 7 },
             programs: vec![(3, "(Repeat Unit 3)".to_owned())],
             row: None,
+            rule_stats: if cached {
+                Vec::new()
+            } else {
+                vec![
+                    sz_egraph_rule_stat("fold-intro-union", 4, 2, 0.25),
+                    sz_egraph_rule_stat("never-fired", 0, 0, 0.5),
+                ]
+            },
+        }
+    }
+
+    fn sz_egraph_rule_stat(
+        name: &str,
+        matches: usize,
+        applied: usize,
+        search_s: f64,
+    ) -> szalinski::RuleStat {
+        szalinski::RuleStat {
+            name: name.to_owned(),
+            matches,
+            applied,
+            search_time: Duration::from_secs_f64(search_s),
+            apply_time: Duration::from_millis(10),
+            times_banned: 0,
         }
     }
 
@@ -166,6 +225,20 @@ mod tests {
         assert!(rec.contains(r#""cached":false"#));
         assert!(rec.contains(r#""iterations":7"#));
         assert!(rec.contains(r#""best":"(Repeat Unit 3)""#));
+    }
+
+    #[test]
+    fn job_record_carries_ematch_profile() {
+        let rec = job_record(&outcome("3362402:gear", false));
+        assert!(rec.contains(r#""search_time_s":0.75"#));
+        assert!(rec.contains(r#""rules":[{"name":"fold-intro-union""#));
+        assert!(rec.contains(r#""matches":4"#));
+        // Rules with zero matches are elided from the array...
+        assert!(!rec.contains("never-fired"));
+        // ...but still counted in the job totals.
+        let cached = job_record(&outcome("warm", true));
+        assert!(cached.contains(r#""search_time_s":0"#));
+        assert!(!cached.contains(r#""rules""#));
     }
 
     #[test]

@@ -6,7 +6,13 @@
 //!   prints Table 1 (plus the `wardrobe@` reward-loops row and the
 //!   paper's aggregate claims);
 //! * `figures` — regenerates each worked figure (1, 2, 4, 10, 14, 16,
-//!   17, 18, 19) and prints paper-vs-measured notes.
+//!   17, 18, 19) and prints paper-vs-measured notes;
+//! * `ematch` — per-rule e-matching profile over suite16 (matches,
+//!   unions, search/apply time from the runner's
+//!   [`RuleStat`](sz_egraph::RuleStat)s), emitting `BENCH_ematch.json`;
+//!   its `--baseline` mode fails if any rule listed in
+//!   `crates/bench/ematch_baseline.txt` reports zero matches (CI's
+//!   e-matching regression gate).
 //!
 //! Criterion benches cover saturation throughput, solver fits,
 //! extraction, end-to-end synthesis time per model, the ε-sweep, and the

@@ -68,3 +68,4 @@ pub use pipeline::{
 };
 pub use report::{fit_tags, has_structure, loop_tags, TableRow};
 pub use rules::{all_rules, rules, structural_rules, CadRewrite};
+pub use sz_egraph::RuleStat;

@@ -6,7 +6,9 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use sz_cad::Cad;
-use sz_egraph::{Id, KBestExtractor, Runner, Scheduler, Snapshot, SnapshotParseError, StopReason};
+use sz_egraph::{
+    Id, KBestExtractor, RuleStat, Runner, Scheduler, Snapshot, SnapshotParseError, StopReason,
+};
 
 use crate::analysis::{CadAnalysis, CadGraph};
 use crate::cost::{CadCost, CostKind};
@@ -211,6 +213,11 @@ pub struct Synthesis {
     pub stop_reason: Option<StopReason>,
     /// Total saturation iterations across rounds.
     pub iterations: usize,
+    /// Per-rule e-matching profile, totalled across all saturation
+    /// rounds: matches found, classes unioned, search/apply wall-clock
+    /// time, and backoff bans (see [`RuleStat`]). Empty for runs that
+    /// skipped saturation (snapshot resumes).
+    pub rule_stats: Vec<RuleStat>,
 }
 
 impl Synthesis {
@@ -304,6 +311,7 @@ pub fn synthesize(input: &Cad, config: &SynthConfig) -> Synthesis {
         egraph_classes: sat.egraph.number_of_classes(),
         stop_reason: sat.stop_reason,
         iterations: sat.iterations,
+        rule_stats: sat.rule_stats,
     }
 }
 
@@ -314,6 +322,18 @@ struct Saturated {
     records: Vec<InferenceRecord>,
     stop_reason: Option<StopReason>,
     iterations: usize,
+    rule_stats: Vec<RuleStat>,
+}
+
+/// Folds one round's per-rule totals into the running totals (matched by
+/// name; every round runs the same rule set, so order is stable).
+fn merge_rule_stats(totals: &mut Vec<RuleStat>, round: Vec<RuleStat>) {
+    for stat in round {
+        match totals.iter_mut().find(|t| t.name == stat.name) {
+            Some(total) => total.absorb(&stat),
+            None => totals.push(stat),
+        }
+    }
 }
 
 /// Runs the main loop (saturation → list manipulation → inference) and
@@ -338,6 +358,7 @@ fn saturate(input: &Cad, config: &SynthConfig) -> Saturated {
     let mut records = Vec::new();
     let mut stop_reason = None;
     let mut iterations = 0;
+    let mut rule_stats: Vec<RuleStat> = Vec::new();
     for _round in 0..config.main_loop_fuel {
         // apply_rws: equality saturation with the syntactic rules.
         let runner = Runner::new(CadAnalysis)
@@ -349,6 +370,7 @@ fn saturate(input: &Cad, config: &SynthConfig) -> Saturated {
             .run(&ruleset);
         iterations += runner.iterations.len();
         stop_reason = runner.stop_reason.clone();
+        merge_rule_stats(&mut rule_stats, runner.rule_totals());
         egraph = runner.egraph;
 
         // determ + list_manip: sorted list variants.
@@ -367,6 +389,7 @@ fn saturate(input: &Cad, config: &SynthConfig) -> Saturated {
         records,
         stop_reason,
         iterations,
+        rule_stats,
     }
 }
 
@@ -590,6 +613,7 @@ pub fn synthesize_with_snapshot(input: &Cad, config: &SynthConfig) -> (Synthesis
             egraph_classes: sat.egraph.number_of_classes(),
             stop_reason: sat.stop_reason,
             iterations: sat.iterations,
+            rule_stats: sat.rule_stats,
         },
         SynthSnapshot::new(input, config, snapshot),
     )
@@ -650,6 +674,7 @@ pub fn resume_synthesize(
         egraph_classes: egraph.number_of_classes(),
         stop_reason: None,
         iterations: 0,
+        rule_stats: Vec::new(),
     })
 }
 
@@ -836,6 +861,26 @@ mod tests {
                 "{v:?}"
             );
         }
+    }
+
+    #[test]
+    fn synthesis_reports_rule_stats() {
+        let flat = row_of_cubes(5, 2.0);
+        let result = synthesize(&flat, &SynthConfig::new());
+        assert_eq!(result.rule_stats.len(), crate::rules::rules().len());
+        let folds = result
+            .rule_stats
+            .iter()
+            .find(|s| s.name == "fold-intro-union")
+            .unwrap();
+        assert!(folds.matches > 0, "union chain must feed the fold rules");
+        assert!(folds.applied > 0);
+        let total_matches: usize = result.rule_stats.iter().map(|s| s.matches).sum();
+        assert!(total_matches > 0);
+        // Resumed runs skip saturation and carry no per-rule profile.
+        let (_, snapshot) = synthesize_with_snapshot(&flat, &SynthConfig::new());
+        let resumed = resume_synthesize(&flat, &SynthConfig::new(), &snapshot).unwrap();
+        assert!(resumed.rule_stats.is_empty());
     }
 
     #[test]

@@ -7,6 +7,15 @@
 //! appliers read concrete vectors from the [`CadAnalysis`] and construct
 //! result nodes in Rust, declining when operands are not concrete.
 //!
+//! Both constructors hand their left-hand pattern to [`Rewrite::new`] /
+//! [`Rewrite::parse`], which compile it **once** into an e-matching VM
+//! program executed over the e-graph's operator index (see
+//! `sz_egraph::machine`) — a rule like `collapse-scale` only ever visits
+//! classes that actually contain a `Scale` node. The original pattern
+//! stays reachable via [`Rewrite::searcher`] as the naive oracle for the
+//! VM-vs-naive differential suite (`tests/ematch_differential.rs`), and
+//! building with `sz-egraph/naive-ematch` swaps every rule back to it.
+//!
 //! Note on the rotate/translate reordering rules: Fig. 8b as printed
 //! contains `tan⁻¹(cosθ/sinθ)` terms that do not type-check geometrically;
 //! we implement the standard identities
@@ -350,7 +359,11 @@ mod tests {
             &lifting_rules(),
             2,
         );
-        assert!(contains(&eg, root, "(Rotate (Vec3 0 0 45) (Diff Unit Sphere))"));
+        assert!(contains(
+            &eg,
+            root,
+            "(Rotate (Vec3 0 0 45) (Diff Unit Sphere))"
+        ));
     }
 
     #[test]
@@ -397,7 +410,8 @@ mod tests {
             "(Rotate (Vec3 42 0 0) Unit)",
         ] {
             assert!(
-                eg.lookup_expr(&s.parse::<RecExpr<CadLang>>().unwrap()).is_none(),
+                eg.lookup_expr(&s.parse::<RecExpr<CadLang>>().unwrap())
+                    .is_none(),
                 "unsound collapse produced {s}"
             );
         }

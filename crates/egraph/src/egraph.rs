@@ -73,6 +73,15 @@ pub struct EGraph<L: Language, N: Analysis<L>> {
     pending: Vec<(L, Id)>,
     analysis_pending: VecDeque<(L, Id)>,
     clean: bool,
+    /// Operator index: discriminant (node with children zeroed) → sorted
+    /// canonical ids of the classes containing an e-node with that
+    /// operator. **Derived state**, valid only while [`EGraph::is_clean`]:
+    /// `add` appends incrementally, `rebuild` reconstructs it in the same
+    /// pass that canonicalizes class node lists, and snapshot restore
+    /// rebuilds it from the restored classes (it is never serialized).
+    /// Compiled pattern search uses it to visit only the classes that can
+    /// possibly match a pattern's root operator.
+    op_index: HashMap<L, Vec<Id>>,
 }
 
 impl<L: Language, N: Analysis<L> + Default> Default for EGraph<L, N> {
@@ -102,7 +111,50 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             pending: Vec::new(),
             analysis_pending: VecDeque::new(),
             clean: true,
+            op_index: HashMap::new(),
         }
+    }
+
+    /// The operator-index key for a node: the node with its children
+    /// zeroed, i.e. exactly the equivalence [`Language::matches`] checks.
+    fn op_key(node: &L) -> L {
+        node.map_children(|_| Id::from(0usize))
+    }
+
+    /// Records class `id` under each of `nodes`' operators. Callers must
+    /// finish the batch with [`EGraph::finish_op_index`]; the two together
+    /// are the single definition of the index invariant, shared by
+    /// `rebuild_classes` and snapshot restore.
+    fn index_class_ops(index: &mut HashMap<L, Vec<Id>>, id: Id, nodes: &[L]) {
+        for node in nodes {
+            index.entry(Self::op_key(node)).or_default().push(id);
+        }
+    }
+
+    /// Sorts and dedups every candidate list after a batch of
+    /// [`EGraph::index_class_ops`] calls.
+    fn finish_op_index(index: &mut HashMap<L, Vec<Id>>) {
+        for ids in index.values_mut() {
+            ids.sort_unstable();
+            ids.dedup();
+        }
+    }
+
+    /// The canonical ids of every class containing an e-node whose
+    /// operator matches `op`'s (children are ignored), in sorted order.
+    ///
+    /// This is the operator index compiled pattern search draws root
+    /// candidates from. Like search itself it is only meaningful on a
+    /// clean e-graph; entries may be stale while mutations are pending.
+    pub fn classes_with_op(&self, op: &L) -> &[Id] {
+        self.op_index
+            .get(&Self::op_key(op))
+            .map_or(&[], |ids| ids.as_slice())
+    }
+
+    /// Number of distinct operators in the index (diagnostics/tests).
+    pub fn number_of_ops(&self) -> usize {
+        self.op_index.len()
     }
 
     /// Read access to the union-find, for snapshot capture.
@@ -156,6 +208,14 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
                 }
             }
         }
+        // The operator index is derived state excluded from the snapshot
+        // format (no version bump needed): reconstruct it here exactly as
+        // `rebuild` would.
+        let mut op_index: HashMap<L, Vec<Id>> = HashMap::new();
+        for (id, nodes) in class_list {
+            Self::index_class_ops(&mut op_index, *id, nodes);
+        }
+        Self::finish_op_index(&mut op_index);
         let mut egraph = EGraph {
             analysis,
             unionfind,
@@ -164,6 +224,7 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             pending: Vec::new(),
             analysis_pending: VecDeque::new(),
             clean: true,
+            op_index,
         };
         // Analysis fixpoint. Ascending id order roughly follows creation
         // order (children before parents), so this usually converges in
@@ -271,6 +332,13 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
                 parents: Vec::new(),
             },
         );
+        // Incremental op-index maintenance: the fresh id is the largest
+        // yet, so pushing keeps each candidate list sorted; `rebuild`
+        // reconstructs the index wholesale after unions invalidate ids.
+        self.op_index
+            .entry(Self::op_key(&enode))
+            .or_default()
+            .push(id);
         self.memo.insert(enode, id);
         N::modify(self, id);
         id
@@ -368,14 +436,25 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
     }
 
     fn rebuild_classes(&mut self) {
-        let uf = &self.unionfind;
-        for class in self.classes.values_mut() {
+        // Reconstructing the op index here is free asymptotically: this
+        // pass already touches every node of every class to canonicalize
+        // it, and the index must drop ids absorbed by unions.
+        let EGraph {
+            unionfind: uf,
+            classes,
+            op_index,
+            ..
+        } = self;
+        op_index.clear();
+        for class in classes.values_mut() {
             for node in &mut class.nodes {
                 node.update_children(|id| uf.find_immutable(id));
             }
             class.nodes.sort_unstable();
             class.nodes.dedup();
+            Self::index_class_ops(op_index, class.id, &class.nodes);
         }
+        Self::finish_op_index(op_index);
     }
 
     /// Returns the ids of all classes, canonical and sorted.
@@ -555,6 +634,64 @@ mod tests {
         eg.rebuild();
         let out = eg.id_to_expr(a);
         assert_eq!(out.to_string(), "(* (+ x 1) (+ x 1))");
+    }
+
+    #[test]
+    fn op_index_tracks_adds_incrementally() {
+        let mut eg = eg();
+        eg.add_expr(&"(+ x y)".parse().unwrap());
+        // No rebuild needed: adds maintain the index in place.
+        let plus = Arith::Add([Id::from(0usize), Id::from(0usize)]);
+        assert_eq!(eg.classes_with_op(&plus).len(), 1);
+        assert_eq!(eg.classes_with_op(&Arith::Num(7)).len(), 0);
+        eg.add_expr(&"(+ y x)".parse().unwrap());
+        assert_eq!(eg.classes_with_op(&plus).len(), 2);
+        assert_eq!(eg.number_of_ops(), 3); // +, x, y
+    }
+
+    #[test]
+    fn op_index_drops_absorbed_classes_on_rebuild() {
+        let mut eg = eg();
+        let a = eg.add_expr(&"(+ x 1)".parse().unwrap());
+        let b = eg.add_expr(&"(+ y 1)".parse().unwrap());
+        let plus = Arith::Add([Id::from(0usize), Id::from(0usize)]);
+        assert_eq!(eg.classes_with_op(&plus).len(), 2);
+        let x = eg.lookup_expr(&"x".parse().unwrap()).unwrap();
+        let y = eg.lookup_expr(&"y".parse().unwrap()).unwrap();
+        eg.union(x, y);
+        eg.rebuild();
+        // (+ x 1) and (+ y 1) merged: one class with a + node remains,
+        // listed under its canonical id.
+        let ids = eg.classes_with_op(&plus);
+        assert_eq!(ids, [eg.find(a)]);
+        assert_eq!(eg.find(a), eg.find(b));
+    }
+
+    #[test]
+    fn op_index_lists_every_class_exactly_once() {
+        let mut eg = eg();
+        eg.add_expr(&"(* (+ a b) (+ c (+ d e)))".parse().unwrap());
+        let a = eg.lookup_expr(&"a".parse().unwrap()).unwrap();
+        let b = eg.lookup_expr(&"b".parse().unwrap()).unwrap();
+        eg.union(a, b);
+        eg.rebuild();
+        // Cross-check the index against a full scan, op by op.
+        let mut by_scan: HashMap<String, Vec<Id>> = HashMap::new();
+        for class in eg.classes() {
+            for node in class.iter() {
+                let ids = by_scan.entry(node.op_name()).or_default();
+                if !ids.contains(&class.id) {
+                    ids.push(class.id);
+                }
+            }
+        }
+        for class in eg.classes() {
+            for node in class.iter() {
+                let mut want = by_scan[&node.op_name()].clone();
+                want.sort_unstable();
+                assert_eq!(eg.classes_with_op(node), want, "op {}", node.op_name());
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,14 @@
 //!   Szalinski to surface concrete numbers/vectors/lists to its solvers;
 //! * [`Pattern`] / [`Rewrite`] / [`Runner`] — e-matching, rewrite rules
 //!   (syntactic or arbitrary Rust [`FnApplier`]s), and a saturation driver
-//!   with fuel limits;
+//!   with fuel limits and per-rule [`RuleStat`] search/apply profiles.
+//!   E-matching is **compiled**: each pattern becomes a linear
+//!   [`Program`] of Bind/Compare/Lookup instructions executed by a small
+//!   backtracking VM ([`machine`]), with root candidates drawn from the
+//!   e-graph's operator index ([`EGraph::classes_with_op`]). The naive
+//!   AST-walking matcher survives as [`Pattern::search`], the reference
+//!   oracle of the differential suites, and the `naive-ematch` feature
+//!   switches every [`Rewrite`] back to it;
 //! * [`Extractor`] and [`KBestExtractor`] — one-best and **top-k** term
 //!   extraction under a [`CostFunction`], as required by the paper's
 //!   top-k output (§5.1);
@@ -50,6 +57,7 @@ mod egraph;
 mod extract;
 mod id;
 mod language;
+pub mod machine;
 mod pattern;
 mod recexpr;
 mod rewrite;
@@ -68,10 +76,11 @@ pub use egraph::{EClass, EGraph};
 pub use extract::{AstDepth, AstSize, CostFunction, Extractor, KBestExtractor};
 pub use id::Id;
 pub use language::{FromOpError, Language, Symbol};
+pub use machine::{CompiledPattern, Program};
 pub use pattern::{ENodeOrVar, Pattern, SearchMatches};
 pub use recexpr::{RecExpr, RecExprParseError};
-pub use rewrite::{Applier, ConditionalApplier, FnApplier, Rewrite};
-pub use runner::{Iteration, Runner, StopReason};
+pub use rewrite::{Applier, ConditionalApplier, FnApplier, Rewrite, Searcher};
+pub use runner::{Iteration, RuleIteration, RuleStat, Runner, StopReason};
 pub use scheduler::{BackoffScheduler, Scheduler};
 pub use snapshot::{
     escape_token, unescape_token, Snapshot, SnapshotError, SnapshotParseError,

@@ -1,0 +1,465 @@
+//! A compiled e-matching virtual machine, in the style of egg (Willsey et
+//! al. 2021) and de Moura & Bjørner's "Efficient E-Matching for SMT
+//! Solvers".
+//!
+//! [`Pattern::search`](crate::Pattern::search) re-walks the pattern AST
+//! against every e-node of every e-class on every call. For saturation —
+//! where every rule searches the whole e-graph on every iteration — that
+//! interpretive overhead dominates. This module compiles each pattern
+//! **once** into a linear [`Program`] of three instructions over a register
+//! file of e-class ids:
+//!
+//! * [`Bind`](Instruction::Bind) — enumerate the e-nodes of the class in
+//!   register `i` whose operator matches, writing each candidate's children
+//!   into registers `out..`; the only backtracking point;
+//! * [`Compare`](Instruction::Compare) — require two registers to name the
+//!   same e-class (non-linear patterns such as `(+ ?a ?a)`);
+//! * [`Lookup`](Instruction::Lookup) — require the register to be the class
+//!   of a fully *ground* subterm, resolved once per search through the
+//!   hash-cons memo instead of structurally re-matched per class.
+//!
+//! A [`CompiledPattern`] pairs the program with its source pattern and is
+//! the default [`Searcher`](crate::Searcher) inside
+//! [`Rewrite`](crate::Rewrite). Root candidates come from the e-graph's
+//! operator index ([`EGraph::classes_with_op`]): a rule only visits classes
+//! that actually contain its root operator, instead of scanning every
+//! class.
+//!
+//! The naive matcher is retained as the reference implementation (and as
+//! the rewrite searcher under the `naive-ematch` feature); the differential
+//! suites in `crates/egraph/tests/ematch_machine.rs` and the workspace's
+//! `tests/ematch_differential.rs` prove both matchers produce identical
+//! [`SearchMatches`] on every rule.
+
+use std::fmt;
+
+use crate::pattern::ENodeOrVar;
+use crate::{
+    Analysis, EGraph, Id, Language, Pattern, RecExpr, SearchMatches, Searcher, Subst, Var,
+};
+
+/// An index into the VM's register file.
+type Reg = usize;
+
+/// One VM instruction; see the [module docs](self).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Instruction<L> {
+    /// Try every e-node in class `regs[i]` whose operator matches `node`
+    /// ([`Language::matches`]), writing its children into `regs[out..]`.
+    Bind { node: L, i: Reg, out: Reg },
+    /// Require `regs[i]` and `regs[j]` to be the same e-class.
+    Compare { i: Reg, j: Reg },
+    /// Require `regs[i]` to be the class of ground term `ground` (an index
+    /// into [`Program::ground`], resolved once per search).
+    Lookup { ground: usize, i: Reg },
+}
+
+/// A pattern compiled into a linear e-matching program.
+///
+/// Build one with [`Program::compile`]; execute it through
+/// [`CompiledPattern`]. Instructions are emitted in pre-order over the
+/// pattern AST, so variable first-occurrence order — and therefore the
+/// binding order inside each produced [`Subst`] — is identical to the
+/// naive matcher's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program<L> {
+    insts: Vec<Instruction<L>>,
+    /// Maximal variable-free subterms, resolved via one hash-cons lookup
+    /// per search instead of structural matching per candidate class.
+    ground: Vec<RecExpr<L>>,
+    /// `(var, register)` in first-occurrence order; the substitution
+    /// template applied at every accepting machine state.
+    subst: Vec<(Var, Reg)>,
+    /// The root operator (children zeroed by the e-graph's op index), or
+    /// `None` when the root is a variable and every class is a candidate.
+    root_op: Option<L>,
+}
+
+impl<L: Language> Program<L> {
+    /// Compiles `pattern` into a linear program.
+    pub fn compile(pattern: &Pattern<L>) -> Self {
+        let ast = pattern.ast();
+        // Which pattern nodes contain a variable (post-order pass): the
+        // complement is the set of ground subterms eligible for `Lookup`.
+        let mut has_var = vec![false; ast.len()];
+        for (id, node) in ast.iter() {
+            has_var[usize::from(id)] = match node {
+                ENodeOrVar::Var(_) => true,
+                ENodeOrVar::ENode(n) => n.children().iter().any(|c| has_var[usize::from(*c)]),
+            };
+        }
+        let mut program = Program {
+            insts: Vec::new(),
+            ground: Vec::new(),
+            subst: Vec::new(),
+            root_op: match &ast[ast.root()] {
+                ENodeOrVar::ENode(n) => Some(n.clone()),
+                ENodeOrVar::Var(_) => None,
+            },
+        };
+        let mut next_reg: Reg = 1; // register 0 holds the candidate root class
+        program.compile_node(ast, &has_var, ast.root(), 0, &mut next_reg);
+        program
+    }
+
+    /// Emits instructions for the pattern node `pat` whose class lives in
+    /// register `reg` (pre-order, left-to-right — the naive matcher's
+    /// traversal order).
+    fn compile_node(
+        &mut self,
+        ast: &RecExpr<ENodeOrVar<L>>,
+        has_var: &[bool],
+        pat: Id,
+        reg: Reg,
+        next_reg: &mut Reg,
+    ) {
+        match &ast[pat] {
+            ENodeOrVar::Var(v) => match self.subst.iter().find(|(u, _)| u == v) {
+                Some(&(_, prev)) => self.insts.push(Instruction::Compare { i: prev, j: reg }),
+                None => self.subst.push((*v, reg)),
+            },
+            ENodeOrVar::ENode(_) if !has_var[usize::from(pat)] => {
+                // Ground anchor: one memo lookup per search replaces the
+                // whole structural sub-match.
+                let ground = self.ground.len();
+                self.ground.push(ground_term(ast, pat));
+                self.insts.push(Instruction::Lookup { ground, i: reg });
+            }
+            ENodeOrVar::ENode(n) => {
+                let out = *next_reg;
+                *next_reg += n.children().len();
+                self.insts.push(Instruction::Bind {
+                    node: n.clone(),
+                    i: reg,
+                    out,
+                });
+                for (k, child) in n.children().to_vec().into_iter().enumerate() {
+                    self.compile_node(ast, has_var, child, out + k, next_reg);
+                }
+            }
+        }
+    }
+
+    /// The variables bound by this program, in first-occurrence order.
+    pub fn vars(&self) -> Vec<Var> {
+        self.subst.iter().map(|&(v, _)| v).collect()
+    }
+
+    /// Number of instructions (diagnostics and tests).
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True for the trivial program of a bare-variable pattern.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Resolves the program's ground anchors through the hash-cons memo.
+    /// `None` means some ground subterm is absent from the e-graph, so the
+    /// pattern cannot match anywhere.
+    fn resolve_ground<N: Analysis<L>>(&self, egraph: &EGraph<L, N>) -> Option<Vec<Id>> {
+        self.ground
+            .iter()
+            .map(|expr| egraph.lookup_expr(expr))
+            .collect()
+    }
+
+    /// Runs the machine rooted at (canonical) `eclass`, appending every
+    /// accepting substitution to `out`.
+    fn run<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        ground: &[Id],
+        eclass: Id,
+        out: &mut Vec<Subst>,
+    ) {
+        let mut regs: Vec<Id> = Vec::with_capacity(self.subst.len() + 4);
+        regs.push(eclass);
+        self.step(egraph, ground, &mut regs, 0, out);
+    }
+
+    fn step<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        ground: &[Id],
+        regs: &mut Vec<Id>,
+        pc: usize,
+        out: &mut Vec<Subst>,
+    ) {
+        let Some(inst) = self.insts.get(pc) else {
+            let mut subst = Subst::with_capacity(self.subst.len());
+            for &(v, r) in &self.subst {
+                subst.insert(v, egraph.find(regs[r]));
+            }
+            out.push(subst);
+            return;
+        };
+        match inst {
+            Instruction::Bind { node, i, out: o } => {
+                let class = &egraph[regs[*i]];
+                for enode in class.iter().filter(|n| node.matches(n)) {
+                    regs.truncate(*o);
+                    regs.extend_from_slice(enode.children());
+                    self.step(egraph, ground, regs, pc + 1, out);
+                }
+            }
+            Instruction::Compare { i, j } => {
+                if egraph.find(regs[*i]) == egraph.find(regs[*j]) {
+                    self.step(egraph, ground, regs, pc + 1, out);
+                }
+            }
+            Instruction::Lookup { ground: g, i } => {
+                if ground[*g] == egraph.find(regs[*i]) {
+                    self.step(egraph, ground, regs, pc + 1, out);
+                }
+            }
+        }
+    }
+}
+
+/// A [`Pattern`] together with its compiled [`Program`]: the default
+/// searcher held by [`Rewrite`](crate::Rewrite).
+///
+/// # Examples
+///
+/// ```
+/// use sz_egraph::{CompiledPattern, EGraph, Pattern, Searcher, tests_lang::Arith};
+/// let mut eg: EGraph<Arith, ()> = EGraph::default();
+/// eg.add_expr(&"(+ 1 (+ 2 3))".parse().unwrap());
+/// eg.rebuild();
+/// let pat: Pattern<Arith> = "(+ ?a ?b)".parse().unwrap();
+/// let compiled = CompiledPattern::compile(pat.clone());
+/// // Identical matches to the naive reference matcher.
+/// let naive = pat.search(&eg);
+/// let vm = compiled.search(&eg);
+/// assert_eq!(naive.len(), vm.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledPattern<L> {
+    pattern: Pattern<L>,
+    program: Program<L>,
+}
+
+impl<L: Language> CompiledPattern<L> {
+    /// Compiles a pattern.
+    pub fn compile(pattern: Pattern<L>) -> Self {
+        let program = Program::compile(&pattern);
+        CompiledPattern { pattern, program }
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &Pattern<L> {
+        &self.pattern
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &Program<L> {
+        &self.program
+    }
+
+    fn search_resolved<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        ground: &[Id],
+        eclass: Id,
+    ) -> Option<SearchMatches> {
+        let mut substs = Vec::new();
+        self.program.run(egraph, ground, eclass, &mut substs);
+        if substs.is_empty() {
+            return None;
+        }
+        substs.sort_unstable();
+        substs.dedup();
+        Some(SearchMatches { eclass, substs })
+    }
+}
+
+impl<L: Language, N: Analysis<L>> Searcher<L, N> for CompiledPattern<L> {
+    /// Searches the whole e-graph, visiting only the classes the operator
+    /// index lists for the pattern's root operator.
+    ///
+    /// Same contract as [`Pattern::search`]: the e-graph must be clean
+    /// (checked by a debug assertion; [`Runner::run`](crate::Runner::run)
+    /// rebuilds before every search phase, so runner users cannot violate
+    /// it).
+    fn search(&self, egraph: &EGraph<L, N>) -> Vec<SearchMatches> {
+        debug_assert!(
+            egraph.is_clean(),
+            "searching a dirty e-graph; call rebuild() first"
+        );
+        let Some(ground) = self.program.resolve_ground(egraph) else {
+            return Vec::new();
+        };
+        match &self.program.root_op {
+            Some(op) => egraph
+                .classes_with_op(op)
+                .iter()
+                .filter_map(|&id| self.search_resolved(egraph, &ground, id))
+                .collect(),
+            // Bare-variable root: every class matches; keep the output
+            // deterministic by visiting classes in sorted id order.
+            None => egraph
+                .class_ids()
+                .into_iter()
+                .filter_map(|id| self.search_resolved(egraph, &ground, id))
+                .collect(),
+        }
+    }
+
+    fn search_eclass(&self, egraph: &EGraph<L, N>, eclass: Id) -> Option<SearchMatches> {
+        debug_assert!(
+            egraph.is_clean(),
+            "searching a dirty e-graph; call rebuild() first"
+        );
+        let ground = self.program.resolve_ground(egraph)?;
+        self.search_resolved(egraph, &ground, egraph.find(eclass))
+    }
+
+    fn vars(&self) -> Vec<Var> {
+        self.program.vars()
+    }
+}
+
+impl<L: Language> fmt::Display for CompiledPattern<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.pattern)
+    }
+}
+
+/// Copies the (variable-free) subtree at `pat` out of a pattern AST as a
+/// plain term.
+fn ground_term<L: Language>(ast: &RecExpr<ENodeOrVar<L>>, pat: Id) -> RecExpr<L> {
+    fn go<L: Language>(ast: &RecExpr<ENodeOrVar<L>>, pat: Id, dst: &mut RecExpr<L>) -> Id {
+        let ENodeOrVar::ENode(node) = &ast[pat] else {
+            unreachable!("ground subtrees contain no variables");
+        };
+        let node = node.map_children(|c| go(ast, c, dst));
+        dst.add(node)
+    }
+    let mut dst = RecExpr::new();
+    go(ast, pat, &mut dst);
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_lang::Arith;
+
+    fn graph(exprs: &[&str]) -> EGraph<Arith, ()> {
+        let mut eg = EGraph::default();
+        for s in exprs {
+            eg.add_expr(&s.parse().unwrap());
+        }
+        eg.rebuild();
+        eg
+    }
+
+    fn assert_same(pat: &str, eg: &EGraph<Arith, ()>) {
+        let pattern: Pattern<Arith> = pat.parse().unwrap();
+        let compiled = CompiledPattern::compile(pattern.clone());
+        let mut naive: Vec<(Id, Vec<Subst>)> = Searcher::<Arith, ()>::search(&pattern, eg)
+            .into_iter()
+            .map(|m| (m.eclass, m.substs))
+            .collect();
+        let mut vm: Vec<(Id, Vec<Subst>)> = compiled
+            .search(eg)
+            .into_iter()
+            .map(|m| (m.eclass, m.substs))
+            .collect();
+        naive.sort_by_key(|(id, _)| *id);
+        vm.sort_by_key(|(id, _)| *id);
+        assert_eq!(naive, vm, "matcher divergence for pattern {pat}");
+    }
+
+    #[test]
+    fn compiles_linear_pattern() {
+        let p: Pattern<Arith> = "(+ ?a (* ?b 2))".parse().unwrap();
+        let prog = Program::compile(&p);
+        // Bind +, Bind *, Lookup 2 — variables cost no instructions.
+        assert_eq!(prog.len(), 3);
+        assert_eq!(prog.ground.len(), 1);
+        assert_eq!(prog.vars(), p.vars());
+    }
+
+    #[test]
+    fn bare_variable_matches_every_class() {
+        let eg = graph(&["(+ 1 2)"]);
+        let p: Pattern<Arith> = "?x".parse().unwrap();
+        let compiled = CompiledPattern::compile(p.clone());
+        let vm = Searcher::<Arith, ()>::search(&compiled, &eg);
+        assert_eq!(vm.len(), eg.number_of_classes());
+        assert_same("?x", &eg);
+    }
+
+    #[test]
+    fn ground_pattern_is_one_lookup() {
+        let eg = graph(&["(+ 1 2)", "(+ 2 1)"]);
+        let p: Pattern<Arith> = "(+ 1 2)".parse().unwrap();
+        let prog = Program::compile(&p);
+        assert_eq!(prog.len(), 1, "whole-pattern lookup");
+        assert_same("(+ 1 2)", &eg);
+    }
+
+    #[test]
+    fn absent_ground_anchor_short_circuits() {
+        let eg = graph(&["(+ 1 2)"]);
+        let p: Pattern<Arith> = "(+ ?a 99)".parse().unwrap();
+        let compiled = CompiledPattern::compile(p);
+        assert!(Searcher::<Arith, ()>::search(&compiled, &eg).is_empty());
+    }
+
+    #[test]
+    fn nonlinear_pattern_compares() {
+        let eg = graph(&["(+ x x)", "(+ x y)"]);
+        assert_same("(+ ?a ?a)", &eg);
+        assert_same("(+ ?a ?b)", &eg);
+    }
+
+    #[test]
+    fn matches_after_union() {
+        let mut eg = graph(&["(+ x y)", "(* (+ x y) z)"]);
+        let x = eg.lookup_expr(&"x".parse().unwrap()).unwrap();
+        let y = eg.lookup_expr(&"y".parse().unwrap()).unwrap();
+        eg.union(x, y);
+        eg.rebuild();
+        for pat in ["(+ ?a ?a)", "(* ?m ?n)", "(* (+ ?a ?a) ?z)"] {
+            assert_same(pat, &eg);
+        }
+    }
+
+    #[test]
+    fn deep_patterns_agree_on_merged_classes() {
+        let mut eg = graph(&["(+ 1 2)", "(* 3 4)", "(+ (+ 1 2) (* 3 4))"]);
+        let a = eg.lookup_expr(&"(+ 1 2)".parse().unwrap()).unwrap();
+        let b = eg.lookup_expr(&"(* 3 4)".parse().unwrap()).unwrap();
+        eg.union(a, b);
+        eg.rebuild();
+        for pat in [
+            "(+ ?a ?b)",
+            "(* ?a ?b)",
+            "(+ (+ ?a ?b) ?c)",
+            "(+ (* ?a ?b) (* ?c ?d))",
+            "(+ ?x ?x)",
+        ] {
+            assert_same(pat, &eg);
+        }
+    }
+
+    #[test]
+    fn subst_binding_order_matches_naive() {
+        // Subst equality is order-sensitive; the VM must bind variables in
+        // the naive matcher's pre-order.
+        let eg = graph(&["(* (+ a b) c)"]);
+        let p: Pattern<Arith> = "(* (+ ?x ?y) ?z)".parse().unwrap();
+        let naive = Searcher::<Arith, ()>::search(&p, &eg);
+        let vm = Searcher::<Arith, ()>::search(&CompiledPattern::compile(p), &eg);
+        assert_eq!(naive[0].substs, vm[0].substs);
+        let order: Vec<String> = naive[0].substs[0]
+            .iter()
+            .map(|(v, _)| v.to_string())
+            .collect();
+        assert_eq!(order, ["?x", "?y", "?z"]);
+    }
+}

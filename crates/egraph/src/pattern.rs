@@ -111,14 +111,27 @@ impl<L: Language> Pattern<L> {
         vars
     }
 
-    /// Searches the whole e-graph for matches.
+    /// Searches the whole e-graph for matches by walking every e-class —
+    /// the **naive reference matcher**.
     ///
-    /// # Panics
+    /// [`Rewrite`](crate::Rewrite) does not use this during saturation: it
+    /// holds a [`CompiledPattern`](crate::CompiledPattern) executing a
+    /// compiled e-matching program over the operator index instead (unless
+    /// the crate is built with the `naive-ematch` feature, which restores
+    /// this matcher for differential testing). This implementation is kept
+    /// as the independently-simple oracle those differential suites
+    /// compare against.
     ///
-    /// Panics if the e-graph is not clean (call
-    /// [`EGraph::rebuild`] first).
+    /// # Contract
+    ///
+    /// The e-graph must be clean ([`EGraph::is_clean`]); a dirty graph has
+    /// stale congruence data and search may miss matches. This is a debug
+    /// assertion rather than a hard panic: [`Runner::run`](crate::Runner::run)
+    /// rebuilds before every search phase, so the contract is enforced
+    /// automatically for runner users, and library callers searching
+    /// directly should call [`EGraph::rebuild`] first.
     pub fn search<N: Analysis<L>>(&self, egraph: &EGraph<L, N>) -> Vec<SearchMatches> {
-        assert!(
+        debug_assert!(
             egraph.is_clean(),
             "searching a dirty e-graph; call rebuild() first"
         );
@@ -140,7 +153,7 @@ impl<L: Language> Pattern<L> {
             None
         } else {
             let mut substs = substs;
-            substs.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            substs.sort_unstable();
             substs.dedup();
             Some(SearchMatches { eclass, substs })
         }

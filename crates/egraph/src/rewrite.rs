@@ -7,7 +7,45 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crate::{Analysis, EGraph, Id, Language, Pattern, SearchMatches, Subst};
+#[cfg(not(feature = "naive-ematch"))]
+use crate::CompiledPattern;
+use crate::{Analysis, EGraph, Id, Language, Pattern, SearchMatches, Subst, Var};
+
+/// The left-hand side of a [`Rewrite`]: finds every match of some pattern
+/// in the e-graph.
+///
+/// Two implementations ship with the crate: [`Pattern`] (the naive
+/// reference matcher that re-walks the pattern AST against every e-class)
+/// and [`CompiledPattern`] (the default — a compiled e-matching program
+/// executed over the e-graph's operator index; see
+/// [`machine`](crate::machine)). They are required to produce identical
+/// [`SearchMatches`], which the differential test suites enforce for every
+/// rule.
+pub trait Searcher<L: Language, N: Analysis<L>> {
+    /// Searches the whole (clean) e-graph.
+    fn search(&self, egraph: &EGraph<L, N>) -> Vec<SearchMatches>;
+
+    /// Searches a single e-class.
+    fn search_eclass(&self, egraph: &EGraph<L, N>, eclass: Id) -> Option<SearchMatches>;
+
+    /// The pattern variables this searcher binds, in first-occurrence
+    /// order.
+    fn vars(&self) -> Vec<Var>;
+}
+
+impl<L: Language, N: Analysis<L>> Searcher<L, N> for Pattern<L> {
+    fn search(&self, egraph: &EGraph<L, N>) -> Vec<SearchMatches> {
+        Pattern::search(self, egraph)
+    }
+
+    fn search_eclass(&self, egraph: &EGraph<L, N>, eclass: Id) -> Option<SearchMatches> {
+        Pattern::search_eclass(self, egraph, eclass)
+    }
+
+    fn vars(&self) -> Vec<Var> {
+        Pattern::vars(self)
+    }
+}
 
 /// The right-hand side of a [`Rewrite`]: given a match, mutate the e-graph
 /// and report which classes changed.
@@ -96,7 +134,12 @@ where
 /// ```
 pub struct Rewrite<L: Language, N: Analysis<L>> {
     name: String,
-    searcher: Pattern<L>,
+    /// The source pattern, retained for display, variable checks, and as
+    /// the naive oracle in differential tests.
+    lhs: Pattern<L>,
+    /// The live searcher: a [`CompiledPattern`] by default, or the naive
+    /// [`Pattern`] when built with the `naive-ematch` feature.
+    searcher: Arc<dyn Searcher<L, N>>,
     applier: Arc<dyn Applier<L, N>>,
 }
 
@@ -104,7 +147,8 @@ impl<L: Language, N: Analysis<L>> Clone for Rewrite<L, N> {
     fn clone(&self) -> Self {
         Rewrite {
             name: self.name.clone(),
-            searcher: self.searcher.clone(),
+            lhs: self.lhs.clone(),
+            searcher: Arc::clone(&self.searcher),
             applier: Arc::clone(&self.applier),
         }
     }
@@ -114,21 +158,49 @@ impl<L: Language, N: Analysis<L>> fmt::Debug for Rewrite<L, N> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Rewrite")
             .field("name", &self.name)
-            .field("searcher", &self.searcher.to_string())
+            .field("searcher", &self.lhs.to_string())
             .finish()
     }
 }
 
 impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
     /// Creates a rewrite from a searcher pattern and any applier.
+    ///
+    /// The pattern is compiled once into an e-matching
+    /// [`Program`](crate::Program) here; saturation then executes the
+    /// program instead of re-walking the pattern AST. Building the crate
+    /// with the `naive-ematch` feature switches every rewrite back to the
+    /// naive reference matcher (for differential testing and debugging —
+    /// results must be identical, only slower).
     pub fn new(
         name: impl Into<String>,
         searcher: Pattern<L>,
         applier: impl Applier<L, N> + 'static,
     ) -> Self {
+        #[cfg(not(feature = "naive-ematch"))]
+        let live: Arc<dyn Searcher<L, N>> = Arc::new(CompiledPattern::compile(searcher.clone()));
+        #[cfg(feature = "naive-ematch")]
+        let live: Arc<dyn Searcher<L, N>> = Arc::new(searcher.clone());
         Rewrite {
             name: name.into(),
-            searcher,
+            lhs: searcher,
+            searcher: live,
+            applier: Arc::new(applier),
+        }
+    }
+
+    /// Creates a rewrite with an explicit [`Searcher`] implementation
+    /// (`lhs` documents the pattern it must be equivalent to).
+    pub fn with_searcher(
+        name: impl Into<String>,
+        lhs: Pattern<L>,
+        searcher: impl Searcher<L, N> + 'static,
+        applier: impl Applier<L, N> + 'static,
+    ) -> Self {
+        Rewrite {
+            name: name.into(),
+            lhs,
+            searcher: Arc::new(searcher),
             applier: Arc::new(applier),
         }
     }
@@ -156,12 +228,13 @@ impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
         &self.name
     }
 
-    /// The left-hand-side pattern.
+    /// The left-hand-side pattern (also usable as the naive reference
+    /// matcher via [`Pattern::search`]).
     pub fn searcher(&self) -> &Pattern<L> {
-        &self.searcher
+        &self.lhs
     }
 
-    /// Runs the searcher over the e-graph.
+    /// Runs the live searcher (compiled by default) over the e-graph.
     pub fn search(&self, egraph: &EGraph<L, N>) -> Vec<SearchMatches> {
         self.searcher.search(egraph)
     }

@@ -26,8 +26,8 @@ pub struct Iteration {
     pub egraph_nodes: usize,
     /// Number of e-classes after this iteration.
     pub egraph_classes: usize,
-    /// Per-rule number of matches applied this iteration.
-    pub applied: Vec<(String, usize)>,
+    /// Per-rule activity this iteration, in rule order.
+    pub rules: Vec<RuleIteration>,
     /// Rules skipped this iteration by the [`Scheduler`] (banned, or
     /// freshly throttled after an explosive search).
     pub banned: usize,
@@ -35,6 +35,57 @@ pub struct Iteration {
     pub rebuild_unions: usize,
     /// Wall-clock time for the iteration.
     pub time: Duration,
+}
+
+/// One rule's activity within one [`Iteration`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleIteration {
+    /// The rule name.
+    pub name: String,
+    /// Substitutions the searcher found (0 when skipped; still counted
+    /// when the scheduler then discarded them).
+    pub matches: usize,
+    /// Classes newly unioned by applying those matches.
+    pub applied: usize,
+    /// Wall-clock time spent in the rule's searcher.
+    pub search_time: Duration,
+    /// Wall-clock time spent applying the rule's matches.
+    pub apply_time: Duration,
+    /// True when the [`Scheduler`] skipped the rule or discarded its
+    /// matches this iteration.
+    pub banned: bool,
+}
+
+/// A rule's totals across a whole [`Runner::run`] — the per-rule
+/// search/apply profile surfaced by [`Runner::rule_totals`] and threaded
+/// through the synthesis pipeline into batch reports and
+/// `BENCH_ematch.json`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleStat {
+    /// The rule name.
+    pub name: String,
+    /// Total substitutions found across iterations.
+    pub matches: usize,
+    /// Total classes newly unioned by this rule.
+    pub applied: usize,
+    /// Total searcher wall-clock time.
+    pub search_time: Duration,
+    /// Total apply wall-clock time.
+    pub apply_time: Duration,
+    /// How often the backoff scheduler banned this rule (0 under
+    /// [`Scheduler::Simple`]).
+    pub times_banned: usize,
+}
+
+impl RuleStat {
+    /// Folds another stat (for the same rule) into this one.
+    pub fn absorb(&mut self, other: &RuleStat) {
+        self.matches += other.matches;
+        self.applied += other.applied;
+        self.search_time += other.search_time;
+        self.apply_time += other.apply_time;
+        self.times_banned += other.times_banned;
+    }
 }
 
 /// Drives equality saturation, in the role of `apply_rws` inside Szalinski's
@@ -195,9 +246,46 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
         self
     }
 
+    /// Per-rule totals across every recorded iteration of this run:
+    /// matches found, classes unioned, search/apply wall-clock time, and
+    /// (under the backoff scheduler) how often the rule was banned.
+    pub fn rule_totals(&self) -> Vec<RuleStat> {
+        let Some(first) = self.iterations.first() else {
+            return Vec::new();
+        };
+        let mut totals: Vec<RuleStat> = first
+            .rules
+            .iter()
+            .map(|r| RuleStat {
+                name: r.name.clone(),
+                ..RuleStat::default()
+            })
+            .collect();
+        for iteration in &self.iterations {
+            for (total, report) in totals.iter_mut().zip(&iteration.rules) {
+                total.matches += report.matches;
+                total.applied += report.applied;
+                total.search_time += report.search_time;
+                total.apply_time += report.apply_time;
+            }
+        }
+        if let Some((_, _, stats)) = self.scheduler.dump_state() {
+            for (total, (times_banned, _)) in totals.iter_mut().zip(stats) {
+                total.times_banned = times_banned;
+            }
+        }
+        totals
+    }
+
     /// Runs equality saturation with `rules` until saturation or a limit.
     ///
-    /// Sets [`Runner::stop_reason`] and records [`Runner::iterations`].
+    /// Sets [`Runner::stop_reason`] and records [`Runner::iterations`]
+    /// (including per-rule [`RuleIteration`] search/apply profiles).
+    ///
+    /// The e-graph is rebuilt before the first search phase and after
+    /// every apply phase — this is the automatic enforcement of the
+    /// searchers' clean-graph contract, so runner users can never trip
+    /// the dirty-graph debug assertion in [`Pattern::search`](crate::Pattern::search).
     pub fn run(mut self, rules: &[Rewrite<L, N>]) -> Self {
         let start = Instant::now();
         self.egraph.rebuild();
@@ -217,37 +305,53 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             // Search phase: collect all matches before applying any, so
             // rules see a consistent e-graph. The scheduler may skip
             // banned rules or throw away an explosive rule's matches
-            // (banning it for the next iterations).
+            // (banning it for the next iterations). Per-rule search time
+            // and match counts are recorded either way.
             let mut banned = 0usize;
             let mut all_matches = Vec::with_capacity(rules.len());
+            let mut rule_reports = Vec::with_capacity(rules.len());
             for (i, rule) in rules.iter().enumerate() {
+                let mut report = RuleIteration {
+                    name: rule.name().to_owned(),
+                    matches: 0,
+                    applied: 0,
+                    search_time: Duration::ZERO,
+                    apply_time: Duration::ZERO,
+                    banned: false,
+                };
                 if !self.scheduler.can_search(iteration, i) {
                     banned += 1;
+                    report.banned = true;
                     all_matches.push(None);
+                    rule_reports.push(report);
                     continue;
                 }
+                let search_start = Instant::now();
                 let matches = rule.search(&self.egraph);
+                report.search_time = search_start.elapsed();
                 let n: usize = matches.iter().map(|m| m.substs.len()).sum();
+                report.matches = n;
                 if self.scheduler.admit(iteration, i, n) {
                     all_matches.push(Some(matches));
                 } else {
                     banned += 1;
+                    report.banned = true;
                     all_matches.push(None);
                 }
+                rule_reports.push(report);
             }
 
             // Apply phase.
-            let mut applied = Vec::with_capacity(rules.len());
             let mut any_change = false;
-            for (rule, matches) in rules.iter().zip(&all_matches) {
-                let changed = match matches {
-                    Some(matches) => rule.apply(&mut self.egraph, matches),
-                    None => Vec::new(),
-                };
+            for ((rule, matches), report) in rules.iter().zip(&all_matches).zip(&mut rule_reports) {
+                let Some(matches) = matches else { continue };
+                let apply_start = Instant::now();
+                let changed = rule.apply(&mut self.egraph, matches);
+                report.apply_time = apply_start.elapsed();
+                report.applied = changed.len();
                 if !changed.is_empty() {
                     any_change = true;
                 }
-                applied.push((rule.name().to_owned(), changed.len()));
             }
 
             let rebuild_unions = self.egraph.rebuild();
@@ -256,7 +360,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             self.iterations.push(Iteration {
                 egraph_nodes: self.egraph.total_number_of_nodes(),
                 egraph_classes: self.egraph.number_of_classes(),
-                applied,
+                rules: rule_reports,
                 banned,
                 rebuild_unions,
                 time: iter_start.elapsed(),
@@ -353,8 +457,50 @@ mod tests {
             .with_expr(&"(+ 1 2)".parse().unwrap())
             .run(&rules());
         let first = &runner.iterations[0];
-        let comm = first.applied.iter().find(|(n, _)| n == "comm-add").unwrap();
-        assert!(comm.1 > 0);
+        let comm = first.rules.iter().find(|r| r.name == "comm-add").unwrap();
+        assert!(comm.matches > 0);
+        assert!(comm.applied > 0);
+        assert!(!comm.banned);
+    }
+
+    #[test]
+    fn rule_totals_aggregate_across_iterations() {
+        let runner = Runner::new(())
+            .with_expr(&"(+ 1 (+ 2 3))".parse().unwrap())
+            .with_iter_limit(5)
+            .run(&rules());
+        let totals = runner.rule_totals();
+        assert_eq!(totals.len(), rules().len());
+        let comm = totals.iter().find(|t| t.name == "comm-add").unwrap();
+        let per_iter: usize = runner
+            .iterations
+            .iter()
+            .map(|it| {
+                it.rules
+                    .iter()
+                    .find(|r| r.name == "comm-add")
+                    .unwrap()
+                    .matches
+            })
+            .sum();
+        assert_eq!(comm.matches, per_iter);
+        assert!(comm.matches > 0);
+        assert!(comm.applied > 0);
+        assert_eq!(comm.times_banned, 0);
+    }
+
+    #[test]
+    fn rule_totals_report_backoff_bans() {
+        let runner = Runner::new(())
+            .with_expr(&"(+ a (+ b (+ c (+ d e))))".parse().unwrap())
+            .with_iter_limit(4)
+            .with_scheduler(Scheduler::backoff_with(1, 2))
+            .run(&rules());
+        let totals = runner.rule_totals();
+        assert!(
+            totals.iter().any(|t| t.times_banned > 0),
+            "tight match limit must ban at least one rule"
+        );
     }
 
     #[test]

@@ -12,9 +12,13 @@
 //!   and the rule scheduler's backoff state (so a resumed [`Runner`]
 //!   continues throttling where the original left off).
 //!
-//! Derived state is **not** stored: the hash-cons memo and the per-class
-//! parent lists are rebuilt from the e-nodes, and analysis data is
-//! recomputed to fixpoint by [`Snapshot::restore`]. This is sound for any
+//! Derived state is **not** stored: the hash-cons memo, the per-class
+//! parent lists, and the operator index used by compiled e-matching
+//! (see [`EGraph::classes_with_op`]) are rebuilt from the e-nodes, and
+//! analysis data is recomputed to fixpoint by [`Snapshot::restore`].
+//! Because the op index never enters the serialization, introducing it
+//! did **not** change the `szsnap v1` format — no version bump, and
+//! existing snapshots restore (and re-index) unchanged. This is sound for any
 //! analysis whose data is a join-semilattice derived from the e-nodes via
 //! [`Analysis::make`] (true of every analysis in this workspace); it is the
 //! same assumption `rebuild` itself makes. [`Analysis::modify`] is *not*

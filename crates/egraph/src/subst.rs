@@ -62,7 +62,14 @@ impl std::str::FromStr for Var {
 ///
 /// Stored as a small sorted-insertion vector: patterns have a handful of
 /// variables, so linear scans beat hashing.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// `Ord` is derived (lexicographic over the insertion-ordered bindings):
+/// both matchers bind variables in pattern pre-order, so sorting
+/// substitutions by this ordering is deterministic, allocation-free, and
+/// independent of `Debug` formatting — it is what
+/// [`Pattern::search`](crate::Pattern::search) and the compiled
+/// [`CompiledPattern`](crate::CompiledPattern) use to dedup matches.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Subst {
     bindings: Vec<(Var, Id)>,
 }

@@ -50,7 +50,19 @@
 //! * **`sz-egraph`**, **`sz-solver`**, **`sz-mesh`**, **`sz-scad`**,
 //!   and **`sz-models`** are independent mid-layer crates (engine,
 //!   arithmetic fitting, geometry validation, OpenSCAD I/O, benchmark
-//!   corpus).
+//!   corpus). Inside `sz-egraph`, e-matching is **compiled**: every
+//!   [`sz_egraph::Rewrite`] turns its left-hand pattern into a linear
+//!   Bind/Compare/Lookup program ([`sz_egraph::machine`]) executed by a
+//!   small backtracking VM, and draws its root candidates from an
+//!   operator index maintained on the e-graph
+//!   ([`sz_egraph::EGraph::classes_with_op`]) so a rule only visits
+//!   classes containing its root operator. The naive AST-walking
+//!   matcher survives as [`sz_egraph::Pattern::search`] — the oracle of
+//!   the VM-vs-naive differential suites (`tests/ematch_differential.rs`
+//!   and the engine-level proptests), and what every rewrite falls back
+//!   to under the `sz-egraph/naive-ematch` feature. The op index is
+//!   derived state: snapshots never store it (format unchanged, no
+//!   version bump) and [`sz_egraph::Snapshot::restore`] rebuilds it.
 //! * **`szalinski`** (core) composes them into the paper's pipeline:
 //!   saturate → determinize → list-manipulate → infer → extract. Batch
 //!   callers use the panic-free, `Send`-safe
@@ -71,7 +83,12 @@
 //!   (`--snapshots <dir>` enables incremental re-runs).
 //! * **`sz-bench`** regenerates the paper's Table 1 and figures, now
 //!   through the batch engine (`run_table1_with`), plus Criterion-style
-//!   micro-benches.
+//!   micro-benches. Saturation runs record per-rule
+//!   [`sz_egraph::RuleStat`] search/apply profiles, surfaced in `szb`'s
+//!   JSONL job records (`search_time_s`, `apply_time_s`, `rules[]`) and
+//!   aggregated corpus-wide by the `ematch` binary into
+//!   `BENCH_ematch.json` (whose `--baseline` mode is CI's
+//!   zero-matches regression gate).
 //!
 //! Offline stand-ins for `rand`/`proptest`/`criterion` live in
 //! `third_party/` (the build environment has no crates.io access); see

@@ -35,7 +35,12 @@ INPUT:
 EXECUTION:
     --workers <N>          worker threads (default: available cores)
     --sequential           plain in-order loop, no thread pool (baseline)
-    --deadline <SECS>      per-job wall-clock deadline (clamps saturation time)
+    --per-job-timeout <S>  per-job wall-clock deadline: clamps saturation time
+                           and cancels the job cooperatively at the next
+                           iteration boundary (stop_reason \"cancelled\")
+    --deadline <SECS>      wall-clock deadline for the WHOLE run: jobs past it
+                           are cancelled cooperatively but still emit their
+                           partial (less saturated) programs
 
 CACHE & OUTPUT:
     --cache <FILE>         persistent result cache (loaded before, saved after)
@@ -67,6 +72,7 @@ struct Options {
     suite16: bool,
     workers: Option<usize>,
     sequential: bool,
+    per_job_timeout: Option<Duration>,
     deadline: Option<Duration>,
     cache: Option<PathBuf>,
     snapshots: Option<PathBuf>,
@@ -92,6 +98,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         suite16: false,
         workers: None,
         sequential: false,
+        per_job_timeout: None,
         deadline: None,
         cache: None,
         snapshots: None,
@@ -115,6 +122,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--help" | "-h" => return Err(String::new()),
             "--workers" => {
                 opts.workers = Some(value()?.parse().map_err(|e| format!("--workers: {e}"))?)
+            }
+            "--per-job-timeout" => {
+                opts.per_job_timeout = Some(parse_secs("--per-job-timeout", value()?)?);
             }
             "--deadline" => {
                 opts.deadline = Some(parse_secs("--deadline", value()?)?);
@@ -245,8 +255,11 @@ fn main() -> ExitCode {
     if let Some(workers) = opts.workers {
         engine = engine.with_workers(workers);
     }
+    if let Some(timeout) = opts.per_job_timeout {
+        engine = engine.with_deadline(timeout);
+    }
     if let Some(deadline) = opts.deadline {
-        engine = engine.with_deadline(deadline);
+        engine = engine.with_batch_deadline(deadline);
     }
     if let Some(cache) = &cache {
         engine = engine.with_cache(Arc::clone(cache));
@@ -313,6 +326,12 @@ fn main() -> ExitCode {
             "szb: snapshots: {} hits ({:.0}% hit rate)",
             report.snapshot_hits(),
             report.snapshot_hit_rate() * 100.0,
+        );
+    }
+    if report.cancelled_count() > 0 {
+        println!(
+            "szb: {} job(s) cancelled by deadline (partial programs emitted)",
+            report.cancelled_count()
         );
     }
 

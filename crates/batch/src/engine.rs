@@ -2,19 +2,38 @@
 //! work-stealing pool, consults the content-addressed [`ResultCache`],
 //! and collects per-job outcomes plus aggregate statistics.
 //!
+//! Each job runs through a [`szalinski::Synthesizer`] session; sessions
+//! are cheap to build because the compiled rule set is cached
+//! process-wide, so every worker shares one compiled rule set no matter
+//! how many jobs it executes. Snapshot-tier hits are handed to
+//! [`Synthesizer::run`](szalinski::Synthesizer::run), which dispatches
+//! the resume flavor itself (the tier is keyed on the exact saturation
+//! fingerprint, so engine-served resumes are extraction-only;
+//! partial-saturation resume is available to API callers that keep
+//! their own lower-fuel snapshots).
+//!
+//! Runs are bounded two ways: a **per-job** deadline
+//! ([`BatchEngine::with_deadline`]) and a **whole-batch** deadline
+//! ([`BatchEngine::with_batch_deadline`]); both stop saturation at
+//! iteration boundaries with [`StopReason::Cancelled`], recorded in
+//! [`JobOutcome::stop_reason`]. A shared [`CancelToken`]
+//! ([`BatchEngine::with_cancel_token`]) aborts every in-flight job
+//! cooperatively. Cancelled jobs still return their partial programs but
+//! are never cached (their graphs are wall-clock-truncated, not the
+//! deterministic product of the config).
+//!
 //! Parallel and sequential execution share one per-job code path
 //! ([`BatchEngine::run`] vs [`BatchEngine::run_sequential`]), so the
-//! batch output is byte-identical to a plain loop over
-//! [`szalinski::try_synthesize`] — verified by the crate's determinism
-//! tests.
+//! batch output is byte-identical to a plain sequential loop — verified
+//! by the crate's determinism tests.
 
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sz_cad::Cad;
 use szalinski::{
-    resume_synthesize, try_synthesize, try_synthesize_with_snapshot, RuleStat, SynthConfig,
-    SynthError, SynthSnapshot, Synthesis, TableRow,
+    CancelToken, RuleStat, RunOptions, StopReason, SynthConfig, SynthError, SynthSnapshot,
+    Synthesis, Synthesizer, TableRow,
 };
 
 use crate::cache::{CachedRun, JobKey, ResultCache, SnapshotKey};
@@ -83,6 +102,11 @@ pub struct JobOutcome {
     /// marks jobs that *cooperatively* ran out of time; their programs
     /// are still valid, just less saturated).
     pub hit_deadline: bool,
+    /// Why this job's saturation stopped — including
+    /// [`StopReason::Cancelled`] for deadline/cancel-token stops. `None`
+    /// for cache hits, snapshot resumes (no saturation ran), rejections,
+    /// and panics.
+    pub stop_reason: Option<StopReason>,
     /// Wall-clock time of this job (lookup time for cache hits).
     pub time: Duration,
     /// Saturation iterations spent (0 for cache hits).
@@ -101,6 +125,12 @@ impl JobOutcome {
     /// The best program's s-expression, if any.
     pub fn best(&self) -> Option<&str> {
         self.programs.first().map(|(_, s)| s.as_str())
+    }
+
+    /// Whether this job's saturation was stopped by a deadline or cancel
+    /// token (the result is still well-formed, just less saturated).
+    pub fn cancelled(&self) -> bool {
+        self.stop_reason == Some(StopReason::Cancelled)
     }
 
     /// Total e-matching (search) time across this job's rules.
@@ -163,6 +193,12 @@ impl BatchReport {
     /// extraction re-run).
     pub fn snapshot_hits(&self) -> usize {
         self.outcomes.iter().filter(|o| o.snapshot_hit).count()
+    }
+
+    /// Jobs whose saturation was cut short by a deadline or cancel
+    /// token ([`StopReason::Cancelled`]).
+    pub fn cancelled_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.cancelled()).count()
     }
 
     /// Snapshot-tier hit rate in `[0, 1]` (0 on an empty batch).
@@ -238,16 +274,20 @@ impl BatchReport {
 pub struct BatchEngine {
     workers: usize,
     deadline: Option<Duration>,
+    batch_deadline: Option<Duration>,
+    cancel: Option<CancelToken>,
     cache: Option<Arc<Mutex<ResultCache>>>,
 }
 
 impl BatchEngine {
     /// Engine with default settings: one worker per available core, no
-    /// deadline, no cache.
+    /// deadlines, no cancel token, no cache.
     pub fn new() -> Self {
         BatchEngine {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             deadline: None,
+            batch_deadline: None,
+            cancel: None,
             cache: None,
         }
     }
@@ -259,10 +299,31 @@ impl BatchEngine {
     }
 
     /// Sets a per-job wall-clock deadline. Saturation time limits are
-    /// clamped to it, so jobs end cooperatively; outcomes whose wall
-    /// clock still exceeded it are flagged [`JobOutcome::hit_deadline`].
+    /// clamped to it (the clamp participates in cache keys), and the
+    /// deadline is also enforced cooperatively at iteration boundaries:
+    /// a job that exceeds it stops with [`StopReason::Cancelled`] and
+    /// returns its partial result. Outcomes whose wall clock exceeded
+    /// the deadline are flagged [`JobOutcome::hit_deadline`].
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a wall-clock deadline for the **whole batch**, measured from
+    /// the start of [`BatchEngine::run`]. Jobs starting after (or
+    /// running past) it are cancelled cooperatively — every job still
+    /// produces a well-formed outcome, most with
+    /// [`StopReason::Cancelled`] and barely-saturated programs.
+    pub fn with_batch_deadline(mut self, deadline: Duration) -> Self {
+        self.batch_deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a shared [`CancelToken`]: triggering it (e.g. from a
+    /// signal handler) stops every in-flight and queued job at its next
+    /// iteration boundary.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -277,13 +338,17 @@ impl BatchEngine {
     pub fn run(&self, jobs: Vec<BatchJob>) -> BatchReport {
         let start = Instant::now();
         let deadline = self.deadline;
+        let batch_end = self.batch_deadline.map(|d| start + d);
+        let cancel = &self.cancel;
         let cache = &self.cache;
         // Keep the names outside the pool so a panicked job's outcome
         // still says which job it was.
         let names: Vec<String> = jobs.iter().map(|j| j.name.clone()).collect();
         let tasks: Vec<_> = jobs
             .into_iter()
-            .map(|job| move || execute_job(job, cache.as_ref(), deadline))
+            .map(|job| {
+                move || execute_job(job, cache.as_ref(), deadline, batch_end, cancel.as_ref())
+            })
             .collect();
         let outcomes = run_tasks(tasks, self.workers)
             .into_iter()
@@ -296,6 +361,7 @@ impl BatchEngine {
                     cached: false,
                     snapshot_hit: false,
                     hit_deadline: false,
+                    stop_reason: None,
                     time: Duration::ZERO,
                     iterations: 0,
                     programs: Vec::new(),
@@ -316,9 +382,18 @@ impl BatchEngine {
     /// per-job code path is identical to [`BatchEngine::run`].
     pub fn run_sequential(&self, jobs: Vec<BatchJob>) -> BatchReport {
         let start = Instant::now();
+        let batch_end = self.batch_deadline.map(|d| start + d);
         let outcomes = jobs
             .into_iter()
-            .map(|job| execute_job(job, self.cache.as_ref(), self.deadline))
+            .map(|job| {
+                execute_job(
+                    job,
+                    self.cache.as_ref(),
+                    self.deadline,
+                    batch_end,
+                    self.cancel.as_ref(),
+                )
+            })
             .collect();
         BatchReport {
             outcomes,
@@ -329,12 +404,15 @@ impl BatchEngine {
 }
 
 /// The single per-job code path shared by parallel and sequential runs:
-/// program-tier lookup, then snapshot-tier resume, then a cold run
-/// (capturing a snapshot when the tier has a budget).
+/// program-tier lookup, then one [`Synthesizer::run`] that consults the
+/// snapshot tier (resume), runs cold otherwise, and captures a snapshot
+/// when the tier has a budget.
 fn execute_job(
     job: BatchJob,
     cache: Option<&Arc<Mutex<ResultCache>>>,
     deadline: Option<Duration>,
+    batch_end: Option<Instant>,
+    cancel: Option<&CancelToken>,
 ) -> JobOutcome {
     let start = Instant::now();
     let mut config = job.config.clone();
@@ -352,44 +430,69 @@ fn execute_job(
         if let Some(run) = hit {
             return outcome_from_cache(&job, run, start.elapsed());
         }
-        // Snapshot tier: restore the saturated e-graph and re-run only
-        // extraction. A stale, corrupt, or mismatched snapshot falls
-        // through to a cold run — the tier can slow a job down but never
-        // fail it.
+    }
+
+    // Everything else is one session run. The per-job and whole-batch
+    // deadlines combine into the tighter bound; the rule set behind the
+    // session is the process-wide compiled cache, so per-job session
+    // construction costs an Arc clone, not a recompilation.
+    let run_deadline = match (
+        deadline,
+        batch_end.map(|e| e.saturating_duration_since(start)),
+    ) {
+        (Some(job_d), Some(batch_d)) => Some(job_d.min(batch_d)),
+        (d, b) => d.or(b),
+    };
+    let capture = cache.is_some_and(|c| c.lock().unwrap().snapshot_budget() > 0);
+    let mut opts = RunOptions::new().capture_snapshot(capture);
+    if let Some(d) = run_deadline {
+        opts = opts.with_deadline(d);
+    }
+    if let Some(token) = cancel {
+        opts = opts.with_cancel_token(token.clone());
+    }
+    if let Some(cache) = cache {
+        // Snapshot tier: offer a stored snapshot to the session, which
+        // resumes from it if compatible. A stale, corrupt, or mismatched
+        // snapshot degrades to a cold run — the tier can slow a job down
+        // but never fail it.
         let skey = SnapshotKey::of(&job.input, &config);
         let text = cache.lock().unwrap().get_snapshot(skey).map(str::to_owned);
         if let Some(text) = text {
             if let Ok(snapshot) = text.parse::<SynthSnapshot>() {
-                if let Ok(result) = resume_synthesize(&job.input, &config, &snapshot) {
-                    if !result.top_k.is_empty() {
-                        cache.lock().unwrap().insert(key, cached_run_of(&result));
-                        return outcome_from_result(job.name, result, start, deadline, true);
-                    }
-                }
+                opts = opts.with_snapshot(snapshot);
             }
         }
     }
 
-    // Cold run; capture a snapshot only when the cache grants the
-    // snapshot tier a byte budget (capture serializes the whole e-graph,
-    // which is not free).
-    let capture = cache.is_some_and(|c| c.lock().unwrap().snapshot_budget() > 0);
-    let synth = if capture {
-        try_synthesize_with_snapshot(&job.input, &config).map(|(r, s)| (r, Some(s)))
-    } else {
-        try_synthesize(&job.input, &config).map(|r| (r, None))
-    };
-    match synth {
-        Ok((result, snapshot)) => {
-            if let (Some(cache), Some(key)) = (cache, key) {
-                let mut cache = cache.lock().unwrap();
-                cache.insert(key, cached_run_of(&result));
-                if let Some(snapshot) = snapshot {
-                    let skey = SnapshotKey::of(&job.input, &config);
-                    cache.insert_snapshot(skey, snapshot.to_string());
+    match Synthesizer::new(config.clone()).run(&job.input, opts) {
+        Ok(mut result) => {
+            let snapshot_hit = result.mode.is_resumed();
+            // Cancelled runs are wall-clock-truncated, not the
+            // deterministic product of the config: never cache them.
+            if !result.cancelled() {
+                if let (Some(cache), Some(key)) = (cache, key) {
+                    let mut cache = cache.lock().unwrap();
+                    cache.insert(key, cached_run_of(&result));
+                    // An *extraction* resume's snapshot is already in the
+                    // tier under this exact key; re-inserting would only
+                    // churn bytes. Cold runs and partial-saturation
+                    // resumes both produce a snapshot the tier lacks for
+                    // this config. The sat-phase section is stripped
+                    // before storing: tier lookups key on exact
+                    // saturation fingerprints, so the tier only ever
+                    // serves extraction-only resumes and the section
+                    // would double every entry's cost against the byte
+                    // budget for nothing.
+                    if result.mode != szalinski::RunMode::ResumedExtraction {
+                        if let Some(snapshot) = result.snapshot.take() {
+                            let skey = SnapshotKey::of(&job.input, &config);
+                            cache.insert_snapshot(skey, snapshot.without_sat_phase().to_string());
+                        }
+                    }
                 }
             }
-            outcome_from_result(job.name, result, start, deadline, false)
+            outcome_from_result(job.name, result, start, deadline, snapshot_hit)
         }
         Err(e) => JobOutcome {
             name: job.name,
@@ -397,6 +500,7 @@ fn execute_job(
             cached: false,
             snapshot_hit: false,
             hit_deadline: false,
+            stop_reason: None,
             time: start.elapsed(),
             iterations: 0,
             programs: Vec::new(),
@@ -439,6 +543,7 @@ fn outcome_from_result(
         cached: false,
         snapshot_hit,
         hit_deadline: deadline.is_some_and(|d| time > d),
+        stop_reason: result.stop_reason,
         time,
         iterations: result.iterations,
         rule_stats: result.rule_stats,
@@ -470,6 +575,8 @@ fn outcome_from_cache(job: &BatchJob, run: CachedRun, lookup: Duration) -> JobOu
         stop_reason: None,
         iterations: 0,
         rule_stats: Vec::new(),
+        mode: szalinski::RunMode::Cold,
+        snapshot: None,
     };
     let row = shell
         .try_best()
@@ -481,6 +588,7 @@ fn outcome_from_cache(job: &BatchJob, run: CachedRun, lookup: Duration) -> JobOu
         cached: true,
         snapshot_hit: false,
         hit_deadline: false,
+        stop_reason: None,
         time: lookup,
         iterations: 0,
         programs,
@@ -584,5 +692,103 @@ mod tests {
         assert!(report.throughput() > 0.0);
         assert!(report.mean_size_reduction() > 0.0);
         assert!(report.structure_fraction() > 0.5);
+    }
+
+    #[test]
+    fn fresh_jobs_record_their_stop_reason() {
+        let report = BatchEngine::new().run_sequential(jobs());
+        for outcome in &report.outcomes {
+            assert!(
+                outcome.stop_reason.is_some(),
+                "{}: fresh runs saturate and must say why they stopped",
+                outcome.name
+            );
+            assert!(!outcome.cancelled(), "{}", outcome.name);
+        }
+        assert_eq!(report.cancelled_count(), 0);
+    }
+
+    #[test]
+    fn cancel_token_stops_the_batch_gracefully() {
+        let token = szalinski::CancelToken::new();
+        token.cancel();
+        let cache = Arc::new(Mutex::new(ResultCache::new()));
+        let report = BatchEngine::new()
+            .with_workers(2)
+            .with_cancel_token(token)
+            .with_cache(Arc::clone(&cache))
+            .run(jobs());
+        // Every job completes (the input itself is extractable), every
+        // job reports Cancelled, and nothing enters the cache.
+        assert_eq!(report.ok_count(), 4);
+        assert_eq!(report.cancelled_count(), 4);
+        for outcome in &report.outcomes {
+            assert_eq!(outcome.stop_reason, Some(StopReason::Cancelled));
+            assert_eq!(outcome.iterations, 0);
+            assert!(!outcome.programs.is_empty());
+        }
+        assert_eq!(
+            cache.lock().unwrap().len(),
+            0,
+            "cancelled results must never be cached"
+        );
+    }
+
+    #[test]
+    fn expired_batch_deadline_cancels_remaining_jobs() {
+        let report = BatchEngine::new()
+            .with_batch_deadline(Duration::ZERO)
+            .run_sequential(jobs());
+        assert_eq!(report.ok_count(), 4);
+        assert_eq!(report.cancelled_count(), 4);
+    }
+
+    #[test]
+    fn tier_snapshots_are_stored_without_sat_phase() {
+        let cache = Arc::new(Mutex::new(
+            ResultCache::new().with_snapshot_budget(64 << 20),
+        ));
+        let engine = BatchEngine::new().with_cache(Arc::clone(&cache));
+        engine.run_sequential(jobs());
+        let cache = cache.lock().unwrap();
+        assert!(cache.snapshot_count() > 0);
+        for (_, text) in cache.snapshots() {
+            let snapshot: SynthSnapshot = text.parse().unwrap();
+            assert!(
+                snapshot.sat_phase().is_none(),
+                "the exact-keyed tier only serves extraction resumes; \
+                 storing the sat phase would double every entry's bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_resumes_report_mode_via_snapshot_hit() {
+        let cache = Arc::new(Mutex::new(
+            ResultCache::new().with_snapshot_budget(64 << 20),
+        ));
+        let engine = BatchEngine::new().with_cache(Arc::clone(&cache));
+        let cold = engine.run_sequential(jobs());
+        assert_eq!(cold.snapshot_hits(), 0);
+
+        // A cost-only change misses the program tier but resumes from
+        // the snapshot tier; resumed jobs carry no stop reason (no
+        // saturation ran).
+        let reward: Vec<BatchJob> = (3..7)
+            .map(|n| {
+                BatchJob::new(
+                    format!("row{n}"),
+                    row(n),
+                    quick().with_cost(szalinski::CostKind::RewardLoops),
+                )
+            })
+            .collect();
+        let resumed = engine.run_sequential(reward);
+        assert_eq!(resumed.snapshot_hits(), 4);
+        for outcome in &resumed.outcomes {
+            assert!(outcome.snapshot_hit);
+            assert_eq!(outcome.iterations, 0);
+            assert_eq!(outcome.stop_reason, None);
+        }
     }
 }

@@ -1,10 +1,9 @@
 //! # sz-batch: corpus-scale parallel batch synthesis
 //!
 //! The paper's evaluation runs the synthesizer over a *corpus* — 16
-//! curated models plus 2,127 Thingiverse programs — while
-//! [`szalinski::synthesize`] drives exactly one input. This crate is
-//! the corpus engine layered on the panic-free
-//! [`szalinski::try_synthesize`] entry point:
+//! curated models plus 2,127 Thingiverse programs — while one
+//! [`szalinski::Synthesizer`] run drives exactly one input. This crate
+//! is the corpus engine layered on the panic-free session API:
 //!
 //! * [`pool`] — a work-stealing thread pool over `std` threads with
 //!   per-task panic isolation;
@@ -21,10 +20,12 @@
 //!   directory of `.snap` files ([`load_snapshot_dir`] /
 //!   [`save_snapshot_dir`]);
 //! * [`engine`] — [`BatchEngine`]: fans [`BatchJob`]s across the pool
-//!   under per-job wall-clock deadlines, consults both cache tiers
-//!   (program hit → no work; snapshot hit →
-//!   [`szalinski::resume_synthesize`], zero saturation iterations), and
-//!   aggregates a [`BatchReport`];
+//!   under per-job and whole-batch wall-clock deadlines plus a shared
+//!   [`szalinski::CancelToken`] (cooperative stops surface as
+//!   [`szalinski::StopReason::Cancelled`] in
+//!   [`JobOutcome::stop_reason`]), consults both cache tiers (program
+//!   hit → no work; snapshot hit → the session resumes extraction with
+//!   zero saturation iterations), and aggregates a [`BatchReport`];
 //! * [`report`] — the JSON-lines sink feeding `BENCH_batch.json`; job
 //!   records carry the e-matching profile of the saturation they ran
 //!   (`search_time_s`/`apply_time_s` totals plus a per-rule `rules[]`
@@ -82,4 +83,4 @@ pub use cache::{
 pub use corpus::{dir_jobs, sanitize_name, suite16_jobs, CorpusSkip};
 pub use engine::{BatchEngine, BatchJob, BatchReport, JobOutcome, JobStatus};
 pub use pool::{run_tasks, TaskPanic};
-pub use report::{job_record, json_string, summary_record, write_report};
+pub use report::{job_record, json_string, stop_reason_tag, summary_record, write_report};

@@ -5,7 +5,21 @@
 
 use std::io::{self, Write};
 
+use szalinski::StopReason;
+
 use crate::engine::{BatchReport, JobOutcome, JobStatus};
+
+/// Short machine-readable tag for a [`StopReason`], used in JSONL
+/// records (`stop_reason` field) and the `szb` summary.
+pub fn stop_reason_tag(reason: &StopReason) -> &'static str {
+    match reason {
+        StopReason::Saturated => "saturated",
+        StopReason::IterationLimit(_) => "iteration_limit",
+        StopReason::NodeLimit(_) => "node_limit",
+        StopReason::TimeLimit(_) => "time_limit",
+        StopReason::Cancelled => "cancelled",
+    }
+}
 
 /// Escapes `s` as a JSON string literal (with quotes).
 pub fn json_string(s: &str) -> String {
@@ -50,6 +64,12 @@ pub fn job_record(o: &JobOutcome) -> String {
         ("cached".to_owned(), o.cached.to_string()),
         ("snapshot_hit".to_owned(), o.snapshot_hit.to_string()),
         ("hit_deadline".to_owned(), o.hit_deadline.to_string()),
+        (
+            "stop_reason".to_owned(),
+            o.stop_reason
+                .as_ref()
+                .map_or("null".to_owned(), |r| json_string(stop_reason_tag(r))),
+        ),
         ("time_s".to_owned(), json_f64(o.time.as_secs_f64())),
         ("iterations".to_owned(), o.iterations.to_string()),
         ("programs".to_owned(), o.programs.len().to_string()),
@@ -125,6 +145,7 @@ pub fn summary_record(report: &BatchReport) -> String {
             "snapshot_hit_rate".to_owned(),
             json_f64(report.snapshot_hit_rate()),
         ),
+        ("cancelled".to_owned(), report.cancelled_count().to_string()),
         (
             "wall_time_s".to_owned(),
             json_f64(report.wall_time.as_secs_f64()),
@@ -178,6 +199,7 @@ mod tests {
             cached,
             snapshot_hit: false,
             hit_deadline: false,
+            stop_reason: (!cached).then_some(StopReason::Saturated),
             time: Duration::from_millis(250),
             iterations: if cached { 0 } else { 7 },
             programs: vec![(3, "(Repeat Unit 3)".to_owned())],
@@ -225,6 +247,25 @@ mod tests {
         assert!(rec.contains(r#""cached":false"#));
         assert!(rec.contains(r#""iterations":7"#));
         assert!(rec.contains(r#""best":"(Repeat Unit 3)""#));
+        assert!(rec.contains(r#""stop_reason":"saturated""#));
+        // Cache hits ran no saturation: stop_reason is null.
+        let cached = job_record(&outcome("warm", true));
+        assert!(cached.contains(r#""stop_reason":null"#));
+    }
+
+    #[test]
+    fn cancelled_jobs_are_tagged_and_counted() {
+        let mut o = outcome("slow", false);
+        o.stop_reason = Some(StopReason::Cancelled);
+        let rec = job_record(&o);
+        assert!(rec.contains(r#""stop_reason":"cancelled""#));
+        let report = BatchReport {
+            outcomes: vec![o, outcome("fast", false)],
+            wall_time: Duration::from_secs(1),
+            workers: 1,
+        };
+        let summary = summary_record(&report);
+        assert!(summary.contains(r#""cancelled":1"#), "{summary}");
     }
 
     #[test]

@@ -5,10 +5,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use sz_models::{add_noise, gear, row_of_cubes};
-use szalinski::{synthesize, SynthConfig};
+use szalinski::{RunOptions, SynthConfig, Synthesizer};
 
 fn config() -> SynthConfig {
     SynthConfig::new().with_iter_limit(40).with_node_limit(60_000)
+}
+
+fn session() -> Synthesizer {
+    Synthesizer::new(config())
 }
 
 fn bench_noise_sweep(c: &mut Criterion) {
@@ -17,7 +21,7 @@ fn bench_noise_sweep(c: &mut Criterion) {
     let clean = row_of_cubes(8, 2.0);
     for amp in [0.0, 1e-4, 5e-4, 2e-3, 1e-2] {
         let noisy = add_noise(&clean, amp, 11);
-        let found = synthesize(&noisy, &config()).structured().is_some();
+        let found = session().run(&noisy, RunOptions::new()).unwrap().structured().is_some();
         println!("noise amplitude {amp:>7}: structure recovered = {found}");
     }
 
@@ -25,8 +29,9 @@ fn bench_noise_sweep(c: &mut Criterion) {
     group.sample_size(10);
     for amp in [0.0f64, 5e-4] {
         let noisy = add_noise(&clean, amp, 11);
+        let session = session();
         group.bench_function(format!("amp_{amp}"), |b| {
-            b.iter(|| black_box(synthesize(&noisy, &config())))
+            b.iter(|| black_box(session.run(&noisy, RunOptions::new()).unwrap()))
         });
     }
     group.finish();
@@ -36,8 +41,9 @@ fn bench_noisy_gear(c: &mut Criterion) {
     let noisy = add_noise(&gear(12), 4e-4, 3);
     let mut group = c.benchmark_group("noise/gear12");
     group.sample_size(10);
+    let session = session();
     group.bench_function("noisy", |b| {
-        b.iter(|| black_box(synthesize(&noisy, &config())))
+        b.iter(|| black_box(session.run(&noisy, RunOptions::new()).unwrap()))
     });
     group.finish();
 }

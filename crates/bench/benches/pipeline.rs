@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use sz_egraph::Runner;
 use szalinski::{
-    cad_to_lang, infer_functions, list_manipulation, rules, synthesize, CadAnalysis, CostKind,
-    SynthConfig,
+    cad_to_lang, infer_functions, list_manipulation, rules, CadAnalysis, CostKind, RunOptions,
+    SynthConfig, Synthesizer,
 };
 
 fn bench_structural_rules_ablation(c: &mut Criterion) {
@@ -18,8 +18,9 @@ fn bench_structural_rules_ablation(c: &mut Criterion) {
             .with_iter_limit(25)
             .with_node_limit(60_000)
             .with_structural_rules(on);
+        let session = Synthesizer::new(cfg);
         group.bench_function(if on { "on" } else { "off" }, |b| {
-            b.iter(|| black_box(synthesize(&flat, &cfg)))
+            b.iter(|| black_box(session.run(&flat, RunOptions::new()).unwrap()))
         });
     }
     group.finish();
@@ -34,8 +35,9 @@ fn bench_fuel(c: &mut Criterion) {
             .with_iter_limit(40)
             .with_node_limit(60_000)
             .with_main_loop_fuel(fuel);
+        let session = Synthesizer::new(cfg);
         group.bench_function(format!("fuel_{fuel}"), |b| {
-            b.iter(|| black_box(synthesize(&flat, &cfg)))
+            b.iter(|| black_box(session.run(&flat, RunOptions::new()).unwrap()))
         });
     }
     group.finish();
@@ -51,7 +53,10 @@ fn bench_cost_functions(c: &mut Criterion) {
             .with_iter_limit(40)
             .with_node_limit(60_000)
             .with_cost(cost);
-        group.bench_function(name, |b| b.iter(|| black_box(synthesize(&flat, &cfg))));
+        let session = Synthesizer::new(cfg);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(session.run(&flat, RunOptions::new()).unwrap()))
+        });
     }
     group.finish();
 }

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use sz_bench::table1_config;
-use szalinski::synthesize;
+use szalinski::{RunOptions, Synthesizer};
 
 fn bench_models(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_time");
@@ -23,8 +23,9 @@ fn bench_models(c: &mut Criterion) {
             .into_iter()
             .find(|m| m.name == name)
             .expect("model exists");
+        let session = Synthesizer::new(table1_config());
         group.bench_function(name, |b| {
-            b.iter(|| black_box(synthesize(&model.flat, &table1_config())))
+            b.iter(|| black_box(session.run(&model.flat, RunOptions::new()).unwrap()))
         });
     }
     group.finish();
@@ -37,8 +38,9 @@ fn bench_gear_scaling(c: &mut Criterion) {
     group.sample_size(10);
     for n in [6usize, 12, 24] {
         let flat = sz_models::gear(n);
+        let session = Synthesizer::new(sz_bench::quick_config());
         group.bench_function(format!("gear_{n}"), |b| {
-            b.iter(|| black_box(synthesize(&flat, &sz_bench::quick_config())))
+            b.iter(|| black_box(session.run(&flat, RunOptions::new()).unwrap()))
         });
     }
     group.finish();

@@ -85,6 +85,12 @@ fn main() -> ExitCode {
         eprintln!("ematch: only {}/{n_jobs} jobs succeeded", report.ok_count());
         return ExitCode::FAILURE;
     }
+    // Rule-compilation reuse gate: the Synthesizer sessions behind the
+    // batch engine share one process-wide compiled rule set, so pattern
+    // compiles must be bounded by the rule-set size — not scale with the
+    // 16 jobs. (Under `naive-ematch` nothing compiles; 0 passes too.)
+    let pattern_compiles = sz_egraph::compile_count();
+    let rule_count = szalinski::rules().len() + szalinski::all_rules().len();
 
     // Aggregate per-rule stats across jobs. BTreeMap keeps the output
     // deterministic (sorted by rule name).
@@ -104,12 +110,20 @@ fn main() -> ExitCode {
     let apply_total: f64 = totals.values().map(|s| s.apply_time.as_secs_f64()).sum();
 
     println!(
-        "ematch: {} rules over {n_jobs} models | search {:.3}s, apply {:.3}s, wall {:.3}s",
+        "ematch: {} rules over {n_jobs} models | search {:.3}s, apply {:.3}s, wall {:.3}s | {} pattern compiles",
         totals.len(),
         search_total,
         apply_total,
         report.wall_time.as_secs_f64(),
+        pattern_compiles,
     );
+    if pattern_compiles > rule_count {
+        eprintln!(
+            "ematch: {pattern_compiles} pattern compiles for {n_jobs} jobs (rule sets total \
+             {rule_count} rules): the Synthesizer's compiled-rule cache is not being reused"
+        );
+        return ExitCode::FAILURE;
+    }
     let mut by_time: Vec<&RuleStat> = totals.values().collect();
     by_time.sort_by_key(|s| std::cmp::Reverse(s.search_time));
     for stat in by_time.iter().take(5) {
@@ -136,12 +150,13 @@ fn main() -> ExitCode {
             ));
         }
         lines.push_str(&format!(
-            "{{\"type\":\"summary\",\"jobs\":{},\"rules\":{},\"search_time_s\":{},\"apply_time_s\":{},\"wall_time_s\":{}}}\n",
+            "{{\"type\":\"summary\",\"jobs\":{},\"rules\":{},\"search_time_s\":{},\"apply_time_s\":{},\"wall_time_s\":{},\"pattern_compiles\":{}}}\n",
             n_jobs,
             totals.len(),
             json_f64(search_total),
             json_f64(apply_total),
             json_f64(report.wall_time.as_secs_f64()),
+            pattern_compiles,
         ));
         if let Err(e) = std::fs::write(path, lines) {
             eprintln!("ematch: cannot write {}: {e}", path.display());

@@ -11,7 +11,17 @@ use sz_models::{
     dice_six_face, gear, grid_2x2, hexcell_plate, nested_affine_cubes, noisy_hexagons,
     row_of_cubes,
 };
-use szalinski::{synthesize, SynthConfig};
+use szalinski::{RunOptions, SynthConfig, Synthesis, Synthesizer};
+
+/// One shared default-config session: the compiled rule set is reused
+/// across every figure instead of being rebuilt per call.
+fn synth(flat: &sz_cad::Cad) -> Synthesis {
+    static SESSION: std::sync::OnceLock<Synthesizer> = std::sync::OnceLock::new();
+    SESSION
+        .get_or_init(|| Synthesizer::new(SynthConfig::new()))
+        .run(flat, RunOptions::new())
+        .expect("figure inputs are flat CSG")
+}
 
 fn banner(name: &str, what: &str) {
     println!();
@@ -24,7 +34,7 @@ fn fig1() {
     let mesh = compile_mesh(&flat.eval_to_flat().unwrap(), &MeshQuality::default()).unwrap();
     let stl_lines = to_ascii_stl(&mesh, "gear").lines().count();
     let csg_lines = flat.pretty_lines();
-    let result = synthesize(&flat, &SynthConfig::new());
+    let result = synth(&flat);
     let (rank, prog) = result.structured().expect("gear has structure");
     println!("  STL mesh:        {stl_lines} lines (paper: ~8000)");
     println!("  flat CSG:        {csg_lines} lines (paper: ~300)");
@@ -37,7 +47,7 @@ fn fig1() {
 fn fig2() {
     banner("Figure 2", "workflow on 5 translated cubes");
     let flat = row_of_cubes(5, 2.0);
-    let result = synthesize(&flat, &SynthConfig::new());
+    let result = synth(&flat);
     let (_, prog) = result.structured().expect("row has structure");
     println!("  input:  {}", flat);
     println!("  output: {}", prog.cad);
@@ -45,7 +55,7 @@ fn fig2() {
 
 fn fig4() {
     banner("Figure 4", "the gear's folded program");
-    let result = synthesize(&gear(60), &SynthConfig::new());
+    let result = synth(&gear(60));
     let (rank, prog) = result.structured().expect("gear has structure");
     println!("  rank {rank}, {} nodes (input 621):", prog.cad.num_nodes());
     println!("{}", prog.cad.to_pretty(72));
@@ -54,14 +64,14 @@ fn fig4() {
 fn fig10() {
     banner("Figure 10", "nested affine transformations -> nested Mapi");
     let flat = nested_affine_cubes(5);
-    let result = synthesize(&flat, &SynthConfig::new());
+    let result = synth(&flat);
     let (_, prog) = result.structured().expect("nested affine has structure");
     println!("{}", prog.cad.to_pretty(72));
 }
 
 fn fig14() {
     banner("Figure 14", "2x2 grid -> doubly nested loop");
-    let result = synthesize(&grid_2x2(), &SynthConfig::new());
+    let result = synth(&grid_2x2());
     let (_, prog) = result.structured().expect("grid has structure");
     println!("  {}", prog.cad);
 }
@@ -73,10 +83,9 @@ fn fig16() {
     // Under plain AST size a 2-element loop does not pay for itself in
     // our node counting; the reward-loops cost exposes it, cleaning the
     // noisy 1.4999996667 components to 1.5 on the way (paper §6.4).
-    let result = synthesize(
-        &flat,
-        &SynthConfig::new().with_cost(szalinski::CostKind::RewardLoops),
-    );
+    let result = Synthesizer::new(SynthConfig::new().with_cost(szalinski::CostKind::RewardLoops))
+        .run(&flat, RunOptions::new())
+        .expect("noisy hexagons are flat CSG");
     match result.structured() {
         Some((rank, prog)) => {
             println!(
@@ -96,14 +105,16 @@ fn fig16() {
 
 fn fig17() {
     banner("Figure 17", "the die's six-face -> 2x3 nested loop");
-    let result = synthesize(&dice_six_face(), &SynthConfig::new());
+    let result = synth(&dice_six_face());
     let (_, prog) = result.structured().expect("six-face has structure");
     println!("{}", prog.cad.to_pretty(72));
 }
 
 fn fig18_19() {
     banner("Figures 18/19", "hex-cell generator: loop AND trig variants in the top-k");
-    let result = synthesize(&hexcell_plate(), &SynthConfig::new().with_k(24));
+    let result = Synthesizer::new(SynthConfig::new().with_k(24))
+        .run(&hexcell_plate(), RunOptions::new())
+        .expect("hexcell plate is flat CSG");
     for (i, p) in result.top_k.iter().enumerate() {
         let s = p.cad.to_string();
         let tag = if s.contains("Sin") {

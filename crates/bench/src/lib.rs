@@ -25,7 +25,7 @@ use std::time::Duration;
 
 use sz_batch::BatchEngine;
 use sz_models::Model;
-use szalinski::{synthesize, CostKind, SynthConfig, Synthesis, TableRow};
+use szalinski::{CostKind, RunOptions, SynthConfig, Synthesis, Synthesizer, TableRow};
 
 /// The synthesis configuration used for Table 1 (k = 5, ε = 10⁻³, like
 /// the paper).
@@ -38,7 +38,9 @@ pub fn table1_config() -> SynthConfig {
 
 /// Runs one model and produces its Table-1 row.
 pub fn run_model(model: &Model, config: &SynthConfig) -> (TableRow, Synthesis) {
-    let result = synthesize(&model.flat, config);
+    let result = Synthesizer::new(config.clone())
+        .run(&model.flat, RunOptions::new())
+        .expect("benchmark models are flat CSG");
     let row = result.table_row(model.name);
     (row, result)
 }

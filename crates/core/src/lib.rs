@@ -52,6 +52,7 @@ pub mod loopinfer;
 pub mod pipeline;
 pub mod report;
 pub mod rules;
+pub mod session;
 
 pub use analysis::{add_vec, num_of, vec_of, CadAnalysis, CadData, CadGraph};
 pub use cost::{CadCost, CostKind};
@@ -61,11 +62,15 @@ pub use lang::{cad_to_lang, lang_to_cad, lang_to_cad_at, CadLang, FromLangError}
 pub use listmanip::list_manipulation;
 pub use lists::{add_cons_list, add_expr_tree, fold_sites, read_list, FoldSite};
 pub use loopinfer::{factorizations, index_sets, infer_loops};
+#[allow(deprecated)]
 pub use pipeline::{
     resume_synthesize, synthesize, synthesize_with_snapshot, try_synthesize,
-    try_synthesize_with_snapshot, ResumeError, SynthConfig, SynthError, SynthProgram,
-    SynthSnapshot, Synthesis,
+    try_synthesize_with_snapshot,
+};
+pub use pipeline::{
+    ResumeError, SatPhase, SynthConfig, SynthError, SynthProgram, SynthSnapshot, Synthesis,
 };
 pub use report::{fit_tags, has_structure, loop_tags, TableRow};
 pub use rules::{all_rules, rules, structural_rules, CadRewrite};
-pub use sz_egraph::RuleStat;
+pub use session::{RunLimits, RunMode, RunOptions, Synthesizer};
+pub use sz_egraph::{CancelToken, ProgressObserver, RuleStat, StopReason};

@@ -1,23 +1,20 @@
-//! The Szalinski main loop (paper Fig. 5): equality saturation →
-//! determinization → list manipulation → function/loop inference →
-//! top-k extraction.
+//! The Szalinski pipeline types (paper Fig. 5): configuration, results,
+//! snapshots, and errors, plus the deprecated free-function entry points
+//! now implemented as thin wrappers over the session-based
+//! [`Synthesizer`](crate::Synthesizer) (see [`crate::session`] for the
+//! main loop itself).
 
 use std::fmt;
 use std::time::{Duration, Instant};
 
 use sz_cad::Cad;
-use sz_egraph::{
-    Id, KBestExtractor, RuleStat, Runner, Scheduler, Snapshot, SnapshotParseError, StopReason,
-};
+use sz_egraph::{Id, KBestExtractor, RuleStat, Snapshot, SnapshotParseError, StopReason};
 
 use crate::analysis::{CadAnalysis, CadGraph};
 use crate::cost::{CadCost, CostKind};
-use crate::funcinfer::{infer_functions, InferenceRecord};
-use crate::lang::{cad_to_lang, lang_to_cad};
-use crate::listmanip::list_manipulation;
-use crate::loopinfer::infer_loops;
+use crate::funcinfer::InferenceRecord;
+use crate::lang::lang_to_cad;
 use crate::report::{fit_tags, has_structure, loop_tags, TableRow};
-use crate::rules::{all_rules, rules};
 
 /// Configuration ("fuel") for one synthesis run.
 #[derive(Debug, Clone)]
@@ -157,6 +154,29 @@ impl SynthConfig {
             self.backoff,
         )
     }
+
+    /// The saturation fingerprint **modulo fuel limits**: every field of
+    /// [`SynthConfig::saturation_fingerprint`] except `iter`/`nodes`/
+    /// `time_ms`.
+    ///
+    /// Two configs with equal core fingerprints explore the *same
+    /// saturation trajectory* — they differ only in where along it they
+    /// stop. That is what makes **partial-saturation resume** sound: a
+    /// snapshot taken under lower fuel limits sits on the trajectory of
+    /// any higher-fuel run with the same core, so
+    /// [`Synthesizer::run`](crate::Synthesizer::run) can continue
+    /// saturating from it instead of starting cold (see
+    /// [`SynthSnapshot::supports_partial_resume`]).
+    pub fn saturation_core_fingerprint(&self) -> String {
+        format!(
+            "snapv{};eps={:e};fuel={};structural={};backoff={}",
+            sz_egraph::SNAPSHOT_FORMAT_VERSION,
+            self.eps,
+            self.main_loop_fuel,
+            self.structural_rules,
+            self.backoff,
+        )
+    }
 }
 
 /// Why [`try_synthesize`] rejected a run (the panic-free entry point
@@ -218,6 +238,13 @@ pub struct Synthesis {
     /// time, and backoff bans (see [`RuleStat`]). Empty for runs that
     /// skipped saturation (snapshot resumes).
     pub rule_stats: Vec<RuleStat>,
+    /// How the run executed: cold, extraction-only resume, or
+    /// partial-saturation resume (see [`RunMode`](crate::RunMode)).
+    pub mode: crate::RunMode,
+    /// The snapshot captured by this run, when
+    /// [`RunOptions::capture_snapshot`](crate::RunOptions::capture_snapshot)
+    /// was requested and the run was not cancelled.
+    pub snapshot: Option<SynthSnapshot>,
 }
 
 impl Synthesis {
@@ -235,6 +262,15 @@ impl Synthesis {
     /// The lowest-cost program, or `None` when extraction found nothing.
     pub fn try_best(&self) -> Option<&SynthProgram> {
         self.top_k.first()
+    }
+
+    /// Whether this run's saturation was cut short by a deadline or
+    /// cancel token ([`StopReason::Cancelled`]). The programs are still
+    /// valid — just extracted from a less-saturated graph — but the
+    /// result is wall-clock-dependent and must not enter deterministic
+    /// caches.
+    pub fn cancelled(&self) -> bool {
+        self.stop_reason == Some(StopReason::Cancelled)
     }
 
     /// The first structured program in the top-k, with its 1-based rank
@@ -283,6 +319,7 @@ impl Synthesis {
 /// # Examples
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use szalinski::{synthesize, SynthConfig};
 /// use sz_cad::Cad;
 ///
@@ -298,105 +335,27 @@ impl Synthesis {
 /// // The loop unrolls back to the input geometry.
 /// assert_eq!(prog.cad.eval_to_flat().unwrap(), flat);
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Synthesizer` session and call `run` — it compiles the rule set once \
+            and adds snapshots, deadlines, cancellation, and progress hooks"
+)]
 pub fn synthesize(input: &Cad, config: &SynthConfig) -> Synthesis {
-    let start = Instant::now();
-    let sat = saturate(input, config);
-    let top_k = extract_top_k(&sat.egraph, sat.root, config);
-    Synthesis {
-        input: input.clone(),
-        top_k,
-        records: sat.records,
-        time: start.elapsed(),
-        egraph_nodes: sat.egraph.total_number_of_nodes(),
-        egraph_classes: sat.egraph.number_of_classes(),
-        stop_reason: sat.stop_reason,
-        iterations: sat.iterations,
-        rule_stats: sat.rule_stats,
-    }
-}
-
-/// The saturated e-graph coming out of the main loop, before extraction.
-struct Saturated {
-    egraph: CadGraph,
-    root: Id,
-    records: Vec<InferenceRecord>,
-    stop_reason: Option<StopReason>,
-    iterations: usize,
-    rule_stats: Vec<RuleStat>,
-}
-
-/// Folds one round's per-rule totals into the running totals (matched by
-/// name; every round runs the same rule set, so order is stable).
-fn merge_rule_stats(totals: &mut Vec<RuleStat>, round: Vec<RuleStat>) {
-    for stat in round {
-        match totals.iter_mut().find(|t| t.name == stat.name) {
-            Some(total) => total.absorb(&stat),
-            None => totals.push(stat),
-        }
-    }
-}
-
-/// Runs the main loop (saturation → list manipulation → inference) and
-/// returns the final, rebuilt e-graph.
-fn saturate(input: &Cad, config: &SynthConfig) -> Saturated {
-    let scheduler = if config.backoff {
-        Scheduler::backoff()
-    } else {
-        Scheduler::Simple
-    };
-    let expr = cad_to_lang(input);
-    let ruleset = if config.structural_rules {
-        all_rules()
-    } else {
-        rules()
-    };
-
-    let mut egraph = CadGraph::new(CadAnalysis);
-    let root = egraph.add_expr(&expr);
-    egraph.rebuild();
-
-    let mut records = Vec::new();
-    let mut stop_reason = None;
-    let mut iterations = 0;
-    let mut rule_stats: Vec<RuleStat> = Vec::new();
-    for _round in 0..config.main_loop_fuel {
-        // apply_rws: equality saturation with the syntactic rules.
-        let runner = Runner::new(CadAnalysis)
-            .with_egraph(std::mem::replace(&mut egraph, CadGraph::new(CadAnalysis)))
-            .with_iter_limit(config.iter_limit)
-            .with_node_limit(config.node_limit)
-            .with_time_limit(config.time_limit)
-            .with_scheduler(scheduler.clone())
-            .run(&ruleset);
-        iterations += runner.iterations.len();
-        stop_reason = runner.stop_reason.clone();
-        merge_rule_stats(&mut rule_stats, runner.rule_totals());
-        egraph = runner.egraph;
-
-        // determ + list_manip: sorted list variants.
-        list_manipulation(&mut egraph);
-        egraph.rebuild();
-
-        // solver_invoke: function inference, then nested loops.
-        records.extend(infer_functions(&mut egraph, config.eps));
-        egraph.rebuild();
-        records.extend(infer_loops(&mut egraph, config.eps));
-        egraph.rebuild();
-    }
-    Saturated {
-        egraph,
-        root,
-        records,
-        stop_reason,
-        iterations,
-        rule_stats,
-    }
+    // Permissive on purpose: this function never enforced the flat-CSG
+    // contract or non-empty extraction, and the wrapper must not start
+    // panicking where the old code returned a result (see
+    // `Synthesizer::run` for the checked entry point).
+    crate::Synthesizer::new(config.clone()).run_unchecked(input, crate::RunOptions::new())
 }
 
 /// extract_prog: top-k under the configured cost function. Distinct
 /// derivations can denote one tree (e.g. via the sorted-list fold
 /// variant), so extract extra candidates and deduplicate.
-fn extract_top_k(egraph: &CadGraph, root: Id, config: &SynthConfig) -> Vec<SynthProgram> {
+pub(crate) fn extract_top_k(
+    egraph: &CadGraph,
+    root: Id,
+    config: &SynthConfig,
+) -> Vec<SynthProgram> {
     let kbest = KBestExtractor::new(egraph, CadCost::new(config.cost), config.k * 2);
     let mut top_k: Vec<SynthProgram> = Vec::new();
     for (cost, e) in kbest.find_best_k(root) {
@@ -422,6 +381,7 @@ fn extract_top_k(egraph: &CadGraph, root: Id, config: &SynthConfig) -> Vec<Synth
 /// # Examples
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use szalinski::{try_synthesize, SynthConfig, SynthError};
 /// use sz_cad::Cad;
 ///
@@ -438,42 +398,100 @@ fn extract_top_k(egraph: &CadGraph, root: Id, config: &SynthConfig) -> Vec<Synth
 ///     Err(SynthError::NotFlat)
 /// ));
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Synthesizer` session and call `run` — same contract, plus snapshots, \
+            deadlines, cancellation, and progress hooks"
+)]
 pub fn try_synthesize(input: &Cad, config: &SynthConfig) -> Result<Synthesis, SynthError> {
-    if !input.is_flat_csg() {
-        return Err(SynthError::NotFlat);
+    crate::Synthesizer::new(config.clone()).run(input, crate::RunOptions::new())
+}
+
+/// The **saturation-phase** section of a [`SynthSnapshot`]: the runner
+/// state (e-graph, scheduler, iteration count) captured right after
+/// equality saturation of the final main-loop round — *before* list
+/// manipulation and solver inference touch the graph.
+///
+/// This is the state [`Synthesizer::run`](crate::Synthesizer::run)
+/// continues from on a **partial-saturation resume**: a config whose
+/// [`SynthConfig::saturation_core_fingerprint`] matches and whose fuel
+/// limits are at least the producing run's can restore this section via
+/// [`sz_egraph::Runner::resume_from`] and keep saturating, then re-run
+/// the (deterministic) inference passes — landing on the exact state a
+/// cold run at the higher fuel would reach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SatPhase {
+    core_fp: String,
+    iter_limit: usize,
+    node_limit: usize,
+    time_ms: u128,
+    snapshot: Snapshot<crate::CadLang>,
+}
+
+impl SatPhase {
+    /// Pairs a post-saturation runner snapshot with the producing
+    /// config's core fingerprint and fuel limits.
+    pub fn new(config: &SynthConfig, snapshot: Snapshot<crate::CadLang>) -> Self {
+        SatPhase {
+            core_fp: config.saturation_core_fingerprint(),
+            iter_limit: config.iter_limit,
+            node_limit: config.node_limit,
+            time_ms: config.time_limit.as_millis(),
+            snapshot,
+        }
     }
-    let result = synthesize(input, config);
-    if result.top_k.is_empty() {
-        return Err(SynthError::NoPrograms);
+
+    /// The producing config's [`SynthConfig::saturation_core_fingerprint`].
+    pub fn core_fingerprint(&self) -> &str {
+        &self.core_fp
     }
-    Ok(result)
+
+    /// Saturation iterations actually spent by the producing run.
+    pub fn iterations(&self) -> usize {
+        self.snapshot.iterations()
+    }
+
+    /// The post-saturation runner snapshot.
+    pub fn snapshot(&self) -> &Snapshot<crate::CadLang> {
+        &self.snapshot
+    }
 }
 
 /// A persisted saturated e-graph plus the compatibility metadata needed
-/// to resume extraction from it: the input's canonical s-expression and
-/// the producing config's [`SynthConfig::saturation_fingerprint`].
+/// to resume from it: the input's canonical s-expression, the producing
+/// config's [`SynthConfig::saturation_fingerprint`], the final
+/// (post-inference) e-graph for **extraction-only** resumes, and — when
+/// captured by [`Synthesizer::run`](crate::Synthesizer::run) — a
+/// [`SatPhase`] section for **partial-saturation** resumes.
 ///
-/// Serialized as text: a two-line `szsynth v1` header (input, saturation
-/// fingerprint) followed by an `sz_egraph` [`Snapshot`]. Because the
-/// saturation fingerprint embeds the snapshot format version, bumping
-/// [`sz_egraph::SNAPSHOT_FORMAT_VERSION`] invalidates every stored
-/// snapshot key — stale snapshots can never poison a cache across
-/// releases.
+/// Serialized as text (`szsynth v2`): three header lines (input,
+/// saturation fingerprint, sat-phase descriptor), the optional
+/// saturation-phase [`Snapshot`], then the final [`Snapshot`]. Legacy
+/// `szsynth v1` text (no sat-phase section) still parses, so caches
+/// populated before the bump keep serving extraction-only resumes.
+/// Because the saturation fingerprint embeds the snapshot format
+/// version, bumping [`sz_egraph::SNAPSHOT_FORMAT_VERSION`] invalidates
+/// every stored snapshot key — stale snapshots can never poison a cache
+/// across releases.
 ///
 /// # Examples
 ///
 /// ```
-/// use szalinski::{synthesize_with_snapshot, resume_synthesize, SynthConfig};
+/// use szalinski::{SynthConfig, Synthesizer, RunOptions};
 /// use sz_cad::Cad;
 ///
 /// let flat = Cad::union_chain(
 ///     (1..=4).map(|i| Cad::translate(2.0 * i as f64, 0.0, 0.0, Cad::Unit)).collect(),
 /// );
-/// let config = SynthConfig::new();
-/// let (cold, snapshot) = synthesize_with_snapshot(&flat, &config);
+/// let session = Synthesizer::new(SynthConfig::new());
+/// let cold = session
+///     .run(&flat, RunOptions::new().capture_snapshot(true))
+///     .unwrap();
 /// // Round-trip through text (what the batch cache stores), then resume.
-/// let snapshot = snapshot.to_string().parse().unwrap();
-/// let resumed = resume_synthesize(&flat, &config, &snapshot).unwrap();
+/// let snapshot = cold.snapshot.clone().unwrap().to_string().parse().unwrap();
+/// let resumed = session
+///     .run(&flat, RunOptions::new().with_snapshot(snapshot))
+///     .unwrap();
 /// assert_eq!(resumed.iterations, 0); // no re-saturation
 /// assert_eq!(
 ///     resumed.best().cad.to_string(),
@@ -485,18 +503,27 @@ pub struct SynthSnapshot {
     input: String,
     sat_fp: String,
     snapshot: Snapshot<crate::CadLang>,
+    sat_phase: Option<SatPhase>,
 }
 
 impl SynthSnapshot {
     /// Pairs a raw e-graph snapshot with its compatibility metadata.
-    /// (Normally produced by [`synthesize_with_snapshot`]; public for
-    /// tests and tooling.)
+    /// (Normally produced by [`Synthesizer::run`](crate::Synthesizer::run)
+    /// with `capture_snapshot`; public for tests and tooling.)
     pub fn new(input: &Cad, config: &SynthConfig, snapshot: Snapshot<crate::CadLang>) -> Self {
         SynthSnapshot {
             input: input.to_string(),
             sat_fp: config.saturation_fingerprint(),
             snapshot,
+            sat_phase: None,
         }
+    }
+
+    /// Attaches the saturation-phase section enabling partial-saturation
+    /// resume.
+    pub fn with_sat_phase(mut self, sat_phase: SatPhase) -> Self {
+        self.sat_phase = Some(sat_phase);
+        self
     }
 
     /// The input's canonical s-expression.
@@ -514,18 +541,103 @@ impl SynthSnapshot {
         self.snapshot.iterations()
     }
 
-    /// The underlying e-graph snapshot.
+    /// The final (post-inference) e-graph snapshot used by
+    /// extraction-only resumes.
     pub fn egraph_snapshot(&self) -> &Snapshot<crate::CadLang> {
         &self.snapshot
+    }
+
+    /// The saturation-phase section, if the producing run captured one.
+    pub fn sat_phase(&self) -> Option<&SatPhase> {
+        self.sat_phase.as_ref()
+    }
+
+    /// Drops the saturation-phase section, roughly halving the
+    /// serialized size. For stores that only ever serve extraction-only
+    /// resumes (e.g. the batch snapshot tier, which keys on exact
+    /// saturation fingerprints), the section is dead weight against the
+    /// byte budget.
+    pub fn without_sat_phase(mut self) -> Self {
+        self.sat_phase = None;
+        self
+    }
+
+    /// Whether `config` can **continue saturating** from this snapshot's
+    /// saturation-phase section: the core fingerprints must match, the
+    /// producing fuel limits must not exceed `config`'s (every state
+    /// reachable under the tighter limits lies on the looser run's
+    /// trajectory), and the main loop must be single-round (multi-round
+    /// configs interleave inference with saturation, so a mid-pipeline
+    /// snapshot is not a prefix of a longer run).
+    pub fn supports_partial_resume(&self, config: &SynthConfig) -> bool {
+        let Some(phase) = &self.sat_phase else {
+            return false;
+        };
+        config.main_loop_fuel == 1
+            && phase.core_fp == config.saturation_core_fingerprint()
+            && phase.iter_limit <= config.iter_limit
+            && phase.node_limit <= config.node_limit
+            && phase.time_ms <= config.time_limit.as_millis()
     }
 }
 
 impl fmt::Display for SynthSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "szsynth v1")?;
+        writeln!(f, "szsynth v2")?;
         writeln!(f, "input {}", self.input)?;
         writeln!(f, "satfp {}", self.sat_fp)?;
+        match &self.sat_phase {
+            None => writeln!(f, "satphase none")?,
+            Some(phase) => {
+                // The embedded snapshot's length is declared up front
+                // (fingerprints contain no whitespace, so the descriptor
+                // stays one whitespace-separated line).
+                let text = phase.snapshot.to_string();
+                writeln!(
+                    f,
+                    "satphase {} {} {} {} {}",
+                    phase.core_fp,
+                    phase.iter_limit,
+                    phase.node_limit,
+                    phase.time_ms,
+                    text.lines().count(),
+                )?;
+                write!(f, "{text}")?;
+            }
+        }
         write!(f, "{}", self.snapshot)
+    }
+}
+
+/// A line cursor that tracks its byte offset, so embedded sections can
+/// be handed to the `Snapshot` parser as zero-copy slices of the input.
+struct LineCursor<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> LineCursor<'a> {
+    /// The next line (without its terminator), or `None` at end of input.
+    fn next(&mut self) -> Option<&'a str> {
+        if self.pos >= self.text.len() {
+            return None;
+        }
+        let rest = &self.text[self.pos..];
+        match rest.find('\n') {
+            Some(i) => {
+                self.pos += i + 1;
+                Some(rest[..i].strip_suffix('\r').unwrap_or(&rest[..i]))
+            }
+            None => {
+                self.pos = self.text.len();
+                Some(rest)
+            }
+        }
+    }
+
+    /// Everything not yet consumed.
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
     }
 }
 
@@ -533,16 +645,21 @@ impl std::str::FromStr for SynthSnapshot {
     type Err = SnapshotParseError;
 
     fn from_str(text: &str) -> Result<Self, Self::Err> {
-        let mut lines = text.splitn(4, '\n');
+        let mut lines = LineCursor { text, pos: 0 };
         let header = lines
             .next()
             .ok_or_else(|| SnapshotParseError::new(1, "empty snapshot"))?;
-        if header != "szsynth v1" {
-            return Err(SnapshotParseError::new(
-                1,
-                format!("unsupported header `{header}` (this build reads `szsynth v1`)"),
-            ));
-        }
+        let version: u32 = match header {
+            "szsynth v2" => 2,
+            // Legacy single-section snapshots (no sat-phase line).
+            "szsynth v1" => 1,
+            _ => {
+                return Err(SnapshotParseError::new(
+                    1,
+                    format!("unsupported header `{header}` (this build reads `szsynth v2`)"),
+                ))
+            }
+        };
         let input = lines
             .next()
             .and_then(|l| l.strip_prefix("input "))
@@ -553,16 +670,75 @@ impl std::str::FromStr for SynthSnapshot {
             .and_then(|l| l.strip_prefix("satfp "))
             .ok_or_else(|| SnapshotParseError::new(3, "expected `satfp <fingerprint>`"))?
             .to_owned();
-        let rest = lines
-            .next()
-            .ok_or_else(|| SnapshotParseError::new(4, "missing e-graph snapshot"))?;
+        let mut consumed = 3usize;
+        let sat_phase = if version >= 2 {
+            let line = lines
+                .next()
+                .ok_or_else(|| SnapshotParseError::new(4, "expected `satphase ...`"))?;
+            consumed += 1;
+            let rest = line.strip_prefix("satphase ").ok_or_else(|| {
+                SnapshotParseError::new(4, format!("expected `satphase ...`, got `{line}`"))
+            })?;
+            if rest == "none" {
+                None
+            } else {
+                let toks: Vec<&str> = rest.split_whitespace().collect();
+                let [core_fp, iter_tok, nodes_tok, time_tok, len_tok] = toks.as_slice() else {
+                    return Err(SnapshotParseError::new(
+                        4,
+                        format!(
+                            "expected `satphase <core-fp> <iter> <nodes> <time_ms> <lines>`, \
+                             got `{line}`"
+                        ),
+                    ));
+                };
+                let field = |tok: &str, what: &str| -> Result<usize, SnapshotParseError> {
+                    tok.parse().map_err(|_| {
+                        SnapshotParseError::new(4, format!("expected {what}, got `{tok}`"))
+                    })
+                };
+                let iter_limit = field(iter_tok, "an iteration limit")?;
+                let node_limit = field(nodes_tok, "a node limit")?;
+                let time_ms = field(time_tok, "a time limit in ms")? as u128;
+                let len = field(len_tok, "a line count")?;
+                // Skip exactly `len` lines (running out is truncation)
+                // and parse the skipped region as a zero-copy slice.
+                let section_start = lines.pos;
+                for _ in 0..len {
+                    lines.next().ok_or_else(|| {
+                        SnapshotParseError::new(consumed + 1, "truncated saturation-phase snapshot")
+                    })?;
+                    consumed += 1;
+                }
+                let snapshot = text[section_start..lines.pos]
+                    .parse::<Snapshot<crate::CadLang>>()
+                    .map_err(|e| e.offset_lines(consumed - len))?;
+                Some(SatPhase {
+                    core_fp: (*core_fp).to_owned(),
+                    iter_limit,
+                    node_limit,
+                    time_ms,
+                    snapshot,
+                })
+            }
+        } else {
+            None
+        };
+        let rest = lines.rest();
+        if rest.is_empty() {
+            return Err(SnapshotParseError::new(
+                consumed + 1,
+                "missing e-graph snapshot",
+            ));
+        }
         let snapshot = rest
             .parse::<Snapshot<crate::CadLang>>()
-            .map_err(|e| e.offset_lines(3))?;
+            .map_err(|e| e.offset_lines(consumed))?;
         Ok(SynthSnapshot {
             input,
             sat_fp,
             snapshot,
+            sat_phase,
         })
     }
 }
@@ -596,41 +772,38 @@ impl std::error::Error for ResumeError {}
 
 /// [`synthesize`], additionally capturing a [`SynthSnapshot`] of the
 /// saturated e-graph so later runs can resume extraction from it.
+#[deprecated(
+    since = "0.2.0",
+    note = "call `Synthesizer::run` with `RunOptions::new().capture_snapshot(true)`; the \
+            snapshot is returned in `Synthesis::snapshot`"
+)]
 pub fn synthesize_with_snapshot(input: &Cad, config: &SynthConfig) -> (Synthesis, SynthSnapshot) {
-    let start = Instant::now();
-    let sat = saturate(input, config);
-    let snapshot = Snapshot::of_egraph(&sat.egraph, &[sat.root])
-        .expect("the main loop always rebuilds before returning")
-        .with_iterations(sat.iterations);
-    let top_k = extract_top_k(&sat.egraph, sat.root, config);
-    (
-        Synthesis {
-            input: input.clone(),
-            top_k,
-            records: sat.records,
-            time: start.elapsed(),
-            egraph_nodes: sat.egraph.total_number_of_nodes(),
-            egraph_classes: sat.egraph.number_of_classes(),
-            stop_reason: sat.stop_reason,
-            iterations: sat.iterations,
-            rule_stats: sat.rule_stats,
-        },
-        SynthSnapshot::new(input, config, snapshot),
-    )
+    // Permissive like `synthesize`: no flat-CSG or non-empty check.
+    let mut result = crate::Synthesizer::new(config.clone())
+        .run_unchecked(input, crate::RunOptions::new().capture_snapshot(true));
+    let snapshot = result
+        .snapshot
+        .take()
+        .expect("uncancelled runs always capture when asked");
+    (result, snapshot)
 }
 
 /// [`try_synthesize`], additionally capturing a [`SynthSnapshot`].
+#[deprecated(
+    since = "0.2.0",
+    note = "call `Synthesizer::run` with `RunOptions::new().capture_snapshot(true)`; the \
+            snapshot is returned in `Synthesis::snapshot`"
+)]
 pub fn try_synthesize_with_snapshot(
     input: &Cad,
     config: &SynthConfig,
 ) -> Result<(Synthesis, SynthSnapshot), SynthError> {
-    if !input.is_flat_csg() {
-        return Err(SynthError::NotFlat);
-    }
-    let (result, snapshot) = synthesize_with_snapshot(input, config);
-    if result.top_k.is_empty() {
-        return Err(SynthError::NoPrograms);
-    }
+    let mut result = crate::Synthesizer::new(config.clone())
+        .run(input, crate::RunOptions::new().capture_snapshot(true))?;
+    let snapshot = result
+        .snapshot
+        .take()
+        .expect("uncancelled runs always capture when asked");
     Ok((result, snapshot))
 }
 
@@ -648,6 +821,12 @@ pub fn try_synthesize_with_snapshot(
 ///
 /// [`ResumeError`] if the snapshot belongs to a different input or to a
 /// config with a different [`SynthConfig::saturation_fingerprint`].
+#[deprecated(
+    since = "0.2.0",
+    note = "call `Synthesizer::run` with `RunOptions::new().with_snapshot(...)` — it \
+            dispatches extraction-only and partial-saturation resumes automatically \
+            (check `Synthesis::mode`)"
+)]
 pub fn resume_synthesize(
     input: &Cad,
     config: &SynthConfig,
@@ -675,11 +854,17 @@ pub fn resume_synthesize(
         stop_reason: None,
         iterations: 0,
         rule_stats: Vec::new(),
+        mode: crate::RunMode::ResumedExtraction,
+        snapshot: None,
     })
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated wrappers stay under test on purpose: they must keep
+    // behaving exactly like the session API they delegate to.
+    #![allow(deprecated)]
+
     use super::*;
 
     fn row_of_cubes(n: usize, spacing: f64) -> Cad {
@@ -770,6 +955,16 @@ mod tests {
         assert_send::<Synthesis>();
         assert_send::<SynthError>();
         assert_sync::<SynthConfig>();
+    }
+
+    #[test]
+    fn synthesize_stays_permissive_on_non_flat_input() {
+        // The deprecated wrapper never enforced the flat-CSG contract:
+        // an already-structured program must keep producing a result
+        // (not a panic) exactly as it did before the session API.
+        let looped: Cad = "(Repeat Unit 3)".parse().unwrap();
+        let result = synthesize(&looped, &SynthConfig::new().with_iter_limit(5));
+        assert_eq!(result.input, looped);
     }
 
     #[test]
@@ -940,11 +1135,21 @@ mod tests {
     fn synth_snapshot_text_roundtrip_and_errors() {
         let flat = row_of_cubes(3, 2.0);
         let (_, snapshot) = synthesize_with_snapshot(&flat, &SynthConfig::new());
+        assert!(
+            snapshot.sat_phase().is_some(),
+            "single-round capture carries the saturation phase"
+        );
         let text = snapshot.to_string();
+        assert_eq!(text.lines().next(), Some("szsynth v2"));
         let back: SynthSnapshot = text.parse().unwrap();
         assert_eq!(back, snapshot);
         assert_eq!(back.to_string(), text, "reserialization is byte-stable");
         assert!(back.iterations() > 0);
+        assert_eq!(
+            back.sat_phase().unwrap().iterations(),
+            back.iterations(),
+            "single-round runs saturate once: both sections agree on the count"
+        );
 
         // Header and truncation corruption yield errors, never panics.
         assert!("szsynth v9\n".parse::<SynthSnapshot>().is_err());
@@ -952,10 +1157,96 @@ mod tests {
             .replacen("szsnap v1", "szsnap v99", 1)
             .parse::<SynthSnapshot>()
             .unwrap_err();
-        assert_eq!(err.line(), 4, "inner errors are offset past the header");
+        assert_eq!(
+            err.line(),
+            5,
+            "inner errors are offset past the header (3 lines) + satphase descriptor"
+        );
         for cut in [0, 10, text.len() / 2, text.len() - 10] {
             assert!(text[..cut].parse::<SynthSnapshot>().is_err());
         }
+    }
+
+    #[test]
+    fn legacy_v1_snapshot_text_still_parses() {
+        // Caches written before the v2 bump hold `szsynth v1` text with
+        // no satphase line; they must keep serving extraction-only
+        // resumes (and report no partial-resume support).
+        let flat = row_of_cubes(3, 2.0);
+        let config = SynthConfig::new();
+        let (_, snapshot) = synthesize_with_snapshot(&flat, &config);
+        let v2 = snapshot.to_string();
+        // Rebuild the v1 form: old header, no satphase section.
+        let final_graph = snapshot.egraph_snapshot().to_string();
+        let mut v1 = String::new();
+        for line in v2.lines().take(3) {
+            v1.push_str(line);
+            v1.push('\n');
+        }
+        v1 = v1.replacen("szsynth v2", "szsynth v1", 1);
+        v1.push_str(&final_graph);
+
+        let legacy: SynthSnapshot = v1.parse().unwrap();
+        assert_eq!(legacy.input_sexp(), snapshot.input_sexp());
+        assert_eq!(
+            legacy.saturation_fingerprint(),
+            snapshot.saturation_fingerprint()
+        );
+        assert!(legacy.sat_phase().is_none());
+        assert!(!legacy.supports_partial_resume(&config));
+        let resumed = resume_synthesize(&flat, &config, &legacy).unwrap();
+        assert_eq!(resumed.iterations, 0);
+    }
+
+    #[test]
+    fn core_fingerprint_ignores_fuel_but_not_semantics() {
+        let base = SynthConfig::new();
+        // Fuel-limit changes keep the core fingerprint...
+        for v in [
+            base.clone().with_iter_limit(7),
+            base.clone().with_node_limit(9),
+        ] {
+            assert_eq!(
+                v.saturation_core_fingerprint(),
+                base.saturation_core_fingerprint()
+            );
+            // ...while still changing the full saturation fingerprint.
+            assert_ne!(v.saturation_fingerprint(), base.saturation_fingerprint());
+        }
+        // Semantic changes invalidate the core.
+        for v in [
+            base.clone().with_eps(1e-2),
+            base.clone().with_structural_rules(true),
+            base.clone().with_backoff(true),
+            base.clone().with_main_loop_fuel(3),
+        ] {
+            assert_ne!(
+                v.saturation_core_fingerprint(),
+                base.saturation_core_fingerprint(),
+                "{v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn supports_partial_resume_requires_core_match_and_lower_fuel() {
+        let flat = row_of_cubes(3, 2.0);
+        let low = SynthConfig::new()
+            .with_iter_limit(10)
+            .with_node_limit(10_000);
+        let (_, snapshot) = synthesize_with_snapshot(&flat, &low);
+
+        // Higher (or equal) fuel: resumable.
+        assert!(snapshot.supports_partial_resume(&low.clone().with_iter_limit(50)));
+        assert!(snapshot.supports_partial_resume(&low));
+        // Lower fuel than the producer: the snapshot overshoots.
+        assert!(!snapshot.supports_partial_resume(&low.clone().with_iter_limit(5)));
+        assert!(!snapshot.supports_partial_resume(&low.clone().with_node_limit(5_000)));
+        // Core changes: not resumable at any fuel.
+        assert!(!snapshot.supports_partial_resume(&low.clone().with_eps(1e-2).with_iter_limit(50)));
+        // Multi-round configs never partially resume.
+        assert!(!snapshot
+            .supports_partial_resume(&low.clone().with_main_loop_fuel(2).with_iter_limit(50)));
     }
 
     #[test]

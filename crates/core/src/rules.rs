@@ -42,7 +42,7 @@ fn syntactic(name: &str, lhs: &str, rhs: &str) -> CadRewrite {
 fn dynamic(
     name: &str,
     lhs: &str,
-    f: impl Fn(&mut CadGraph, &Subst) -> Option<Id> + 'static,
+    f: impl Fn(&mut CadGraph, &Subst) -> Option<Id> + Send + Sync + 'static,
 ) -> CadRewrite {
     Rewrite::new(
         name,

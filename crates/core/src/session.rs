@@ -1,0 +1,1064 @@
+//! The session-based synthesis API: a [`Synthesizer`] is built once from
+//! a [`SynthConfig`], compiles and caches the rewrite rule set, and then
+//! serves any number of runs through one entry point —
+//! [`Synthesizer::run`] — which automatically dispatches between:
+//!
+//! * a **cold** run (no usable snapshot): the full pipeline, saturation
+//!   through extraction;
+//! * an **extraction-only resume** (snapshot with a matching
+//!   [`SynthConfig::saturation_fingerprint`]): the final e-graph is
+//!   restored and only extraction re-runs — zero saturation iterations;
+//! * a **partial-saturation resume** (snapshot whose fingerprint matches
+//!   *modulo lower fuel limits*, see
+//!   [`SynthSnapshot::supports_partial_resume`]): the saturation-phase
+//!   runner state is restored via [`Runner::resume_from`] and saturation
+//!   *continues* where the producing run stopped, then the inference
+//!   passes and extraction re-run — strictly fewer iterations than a
+//!   cold run at the higher fuel, byte-identical output.
+//!
+//! Runs are bounded and observable: [`RunOptions`] carries per-run
+//! [`RunLimits`] (iteration/node overrides and a wall-clock deadline), a
+//! cooperative [`CancelToken`], and a [`ProgressObserver`] iteration
+//! hook. Deadlines and cancellation stop saturation **at iteration
+//! boundaries** with [`StopReason::Cancelled`]; the partial result is
+//! still extracted, so a cancelled run returns a well-formed
+//! [`Synthesis`] rather than an error (serving callers can always
+//! respond with *something*).
+//!
+//! The compiled rule sets are cached process-wide: every session with
+//! the same `structural_rules` flag shares one `Arc` of compiled
+//! rewrites, so building a `Synthesizer` per job (as `sz-batch` does) is
+//! cheap and pattern compilation happens once per process — measured by
+//! `sz_egraph::compile_count()` in the `ematch` bench.
+
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use sz_cad::Cad;
+use sz_egraph::{
+    CancelToken, ProgressObserver, RuleStat, Runner, Scheduler, Snapshot, SnapshotError, StopReason,
+};
+
+use crate::analysis::{CadAnalysis, CadGraph};
+use crate::funcinfer::infer_functions;
+use crate::lang::cad_to_lang;
+use crate::listmanip::list_manipulation;
+use crate::loopinfer::infer_loops;
+use crate::pipeline::{extract_top_k, SatPhase, SynthConfig, SynthError, SynthSnapshot, Synthesis};
+use crate::rules::{all_rules, rules as base_rules, CadRewrite};
+
+/// How a [`Synthesizer::run`] actually executed (recorded in
+/// [`Synthesis::mode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunMode {
+    /// Full pipeline from scratch (no snapshot, or an incompatible one).
+    #[default]
+    Cold,
+    /// The final e-graph was restored from a snapshot and only
+    /// extraction ran (zero saturation iterations).
+    ResumedExtraction,
+    /// Saturation *continued* from a lower-fuel snapshot's
+    /// saturation-phase state, then inference and extraction re-ran.
+    ResumedSaturation,
+}
+
+impl RunMode {
+    /// True for either resume flavor.
+    pub fn is_resumed(&self) -> bool {
+        !matches!(self, RunMode::Cold)
+    }
+}
+
+/// Per-run resource bounds layered over the session's [`SynthConfig`].
+///
+/// `iter_limit` / `node_limit` override the config's saturation fuel for
+/// this run only (they participate in snapshot-compatibility decisions
+/// exactly like config fields). `deadline` is a wall-clock bound on the
+/// whole run: when it passes, saturation stops at the next iteration
+/// boundary with [`StopReason::Cancelled`] and the partial result is
+/// extracted — unlike the config's `time_limit`, which is saturation-only
+/// fuel and reports [`StopReason::TimeLimit`].
+#[derive(Debug, Clone, Default)]
+pub struct RunLimits {
+    iter_limit: Option<usize>,
+    node_limit: Option<usize>,
+    deadline: Option<Duration>,
+}
+
+impl RunLimits {
+    /// No overrides: the session config's limits apply.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the saturation iteration limit for this run.
+    pub fn with_iter_limit(mut self, limit: usize) -> Self {
+        self.iter_limit = Some(limit);
+        self
+    }
+
+    /// Overrides the saturation e-node limit for this run.
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        self.node_limit = Some(limit);
+        self
+    }
+
+    /// Sets a wall-clock deadline for the whole run, measured from the
+    /// moment [`Synthesizer::run`] is called.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+}
+
+/// Options for one [`Synthesizer::run`]: an optional snapshot to resume
+/// from, per-run [`RunLimits`], a [`CancelToken`], a
+/// [`ProgressObserver`], and whether to capture a [`SynthSnapshot`] of
+/// the result (returned in [`Synthesis::snapshot`]).
+#[derive(Clone, Default)]
+pub struct RunOptions {
+    snapshot: Option<SynthSnapshot>,
+    limits: RunLimits,
+    cancel: Option<CancelToken>,
+    progress: Option<Arc<dyn ProgressObserver>>,
+    capture: bool,
+}
+
+impl RunOptions {
+    /// Default options: cold run, session limits, no cancellation, no
+    /// progress hook, no snapshot capture.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers a snapshot to resume from. The run dispatches
+    /// automatically: exact saturation-fingerprint match → extraction-only
+    /// resume; match modulo lower fuel limits → partial-saturation
+    /// resume; otherwise the snapshot is ignored and the run is cold
+    /// (check [`Synthesis::mode`] to see which happened).
+    pub fn with_snapshot(mut self, snapshot: SynthSnapshot) -> Self {
+        self.snapshot = Some(snapshot);
+        self
+    }
+
+    /// Sets per-run limits (see [`RunLimits`]). A deadline already set
+    /// via [`RunOptions::with_deadline`] is preserved unless `limits`
+    /// carries its own — so `with_deadline(...).with_limits(...)` and
+    /// the reverse order both keep the deadline.
+    pub fn with_limits(mut self, limits: RunLimits) -> Self {
+        let deadline = limits.deadline.or(self.limits.deadline);
+        self.limits = limits;
+        self.limits.deadline = deadline;
+        self
+    }
+
+    /// Shorthand for a wall-clock deadline on this run (see
+    /// [`RunLimits::with_deadline`]).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.limits.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token, polled at saturation
+    /// iteration boundaries.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a progress observer notified after every saturation
+    /// iteration.
+    pub fn with_progress(mut self, observer: Arc<dyn ProgressObserver>) -> Self {
+        self.progress = Some(observer);
+        self
+    }
+
+    /// Whether to capture a [`SynthSnapshot`] of this run (final e-graph
+    /// plus, for single-round configs, the saturation-phase state that
+    /// enables partial resume). Cancelled runs never capture: their
+    /// graphs are wall-clock-truncated, not the deterministic product of
+    /// the config, and must not poison snapshot caches.
+    pub fn capture_snapshot(mut self, capture: bool) -> Self {
+        self.capture = capture;
+        self
+    }
+}
+
+impl std::fmt::Debug for RunOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("snapshot", &self.snapshot.as_ref().map(|_| "..."))
+            .field("limits", &self.limits)
+            .field("cancel", &self.cancel)
+            .field("progress", &self.progress.as_ref().map(|_| "..."))
+            .field("capture", &self.capture)
+            .finish()
+    }
+}
+
+/// Process-wide cache of compiled rule sets, keyed by the
+/// `structural_rules` flag: every [`Synthesizer`] shares these, so
+/// pattern compilation happens once per process regardless of how many
+/// sessions (or batch jobs) are created.
+fn compiled_ruleset(structural: bool) -> Arc<[CadRewrite]> {
+    static BASE: OnceLock<Arc<[CadRewrite]>> = OnceLock::new();
+    static STRUCTURAL: OnceLock<Arc<[CadRewrite]>> = OnceLock::new();
+    if structural {
+        STRUCTURAL.get_or_init(|| all_rules().into()).clone()
+    } else {
+        BASE.get_or_init(|| base_rules().into()).clone()
+    }
+}
+
+/// A reusable synthesis session: the paper's pipeline behind one
+/// entry point ([`Synthesizer::run`]) that covers cold runs, both resume
+/// flavors, deadlines, cancellation, and progress observation.
+///
+/// Construction compiles (or fetches from the process-wide cache) the
+/// rewrite rule set for the config's `structural_rules` flag; `run`
+/// borrows `&self`, and the type is `Send + Sync`, so one session can
+/// serve concurrent runs from many worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use szalinski::{RunOptions, SynthConfig, Synthesizer};
+/// use sz_cad::Cad;
+///
+/// let flat = Cad::union_chain(
+///     (1..=5).map(|i| Cad::translate(2.0 * i as f64, 0.0, 0.0, Cad::Unit)).collect(),
+/// );
+/// let session = Synthesizer::new(SynthConfig::new());
+/// let result = session.run(&flat, RunOptions::new()).unwrap();
+/// let (rank, prog) = result.structured().expect("finds the loop");
+/// assert_eq!(rank, 1);
+/// assert!(prog.cad.to_string().contains("(Repeat Unit 5)"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Synthesizer {
+    config: SynthConfig,
+    ruleset: Arc<[CadRewrite]>,
+}
+
+impl Synthesizer {
+    /// Builds a session for `config`, compiling/reusing its rule set.
+    pub fn new(config: SynthConfig) -> Self {
+        let ruleset = compiled_ruleset(config.structural_rules);
+        Synthesizer { config, ruleset }
+    }
+
+    /// The session's base configuration.
+    pub fn config(&self) -> &SynthConfig {
+        &self.config
+    }
+
+    /// Number of rewrite rules in the compiled rule set.
+    pub fn rule_count(&self) -> usize {
+        self.ruleset.len()
+    }
+
+    /// The session config with this run's [`RunLimits`] overrides folded
+    /// in — the config whose fingerprints govern snapshot compatibility
+    /// and capture for the run.
+    fn effective_config(&self, limits: &RunLimits) -> SynthConfig {
+        let mut config = self.config.clone();
+        if let Some(iter) = limits.iter_limit {
+            config.iter_limit = iter;
+        }
+        if let Some(nodes) = limits.node_limit {
+            config.node_limit = nodes;
+        }
+        config
+    }
+
+    /// Runs the pipeline on a flat CSG. One entry point for every mode;
+    /// see the [module docs](self) for the dispatch rules and
+    /// cancellation semantics.
+    ///
+    /// Determinism caveat (shared by every resume guarantee in this
+    /// workspace): byte-identity between a resumed and a cold run holds
+    /// when the config's saturation `time_limit` never binds — a
+    /// time-limited stop is wall-clock-dependent, so even two cold runs
+    /// at the same config can differ. A resumed run additionally gets a
+    /// fresh `time_limit` budget for its own leg.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthError::NotFlat`] if the input violates the paper's flat-CSG
+    /// contract; [`SynthError::NoPrograms`] if extraction found nothing
+    /// (cannot happen for well-formed inputs). Cancellation is **not** an
+    /// error: the result carries [`StopReason::Cancelled`] and whatever
+    /// programs the partial graph yields.
+    pub fn run(&self, input: &Cad, opts: RunOptions) -> Result<Synthesis, SynthError> {
+        if !input.is_flat_csg() {
+            return Err(SynthError::NotFlat);
+        }
+        let result = self.run_unchecked(input, opts);
+        if result.top_k.is_empty() {
+            return Err(SynthError::NoPrograms);
+        }
+        Ok(result)
+    }
+
+    /// [`Synthesizer::run`] without the flat-CSG and empty-extraction
+    /// checks — the permissive behavior the deprecated `synthesize`
+    /// free function always had (it ran the pipeline over any `Cad` and
+    /// could return an empty top-k). Crate-internal: new code should go
+    /// through [`Synthesizer::run`].
+    pub(crate) fn run_unchecked(&self, input: &Cad, mut opts: RunOptions) -> Synthesis {
+        let start = Instant::now();
+        let config = self.effective_config(&opts.limits);
+        let deadline = opts.limits.deadline.map(|d| start + d);
+
+        // A cancel/deadline that is *already* triggered stops the run
+        // before any restore or extraction work — crucial for batch
+        // shutdown over warm snapshot tiers, where every queued job
+        // would otherwise pay a full restore + extraction with nobody
+        // waiting for the answer. The cold path cancels at iteration 0,
+        // leaving just the input to extract.
+        let already_stopped = opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+            || deadline.is_some_and(|d| Instant::now() >= d);
+
+        // Dispatch: exact fingerprint match → extraction-only resume;
+        // match modulo lower fuel → continue saturating; otherwise cold.
+        enum Plan {
+            Extraction,
+            Partial,
+            Cold,
+        }
+        let plan = match &opts.snapshot {
+            _ if already_stopped => Plan::Cold,
+            Some(snapshot) if snapshot.input_sexp() == input.to_string() => {
+                if snapshot.saturation_fingerprint() == config.saturation_fingerprint()
+                    && snapshot.egraph_snapshot().roots().len() == 1
+                {
+                    Plan::Extraction
+                } else if snapshot.supports_partial_resume(&config)
+                    && snapshot
+                        .sat_phase()
+                        .is_some_and(|p| p.snapshot().roots().len() == 1)
+                {
+                    Plan::Partial
+                } else {
+                    Plan::Cold
+                }
+            }
+            _ => Plan::Cold,
+        };
+        // An offered snapshot must never make a run worse than cold: a
+        // bit-rotted snapshot can parse, match the fingerprints, and
+        // still restore a graph that extracts nothing — degrade to a
+        // cold run instead of returning an empty result.
+        match plan {
+            Plan::Extraction => {
+                let snapshot = opts.snapshot.take().expect("dispatch saw a snapshot");
+                let result = self.run_extraction_resume(input, &config, &opts, snapshot, start);
+                if result.top_k.is_empty() {
+                    self.run_cold(input, &config, &opts, deadline, start)
+                } else {
+                    result
+                }
+            }
+            Plan::Partial => {
+                let snapshot = opts.snapshot.take().expect("dispatch saw a snapshot");
+                let result =
+                    self.run_partial_resume(input, &config, &opts, &snapshot, deadline, start);
+                if result.top_k.is_empty() {
+                    self.run_cold(input, &config, &opts, deadline, start)
+                } else {
+                    result
+                }
+            }
+            Plan::Cold => self.run_cold(input, &config, &opts, deadline, start),
+        }
+    }
+
+    /// Extraction-only resume: restore the final graph, re-run extraction.
+    fn run_extraction_resume(
+        &self,
+        input: &Cad,
+        config: &SynthConfig,
+        opts: &RunOptions,
+        snapshot: SynthSnapshot,
+        start: Instant,
+    ) -> Synthesis {
+        let &[root] = snapshot.egraph_snapshot().roots() else {
+            unreachable!("dispatch checked for exactly one root");
+        };
+        let egraph = snapshot.egraph_snapshot().restore(CadAnalysis);
+        let top_k = extract_top_k(&egraph, root, config);
+        Synthesis {
+            input: input.clone(),
+            top_k,
+            records: Vec::new(),
+            time: start.elapsed(),
+            egraph_nodes: egraph.total_number_of_nodes(),
+            egraph_classes: egraph.number_of_classes(),
+            stop_reason: None,
+            iterations: 0,
+            rule_stats: Vec::new(),
+            mode: RunMode::ResumedExtraction,
+            // The offered snapshot *is* this run's state: hand it back
+            // (moved, not cloned, not re-serialized) when capture is on.
+            snapshot: opts.capture.then_some(snapshot),
+        }
+    }
+
+    /// Partial-saturation resume: restore the saturation-phase runner and
+    /// continue with the remaining iteration budget, then re-run the
+    /// inference passes and extraction.
+    fn run_partial_resume(
+        &self,
+        input: &Cad,
+        config: &SynthConfig,
+        opts: &RunOptions,
+        snapshot: &SynthSnapshot,
+        deadline: Option<Instant>,
+        start: Instant,
+    ) -> Synthesis {
+        let phase = snapshot.sat_phase().expect("dispatch checked");
+        let remaining = config.iter_limit.saturating_sub(phase.iterations());
+        let runner = Runner::resume_from(phase.snapshot(), CadAnalysis)
+            .with_iter_limit(remaining)
+            .with_node_limit(config.node_limit)
+            .with_time_limit(config.time_limit);
+        let runner = configure_runner(runner, opts, deadline).run(&self.ruleset);
+        let root = runner.roots[0];
+        self.finish_from_runner(
+            input,
+            config,
+            opts,
+            runner,
+            root,
+            RunMode::ResumedSaturation,
+            start,
+        )
+    }
+
+    /// Cold run: build the graph and drive the main loop. Single-round
+    /// configs (the default, and the only shape that can partially
+    /// resume) share [`Synthesizer::finish_from_runner`] with the
+    /// partial-resume path, so the two trajectories cannot drift apart;
+    /// multi-round configs keep their own loop below.
+    fn run_cold(
+        &self,
+        input: &Cad,
+        config: &SynthConfig,
+        opts: &RunOptions,
+        deadline: Option<Instant>,
+        start: Instant,
+    ) -> Synthesis {
+        let scheduler = if config.backoff {
+            Scheduler::backoff()
+        } else {
+            Scheduler::Simple
+        };
+        let expr = cad_to_lang(input);
+        let mut egraph = CadGraph::new(CadAnalysis);
+        let root = egraph.add_expr(&expr);
+        egraph.rebuild();
+
+        let new_runner = |egraph: CadGraph, scheduler: Scheduler| {
+            configure_runner(
+                Runner::new(CadAnalysis)
+                    .with_egraph(egraph)
+                    .with_iter_limit(config.iter_limit)
+                    .with_node_limit(config.node_limit)
+                    .with_time_limit(config.time_limit)
+                    .with_scheduler(scheduler),
+                opts,
+                deadline,
+            )
+        };
+
+        if config.main_loop_fuel == 1 {
+            let runner = new_runner(egraph, scheduler).run(&self.ruleset);
+            return self.finish_from_runner(
+                input,
+                config,
+                opts,
+                runner,
+                root,
+                RunMode::Cold,
+                start,
+            );
+        }
+
+        // Multi-round main loop (saturation → inference, repeated). No
+        // saturation-phase capture: multi-round snapshots are never
+        // partially resumable (see `SynthSnapshot::supports_partial_resume`).
+        let mut records = Vec::new();
+        let mut stop_reason = None;
+        let mut iterations = 0usize;
+        let mut rule_stats: Vec<RuleStat> = Vec::new();
+        let mut cancelled = false;
+        let last_round = config.main_loop_fuel - 1;
+        for round in 0..config.main_loop_fuel {
+            let mut runner = new_runner(
+                std::mem::replace(&mut egraph, CadGraph::new(CadAnalysis)),
+                scheduler.clone(),
+            );
+            // Lifetime iteration indices for the progress observer span
+            // rounds.
+            runner.prior_iterations = iterations;
+            let runner = runner.run(&self.ruleset);
+            iterations += runner.iterations.len();
+            stop_reason = runner.stop_reason.clone();
+            merge_rule_stats(&mut rule_stats, runner.rule_totals());
+            cancelled = stop_reason == Some(StopReason::Cancelled);
+            egraph = runner.egraph;
+            if cancelled {
+                // Stop as soon as possible: skip the inference passes and
+                // extract whatever the partial graph holds.
+                break;
+            }
+
+            records.extend(run_inference_passes(&mut egraph, config.eps));
+
+            // Between rounds, honor deadline/cancellation before paying
+            // for another saturation (the passes themselves are not
+            // interruptible; this is the next boundary).
+            if round != last_round
+                && (opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+                    || deadline.is_some_and(|d| Instant::now() >= d))
+            {
+                stop_reason = Some(StopReason::Cancelled);
+                cancelled = true;
+                if let Some(progress) = &opts.progress {
+                    progress.on_stop(&StopReason::Cancelled);
+                }
+                break;
+            }
+        }
+
+        let snapshot = if opts.capture && !cancelled {
+            capture_snapshot(Snapshot::of_egraph(&egraph, &[root]))
+                .map(|s| s.with_iterations(iterations))
+                .map(|s| SynthSnapshot::new(input, config, s))
+        } else {
+            None
+        };
+
+        let top_k = extract_top_k(&egraph, root, config);
+        Synthesis {
+            input: input.clone(),
+            top_k,
+            records,
+            time: start.elapsed(),
+            egraph_nodes: egraph.total_number_of_nodes(),
+            egraph_classes: egraph.number_of_classes(),
+            stop_reason,
+            iterations,
+            rule_stats,
+            mode: RunMode::Cold,
+            snapshot,
+        }
+    }
+
+    /// Shared tail of the single-round cold and partial-resume paths:
+    /// run the inference passes (unless cancelled), capture, extract,
+    /// assemble the [`Synthesis`]. Sharing this tail is what keeps the
+    /// two trajectories provably identical (the partial-resume
+    /// differential suite depends on it).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_from_runner(
+        &self,
+        input: &Cad,
+        config: &SynthConfig,
+        opts: &RunOptions,
+        mut runner: Runner<crate::CadLang, CadAnalysis>,
+        root: sz_egraph::Id,
+        mode: RunMode,
+        start: Instant,
+    ) -> Synthesis {
+        let iterations = runner.iterations.len();
+        let lifetime_iterations = runner.prior_iterations + iterations;
+        let stop_reason = runner.stop_reason.clone();
+        let rule_stats = runner.rule_totals();
+        let cancelled = stop_reason == Some(StopReason::Cancelled);
+        let mut sat_phase: Option<Snapshot<crate::CadLang>> = None;
+        if opts.capture && !cancelled {
+            runner.roots = vec![root];
+            sat_phase = capture_snapshot(runner.snapshot());
+        }
+        let mut egraph = runner.egraph;
+        let records = if cancelled {
+            Vec::new()
+        } else {
+            run_inference_passes(&mut egraph, config.eps)
+        };
+
+        let snapshot = if opts.capture && !cancelled {
+            capture_snapshot(Snapshot::of_egraph(&egraph, &[root]))
+                .map(|s| s.with_iterations(lifetime_iterations))
+                .map(|s| {
+                    let synth = SynthSnapshot::new(input, config, s);
+                    match sat_phase.take() {
+                        Some(phase) => synth.with_sat_phase(SatPhase::new(config, phase)),
+                        None => synth,
+                    }
+                })
+        } else {
+            None
+        };
+
+        let top_k = extract_top_k(&egraph, root, config);
+        Synthesis {
+            input: input.clone(),
+            top_k,
+            records,
+            time: start.elapsed(),
+            egraph_nodes: egraph.total_number_of_nodes(),
+            egraph_classes: egraph.number_of_classes(),
+            stop_reason,
+            iterations,
+            rule_stats,
+            mode,
+            snapshot,
+        }
+    }
+}
+
+/// One round of the non-saturation pipeline passes (determ + list_manip
+/// sorted-list variants, then solver-driven function and loop
+/// inference), returning what the solvers did. Shared verbatim by the
+/// single-round cold, multi-round cold, and partial-resume paths so
+/// their trajectories cannot drift apart.
+fn run_inference_passes(egraph: &mut CadGraph, eps: f64) -> Vec<crate::InferenceRecord> {
+    let mut records = Vec::new();
+    list_manipulation(egraph);
+    egraph.rebuild();
+    records.extend(infer_functions(egraph, eps));
+    egraph.rebuild();
+    records.extend(infer_loops(egraph, eps));
+    egraph.rebuild();
+    records
+}
+
+/// Applies a run's cancellation/deadline/progress options to a runner.
+fn configure_runner(
+    mut runner: Runner<crate::CadLang, CadAnalysis>,
+    opts: &RunOptions,
+    deadline: Option<Instant>,
+) -> Runner<crate::CadLang, CadAnalysis> {
+    if let Some(token) = &opts.cancel {
+        runner = runner.with_cancel_token(token.clone());
+    }
+    if let Some(deadline) = deadline {
+        runner = runner.with_deadline(deadline);
+    }
+    if let Some(progress) = &opts.progress {
+        runner = runner.with_progress(Arc::clone(progress));
+    }
+    runner
+}
+
+/// Unwraps a snapshot capture. The main loop always rebuilds before
+/// returning, so `NotClean` cannot happen; debug builds assert, release
+/// builds degrade to "no snapshot captured".
+fn capture_snapshot(
+    result: Result<Snapshot<crate::CadLang>, SnapshotError>,
+) -> Option<Snapshot<crate::CadLang>> {
+    debug_assert!(result.is_ok(), "pipeline snapshots a clean graph");
+    result.ok()
+}
+
+/// Folds one round's per-rule totals into the running totals (matched by
+/// name; every round runs the same rule set, so order is stable).
+pub(crate) fn merge_rule_stats(totals: &mut Vec<RuleStat>, round: Vec<RuleStat>) {
+    for stat in round {
+        match totals.iter_mut().find(|t| t.name == stat.name) {
+            Some(total) => total.absorb(&stat),
+            None => totals.push(stat),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostKind;
+
+    fn row_of_cubes(n: usize, spacing: f64) -> Cad {
+        Cad::union_chain(
+            (1..=n)
+                .map(|i| Cad::translate(spacing * i as f64, 0.0, 0.0, Cad::Unit))
+                .collect(),
+        )
+    }
+
+    fn quick() -> SynthConfig {
+        SynthConfig::new()
+            .with_iter_limit(20)
+            .with_node_limit(20_000)
+    }
+
+    #[test]
+    fn session_is_send_sync_and_shareable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Synthesizer>();
+        assert_send_sync::<RunOptions>();
+        assert_send_sync::<RunLimits>();
+
+        // One session, many threads: results must match a lone run.
+        let session = Arc::new(Synthesizer::new(quick()));
+        let lone = session
+            .run(&row_of_cubes(4, 2.0), RunOptions::new())
+            .unwrap();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let session = Arc::clone(&session);
+                std::thread::spawn(move || {
+                    session
+                        .run(&row_of_cubes(4, 2.0), RunOptions::new())
+                        .unwrap()
+                })
+            })
+            .collect();
+        for handle in handles {
+            let result = handle.join().unwrap();
+            assert_eq!(result.best().cad.to_string(), lone.best().cad.to_string());
+        }
+    }
+
+    #[test]
+    fn sessions_share_one_compiled_ruleset() {
+        let a = Synthesizer::new(quick());
+        let b = Synthesizer::new(quick().with_k(9));
+        assert!(Arc::ptr_eq(&a.ruleset, &b.ruleset));
+        let structural = Synthesizer::new(quick().with_structural_rules(true));
+        assert!(!Arc::ptr_eq(&a.ruleset, &structural.ruleset));
+        assert!(structural.rule_count() > a.rule_count());
+    }
+
+    #[test]
+    fn run_rejects_non_flat_input() {
+        let looped: Cad = "(Repeat Unit 3)".parse().unwrap();
+        let session = Synthesizer::new(quick());
+        assert_eq!(
+            session.run(&looped, RunOptions::new()).unwrap_err(),
+            SynthError::NotFlat
+        );
+    }
+
+    #[test]
+    fn capture_then_exact_resume_is_extraction_only() {
+        let flat = row_of_cubes(5, 2.0);
+        let session = Synthesizer::new(quick());
+        let cold = session
+            .run(&flat, RunOptions::new().capture_snapshot(true))
+            .unwrap();
+        assert_eq!(cold.mode, RunMode::Cold);
+        let snapshot = cold.snapshot.clone().expect("capture requested");
+        assert!(
+            snapshot.sat_phase().is_some(),
+            "single-round capture carries the sat phase"
+        );
+
+        let resumed = session
+            .run(&flat, RunOptions::new().with_snapshot(snapshot))
+            .unwrap();
+        assert_eq!(resumed.mode, RunMode::ResumedExtraction);
+        assert_eq!(resumed.iterations, 0);
+        let progs = |s: &Synthesis| -> Vec<(usize, String)> {
+            s.top_k
+                .iter()
+                .map(|p| (p.cost, p.cad.to_string()))
+                .collect()
+        };
+        assert_eq!(progs(&resumed), progs(&cold));
+    }
+
+    #[test]
+    fn lower_fuel_snapshot_continues_saturating() {
+        let flat = row_of_cubes(5, 2.0);
+        let low = Synthesizer::new(quick().with_iter_limit(3));
+        let snapshot = low
+            .run(&flat, RunOptions::new().capture_snapshot(true))
+            .unwrap()
+            .snapshot
+            .unwrap();
+
+        let high_config = quick().with_iter_limit(40);
+        let high = Synthesizer::new(high_config.clone());
+        let cold = high.run(&flat, RunOptions::new()).unwrap();
+        let resumed = high
+            .run(&flat, RunOptions::new().with_snapshot(snapshot))
+            .unwrap();
+        assert_eq!(resumed.mode, RunMode::ResumedSaturation);
+        assert!(
+            resumed.iterations < cold.iterations,
+            "resumed leg ({}) must spend strictly fewer iterations than cold ({})",
+            resumed.iterations,
+            cold.iterations
+        );
+        let progs = |s: &Synthesis| -> Vec<(usize, String)> {
+            s.top_k
+                .iter()
+                .map(|p| (p.cost, p.cad.to_string()))
+                .collect()
+        };
+        assert_eq!(progs(&resumed), progs(&cold));
+        assert_eq!(resumed.egraph_nodes, cold.egraph_nodes);
+        assert_eq!(resumed.egraph_classes, cold.egraph_classes);
+    }
+
+    #[test]
+    fn incompatible_snapshot_falls_back_to_cold() {
+        let flat = row_of_cubes(4, 2.0);
+        let low = Synthesizer::new(quick().with_iter_limit(3));
+        let snapshot = low
+            .run(&flat, RunOptions::new().capture_snapshot(true))
+            .unwrap()
+            .snapshot
+            .unwrap();
+
+        // eps changes the core fingerprint: neither resume flavor fits.
+        let other = Synthesizer::new(quick().with_eps(1e-2));
+        let result = other
+            .run(&flat, RunOptions::new().with_snapshot(snapshot.clone()))
+            .unwrap();
+        assert_eq!(result.mode, RunMode::Cold);
+        assert!(result.iterations > 0);
+
+        // Wrong input: also cold.
+        let result = other
+            .run(
+                &row_of_cubes(3, 2.0),
+                RunOptions::new().with_snapshot(snapshot),
+            )
+            .unwrap();
+        assert_eq!(result.mode, RunMode::Cold);
+    }
+
+    #[test]
+    fn run_limit_overrides_participate_in_dispatch() {
+        // A snapshot captured at the session's default fuel is reused by
+        // a *higher* per-run iter override via partial resume.
+        let flat = row_of_cubes(5, 2.0);
+        let session = Synthesizer::new(quick().with_iter_limit(3));
+        let snapshot = session
+            .run(&flat, RunOptions::new().capture_snapshot(true))
+            .unwrap()
+            .snapshot
+            .unwrap();
+        let resumed = session
+            .run(
+                &flat,
+                RunOptions::new()
+                    .with_snapshot(snapshot)
+                    .with_limits(RunLimits::new().with_iter_limit(40)),
+            )
+            .unwrap();
+        assert_eq!(resumed.mode, RunMode::ResumedSaturation);
+        let cold = session
+            .run(
+                &flat,
+                RunOptions::new().with_limits(RunLimits::new().with_iter_limit(40)),
+            )
+            .unwrap();
+        assert_eq!(resumed.best().cad.to_string(), cold.best().cad.to_string());
+    }
+
+    #[test]
+    fn pre_cancelled_token_returns_wellformed_result() {
+        let token = CancelToken::new();
+        token.cancel();
+        let session = Synthesizer::new(quick());
+        let result = session
+            .run(
+                &row_of_cubes(5, 2.0),
+                RunOptions::new()
+                    .with_cancel_token(token)
+                    .capture_snapshot(true),
+            )
+            .unwrap();
+        assert_eq!(result.stop_reason, Some(StopReason::Cancelled));
+        assert_eq!(result.iterations, 0);
+        assert!(!result.top_k.is_empty(), "the input itself is extractable");
+        assert!(result.snapshot.is_none(), "cancelled runs never capture");
+    }
+
+    #[test]
+    fn pre_cancelled_run_skips_resume_work() {
+        // A token triggered before the run starts must not pay for a
+        // snapshot restore + extraction (batch shutdown over a warm
+        // tier); the run degrades to a cancelled cold run immediately.
+        let flat = row_of_cubes(4, 2.0);
+        let session = Synthesizer::new(quick());
+        let snapshot = session
+            .run(&flat, RunOptions::new().capture_snapshot(true))
+            .unwrap()
+            .snapshot
+            .unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let result = session
+            .run(
+                &flat,
+                RunOptions::new()
+                    .with_snapshot(snapshot)
+                    .with_cancel_token(token),
+            )
+            .unwrap();
+        assert_eq!(result.mode, RunMode::Cold);
+        assert_eq!(result.stop_reason, Some(StopReason::Cancelled));
+        assert_eq!(result.iterations, 0);
+        assert!(!result.top_k.is_empty());
+    }
+
+    #[test]
+    fn past_deadline_cancels_promptly() {
+        let session = Synthesizer::new(SynthConfig::new());
+        let start = Instant::now();
+        let result = session
+            .run(
+                &row_of_cubes(8, 2.0),
+                RunOptions::new().with_deadline(Duration::from_millis(1)),
+            )
+            .unwrap();
+        assert_eq!(result.stop_reason, Some(StopReason::Cancelled));
+        assert!(!result.top_k.is_empty());
+        // "Promptly": bounded by one iteration + extraction, not the
+        // full 150-iteration default budget. Generous margin for CI.
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "cancellation must not wait for the full run"
+        );
+    }
+
+    #[test]
+    fn progress_observer_is_called() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        #[derive(Default)]
+        struct Counter(AtomicUsize);
+        impl ProgressObserver for Counter {
+            fn on_iteration(&self, _i: usize, _stats: &sz_egraph::Iteration) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let counter = Arc::new(Counter::default());
+        let session = Synthesizer::new(quick());
+        let result = session
+            .run(
+                &row_of_cubes(5, 2.0),
+                RunOptions::new().with_progress(counter.clone()),
+            )
+            .unwrap();
+        assert_eq!(counter.0.load(Ordering::Relaxed), result.iterations);
+        assert!(result.iterations > 0);
+    }
+
+    #[test]
+    fn unextractable_snapshot_degrades_to_cold() {
+        // A snapshot can parse, match the input and fingerprint, and
+        // still restore a graph that extracts no Cad program (here: a
+        // bare number). The run must fall back cold, not fail — an
+        // offered snapshot can slow a run down but never fail it.
+        let flat = row_of_cubes(3, 2.0);
+        let config = quick();
+        let mut egraph = CadGraph::new(CadAnalysis);
+        let root = egraph.add_expr(&"1".parse::<sz_egraph::RecExpr<crate::CadLang>>().unwrap());
+        egraph.rebuild();
+        let snap = Snapshot::of_egraph(&egraph, &[root]).unwrap();
+        let bogus = SynthSnapshot::new(&flat, &config, snap);
+        let session = Synthesizer::new(config);
+        let result = session
+            .run(&flat, RunOptions::new().with_snapshot(bogus))
+            .unwrap();
+        assert_eq!(result.mode, RunMode::Cold);
+        assert!(result.iterations > 0);
+        assert!(!result.top_k.is_empty());
+    }
+
+    #[test]
+    fn with_limits_preserves_an_earlier_deadline() {
+        // Both orders must keep the deadline; dropping it silently would
+        // un-bound the exact runs the deadline API exists to bound.
+        let a = RunOptions::new()
+            .with_deadline(Duration::from_millis(1))
+            .with_limits(RunLimits::new().with_iter_limit(40));
+        assert_eq!(a.limits.deadline, Some(Duration::from_millis(1)));
+        assert_eq!(a.limits.iter_limit, Some(40));
+        let b = RunOptions::new()
+            .with_limits(RunLimits::new().with_iter_limit(40))
+            .with_deadline(Duration::from_millis(1));
+        assert_eq!(b.limits.deadline, Some(Duration::from_millis(1)));
+        // A deadline inside the new limits wins over the old one.
+        let c = RunOptions::new()
+            .with_deadline(Duration::from_millis(1))
+            .with_limits(RunLimits::new().with_deadline(Duration::from_millis(7)));
+        assert_eq!(c.limits.deadline, Some(Duration::from_millis(7)));
+    }
+
+    #[test]
+    fn extraction_resume_hands_back_the_offered_snapshot_without_reserialization() {
+        let flat = row_of_cubes(4, 2.0);
+        let session = Synthesizer::new(quick());
+        let snapshot = session
+            .run(&flat, RunOptions::new().capture_snapshot(true))
+            .unwrap()
+            .snapshot
+            .unwrap();
+        let text = snapshot.to_string();
+        let resumed = session
+            .run(
+                &flat,
+                RunOptions::new()
+                    .with_snapshot(snapshot)
+                    .capture_snapshot(true),
+            )
+            .unwrap();
+        assert_eq!(resumed.mode, RunMode::ResumedExtraction);
+        assert_eq!(
+            resumed.snapshot.unwrap().to_string(),
+            text,
+            "the offered snapshot is returned as this run's capture"
+        );
+    }
+
+    #[test]
+    fn multi_round_progress_indices_are_monotonic() {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        #[derive(Default)]
+        struct Monotonic {
+            next_expected: AtomicUsize,
+            violated: AtomicBool,
+        }
+        impl ProgressObserver for Monotonic {
+            fn on_iteration(&self, lifetime_iteration: usize, _stats: &sz_egraph::Iteration) {
+                let expected = self.next_expected.fetch_add(1, Ordering::Relaxed);
+                if lifetime_iteration != expected {
+                    self.violated.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        let observer = Arc::new(Monotonic::default());
+        let session = Synthesizer::new(quick().with_main_loop_fuel(3).with_iter_limit(4));
+        let result = session
+            .run(
+                &row_of_cubes(4, 2.0),
+                RunOptions::new().with_progress(observer.clone()),
+            )
+            .unwrap();
+        use std::sync::atomic::Ordering as O;
+        assert!(
+            !observer.violated.load(O::Relaxed),
+            "lifetime iteration indices must be monotonic across rounds"
+        );
+        assert_eq!(observer.next_expected.load(O::Relaxed), result.iterations);
+    }
+
+    #[test]
+    fn extraction_fields_still_configurable_per_session() {
+        let flat = row_of_cubes(2, 2.0);
+        let reward = Synthesizer::new(quick().with_cost(CostKind::RewardLoops));
+        let result = reward.run(&flat, RunOptions::new()).unwrap();
+        assert_eq!(result.structured().map(|(r, _)| r), Some(1));
+    }
+}

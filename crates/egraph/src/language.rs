@@ -19,7 +19,7 @@ use crate::Id;
 /// For parsing (patterns, test inputs) and printing, implementors also
 /// provide an operator name via [`Language::op_name`] and a constructor from
 /// an operator name via [`Language::from_op`].
-pub trait Language: fmt::Debug + Clone + Eq + Ord + Hash + 'static {
+pub trait Language: fmt::Debug + Clone + Eq + Ord + Hash + Send + Sync + 'static {
     /// Returns the children of this e-node.
     fn children(&self) -> &[Id];
 

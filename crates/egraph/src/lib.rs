@@ -76,11 +76,13 @@ pub use egraph::{EClass, EGraph};
 pub use extract::{AstDepth, AstSize, CostFunction, Extractor, KBestExtractor};
 pub use id::Id;
 pub use language::{FromOpError, Language, Symbol};
-pub use machine::{CompiledPattern, Program};
+pub use machine::{compile_count, CompiledPattern, Program};
 pub use pattern::{ENodeOrVar, Pattern, SearchMatches};
 pub use recexpr::{RecExpr, RecExprParseError};
 pub use rewrite::{Applier, ConditionalApplier, FnApplier, Rewrite, Searcher};
-pub use runner::{Iteration, RuleIteration, RuleStat, Runner, StopReason};
+pub use runner::{
+    CancelToken, Iteration, ProgressObserver, RuleIteration, RuleStat, Runner, StopReason,
+};
 pub use scheduler::{BackoffScheduler, Scheduler};
 pub use snapshot::{
     escape_token, unescape_token, Snapshot, SnapshotError, SnapshotParseError,

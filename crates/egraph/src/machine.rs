@@ -241,9 +241,21 @@ pub struct CompiledPattern<L> {
     program: Program<L>,
 }
 
+/// Process-lifetime count of pattern compilations
+/// ([`CompiledPattern::compile`] calls). Monotonic; used by benches and
+/// tests to prove that rule sets are compiled once and reused (see
+/// `szalinski::Synthesizer`) rather than recompiled per run.
+static COMPILE_COUNT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Total [`CompiledPattern::compile`] invocations in this process so far.
+pub fn compile_count() -> usize {
+    COMPILE_COUNT.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 impl<L: Language> CompiledPattern<L> {
     /// Compiles a pattern.
     pub fn compile(pattern: Pattern<L>) -> Self {
+        COMPILE_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let program = Program::compile(&pattern);
         CompiledPattern { pattern, program }
     }

@@ -139,8 +139,12 @@ pub struct Rewrite<L: Language, N: Analysis<L>> {
     lhs: Pattern<L>,
     /// The live searcher: a [`CompiledPattern`] by default, or the naive
     /// [`Pattern`] when built with the `naive-ematch` feature.
-    searcher: Arc<dyn Searcher<L, N>>,
-    applier: Arc<dyn Applier<L, N>>,
+    ///
+    /// Both trait objects are `Send + Sync` so a compiled rule set can be
+    /// built once and shared across worker threads (see
+    /// `szalinski::Synthesizer` and `sz-batch`).
+    searcher: Arc<dyn Searcher<L, N> + Send + Sync>,
+    applier: Arc<dyn Applier<L, N> + Send + Sync>,
 }
 
 impl<L: Language, N: Analysis<L>> Clone for Rewrite<L, N> {
@@ -175,12 +179,13 @@ impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
     pub fn new(
         name: impl Into<String>,
         searcher: Pattern<L>,
-        applier: impl Applier<L, N> + 'static,
+        applier: impl Applier<L, N> + Send + Sync + 'static,
     ) -> Self {
         #[cfg(not(feature = "naive-ematch"))]
-        let live: Arc<dyn Searcher<L, N>> = Arc::new(CompiledPattern::compile(searcher.clone()));
+        let live: Arc<dyn Searcher<L, N> + Send + Sync> =
+            Arc::new(CompiledPattern::compile(searcher.clone()));
         #[cfg(feature = "naive-ematch")]
-        let live: Arc<dyn Searcher<L, N>> = Arc::new(searcher.clone());
+        let live: Arc<dyn Searcher<L, N> + Send + Sync> = Arc::new(searcher.clone());
         Rewrite {
             name: name.into(),
             lhs: searcher,
@@ -194,8 +199,8 @@ impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
     pub fn with_searcher(
         name: impl Into<String>,
         lhs: Pattern<L>,
-        searcher: impl Searcher<L, N> + 'static,
-        applier: impl Applier<L, N> + 'static,
+        searcher: impl Searcher<L, N> + Send + Sync + 'static,
+        applier: impl Applier<L, N> + Send + Sync + 'static,
     ) -> Self {
         Rewrite {
             name: name.into(),

@@ -1,6 +1,9 @@
 //! The equality-saturation [`Runner`]: iterates search → apply → rebuild
-//! until saturation or a resource limit ("fuel") is hit.
+//! until saturation, a resource limit ("fuel"), a wall-clock deadline, or
+//! a cooperative [`CancelToken`] stops it.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::snapshot::SchedState;
@@ -17,6 +20,70 @@ pub enum StopReason {
     NodeLimit(usize),
     /// The time limit was reached.
     TimeLimit(Duration),
+    /// A [`CancelToken`] was triggered or a deadline
+    /// ([`Runner::with_deadline`]) passed. Checked at iteration
+    /// boundaries only: the e-graph is always left clean (rebuilt), so
+    /// the partial result remains extractable.
+    Cancelled,
+}
+
+/// A cooperative cancellation flag, shareable across threads.
+///
+/// Cancellation is *cooperative*: the [`Runner`] polls the token at
+/// iteration boundaries, finishes the current iteration's apply/rebuild,
+/// and stops with [`StopReason::Cancelled`] — it never tears mid-rebuild,
+/// so the e-graph stays clean and extractable.
+///
+/// # Examples
+///
+/// ```
+/// use sz_egraph::{CancelToken, Runner, Rewrite, StopReason, tests_lang::Arith};
+/// let rules: Vec<Rewrite<Arith, ()>> =
+///     vec![Rewrite::parse("comm-add", "(+ ?a ?b)", "(+ ?b ?a)").unwrap()];
+/// let token = CancelToken::new();
+/// token.cancel(); // e.g. from another thread
+/// let runner = Runner::new(())
+///     .with_expr(&"(+ 1 2)".parse().unwrap())
+///     .with_cancel_token(token)
+///     .run(&rules);
+/// assert_eq!(runner.stop_reason, Some(StopReason::Cancelled));
+/// assert!(runner.iterations.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Observer of saturation progress, called by the [`Runner`] at every
+/// iteration boundary. `Send + Sync` so one observer can watch runs
+/// fanned across worker threads (e.g. a batch progress bar).
+pub trait ProgressObserver: Send + Sync {
+    /// Called after each completed iteration with its 0-based *lifetime*
+    /// index (continues counting past [`Runner::prior_iterations`], so
+    /// resumed runs and multi-round pipelines report monotonic indices)
+    /// and the iteration's statistics.
+    fn on_iteration(&self, _lifetime_iteration: usize, _stats: &Iteration) {}
+
+    /// Called once when a saturation run stops. A pipeline that drives
+    /// several runner rounds (`SynthConfig::main_loop_fuel > 1`) reports
+    /// one stop per round; the last call is the pipeline's final stop
+    /// reason.
+    fn on_stop(&self, _reason: &StopReason) {}
 }
 
 /// Statistics for one saturation iteration.
@@ -120,9 +187,18 @@ pub struct Runner<L: Language, N: Analysis<L>> {
     /// only records this run's iterations; a resumed run's lifetime total
     /// is `prior_iterations + iterations.len()`.
     pub prior_iterations: usize,
+    /// True when this runner was rebuilt from a snapshot
+    /// ([`Runner::resume_from`]): gates resume-only behavior such as the
+    /// immediate over-node-limit stop, without overloading
+    /// `prior_iterations` (which pipelines may also use as a progress
+    /// index base for multi-round cold runs).
+    resumed: bool,
     iter_limit: usize,
     node_limit: usize,
     time_limit: Duration,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+    progress: Option<Arc<dyn ProgressObserver>>,
     scheduler: Scheduler,
 }
 
@@ -136,9 +212,13 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             iterations: Vec::new(),
             stop_reason: None,
             prior_iterations: 0,
+            resumed: false,
             iter_limit: 30,
             node_limit: 100_000,
             time_limit: Duration::from_secs(30),
+            deadline: None,
+            cancel: None,
+            progress: None,
             scheduler: Scheduler::Simple,
         }
     }
@@ -166,6 +246,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
         runner.egraph = snapshot.restore(runner.egraph.analysis);
         runner.roots = snapshot.roots().to_vec();
         runner.prior_iterations = snapshot.iterations();
+        runner.resumed = true;
         runner.scheduler = match &snapshot.scheduler {
             SchedState::Simple => Scheduler::Simple,
             SchedState::Backoff {
@@ -236,6 +317,32 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
         self
     }
 
+    /// Sets an absolute wall-clock deadline. Unlike the relative
+    /// [`Runner::with_time_limit`] (which reports
+    /// [`StopReason::TimeLimit`]), passing a deadline reports
+    /// [`StopReason::Cancelled`] — it models an *external* bound (a
+    /// serving deadline) rather than this run's own fuel. Checked at
+    /// iteration boundaries; the e-graph is left clean.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cooperative [`CancelToken`], polled at iteration
+    /// boundaries; when triggered the run stops with
+    /// [`StopReason::Cancelled`].
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a [`ProgressObserver`] notified after every iteration
+    /// and once on stop.
+    pub fn with_progress(mut self, observer: Arc<dyn ProgressObserver>) -> Self {
+        self.progress = Some(observer);
+        self
+    }
+
     /// Sets the rule scheduler (default: [`Scheduler::Simple`]).
     ///
     /// [`Scheduler::backoff`] throttles rules whose match counts explode
@@ -286,17 +393,44 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
     /// every apply phase — this is the automatic enforcement of the
     /// searchers' clean-graph contract, so runner users can never trip
     /// the dirty-graph debug assertion in [`Pattern::search`](crate::Pattern::search).
+    ///
+    /// Cancellation ([`Runner::with_cancel_token`]) and deadlines
+    /// ([`Runner::with_deadline`]) are checked here too, *before* each
+    /// iteration: a triggered token or passed deadline stops the run
+    /// with [`StopReason::Cancelled`] while the e-graph is clean, so
+    /// extraction over the partial result is always possible. All limit
+    /// checks happen at iteration boundaries; nothing interrupts an
+    /// iteration mid-flight.
     pub fn run(mut self, rules: &[Rewrite<L, N>]) -> Self {
         let start = Instant::now();
         self.egraph.rebuild();
         self.scheduler.ensure_rules(rules.len());
         loop {
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+                || self.deadline.is_some_and(|d| Instant::now() >= d)
+            {
+                self.stop_reason = Some(StopReason::Cancelled);
+                break;
+            }
             if self.iterations.len() >= self.iter_limit {
                 self.stop_reason = Some(StopReason::IterationLimit(self.iter_limit));
                 break;
             }
             if start.elapsed() > self.time_limit {
                 self.stop_reason = Some(StopReason::TimeLimit(self.time_limit));
+                break;
+            }
+            // A *resumed* graph already over the node limit (the
+            // producing run stopped at its node limit) must not saturate
+            // further: the cold run it mirrors stopped at exactly this
+            // state. Gated on `resumed` so cold runs — including later
+            // rounds of a multi-round pipeline, which set
+            // `prior_iterations` purely for progress indexing — keep
+            // their historical behavior (one iteration even when the
+            // entry graph is over the limit) and persisted program
+            // caches stay valid across this release.
+            if self.resumed && self.egraph.total_number_of_nodes() > self.node_limit {
+                self.stop_reason = Some(StopReason::NodeLimit(self.node_limit));
                 break;
             }
             let iteration = self.iterations.len();
@@ -365,6 +499,12 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                 rebuild_unions,
                 time: iter_start.elapsed(),
             });
+            if let Some(progress) = &self.progress {
+                progress.on_iteration(
+                    self.prior_iterations + self.iterations.len() - 1,
+                    self.iterations.last().expect("just pushed"),
+                );
+            }
 
             if !any_change && banned == 0 && !self.scheduler.any_banned(iteration + 1) {
                 // Only a full, unthrottled quiet iteration proves
@@ -376,6 +516,9 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                 self.stop_reason = Some(StopReason::NodeLimit(self.node_limit));
                 break;
             }
+        }
+        if let (Some(progress), Some(reason)) = (&self.progress, &self.stop_reason) {
+            progress.on_stop(reason);
         }
         self
     }
@@ -585,6 +728,118 @@ mod tests {
             }
             assert!(resumed.scheduler.can_search(remaining, rule));
         }
+    }
+
+    #[test]
+    fn cancel_token_stops_before_first_iteration() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert!(token.is_cancelled());
+        let runner = Runner::new(())
+            .with_expr(&"(+ a (+ b (+ c (+ d e))))".parse().unwrap())
+            .with_cancel_token(token)
+            .run(&rules());
+        assert_eq!(runner.stop_reason, Some(StopReason::Cancelled));
+        assert!(runner.iterations.is_empty());
+        // The graph is clean and intact: extraction over it would work.
+        assert!(runner.egraph.number_of_classes() > 0);
+    }
+
+    #[test]
+    fn cancel_mid_run_stops_at_iteration_boundary() {
+        // An observer that cancels after the first iteration: the run
+        // must record exactly one iteration, then stop Cancelled.
+        struct CancelAfterOne(CancelToken);
+        impl ProgressObserver for CancelAfterOne {
+            fn on_iteration(&self, _i: usize, _stats: &Iteration) {
+                self.0.cancel();
+            }
+        }
+        let token = CancelToken::new();
+        let runner = Runner::new(())
+            .with_expr(&"(+ a (+ b (+ c (+ d (+ e (+ f g))))))".parse().unwrap())
+            .with_iter_limit(50)
+            .with_cancel_token(token.clone())
+            .with_progress(std::sync::Arc::new(CancelAfterOne(token)))
+            .run(&rules());
+        assert_eq!(runner.stop_reason, Some(StopReason::Cancelled));
+        assert_eq!(runner.iterations.len(), 1);
+    }
+
+    #[test]
+    fn past_deadline_stops_with_cancelled() {
+        let runner = Runner::new(())
+            .with_expr(&"(+ a (+ b c))".parse().unwrap())
+            .with_deadline(Instant::now() - Duration::from_millis(1))
+            .run(&rules());
+        assert_eq!(runner.stop_reason, Some(StopReason::Cancelled));
+        assert!(runner.iterations.is_empty());
+    }
+
+    #[test]
+    fn progress_observer_sees_every_iteration_and_the_stop() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        #[derive(Default)]
+        struct Recorder {
+            iterations: AtomicUsize,
+            last_index: AtomicUsize,
+            stop: Mutex<Option<StopReason>>,
+        }
+        impl ProgressObserver for Recorder {
+            fn on_iteration(&self, lifetime_iteration: usize, stats: &Iteration) {
+                self.iterations.fetch_add(1, Ordering::Relaxed);
+                self.last_index.store(lifetime_iteration, Ordering::Relaxed);
+                assert!(!stats.rules.is_empty());
+            }
+            fn on_stop(&self, reason: &StopReason) {
+                *self.stop.lock().unwrap() = Some(reason.clone());
+            }
+        }
+        let recorder = std::sync::Arc::new(Recorder::default());
+        let runner = Runner::new(())
+            .with_expr(&"(+ 1 (+ 2 3))".parse().unwrap())
+            .with_iter_limit(5)
+            .with_progress(recorder.clone())
+            .run(&rules());
+        assert_eq!(
+            recorder.iterations.load(Ordering::Relaxed),
+            runner.iterations.len()
+        );
+        assert_eq!(
+            recorder.last_index.load(Ordering::Relaxed),
+            runner.iterations.len() - 1
+        );
+        assert_eq!(*recorder.stop.lock().unwrap(), runner.stop_reason);
+    }
+
+    #[test]
+    fn resume_over_node_limit_stops_immediately() {
+        // A resumed graph already past the node limit must not run even
+        // one more iteration — a cold run at the same limit would have
+        // stopped at exactly the snapshotted state.
+        let runner = Runner::new(())
+            .with_expr(&"(+ a (+ b (+ c (+ d (+ e (+ f g))))))".parse().unwrap())
+            .with_node_limit(20)
+            .run(&rules());
+        assert!(matches!(
+            runner.stop_reason,
+            Some(StopReason::NodeLimit(20))
+        ));
+        let nodes = runner.egraph.total_number_of_nodes();
+        assert!(nodes > 20);
+        let snapshot = runner.snapshot().unwrap();
+        let resumed = Runner::resume_from(&snapshot, ())
+            .with_node_limit(20)
+            .with_iter_limit(50)
+            .run(&rules());
+        assert!(matches!(
+            resumed.stop_reason,
+            Some(StopReason::NodeLimit(20))
+        ));
+        assert!(resumed.iterations.is_empty());
+        assert_eq!(resumed.egraph.total_number_of_nodes(), nodes);
     }
 
     #[test]

@@ -3,16 +3,22 @@
 //! program cache short-circuiting saturation, then change *only the
 //! cost function* to show the snapshot tier resuming saturated e-graphs
 //! instead of recomputing them (the `szb --snapshots <dir>` flow,
-//! in-process).
+//! in-process). Finally, drive the session API directly: a lower-fuel
+//! snapshot *continues* saturating under a higher-fuel config (partial
+//! resume), and a deadline cancels a run mid-saturation while still
+//! returning programs.
 //!
 //! ```text
 //! cargo run --release --example batch_corpus
 //! ```
 
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use szalinski_repro::sz_batch::{suite16_jobs, BatchEngine, ResultCache};
-use szalinski_repro::szalinski::{CostKind, SynthConfig};
+use szalinski_repro::szalinski::{
+    CostKind, RunMode, RunOptions, StopReason, SynthConfig, Synthesizer,
+};
 
 fn main() {
     let config = SynthConfig::new().with_iter_limit(60).with_node_limit(80_000);
@@ -56,7 +62,7 @@ fn main() {
     // fingerprint) but hits the snapshot tier (same saturation
     // fingerprint): every job restores its saturated e-graph and re-runs
     // extraction alone.
-    let reward = config.with_cost(CostKind::RewardLoops);
+    let reward = config.clone().with_cost(CostKind::RewardLoops);
     let resumed = engine.run(suite16_jobs(&reward));
     println!(
         "cost-only rerun: {:.2}s wall, {} snapshot resumes ({:.0}% tier hit rate), {} saturation iterations",
@@ -67,11 +73,55 @@ fn main() {
     );
     assert_eq!(resumed.snapshot_hits(), 16);
     assert!(resumed.outcomes.iter().all(|o| o.iterations == 0));
-    let cache = cache.lock().unwrap();
+    {
+        let cache = cache.lock().unwrap();
+        println!(
+            "snapshot tier: {} snapshots, {} bytes",
+            cache.snapshot_count(),
+            cache.snapshot_bytes()
+        );
+    }
+
+    // The session API directly: snapshot a model at LOW fuel, then run a
+    // HIGH-fuel session against it — `Synthesizer::run` notices the
+    // fingerprints match modulo the lower limits and *continues*
+    // saturating instead of starting over.
+    let model = szalinski_repro::sz_models::all_models().remove(0);
+    let low = Synthesizer::new(config.clone().with_iter_limit(5));
+    let snapshot = low
+        .run(&model.flat, RunOptions::new().capture_snapshot(true))
+        .unwrap()
+        .snapshot
+        .unwrap();
+    let high = Synthesizer::new(config.clone());
+    let cold = high.run(&model.flat, RunOptions::new()).unwrap();
+    let partial = high
+        .run(&model.flat, RunOptions::new().with_snapshot(snapshot))
+        .unwrap();
+    assert_eq!(partial.mode, RunMode::ResumedSaturation);
+    assert_eq!(
+        partial.best().cad.to_string(),
+        cold.best().cad.to_string(),
+        "partial resume lands on the cold run's output"
+    );
     println!(
-        "snapshot tier: {} snapshots, {} bytes",
-        cache.snapshot_count(),
-        cache.snapshot_bytes()
+        "partial resume ({}): {} new iterations vs {} cold, same program",
+        model.name, partial.iterations, cold.iterations
+    );
+
+    // Deadlines: a 1 ms budget cancels at the first iteration boundary,
+    // but the run still returns a well-formed (barely saturated) result.
+    let rushed = high
+        .run(
+            &model.flat,
+            RunOptions::new().with_deadline(Duration::from_millis(1)),
+        )
+        .unwrap();
+    assert_eq!(rushed.stop_reason, Some(StopReason::Cancelled));
+    println!(
+        "deadline demo: cancelled after {} iteration(s), still extracted {} program(s)",
+        rushed.iterations,
+        rushed.top_k.len()
     );
 }
 

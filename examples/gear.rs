@@ -9,7 +9,7 @@
 use sz_mesh::{compile_mesh, to_ascii_stl, MeshQuality};
 use sz_models::gear;
 use sz_scad::cad_to_scad;
-use szalinski::{synthesize, SynthConfig};
+use szalinski::{RunOptions, SynthConfig, Synthesizer};
 
 fn main() {
     let flat = gear(60);
@@ -25,8 +25,10 @@ fn main() {
     let stl = to_ascii_stl(&mesh, "gear");
     println!("as STL: {} lines (paper: ~8000)", stl.lines().count());
 
-    // Synthesize.
-    let result = synthesize(&flat, &SynthConfig::new());
+    // Synthesize through a session.
+    let result = Synthesizer::new(SynthConfig::new())
+        .run(&flat, RunOptions::new())
+        .expect("the gear is flat CSG");
     let (rank, prog) = result.structured().expect("the gear has structure");
     println!(
         "\nsynthesized at rank {rank} in {:.2?} ({} nodes, {} lines):\n{}",

@@ -8,13 +8,15 @@
 
 use sz_cad::Cad;
 use sz_models::hexcell_plate;
-use szalinski::{synthesize, SynthConfig};
+use szalinski::{RunOptions, SynthConfig, Synthesizer};
 
 fn main() {
     let flat = hexcell_plate();
     println!("input: {} nodes\n{}\n", flat.num_nodes(), flat.to_pretty(72));
 
-    let result = synthesize(&flat, &SynthConfig::new().with_k(24));
+    let result = Synthesizer::new(SynthConfig::new().with_k(24))
+        .run(&flat, RunOptions::new())
+        .expect("the hexcell plate is flat CSG");
 
     let loopy = result
         .top_k

@@ -9,17 +9,16 @@
 
 use sz_mesh::validate_program;
 use sz_models::{add_noise, noisy_hexagons, row_of_cubes};
-use szalinski::{synthesize, CostKind, SynthConfig};
+use szalinski::{CostKind, RunOptions, SynthConfig, Synthesizer};
 
 fn main() {
     // 1. The paper's verbatim noisy input (Fig. 16 left).
     let flat = noisy_hexagons();
     println!("decompiler output ({} nodes):\n{}\n", flat.num_nodes(), flat.to_pretty(72));
 
-    let result = synthesize(
-        &flat,
-        &SynthConfig::new().with_cost(CostKind::RewardLoops),
-    );
+    let result = Synthesizer::new(SynthConfig::new().with_cost(CostKind::RewardLoops))
+        .run(&flat, RunOptions::new())
+        .expect("the noisy input is still flat CSG");
     let (rank, prog) = result.structured().expect("structure despite noise");
     println!(
         "recovered program (rank {rank}):\n{}\n",
@@ -38,9 +37,12 @@ fn main() {
     // 2. A sweep: how much noise can the default ε = 1e-3 absorb?
     let clean = row_of_cubes(8, 2.0);
     println!("noise sweep on a row of 8 cubes (solver ε = 1e-3):");
+    let session = Synthesizer::new(SynthConfig::new());
     for amp in [0.0, 1e-4, 5e-4, 2e-3, 1e-2] {
         let noisy = add_noise(&clean, amp, 42);
-        let found = synthesize(&noisy, &SynthConfig::new())
+        let found = session
+            .run(&noisy, RunOptions::new())
+            .expect("noise keeps the input flat")
             .structured()
             .is_some();
         println!("  amplitude {amp:>7}: structure recovered = {found}");

@@ -7,7 +7,7 @@
 
 use sz_cad::Cad;
 use sz_mesh::validate_program;
-use szalinski::{synthesize, SynthConfig};
+use szalinski::{RunOptions, SynthConfig, Synthesizer};
 
 fn main() {
     // 1. A flat CSG input: five unit cubes spaced 2 apart along x. This
@@ -19,10 +19,14 @@ fn main() {
     );
     println!("input ({} nodes):\n{}\n", flat.num_nodes(), flat.to_pretty(72));
 
-    // 2. Run the Szalinski pipeline: saturation with ~40 CAD rewrites,
-    //    list determinization/sorting, closed-form inference, top-k
-    //    extraction.
-    let result = synthesize(&flat, &SynthConfig::new());
+    // 2. Build a synthesis session (compiles the ~40 CAD rewrites once;
+    //    reusable across inputs and worker threads) and run the
+    //    pipeline: saturation, list determinization/sorting, closed-form
+    //    inference, top-k extraction.
+    let session = Synthesizer::new(SynthConfig::new());
+    let result = session
+        .run(&flat, RunOptions::new())
+        .expect("a union of translated cubes is flat CSG");
 
     // 3. The best structured program exposes the loop.
     let (rank, prog) = result.structured().expect("this input has structure");

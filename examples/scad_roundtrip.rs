@@ -8,7 +8,7 @@
 //! ```
 
 use sz_scad::{cad_to_scad, scad_to_flat_csg};
-use szalinski::{synthesize, SynthConfig};
+use szalinski::{RunOptions, SynthConfig, Synthesizer};
 
 const HUMAN_MODEL: &str = r#"
 // A ring of 8 posts on a base plate, written by a human.
@@ -31,7 +31,9 @@ fn main() {
     );
 
     // 2. Szalinski re-discovers the loop.
-    let result = synthesize(&flat, &SynthConfig::new());
+    let result = Synthesizer::new(SynthConfig::new())
+        .run(&flat, RunOptions::new())
+        .expect("flattened OpenSCAD is flat CSG");
     let (rank, prog) = result.structured().expect("ring has structure");
     println!(
         "\nre-synthesized at rank {rank} ({} nodes):\n{}",

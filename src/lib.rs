@@ -64,23 +64,55 @@
 //!   derived state: snapshots never store it (format unchanged, no
 //!   version bump) and [`sz_egraph::Snapshot::restore`] rebuilds it.
 //! * **`szalinski`** (core) composes them into the paper's pipeline:
-//!   saturate → determinize → list-manipulate → infer → extract. Batch
-//!   callers use the panic-free, `Send`-safe
-//!   [`szalinski::try_synthesize`]; the e-graph [`sz_egraph::Runner`]
-//!   optionally throttles explosive rules with
-//!   [`sz_egraph::Scheduler::backoff`]. Saturated e-graphs persist as
-//!   versioned text [`sz_egraph::Snapshot`]s; the pipeline's
-//!   [`szalinski::resume_synthesize`] restores one and re-runs only
-//!   extraction, so config changes that touch extraction-only fields
-//!   (`k`, cost) skip saturation entirely.
+//!   saturate → determinize → list-manipulate → infer → extract. The
+//!   entry point is the **session API**: build a
+//!   [`szalinski::Synthesizer`] once from a [`szalinski::SynthConfig`]
+//!   (the rewrite rule set is compiled once and cached process-wide),
+//!   then call `run(&Cad, RunOptions) -> Result<Synthesis, SynthError>`
+//!   for every request. One `run` covers all three execution modes,
+//!   dispatched automatically from the offered
+//!   [`szalinski::SynthSnapshot`] (recorded in `Synthesis::mode`):
+//!
+//!   ```text
+//!                          ┌─ no / incompatible snapshot ──► cold run
+//!   Synthesizer::run ──────┼─ exact saturation fingerprint ► restore final
+//!     (one entry point)    │   match                          graph, re-run
+//!                          │                                  extraction only
+//!                          └─ fingerprint match modulo      ► restore the
+//!                              LOWER fuel limits               saturation-phase
+//!                              ("partial resume")              runner state and
+//!                                                              CONTINUE saturating
+//!   ```
+//!
+//!   Runs are bounded and observable: [`szalinski::RunLimits`] overrides
+//!   iteration/node fuel per run and sets a wall-clock **deadline**;
+//!   a cooperative [`szalinski::CancelToken`] and the deadline are
+//!   polled at saturation **iteration boundaries**, stopping with
+//!   [`sz_egraph::StopReason::Cancelled`] while the e-graph is clean —
+//!   the partial `Synthesis` is still extracted, so serving callers
+//!   always get a well-formed answer. A
+//!   [`szalinski::ProgressObserver`] hook sees every iteration. The old
+//!   free functions (`synthesize`, `try_synthesize`,
+//!   `*_with_snapshot`, `resume_synthesize`) survive as deprecated
+//!   thin wrappers over a one-shot session. Saturated e-graphs persist
+//!   as versioned text (`szsynth v2` wrapping
+//!   [`sz_egraph::Snapshot`]s): the final graph for extraction-only
+//!   resumes plus a saturation-phase section that makes lower-fuel
+//!   snapshots *continuable* — proven byte-identical to cold runs by
+//!   `tests/partial_resume_differential.rs`.
 //! * **`sz-batch`** is the corpus engine added on top: a work-stealing
-//!   thread pool with per-job panic isolation and deadlines, a
-//!   **two-tier** content-addressed cache (programs keyed on the full
-//!   config fingerprint; size-bounded e-graph snapshots keyed on the
+//!   thread pool with per-job panic isolation, a **two-tier**
+//!   content-addressed cache (programs keyed on the full config
+//!   fingerprint; size-bounded e-graph snapshots keyed on the
 //!   saturation fingerprint) with on-disk persistence, a JSON-lines
-//!   report sink (`BENCH_batch.json`), and the `szb` binary that
-//!   decompiles a directory of `.scad`/`.csexp` models end-to-end
-//!   (`--snapshots <dir>` enables incremental re-runs).
+//!   report sink (`BENCH_batch.json`, now with per-job `stop_reason`),
+//!   and the `szb` binary that decompiles a directory of
+//!   `.scad`/`.csexp` models end-to-end (`--snapshots <dir>` enables
+//!   incremental re-runs). Every job is a `Synthesizer` run, so the
+//!   engine inherits the session API's bounds: `--per-job-timeout`
+//!   cancels one job, `--deadline` bounds the whole batch, and a shared
+//!   `CancelToken` aborts everything in flight — all cooperatively,
+//!   all still emitting partial programs.
 //! * **`sz-bench`** regenerates the paper's Table 1 and figures, now
 //!   through the batch engine (`run_table1_with`), plus Criterion-style
 //!   micro-benches. Saturation runs record per-rule

@@ -4,6 +4,11 @@
 //! a tight tolerance of zero — wiring the mesh oracle (paper §7's "more
 //! rigorous approach") into tier-1 `cargo test`.
 
+// The deprecated free-function pipeline API stays under test on
+// purpose: the wrappers must keep matching the `Synthesizer` session
+// API they delegate to (see `tests/session_api.rs`).
+#![allow(deprecated)]
+
 use sz_mesh::{compile_mesh, hausdorff_distance, joint_diagonal, MeshQuality};
 use szalinski::{synthesize, SynthConfig};
 

@@ -5,6 +5,11 @@
 //! must follow the saturation/extraction fingerprint split (cost-only
 //! config changes reuse snapshots; rule-set changes invalidate them).
 
+// The deprecated free-function pipeline API stays under test on
+// purpose: the wrappers must keep matching the `Synthesizer` session
+// API they delegate to (see `tests/session_api.rs`).
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use sz_cad::{AffineKind, Cad};
 use szalinski::{

@@ -1,0 +1,213 @@
+//! The partial-saturation-resume differential harness: over the paper's
+//! 16-model suite and property-generated flat CSG, a run that restores a
+//! **lower-fuel** snapshot and *continues* saturating under a higher
+//! fuel limit must emit **byte-identical** programs to a cold run at the
+//! higher fuel, while spending **strictly fewer** saturation iterations
+//! on the resumed leg. This is the proof behind
+//! `Synthesizer::run`'s third dispatch mode (ISSUE 4 / the ROADMAP's
+//! "resume *partial* saturation" open item).
+//!
+//! Soundness argument being tested: two configs with equal
+//! `saturation_core_fingerprint`s walk the *same deterministic
+//! trajectory* of iteration-boundary states; a snapshot taken under
+//! tighter limits is a point on that trajectory, and `Snapshot::restore`
+//! reproduces it exactly (same canonical ids), so continuing from it is
+//! indistinguishable from never having stopped.
+
+use proptest::prelude::*;
+use sz_cad::{AffineKind, Cad};
+use szalinski::{RunMode, RunOptions, SynthConfig, SynthSnapshot, Synthesis, Synthesizer};
+
+fn high_config() -> SynthConfig {
+    SynthConfig::new().with_iter_limit(60).with_node_limit(80_000)
+}
+
+fn low_config() -> SynthConfig {
+    // Low enough that non-trivial models genuinely stop early (so the
+    // resumed leg has real work left), high enough to be cheap.
+    high_config().with_iter_limit(4)
+}
+
+/// The byte-level identity of a synthesis result: costs plus printed
+/// programs, in rank order.
+fn programs(s: &Synthesis) -> Vec<(usize, String)> {
+    s.top_k.iter().map(|p| (p.cost, p.cad.to_string())).collect()
+}
+
+/// Snapshot `input` at low fuel (round-tripping through text, exactly
+/// what a cache stores), then compare cold-at-high-fuel against
+/// resume-and-continue-at-high-fuel.
+fn assert_partial_resume_matches_cold(input: &Cad, name: &str) {
+    let low = Synthesizer::new(low_config());
+    let captured = low
+        .run(input, RunOptions::new().capture_snapshot(true))
+        .unwrap_or_else(|e| panic!("{name}: low-fuel run failed: {e}"));
+    let snapshot: SynthSnapshot = captured
+        .snapshot
+        .as_ref()
+        .expect("capture requested")
+        .to_string()
+        .parse()
+        .unwrap_or_else(|e| panic!("{name}: snapshot text must reparse: {e}"));
+    assert!(
+        snapshot.supports_partial_resume(&high_config()),
+        "{name}: a low-fuel snapshot must be continuable at high fuel"
+    );
+
+    let high = Synthesizer::new(high_config());
+    let cold = high.run(input, RunOptions::new()).unwrap();
+    let resumed = high
+        .run(input, RunOptions::new().with_snapshot(snapshot))
+        .unwrap();
+
+    assert_eq!(
+        resumed.mode,
+        RunMode::ResumedSaturation,
+        "{name}: dispatch must pick partial resume, not cold"
+    );
+    assert_eq!(
+        programs(&resumed),
+        programs(&cold),
+        "{name}: resumed-and-continued top-k must be byte-identical to cold"
+    );
+    // The acceptance bar is the *emitted OpenSCAD*: byte-identical too.
+    match (
+        sz_scad::cad_to_scad(&cold.best().cad),
+        sz_scad::cad_to_scad(&resumed.best().cad),
+    ) {
+        (Ok(cold_scad), Ok(resumed_scad)) => assert_eq!(
+            resumed_scad, cold_scad,
+            "{name}: emitted OpenSCAD must be byte-identical"
+        ),
+        (cold_scad, resumed_scad) => assert_eq!(
+            cold_scad.is_ok(),
+            resumed_scad.is_ok(),
+            "{name}: emission must agree on failure too"
+        ),
+    }
+    assert_eq!(resumed.egraph_nodes, cold.egraph_nodes, "{name}: nodes");
+    assert_eq!(
+        resumed.egraph_classes, cold.egraph_classes,
+        "{name}: classes"
+    );
+    assert!(
+        resumed.iterations < cold.iterations || cold.iterations <= 1,
+        "{name}: resumed leg ({}) must spend strictly fewer iterations than cold ({})",
+        resumed.iterations,
+        cold.iterations
+    );
+    // Lifetime accounting: prior (low) + resumed leg covers at least
+    // what cold spent (the quiet-iteration case on already-saturated
+    // graphs can add one).
+    assert!(
+        captured.iterations + resumed.iterations >= cold.iterations,
+        "{name}: lifetime iterations ({} + {}) cannot undercut cold ({})",
+        captured.iterations,
+        resumed.iterations,
+        cold.iterations
+    );
+}
+
+#[test]
+fn suite16_partial_resume_equals_cold() {
+    for model in sz_models::all_models() {
+        assert_partial_resume_matches_cold(&model.flat, model.name);
+    }
+}
+
+#[test]
+fn partial_resume_rechains_through_recapture() {
+    // Resume from fuel 2 → capture at fuel 8 → resume that at fuel 60:
+    // snapshots produced by partial resumes are themselves resumable.
+    let flat = Cad::union_chain(
+        (1..=6)
+            .map(|i| Cad::translate(2.0 * i as f64, 0.0, 0.0, Cad::Unit))
+            .collect(),
+    );
+    let base = high_config();
+    let s2 = Synthesizer::new(base.clone().with_iter_limit(2));
+    let snap2 = s2
+        .run(&flat, RunOptions::new().capture_snapshot(true))
+        .unwrap()
+        .snapshot
+        .unwrap();
+
+    let s8 = Synthesizer::new(base.clone().with_iter_limit(8));
+    let mid = s8
+        .run(
+            &flat,
+            RunOptions::new().with_snapshot(snap2).capture_snapshot(true),
+        )
+        .unwrap();
+    assert_eq!(mid.mode, RunMode::ResumedSaturation);
+    let snap8 = mid.snapshot.unwrap();
+
+    let s60 = Synthesizer::new(base);
+    let cold = s60.run(&flat, RunOptions::new()).unwrap();
+    let final_run = s60
+        .run(&flat, RunOptions::new().with_snapshot(snap8))
+        .unwrap();
+    assert_eq!(final_run.mode, RunMode::ResumedSaturation);
+    assert_eq!(programs(&final_run), programs(&cold));
+}
+
+/// A strategy for random *flat* CSG terms of bounded size (mirrors
+/// `tests/incremental_differential.rs`).
+fn arb_flat_cad() -> impl Strategy<Value = Cad> {
+    let leaf = prop_oneof![
+        Just(Cad::Unit),
+        Just(Cad::Sphere),
+        Just(Cad::Cylinder),
+        Just(Cad::Hexagon),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(AffineKind::Translate),
+                    Just(AffineKind::Scale),
+                    Just(AffineKind::Rotate)
+                ],
+                -4.0f64..4.0,
+                -4.0f64..4.0,
+                -4.0f64..4.0,
+                inner.clone()
+            )
+                .prop_map(|(kind, x, y, z, c)| {
+                    let v = match kind {
+                        AffineKind::Scale => [x.abs() + 0.5, y.abs() + 0.5, z.abs() + 0.5],
+                        AffineKind::Rotate => [0.0, 0.0, x * 45.0],
+                        AffineKind::Translate => [x, y, z],
+                    };
+                    Cad::Affine(kind, v.into(), Box::new(c))
+                }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Cad::union(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Cad::diff(a, b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn random_flat_cad_partial_resume_equals_cold(input in arb_flat_cad()) {
+        let base = SynthConfig::new().with_iter_limit(12).with_node_limit(20_000);
+        let low = Synthesizer::new(base.clone().with_iter_limit(2));
+        let snapshot = low
+            .run(&input, RunOptions::new().capture_snapshot(true))
+            .unwrap()
+            .snapshot
+            .unwrap();
+        let high = Synthesizer::new(base);
+        let cold = high.run(&input, RunOptions::new()).unwrap();
+        let resumed = high
+            .run(&input, RunOptions::new().with_snapshot(snapshot))
+            .unwrap();
+        prop_assert_eq!(resumed.mode, RunMode::ResumedSaturation);
+        prop_assert_eq!(programs(&resumed), programs(&cold));
+        prop_assert_eq!(resumed.egraph_nodes, cold.egraph_nodes);
+        prop_assert_eq!(resumed.egraph_classes, cold.egraph_classes);
+        prop_assert!(resumed.iterations < cold.iterations || cold.iterations <= 1);
+    }
+}

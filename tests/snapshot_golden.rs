@@ -1,13 +1,14 @@
 //! Golden-file tests for the pipeline-level snapshot format
-//! (`szsynth v1` wrapping `szsnap v1`): the checked-in fixture pins the
-//! exact bytes, so any serialization change forces a format-version
-//! bump (guarding the batch cache against cross-release poisoning).
+//! (`szsynth v2` wrapping `szsnap v1`, with an optional saturation-phase
+//! section): the checked-in fixtures pin the exact bytes, so any
+//! serialization change forces a format-version bump (guarding the batch
+//! cache against cross-release poisoning).
 
 use std::path::Path;
 
 use sz_cad::Cad;
 use sz_egraph::{Snapshot, SNAPSHOT_FORMAT_VERSION};
-use szalinski::{cad_to_lang, CadAnalysis, CadGraph, SynthConfig, SynthSnapshot};
+use szalinski::{cad_to_lang, CadAnalysis, CadGraph, SatPhase, SynthConfig, SynthSnapshot};
 
 /// Builds a `SynthSnapshot` deterministically: the input is loaded into
 /// the e-graph but no rules run (rule search iterates hash maps, whose
@@ -24,6 +25,21 @@ fn deterministic_snapshot() -> (SynthSnapshot, String) {
         .with_iterations(3);
     let config = SynthConfig::new();
     (SynthSnapshot::new(&input, &config, snapshot), config.saturation_fingerprint())
+}
+
+/// The same graph with a saturation-phase section attached (what
+/// `Synthesizer::run` captures for single-round configs).
+fn deterministic_snapshot_with_phase() -> SynthSnapshot {
+    let input: Cad = "(Union (Translate 2 0 0 Unit) (Translate 4 0 0 Unit))"
+        .parse()
+        .unwrap();
+    let mut egraph = CadGraph::new(CadAnalysis);
+    let root = egraph.add_expr(&cad_to_lang(&input));
+    egraph.rebuild();
+    let config = SynthConfig::new();
+    let phase = Snapshot::of_egraph(&egraph, &[root]).unwrap().with_iterations(3);
+    let fin = Snapshot::of_egraph(&egraph, &[root]).unwrap().with_iterations(3);
+    SynthSnapshot::new(&input, &config, fin).with_sat_phase(SatPhase::new(&config, phase))
 }
 
 #[test]
@@ -44,10 +60,37 @@ fn golden_fixture_pins_synth_snapshot_bytes() {
 }
 
 #[test]
+fn sat_phase_fixture_pins_two_section_bytes() {
+    let snapshot = deterministic_snapshot_with_phase();
+    let text = snapshot.to_string();
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/synth_row2_phase.snap");
+    if std::env::var_os("SZ_REGEN_FIXTURES").is_some() {
+        std::fs::write(&path, &text).unwrap();
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture missing ({e}); regenerate with SZ_REGEN_FIXTURES=1"));
+    assert_eq!(
+        text, expected,
+        "two-section snapshot serialization changed: bump the `szsynth` header version \
+         and regenerate fixtures (SZ_REGEN_FIXTURES=1 cargo test)"
+    );
+    // Reparse: the sat-phase section round-trips and supports resume
+    // exactly when fuel limits are not lower than the producer's.
+    let back: SynthSnapshot = text.parse().unwrap();
+    assert_eq!(back, snapshot);
+    assert!(back.supports_partial_resume(&SynthConfig::new()));
+    assert!(!back.supports_partial_resume(&SynthConfig::new().with_iter_limit(1)));
+}
+
+#[test]
 fn header_and_fingerprint_carry_the_format_version() {
     let (snapshot, sat_fp) = deterministic_snapshot();
     let text = snapshot.to_string();
-    assert_eq!(text.lines().next(), Some("szsynth v1"));
+    assert_eq!(text.lines().next(), Some("szsynth v2"));
+    assert!(
+        text.lines().any(|l| l == "satphase none"),
+        "a snapshot without a sat phase says so explicitly"
+    );
     assert!(
         text.lines()
             .any(|l| l == format!("szsnap v{SNAPSHOT_FORMAT_VERSION}")),

@@ -19,7 +19,7 @@ use sz_batch::{
     attach_snapshot_dir, dir_jobs, sanitize_name, save_snapshot_dir, suite16_jobs, write_report,
     BatchEngine, BatchJob, JobStatus, ResultCache,
 };
-use szalinski::{CostKind, SynthConfig, TableRow};
+use szalinski::{parse_cost_spec, CostKind, CostSpec, SynthConfig, TableRow, COST_SPEC_GRAMMAR};
 
 const USAGE: &str = "\
 szb — parallel batch synthesis over a model corpus
@@ -47,7 +47,7 @@ CACHE & OUTPUT:
     --snapshots <DIR>      persistent e-graph snapshot tier: cold runs store a
                            snapshot per (input, saturation-config); later runs
                            whose config differs only in extraction fields
-                           (--k, --reward-loops) resume from it, skipping
+                           (--k, any --cost model) resume from it, skipping
                            saturation entirely
     --report <FILE>        JSON-lines report (default: BENCH_batch.json; 'none' disables)
     --out <DIR>            write each job's best program as <name>.scad and <name>.csexp
@@ -60,12 +60,29 @@ SYNTHESIS FUEL:
     --time-limit <SECS>    saturation time limit           (default 60)
     --structural-rules     include assoc/comm boolean rules
     --backoff              throttle explosive rules (backoff scheduler)
-    --reward-loops         extract with the loop-rewarding cost function
+
+EXTRACTION COST:
+    --cost <SPEC>          extraction cost model (default: ast-size).
+                           With pareto(A,B), ranked output uses A and each
+                           job's JSONL record gains a `pareto` front array.
+    --reward-loops         DEPRECATED alias for --cost reward-loops
+
+  <SPEC> grammar:
+{grammar}
 
 MISC:
     --quiet                suppress the per-job table
     --help                 show this text
 ";
+
+/// `USAGE` with the `--cost` grammar spliced in.
+fn usage() -> String {
+    let grammar: String = COST_SPEC_GRAMMAR
+        .lines()
+        .map(|l| format!("    {l}\n"))
+        .collect();
+    USAGE.replace("{grammar}", grammar.trim_end())
+}
 
 struct Options {
     input_dir: Option<PathBuf>,
@@ -117,7 +134,26 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--sequential" => opts.sequential = true,
             "--structural-rules" => opts.config = opts.config.clone().with_structural_rules(true),
             "--backoff" => opts.config = opts.config.clone().with_backoff(true),
-            "--reward-loops" => opts.config = opts.config.clone().with_cost(CostKind::RewardLoops),
+            // Deprecated alias for `--cost reward-loops`. Like any cost
+            // flag, the last one wins outright — including clearing a
+            // pareto(...) requested by an earlier --cost.
+            "--reward-loops" => {
+                opts.config.pareto = None;
+                opts.config = opts.config.clone().with_cost(CostKind::RewardLoops);
+            }
+            "--cost" => {
+                opts.config.pareto = None;
+                opts.config = match parse_cost_spec(value()?).map_err(|e| format!("--cost: {e}"))? {
+                    CostSpec::Single(model) => opts.config.clone().with_cost_model(model),
+                    // Ranked top-k output follows the first objective;
+                    // the front itself lands in the JSONL report.
+                    CostSpec::Pareto(a, b) => opts
+                        .config
+                        .clone()
+                        .with_cost_model(Arc::clone(&a))
+                        .with_pareto(a, b),
+                };
+            }
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => return Err(String::new()),
             "--workers" => {
@@ -182,11 +218,11 @@ fn main() -> ExitCode {
         Ok(opts) => opts,
         Err(msg) => {
             if msg.is_empty() {
-                print!("{USAGE}");
+                print!("{}", usage());
                 return ExitCode::SUCCESS;
             }
             eprintln!("szb: {msg}");
-            eprint!("{USAGE}");
+            eprint!("{}", usage());
             return ExitCode::from(2);
         }
     };

@@ -119,6 +119,17 @@ pub struct JobOutcome {
     /// ran (empty for cache hits and snapshot resumes, which skip
     /// saturation). Feeds the JSONL report and `BENCH_ematch.json`.
     pub rule_stats: Vec<RuleStat>,
+    /// The job config's [`SynthConfig::cost_fingerprint`]: which cost
+    /// model (and Pareto objectives, if any) extraction ranked with.
+    /// Recorded in the JSONL report so mixed-cost batches stay
+    /// attributable.
+    pub cost_fingerprint: String,
+    /// The Pareto front, when the job's config requested one
+    /// ([`SynthConfig::with_pareto`] / `szb --cost pareto(...)`):
+    /// `([cost_a, cost_b], program-sexp)` points, ascending on the first
+    /// objective. Empty otherwise (and for program-cache hits, which
+    /// never serve Pareto runs — see [`BatchEngine`] docs).
+    pub pareto: Vec<([u64; 2], String)>,
 }
 
 impl JobOutcome {
@@ -341,9 +352,12 @@ impl BatchEngine {
         let batch_end = self.batch_deadline.map(|d| start + d);
         let cancel = &self.cancel;
         let cache = &self.cache;
-        // Keep the names outside the pool so a panicked job's outcome
-        // still says which job it was.
-        let names: Vec<String> = jobs.iter().map(|j| j.name.clone()).collect();
+        // Keep the names (and cost fingerprints) outside the pool so a
+        // panicked job's outcome still says which job it was.
+        let names: Vec<(String, String)> = jobs
+            .iter()
+            .map(|j| (j.name.clone(), j.config.cost_fingerprint()))
+            .collect();
         let tasks: Vec<_> = jobs
             .into_iter()
             .map(|job| {
@@ -353,7 +367,7 @@ impl BatchEngine {
         let outcomes = run_tasks(tasks, self.workers)
             .into_iter()
             .zip(names)
-            .map(|(r, name)| match r {
+            .map(|(r, (name, cost_fingerprint))| match r {
                 Ok(outcome) => outcome,
                 Err(panic) => JobOutcome {
                     name,
@@ -367,6 +381,8 @@ impl BatchEngine {
                     programs: Vec::new(),
                     row: None,
                     rule_stats: Vec::new(),
+                    cost_fingerprint,
+                    pareto: Vec::new(),
                 },
             })
             .collect();
@@ -420,8 +436,14 @@ fn execute_job(
         config.time_limit = config.time_limit.min(d);
     }
     // Key on the *effective* config: a different deadline clamp is a
-    // different run and must not alias in the cache.
-    let key = cache.map(|_| JobKey::of(&job.input, &config));
+    // different run and must not alias in the cache. Pareto runs bypass
+    // the program tier entirely — its entries store only the ranked
+    // top-k, so a hit could not reproduce the front; the snapshot tier
+    // (keyed on the saturation fingerprint, which Pareto objectives
+    // never touch) still serves them via extraction resume.
+    let key = (config.pareto.is_none())
+        .then(|| cache.map(|_| JobKey::of(&job.input, &config)))
+        .flatten();
 
     // Program tier: a hit reconstructs the outcome without any pipeline
     // work.
@@ -471,28 +493,40 @@ fn execute_job(
             // Cancelled runs are wall-clock-truncated, not the
             // deterministic product of the config: never cache them.
             if !result.cancelled() {
-                if let (Some(cache), Some(key)) = (cache, key) {
+                if let Some(cache) = cache {
                     let mut cache = cache.lock().unwrap();
-                    cache.insert(key, cached_run_of(&result));
+                    if let Some(key) = key {
+                        cache.insert(key, cached_run_of(&result));
+                    }
                     // An *extraction* resume's snapshot is already in the
                     // tier under this exact key; re-inserting would only
                     // churn bytes. Cold runs and partial-saturation
                     // resumes both produce a snapshot the tier lacks for
-                    // this config. The sat-phase section is stripped
-                    // before storing: tier lookups key on exact
-                    // saturation fingerprints, so the tier only ever
-                    // serves extraction-only resumes and the section
-                    // would double every entry's cost against the byte
-                    // budget for nothing.
+                    // this config. Runs that **saturated** strip the
+                    // sat-phase section before storing — a saturated
+                    // graph has nothing left to continue, so the section
+                    // would only double the entry's cost against the
+                    // byte budget. Fuel-limited runs (iteration/node/
+                    // time limit) keep it, so their snapshots stay
+                    // *continuable*: the first step toward the core-key
+                    // index that will let the tier serve lower-fuel
+                    // snapshots to higher-fuel jobs as partial-saturation
+                    // resumes.
                     if result.mode != szalinski::RunMode::ResumedExtraction {
+                        let saturated = result.stop_reason == Some(StopReason::Saturated);
                         if let Some(snapshot) = result.snapshot.take() {
                             let skey = SnapshotKey::of(&job.input, &config);
-                            cache.insert_snapshot(skey, snapshot.without_sat_phase().to_string());
+                            let text = if saturated {
+                                snapshot.without_sat_phase().to_string()
+                            } else {
+                                snapshot.to_string()
+                            };
+                            cache.insert_snapshot(skey, text);
                         }
                     }
                 }
             }
-            outcome_from_result(job.name, result, start, deadline, snapshot_hit)
+            outcome_from_result(job.name, result, &config, start, deadline, snapshot_hit)
         }
         Err(e) => JobOutcome {
             name: job.name,
@@ -506,6 +540,8 @@ fn execute_job(
             programs: Vec::new(),
             row: None,
             rule_stats: Vec::new(),
+            cost_fingerprint: config.cost_fingerprint(),
+            pareto: Vec::new(),
         },
     }
 }
@@ -527,6 +563,7 @@ fn cached_run_of(result: &Synthesis) -> CachedRun {
 fn outcome_from_result(
     name: String,
     result: Synthesis,
+    config: &SynthConfig,
     start: Instant,
     deadline: Option<Duration>,
     snapshot_hit: bool,
@@ -547,6 +584,13 @@ fn outcome_from_result(
         time,
         iterations: result.iterations,
         rule_stats: result.rule_stats,
+        cost_fingerprint: config.cost_fingerprint(),
+        pareto: result
+            .pareto
+            .unwrap_or_default()
+            .into_iter()
+            .map(|p| (p.costs, p.cad.to_string()))
+            .collect(),
         name,
     }
 }
@@ -577,6 +621,7 @@ fn outcome_from_cache(job: &BatchJob, run: CachedRun, lookup: Duration) -> JobOu
         rule_stats: Vec::new(),
         mode: szalinski::RunMode::Cold,
         snapshot: None,
+        pareto: None,
     };
     let row = shell
         .try_best()
@@ -594,6 +639,8 @@ fn outcome_from_cache(job: &BatchJob, run: CachedRun, lookup: Duration) -> JobOu
         programs,
         row,
         rule_stats: Vec::new(),
+        cost_fingerprint: job.config.cost_fingerprint(),
+        pareto: Vec::new(),
     }
 }
 
@@ -744,22 +791,115 @@ mod tests {
     }
 
     #[test]
-    fn tier_snapshots_are_stored_without_sat_phase() {
+    fn tier_keeps_sat_phase_only_for_fuel_limited_runs() {
+        // A run cut short by its iteration limit left saturation work
+        // undone: a higher-fuel rerun could continue it, so the stored
+        // snapshot keeps its saturation-phase section (continuable).
         let cache = Arc::new(Mutex::new(
             ResultCache::new().with_snapshot_budget(64 << 20),
         ));
         let engine = BatchEngine::new().with_cache(Arc::clone(&cache));
-        engine.run_sequential(jobs());
+        let limited = vec![BatchJob::new(
+            "row6",
+            row(6),
+            quick().with_iter_limit(2), // binds well before saturation
+        )];
+        let report = engine.run_sequential(limited);
+        assert!(
+            report.outcomes[0].stop_reason != Some(StopReason::Saturated),
+            "precondition: the iteration limit must bind"
+        );
+        {
+            let cache = cache.lock().unwrap();
+            assert!(cache.snapshot_count() > 0);
+            for (_, text) in cache.snapshots() {
+                let snapshot: SynthSnapshot = text.parse().unwrap();
+                assert!(
+                    snapshot.sat_phase().is_some(),
+                    "fuel-limited snapshots must stay continuable"
+                );
+            }
+        }
+
+        // A run that SATURATED has nothing left to continue — at any
+        // fuel setting: the section is dead weight and is stripped.
+        let cache = Arc::new(Mutex::new(
+            ResultCache::new().with_snapshot_budget(64 << 20),
+        ));
+        let engine = BatchEngine::new().with_cache(Arc::clone(&cache));
+        let report = engine.run_sequential(vec![BatchJob::new("row3", row(3), quick())]);
+        assert_eq!(
+            report.outcomes[0].stop_reason,
+            Some(StopReason::Saturated),
+            "precondition: the tiny row saturates inside quick() fuel"
+        );
         let cache = cache.lock().unwrap();
         assert!(cache.snapshot_count() > 0);
         for (_, text) in cache.snapshots() {
             let snapshot: SynthSnapshot = text.parse().unwrap();
             assert!(
                 snapshot.sat_phase().is_none(),
-                "the exact-keyed tier only serves extraction resumes; \
-                 storing the sat phase would double every entry's bytes"
+                "saturated snapshots only ever serve extraction resumes"
             );
         }
+    }
+
+    #[test]
+    fn pareto_jobs_report_the_front_and_bypass_the_program_tier() {
+        use szalinski::{AstSizeCost, DepthCost};
+        let pareto_config = || {
+            quick().with_pareto(
+                Arc::new(AstSizeCost) as Arc<dyn szalinski::CostModel>,
+                Arc::new(DepthCost) as Arc<dyn szalinski::CostModel>,
+            )
+        };
+        let cache = Arc::new(Mutex::new(
+            ResultCache::new().with_snapshot_budget(64 << 20),
+        ));
+        let engine = BatchEngine::new().with_cache(Arc::clone(&cache));
+        let job = || vec![BatchJob::new("row5", row(5), pareto_config())];
+        let cold = engine.run_sequential(job());
+        let outcome = &cold.outcomes[0];
+        assert_eq!(outcome.status, JobStatus::Ok);
+        assert!(
+            outcome.cost_fingerprint.contains("pareto(ast-size,depth)"),
+            "{}",
+            outcome.cost_fingerprint
+        );
+        assert!(!outcome.pareto.is_empty());
+        for w in outcome.pareto.windows(2) {
+            let ([a1, b1], [a2, b2]) = (w[0].0, w[1].0);
+            assert!(a1 < a2 && b1 > b2, "front must be mutually non-dominating");
+        }
+        assert_eq!(
+            cache.lock().unwrap().len(),
+            0,
+            "pareto runs must not enter the program tier (its entries \
+             cannot reproduce the front)"
+        );
+
+        // The rerun resumes from the snapshot tier — no saturation —
+        // and still recomputes an identical front.
+        let warm = engine.run_sequential(job());
+        let rerun = &warm.outcomes[0];
+        assert!(rerun.snapshot_hit);
+        assert_eq!(rerun.iterations, 0);
+        assert_eq!(rerun.pareto, outcome.pareto);
+    }
+
+    #[test]
+    fn outcomes_record_their_cost_fingerprint() {
+        let mut js = jobs();
+        js.push(BatchJob::new(
+            "reward",
+            row(3),
+            quick().with_cost(szalinski::CostKind::RewardLoops),
+        ));
+        let report = BatchEngine::new().run_sequential(js);
+        assert!(report.outcomes[..4]
+            .iter()
+            .all(|o| o.cost_fingerprint == "ast-size"));
+        assert_eq!(report.outcomes[4].cost_fingerprint, "reward-loops");
     }
 
     #[test]

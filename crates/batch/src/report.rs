@@ -75,7 +75,27 @@ pub fn job_record(o: &JobOutcome) -> String {
         ("programs".to_owned(), o.programs.len().to_string()),
         ("search_time_s".to_owned(), json_f64(o.search_time_s())),
         ("apply_time_s".to_owned(), json_f64(o.apply_time_s())),
+        (
+            "cost_fingerprint".to_owned(),
+            json_string(&o.cost_fingerprint),
+        ),
     ];
+    if !o.pareto.is_empty() {
+        // The Pareto front (two-objective extraction): mutually
+        // non-dominating programs, ascending on the first objective.
+        let points: Vec<String> = o
+            .pareto
+            .iter()
+            .map(|(costs, prog)| {
+                render_object(&[
+                    ("cost_a".to_owned(), costs[0].to_string()),
+                    ("cost_b".to_owned(), costs[1].to_string()),
+                    ("prog".to_owned(), json_string(prog)),
+                ])
+            })
+            .collect();
+        fields.push(("pareto".to_owned(), format!("[{}]", points.join(","))));
+    }
     if !o.rule_stats.is_empty() {
         // Per-rule e-matching profile; rules that never matched are
         // elided to keep records compact.
@@ -204,6 +224,8 @@ mod tests {
             iterations: if cached { 0 } else { 7 },
             programs: vec![(3, "(Repeat Unit 3)".to_owned())],
             row: None,
+            cost_fingerprint: "ast-size".to_owned(),
+            pareto: Vec::new(),
             rule_stats: if cached {
                 Vec::new()
             } else {
@@ -251,6 +273,23 @@ mod tests {
         // Cache hits ran no saturation: stop_reason is null.
         let cached = job_record(&outcome("warm", true));
         assert!(cached.contains(r#""stop_reason":null"#));
+    }
+
+    #[test]
+    fn job_record_carries_cost_fingerprint_and_pareto() {
+        let mut o = outcome("3362402:gear", false);
+        o.cost_fingerprint = "ast-size+pareto(ast-size,depth)".to_owned();
+        o.pareto = vec![
+            ([3, 9], "(Repeat Unit 3)".to_owned()),
+            ([7, 2], "(Union Unit Unit)".to_owned()),
+        ];
+        let rec = job_record(&o);
+        assert!(rec.contains(r#""cost_fingerprint":"ast-size+pareto(ast-size,depth)""#));
+        assert!(rec.contains(r#""pareto":[{"cost_a":3,"cost_b":9,"prog":"(Repeat Unit 3)"},"#));
+        // No pareto requested: the field is elided entirely.
+        let plain = job_record(&outcome("plain", false));
+        assert!(plain.contains(r#""cost_fingerprint":"ast-size""#));
+        assert!(!plain.contains(r#""pareto""#));
     }
 
     #[test]

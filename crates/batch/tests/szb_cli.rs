@@ -110,4 +110,122 @@ fn usage_errors_exit_2() {
 
     let out = szb().args(["--bogus-flag"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
+
+    // A malformed --cost spec is a usage error naming the spec.
+    let out = szb()
+        .args(["--suite16", "--cost", "no-such"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--cost"));
+}
+
+#[test]
+fn help_documents_the_cost_grammar() {
+    let out = szb().args(["--help"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("--cost <SPEC>"), "{stdout}");
+    assert!(stdout.contains("weights(CLASS=W,...)"), "{stdout}");
+    assert!(stdout.contains("pareto(SPEC,SPEC)"), "{stdout}");
+    assert!(stdout.contains("DEPRECATED alias"), "{stdout}");
+}
+
+#[test]
+fn cost_spec_drives_extraction_and_pareto_reports() {
+    let dir = fresh_dir("cost_spec");
+    write_corpus(&dir);
+    // `--cost reward-loops` must behave exactly like the deprecated
+    // `--reward-loops` alias.
+    let run = |args: &[&str]| {
+        let out = szb().current_dir(&dir).args(args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "szb {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    run(&[
+        ".",
+        "--iter-limit",
+        "30",
+        "--node-limit",
+        "30000",
+        "--cost",
+        "reward-loops",
+        "--report",
+        "spec.jsonl",
+        "--quiet",
+    ]);
+    run(&[
+        ".",
+        "--iter-limit",
+        "30",
+        "--node-limit",
+        "30000",
+        "--reward-loops",
+        "--report",
+        "alias.jsonl",
+        "--quiet",
+    ]);
+    let spec = std::fs::read_to_string(dir.join("spec.jsonl")).unwrap();
+    let alias = std::fs::read_to_string(dir.join("alias.jsonl")).unwrap();
+    assert!(
+        spec.contains(r#""cost_fingerprint":"reward-loops""#),
+        "{spec}"
+    );
+    // Compare only the emitted programs (full lines carry wall-clock
+    // timing fields).
+    let bests = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter_map(|l| l.split(r#""best":"#).nth(1).map(str::to_owned))
+            .collect()
+    };
+    assert_eq!(bests(&spec), bests(&alias), "alias and spec must agree");
+
+    // Pareto mode records a front per job.
+    run(&[
+        ".",
+        "--iter-limit",
+        "30",
+        "--node-limit",
+        "30000",
+        "--cost",
+        "pareto(size,geom)",
+        "--report",
+        "pareto.jsonl",
+        "--quiet",
+    ]);
+    let pareto = std::fs::read_to_string(dir.join("pareto.jsonl")).unwrap();
+    assert!(
+        pareto.contains(r#""cost_fingerprint":"ast-size+pareto(ast-size,geom)""#),
+        "{pareto}"
+    );
+    assert!(pareto.contains(r#""pareto":[{"cost_a":"#), "{pareto}");
+
+    // Last cost flag wins outright: a later --cost (or the alias) must
+    // clear an earlier pareto(...) request, not merely swap the ranking
+    // model.
+    run(&[
+        ".",
+        "--iter-limit",
+        "30",
+        "--node-limit",
+        "30000",
+        "--cost",
+        "pareto(size,geom)",
+        "--cost",
+        "ast-size",
+        "--report",
+        "override.jsonl",
+        "--quiet",
+    ]);
+    let override_rep = std::fs::read_to_string(dir.join("override.jsonl")).unwrap();
+    assert!(
+        override_rep.contains(r#""cost_fingerprint":"ast-size""#),
+        "{override_rep}"
+    );
+    assert!(!override_rep.contains(r#""pareto""#), "{override_rep}");
+    std::fs::remove_dir_all(&dir).unwrap();
 }

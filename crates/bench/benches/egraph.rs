@@ -4,8 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use sz_egraph::{AstSize, EGraph, Extractor, KBestExtractor, Runner};
-use szalinski::{cad_to_lang, rules, CadAnalysis, CadCost, CadGraph, CadLang, CostKind};
+use std::sync::Arc;
+use sz_egraph::{AstSize, EGraph, Extractor, KBestExtractor, ParetoExtractor, Runner};
+use szalinski::{
+    cad_to_lang, rules, AstSizeCost, CadAnalysis, CadGraph, CadLang, CostKind, GeomCount, ModelCost,
+};
 
 fn bench_insertion(c: &mut Criterion) {
     let expr = cad_to_lang(&sz_models::gear(60));
@@ -44,7 +47,9 @@ fn congruence_workload(eager: bool) -> usize {
 
 fn bench_rebuild_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("egraph/rebuild");
-    group.bench_function("batched", |b| b.iter(|| black_box(congruence_workload(false))));
+    group.bench_function("batched", |b| {
+        b.iter(|| black_box(congruence_workload(false)))
+    });
     group.bench_function("eager", |b| b.iter(|| black_box(congruence_workload(true))));
     group.finish();
 }
@@ -69,14 +74,23 @@ fn bench_extraction(c: &mut Criterion) {
     for k in [1usize, 5, 10] {
         group.bench_function(format!("k_best_{k}"), |b| {
             b.iter(|| {
-                let kb = KBestExtractor::new(&eg, CadCost::new(CostKind::AstSize), k);
+                let kb = KBestExtractor::new(&eg, ModelCost(CostKind::AstSize.model()), k);
                 black_box(kb.find_best_k(root).len())
             })
         });
     }
+    group.bench_function("pareto_size_x_geom", |b| {
+        b.iter(|| {
+            let pareto = ParetoExtractor::new(
+                &eg,
+                ModelCost(Arc::new(AstSizeCost)),
+                ModelCost(Arc::new(GeomCount)),
+            );
+            black_box(pareto.find_front(root).len())
+        })
+    });
     group.finish();
 }
-
 
 /// Fast Criterion settings so the whole suite runs in minutes.
 fn quick() -> Criterion {
@@ -86,7 +100,7 @@ fn quick() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_insertion,

@@ -3,10 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 use sz_egraph::Runner;
 use szalinski::{
-    cad_to_lang, infer_functions, list_manipulation, rules, CadAnalysis, CostKind, RunOptions,
-    SynthConfig, Synthesizer,
+    cad_to_lang, infer_functions, list_manipulation, parse_cost_model, rules, CadAnalysis,
+    CostKind, RunOptions, SynthConfig, Synthesizer,
 };
 
 fn bench_structural_rules_ablation(c: &mut Criterion) {
@@ -47,12 +48,25 @@ fn bench_cost_functions(c: &mut Criterion) {
     let flat = sz_models::wardrobe();
     let mut group = c.benchmark_group("pipeline/cost");
     group.sample_size(10);
-    for (name, cost) in [("ast_size", CostKind::AstSize), ("reward_loops", CostKind::RewardLoops)]
-    {
+    // The two paper schemes via the legacy selector, plus new-API models
+    // through the spec grammar — same pipeline, different `CostModel`s.
+    let models = [
+        ("ast_size", CostKind::AstSize.model()),
+        ("reward_loops", CostKind::RewardLoops.model()),
+        (
+            "weights_loop1_geom10",
+            parse_cost_model("weights(geom=10,affine=10,bool=10,other=10)").unwrap(),
+        ),
+        (
+            "depth_penalty",
+            parse_cost_model("depth-penalty(ast-size,2)").unwrap(),
+        ),
+    ];
+    for (name, model) in models {
         let cfg = SynthConfig::new()
             .with_iter_limit(40)
             .with_node_limit(60_000)
-            .with_cost(cost);
+            .with_cost_model(Arc::clone(&model));
         let session = Synthesizer::new(cfg);
         group.bench_function(name, |b| {
             b.iter(|| black_box(session.run(&flat, RunOptions::new()).unwrap()))
@@ -87,7 +101,6 @@ fn bench_listmanip_and_inference(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Fast Criterion settings so the whole suite runs in minutes.
 fn quick() -> Criterion {
     Criterion::default()
@@ -96,7 +109,7 @@ fn quick() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_structural_rules_ablation,

@@ -8,8 +8,7 @@
 
 use sz_mesh::{compile_mesh, to_ascii_stl, MeshQuality};
 use sz_models::{
-    dice_six_face, gear, grid_2x2, hexcell_plate, nested_affine_cubes, noisy_hexagons,
-    row_of_cubes,
+    dice_six_face, gear, grid_2x2, hexcell_plate, nested_affine_cubes, noisy_hexagons, row_of_cubes,
 };
 use szalinski::{RunOptions, SynthConfig, Synthesis, Synthesizer};
 
@@ -29,7 +28,10 @@ fn banner(name: &str, what: &str) {
 }
 
 fn fig1() {
-    banner("Figure 1", "gear: STL ~8k lines -> flat CSG ~300 lines -> ~16 line program");
+    banner(
+        "Figure 1",
+        "gear: STL ~8k lines -> flat CSG ~300 lines -> ~16 line program",
+    );
     let flat = gear(60);
     let mesh = compile_mesh(&flat.eval_to_flat().unwrap(), &MeshQuality::default()).unwrap();
     let stl_lines = to_ascii_stl(&mesh, "gear").lines().count();
@@ -77,15 +79,20 @@ fn fig14() {
 }
 
 fn fig16() {
-    banner("Figure 16", "noisy decompiler output -> loop over 2 hexagons");
+    banner(
+        "Figure 16",
+        "noisy decompiler output -> loop over 2 hexagons",
+    );
     let flat = noisy_hexagons();
     println!("  input nodes:  {} (paper: 55)", flat.num_nodes());
     // Under plain AST size a 2-element loop does not pay for itself in
     // our node counting; the reward-loops cost exposes it, cleaning the
     // noisy 1.4999996667 components to 1.5 on the way (paper §6.4).
-    let result = Synthesizer::new(SynthConfig::new().with_cost(szalinski::CostKind::RewardLoops))
-        .run(&flat, RunOptions::new())
-        .expect("noisy hexagons are flat CSG");
+    let result = Synthesizer::new(
+        SynthConfig::new().with_cost_model(std::sync::Arc::new(szalinski::RewardLoopsCost)),
+    )
+    .run(&flat, RunOptions::new())
+    .expect("noisy hexagons are flat CSG");
     match result.structured() {
         Some((rank, prog)) => {
             println!(
@@ -111,7 +118,10 @@ fn fig17() {
 }
 
 fn fig18_19() {
-    banner("Figures 18/19", "hex-cell generator: loop AND trig variants in the top-k");
+    banner(
+        "Figures 18/19",
+        "hex-cell generator: loop AND trig variants in the top-k",
+    );
     let result = Synthesizer::new(SynthConfig::new().with_k(24))
         .run(&hexcell_plate(), RunOptions::new())
         .expect("hexcell plate is flat CSG");
@@ -124,9 +134,19 @@ fn fig18_19() {
         } else {
             ""
         };
-        println!("  #{} (cost {}): {} nodes{}", i + 1, p.cost, p.cad.num_nodes(), tag);
+        println!(
+            "  #{} (cost {}): {} nodes{}",
+            i + 1,
+            p.cost,
+            p.cad.num_nodes(),
+            tag
+        );
     }
-    if let Some(trig) = result.top_k.iter().find(|p| p.cad.to_string().contains("Sin")) {
+    if let Some(trig) = result
+        .top_k
+        .iter()
+        .find(|p| p.cad.to_string().contains("Sin"))
+    {
         println!("\n  trig program:\n{}", trig.cad.to_pretty(72));
     }
 }

@@ -23,9 +23,11 @@
 
 use std::time::Duration;
 
+use std::sync::Arc;
+
 use sz_batch::BatchEngine;
 use sz_models::Model;
-use szalinski::{CostKind, RunOptions, SynthConfig, Synthesis, Synthesizer, TableRow};
+use szalinski::{RewardLoopsCost, RunOptions, SynthConfig, Synthesis, Synthesizer, TableRow};
 
 /// The synthesis configuration used for Table 1 (k = 5, ε = 10⁻³, like
 /// the paper).
@@ -86,7 +88,7 @@ pub fn run_table1_report(engine: &BatchEngine) -> sz_batch::BatchReport {
     jobs.push(sz_batch::BatchJob::new(
         "510849:wardrobe@",
         wardrobe.flat,
-        table1_config().with_cost(CostKind::RewardLoops),
+        table1_config().with_cost_model(Arc::new(RewardLoopsCost)),
     ));
     engine.run(jobs)
 }

@@ -236,7 +236,8 @@ mod tests {
 
     #[test]
     fn nested_chain_and_leaf() {
-        let (eg, id) = graph("(Translate (Vec3 1 0 0) (Rotate (Vec3 0 0 30) (Scale (Vec3 2 2 2) Sphere)))");
+        let (eg, id) =
+            graph("(Translate (Vec3 1 0 0) (Rotate (Vec3 0 0 30) (Scale (Vec3 2 2 2) Sphere)))");
         let chains = chains_of(&eg, id);
         let full = chains.iter().max_by_key(|c| c.layers.len()).unwrap();
         assert_eq!(
@@ -266,10 +267,14 @@ mod tests {
         // element 1's Rotate∘Scale signature.
         let (mut eg, _) = graph("Nil");
         let e1 = eg.add_expr(
-            &"(Rotate (Vec3 0 0 30) (Scale (Vec3 2 2 2) Unit))".parse().unwrap(),
+            &"(Rotate (Vec3 0 0 30) (Scale (Vec3 2 2 2) Unit))"
+                .parse()
+                .unwrap(),
         );
         let e2 = eg.add_expr(
-            &"(Scale (Vec3 3 3 3) (Rotate (Vec3 0 0 60) Unit))".parse().unwrap(),
+            &"(Scale (Vec3 3 3 3) (Rotate (Vec3 0 0 60) Unit))"
+                .parse()
+                .unwrap(),
         );
         eg.rebuild();
         let runner = Runner::new(CadAnalysis)

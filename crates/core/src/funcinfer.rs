@@ -3,10 +3,10 @@
 //! closed forms — the "inverse transformation" at the heart of Szalinski.
 
 use std::collections::HashSet;
+use std::time::Instant;
 
 use sz_cad::{AffineKind, Expr};
-use sz_egraph::Id;
-
+use sz_egraph::{CancelToken, Id};
 
 use crate::analysis::CadGraph;
 use crate::determinize::{determinize_all, DetList};
@@ -65,7 +65,8 @@ pub(crate) struct LayerFit {
 
 fn to_expr(f: &sz_solver::FittedFn, kind: AffineKind, depth: u8) -> Expr {
     if kind == AffineKind::Rotate {
-        f.to_rotation_expr(depth).unwrap_or_else(|| f.to_expr(depth))
+        f.to_rotation_expr(depth)
+            .unwrap_or_else(|| f.to_expr(depth))
     } else {
         f.to_expr(depth)
     }
@@ -75,12 +76,7 @@ fn to_expr(f: &sz_solver::FittedFn, kind: AffineKind, depth: u8) -> Expr {
 /// primary (simplest class per component) and, when some component also
 /// admits a sinusoid, a trigonometry-preferring variant — the source of
 /// the paper's §6.3 solution diversity.
-pub(crate) fn fit_layer(
-    kind: AffineKind,
-    vecs: &[[f64; 3]],
-    eps: f64,
-    depth: u8,
-) -> Vec<LayerFit> {
+pub(crate) fn fit_layer(kind: AffineKind, vecs: &[[f64; 3]], eps: f64, depth: u8) -> Vec<LayerFit> {
     let mut primary: Vec<Expr> = Vec::with_capacity(3);
     let mut trigged: Vec<Expr> = Vec::with_capacity(3);
     let mut tags = Vec::new();
@@ -97,7 +93,9 @@ pub(crate) fn fit_layer(
         }
         primary.push(to_expr(first, kind, depth));
         // Trig-preferring variant: take the sinusoid when available.
-        let trig = fits.iter().find(|f| matches!(f, sz_solver::FittedFn::Trig(_)));
+        let trig = fits
+            .iter()
+            .find(|f| matches!(f, sz_solver::FittedFn::Trig(_)));
         match trig {
             Some(t) => {
                 any_trig_alt |= !matches!(first, sz_solver::FittedFn::Trig(_));
@@ -215,6 +213,48 @@ fn infer_for_list(
     record
 }
 
+/// Cooperative stop checks threaded through the solver-inference passes
+/// ([`infer_functions_with`] / [`crate::infer_loops_with`]): a
+/// [`CancelToken`] and/or a wall-clock deadline, polled **between list
+/// sites** — so a deadline can interrupt an inference pass mid-way, not
+/// only at saturation iteration boundaries.
+///
+/// A pass stopped early leaves the e-graph valid (unions already made
+/// stay; callers rebuild as usual) but its result is wall-clock
+/// dependent — the session marks such runs
+/// [`StopReason::Cancelled`](sz_egraph::StopReason::Cancelled) and never
+/// captures or caches them.
+#[derive(Debug, Clone, Default)]
+pub struct PassControl {
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+}
+
+impl PassControl {
+    /// No cancellation: passes always run to completion.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a cooperative cancellation token.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a wall-clock deadline (an absolute instant).
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Whether the pass should stop at the next site boundary.
+    pub fn should_stop(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
 /// Runs function inference over every `Fold` list in the e-graph
 /// (paper Fig. 5, `solver_invoke`), inserting `Mapi`/`Repeat` variants
 /// into the matched list classes. Every consistent determinization is
@@ -222,10 +262,27 @@ fn infer_for_list(
 /// final top-k extraction chooses among them. Call
 /// [`CadGraph::rebuild`] afterwards.
 pub fn infer_functions(egraph: &mut CadGraph, eps: f64) -> Vec<InferenceRecord> {
+    infer_functions_with(egraph, eps, &PassControl::new()).0
+}
+
+/// [`infer_functions`] with cooperative cancellation: `ctl` is polled
+/// between list sites. Returns the records produced plus whether the
+/// pass was **truncated** — stopped with sites left unprocessed (the
+/// e-graph keeps any structure already inserted). A pass that ran every
+/// site reports `false` even if the stop condition became true
+/// afterwards: its product is still the deterministic one.
+pub fn infer_functions_with(
+    egraph: &mut CadGraph,
+    eps: f64,
+    ctl: &PassControl,
+) -> (Vec<InferenceRecord>, bool) {
     let sites = fold_sites(egraph);
     let mut seen: HashSet<Id> = HashSet::new();
     let mut records = Vec::new();
     for site in sites {
+        if ctl.should_stop() {
+            return (records, true);
+        }
         let list = egraph.find(site.list);
         if !seen.insert(list) {
             continue;
@@ -242,7 +299,7 @@ pub fn infer_functions(egraph: &mut CadGraph, eps: f64) -> Vec<InferenceRecord> 
             }
         }
     }
-    records
+    (records, false)
 }
 
 #[cfg(test)]
@@ -250,6 +307,49 @@ mod tests {
     use super::*;
     use crate::{lang_to_cad, CadAnalysis};
     use sz_egraph::{AstSize, Extractor, RecExpr, Runner};
+
+    #[test]
+    fn cancelled_token_interrupts_inference_mid_pass() {
+        // A pre-triggered token stops the pass before any site runs:
+        // no records, graph untouched. The pipeline relies on this for
+        // mid-pass deadline enforcement (PassControl is polled between
+        // list sites, not only at saturation iteration boundaries).
+        let teeth: Vec<String> = (1..=5)
+            .map(|i| format!("(Translate (Vec3 {} 0 0) Unit)", 2 * i))
+            .collect();
+        let input = format!(
+            "(Union {} (Union {} (Union {} (Union {} {}))))",
+            teeth[0], teeth[1], teeth[2], teeth[3], teeth[4]
+        );
+        let expr: RecExpr<CadLang> = input.parse().unwrap();
+        let runner = Runner::new(CadAnalysis)
+            .with_expr(&expr)
+            .with_iter_limit(30)
+            .run(&crate::rules::rules());
+        let mut eg = runner.egraph;
+
+        let token = sz_egraph::CancelToken::new();
+        token.cancel();
+        let ctl = PassControl::new().with_cancel_token(token);
+        assert!(ctl.should_stop());
+        let nodes_before = eg.total_number_of_nodes();
+        let (records, truncated) = infer_functions_with(&mut eg, 1e-3, &ctl);
+        assert!(records.is_empty());
+        assert!(truncated, "sites were left unprocessed");
+        assert_eq!(eg.total_number_of_nodes(), nodes_before);
+        let (records, truncated) = crate::infer_loops_with(&mut eg, 1e-3, &ctl);
+        assert!(records.is_empty());
+        assert!(truncated);
+
+        // An untriggered control changes nothing versus the plain entry
+        // points — and a pass that ran every site is NOT truncated.
+        let idle = PassControl::new()
+            .with_deadline(std::time::Instant::now() + std::time::Duration::from_secs(3600));
+        assert!(!idle.should_stop());
+        let (records, truncated) = infer_functions_with(&mut eg, 1e-3, &idle);
+        assert!(!records.is_empty(), "inference proceeds under an idle ctl");
+        assert!(!truncated);
+    }
 
     /// Saturate with the default rules, run function inference, rebuild,
     /// then extract the best program.

@@ -497,7 +497,9 @@ pub fn lang_to_cad_at(expr: &RecExpr<CadLang>, id: Id) -> Result<Cad, FromLangEr
         CadLang::External(s) => Ok(Cad::External(s.as_str().to_owned())),
         CadLang::Param => Ok(Cad::Param),
         CadLang::Nil => Ok(Cad::Nil),
-        node @ (CadLang::Translate([v, ch]) | CadLang::Scale([v, ch]) | CadLang::Rotate([v, ch])) => {
+        node @ (CadLang::Translate([v, ch])
+        | CadLang::Scale([v, ch])
+        | CadLang::Rotate([v, ch])) => {
             let kind = node.affine_kind().expect("matched affine");
             let CadLang::Vec3([x, y, z]) = expr[*v] else {
                 return Err(FromLangError("affine argument must be a Vec3".into()));
@@ -525,9 +527,9 @@ pub fn lang_to_cad_at(expr: &RecExpr<CadLang>, id: Id) -> Result<Cad, FromLangEr
         )),
         CadLang::Fun([body]) => Ok(Cad::Fun(Box::new(c(*body)?))),
         CadLang::Fold([op, init, list]) => {
-            let op = expr[*op]
-                .as_fold_op()
-                .ok_or_else(|| FromLangError("Fold operator must be UnionOp/DiffOp/InterOp".into()))?;
+            let op = expr[*op].as_fold_op().ok_or_else(|| {
+                FromLangError("Fold operator must be UnionOp/DiffOp/InterOp".into())
+            })?;
             Ok(Cad::Fold(op, Box::new(c(*init)?), Box::new(c(*list)?)))
         }
         other => Err(FromLangError(format!(

@@ -20,8 +20,11 @@
 //!    ε tolerance, sinusoids) per affine layer and inserts
 //!    `Mapi`/`Repeat` structure; [`infer_loops`] finds nested loops via
 //!    m-factorization and the irregular-grid grouping fallback;
-//! 6. [`synthesize`] extracts the **top-k** programs under
-//!    [`CostKind::AstSize`] or [`CostKind::RewardLoops`].
+//! 6. extraction returns the **top-k** programs under any pluggable
+//!    [`CostModel`] (the paper's AST size is the default, the
+//!    `wardrobe@` loop-rewarding scheme a built-in; see [`cost`] for
+//!    the weight-table/combinator models and the `pareto` two-objective
+//!    front).
 //!
 //! ## Example
 //!
@@ -55,20 +58,27 @@ pub mod rules;
 pub mod session;
 
 pub use analysis::{add_vec, num_of, vec_of, CadAnalysis, CadData, CadGraph};
-pub use cost::{CadCost, CostKind};
+pub use cost::{
+    parse_cost_model, parse_cost_spec, validate_fingerprint, AstSizeCost, CadCost, CostKind,
+    CostModel, CostSpec, CostSpecError, CostVec, DepthCost, DepthPenalty, GeomCount, Lexicographic,
+    ModelCost, OpClass, RewardLoopsCost, WeightedCost, WeightedSum, COST_SPEC_GRAMMAR,
+};
 pub use determinize::{chains_of, determinize, determinize_all, AffineChain, ChainLayer, DetList};
-pub use funcinfer::{infer_functions, InferenceRecord, LoopShape};
+pub use funcinfer::{
+    infer_functions, infer_functions_with, InferenceRecord, LoopShape, PassControl,
+};
 pub use lang::{cad_to_lang, lang_to_cad, lang_to_cad_at, CadLang, FromLangError};
 pub use listmanip::list_manipulation;
 pub use lists::{add_cons_list, add_expr_tree, fold_sites, read_list, FoldSite};
-pub use loopinfer::{factorizations, index_sets, infer_loops};
+pub use loopinfer::{factorizations, index_sets, infer_loops, infer_loops_with};
 #[allow(deprecated)]
 pub use pipeline::{
     resume_synthesize, synthesize, synthesize_with_snapshot, try_synthesize,
     try_synthesize_with_snapshot,
 };
 pub use pipeline::{
-    ResumeError, SatPhase, SynthConfig, SynthError, SynthProgram, SynthSnapshot, Synthesis,
+    ParetoProgram, ResumeError, SatPhase, SynthConfig, SynthError, SynthProgram, SynthSnapshot,
+    Synthesis,
 };
 pub use report::{fit_tags, has_structure, loop_tags, TableRow};
 pub use rules::{all_rules, rules, structural_rules, CadRewrite};

@@ -88,10 +88,7 @@ mod tests {
         let ex = Extractor::new(&eg, AstSize);
         let (_, best) = ex.find_best(root);
         let out = lang_to_cad(&best).unwrap().to_string();
-        assert!(
-            out.contains("(Translate (* 2 (+ i 1)) 0 0 c)"),
-            "got {out}"
-        );
+        assert!(out.contains("(Translate (* 2 (+ i 1)) 0 0 c)"), "got {out}");
     }
 
     #[test]

@@ -58,9 +58,7 @@ pub fn read_list(egraph: &CadGraph, id: Id) -> Option<Vec<Id>> {
         if class.iter().any(|n| matches!(n, CadLang::Nil)) {
             return Some(out);
         }
-        if let Some(CadLang::Cons([h, t])) =
-            class.iter().find(|n| matches!(n, CadLang::Cons(_)))
-        {
+        if let Some(CadLang::Cons([h, t])) = class.iter().find(|n| matches!(n, CadLang::Cons(_))) {
             out.push(egraph.find(*h));
             cur = egraph.find(*t);
             continue;
@@ -197,7 +195,9 @@ mod tests {
 
     #[test]
     fn fold_sites_dedup() {
-        let (eg, _) = graph("(Union (Fold UnionOp Empty (Cons Unit Nil)) (Fold UnionOp Empty (Cons Unit Nil)))");
+        let (eg, _) = graph(
+            "(Union (Fold UnionOp Empty (Cons Unit Nil)) (Fold UnionOp Empty (Cons Unit Nil)))",
+        );
         // Hash-consing makes the two identical folds one site.
         assert_eq!(fold_sites(&eg).len(), 1);
     }

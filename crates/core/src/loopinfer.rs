@@ -9,7 +9,7 @@ use sz_solver::{fit_sequence, FittedFn};
 
 use crate::analysis::CadGraph;
 use crate::determinize::determinize_all;
-use crate::funcinfer::{add_affine_exprs, InferenceRecord, LoopShape};
+use crate::funcinfer::{add_affine_exprs, InferenceRecord, LoopShape, PassControl};
 use crate::lists::{add_num, fold_sites, read_list};
 use crate::CadLang;
 
@@ -214,7 +214,10 @@ fn infer_irregular(
         // appearance order.
         let mut groups: Vec<(f64, Vec<usize>)> = Vec::new();
         for (i, v) in vecs.iter().enumerate() {
-            match groups.iter_mut().find(|(val, _)| (val - v[g]).abs() <= 2.0 * eps) {
+            match groups
+                .iter_mut()
+                .find(|(val, _)| (val - v[g]).abs() <= 2.0 * eps)
+            {
                 Some((_, idxs)) => idxs.push(i),
                 None => groups.push((v[g], vec![i])),
             }
@@ -275,10 +278,27 @@ fn infer_irregular(
 /// Only `Union`/`Inter` folds are considered (grouping reorders elements,
 /// which is sound only for commutative operators).
 pub fn infer_loops(egraph: &mut CadGraph, eps: f64) -> Vec<InferenceRecord> {
+    infer_loops_with(egraph, eps, &PassControl::new()).0
+}
+
+/// [`infer_loops`] with cooperative cancellation: `ctl` is polled
+/// between list sites. Returns the records produced plus whether the
+/// pass was **truncated** — stopped with sites left unprocessed (the
+/// e-graph keeps any structure already inserted); a pass that ran every
+/// site reports `false` even if the stop condition became true only
+/// afterwards.
+pub fn infer_loops_with(
+    egraph: &mut CadGraph,
+    eps: f64,
+    ctl: &PassControl,
+) -> (Vec<InferenceRecord>, bool) {
     let sites = fold_sites(egraph);
     let mut seen: HashSet<Id> = HashSet::new();
     let mut records = Vec::new();
     for site in sites {
+        if ctl.should_stop() {
+            return (records, true);
+        }
         if site.op == BoolOp::Diff {
             continue;
         }
@@ -317,7 +337,7 @@ pub fn infer_loops(egraph: &mut CadGraph, eps: f64) -> Vec<InferenceRecord> {
             }
         }
     }
-    records
+    (records, false)
 }
 
 #[cfg(test)]
@@ -351,7 +371,10 @@ mod tests {
 
     #[test]
     fn factorization_basics() {
-        assert_eq!(factorizations(12, 2), vec![vec![2, 6], vec![3, 4], vec![4, 3], vec![6, 2]]);
+        assert_eq!(
+            factorizations(12, 2),
+            vec![vec![2, 6], vec![3, 4], vec![4, 3], vec![6, 2]]
+        );
         assert_eq!(factorizations(8, 3), vec![vec![2, 2, 2]]);
         assert!(factorizations(5, 2).is_empty());
         assert!(factorizations(4, 3).is_empty());
@@ -360,7 +383,10 @@ mod tests {
     #[test]
     fn index_sets_match_paper() {
         // Paper §5: 2-factorization of 4 gives [[0;0;1;1]; [0;1;0;1]].
-        assert_eq!(index_sets(&[2, 2]), vec![vec![0, 0, 1, 1], vec![0, 1, 0, 1]]);
+        assert_eq!(
+            index_sets(&[2, 2]),
+            vec![vec![0, 0, 1, 1], vec![0, 1, 0, 1]]
+        );
         assert_eq!(
             index_sets(&[2, 3]),
             vec![vec![0, 0, 0, 1, 1, 1], vec![0, 1, 2, 0, 1, 2]]
@@ -406,7 +432,10 @@ mod tests {
         // lifted above the whole fold by the reordering + lifting rules;
         // both expose the 2×3 grid.
         assert!(best.contains("Sphere"), "got {best}");
-        assert!(best.contains("0.75") || best.contains("(Scale 0.75"), "got {best}");
+        assert!(
+            best.contains("0.75") || best.contains("(Scale 0.75"),
+            "got {best}"
+        );
     }
 
     #[test]
@@ -415,7 +444,9 @@ mod tests {
             .map(|i| format!("(Translate (Vec3 {} 7 0) Unit)", 3 * i))
             .collect();
         let (_, records) = infer_pipeline(&union_chain(&items));
-        assert!(records.iter().all(|r| !matches!(r.shape, LoopShape::Nested(_))));
+        assert!(records
+            .iter()
+            .all(|r| !matches!(r.shape, LoopShape::Nested(_))));
     }
 
     #[test]

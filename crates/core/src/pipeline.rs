@@ -5,13 +5,16 @@
 //! main loop itself).
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sz_cad::Cad;
-use sz_egraph::{Id, KBestExtractor, RuleStat, Snapshot, SnapshotParseError, StopReason};
+use sz_egraph::{
+    Id, KBestExtractor, ParetoExtractor, RuleStat, Snapshot, SnapshotParseError, StopReason,
+};
 
 use crate::analysis::{CadAnalysis, CadGraph};
-use crate::cost::{CadCost, CostKind};
+use crate::cost::{AstSizeCost, CostKind, CostModel, ModelCost};
 use crate::funcinfer::InferenceRecord;
 use crate::lang::lang_to_cad;
 use crate::report::{fit_tags, has_structure, loop_tags, TableRow};
@@ -39,8 +42,15 @@ pub struct SynthConfig {
     /// ([`Scheduler::backoff`]); off by default so results match the
     /// paper's unthrottled saturation exactly.
     pub backoff: bool,
-    /// Extraction cost function.
-    pub cost: CostKind,
+    /// Extraction cost model (an **extraction-only** field: it feeds
+    /// [`SynthConfig::fingerprint`] via [`CostModel::fingerprint`] but
+    /// never the saturation fingerprint, so swapping models reuses
+    /// snapshots).
+    pub cost_model: Arc<dyn CostModel>,
+    /// When set, extraction additionally computes the deterministic
+    /// Pareto front under these two cost models (surfaced in
+    /// [`Synthesis::pareto`]). Extraction-only, like `cost_model`.
+    pub pareto: Option<[Arc<dyn CostModel>; 2]>,
 }
 
 impl Default for SynthConfig {
@@ -54,7 +64,8 @@ impl Default for SynthConfig {
             main_loop_fuel: 1,
             structural_rules: false,
             backoff: false,
-            cost: CostKind::AstSize,
+            cost_model: Arc::new(AstSizeCost),
+            pareto: None,
         }
     }
 }
@@ -77,9 +88,49 @@ impl SynthConfig {
         self
     }
 
-    /// Sets the cost function.
-    pub fn with_cost(mut self, cost: CostKind) -> Self {
-        self.cost = cost;
+    /// Sets the cost function from the legacy two-variant selector —
+    /// a thin compatibility wrapper over
+    /// [`SynthConfig::with_cost_model`].
+    pub fn with_cost(self, cost: CostKind) -> Self {
+        self.with_cost_model(cost.model())
+    }
+
+    /// Sets the extraction cost model (see [`CostModel`] for the
+    /// contract; built-ins and combinators live in [`crate::cost`]).
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the model's fingerprint violates the
+    /// charset contract (see [`crate::cost::validate_fingerprint`]) —
+    /// a delimiter inside a fingerprint could alias two different
+    /// configs onto one batch cache key.
+    pub fn with_cost_model(mut self, model: Arc<dyn CostModel>) -> Self {
+        debug_assert_fingerprint(model.as_ref());
+        self.cost_model = model;
+        self
+    }
+
+    /// Requests Pareto-front extraction under two cost models alongside
+    /// the ranked top-k (the front lands in [`Synthesis::pareto`]). The
+    /// first model must be strictly monotone; the second may be a
+    /// plateauing measure such as [`crate::cost::GeomCount`].
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic on fingerprint-contract violations (as for
+    /// [`SynthConfig::with_cost_model`]) and when the first model is not
+    /// strictly monotone — the same requirement `parse_cost_spec`
+    /// rejects for the CLI, since a plateauing first objective breaks
+    /// the Pareto extractor's cycle-pruning argument.
+    pub fn with_pareto(mut self, a: Arc<dyn CostModel>, b: Arc<dyn CostModel>) -> Self {
+        debug_assert_fingerprint(a.as_ref());
+        debug_assert_fingerprint(b.as_ref());
+        debug_assert!(
+            a.strictly_monotone(),
+            "the first pareto objective must be strictly monotone \
+             (put plateauing measures like GeomCount second)"
+        );
+        self.pareto = Some([a, b]);
         self
     }
 
@@ -123,11 +174,30 @@ impl SynthConfig {
     /// field added to the saturation half automatically reaches both.
     pub fn fingerprint(&self) -> String {
         format!(
-            "{};k={};cost={:?}",
+            "{};k={};cost={}",
             self.saturation_fingerprint(),
             self.k,
-            self.cost,
+            self.cost_fingerprint(),
         )
+    }
+
+    /// The extraction **cost** half of the fingerprint: the configured
+    /// [`CostModel::fingerprint`], plus the Pareto objectives when
+    /// [`SynthConfig::with_pareto`] is set. Recorded per job in the
+    /// batch JSONL report, and the piece of [`SynthConfig::fingerprint`]
+    /// that changes — while the saturation fingerprint does **not** —
+    /// when only the cost model is swapped (which is why cost-only
+    /// changes still hit the snapshot tier).
+    pub fn cost_fingerprint(&self) -> String {
+        match &self.pareto {
+            None => self.cost_model.fingerprint(),
+            Some([a, b]) => format!(
+                "{}+pareto({},{})",
+                self.cost_model.fingerprint(),
+                a.fingerprint(),
+                b.fingerprint()
+            ),
+        }
     }
 
     /// The **saturation** half of [`SynthConfig::fingerprint`]: only the
@@ -179,6 +249,17 @@ impl SynthConfig {
     }
 }
 
+/// Debug-build enforcement of the [`CostModel::fingerprint`] charset
+/// contract at the config boundary (the earliest point a user model
+/// enters the pipeline).
+fn debug_assert_fingerprint(model: &dyn CostModel) {
+    if cfg!(debug_assertions) {
+        if let Err(why) = crate::cost::validate_fingerprint(&model.fingerprint()) {
+            panic!("invalid CostModel fingerprint: {why}");
+        }
+    }
+}
+
 /// Why [`try_synthesize`] rejected a run (the panic-free entry point
 /// used by batch drivers).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -208,8 +289,18 @@ impl std::error::Error for SynthError {}
 /// One synthesized program with its extraction cost.
 #[derive(Debug, Clone)]
 pub struct SynthProgram {
-    /// The extraction cost (see [`CostKind`]).
+    /// The primary component of the configured [`CostModel`]'s cost.
     pub cost: usize,
+    /// The program.
+    pub cad: Cad,
+}
+
+/// One point on a Pareto front: a program with its two objective costs.
+#[derive(Debug, Clone)]
+pub struct ParetoProgram {
+    /// `[objective_a, objective_b]` primary costs under the two models
+    /// of [`SynthConfig::with_pareto`].
+    pub costs: [u64; 2],
     /// The program.
     pub cad: Cad,
 }
@@ -245,6 +336,12 @@ pub struct Synthesis {
     /// [`RunOptions::capture_snapshot`](crate::RunOptions::capture_snapshot)
     /// was requested and the run was not cancelled.
     pub snapshot: Option<SynthSnapshot>,
+    /// The deterministic Pareto front under the two cost models of
+    /// [`SynthConfig::with_pareto`] /
+    /// [`RunOptions::with_pareto`](crate::RunOptions::with_pareto):
+    /// mutually non-dominating programs, ascending on the first
+    /// objective. `None` when no Pareto extraction was requested.
+    pub pareto: Option<Vec<ParetoProgram>>,
 }
 
 impl Synthesis {
@@ -356,19 +453,51 @@ pub(crate) fn extract_top_k(
     root: Id,
     config: &SynthConfig,
 ) -> Vec<SynthProgram> {
-    let kbest = KBestExtractor::new(egraph, CadCost::new(config.cost), config.k * 2);
+    let kbest = KBestExtractor::new(
+        egraph,
+        ModelCost(Arc::clone(&config.cost_model)),
+        config.k * 2,
+    );
     let mut top_k: Vec<SynthProgram> = Vec::new();
     for (cost, e) in kbest.find_best_k(root) {
         let Ok(cad) = lang_to_cad(&e) else { continue };
         if top_k.iter().any(|p| p.cad == cad) {
             continue;
         }
-        top_k.push(SynthProgram { cost, cad });
+        top_k.push(SynthProgram {
+            cost: cost.primary() as usize,
+            cad,
+        });
         if top_k.len() >= config.k {
             break;
         }
     }
     top_k
+}
+
+/// When the config requests it, extracts the deterministic Pareto front
+/// under the two configured cost models (dominated and non-CAD
+/// derivations dropped; deduplicated by program).
+pub(crate) fn extract_pareto(
+    egraph: &CadGraph,
+    root: Id,
+    config: &SynthConfig,
+) -> Option<Vec<ParetoProgram>> {
+    let [a, b] = config.pareto.as_ref()?;
+    let extractor =
+        ParetoExtractor::new(egraph, ModelCost(Arc::clone(a)), ModelCost(Arc::clone(b)));
+    let mut front: Vec<ParetoProgram> = Vec::new();
+    for (ca, cb, e) in extractor.find_front(root) {
+        let Ok(cad) = lang_to_cad(&e) else { continue };
+        if front.iter().any(|p| p.cad == cad) {
+            continue;
+        }
+        front.push(ParetoProgram {
+            costs: [ca.primary(), cb.primary()],
+            cad,
+        });
+    }
+    Some(front)
 }
 
 /// Panic-free pipeline entry point for batch drivers.
@@ -844,6 +973,7 @@ pub fn resume_synthesize(
     let start = Instant::now();
     let egraph = snapshot.snapshot.restore(CadAnalysis);
     let top_k = extract_top_k(&egraph, root, config);
+    let pareto = extract_pareto(&egraph, root, config);
     Ok(Synthesis {
         input: input.clone(),
         top_k,
@@ -856,6 +986,7 @@ pub fn resume_synthesize(
         rule_stats: Vec::new(),
         mode: crate::RunMode::ResumedExtraction,
         snapshot: None,
+        pareto,
     })
 }
 

@@ -79,7 +79,11 @@ pub fn loop_tags(cad: &Cad) -> Vec<String> {
     fn push_mapidx(bounds: &[Expr], out: &mut Vec<String>) {
         let bs: Vec<String> = bounds
             .iter()
-            .map(|b| b.as_num().map(|x| x.to_string()).unwrap_or_else(|| "?".into()))
+            .map(|b| {
+                b.as_num()
+                    .map(|x| x.to_string())
+                    .unwrap_or_else(|| "?".into())
+            })
             .collect();
         out.push(format!("n{},{}", bounds.len(), bs.join(",")));
     }
@@ -205,7 +209,9 @@ impl TableRow {
             self.n_l,
             self.f,
             self.time_s,
-            self.rank.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            self.rank
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".into()),
         )
     }
 

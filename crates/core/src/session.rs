@@ -40,11 +40,14 @@ use sz_egraph::{
 };
 
 use crate::analysis::{CadAnalysis, CadGraph};
-use crate::funcinfer::infer_functions;
+use crate::cost::CostModel;
+use crate::funcinfer::{infer_functions_with, PassControl};
 use crate::lang::cad_to_lang;
 use crate::listmanip::list_manipulation;
-use crate::loopinfer::infer_loops;
-use crate::pipeline::{extract_top_k, SatPhase, SynthConfig, SynthError, SynthSnapshot, Synthesis};
+use crate::loopinfer::infer_loops_with;
+use crate::pipeline::{
+    extract_pareto, extract_top_k, SatPhase, SynthConfig, SynthError, SynthSnapshot, Synthesis,
+};
 use crate::rules::{all_rules, rules as base_rules, CadRewrite};
 
 /// How a [`Synthesizer::run`] actually executed (recorded in
@@ -127,6 +130,7 @@ pub struct RunOptions {
     cancel: Option<CancelToken>,
     progress: Option<Arc<dyn ProgressObserver>>,
     capture: bool,
+    pareto: Option<[Arc<dyn CostModel>; 2]>,
 }
 
 impl RunOptions {
@@ -187,6 +191,26 @@ impl RunOptions {
         self.capture = capture;
         self
     }
+
+    /// Requests Pareto-front extraction under two cost models for this
+    /// run only, overriding [`SynthConfig::with_pareto`]. The front is
+    /// returned in [`Synthesis::pareto`]; the first model must be
+    /// strictly monotone (see [`CostModel`]).
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic when the first model is not strictly monotone
+    /// (mirroring [`SynthConfig::with_pareto`] and the CLI's
+    /// `parse_cost_spec` rejection).
+    pub fn with_pareto(mut self, a: Arc<dyn CostModel>, b: Arc<dyn CostModel>) -> Self {
+        debug_assert!(
+            a.strictly_monotone(),
+            "the first pareto objective must be strictly monotone \
+             (put plateauing measures like GeomCount second)"
+        );
+        self.pareto = Some([a, b]);
+        self
+    }
 }
 
 impl std::fmt::Debug for RunOptions {
@@ -197,6 +221,7 @@ impl std::fmt::Debug for RunOptions {
             .field("cancel", &self.cancel)
             .field("progress", &self.progress.as_ref().map(|_| "..."))
             .field("capture", &self.capture)
+            .field("pareto", &self.pareto)
             .finish()
     }
 }
@@ -262,16 +287,19 @@ impl Synthesizer {
         self.ruleset.len()
     }
 
-    /// The session config with this run's [`RunLimits`] overrides folded
-    /// in — the config whose fingerprints govern snapshot compatibility
-    /// and capture for the run.
-    fn effective_config(&self, limits: &RunLimits) -> SynthConfig {
+    /// The session config with this run's [`RunLimits`] and pareto
+    /// overrides folded in — the config whose fingerprints govern
+    /// snapshot compatibility and capture for the run.
+    fn effective_config(&self, opts: &RunOptions) -> SynthConfig {
         let mut config = self.config.clone();
-        if let Some(iter) = limits.iter_limit {
+        if let Some(iter) = opts.limits.iter_limit {
             config.iter_limit = iter;
         }
-        if let Some(nodes) = limits.node_limit {
+        if let Some(nodes) = opts.limits.node_limit {
             config.node_limit = nodes;
+        }
+        if let Some(pareto) = &opts.pareto {
+            config.pareto = Some(pareto.clone());
         }
         config
     }
@@ -312,7 +340,7 @@ impl Synthesizer {
     /// through [`Synthesizer::run`].
     pub(crate) fn run_unchecked(&self, input: &Cad, mut opts: RunOptions) -> Synthesis {
         let start = Instant::now();
-        let config = self.effective_config(&opts.limits);
+        let config = self.effective_config(&opts);
         let deadline = opts.limits.deadline.map(|d| start + d);
 
         // A cancel/deadline that is *already* triggered stops the run
@@ -392,6 +420,7 @@ impl Synthesizer {
         };
         let egraph = snapshot.egraph_snapshot().restore(CadAnalysis);
         let top_k = extract_top_k(&egraph, root, config);
+        let pareto = extract_pareto(&egraph, root, config);
         Synthesis {
             input: input.clone(),
             top_k,
@@ -406,6 +435,7 @@ impl Synthesizer {
             // The offered snapshot *is* this run's state: hand it back
             // (moved, not cloned, not re-serialized) when capture is on.
             snapshot: opts.capture.then_some(snapshot),
+            pareto,
         }
     }
 
@@ -436,6 +466,7 @@ impl Synthesizer {
             runner,
             root,
             RunMode::ResumedSaturation,
+            deadline,
             start,
         )
     }
@@ -485,6 +516,7 @@ impl Synthesizer {
                 runner,
                 root,
                 RunMode::Cold,
+                deadline,
                 start,
             );
         }
@@ -492,6 +524,7 @@ impl Synthesizer {
         // Multi-round main loop (saturation → inference, repeated). No
         // saturation-phase capture: multi-round snapshots are never
         // partially resumable (see `SynthSnapshot::supports_partial_resume`).
+        let ctl = pass_control(opts, deadline);
         let mut records = Vec::new();
         let mut stop_reason = None;
         let mut iterations = 0usize;
@@ -518,15 +551,16 @@ impl Synthesizer {
                 break;
             }
 
-            records.extend(run_inference_passes(&mut egraph, config.eps));
+            let (round_records, truncated) = run_inference_passes(&mut egraph, config.eps, &ctl);
+            records.extend(round_records);
 
-            // Between rounds, honor deadline/cancellation before paying
-            // for another saturation (the passes themselves are not
-            // interruptible; this is the next boundary).
-            if round != last_round
-                && (opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
-                    || deadline.is_some_and(|d| Instant::now() >= d))
-            {
+            // A truncated inference pass left a wall-clock-dependent
+            // graph: that is a cancellation. A stop that fires between
+            // rounds merely skips the remaining (whole) rounds — also a
+            // cancellation, but only when rounds actually remain: a run
+            // whose passes all completed is the deterministic product of
+            // its config even if the deadline expired just afterwards.
+            if truncated || (round != last_round && ctl.should_stop()) {
                 stop_reason = Some(StopReason::Cancelled);
                 cancelled = true;
                 if let Some(progress) = &opts.progress {
@@ -545,6 +579,7 @@ impl Synthesizer {
         };
 
         let top_k = extract_top_k(&egraph, root, config);
+        let pareto = extract_pareto(&egraph, root, config);
         Synthesis {
             input: input.clone(),
             top_k,
@@ -557,6 +592,7 @@ impl Synthesizer {
             rule_stats,
             mode: RunMode::Cold,
             snapshot,
+            pareto,
         }
     }
 
@@ -574,13 +610,14 @@ impl Synthesizer {
         mut runner: Runner<crate::CadLang, CadAnalysis>,
         root: sz_egraph::Id,
         mode: RunMode,
+        deadline: Option<Instant>,
         start: Instant,
     ) -> Synthesis {
         let iterations = runner.iterations.len();
         let lifetime_iterations = runner.prior_iterations + iterations;
-        let stop_reason = runner.stop_reason.clone();
+        let mut stop_reason = runner.stop_reason.clone();
         let rule_stats = runner.rule_totals();
-        let cancelled = stop_reason == Some(StopReason::Cancelled);
+        let mut cancelled = stop_reason == Some(StopReason::Cancelled);
         let mut sat_phase: Option<Snapshot<crate::CadLang>> = None;
         if opts.capture && !cancelled {
             runner.roots = vec![root];
@@ -590,7 +627,22 @@ impl Synthesizer {
         let records = if cancelled {
             Vec::new()
         } else {
-            run_inference_passes(&mut egraph, config.eps)
+            let ctl = pass_control(opts, deadline);
+            let (records, truncated) = run_inference_passes(&mut egraph, config.eps, &ctl);
+            // A *truncated* inference stage left a partially-inferred
+            // (wall-clock-dependent) graph: report it as a cancellation
+            // and never capture the state. A deadline that expired only
+            // after every pass completed changes nothing — the graph is
+            // still the deterministic product of the config.
+            if truncated {
+                stop_reason = Some(StopReason::Cancelled);
+                cancelled = true;
+                sat_phase = None;
+                if let Some(progress) = &opts.progress {
+                    progress.on_stop(&StopReason::Cancelled);
+                }
+            }
+            records
         };
 
         let snapshot = if opts.capture && !cancelled {
@@ -608,6 +660,7 @@ impl Synthesizer {
         };
 
         let top_k = extract_top_k(&egraph, root, config);
+        let pareto = extract_pareto(&egraph, root, config);
         Synthesis {
             input: input.clone(),
             top_k,
@@ -620,24 +673,55 @@ impl Synthesizer {
             rule_stats,
             mode,
             snapshot,
+            pareto,
         }
     }
 }
 
+/// Builds the inference passes' [`PassControl`] from a run's
+/// cancellation options.
+fn pass_control(opts: &RunOptions, deadline: Option<Instant>) -> PassControl {
+    let mut ctl = PassControl::new();
+    if let Some(token) = &opts.cancel {
+        ctl = ctl.with_cancel_token(token.clone());
+    }
+    if let Some(deadline) = deadline {
+        ctl = ctl.with_deadline(deadline);
+    }
+    ctl
+}
+
 /// One round of the non-saturation pipeline passes (determ + list_manip
 /// sorted-list variants, then solver-driven function and loop
-/// inference), returning what the solvers did. Shared verbatim by the
-/// single-round cold, multi-round cold, and partial-resume paths so
-/// their trajectories cannot drift apart.
-fn run_inference_passes(egraph: &mut CadGraph, eps: f64) -> Vec<crate::InferenceRecord> {
+/// inference), returning what the solvers did plus whether the stage was
+/// **truncated** — stopped with inference work left undone. Shared
+/// verbatim by the single-round cold, multi-round cold, and
+/// partial-resume paths so their trajectories cannot drift apart. `ctl`
+/// is polled between list sites and between passes, so a deadline
+/// interrupts inference mid-pass instead of waiting for the next
+/// saturation boundary; a stage whose passes all ran to completion
+/// reports `false` even if the stop condition became true afterwards.
+fn run_inference_passes(
+    egraph: &mut CadGraph,
+    eps: f64,
+    ctl: &PassControl,
+) -> (Vec<crate::InferenceRecord>, bool) {
     let mut records = Vec::new();
     list_manipulation(egraph);
     egraph.rebuild();
-    records.extend(infer_functions(egraph, eps));
+    // The passes themselves report truncation (they know whether any
+    // site was actually skipped — a stop with no sites left is still a
+    // deterministic product, not a truncation).
+    let (recs, truncated) = infer_functions_with(egraph, eps, ctl);
+    records.extend(recs);
     egraph.rebuild();
-    records.extend(infer_loops(egraph, eps));
+    if truncated {
+        return (records, true);
+    }
+    let (recs, truncated) = infer_loops_with(egraph, eps, ctl);
+    records.extend(recs);
     egraph.rebuild();
-    records
+    (records, truncated)
 }
 
 /// Applies a run's cancellation/deadline/progress options to a runner.
@@ -914,7 +998,11 @@ mod tests {
 
     #[test]
     fn past_deadline_cancels_promptly() {
-        let session = Synthesizer::new(SynthConfig::new());
+        // Structural rules make the graph explosive enough that a fast
+        // release build cannot legitimately saturate inside the 1 ms
+        // budget (a plain row saturates in under a millisecond on fast
+        // machines, making `Saturated` the *correct* answer there).
+        let session = Synthesizer::new(SynthConfig::new().with_structural_rules(true));
         let start = Instant::now();
         let result = session
             .run(
@@ -1060,5 +1148,107 @@ mod tests {
         let reward = Synthesizer::new(quick().with_cost(CostKind::RewardLoops));
         let result = reward.run(&flat, RunOptions::new()).unwrap();
         assert_eq!(result.structured().map(|(r, _)| r), Some(1));
+    }
+
+    #[test]
+    fn run_options_pareto_yields_a_front() {
+        use crate::cost::{AstSizeCost, DepthCost, GeomCount};
+        let flat = row_of_cubes(5, 2.0);
+        let session = Synthesizer::new(quick());
+        // No pareto requested: the field is None.
+        let plain = session.run(&flat, RunOptions::new()).unwrap();
+        assert!(plain.pareto.is_none());
+
+        let result = session
+            .run(
+                &flat,
+                RunOptions::new().with_pareto(Arc::new(AstSizeCost), Arc::new(GeomCount)),
+            )
+            .unwrap();
+        let front = result.pareto.expect("pareto requested");
+        assert!(!front.is_empty());
+        // Mutually non-dominating, ascending on the first objective.
+        for w in front.windows(2) {
+            assert!(w[0].costs[0] < w[1].costs[0]);
+            assert!(w[0].costs[1] > w[1].costs[1]);
+        }
+        // The size-optimal point matches plain top-1 extraction.
+        assert_eq!(
+            front[0].cad.to_string(),
+            plain.best().cad.to_string(),
+            "first objective is the session's ranking cost"
+        );
+
+        // Same request via the config, with a different second objective.
+        let configured =
+            Synthesizer::new(quick().with_pareto(Arc::new(AstSizeCost), Arc::new(DepthCost)));
+        let result = configured.run(&flat, RunOptions::new()).unwrap();
+        assert!(result.pareto.is_some());
+    }
+
+    #[test]
+    fn pareto_front_survives_extraction_resume() {
+        use crate::cost::{AstSizeCost, GeomCount};
+        let flat = row_of_cubes(4, 2.0);
+        let session = Synthesizer::new(quick());
+        let pareto_opts = || {
+            RunOptions::new().with_pareto(
+                Arc::new(AstSizeCost) as Arc<dyn CostModel>,
+                Arc::new(GeomCount) as Arc<dyn CostModel>,
+            )
+        };
+        let cold = session
+            .run(&flat, pareto_opts().capture_snapshot(true))
+            .unwrap();
+        let snapshot = cold.snapshot.clone().unwrap();
+        let resumed = session
+            .run(&flat, pareto_opts().with_snapshot(snapshot))
+            .unwrap();
+        assert_eq!(resumed.mode, RunMode::ResumedExtraction);
+        assert_eq!(resumed.iterations, 0);
+        let points = |s: &Synthesis| -> Vec<([u64; 2], String)> {
+            s.pareto
+                .as_ref()
+                .unwrap()
+                .iter()
+                .map(|p| (p.costs, p.cad.to_string()))
+                .collect()
+        };
+        assert_eq!(points(&resumed), points(&cold));
+    }
+
+    #[test]
+    fn cancellation_interrupts_inference_passes() {
+        // The runner turns any cancel fired during saturation into a
+        // saturation-boundary stop, so drive the inference stage
+        // directly: saturate uncancelled, then run the shared
+        // `run_inference_passes` tail under a triggered PassControl —
+        // the solver passes must return early with no records.
+        let flat = row_of_cubes(5, 2.0);
+        let session = Synthesizer::new(quick());
+        let saturate = || {
+            let expr = crate::cad_to_lang(&flat);
+            let mut egraph = CadGraph::new(CadAnalysis);
+            egraph.add_expr(&expr);
+            egraph.rebuild();
+            Runner::new(CadAnalysis)
+                .with_egraph(egraph)
+                .with_iter_limit(20)
+                .run(&session.ruleset)
+                .egraph
+        };
+
+        let token = CancelToken::new();
+        token.cancel();
+        let ctl = PassControl::new().with_cancel_token(token);
+        let mut egraph = saturate();
+        let (records, truncated) = run_inference_passes(&mut egraph, 1e-3, &ctl);
+        assert!(records.is_empty(), "stopped before any solver site ran");
+        assert!(truncated, "solver sites were skipped");
+
+        let mut egraph = saturate();
+        let (records, truncated) = run_inference_passes(&mut egraph, 1e-3, &PassControl::new());
+        assert!(!records.is_empty(), "idle control leaves inference intact");
+        assert!(!truncated, "a completed stage is not a truncation");
     }
 }

@@ -287,6 +287,259 @@ impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> KBestExtractor<'a, L,
     }
 }
 
+/// One point on a class's Pareto front: a concrete derivation with its
+/// two objective costs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ParetoEntry<L, A, B> {
+    a: A,
+    b: B,
+    node: L,
+    /// `choices[i]` indexes into the front of `node.children()[i]`'s
+    /// class.
+    choices: Vec<usize>,
+}
+
+/// Default bound on the number of front points kept per e-class (see
+/// [`ParetoExtractor::with_cap`]).
+pub const DEFAULT_PARETO_CAP: usize = 8;
+
+/// One class's Pareto front: mutually non-dominating entries sorted
+/// ascending on the first objective.
+type ParetoFront<L, A, B> = Vec<ParetoEntry<L, A, B>>;
+/// Per-class Pareto fronts for a whole e-graph.
+type ParetoTable<L, A, B> = HashMap<Id, ParetoFront<L, A, B>>;
+
+/// Two-objective Pareto-front extraction: for a class, the set of
+/// derivable terms whose `(cost_a, cost_b)` pairs are **mutually
+/// non-dominating** (no term is at least as cheap on both objectives and
+/// strictly cheaper on one as another).
+///
+/// Same bottom-up fixpoint shape as [`KBestExtractor`], but each class
+/// keeps a dominance-pruned front instead of a top-k list. Fronts are
+/// **capped** per class (default [`DEFAULT_PARETO_CAP`], lowest
+/// `(cost_a, cost_b)` first) so work stays bounded on large graphs; the
+/// cap, the `(a, b, node, choices)` candidate ordering, and the pruning
+/// sweep are all deterministic, so two runs over equal e-graphs return
+/// identical fronts.
+///
+/// # Correctness requirement
+///
+/// The **first** cost function must be strictly monotone (a node's cost
+/// strictly greater than each child's, as for [`Extractor`]); the second
+/// only needs to be non-decreasing. Cycle-generated derivations then
+/// cost strictly more on objective A with objective B no smaller, so
+/// they are dominated and pruned.
+///
+/// # Examples
+///
+/// ```
+/// use sz_egraph::{EGraph, ParetoExtractor, AstSize, AstDepth, tests_lang::Arith};
+/// let mut eg: EGraph<Arith, ()> = EGraph::default();
+/// let deep = eg.add_expr(&"(+ 1 (+ 2 (+ 3 4)))".parse().unwrap()); // size 7, depth 4
+/// let shallow = eg.add_expr(&"(* 6 4)".parse().unwrap()); // size 3, depth 2
+/// eg.union(deep, shallow);
+/// eg.rebuild();
+/// let pareto = ParetoExtractor::new(&eg, AstSize, AstDepth);
+/// let front = pareto.find_front(deep);
+/// // The smaller term is also shallower: it dominates, front is a point.
+/// assert_eq!(front.len(), 1);
+/// assert_eq!(front[0].2.to_string(), "(* 6 4)");
+/// ```
+pub struct ParetoExtractor<
+    'a,
+    L: Language,
+    N: Analysis<L>,
+    CA: CostFunction<L>,
+    CB: CostFunction<L>,
+> {
+    egraph: &'a EGraph<L, N>,
+    cap: usize,
+    table: ParetoTable<L, CA::Cost, CB::Cost>,
+}
+
+impl<'a, L: Language, N: Analysis<L>, CA: CostFunction<L>, CB: CostFunction<L>>
+    ParetoExtractor<'a, L, N, CA, CB>
+{
+    /// Builds the Pareto table with the default per-class cap.
+    pub fn new(egraph: &'a EGraph<L, N>, cost_a: CA, cost_b: CB) -> Self {
+        Self::with_cap(egraph, cost_a, cost_b, DEFAULT_PARETO_CAP)
+    }
+
+    /// Builds the Pareto table keeping at most `cap` front points per
+    /// class (lowest `(cost_a, cost_b)` kept when the true front is
+    /// wider).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn with_cap(egraph: &'a EGraph<L, N>, mut cost_a: CA, mut cost_b: CB, cap: usize) -> Self {
+        assert!(cap > 0, "pareto cap must be positive");
+        let mut table: ParetoTable<L, CA::Cost, CB::Cost> = HashMap::new();
+        let max_iters = egraph.number_of_classes() + 2;
+        for _ in 0..max_iters {
+            let mut new_table: ParetoTable<L, CA::Cost, CB::Cost> = HashMap::new();
+            for class in egraph.classes() {
+                let mut candidates: Vec<ParetoEntry<L, CA::Cost, CB::Cost>> = Vec::new();
+                for node in class.iter() {
+                    enumerate_pareto_entries(
+                        egraph,
+                        &table,
+                        node,
+                        &mut cost_a,
+                        &mut cost_b,
+                        &mut candidates,
+                    );
+                }
+                let front = prune_to_front(candidates, cap);
+                if !front.is_empty() {
+                    new_table.insert(class.id, front);
+                }
+            }
+            let stable = new_table == table;
+            table = new_table;
+            if stable {
+                break;
+            }
+        }
+        ParetoExtractor { egraph, cap, table }
+    }
+
+    /// The configured per-class front cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Extracts the Pareto front of `id`'s class: mutually
+    /// non-dominating `(cost_a, cost_b, term)` triples, sorted by
+    /// ascending `cost_a` (hence descending `cost_b`). Empty when the
+    /// class has no extractable term.
+    pub fn find_front(&self, id: Id) -> Vec<(CA::Cost, CB::Cost, RecExpr<L>)> {
+        let root = self.egraph.find(id);
+        let Some(entries) = self.table.get(&root) else {
+            return Vec::new();
+        };
+        entries
+            .iter()
+            .filter_map(|e| {
+                let mut expr = RecExpr::new();
+                self.build_entry(root, e, &mut expr, 0)
+                    .map(|_| (e.a.clone(), e.b.clone(), expr))
+            })
+            .collect()
+    }
+
+    /// Builds one front entry's term; `None` if the entry is not
+    /// buildable (a non-stabilized table can leave a dangling choice —
+    /// dropped rather than panicking, deterministically).
+    fn build_entry(
+        &self,
+        _class: Id,
+        entry: &ParetoEntry<L, CA::Cost, CB::Cost>,
+        expr: &mut RecExpr<L>,
+        depth: usize,
+    ) -> Option<Id> {
+        if depth >= 10_000 {
+            return None;
+        }
+        let node = &entry.node;
+        let mut child_ids = Vec::with_capacity(node.children().len());
+        for (i, &c) in node.children().iter().enumerate() {
+            let cclass = self.egraph.find(c);
+            let centry = self.table.get(&cclass)?.get(entry.choices[i])?;
+            child_ids.push(self.build_entry(cclass, centry, expr, depth + 1)?);
+        }
+        let mut j = 0;
+        let node = node.map_children(|_| {
+            let id = child_ids[j];
+            j += 1;
+            id
+        });
+        Some(expr.add(node))
+    }
+}
+
+/// Sorts candidates by `(a, b, node, choices)` and sweeps off dominated
+/// (and duplicate-cost) entries, keeping at most `cap` points.
+fn prune_to_front<L: Language, A: Ord + Clone, B: Ord + Clone>(
+    mut candidates: Vec<ParetoEntry<L, A, B>>,
+    cap: usize,
+) -> ParetoFront<L, A, B> {
+    candidates
+        .sort_by(|x, y| (&x.a, &x.b, &x.node, &x.choices).cmp(&(&y.a, &y.b, &y.node, &y.choices)));
+    let mut front: ParetoFront<L, A, B> = Vec::new();
+    for entry in candidates {
+        // Sorted by (a asc, b asc): an entry survives iff its b is
+        // strictly below every kept entry's (equal (a, b) points keep
+        // only the sort-first representative).
+        let dominated = front.last().is_some_and(|kept| entry.b >= kept.b);
+        if !dominated {
+            front.push(entry);
+            if front.len() >= cap {
+                break;
+            }
+        }
+    }
+    front
+}
+
+/// Pushes every derivation of `node` over the children's current fronts
+/// (full cross-product; fronts are capped, so this is bounded).
+fn enumerate_pareto_entries<
+    L: Language,
+    N: Analysis<L>,
+    CA: CostFunction<L>,
+    CB: CostFunction<L>,
+>(
+    egraph: &EGraph<L, N>,
+    table: &ParetoTable<L, CA::Cost, CB::Cost>,
+    node: &L,
+    cost_a: &mut CA,
+    cost_b: &mut CB,
+    out: &mut Vec<ParetoEntry<L, CA::Cost, CB::Cost>>,
+) {
+    let children = node.children();
+    let mut child_fronts: Vec<&ParetoFront<L, CA::Cost, CB::Cost>> =
+        Vec::with_capacity(children.len());
+    for &c in children {
+        match table.get(&egraph.find(c)) {
+            Some(front) => child_fronts.push(front),
+            None => return,
+        }
+    }
+    let mut choices = vec![0usize; children.len()];
+    loop {
+        let a_costs: Vec<CA::Cost> = choices
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| child_fronts[i][j].a.clone())
+            .collect();
+        let b_costs: Vec<CB::Cost> = choices
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| child_fronts[i][j].b.clone())
+            .collect();
+        out.push(ParetoEntry {
+            a: cost_a.cost(node, &a_costs),
+            b: cost_b.cost(node, &b_costs),
+            node: node.clone(),
+            choices: choices.clone(),
+        });
+        // Odometer step over the cross-product of child fronts.
+        let mut i = 0;
+        loop {
+            if i == choices.len() {
+                return;
+            }
+            choices[i] += 1;
+            if choices[i] < child_fronts[i].len() {
+                break;
+            }
+            choices[i] = 0;
+            i += 1;
+        }
+    }
+}
+
 /// Pushes up to `k` best-cost entries derivable from `node` given the
 /// current `table`, using a best-first frontier over choice vectors.
 fn enumerate_node_entries<L: Language, N: Analysis<L>, CF: CostFunction<L>>(
@@ -458,6 +711,81 @@ mod tests {
         let kb = KBestExtractor::new(&eg, AstSize, 4);
         let costs: Vec<usize> = kb.find_best_k(root).iter().map(|(c, _)| *c).collect();
         assert_eq!(costs, vec![3, 5, 5, 7]);
+    }
+
+    #[test]
+    fn pareto_front_keeps_both_tradeoff_points() {
+        // deep: size 7 / depth 4; balanced: size 7 / depth 3;
+        // flat product: size 3 / depth 2 — dominates both + siblings.
+        let mut eg: EGraph<Arith, ()> = EGraph::default();
+        let deep = eg.add_expr(&"(+ 1 (+ 2 (+ 3 4)))".parse().unwrap());
+        let small = eg.add_expr(&"(* 6 4)".parse().unwrap());
+        eg.union(deep, small);
+        eg.rebuild();
+        let pareto = ParetoExtractor::new(&eg, AstSize, AstDepth);
+        let front = pareto.find_front(deep);
+        assert_eq!(front.len(), 1, "{front:?}");
+        assert_eq!(front[0].0, 3);
+        assert_eq!(front[0].1, 2);
+        assert_eq!(front[0].2.to_string(), "(* 6 4)");
+    }
+
+    #[test]
+    fn pareto_front_is_mutually_non_dominating() {
+        // Build a class with a genuine trade-off: a small-but-deep term
+        // vs a bigger-but-shallow one.
+        let mut eg: EGraph<Arith, ()> = EGraph::default();
+        // size 5, depth 3.
+        let deep = eg.add_expr(&"(+ 1 (+ 2 3))".parse().unwrap());
+        // size 7, depth 3 — dominated (same depth, larger).
+        let wide = eg.add_expr(&"(+ (+ 1 2) (+ 3 0))".parse().unwrap());
+        eg.union(deep, wide);
+        eg.rebuild();
+        let pareto = ParetoExtractor::new(&eg, AstSize, AstDepth);
+        let front = pareto.find_front(deep);
+        for (i, (a1, b1, _)) in front.iter().enumerate() {
+            for (j, (a2, b2, _)) in front.iter().enumerate() {
+                if i != j {
+                    let dominates = a1 <= a2 && b1 <= b2 && (a1 < a2 || b1 < b2);
+                    assert!(!dominates, "front point {i} dominates {j}: {front:?}");
+                }
+            }
+        }
+        // Sorted ascending on A, strictly descending on B.
+        for w in front.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 > w[1].1);
+        }
+    }
+
+    #[test]
+    fn pareto_is_deterministic_and_cycle_safe() {
+        let rules: Vec<Rewrite<Arith, ()>> = vec![
+            Rewrite::parse("comm", "(+ ?a ?b)", "(+ ?b ?a)").unwrap(),
+            Rewrite::parse("add0", "?a", "(+ ?a 0)").unwrap(),
+        ];
+        let runner = Runner::new(())
+            .with_expr(&"(+ 1 (+ 2 3))".parse().unwrap())
+            .with_iter_limit(3)
+            .run(&rules);
+        let root = runner.roots[0];
+        let a = ParetoExtractor::new(&runner.egraph, AstSize, AstDepth).find_front(root);
+        let b = ParetoExtractor::new(&runner.egraph, AstSize, AstDepth).find_front(root);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "pareto extraction must be deterministic");
+        // The add0 cycle must not inflate the front: the best size-point
+        // is still the 5-node term.
+        assert_eq!(a[0].0, 5);
+    }
+
+    #[test]
+    fn pareto_cap_bounds_the_front() {
+        let mut eg: EGraph<Arith, ()> = EGraph::default();
+        let root = eg.add_expr(&"(+ (+ 1 2) (+ 3 4))".parse().unwrap());
+        eg.rebuild();
+        let pareto = ParetoExtractor::with_cap(&eg, AstSize, AstDepth, 1);
+        assert_eq!(pareto.cap(), 1);
+        assert!(pareto.find_front(root).len() <= 1);
     }
 
     #[test]

@@ -73,7 +73,9 @@ pub mod tests_lang;
 pub use analysis::{merge_max, merge_option, Analysis, DidMerge};
 pub use dot::to_dot;
 pub use egraph::{EClass, EGraph};
-pub use extract::{AstDepth, AstSize, CostFunction, Extractor, KBestExtractor};
+pub use extract::{
+    AstDepth, AstSize, CostFunction, Extractor, KBestExtractor, ParetoExtractor, DEFAULT_PARETO_CAP,
+};
 pub use id::Id;
 pub use language::{FromOpError, Language, Symbol};
 pub use machine::{compile_count, CompiledPattern, Program};

@@ -7,16 +7,18 @@
 //! cargo run --release --example noisy_decompiler
 //! ```
 
+use std::sync::Arc;
+
 use sz_mesh::validate_program;
 use sz_models::{add_noise, noisy_hexagons, row_of_cubes};
-use szalinski::{CostKind, RunOptions, SynthConfig, Synthesizer};
+use szalinski::{RewardLoopsCost, RunOptions, SynthConfig, Synthesizer};
 
 fn main() {
     // 1. The paper's verbatim noisy input (Fig. 16 left).
     let flat = noisy_hexagons();
     println!("decompiler output ({} nodes):\n{}\n", flat.num_nodes(), flat.to_pretty(72));
 
-    let result = Synthesizer::new(SynthConfig::new().with_cost(CostKind::RewardLoops))
+    let result = Synthesizer::new(SynthConfig::new().with_cost_model(Arc::new(RewardLoopsCost)))
         .run(&flat, RunOptions::new())
         .expect("the noisy input is still flat CSG");
     let (rank, prog) = result.structured().expect("structure despite noise");

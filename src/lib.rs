@@ -100,6 +100,30 @@
 //!   resumes plus a saturation-phase section that makes lower-fuel
 //!   snapshots *continuable* — proven byte-identical to cold runs by
 //!   `tests/partial_resume_differential.rs`.
+//!
+//!   **Extraction is pluggable**: cost schemes implement the
+//!   object-safe [`szalinski::CostModel`] trait (a per-node cost over
+//!   `CadLang` folded through lexicographic [`szalinski::CostVec`]s,
+//!   plus a stable `fingerprint()` that keys caches), set per config
+//!   via `SynthConfig::with_cost_model` (the legacy `CostKind` enum is
+//!   a thin wrapper):
+//!
+//!   ```text
+//!   CostModel ── built-ins:   AstSizeCost (default) · RewardLoopsCost (wardrobe@)
+//!       │                     WeightedCost (per-OpClass table) · DepthCost ·
+//!       │                     GeomCount (pareto-secondary)
+//!       ├────── combinators:  DepthPenalty · Lexicographic · WeightedSum
+//!       └────── extractors:   KBestExtractor      → Synthesis::top_k (ranked)
+//!                             ParetoExtractor     → Synthesis::pareto (two-objective
+//!                                                   deterministic front)
+//!   fingerprint() lives in the EXTRACTION-ONLY half of the config
+//!   fingerprint, so any cost-model swap reuses stored snapshots with
+//!   zero saturation iterations (tests/cost_models.rs).
+//!   ```
+//!
+//!   The `szb --cost <SPEC>` mini-grammar (`ast-size`,
+//!   `weights(loop=1,geom=10)`, `pareto(size,depth)`, …) parses into
+//!   these models via [`szalinski::parse_cost_spec`].
 //! * **`sz-batch`** is the corpus engine added on top: a work-stealing
 //!   thread pool with per-job panic isolation, a **two-tier**
 //!   content-addressed cache (programs keyed on the full config

@@ -16,10 +16,13 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use sz_batch::{
-    attach_snapshot_dir, dir_jobs, sanitize_name, save_snapshot_dir, suite16_jobs, write_report,
-    BatchEngine, BatchJob, JobStatus, ResultCache,
+    attach_snapshot_dir, dir_jobs, sanitize_name, save_snapshot_dir, suite16_jobs, summary_record,
+    BatchEngine, BatchJob, JobStatus, ResultCache, StreamSink,
 };
-use szalinski::{parse_cost_spec, CostKind, CostSpec, SynthConfig, TableRow, COST_SPEC_GRAMMAR};
+use szalinski::{
+    parse_cost_spec, CostKind, CostSpec, RuleStat, SynthConfig, TableRow, Telemetry,
+    COST_SPEC_GRAMMAR,
+};
 
 const USAGE: &str = "\
 szb — parallel batch synthesis over a model corpus
@@ -49,8 +52,25 @@ CACHE & OUTPUT:
                            whose config differs only in extraction fields
                            (--k, any --cost model) resume from it, skipping
                            saturation entirely
-    --report <FILE>        JSON-lines report (default: BENCH_batch.json; 'none' disables)
+    --report <FILE>        JSON-lines report (default: BENCH_batch.json; 'none' disables).
+                           Rows are STREAMED: each job's record is appended and
+                           flushed the moment it finishes, so a killed run keeps
+                           every completed row; the aggregate summary line is
+                           appended at the end
     --out <DIR>            write each job's best program as <name>.scad and <name>.csexp
+
+OBSERVABILITY:
+    --trace <FILE>         write a Chrome trace-event JSON file (load in
+                           chrome://tracing or https://ui.perfetto.dev): per-job
+                           batch spans, per-phase pipeline spans (saturation /
+                           inference / extraction / snapshot capture+restore),
+                           and per-iteration runner spans (search/apply/rebuild,
+                           per-rule e-matching)
+    --metrics <FILE>       write a metrics JSON dump: counters (cache tiers, run
+                           modes, runner iterations), gauges (e-graph size, pool
+                           queue depth), histograms with p50/p90/p99 (job latency)
+    --stats                print a human-readable phase summary and per-rule
+                           table after the run
 
 SYNTHESIS FUEL:
     --k <N>                top-k programs to return        (default 5)
@@ -75,6 +95,45 @@ MISC:
     --help                 show this text
 ";
 
+/// Prints per-rule lifetime totals merged across every job, sorted by
+/// match count descending (rules that never matched are elided).
+fn print_rule_table<'a>(stats: impl IntoIterator<Item = &'a RuleStat>) {
+    let mut totals: Vec<RuleStat> = Vec::new();
+    for stat in stats {
+        match totals.iter_mut().find(|t| t.name == stat.name) {
+            Some(total) => total.absorb(stat),
+            None => totals.push(stat.clone()),
+        }
+    }
+    totals.retain(|s| s.matches > 0);
+    totals.sort_by(|a, b| b.matches.cmp(&a.matches).then(a.name.cmp(&b.name)));
+    if totals.is_empty() {
+        return;
+    }
+    let width = totals
+        .iter()
+        .map(|s| s.name.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    println!("rule summary");
+    println!(
+        "  {:<width$}  {:>9}  {:>9}  {:>6}  {:>10}  {:>10}",
+        "rule", "matches", "applied", "bans", "search_s", "apply_s"
+    );
+    for s in &totals {
+        println!(
+            "  {:<width$}  {:>9}  {:>9}  {:>6}  {:>10.4}  {:>10.4}",
+            s.name,
+            s.matches,
+            s.applied,
+            s.times_banned,
+            s.search_time.as_secs_f64(),
+            s.apply_time.as_secs_f64(),
+        );
+    }
+}
+
 /// `USAGE` with the `--cost` grammar spliced in.
 fn usage() -> String {
     let grammar: String = COST_SPEC_GRAMMAR
@@ -95,6 +154,9 @@ struct Options {
     snapshots: Option<PathBuf>,
     report: Option<PathBuf>,
     out_dir: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    stats: bool,
     config: SynthConfig,
     quiet: bool,
 }
@@ -121,6 +183,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         snapshots: None,
         report: Some(PathBuf::from("BENCH_batch.json")),
         out_dir: None,
+        trace: None,
+        metrics: None,
+        stats: false,
         config: SynthConfig::new(),
         quiet: false,
     };
@@ -172,6 +237,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.report = (v != "none").then(|| PathBuf::from(v));
             }
             "--out" => opts.out_dir = Some(PathBuf::from(value()?)),
+            "--trace" => opts.trace = Some(PathBuf::from(value()?)),
+            "--metrics" => opts.metrics = Some(PathBuf::from(value()?)),
+            "--stats" => opts.stats = true,
             "--k" => {
                 opts.config = opts
                     .config
@@ -287,7 +355,15 @@ fn main() -> ExitCode {
     }
     let cache = loaded_cache.map(|c| Arc::new(Mutex::new(c)));
 
-    let mut engine = BatchEngine::new();
+    // Telemetry is recorded only when some surface will consume it;
+    // otherwise the disabled bundle keeps the hot paths span-free.
+    let telemetry = if opts.trace.is_some() || opts.metrics.is_some() || opts.stats {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+
+    let mut engine = BatchEngine::new().with_telemetry(telemetry.clone());
     if let Some(workers) = opts.workers {
         engine = engine.with_workers(workers);
     }
@@ -299,6 +375,23 @@ fn main() -> ExitCode {
     }
     if let Some(cache) = &cache {
         engine = engine.with_cache(Arc::clone(cache));
+    }
+
+    // Open the JSONL report *before* the run and stream rows into it as
+    // jobs finish (flushed per row), so an interrupted batch keeps every
+    // completed record; the summary line is appended after the run.
+    let report_sink = match &opts.report {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(file) => Some(StreamSink::new(file)),
+            Err(e) => {
+                eprintln!("szb: cannot create report {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    if let Some(sink) = &report_sink {
+        engine = engine.with_stream(sink.clone());
     }
 
     let n_jobs = jobs.len();
@@ -371,18 +464,45 @@ fn main() -> ExitCode {
         );
     }
 
-    // JSONL report.
-    if let Some(path) = &opts.report {
-        match std::fs::File::create(path).map(|f| write_report(f, &report)) {
-            Ok(Ok(())) => {
-                if !opts.quiet {
-                    println!("szb: wrote report to {}", path.display());
-                }
-            }
-            Ok(Err(e)) | Err(e) => {
-                eprintln!("szb: cannot write report {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
+    // The per-job rows were streamed during the run; close the JSONL
+    // report with the aggregate summary line.
+    if let (Some(sink), Some(path)) = (&report_sink, &opts.report) {
+        if let Err(e) = sink.write_line(&summary_record(&report)) {
+            eprintln!("szb: cannot write report {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !opts.quiet {
+            println!(
+                "szb: wrote report to {} (rows streamed per job)",
+                path.display()
+            );
+        }
+    }
+
+    // Telemetry surfaces.
+    if opts.stats {
+        print!("{}", telemetry.phase_summary());
+        print_rule_table(report.outcomes.iter().flat_map(|o| &o.rule_stats));
+    }
+    if let Some(path) = &opts.trace {
+        if let Err(e) = std::fs::write(path, telemetry.chrome_trace_json()) {
+            eprintln!("szb: cannot write trace {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !opts.quiet {
+            println!(
+                "szb: wrote Chrome trace to {} (load in chrome://tracing or ui.perfetto.dev)",
+                path.display()
+            );
+        }
+    }
+    if let Some(path) = &opts.metrics {
+        if let Err(e) = std::fs::write(path, telemetry.metrics_json()) {
+            eprintln!("szb: cannot write metrics {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !opts.quiet {
+            println!("szb: wrote metrics to {}", path.display());
         }
     }
 

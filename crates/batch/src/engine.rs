@@ -27,17 +27,63 @@
 //! batch output is byte-identical to a plain sequential loop — verified
 //! by the crate's determinism tests.
 
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sz_cad::Cad;
 use szalinski::{
     CancelToken, RuleStat, RunOptions, StopReason, SynthConfig, SynthError, SynthSnapshot,
-    Synthesis, Synthesizer, TableRow,
+    Synthesis, Synthesizer, TableRow, Telemetry,
 };
 
 use crate::cache::{CachedRun, JobKey, ResultCache, SnapshotKey};
 use crate::pool::run_tasks;
+use crate::report::job_record;
+
+/// A shared, locked JSONL row sink: jobs append their record the moment
+/// they finish (completion order, not submission order) and the line is
+/// flushed under the lock, so a killed batch run keeps every completed
+/// row on disk. Attach with [`BatchEngine::with_stream`]; panicked jobs
+/// are streamed too (their placeholder outcome, once the pool reports
+/// the panic).
+#[derive(Clone)]
+pub struct StreamSink {
+    writer: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl StreamSink {
+    /// Wraps any writer (a `File`, a `Vec<u8>` buffer in tests, ...).
+    pub fn new(writer: impl Write + Send + 'static) -> Self {
+        StreamSink {
+            writer: Arc::new(Mutex::new(Box::new(writer))),
+        }
+    }
+
+    /// Appends one line and flushes it, atomically with respect to
+    /// other streaming jobs.
+    pub fn write_line(&self, line: &str) -> io::Result<()> {
+        let mut w = self.writer.lock().unwrap();
+        writeln!(w, "{line}")?;
+        w.flush()
+    }
+
+    /// Streams one job record; write failures are reported to stderr
+    /// rather than failing the job (the outcome is still returned in
+    /// the batch report).
+    fn write_record(&self, outcome: &JobOutcome) {
+        if let Err(e) = self.write_line(&job_record(outcome)) {
+            eprintln!("sz-batch: streaming report write failed: {e}");
+        }
+    }
+}
+
+impl std::fmt::Debug for StreamSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamSink").finish_non_exhaustive()
+    }
+}
 
 /// One unit of batch work: a named flat CSG plus its synthesis config.
 #[derive(Debug, Clone)]
@@ -115,9 +161,13 @@ pub struct JobOutcome {
     pub programs: Vec<(usize, String)>,
     /// The Table-1-style row (absent on rejection/panic).
     pub row: Option<TableRow>,
-    /// Per-rule e-matching profile of the saturation this job actually
-    /// ran (empty for cache hits and snapshot resumes, which skip
-    /// saturation). Feeds the JSONL report and `BENCH_ematch.json`.
+    /// Per-rule e-matching profile of the saturation behind this job's
+    /// result (empty for program-cache hits and extraction-only snapshot
+    /// resumes, which skip saturation). Partial-saturation resumes
+    /// report **lifetime** counts — the producing legs' persisted
+    /// matches/applied/bans merged with this leg's — so resumed and cold
+    /// runs agree; wall times cover this leg only. Feeds the JSONL
+    /// report and `BENCH_ematch.json`.
     pub rule_stats: Vec<RuleStat>,
     /// The job config's [`SynthConfig::cost_fingerprint`]: which cost
     /// model (and Pareto objectives, if any) extraction ranked with.
@@ -288,11 +338,13 @@ pub struct BatchEngine {
     batch_deadline: Option<Duration>,
     cancel: Option<CancelToken>,
     cache: Option<Arc<Mutex<ResultCache>>>,
+    telemetry: Telemetry,
+    stream: Option<StreamSink>,
 }
 
 impl BatchEngine {
     /// Engine with default settings: one worker per available core, no
-    /// deadlines, no cancel token, no cache.
+    /// deadlines, no cancel token, no cache, telemetry disabled.
     pub fn new() -> Self {
         BatchEngine {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
@@ -300,6 +352,8 @@ impl BatchEngine {
             batch_deadline: None,
             cancel: None,
             cache: None,
+            telemetry: Telemetry::disabled(),
+            stream: None,
         }
     }
 
@@ -345,6 +399,29 @@ impl BatchEngine {
         self
     }
 
+    /// Attaches a [`Telemetry`] bundle shared by every job: per-job
+    /// `batch/job` spans, cache-tier counters (`cache.program_hit` /
+    /// `cache.snapshot_hit` / `cache.miss`), a `job.latency_us`
+    /// histogram, and a `pool.queue_depth` gauge, plus the full
+    /// per-run pipeline/runner instrumentation (the bundle is handed to
+    /// each [`Synthesizer::run`] via
+    /// [`RunOptions::with_telemetry`](szalinski::RunOptions::with_telemetry)).
+    /// The default disabled bundle records nothing and costs nothing.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches a streaming JSONL sink: each job's record is appended
+    /// and flushed the moment the job finishes, so an interrupted batch
+    /// keeps every completed row. Rows arrive in completion order;
+    /// callers wanting the trailing aggregate summary append it
+    /// themselves after [`BatchEngine::run`] returns (as `szb` does).
+    pub fn with_stream(mut self, stream: StreamSink) -> Self {
+        self.stream = Some(stream);
+        self
+    }
+
     /// Runs the batch across the work-stealing pool.
     pub fn run(&self, jobs: Vec<BatchJob>) -> BatchReport {
         let start = Instant::now();
@@ -352,6 +429,10 @@ impl BatchEngine {
         let batch_end = self.batch_deadline.map(|d| start + d);
         let cancel = &self.cancel;
         let cache = &self.cache;
+        let telemetry = &self.telemetry;
+        let stream = self.stream.as_ref();
+        let pending = AtomicI64::new(jobs.len() as i64);
+        let pending = &pending;
         // Keep the names (and cost fingerprints) outside the pool so a
         // panicked job's outcome still says which job it was.
         let names: Vec<(String, String)> = jobs
@@ -361,7 +442,21 @@ impl BatchEngine {
         let tasks: Vec<_> = jobs
             .into_iter()
             .map(|job| {
-                move || execute_job(job, cache.as_ref(), deadline, batch_end, cancel.as_ref())
+                move || {
+                    let outcome = execute_job(
+                        job,
+                        cache.as_ref(),
+                        deadline,
+                        batch_end,
+                        cancel.as_ref(),
+                        telemetry,
+                        pending,
+                    );
+                    if let Some(stream) = stream {
+                        stream.write_record(&outcome);
+                    }
+                    outcome
+                }
             })
             .collect();
         let outcomes = run_tasks(tasks, self.workers)
@@ -369,21 +464,30 @@ impl BatchEngine {
             .zip(names)
             .map(|(r, (name, cost_fingerprint))| match r {
                 Ok(outcome) => outcome,
-                Err(panic) => JobOutcome {
-                    name,
-                    status: JobStatus::Panicked(panic.message),
-                    cached: false,
-                    snapshot_hit: false,
-                    hit_deadline: false,
-                    stop_reason: None,
-                    time: Duration::ZERO,
-                    iterations: 0,
-                    programs: Vec::new(),
-                    row: None,
-                    rule_stats: Vec::new(),
-                    cost_fingerprint,
-                    pareto: Vec::new(),
-                },
+                Err(panic) => {
+                    let outcome = JobOutcome {
+                        name,
+                        status: JobStatus::Panicked(panic.message),
+                        cached: false,
+                        snapshot_hit: false,
+                        hit_deadline: false,
+                        stop_reason: None,
+                        time: Duration::ZERO,
+                        iterations: 0,
+                        programs: Vec::new(),
+                        row: None,
+                        rule_stats: Vec::new(),
+                        cost_fingerprint,
+                        pareto: Vec::new(),
+                    };
+                    // A panicked task never reached the streaming write
+                    // in its closure; stream its placeholder row here so
+                    // the JSONL file still accounts for every job.
+                    if let Some(stream) = stream {
+                        stream.write_record(&outcome);
+                    }
+                    outcome
+                }
             })
             .collect();
         BatchReport {
@@ -399,16 +503,23 @@ impl BatchEngine {
     pub fn run_sequential(&self, jobs: Vec<BatchJob>) -> BatchReport {
         let start = Instant::now();
         let batch_end = self.batch_deadline.map(|d| start + d);
+        let pending = AtomicI64::new(jobs.len() as i64);
         let outcomes = jobs
             .into_iter()
             .map(|job| {
-                execute_job(
+                let outcome = execute_job(
                     job,
                     self.cache.as_ref(),
                     self.deadline,
                     batch_end,
                     self.cancel.as_ref(),
-                )
+                    &self.telemetry,
+                    &pending,
+                );
+                if let Some(stream) = &self.stream {
+                    stream.write_record(&outcome);
+                }
+                outcome
             })
             .collect();
         BatchReport {
@@ -419,16 +530,62 @@ impl BatchEngine {
     }
 }
 
-/// The single per-job code path shared by parallel and sequential runs:
-/// program-tier lookup, then one [`Synthesizer::run`] that consults the
-/// snapshot tier (resume), runs cold otherwise, and captures a snapshot
-/// when the tier has a budget.
+/// The single per-job code path shared by parallel and sequential runs,
+/// wrapped in the job-level telemetry: a `batch/job` span (with the job
+/// name and terminal status as args), the cache-tier counters, the
+/// `job.latency_us` histogram, and the `pool.queue_depth` gauge.
 fn execute_job(
     job: BatchJob,
     cache: Option<&Arc<Mutex<ResultCache>>>,
     deadline: Option<Duration>,
     batch_end: Option<Instant>,
     cancel: Option<&CancelToken>,
+    telemetry: &Telemetry,
+    pending: &AtomicI64,
+) -> JobOutcome {
+    if telemetry.metrics.is_enabled() {
+        // Jobs not yet started (queued or running elsewhere) the moment
+        // this one begins — a batch-progress gauge.
+        let left = pending.fetch_sub(1, Ordering::Relaxed) - 1;
+        telemetry.metrics.gauge_set("pool.queue_depth", left);
+    }
+    let mut span = telemetry.tracer.is_enabled().then(|| {
+        let mut span = telemetry.span("batch", "job");
+        span.arg_str("name", job.name.clone());
+        span
+    });
+    let outcome = execute_job_inner(job, cache, deadline, batch_end, cancel, telemetry);
+    if telemetry.metrics.is_enabled() {
+        telemetry
+            .metrics
+            .observe("job.latency_us", outcome.time.as_micros() as f64);
+        telemetry.metrics.counter_add(
+            if outcome.cached {
+                "cache.program_hit"
+            } else if outcome.snapshot_hit {
+                "cache.snapshot_hit"
+            } else {
+                "cache.miss"
+            },
+            1,
+        );
+    }
+    if let Some(span) = &mut span {
+        span.arg_str("status", outcome.status.tag().to_owned());
+    }
+    outcome
+}
+
+/// Program-tier lookup, then one [`Synthesizer::run`] that consults the
+/// snapshot tier (resume), runs cold otherwise, and captures a snapshot
+/// when the tier has a budget.
+fn execute_job_inner(
+    job: BatchJob,
+    cache: Option<&Arc<Mutex<ResultCache>>>,
+    deadline: Option<Duration>,
+    batch_end: Option<Instant>,
+    cancel: Option<&CancelToken>,
+    telemetry: &Telemetry,
 ) -> JobOutcome {
     let start = Instant::now();
     let mut config = job.config.clone();
@@ -467,6 +624,9 @@ fn execute_job(
     };
     let capture = cache.is_some_and(|c| c.lock().unwrap().snapshot_budget() > 0);
     let mut opts = RunOptions::new().capture_snapshot(capture);
+    if telemetry.is_enabled() {
+        opts = opts.with_telemetry(telemetry.clone());
+    }
     if let Some(d) = run_deadline {
         opts = opts.with_deadline(d);
     }
@@ -622,6 +782,7 @@ fn outcome_from_cache(job: &BatchJob, run: CachedRun, lookup: Duration) -> JobOu
         mode: szalinski::RunMode::Cold,
         snapshot: None,
         pareto: None,
+        telemetry: Telemetry::disabled(),
     };
     let row = shell
         .try_best()
@@ -885,6 +1046,80 @@ mod tests {
         assert!(rerun.snapshot_hit);
         assert_eq!(rerun.iterations, 0);
         assert_eq!(rerun.pareto, outcome.pareto);
+    }
+
+    /// A `Write` whose bytes stay inspectable after the sink takes
+    /// ownership.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn streaming_sink_flushes_one_row_per_finished_job() {
+        let buf = SharedBuf::default();
+        let report = BatchEngine::new()
+            .with_workers(2)
+            .with_stream(StreamSink::new(buf.clone()))
+            .run(jobs());
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), report.outcomes.len());
+        for line in &lines {
+            assert!(line.starts_with(r#"{"type":"job""#) && line.ends_with('}'));
+        }
+        // Completion order may differ from submission order, but the
+        // same records are present.
+        let mut streamed: Vec<String> = lines.iter().map(|l| (*l).to_owned()).collect();
+        let mut expected: Vec<String> = report.outcomes.iter().map(job_record).collect();
+        streamed.sort();
+        expected.sort();
+        assert_eq!(streamed, expected);
+    }
+
+    #[test]
+    fn telemetry_counts_cache_tiers_and_job_latency() {
+        let cache = Arc::new(Mutex::new(ResultCache::new()));
+        let telemetry = Telemetry::enabled();
+        let engine = BatchEngine::new()
+            .with_cache(Arc::clone(&cache))
+            .with_telemetry(telemetry.clone());
+        let cold = engine.run_sequential(jobs());
+        assert_eq!(cold.cache_hits(), 0);
+        assert_eq!(telemetry.metrics.counter("cache.miss"), 4);
+        assert_eq!(telemetry.metrics.counter("cache.program_hit"), 0);
+
+        let warm = engine.run_sequential(jobs());
+        assert_eq!(warm.cache_hits(), 4);
+        assert_eq!(telemetry.metrics.counter("cache.program_hit"), 4);
+        assert_eq!(telemetry.metrics.counter("cache.miss"), 4, "unchanged");
+
+        let hist = telemetry.metrics.histogram("job.latency_us").unwrap();
+        assert_eq!(hist.count(), 8, "every job observed its latency");
+        // The last job to start saw an empty queue.
+        assert_eq!(telemetry.metrics.gauge("pool.queue_depth"), Some(0));
+
+        // One batch/job span per executed job, carrying the job name.
+        let events = telemetry.tracer.events();
+        let job_spans: Vec<_> = events
+            .iter()
+            .filter(|s| s.cat == "batch" && s.name == "job")
+            .collect();
+        assert_eq!(job_spans.len(), 8);
+        // Fresh jobs also recorded pipeline + runner spans underneath.
+        assert!(events
+            .iter()
+            .any(|s| s.cat == "pipeline" && s.name == "saturation"));
+        assert!(events
+            .iter()
+            .any(|s| s.cat == "runner" && s.name == "search"));
     }
 
     #[test]

@@ -81,6 +81,6 @@ pub use cache::{
     ResultCache, SnapshotKey, DEFAULT_SNAPSHOT_BUDGET,
 };
 pub use corpus::{dir_jobs, sanitize_name, suite16_jobs, CorpusSkip};
-pub use engine::{BatchEngine, BatchJob, BatchReport, JobOutcome, JobStatus};
+pub use engine::{BatchEngine, BatchJob, BatchReport, JobOutcome, JobStatus, StreamSink};
 pub use pool::{run_tasks, TaskPanic};
 pub use report::{job_record, json_string, stop_reason_tag, summary_record, write_report};

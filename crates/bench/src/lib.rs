@@ -12,7 +12,11 @@
 //!   [`RuleStat`](sz_egraph::RuleStat)s), emitting `BENCH_ematch.json`;
 //!   its `--baseline` mode fails if any rule listed in
 //!   `crates/bench/ematch_baseline.txt` reports zero matches (CI's
-//!   e-matching regression gate).
+//!   e-matching regression gate);
+//! * `trace_overhead` — telemetry overhead guard: suite16 wall time
+//!   with [`szalinski::Telemetry`] disabled vs null-sink vs fully
+//!   recording, emitting `BENCH_trace.json`; `--gate` fails the run
+//!   when recording costs more than the 5 % budget.
 //!
 //! Criterion benches cover saturation throughput, solver fits,
 //! extraction, end-to-end synthesis time per model, the ε-sweep, and the

@@ -84,3 +84,4 @@ pub use report::{fit_tags, has_structure, loop_tags, TableRow};
 pub use rules::{all_rules, rules, structural_rules, CadRewrite};
 pub use session::{RunLimits, RunMode, RunOptions, Synthesizer};
 pub use sz_egraph::{CancelToken, ProgressObserver, RuleStat, StopReason};
+pub use sz_trace::{Metrics, Telemetry, Tracer};

@@ -10,8 +10,10 @@ use std::time::{Duration, Instant};
 
 use sz_cad::Cad;
 use sz_egraph::{
-    Id, KBestExtractor, ParetoExtractor, RuleStat, Snapshot, SnapshotParseError, StopReason,
+    escape_token, unescape_token, Id, KBestExtractor, ParetoExtractor, RuleStat, Snapshot,
+    SnapshotParseError, StopReason,
 };
+use sz_trace::Telemetry;
 
 use crate::analysis::{CadAnalysis, CadGraph};
 use crate::cost::{AstSizeCost, CostKind, CostModel, ModelCost};
@@ -327,7 +329,11 @@ pub struct Synthesis {
     /// Per-rule e-matching profile, totalled across all saturation
     /// rounds: matches found, classes unioned, search/apply wall-clock
     /// time, and backoff bans (see [`RuleStat`]). Empty for runs that
-    /// skipped saturation (snapshot resumes).
+    /// skipped saturation entirely (extraction-only snapshot resumes).
+    /// Partial-saturation resumes **merge** the producing legs' persisted
+    /// counts with this leg's, so matches/applied/bans are lifetime
+    /// totals; wall-clock times cover this leg only (prior legs persist
+    /// counts, not times).
     pub rule_stats: Vec<RuleStat>,
     /// How the run executed: cold, extraction-only resume, or
     /// partial-saturation resume (see [`RunMode`](crate::RunMode)).
@@ -342,6 +348,12 @@ pub struct Synthesis {
     /// mutually non-dominating programs, ascending on the first
     /// objective. `None` when no Pareto extraction was requested.
     pub pareto: Option<Vec<ParetoProgram>>,
+    /// The telemetry bundle this run recorded into (the one passed via
+    /// [`RunOptions::with_telemetry`](crate::RunOptions::with_telemetry),
+    /// or a disabled bundle otherwise). Handles are cheap clones of the
+    /// caller's: spans/metrics land in the shared sink either way — this
+    /// accessor just keeps them reachable from the result.
+    pub telemetry: Telemetry,
 }
 
 impl Synthesis {
@@ -554,6 +566,7 @@ pub struct SatPhase {
     iter_limit: usize,
     node_limit: usize,
     time_ms: u128,
+    rule_stats: Vec<RuleStat>,
     snapshot: Snapshot<crate::CadLang>,
 }
 
@@ -566,8 +579,30 @@ impl SatPhase {
             iter_limit: config.iter_limit,
             node_limit: config.node_limit,
             time_ms: config.time_limit.as_millis(),
+            rule_stats: Vec::new(),
             snapshot,
         }
+    }
+
+    /// Attaches the producing run's lifetime per-rule profile, so a
+    /// partial resume can merge its own leg's counters on top instead of
+    /// reporting only the last leg. Only the deterministic **counts**
+    /// (matches, applied, bans) are kept — wall-clock times are zeroed,
+    /// matching the serialized form (`rulestat` lines persist counts, so
+    /// a round-trip through text must be identity).
+    pub fn with_rule_stats(mut self, stats: Vec<RuleStat>) -> Self {
+        self.rule_stats = stats
+            .into_iter()
+            .map(|s| RuleStat {
+                name: s.name,
+                matches: s.matches,
+                applied: s.applied,
+                times_banned: s.times_banned,
+                search_time: Duration::ZERO,
+                apply_time: Duration::ZERO,
+            })
+            .collect();
+        self
     }
 
     /// The producing config's [`SynthConfig::saturation_core_fingerprint`].
@@ -578,6 +613,13 @@ impl SatPhase {
     /// Saturation iterations actually spent by the producing run.
     pub fn iterations(&self) -> usize {
         self.snapshot.iterations()
+    }
+
+    /// The producing run's lifetime per-rule profile (counts only; wall
+    /// times are zero — see [`SatPhase::with_rule_stats`]). Empty for
+    /// snapshots written before the `szsynth v3` bump.
+    pub fn rule_stats(&self) -> &[RuleStat] {
+        &self.rule_stats
     }
 
     /// The post-saturation runner snapshot.
@@ -593,11 +635,13 @@ impl SatPhase {
 /// captured by [`Synthesizer::run`](crate::Synthesizer::run) — a
 /// [`SatPhase`] section for **partial-saturation** resumes.
 ///
-/// Serialized as text (`szsynth v2`): three header lines (input,
-/// saturation fingerprint, sat-phase descriptor), the optional
-/// saturation-phase [`Snapshot`], then the final [`Snapshot`]. Legacy
-/// `szsynth v1` text (no sat-phase section) still parses, so caches
-/// populated before the bump keep serving extraction-only resumes.
+/// Serialized as text (`szsynth v3`): three header lines (input,
+/// saturation fingerprint, sat-phase descriptor), the sat-phase's
+/// per-rule `rulestat` count lines, the optional saturation-phase
+/// [`Snapshot`], then the final [`Snapshot`]. Legacy `szsynth v1` text
+/// (no sat-phase section) and `szsynth v2` text (no `rulestat` lines)
+/// still parse, so caches populated before the bumps keep serving
+/// resumes.
 /// Because the saturation fingerprint embeds the snapshot format
 /// version, bumping [`sz_egraph::SNAPSHOT_FORMAT_VERSION`] invalidates
 /// every stored snapshot key — stale snapshots can never poison a cache
@@ -712,25 +756,40 @@ impl SynthSnapshot {
 
 impl fmt::Display for SynthSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "szsynth v2")?;
+        writeln!(f, "szsynth v3")?;
         writeln!(f, "input {}", self.input)?;
         writeln!(f, "satfp {}", self.sat_fp)?;
         match &self.sat_phase {
             None => writeln!(f, "satphase none")?,
             Some(phase) => {
-                // The embedded snapshot's length is declared up front
-                // (fingerprints contain no whitespace, so the descriptor
-                // stays one whitespace-separated line).
+                // The embedded snapshot's and rule-stat table's lengths
+                // are declared up front (fingerprints contain no
+                // whitespace, so the descriptor stays one
+                // whitespace-separated line).
                 let text = phase.snapshot.to_string();
                 writeln!(
                     f,
-                    "satphase {} {} {} {} {}",
+                    "satphase {} {} {} {} {} {}",
                     phase.core_fp,
                     phase.iter_limit,
                     phase.node_limit,
                     phase.time_ms,
                     text.lines().count(),
+                    phase.rule_stats.len(),
                 )?;
+                // Deterministic counts only — wall times would make the
+                // serialization wall-clock-dependent (and the golden
+                // fixtures unpinnable).
+                for stat in &phase.rule_stats {
+                    writeln!(
+                        f,
+                        "rulestat {} {} {} {}",
+                        escape_token(&stat.name),
+                        stat.matches,
+                        stat.applied,
+                        stat.times_banned,
+                    )?;
+                }
                 write!(f, "{text}")?;
             }
         }
@@ -779,13 +838,15 @@ impl std::str::FromStr for SynthSnapshot {
             .next()
             .ok_or_else(|| SnapshotParseError::new(1, "empty snapshot"))?;
         let version: u32 = match header {
+            "szsynth v3" => 3,
+            // Legacy two-section snapshots (no `rulestat` lines).
             "szsynth v2" => 2,
             // Legacy single-section snapshots (no sat-phase line).
             "szsynth v1" => 1,
             _ => {
                 return Err(SnapshotParseError::new(
                     1,
-                    format!("unsupported header `{header}` (this build reads `szsynth v2`)"),
+                    format!("unsupported header `{header}` (this build reads `szsynth v3`)"),
                 ))
             }
         };
@@ -811,16 +872,24 @@ impl std::str::FromStr for SynthSnapshot {
             if rest == "none" {
                 None
             } else {
+                // v2 descriptors have five fields; v3 adds the
+                // `rulestat`-line count.
                 let toks: Vec<&str> = rest.split_whitespace().collect();
-                let [core_fp, iter_tok, nodes_tok, time_tok, len_tok] = toks.as_slice() else {
-                    return Err(SnapshotParseError::new(
-                        4,
-                        format!(
-                            "expected `satphase <core-fp> <iter> <nodes> <time_ms> <lines>`, \
-                             got `{line}`"
-                        ),
-                    ));
-                };
+                let (core_fp, iter_tok, nodes_tok, time_tok, len_tok, nstats_tok) =
+                    match toks.as_slice() {
+                        [a, b, c, d, e] if version == 2 => (*a, *b, *c, *d, *e, None),
+                        [a, b, c, d, e, f] if version >= 3 => (*a, *b, *c, *d, *e, Some(*f)),
+                        _ => {
+                            return Err(SnapshotParseError::new(
+                                4,
+                                format!(
+                                    "expected `satphase <core-fp> <iter> <nodes> <time_ms> \
+                                     <lines>{}`, got `{line}`",
+                                    if version >= 3 { " <rulestats>" } else { "" }
+                                ),
+                            ));
+                        }
+                    };
                 let field = |tok: &str, what: &str| -> Result<usize, SnapshotParseError> {
                     tok.parse().map_err(|_| {
                         SnapshotParseError::new(4, format!("expected {what}, got `{tok}`"))
@@ -830,6 +899,36 @@ impl std::str::FromStr for SynthSnapshot {
                 let node_limit = field(nodes_tok, "a node limit")?;
                 let time_ms = field(time_tok, "a time limit in ms")? as u128;
                 let len = field(len_tok, "a line count")?;
+                let nstats = match nstats_tok {
+                    None => 0,
+                    Some(tok) => field(tok, "a rulestat count")?,
+                };
+                let mut rule_stats = Vec::with_capacity(nstats);
+                for _ in 0..nstats {
+                    let line = lines.next().ok_or_else(|| {
+                        SnapshotParseError::new(consumed + 1, "truncated rulestat table")
+                    })?;
+                    consumed += 1;
+                    let stat_err = |what: String| SnapshotParseError::new(consumed, what);
+                    let toks: Vec<&str> = line.split_whitespace().collect();
+                    let ["rulestat", name, matches, applied, banned] = toks.as_slice() else {
+                        return Err(stat_err(format!(
+                            "expected `rulestat <name> <matches> <applied> <bans>`, got `{line}`"
+                        )));
+                    };
+                    let count = |tok: &str| -> Result<usize, SnapshotParseError> {
+                        tok.parse()
+                            .map_err(|_| stat_err(format!("expected a count, got `{tok}`")))
+                    };
+                    rule_stats.push(RuleStat {
+                        name: unescape_token(name).map_err(&stat_err)?,
+                        matches: count(matches)?,
+                        applied: count(applied)?,
+                        times_banned: count(banned)?,
+                        search_time: Duration::ZERO,
+                        apply_time: Duration::ZERO,
+                    });
+                }
                 // Skip exactly `len` lines (running out is truncation)
                 // and parse the skipped region as a zero-copy slice.
                 let section_start = lines.pos;
@@ -843,10 +942,11 @@ impl std::str::FromStr for SynthSnapshot {
                     .parse::<Snapshot<crate::CadLang>>()
                     .map_err(|e| e.offset_lines(consumed - len))?;
                 Some(SatPhase {
-                    core_fp: (*core_fp).to_owned(),
+                    core_fp: core_fp.to_owned(),
                     iter_limit,
                     node_limit,
                     time_ms,
+                    rule_stats,
                     snapshot,
                 })
             }
@@ -987,6 +1087,7 @@ pub fn resume_synthesize(
         mode: crate::RunMode::ResumedExtraction,
         snapshot: None,
         pareto,
+        telemetry: Telemetry::disabled(),
     })
 }
 
@@ -1271,7 +1372,7 @@ mod tests {
             "single-round capture carries the saturation phase"
         );
         let text = snapshot.to_string();
-        assert_eq!(text.lines().next(), Some("szsynth v2"));
+        assert_eq!(text.lines().next(), Some("szsynth v3"));
         let back: SynthSnapshot = text.parse().unwrap();
         assert_eq!(back, snapshot);
         assert_eq!(back.to_string(), text, "reserialization is byte-stable");
@@ -1288,10 +1389,12 @@ mod tests {
             .replacen("szsnap v1", "szsnap v99", 1)
             .parse::<SynthSnapshot>()
             .unwrap_err();
+        let nstats = snapshot.sat_phase().unwrap().rule_stats().len();
         assert_eq!(
             err.line(),
-            5,
-            "inner errors are offset past the header (3 lines) + satphase descriptor"
+            5 + nstats,
+            "inner errors are offset past the header (3 lines), satphase \
+             descriptor, and rulestat table"
         );
         for cut in [0, 10, text.len() / 2, text.len() - 10] {
             assert!(text[..cut].parse::<SynthSnapshot>().is_err());
@@ -1306,15 +1409,15 @@ mod tests {
         let flat = row_of_cubes(3, 2.0);
         let config = SynthConfig::new();
         let (_, snapshot) = synthesize_with_snapshot(&flat, &config);
-        let v2 = snapshot.to_string();
+        let v3 = snapshot.to_string();
         // Rebuild the v1 form: old header, no satphase section.
         let final_graph = snapshot.egraph_snapshot().to_string();
         let mut v1 = String::new();
-        for line in v2.lines().take(3) {
+        for line in v3.lines().take(3) {
             v1.push_str(line);
             v1.push('\n');
         }
-        v1 = v1.replacen("szsynth v2", "szsynth v1", 1);
+        v1 = v1.replacen("szsynth v3", "szsynth v1", 1);
         v1.push_str(&final_graph);
 
         let legacy: SynthSnapshot = v1.parse().unwrap();
@@ -1327,6 +1430,41 @@ mod tests {
         assert!(!legacy.supports_partial_resume(&config));
         let resumed = resume_synthesize(&flat, &config, &legacy).unwrap();
         assert_eq!(resumed.iterations, 0);
+    }
+
+    #[test]
+    fn legacy_v2_snapshot_text_still_parses() {
+        // Caches written before the v3 bump hold `szsynth v2` text: a
+        // five-token satphase descriptor and no `rulestat` table. They
+        // must keep supporting partial resume (with empty lifetime
+        // stats).
+        let flat = row_of_cubes(3, 2.0);
+        let config = SynthConfig::new();
+        let (_, snapshot) = synthesize_with_snapshot(&flat, &config);
+        let nstats = snapshot.sat_phase().unwrap().rule_stats().len();
+        let mut v2 = String::new();
+        for (i, line) in snapshot.to_string().lines().enumerate() {
+            if i == 0 {
+                v2.push_str("szsynth v2");
+            } else if i == 3 {
+                // Drop the trailing `<rulestats>` token from the
+                // descriptor.
+                let cut = line.rfind(' ').unwrap();
+                v2.push_str(&line[..cut]);
+            } else if (4..4 + nstats).contains(&i) {
+                continue; // the rulestat table is v3-only
+            } else {
+                v2.push_str(line);
+            }
+            v2.push('\n');
+        }
+
+        let legacy: SynthSnapshot = v2.parse().unwrap();
+        assert_eq!(legacy.input_sexp(), snapshot.input_sexp());
+        let phase = legacy.sat_phase().unwrap();
+        assert_eq!(phase.iterations(), snapshot.sat_phase().unwrap().iterations());
+        assert!(phase.rule_stats().is_empty());
+        assert!(legacy.supports_partial_resume(&config));
     }
 
     #[test]

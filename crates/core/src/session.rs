@@ -38,6 +38,7 @@ use sz_cad::Cad;
 use sz_egraph::{
     CancelToken, ProgressObserver, RuleStat, Runner, Scheduler, Snapshot, SnapshotError, StopReason,
 };
+use sz_trace::Telemetry;
 
 use crate::analysis::{CadAnalysis, CadGraph};
 use crate::cost::CostModel;
@@ -131,6 +132,7 @@ pub struct RunOptions {
     progress: Option<Arc<dyn ProgressObserver>>,
     capture: bool,
     pareto: Option<[Arc<dyn CostModel>; 2]>,
+    telemetry: Telemetry,
 }
 
 impl RunOptions {
@@ -211,6 +213,22 @@ impl RunOptions {
         self.pareto = Some([a, b]);
         self
     }
+
+    /// Attaches a [`Telemetry`] bundle (spans + metrics) to this run.
+    ///
+    /// The pipeline records phase spans (`pipeline/saturation`,
+    /// `pipeline/inference`, `pipeline/extraction`,
+    /// `pipeline/snapshot.restore`, `pipeline/snapshot.capture`), the
+    /// saturation runner records per-iteration and per-rule spans (see
+    /// [`sz_egraph::Runner::with_telemetry`]), and run-mode counters
+    /// (`run.mode.cold` / `run.mode.resumed_extraction` /
+    /// `run.mode.resumed_saturation`) land in the metrics registry. The
+    /// same bundle is handed back in [`Synthesis::telemetry`]. A
+    /// disabled bundle (the default) records nothing and costs nothing.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
 }
 
 impl std::fmt::Debug for RunOptions {
@@ -222,6 +240,7 @@ impl std::fmt::Debug for RunOptions {
             .field("progress", &self.progress.as_ref().map(|_| "..."))
             .field("capture", &self.capture)
             .field("pareto", &self.pareto)
+            .field("telemetry", &self.telemetry)
             .finish()
     }
 }
@@ -382,7 +401,7 @@ impl Synthesizer {
         // bit-rotted snapshot can parse, match the fingerprints, and
         // still restore a graph that extracts nothing — degrade to a
         // cold run instead of returning an empty result.
-        match plan {
+        let result = match plan {
             Plan::Extraction => {
                 let snapshot = opts.snapshot.take().expect("dispatch saw a snapshot");
                 let result = self.run_extraction_resume(input, &config, &opts, snapshot, start);
@@ -403,7 +422,20 @@ impl Synthesizer {
                 }
             }
             Plan::Cold => self.run_cold(input, &config, &opts, deadline, start),
+        };
+        // Count the mode the run *actually* executed in (a resume plan
+        // that degraded to cold counts once, as cold).
+        if opts.telemetry.metrics.is_enabled() {
+            opts.telemetry.metrics.counter_add(
+                match result.mode {
+                    RunMode::Cold => "run.mode.cold",
+                    RunMode::ResumedExtraction => "run.mode.resumed_extraction",
+                    RunMode::ResumedSaturation => "run.mode.resumed_saturation",
+                },
+                1,
+            );
         }
+        result
     }
 
     /// Extraction-only resume: restore the final graph, re-run extraction.
@@ -418,9 +450,14 @@ impl Synthesizer {
         let &[root] = snapshot.egraph_snapshot().roots() else {
             unreachable!("dispatch checked for exactly one root");
         };
-        let egraph = snapshot.egraph_snapshot().restore(CadAnalysis);
+        let egraph = {
+            let _span = opts.telemetry.span("pipeline", "snapshot.restore");
+            snapshot.egraph_snapshot().restore(CadAnalysis)
+        };
+        let extract_span = opts.telemetry.span("pipeline", "extraction");
         let top_k = extract_top_k(&egraph, root, config);
         let pareto = extract_pareto(&egraph, root, config);
+        drop(extract_span);
         Synthesis {
             input: input.clone(),
             top_k,
@@ -436,6 +473,7 @@ impl Synthesizer {
             // (moved, not cloned, not re-serialized) when capture is on.
             snapshot: opts.capture.then_some(snapshot),
             pareto,
+            telemetry: opts.telemetry.clone(),
         }
     }
 
@@ -453,17 +491,24 @@ impl Synthesizer {
     ) -> Synthesis {
         let phase = snapshot.sat_phase().expect("dispatch checked");
         let remaining = config.iter_limit.saturating_sub(phase.iterations());
+        let restore_span = opts.telemetry.span("pipeline", "snapshot.restore");
         let runner = Runner::resume_from(phase.snapshot(), CadAnalysis)
             .with_iter_limit(remaining)
             .with_node_limit(config.node_limit)
             .with_time_limit(config.time_limit);
+        drop(restore_span);
+        let sat_span = opts.telemetry.span("pipeline", "saturation");
         let runner = configure_runner(runner, opts, deadline).run(&self.ruleset);
+        drop(sat_span);
         let root = runner.roots[0];
         self.finish_from_runner(
             input,
             config,
             opts,
             runner,
+            // The producing legs' persisted lifetime counts: this leg's
+            // totals are merged on top (see `finish_from_runner`).
+            phase.rule_stats().to_vec(),
             root,
             RunMode::ResumedSaturation,
             deadline,
@@ -508,12 +553,15 @@ impl Synthesizer {
         };
 
         if config.main_loop_fuel == 1 {
+            let sat_span = opts.telemetry.span("pipeline", "saturation");
             let runner = new_runner(egraph, scheduler).run(&self.ruleset);
+            drop(sat_span);
             return self.finish_from_runner(
                 input,
                 config,
                 opts,
                 runner,
+                Vec::new(),
                 root,
                 RunMode::Cold,
                 deadline,
@@ -539,7 +587,9 @@ impl Synthesizer {
             // Lifetime iteration indices for the progress observer span
             // rounds.
             runner.prior_iterations = iterations;
+            let sat_span = opts.telemetry.span("pipeline", "saturation");
             let runner = runner.run(&self.ruleset);
+            drop(sat_span);
             iterations += runner.iterations.len();
             stop_reason = runner.stop_reason.clone();
             merge_rule_stats(&mut rule_stats, runner.rule_totals());
@@ -551,7 +601,9 @@ impl Synthesizer {
                 break;
             }
 
+            let infer_span = opts.telemetry.span("pipeline", "inference");
             let (round_records, truncated) = run_inference_passes(&mut egraph, config.eps, &ctl);
+            drop(infer_span);
             records.extend(round_records);
 
             // A truncated inference pass left a wall-clock-dependent
@@ -571,6 +623,7 @@ impl Synthesizer {
         }
 
         let snapshot = if opts.capture && !cancelled {
+            let _span = opts.telemetry.span("pipeline", "snapshot.capture");
             capture_snapshot(Snapshot::of_egraph(&egraph, &[root]))
                 .map(|s| s.with_iterations(iterations))
                 .map(|s| SynthSnapshot::new(input, config, s))
@@ -578,8 +631,10 @@ impl Synthesizer {
             None
         };
 
+        let extract_span = opts.telemetry.span("pipeline", "extraction");
         let top_k = extract_top_k(&egraph, root, config);
         let pareto = extract_pareto(&egraph, root, config);
+        drop(extract_span);
         Synthesis {
             input: input.clone(),
             top_k,
@@ -593,6 +648,7 @@ impl Synthesizer {
             mode: RunMode::Cold,
             snapshot,
             pareto,
+            telemetry: opts.telemetry.clone(),
         }
     }
 
@@ -601,6 +657,11 @@ impl Synthesizer {
     /// assemble the [`Synthesis`]. Sharing this tail is what keeps the
     /// two trajectories provably identical (the partial-resume
     /// differential suite depends on it).
+    ///
+    /// `prior_stats` are the producing legs' lifetime per-rule counts
+    /// (from the resumed snapshot's saturation phase; empty for cold
+    /// runs): this leg's totals are merged on top so
+    /// [`Synthesis::rule_stats`] always reports lifetime counts.
     #[allow(clippy::too_many_arguments)]
     fn finish_from_runner(
         &self,
@@ -608,6 +669,7 @@ impl Synthesizer {
         config: &SynthConfig,
         opts: &RunOptions,
         mut runner: Runner<crate::CadLang, CadAnalysis>,
+        prior_stats: Vec<RuleStat>,
         root: sz_egraph::Id,
         mode: RunMode,
         deadline: Option<Instant>,
@@ -616,10 +678,12 @@ impl Synthesizer {
         let iterations = runner.iterations.len();
         let lifetime_iterations = runner.prior_iterations + iterations;
         let mut stop_reason = runner.stop_reason.clone();
-        let rule_stats = runner.rule_totals();
+        let mut rule_stats = prior_stats;
+        merge_rule_stats(&mut rule_stats, runner.rule_totals());
         let mut cancelled = stop_reason == Some(StopReason::Cancelled);
         let mut sat_phase: Option<Snapshot<crate::CadLang>> = None;
         if opts.capture && !cancelled {
+            let _span = opts.telemetry.span("pipeline", "snapshot.capture");
             runner.roots = vec![root];
             sat_phase = capture_snapshot(runner.snapshot());
         }
@@ -628,7 +692,9 @@ impl Synthesizer {
             Vec::new()
         } else {
             let ctl = pass_control(opts, deadline);
+            let infer_span = opts.telemetry.span("pipeline", "inference");
             let (records, truncated) = run_inference_passes(&mut egraph, config.eps, &ctl);
+            drop(infer_span);
             // A *truncated* inference stage left a partially-inferred
             // (wall-clock-dependent) graph: report it as a cancellation
             // and never capture the state. A deadline that expired only
@@ -646,12 +712,18 @@ impl Synthesizer {
         };
 
         let snapshot = if opts.capture && !cancelled {
+            let _span = opts.telemetry.span("pipeline", "snapshot.capture");
             capture_snapshot(Snapshot::of_egraph(&egraph, &[root]))
                 .map(|s| s.with_iterations(lifetime_iterations))
                 .map(|s| {
                     let synth = SynthSnapshot::new(input, config, s);
                     match sat_phase.take() {
-                        Some(phase) => synth.with_sat_phase(SatPhase::new(config, phase)),
+                        // Persist the lifetime counts alongside the phase
+                        // state so the *next* resumed leg can keep
+                        // accumulating.
+                        Some(phase) => synth.with_sat_phase(
+                            SatPhase::new(config, phase).with_rule_stats(rule_stats.clone()),
+                        ),
                         None => synth,
                     }
                 })
@@ -659,8 +731,10 @@ impl Synthesizer {
             None
         };
 
+        let extract_span = opts.telemetry.span("pipeline", "extraction");
         let top_k = extract_top_k(&egraph, root, config);
         let pareto = extract_pareto(&egraph, root, config);
+        drop(extract_span);
         Synthesis {
             input: input.clone(),
             top_k,
@@ -674,6 +748,7 @@ impl Synthesizer {
             mode,
             snapshot,
             pareto,
+            telemetry: opts.telemetry.clone(),
         }
     }
 }
@@ -738,6 +813,9 @@ fn configure_runner(
     }
     if let Some(progress) = &opts.progress {
         runner = runner.with_progress(Arc::clone(progress));
+    }
+    if opts.telemetry.is_enabled() {
+        runner = runner.with_telemetry(opts.telemetry.clone());
     }
     runner
 }
@@ -890,6 +968,116 @@ mod tests {
         assert_eq!(progs(&resumed), progs(&cold));
         assert_eq!(resumed.egraph_nodes, cold.egraph_nodes);
         assert_eq!(resumed.egraph_classes, cold.egraph_classes);
+    }
+
+    #[test]
+    fn partial_resume_merges_rule_stats_across_legs() {
+        // The producing leg's per-rule counts are persisted in the
+        // snapshot (through a text round-trip, like an on-disk cache)
+        // and the resumed leg reports *lifetime* totals — identical to
+        // the counts a cold run at the higher fuel accumulates, since
+        // the two trajectories are the same saturation, split in two.
+        let flat = row_of_cubes(5, 2.0);
+        let low = Synthesizer::new(quick().with_iter_limit(3));
+        let low_run = low
+            .run(&flat, RunOptions::new().capture_snapshot(true))
+            .unwrap();
+        let snapshot: SynthSnapshot = low_run
+            .snapshot
+            .unwrap()
+            .to_string()
+            .parse()
+            .expect("persisted snapshots parse back");
+        assert!(
+            !snapshot.sat_phase().unwrap().rule_stats().is_empty(),
+            "the capture persists the producing leg's rule counts"
+        );
+
+        let high = Synthesizer::new(quick().with_iter_limit(40));
+        let cold = high.run(&flat, RunOptions::new()).unwrap();
+        let resumed = high
+            .run(&flat, RunOptions::new().with_snapshot(snapshot))
+            .unwrap();
+        assert_eq!(resumed.mode, RunMode::ResumedSaturation);
+
+        // Wall times are leg-local and nondeterministic; the counts are
+        // deterministic and must be lifetime totals.
+        let counts = |stats: &[RuleStat]| -> std::collections::BTreeMap<String, (usize, usize, usize)> {
+            stats
+                .iter()
+                .map(|s| (s.name.clone(), (s.matches, s.applied, s.times_banned)))
+                .collect()
+        };
+        assert_eq!(counts(&resumed.rule_stats), counts(&cold.rule_stats));
+        // And strictly more than the resumed leg alone searched: the low
+        // leg's work is included.
+        let low_matches: usize = low_run.rule_stats.iter().map(|s| s.matches).sum();
+        let resumed_matches: usize = resumed.rule_stats.iter().map(|s| s.matches).sum();
+        assert!(resumed_matches >= low_matches);
+    }
+
+    #[test]
+    fn telemetry_records_phases_and_mode_counters() {
+        let flat = row_of_cubes(5, 2.0);
+        let session = Synthesizer::new(quick());
+        let telemetry = Telemetry::enabled();
+        let traced = session
+            .run(
+                &flat,
+                RunOptions::new()
+                    .with_telemetry(telemetry.clone())
+                    .capture_snapshot(true),
+            )
+            .unwrap();
+        assert!(traced.telemetry.is_enabled());
+
+        // Phase spans: saturation, inference, extraction, capture all ran.
+        let events = telemetry.tracer.events();
+        let count = |name: &str| {
+            events
+                .iter()
+                .filter(|s| s.cat == "pipeline" && s.name == name)
+                .count()
+        };
+        assert_eq!(count("saturation"), 1);
+        assert_eq!(count("inference"), 1);
+        assert_eq!(count("extraction"), 1);
+        assert_eq!(count("snapshot.capture"), 2, "sat-phase + final graph");
+        // Runner spans rode along on the same tracer.
+        assert!(events.iter().any(|s| s.cat == "runner" && s.name == "iteration"));
+        assert_eq!(
+            telemetry.metrics.counter("run.mode.cold"),
+            1,
+            "the run counted itself as cold"
+        );
+        assert_eq!(
+            telemetry.metrics.counter("runner.iterations"),
+            traced.iterations as u64
+        );
+
+        // An extraction resume tags restore + mode.
+        let resumed = session
+            .run(
+                &flat,
+                RunOptions::new()
+                    .with_snapshot(traced.snapshot.clone().unwrap())
+                    .with_telemetry(telemetry.clone()),
+            )
+            .unwrap();
+        assert_eq!(resumed.mode, RunMode::ResumedExtraction);
+        assert_eq!(telemetry.metrics.counter("run.mode.resumed_extraction"), 1);
+        assert!(telemetry
+            .tracer
+            .events()
+            .iter()
+            .any(|s| s.cat == "pipeline" && s.name == "snapshot.restore"));
+
+        // The traced result is byte-identical to an untraced one.
+        let untraced = session.run(&flat, RunOptions::new()).unwrap();
+        assert_eq!(
+            traced.best().cad.to_string(),
+            untraced.best().cad.to_string()
+        );
     }
 
     #[test]

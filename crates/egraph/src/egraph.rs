@@ -261,6 +261,12 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         self.classes.values().map(|c| c.nodes.len()).sum()
     }
 
+    /// The number of entries in the hash-cons memo (distinct canonical
+    /// e-nodes ever interned; a telemetry gauge for memory profiling).
+    pub fn memo_size(&self) -> usize {
+        self.memo.len()
+    }
+
     /// True if [`EGraph::rebuild`] has run since the last mutation, i.e.
     /// congruence and analysis invariants hold.
     pub fn is_clean(&self) -> bool {

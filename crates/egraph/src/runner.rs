@@ -6,6 +6,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use sz_trace::Telemetry;
+
 use crate::snapshot::SchedState;
 use crate::{Analysis, EGraph, Id, Language, RecExpr, Rewrite, Scheduler, Snapshot, SnapshotError};
 
@@ -200,6 +202,7 @@ pub struct Runner<L: Language, N: Analysis<L>> {
     cancel: Option<CancelToken>,
     progress: Option<Arc<dyn ProgressObserver>>,
     scheduler: Scheduler,
+    telemetry: Telemetry,
 }
 
 impl<L: Language, N: Analysis<L>> Runner<L, N> {
@@ -220,6 +223,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             cancel: None,
             progress: None,
             scheduler: Scheduler::Simple,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -343,6 +347,20 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
         self
     }
 
+    /// Attaches a [`Telemetry`] bundle (default:
+    /// [`Telemetry::disabled`], which costs one branch per
+    /// instrumentation point — no clock reads, no allocation). When
+    /// enabled, [`Runner::run`] emits per-iteration spans
+    /// (`runner/iteration` with nested `runner/search`, `runner/apply`,
+    /// `runner/rebuild`), one `rule/<name>` span per searched rule
+    /// carrying its match count (so span totals agree with
+    /// [`RuleStat`]s), and `egraph.nodes` / `egraph.classes` /
+    /// `egraph.memo` gauges after every rebuild.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Sets the rule scheduler (default: [`Scheduler::Simple`]).
     ///
     /// [`Scheduler::backoff`] throttles rules whose match counts explode
@@ -435,6 +453,9 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             }
             let iteration = self.iterations.len();
             let iter_start = Instant::now();
+            let traced = self.telemetry.tracer.is_enabled();
+            let mut iter_span = self.telemetry.span("runner", "iteration");
+            iter_span.arg_i64("iter", (self.prior_iterations + iteration) as i64);
 
             // Search phase: collect all matches before applying any, so
             // rules see a consistent e-graph. The scheduler may skip
@@ -444,6 +465,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             let mut banned = 0usize;
             let mut all_matches = Vec::with_capacity(rules.len());
             let mut rule_reports = Vec::with_capacity(rules.len());
+            let search_span = self.telemetry.span("runner", "search");
             for (i, rule) in rules.iter().enumerate() {
                 let mut report = RuleIteration {
                     name: rule.name().to_owned(),
@@ -460,11 +482,16 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                     rule_reports.push(report);
                     continue;
                 }
+                let mut rule_span =
+                    traced.then(|| self.telemetry.span("rule", rule.name().to_owned()));
                 let search_start = Instant::now();
                 let matches = rule.search(&self.egraph);
                 report.search_time = search_start.elapsed();
                 let n: usize = matches.iter().map(|m| m.substs.len()).sum();
                 report.matches = n;
+                if let Some(span) = &mut rule_span {
+                    span.arg_i64("matches", n as i64);
+                }
                 if self.scheduler.admit(iteration, i, n) {
                     all_matches.push(Some(matches));
                 } else {
@@ -474,8 +501,10 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                 }
                 rule_reports.push(report);
             }
+            drop(search_span);
 
             // Apply phase.
+            let apply_span = self.telemetry.span("runner", "apply");
             let mut any_change = false;
             for ((rule, matches), report) in rules.iter().zip(&all_matches).zip(&mut rule_reports) {
                 let Some(matches) = matches else { continue };
@@ -487,9 +516,25 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                     any_change = true;
                 }
             }
+            drop(apply_span);
 
+            let rebuild_span = self.telemetry.span("runner", "rebuild");
             let rebuild_unions = self.egraph.rebuild();
+            drop(rebuild_span);
             any_change |= rebuild_unions > 0;
+
+            if self.telemetry.metrics.is_enabled() {
+                self.telemetry.metrics.counter_add("runner.iterations", 1);
+                self.telemetry
+                    .metrics
+                    .gauge_set("egraph.nodes", self.egraph.total_number_of_nodes() as i64);
+                self.telemetry
+                    .metrics
+                    .gauge_set("egraph.classes", self.egraph.number_of_classes() as i64);
+                self.telemetry
+                    .metrics
+                    .gauge_set("egraph.memo", self.egraph.memo_size() as i64);
+            }
 
             self.iterations.push(Iteration {
                 egraph_nodes: self.egraph.total_number_of_nodes(),
@@ -840,6 +885,81 @@ mod tests {
         ));
         assert!(resumed.iterations.is_empty());
         assert_eq!(resumed.egraph.total_number_of_nodes(), nodes);
+    }
+
+    #[test]
+    fn telemetry_spans_agree_with_rule_stats() {
+        use sz_trace::ArgValue;
+        let telemetry = Telemetry::deterministic(1);
+        let runner = Runner::new(())
+            .with_expr(&"(+ 1 (+ 2 3))".parse().unwrap())
+            .with_iter_limit(5)
+            .with_telemetry(telemetry.clone())
+            .run(&rules());
+        let events = telemetry.tracer.events();
+        // One iteration span per recorded iteration, with nested phases.
+        let iters = events
+            .iter()
+            .filter(|s| s.cat == "runner" && s.name == "iteration")
+            .count();
+        assert_eq!(iters, runner.iterations.len());
+        for phase in ["search", "apply", "rebuild"] {
+            let n = events
+                .iter()
+                .filter(|s| s.cat == "runner" && s.name == phase)
+                .count();
+            assert_eq!(n, runner.iterations.len(), "one {phase} span per iteration");
+        }
+        // Per-rule span match counts sum to the RuleStat totals, so the
+        // trace view and the profile view agree.
+        for stat in runner.rule_totals() {
+            let span_matches: i64 = events
+                .iter()
+                .filter(|s| s.cat == "rule" && s.name == stat.name)
+                .flat_map(|s| &s.args)
+                .filter_map(|(k, v)| match v {
+                    ArgValue::Int(n) if *k == "matches" => Some(*n),
+                    _ => None,
+                })
+                .sum();
+            assert_eq!(span_matches as usize, stat.matches, "rule {}", stat.name);
+        }
+        // Gauges track the final graph shape.
+        assert_eq!(
+            telemetry.metrics.gauge("egraph.nodes"),
+            Some(runner.egraph.total_number_of_nodes() as i64)
+        );
+        assert_eq!(
+            telemetry.metrics.gauge("egraph.classes"),
+            Some(runner.egraph.number_of_classes() as i64)
+        );
+        assert_eq!(
+            telemetry.metrics.gauge("egraph.memo"),
+            Some(runner.egraph.memo_size() as i64)
+        );
+        assert_eq!(
+            telemetry.metrics.counter("runner.iterations"),
+            runner.iterations.len() as u64
+        );
+    }
+
+    #[test]
+    fn disabled_telemetry_changes_nothing() {
+        let plain = Runner::new(())
+            .with_expr(&"(+ 1 (+ 2 3))".parse().unwrap())
+            .with_iter_limit(5)
+            .run(&rules());
+        let traced = Runner::new(())
+            .with_expr(&"(+ 1 (+ 2 3))".parse().unwrap())
+            .with_iter_limit(5)
+            .with_telemetry(Telemetry::disabled())
+            .run(&rules());
+        assert_eq!(plain.stop_reason, traced.stop_reason);
+        assert_eq!(plain.iterations.len(), traced.iterations.len());
+        assert_eq!(
+            plain.egraph.total_number_of_nodes(),
+            traced.egraph.total_number_of_nodes()
+        );
     }
 
     #[test]

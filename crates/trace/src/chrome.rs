@@ -1,0 +1,122 @@
+//! Chrome trace-event JSON export: the output loads directly into
+//! Perfetto / `chrome://tracing`. All JSON is hand-rolled (the crate is
+//! zero-dependency).
+
+use crate::span::{ArgValue, Span};
+
+/// Escape a string for embedding inside a JSON string literal
+/// (quotes, backslashes, and control characters).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a JSON number: non-finite values become `null`,
+/// negative zero normalizes to `0`.
+pub fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_owned()
+    } else if v == 0.0 {
+        "0".to_owned()
+    } else {
+        let s = format!("{v}");
+        // Bare integers are valid JSON numbers; keep them compact.
+        s
+    }
+}
+
+fn render_args(args: &[(&'static str, ArgValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":", json_escape(k)));
+        match v {
+            ArgValue::Int(n) => out.push_str(&n.to_string()),
+            ArgValue::Float(f) => out.push_str(&json_f64(*f)),
+            ArgValue::Str(s) => out.push_str(&format!("\"{}\"", json_escape(s))),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Render spans as a Chrome trace-event JSON document:
+/// `{"traceEvents":[{"name",...,"ph":"X","ts",...}]}` with one complete
+/// (`"ph":"X"`) event per span.
+pub fn chrome_trace_json(spans: &[Span]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{}}}",
+            json_escape(&s.name),
+            json_escape(s.cat),
+            s.start_us,
+            s.dur_us,
+            s.tid,
+            render_args(&s.args),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    #[test]
+    fn escapes_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\n\u{1}"), "a\\\"b\\\\c\\n\\u0001");
+    }
+
+    #[test]
+    fn trace_document_shape() {
+        let spans = vec![Span {
+            name: Cow::Borrowed("search"),
+            cat: "runner",
+            start_us: 10,
+            dur_us: 5,
+            tid: 1,
+            args: vec![
+                ("matches", ArgValue::Int(3)),
+                ("rule", ArgValue::Str("flatten".into())),
+            ],
+        }];
+        let json = chrome_trace_json(&spans);
+        assert_eq!(
+            json,
+            "{\"traceEvents\":[{\"name\":\"search\",\"cat\":\"runner\",\"ph\":\"X\",\
+             \"ts\":10,\"dur\":5,\"pid\":1,\"tid\":1,\
+             \"args\":{\"matches\":3,\"rule\":\"flatten\"}}]}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn json_f64_normalizes() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(-0.0), "0");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+}

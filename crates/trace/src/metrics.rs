@@ -1,0 +1,385 @@
+//! A metrics registry: named counters, gauges, and log-bucketed
+//! histograms with p50/p90/p99 readout, plus a hand-rolled JSON dump
+//! (the crate is zero-dependency; no serde).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::chrome::{json_escape, json_f64};
+
+/// Number of power-of-two histogram buckets (bucket `i` holds values in
+/// `(2^(i-1), 2^i]`, bucket 0 holds values `<= 1`).
+const BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of non-negative samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: 0.0,
+        }
+    }
+}
+
+fn bucket_index(value: f64) -> usize {
+    if value <= 1.0 {
+        0
+    } else {
+        (value.log2().ceil() as usize).min(BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// Record one sample (negative samples clamp to 0).
+    pub fn observe(&mut self, value: f64) {
+        let v = if value.is_finite() && value > 0.0 {
+            value
+        } else {
+            0.0
+        };
+        self.counts[bucket_index(v)] += 1;
+        self.total += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The upper bound of the bucket containing the `q`-quantile sample
+    /// (`0.0 < q <= 1.0`). Log-bucketed, so the answer is exact to
+    /// within a factor of 2. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 {
+                    1.0
+                } else {
+                    (1u64 << i.min(63)) as f64
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Per-bucket counts, as `(upper_bound, count)` pairs for non-empty
+    /// buckets only.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                (
+                    if i == 0 {
+                        1.0
+                    } else {
+                        (1u64 << i.min(63)) as f64
+                    },
+                    c,
+                )
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, i64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// The metrics registry handle. Cloning is cheap (an `Arc` bump); a
+/// *disabled* registry is a `None` and every operation on it is a
+/// no-op branch — no locking, no allocation.
+#[derive(Clone, Default)]
+pub struct Metrics(Option<Arc<MetricsInner>>);
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Metrics {
+    /// A recording registry.
+    pub fn new() -> Self {
+        Metrics(Some(Arc::new(MetricsInner::default())))
+    }
+
+    /// A registry that records nothing.
+    pub fn disabled() -> Self {
+        Metrics(None)
+    }
+
+    /// Whether metric updates are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Add `delta` to the named counter (created at 0 on first use).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.0 {
+            *inner
+                .counters
+                .lock()
+                .unwrap()
+                .entry(name.to_owned())
+                .or_insert(0) += delta;
+        }
+    }
+
+    /// Set the named gauge to `value`.
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        if let Some(inner) = &self.0 {
+            inner.gauges.lock().unwrap().insert(name.to_owned(), value);
+        }
+    }
+
+    /// Record one sample into the named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.0 {
+            inner
+                .histograms
+                .lock()
+                .unwrap()
+                .entry(name.to_owned())
+                .or_default()
+                .observe(value);
+        }
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        match &self.0 {
+            None => 0,
+            Some(inner) => inner
+                .counters
+                .lock()
+                .unwrap()
+                .get(name)
+                .copied()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.0.as_ref()?.gauges.lock().unwrap().get(name).copied()
+    }
+
+    /// Snapshot of a histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.0
+            .as_ref()?
+            .histograms
+            .lock()
+            .unwrap()
+            .get(name)
+            .cloned()
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(inner) => inner
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        }
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, i64)> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(inner) => inner
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        }
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(inner) => inner
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Render the whole registry as a JSON object:
+    /// `{"counters":{..},"gauges":{..},"histograms":{name:{count,sum,min,max,p50,p90,p99}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(k), v));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(k), v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                json_escape(k),
+                h.count(),
+                json_f64(h.sum()),
+                json_f64(h.min()),
+                json_f64(h.max()),
+                json_f64(h.quantile(0.50)),
+                json_f64(h.quantile(0.90)),
+                json_f64(h.quantile(0.99)),
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Deterministic plain-text dump: counters and gauges with values,
+    /// histograms with sample counts only (no wall times), sorted by
+    /// name. This is the comparison surface for determinism tests.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in self.counters() {
+            out.push_str(&format!("counter {k} = {v}\n"));
+        }
+        for (k, v) in self.gauges() {
+            out.push_str(&format!("gauge {k} = {v}\n"));
+        }
+        for (k, h) in self.histograms() {
+            out.push_str(&format!("histogram {k} count = {}\n", h.count()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let m = Metrics::new();
+        m.counter_add("cache.hit", 2);
+        m.counter_add("cache.hit", 3);
+        m.gauge_set("pool.queue_depth", 7);
+        m.gauge_set("pool.queue_depth", 4);
+        assert_eq!(m.counter("cache.hit"), 5);
+        assert_eq!(m.gauge("pool.queue_depth"), Some(4));
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("missing"), None);
+    }
+
+    #[test]
+    fn disabled_metrics_ignore_everything() {
+        let m = Metrics::disabled();
+        m.counter_add("x", 1);
+        m.observe("h", 10.0);
+        assert_eq!(m.counter("x"), 0);
+        assert!(m.histogram("h").is_none());
+        assert_eq!(
+            m.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+    }
+
+    #[test]
+    fn histogram_quantiles_use_log_bucket_bounds() {
+        let mut h = Histogram::default();
+        for v in [1.0, 2.0, 3.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 100.0);
+        // Ranks: p50 -> 2nd sample (bucket <=2), p99 -> 4th (bucket <=128).
+        assert_eq!(h.quantile(0.50), 2.0);
+        assert_eq!(h.quantile(0.99), 128.0);
+        assert_eq!(h.buckets(), vec![(1.0, 1), (2.0, 1), (4.0, 1), (128.0, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), 0.0);
+    }
+
+    #[test]
+    fn json_dump_is_sorted_and_parsable_shape() {
+        let m = Metrics::new();
+        m.counter_add("b", 1);
+        m.counter_add("a", 2);
+        m.observe("lat", 5.0);
+        let json = m.to_json();
+        assert!(json.starts_with("{\"counters\":{\"a\":2,\"b\":1}"));
+        assert!(json.contains("\"lat\":{\"count\":1"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Hierarchical spans: a [`Tracer`] hands out RAII [`SpanGuard`]s that
+//! record a completed [`Span`] into a thread-safe [`TraceSink`] on drop.
+
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::{Clock, MonotonicClock};
+
+/// A span argument value (rendered into the Chrome trace `args` object).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// A signed integer argument.
+    Int(i64),
+    /// A floating-point argument.
+    Float(f64),
+    /// A string argument.
+    Str(String),
+}
+
+/// One completed span: a named, categorized interval of work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Span name (e.g. `"search"`, a rule name, a job name).
+    pub name: Cow<'static, str>,
+    /// Category used for grouping (e.g. `"runner"`, `"pipeline"`, `"batch"`).
+    pub cat: &'static str,
+    /// Start timestamp in microseconds (per the tracer's [`Clock`]).
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Logical thread id (stable per OS thread, assigned on first span).
+    pub tid: u64,
+    /// Key/value arguments attached via [`SpanGuard::arg_i64`] and friends.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// A thread-safe destination for completed spans.
+pub trait TraceSink: Send + Sync {
+    /// Record one completed span.
+    fn record(&self, span: Span);
+    /// Return every span recorded so far (in recording order).
+    /// Sinks that discard spans return an empty vec.
+    fn events(&self) -> Vec<Span>;
+}
+
+/// The default sink: an in-memory, mutex-guarded vec of spans.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    spans: Mutex<Vec<Span>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, span: Span) {
+        self.spans.lock().unwrap().push(span);
+    }
+
+    fn events(&self) -> Vec<Span> {
+        self.spans.lock().unwrap().clone()
+    }
+}
+
+/// A sink that drops everything: for measuring tracing overhead with
+/// timestamping still active but no storage.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _span: Span) {}
+
+    fn events(&self) -> Vec<Span> {
+        Vec::new()
+    }
+}
+
+struct TracerInner {
+    clock: Box<dyn Clock>,
+    sink: Box<dyn TraceSink>,
+    next_tid: AtomicU64,
+}
+
+thread_local! {
+    static CACHED_TID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+impl TracerInner {
+    /// Logical thread ids start at 1 and are assigned in the order
+    /// threads first open a span (stable for sequential runs).
+    fn tid(&self) -> u64 {
+        CACHED_TID.with(|c| {
+            let t = c.get();
+            if t != 0 {
+                return t;
+            }
+            let t = self.next_tid.fetch_add(1, Ordering::Relaxed) + 1;
+            c.set(t);
+            t
+        })
+    }
+}
+
+/// The span recorder. Cloning is cheap (an `Arc` bump); a *disabled*
+/// tracer is a `None` and every operation on it is a branch on that
+/// `Option` — no clock reads, no allocation, no locking.
+#[derive(Clone)]
+pub struct Tracer(Option<Arc<TracerInner>>);
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing and never reads the clock.
+    pub fn disabled() -> Self {
+        Tracer(None)
+    }
+
+    /// A recording tracer with the monotonic clock and an in-memory sink.
+    pub fn enabled() -> Self {
+        Self::with_clock_and_sink(Box::new(MonotonicClock::new()), Box::new(MemorySink::new()))
+    }
+
+    /// A recording tracer with an explicit clock and sink (tests inject
+    /// [`crate::FixedClock`] / [`NullSink`] here).
+    pub fn with_clock_and_sink(clock: Box<dyn Clock>, sink: Box<dyn TraceSink>) -> Self {
+        Tracer(Some(Arc::new(TracerInner {
+            clock,
+            sink,
+            next_tid: AtomicU64::new(0),
+        })))
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Open a span; it records itself into the sink when the returned
+    /// guard drops. On a disabled tracer this is a no-op.
+    pub fn span(&self, cat: &'static str, name: impl Into<Cow<'static, str>>) -> SpanGuard {
+        match &self.0 {
+            None => SpanGuard(None),
+            Some(inner) => {
+                let start_us = inner.clock.now_micros();
+                SpanGuard(Some(ActiveSpan {
+                    tracer: Arc::clone(inner),
+                    name: name.into(),
+                    cat,
+                    start_us,
+                    args: Vec::new(),
+                }))
+            }
+        }
+    }
+
+    /// Every span recorded so far.
+    pub fn events(&self) -> Vec<Span> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(inner) => inner.sink.events(),
+        }
+    }
+
+    /// Read the tracer's clock (for latency measurements that must stay
+    /// deterministic under an injected [`crate::FixedClock`]). Returns
+    /// `None` when disabled.
+    pub fn now_micros(&self) -> Option<u64> {
+        self.0.as_ref().map(|inner| inner.clock.now_micros())
+    }
+}
+
+struct ActiveSpan {
+    tracer: Arc<TracerInner>,
+    name: Cow<'static, str>,
+    cat: &'static str,
+    start_us: u64,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+/// RAII guard for an open span; records the completed [`Span`] on drop.
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    /// Attach an integer argument.
+    pub fn arg_i64(&mut self, key: &'static str, value: i64) {
+        if let Some(a) = &mut self.0 {
+            a.args.push((key, ArgValue::Int(value)));
+        }
+    }
+
+    /// Attach a float argument.
+    pub fn arg_f64(&mut self, key: &'static str, value: f64) {
+        if let Some(a) = &mut self.0 {
+            a.args.push((key, ArgValue::Float(value)));
+        }
+    }
+
+    /// Attach a string argument.
+    pub fn arg_str(&mut self, key: &'static str, value: impl Into<String>) {
+        if let Some(a) = &mut self.0 {
+            a.args.push((key, ArgValue::Str(value.into())));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(a) = self.0.take() {
+            let end_us = a.tracer.clock.now_micros();
+            let tid = a.tracer.tid();
+            a.tracer.sink.record(Span {
+                name: a.name,
+                cat: a.cat,
+                start_us: a.start_us,
+                dur_us: end_us.saturating_sub(a.start_us),
+                tid,
+                args: a.args,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::FixedClock;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        {
+            let mut g = t.span("cat", "work");
+            g.arg_i64("n", 3);
+        }
+        assert!(!t.is_enabled());
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn spans_record_on_drop_with_fixed_clock() {
+        let t =
+            Tracer::with_clock_and_sink(Box::new(FixedClock::new(5)), Box::new(MemorySink::new()));
+        {
+            let mut outer = t.span("runner", "iteration");
+            outer.arg_i64("iter", 0);
+            let _inner = t.span("runner", "search");
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 2);
+        // Inner span closes first: start 5, end 10.
+        assert_eq!(events[0].name, "search");
+        assert_eq!(events[0].start_us, 5);
+        assert_eq!(events[0].dur_us, 5);
+        assert_eq!(events[1].name, "iteration");
+        assert_eq!(events[1].start_us, 0);
+        assert_eq!(events[1].dur_us, 15);
+        assert_eq!(events[1].args, vec![("iter", ArgValue::Int(0))]);
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let t = Tracer::with_clock_and_sink(Box::new(FixedClock::new(1)), Box::new(NullSink));
+        drop(t.span("cat", "work"));
+        assert!(t.is_enabled());
+        assert!(t.events().is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Deterministic plain-text phase summary: spans aggregated by
+//! `(category, name)`, sorted, with counts and total duration. Under an
+//! injected [`crate::FixedClock`] the output is byte-reproducible,
+//! which is what the determinism tests compare.
+
+use std::collections::BTreeMap;
+
+use crate::span::Span;
+
+/// One aggregated row of the phase summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Span category.
+    pub cat: String,
+    /// Span name.
+    pub name: String,
+    /// Number of spans with this `(cat, name)`.
+    pub count: u64,
+    /// Sum of their durations in microseconds.
+    pub total_us: u64,
+}
+
+/// Aggregate spans into sorted `(cat, name)` rows.
+pub fn phase_rows(spans: &[Span]) -> Vec<PhaseRow> {
+    let mut agg: BTreeMap<(String, String), (u64, u64)> = BTreeMap::new();
+    for s in spans {
+        let e = agg
+            .entry((s.cat.to_owned(), s.name.to_string()))
+            .or_insert((0, 0));
+        e.0 += 1;
+        e.1 += s.dur_us;
+    }
+    agg.into_iter()
+        .map(|((cat, name), (count, total_us))| PhaseRow {
+            cat,
+            name,
+            count,
+            total_us,
+        })
+        .collect()
+}
+
+/// Render the phase summary as deterministic plain text: one line per
+/// `(cat, name)` pair, sorted, `cat/name  count=N  total_us=T`.
+pub fn phase_summary(spans: &[Span]) -> String {
+    let rows = phase_rows(spans);
+    let mut out = String::from("phase summary\n");
+    let width = rows
+        .iter()
+        .map(|r| r.cat.len() + 1 + r.name.len())
+        .max()
+        .unwrap_or(0);
+    for r in &rows {
+        let label = format!("{}/{}", r.cat, r.name);
+        out.push_str(&format!(
+            "  {label:<width$}  count={}  total_us={}\n",
+            r.count, r.total_us
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+    use std::borrow::Cow;
+
+    fn span(cat: &'static str, name: &'static str, dur: u64) -> Span {
+        Span {
+            name: Cow::Borrowed(name),
+            cat,
+            start_us: 0,
+            dur_us: dur,
+            tid: 1,
+            args: vec![],
+        }
+    }
+
+    #[test]
+    fn rows_aggregate_and_sort() {
+        let spans = vec![
+            span("runner", "search", 5),
+            span("batch", "job", 7),
+            span("runner", "search", 3),
+        ];
+        let rows = phase_rows(&spans);
+        assert_eq!(
+            rows,
+            vec![
+                PhaseRow {
+                    cat: "batch".into(),
+                    name: "job".into(),
+                    count: 1,
+                    total_us: 7
+                },
+                PhaseRow {
+                    cat: "runner".into(),
+                    name: "search".into(),
+                    count: 2,
+                    total_us: 8
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn summary_text_is_stable() {
+        let spans = vec![span("runner", "search", 5), span("runner", "apply", 2)];
+        assert_eq!(
+            phase_summary(&spans),
+            "phase summary\n  runner/apply   count=1  total_us=2\n  runner/search  count=1  total_us=5\n"
+        );
+    }
+}

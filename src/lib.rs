@@ -11,7 +11,9 @@
 //! * [`sz_scad`] — OpenSCAD import/export;
 //! * [`sz_models`] — the 16-model benchmark suite and figure inputs;
 //! * [`sz_batch`] — corpus-scale parallel batch synthesis with result
-//!   caching (and the `szb` CLI).
+//!   caching (and the `szb` CLI);
+//! * [`sz_trace`] — zero-dependency telemetry: hierarchical spans,
+//!   a counters/gauges/histograms registry, Chrome-trace export.
 //!
 //! See the `examples/` directory for runnable walkthroughs and
 //! `crates/bench` for the table/figure harnesses.
@@ -41,7 +43,8 @@
 //!        │         │   └─────────┘  │               │
 //!        └─────────┴────────────────▼───────────────┘
 //!                               sz-cad
-//!                    (sz-mesh also sits on sz-cad)
+//!                    (sz-mesh also sits on sz-cad;
+//!              sz-trace underlies sz-egraph/szalinski/sz-batch)
 //! ```
 //!
 //! * **`sz-cad`** is the foundation: the `Cad` AST shared by every
@@ -95,11 +98,12 @@
 //!   free functions (`synthesize`, `try_synthesize`,
 //!   `*_with_snapshot`, `resume_synthesize`) survive as deprecated
 //!   thin wrappers over a one-shot session. Saturated e-graphs persist
-//!   as versioned text (`szsynth v2` wrapping
+//!   as versioned text (`szsynth v3` wrapping
 //!   [`sz_egraph::Snapshot`]s): the final graph for extraction-only
-//!   resumes plus a saturation-phase section that makes lower-fuel
-//!   snapshots *continuable* — proven byte-identical to cold runs by
-//!   `tests/partial_resume_differential.rs`.
+//!   resumes plus a saturation-phase section (with the per-rule
+//!   lifetime [`sz_egraph::RuleStat`] counts since v3) that makes
+//!   lower-fuel snapshots *continuable* — proven byte-identical to
+//!   cold runs by `tests/partial_resume_differential.rs`.
 //!
 //!   **Extraction is pluggable**: cost schemes implement the
 //!   object-safe [`szalinski::CostModel`] trait (a per-node cost over
@@ -145,6 +149,36 @@
 //!   aggregated corpus-wide by the `ematch` binary into
 //!   `BENCH_ematch.json` (whose `--baseline` mode is CI's
 //!   zero-matches regression gate).
+//! * **`sz-trace`** is the observability base layer (zero external
+//!   dependencies), threaded through every crate above via one
+//!   [`sz_trace::Telemetry`] bundle — a clone-shared pair of a span
+//!   [`sz_trace::Tracer`] and a [`sz_trace::Metrics`] registry, both
+//!   **disabled by default** as a `None` behind an `Option<Arc<…>>` so
+//!   the untraced hot path pays a null check and nothing else (the
+//!   `trace_overhead` bin gates recording at ≤ 5 % over suite16):
+//!
+//!   ```text
+//!   Telemetry ─┬─ Tracer   spans:   batch/job · pipeline/{saturation,
+//!              │                    inference, extraction, snapshot.*} ·
+//!              │                    runner/{iteration,search,apply,rebuild} ·
+//!              │                    rule/<name>
+//!              └─ Metrics  counters cache.{program_hit,snapshot_hit,miss},
+//!                          run.mode.*, runner.iterations; gauges
+//!                          egraph.{nodes,classes,memo}, pool.queue_depth;
+//!                          histogram job.latency_us (log₂ buckets, p50/p90/p99)
+//!   exporters: chrome_trace_json() (Perfetto-loadable) ·
+//!              phase_summary() / render_text() (deterministic, for tests) ·
+//!              metrics_json()
+//!   ```
+//!
+//!   Attach with `RunOptions::with_telemetry` /
+//!   `BatchEngine::with_telemetry` / `Runner::with_telemetry`; the CLI
+//!   surface is `szb --trace FILE --metrics FILE --stats`, and the
+//!   recorded bundle rides on [`szalinski::Synthesis`]`::telemetry`.
+//!   Clocks are injectable ([`sz_trace::Clock`]) — a fixed-step clock
+//!   makes two identical runs emit byte-identical summaries
+//!   (`tests/telemetry_determinism.rs`); recording never changes
+//!   synthesis output (byte-identical OpenSCAD, checked in CI).
 //!
 //! Offline stand-ins for `rand`/`proptest`/`criterion` live in
 //! `third_party/` (the build environment has no crates.io access); see
@@ -157,4 +191,5 @@ pub use sz_mesh;
 pub use sz_models;
 pub use sz_scad;
 pub use sz_solver;
+pub use sz_trace;
 pub use szalinski;

@@ -1,13 +1,14 @@
 //! Golden-file tests for the pipeline-level snapshot format
-//! (`szsynth v2` wrapping `szsnap v1`, with an optional saturation-phase
-//! section): the checked-in fixtures pin the exact bytes, so any
-//! serialization change forces a format-version bump (guarding the batch
-//! cache against cross-release poisoning).
+//! (`szsynth v3` wrapping `szsnap v1`, with an optional saturation-phase
+//! section carrying persisted per-rule counts): the checked-in fixtures
+//! pin the exact bytes, so any serialization change forces a
+//! format-version bump (guarding the batch cache against cross-release
+//! poisoning).
 
 use std::path::Path;
 
 use sz_cad::Cad;
-use sz_egraph::{Snapshot, SNAPSHOT_FORMAT_VERSION};
+use sz_egraph::{RuleStat, Snapshot, SNAPSHOT_FORMAT_VERSION};
 use szalinski::{cad_to_lang, CadAnalysis, CadGraph, SatPhase, SynthConfig, SynthSnapshot};
 
 /// Builds a `SynthSnapshot` deterministically: the input is loaded into
@@ -28,7 +29,8 @@ fn deterministic_snapshot() -> (SynthSnapshot, String) {
 }
 
 /// The same graph with a saturation-phase section attached (what
-/// `Synthesizer::run` captures for single-round configs).
+/// `Synthesizer::run` captures for single-round configs), including a
+/// persisted per-rule count table with a name that needs escaping.
 fn deterministic_snapshot_with_phase() -> SynthSnapshot {
     let input: Cad = "(Union (Translate 2 0 0 Unit) (Translate 4 0 0 Unit))"
         .parse()
@@ -39,7 +41,17 @@ fn deterministic_snapshot_with_phase() -> SynthSnapshot {
     let config = SynthConfig::new();
     let phase = Snapshot::of_egraph(&egraph, &[root]).unwrap().with_iterations(3);
     let fin = Snapshot::of_egraph(&egraph, &[root]).unwrap().with_iterations(3);
-    SynthSnapshot::new(&input, &config, fin).with_sat_phase(SatPhase::new(&config, phase))
+    let stat = |name: &str, matches: usize, applied: usize, times_banned: usize| RuleStat {
+        name: name.to_owned(),
+        matches,
+        applied,
+        times_banned,
+        search_time: std::time::Duration::ZERO,
+        apply_time: std::time::Duration::ZERO,
+    };
+    let stats = vec![stat("union-assoc", 7, 3, 0), stat("weird name (x)", 1, 0, 2)];
+    SynthSnapshot::new(&input, &config, fin)
+        .with_sat_phase(SatPhase::new(&config, phase).with_rule_stats(stats))
 }
 
 #[test]
@@ -80,13 +92,21 @@ fn sat_phase_fixture_pins_two_section_bytes() {
     assert_eq!(back, snapshot);
     assert!(back.supports_partial_resume(&SynthConfig::new()));
     assert!(!back.supports_partial_resume(&SynthConfig::new().with_iter_limit(1)));
+    // The persisted rule-count table round-trips, escaped names and all.
+    let stats = back.sat_phase().unwrap().rule_stats();
+    assert_eq!(stats.len(), 2);
+    assert_eq!(stats[1].name, "weird name (x)");
+    assert_eq!(
+        (stats[0].matches, stats[0].applied, stats[0].times_banned),
+        (7, 3, 0)
+    );
 }
 
 #[test]
 fn header_and_fingerprint_carry_the_format_version() {
     let (snapshot, sat_fp) = deterministic_snapshot();
     let text = snapshot.to_string();
-    assert_eq!(text.lines().next(), Some("szsynth v2"));
+    assert_eq!(text.lines().next(), Some("szsynth v3"));
     assert!(
         text.lines().any(|l| l == "satphase none"),
         "a snapshot without a sat phase says so explicitly"

@@ -8,16 +8,18 @@
 //! ```text
 //! szb --suite16 --workers 4 --cache warm.sexp
 //! szb models/ --out decompiled/ --report BENCH_batch.json
+//! szb models/ --shard 2/4 --snapshots snaps/ --report shard2.jsonl
+//! szb merge merged.jsonl shard1.jsonl shard2.jsonl shard3.jsonl shard4.jsonl
 //! ```
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use sz_batch::{
-    attach_snapshot_dir, dir_jobs, sanitize_name, save_snapshot_dir, suite16_jobs, summary_record,
-    BatchEngine, BatchJob, JobStatus, ResultCache, StreamSink,
+    attach_snapshot_dir, dir_jobs, merge_reports, sanitize_name, save_snapshot_dir, suite16_jobs,
+    summary_record, BatchEngine, BatchJob, JobStatus, ResultCache, ShardSpec, StreamSink,
 };
 use szalinski::{
     parse_cost_spec, CostKind, CostSpec, RuleStat, SynthConfig, TableRow, Telemetry,
@@ -30,6 +32,7 @@ szb — parallel batch synthesis over a model corpus
 USAGE:
     szb [OPTIONS] <INPUT_DIR>
     szb [OPTIONS] --suite16
+    szb merge [--cache] <OUT> <IN>...
 
 INPUT:
     <INPUT_DIR>            directory of .scad / .csexp models (non-recursive)
@@ -38,6 +41,11 @@ INPUT:
 EXECUTION:
     --workers <N>          worker threads (default: available cores)
     --sequential           plain in-order loop, no thread pool (baseline)
+    --shard <i/N>          run only the i-th of N shards (1-based). Membership
+                           is a stable hash of the job NAME — never directory
+                           order — so all N processes agree on the partition
+                           on any machine and across releases. Fold the
+                           per-shard reports/caches afterwards with `szb merge`
     --per-job-timeout <S>  per-job wall-clock deadline: clamps saturation time
                            and cancels the job cooperatively at the next
                            iteration boundary (stop_reason \"cancelled\")
@@ -46,12 +54,21 @@ EXECUTION:
                            partial (less saturated) programs
 
 CACHE & OUTPUT:
-    --cache <FILE>         persistent result cache (loaded before, saved after)
+    --cache <FILE>         persistent result cache (loaded before, saved after).
+                           Saving MERGES with whatever is on disk (newest
+                           wins), via a unique per-process temp file, so
+                           concurrent shards can share one cache file
     --snapshots <DIR>      persistent e-graph snapshot tier: cold runs store a
                            snapshot per (input, saturation-config); later runs
                            whose config differs only in extraction fields
                            (--k, any --cost model) resume from it, skipping
-                           saturation entirely
+                           saturation entirely, and fuel-RAISED reruns resume
+                           mid-saturation from the best lower-fuel snapshot
+                           (core-key index). The dir may be shared by
+                           concurrent processes: each writer uses unique temp
+                           names and only ever deletes .snap files for keys it
+                           itself evicted under the byte budget — never
+                           another process's work
     --report <FILE>        JSON-lines report (default: BENCH_batch.json; 'none' disables).
                            Rows are STREAMED: each job's record is appended and
                            flushed the moment it finishes, so a killed run keeps
@@ -89,6 +106,15 @@ EXTRACTION COST:
 
   <SPEC> grammar:
 {grammar}
+
+MERGE (fleet runs):
+    szb merge <OUT> <IN>...          fold per-shard JSONL reports into one:
+                                     job rows dedupe by name (newest input
+                                     wins) and sort; the summary is recomputed
+                                     from the kept rows (workers summed,
+                                     wall_time_s = max over shards)
+    szb merge --cache <OUT> <IN>...  fold per-shard cache files (both tiers,
+                                     duplicate keys newest-wins)
 
 MISC:
     --quiet                suppress the per-job table
@@ -146,6 +172,7 @@ fn usage() -> String {
 struct Options {
     input_dir: Option<PathBuf>,
     suite16: bool,
+    shard: Option<ShardSpec>,
     workers: Option<usize>,
     sequential: bool,
     per_job_timeout: Option<Duration>,
@@ -175,6 +202,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         input_dir: None,
         suite16: false,
+        shard: None,
         workers: None,
         sequential: false,
         per_job_timeout: None,
@@ -224,6 +252,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--workers" => {
                 opts.workers = Some(value()?.parse().map_err(|e| format!("--workers: {e}"))?)
             }
+            "--shard" => opts.shard = Some(value()?.parse().map_err(|e| format!("--shard: {e}"))?),
             "--per-job-timeout" => {
                 opts.per_job_timeout = Some(parse_secs("--per-job-timeout", value()?)?);
             }
@@ -280,8 +309,77 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
 }
 
+/// `szb merge <OUT> <IN>...` (JSONL reports) and
+/// `szb merge --cache <OUT> <IN>...` (cache files, both tiers).
+fn run_merge(args: &[String]) -> ExitCode {
+    let (cache_mode, rest) = match args.first().map(String::as_str) {
+        Some("--cache") => (true, &args[1..]),
+        _ => (false, args),
+    };
+    let Some((out, inputs)) = rest.split_first().filter(|(_, inputs)| !inputs.is_empty()) else {
+        eprintln!("szb: merge needs an output path and at least one input");
+        eprintln!("usage: szb merge [--cache] <OUT> <IN>...");
+        return ExitCode::from(2);
+    };
+    if cache_mode {
+        // Fold cache files in the order given: later inputs win on
+        // duplicate keys in both tiers.
+        let mut merged = ResultCache::new();
+        for path in inputs {
+            match ResultCache::load(Path::new(path)) {
+                Ok(cache) => merged.absorb(cache),
+                Err(e) => {
+                    eprintln!("szb: cannot load cache {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if let Err(e) = merged.save(Path::new(out)) {
+            eprintln!("szb: cannot save merged cache {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "szb: merged {} cache file(s) into {out} ({} programs, {} snapshots)",
+            inputs.len(),
+            merged.len(),
+            merged.snapshot_count(),
+        );
+    } else {
+        let mut texts = Vec::with_capacity(inputs.len());
+        for path in inputs {
+            match std::fs::read_to_string(path) {
+                Ok(text) => texts.push(text),
+                Err(e) => {
+                    eprintln!("szb: cannot read report {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let merged = match merge_reports(&texts) {
+            Ok(merged) => merged,
+            Err(e) => {
+                eprintln!("szb: merge failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(out, &merged) {
+            eprintln!("szb: cannot write merged report {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "szb: merged {} report(s) into {out} ({} job rows)",
+            inputs.len(),
+            merged.lines().count().saturating_sub(1),
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("merge") {
+        return run_merge(&args[1..]);
+    }
     let opts = match parse_args(&args) {
         Ok(opts) => opts,
         Err(msg) => {
@@ -296,7 +394,7 @@ fn main() -> ExitCode {
     };
 
     // Enumerate the corpus.
-    let jobs: Vec<BatchJob> = if opts.suite16 {
+    let mut jobs: Vec<BatchJob> = if opts.suite16 {
         suite16_jobs(&opts.config)
     } else {
         let dir = opts.input_dir.as_ref().unwrap();
@@ -316,6 +414,20 @@ fn main() -> ExitCode {
     if jobs.is_empty() {
         eprintln!("szb: no models to run");
         return ExitCode::from(2);
+    }
+    // Shard filtering happens after enumeration, by stable name hash,
+    // so every shard sees — and partitions — the same corpus. An empty
+    // shard is a normal fleet outcome, not an error: it still writes
+    // its (empty) report so `szb merge` sees every shard.
+    if let Some(shard) = opts.shard {
+        let dropped = shard.filter(&mut jobs);
+        if !opts.quiet {
+            println!(
+                "szb: shard {shard}: {} of {} jobs (rest owned by other shards)",
+                jobs.len(),
+                jobs.len() + dropped,
+            );
+        }
     }
 
     // Warm the cache from disk if requested. A --snapshots dir implies a

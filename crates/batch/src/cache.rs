@@ -13,6 +13,14 @@
 //!   disabled until [`ResultCache::set_snapshot_budget`] grants bytes,
 //!   and evicting largest-first (ties by key) when over budget.
 //!
+//! The snapshot tier additionally keeps a **core-key secondary index**
+//! ([`CoreKey`] → continuable entries): snapshots whose serialized text
+//! carries a saturation-phase section are indexed on the input plus
+//! [`SynthConfig::saturation_core_fingerprint`] — the fingerprint that
+//! ignores fuel *limits* — so a fuel-raised rerun finds the lower-fuel
+//! snapshot via [`ResultCache::best_core_snapshot`] and continues
+//! saturating (partial resume) instead of starting cold.
+//!
 //! Both tiers persist to disk as one s-expression per line (the repo's
 //! native interchange format) — `(entry …)` for programs, `(snap …)` for
 //! snapshots with the multi-line snapshot text percent-escaped into a
@@ -21,14 +29,31 @@
 //! ([`load_snapshot_dir`] / [`save_snapshot_dir`], the `szb --snapshots`
 //! flow), which keeps the line cache small and the snapshots
 //! human-inspectable.
+//!
+//! ## Shared-state safety (fleet runs)
+//!
+//! Several processes (shards) may share one snapshot dir and/or cache
+//! file. The persistence paths are concurrent-writer-safe:
+//!
+//! * every write lands in a **unique per-process temp file** first and
+//!   is renamed into place (atomic; same-key snapshot contents are
+//!   content-addressed, so whichever rename lands last is identical);
+//! * [`save_snapshot_dir`] prunes only keys **this cache itself
+//!   evicted** — never `.snap` files it merely doesn't hold, which
+//!   belong to other shards;
+//! * [`ResultCache::save`] / [`ResultCache::save_programs_only`] are
+//!   **merge-on-save**: entries already on disk are folded under the
+//!   in-memory ones (in-memory wins on duplicate keys) before the
+//!   atomic replace, so concurrent savers extend rather than overwrite
+//!   each other.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
 use sz_cad::{Cad, Sexp};
-use szalinski::SynthConfig;
+use szalinski::{SatPhaseHeader, SynthConfig, SynthSnapshot};
 
 /// Default snapshot-tier budget granted by `szb --snapshots` (bytes).
 pub const DEFAULT_SNAPSHOT_BUDGET: usize = 256 * 1024 * 1024;
@@ -47,6 +72,14 @@ fn fnv1a(chunks: &[&[u8]]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Stable 64-bit hash of an arbitrary name (FNV-1a, the same function
+/// behind every cache key). This is the hash `szb --shard i/N` uses to
+/// partition jobs by *name*, so shard membership never depends on
+/// directory order, platform, or std's `Hasher` internals.
+pub fn stable_name_hash(name: &str) -> u64 {
+    fnv1a(&[name.as_bytes()])
 }
 
 /// The content-addressed key of one `(input, config)` job.
@@ -92,6 +125,47 @@ impl fmt::Display for SnapshotKey {
     }
 }
 
+/// The fuel-agnostic key of one `(input, core-saturation-config)` pair —
+/// the snapshot tier's **secondary** index. Unlike [`SnapshotKey`] it
+/// ignores the fuel *limits* (iteration/node/time), hashing only
+/// [`SynthConfig::saturation_core_fingerprint`], so runs at different
+/// fuel settings share one core key and a lower-fuel snapshot can serve
+/// a higher-fuel job via partial-saturation resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoreKey(pub u64);
+
+impl CoreKey {
+    /// Hashes the canonical input s-expression and the config's
+    /// [`SynthConfig::saturation_core_fingerprint`].
+    pub fn of(input: &Cad, config: &SynthConfig) -> CoreKey {
+        CoreKey(fnv1a(&[
+            input.to_string().as_bytes(),
+            config.saturation_core_fingerprint().as_bytes(),
+        ]))
+    }
+
+    /// The key of a stored snapshot, from its probed header fields (the
+    /// snapshot persists the canonical input s-expression, so this
+    /// agrees with [`CoreKey::of`] for the producing job).
+    fn of_header(input_sexp: &str, core_fp: &str) -> CoreKey {
+        CoreKey(fnv1a(&[input_sexp.as_bytes(), core_fp.as_bytes()]))
+    }
+}
+
+impl fmt::Display for CoreKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// One continuable snapshot in the core-key index: the snapshot-tier
+/// key it lives under plus its probed fuel descriptor.
+#[derive(Debug, Clone)]
+struct CoreEntry {
+    key: u64,
+    header: SatPhaseHeader,
+}
+
 /// A cached synthesis outcome: the top-k programs (cost plus term) and
 /// the wall-clock seconds the original run took.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,6 +187,14 @@ pub struct ResultCache {
     /// Byte budget for the snapshot tier; 0 disables *capturing* new
     /// snapshots (already-loaded ones still serve lookups).
     snap_budget: usize,
+    /// Core-key secondary index over `snaps`: only snapshots whose text
+    /// carries a saturation-phase section (continuable) appear here.
+    core_index: HashMap<u64, Vec<CoreEntry>>,
+    /// Snapshot keys **this cache instance** evicted (and did not
+    /// re-insert). [`save_snapshot_dir`] prunes exactly these files —
+    /// never keys it merely doesn't hold, which may belong to another
+    /// process sharing the directory.
+    evicted: HashSet<u64>,
 }
 
 /// Error loading a persisted cache file.
@@ -226,8 +308,100 @@ impl ResultCache {
         if self.snap_budget == 0 {
             return;
         }
-        self.snaps.insert(key.0, text);
+        self.insert_snapshot_raw(key.0, text);
         self.evict_snapshots();
+    }
+
+    /// The budget-bypassing insert shared by lookups' feeding paths
+    /// ([`ResultCache::from_lines`], [`load_snapshot_dir`],
+    /// [`ResultCache::absorb`]) and [`ResultCache::insert_snapshot`]:
+    /// stores the text and keeps the core-key index and the evicted set
+    /// in sync.
+    fn insert_snapshot_raw(&mut self, key: u64, text: String) {
+        self.unindex_snapshot(key);
+        if let Some(header) = SynthSnapshot::probe_header(&text) {
+            if let Some(phase) = header.sat_phase {
+                let core = CoreKey::of_header(&header.input, &phase.core_fp);
+                self.core_index
+                    .entry(core.0)
+                    .or_default()
+                    .push(CoreEntry { key, header: phase });
+            }
+        }
+        self.snaps.insert(key, text);
+        self.evicted.remove(&key);
+    }
+
+    /// Drops `key`'s core-index entry, if any (probes the stored text
+    /// for its core key so only that bucket is touched).
+    fn unindex_snapshot(&mut self, key: u64) {
+        let Some(old) = self.snaps.get(&key) else {
+            return;
+        };
+        let Some(core) = SynthSnapshot::probe_header(old).and_then(|h| {
+            h.sat_phase
+                .map(|p| CoreKey::of_header(&h.input, &p.core_fp))
+        }) else {
+            return;
+        };
+        if let Some(entries) = self.core_index.get_mut(&core.0) {
+            entries.retain(|e| e.key != key);
+            if entries.is_empty() {
+                self.core_index.remove(&core.0);
+            }
+        }
+    }
+
+    /// The **cross-fuel** snapshot lookup: among stored snapshots whose
+    /// core key matches and whose producing fuel limits fit under
+    /// `config`'s (see [`SatPhaseHeader::fits`]), returns the
+    /// most-saturated one — highest producer iteration limit, then node
+    /// limit, then time limit, ties broken by smallest key so the
+    /// choice is deterministic. `None` for multi-round configs
+    /// (`main_loop_fuel > 1`), which never partially resume.
+    ///
+    /// The returned text still goes through a full
+    /// [`SynthSnapshot`] parse and the session's
+    /// [`SynthSnapshot::supports_partial_resume`] check before any
+    /// resume — a corrupt entry costs a cold run, never a wrong result.
+    pub fn best_core_snapshot(
+        &self,
+        key: CoreKey,
+        config: &SynthConfig,
+    ) -> Option<(SnapshotKey, &str)> {
+        if config.main_loop_fuel != 1 {
+            return None;
+        }
+        let best = self
+            .core_index
+            .get(&key.0)?
+            .iter()
+            .filter(|e| e.header.fits(config))
+            .max_by_key(|e| {
+                (
+                    e.header.iter_limit,
+                    e.header.node_limit,
+                    e.header.time_ms,
+                    std::cmp::Reverse(e.key),
+                )
+            })?;
+        Some((SnapshotKey(best.key), self.snaps[&best.key].as_str()))
+    }
+
+    /// Folds `newer` into `self`: every entry of `newer` (both tiers)
+    /// is inserted, overwriting on duplicate keys — **newest wins**.
+    /// Absorbed snapshots bypass the byte budget like loaded ones
+    /// (re-grant the budget afterwards to enforce it); `newer`'s
+    /// eviction history is discarded (eviction ownership is
+    /// per-instance). This is the fold behind `szb merge --cache` and
+    /// the merge-on-save path of [`ResultCache::save`].
+    pub fn absorb(&mut self, newer: ResultCache) {
+        for (key, run) in newer.map {
+            self.map.insert(key, run);
+        }
+        for (key, text) in newer.snaps {
+            self.insert_snapshot_raw(key, text);
+        }
     }
 
     /// Iterates `(key, text)` over stored snapshots in key order.
@@ -246,7 +420,9 @@ impl ResultCache {
                 .max_by_key(|(k, t)| (t.len(), **k))
                 .map(|(k, _)| *k)
                 .expect("non-empty");
+            self.unindex_snapshot(victim);
             self.snaps.remove(&victim);
+            self.evicted.insert(victim);
         }
     }
 
@@ -370,7 +546,7 @@ impl ResultCache {
                         })?;
                     // Loaded snapshots bypass the budget (which may be
                     // granted later, re-evicting); insert directly.
-                    cache.snaps.insert(key, text);
+                    cache.insert_snapshot_raw(key, text);
                 }
                 _ => return Err(malformed("not an (entry ...) or (snap ...) form")),
             }
@@ -392,26 +568,51 @@ impl ResultCache {
         Self::from_lines(&text)
     }
 
-    /// Writes the cache to `path` (atomically via a sibling temp file).
+    /// Writes the cache to `path` (atomically via a unique sibling temp
+    /// file), **merging** with whatever is already there: entries on
+    /// disk survive unless this cache holds a newer value for their key
+    /// (in-memory wins) or evicted them itself. Two shards sharing a
+    /// cache path therefore extend the file instead of dropping each
+    /// other's work; a malformed or unreadable existing file is
+    /// overwritten rather than blocking the save.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        self.save_text(path, self.to_lines())
+        save_text(path, self.merged_with_disk(path).to_lines())
     }
 
     /// [`ResultCache::save`] without the snapshot tier (see
-    /// [`ResultCache::to_lines_programs_only`]).
+    /// [`ResultCache::to_lines_programs_only`]); the same merge-on-save
+    /// semantics apply to the program tier.
     pub fn save_programs_only(&self, path: &Path) -> io::Result<()> {
-        self.save_text(path, self.to_lines_programs_only())
+        save_text(path, self.merged_with_disk(path).to_lines_programs_only())
     }
 
-    fn save_text(&self, path: &Path, text: String) -> io::Result<()> {
-        let tmp = path.with_extension("tmp");
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(text.as_bytes())?;
-            f.sync_all()?;
+    /// The merge-on-save fold: disk entries first, ours on top
+    /// (newest-wins), minus the snapshot keys we ourselves evicted
+    /// (honoring the byte budget without pruning other processes' work
+    /// — same ownership rule as [`save_snapshot_dir`]).
+    fn merged_with_disk(&self, path: &Path) -> ResultCache {
+        let mut merged = Self::load(path).unwrap_or_default();
+        merged.absorb(self.clone());
+        for key in &self.evicted {
+            merged.unindex_snapshot(*key);
+            merged.snaps.remove(key);
         }
-        std::fs::rename(&tmp, path)
+        merged
     }
+}
+
+/// Atomic text write shared by the cache-file savers: a **unique
+/// per-process** sibling temp (two concurrent savers must never tear
+/// each other's temp file), fsynced before the rename so a crash right
+/// after the rename cannot leave an empty file.
+fn save_text(path: &Path, text: String) -> io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
 }
 
 /// Loads a snapshot dir and enables capture in one step: loads every
@@ -451,41 +652,42 @@ pub fn load_snapshot_dir(cache: &mut ResultCache, dir: &Path) -> io::Result<usiz
         else {
             continue;
         };
-        cache.snaps.insert(key, std::fs::read_to_string(&path)?);
+        let text = std::fs::read_to_string(&path)?;
+        cache.insert_snapshot_raw(key, text);
         loaded += 1;
     }
     Ok(loaded)
 }
 
 /// Writes `cache`'s snapshot tier to `dir` as one `<key16>.snap` file
-/// per snapshot (creating `dir` if needed) and removes stale `.snap`
-/// files for keys no longer held (e.g. evicted). Returns the number of
+/// per snapshot (creating `dir` if needed). Returns the number of
 /// snapshots saved.
+///
+/// **Ownership rule for shared dirs:** the only `.snap` files removed
+/// are those for keys this cache instance itself evicted (budget
+/// pressure) and never re-captured. Files for keys the cache merely
+/// doesn't hold are left alone — they belong to other shards/processes
+/// sharing the directory, and deleting them would destroy their work.
+/// Each write goes through a unique per-process temp file and an atomic
+/// rename, so a kill mid-save never leaves a torn `.snap` and two
+/// concurrent savers never collide (same-key contents are
+/// content-addressed: whichever rename lands last is byte-identical).
 pub fn save_snapshot_dir(cache: &ResultCache, dir: &Path) -> io::Result<usize> {
     std::fs::create_dir_all(dir)?;
+    let pid = std::process::id();
     let mut saved = 0;
     for (key, text) in cache.snapshots() {
-        // Atomic per file (write a sibling temp, then rename), so a kill
-        // mid-save never leaves a torn .snap that silently disables the
-        // tier for that model on every later run.
-        let tmp = dir.join(format!("{key}.tmp"));
+        let tmp = dir.join(format!("{key}.tmp.{pid}"));
         std::fs::write(&tmp, text)?;
         std::fs::rename(&tmp, dir.join(format!("{key}.snap")))?;
         saved += 1;
     }
-    for entry in std::fs::read_dir(dir)? {
-        let path = entry?.path();
-        if path.extension().and_then(|e| e.to_str()) != Some("snap") {
-            continue;
-        }
-        let held = path
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .filter(|s| s.len() == 16)
-            .and_then(|s| u64::from_str_radix(s, 16).ok())
-            .is_some_and(|k| cache.snaps.contains_key(&k));
-        if !held {
-            std::fs::remove_file(&path)?;
+    for key in &cache.evicted {
+        match std::fs::remove_file(dir.join(format!("{key:016x}.snap"))) {
+            Ok(()) => {}
+            // Never persisted, or another process already pruned it.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
         }
     }
     Ok(saved)
@@ -680,7 +882,7 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_dir_roundtrip_and_stale_cleanup() {
+    fn snapshot_dir_roundtrip_and_owned_eviction_cleanup() {
         let dir = std::env::temp_dir().join("sz_batch_snapdir_test");
         let _ = std::fs::remove_dir_all(&dir);
 
@@ -697,13 +899,269 @@ mod tests {
         assert_eq!(back.get_snapshot(SnapshotKey(0xabcd)), Some("snapshot a"));
         assert_eq!(back.get_snapshot(SnapshotKey(0x1234)), Some("snapshot b"));
 
-        // Dropping an entry and resaving removes its stale file.
+        // A cache that merely never held a key must NOT remove its file
+        // (it may belong to another process sharing the dir)...
         let mut smaller = ResultCache::new().with_snapshot_budget(1 << 20);
         smaller.insert_snapshot(SnapshotKey(0x1234), "snapshot b".to_owned());
         assert_eq!(save_snapshot_dir(&smaller, &dir).unwrap(), 1);
         let mut reloaded = ResultCache::new();
-        assert_eq!(load_snapshot_dir(&mut reloaded, &dir).unwrap(), 1);
-        assert!(reloaded.get_snapshot(SnapshotKey(0xabcd)).is_none());
+        assert_eq!(load_snapshot_dir(&mut reloaded, &dir).unwrap(), 2);
+        assert_eq!(
+            reloaded.get_snapshot(SnapshotKey(0xabcd)),
+            Some("snapshot a")
+        );
+
+        // ...but a key the cache itself EVICTED is its own to prune.
+        back.set_snapshot_budget(12); // keeps "snapshot b" (10 B), evicts a
+        assert!(back.get_snapshot(SnapshotKey(0xabcd)).is_none());
+        assert_eq!(save_snapshot_dir(&back, &dir).unwrap(), 1);
+        let mut pruned = ResultCache::new();
+        assert_eq!(load_snapshot_dir(&mut pruned, &dir).unwrap(), 1);
+        assert!(pruned.get_snapshot(SnapshotKey(0xabcd)).is_none());
+        assert!(pruned.get_snapshot(SnapshotKey(0x1234)).is_some());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_snapshot_dir_two_caches_keep_each_others_work() {
+        // The PR's headline bugfix: two processes (here, two caches)
+        // sharing one --snapshots dir must never destroy each other's
+        // .snap files on save.
+        let dir = std::env::temp_dir().join("sz_batch_snapdir_shared");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut shard_a = ResultCache::new().with_snapshot_budget(1 << 20);
+        shard_a.insert_snapshot(SnapshotKey(0xa), "snapshot from shard a".to_owned());
+        assert_eq!(save_snapshot_dir(&shard_a, &dir).unwrap(), 1);
+
+        let mut shard_b = ResultCache::new().with_snapshot_budget(1 << 20);
+        shard_b.insert_snapshot(SnapshotKey(0xb), "snapshot from shard b".to_owned());
+        assert_eq!(save_snapshot_dir(&shard_b, &dir).unwrap(), 1);
+
+        // Both shards save again (a rerun) — still both files.
+        assert_eq!(save_snapshot_dir(&shard_a, &dir).unwrap(), 1);
+        assert_eq!(save_snapshot_dir(&shard_b, &dir).unwrap(), 1);
+
+        let mut merged = ResultCache::new();
+        assert_eq!(load_snapshot_dir(&mut merged, &dir).unwrap(), 2);
+        assert_eq!(
+            merged.get_snapshot(SnapshotKey(0xa)),
+            Some("snapshot from shard a")
+        );
+        assert_eq!(
+            merged.get_snapshot(SnapshotKey(0xb)),
+            Some("snapshot from shard b")
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reinserted_key_is_no_longer_considered_evicted() {
+        let dir = std::env::temp_dir().join("sz_batch_snapdir_reinsert");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut cache = ResultCache::new().with_snapshot_budget(1 << 20);
+        cache.insert_snapshot(SnapshotKey(0x1), "v".repeat(64));
+        assert_eq!(save_snapshot_dir(&cache, &dir).unwrap(), 1);
+        // Evict via budget shrink, then re-capture the same key.
+        cache.set_snapshot_budget(8);
+        assert_eq!(cache.snapshot_count(), 0);
+        cache.set_snapshot_budget(1 << 20);
+        cache.insert_snapshot(SnapshotKey(0x1), "v".repeat(64));
+        // The re-captured key must survive the save's pruning pass.
+        assert_eq!(save_snapshot_dir(&cache, &dir).unwrap(), 1);
+        let mut back = ResultCache::new();
+        assert_eq!(load_snapshot_dir(&mut back, &dir).unwrap(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_file_save_is_merge_on_save() {
+        let dir = std::env::temp_dir().join("sz_batch_cache_merge_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shared.sexp");
+        let _ = std::fs::remove_file(&path);
+
+        let run = |cost: usize| CachedRun {
+            programs: vec![(cost, Cad::Unit)],
+            time_s: 0.1,
+        };
+        // Shard A saves its entry, then shard B (which never saw A's
+        // key) saves its own: A's entry must survive on disk.
+        let mut a = ResultCache::new();
+        a.insert(JobKey(1), run(5));
+        a.save(&path).unwrap();
+        let mut b = ResultCache::new().with_snapshot_budget(1 << 20);
+        b.insert(JobKey(2), run(7));
+        b.insert_snapshot(SnapshotKey(9), "szsynth v1\nx".to_owned());
+        b.save(&path).unwrap();
+
+        let back = ResultCache::load(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!(back.get(JobKey(1)).is_some());
+        assert!(back.get(JobKey(2)).is_some());
+        assert_eq!(back.snapshot_count(), 1);
+
+        // Duplicate keys: the in-memory (newer) value wins.
+        let mut c = ResultCache::new();
+        c.insert(JobKey(1), run(3));
+        c.save(&path).unwrap();
+        assert_eq!(
+            ResultCache::load(&path)
+                .unwrap()
+                .get(JobKey(1))
+                .unwrap()
+                .programs[0]
+                .0,
+            3
+        );
+
+        // A malformed existing file is overwritten, not fatal.
+        std::fs::write(&path, "(garbage").unwrap();
+        c.save(&path).unwrap();
+        assert!(ResultCache::load(&path).unwrap().get(JobKey(1)).is_some());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn absorb_folds_both_tiers_newest_wins() {
+        let mut old = ResultCache::new().with_snapshot_budget(1 << 20);
+        old.insert(
+            JobKey(1),
+            CachedRun {
+                programs: vec![(9, Cad::Unit)],
+                time_s: 1.0,
+            },
+        );
+        old.insert_snapshot(SnapshotKey(5), "szsynth v1\nold".to_owned());
+
+        let mut newer = ResultCache::new().with_snapshot_budget(1 << 20);
+        newer.insert(
+            JobKey(1),
+            CachedRun {
+                programs: vec![(4, Cad::Unit)],
+                time_s: 2.0,
+            },
+        );
+        newer.insert(
+            JobKey(2),
+            CachedRun {
+                programs: vec![(6, Cad::Unit)],
+                time_s: 0.5,
+            },
+        );
+        newer.insert_snapshot(SnapshotKey(5), "szsynth v1\nnew".to_owned());
+
+        old.absorb(newer);
+        assert_eq!(old.len(), 2);
+        assert_eq!(old.get(JobKey(1)).unwrap().programs[0].0, 4);
+        assert_eq!(old.get_snapshot(SnapshotKey(5)), Some("szsynth v1\nnew"));
+    }
+
+    /// Continuable snapshot text with a hand-written header: the core
+    /// index only probes the first four lines, so the embedded graph
+    /// sections can be placeholders.
+    fn fake_continuable(input: &Cad, config: &SynthConfig) -> String {
+        format!(
+            "szsynth v3\ninput {}\nsatfp {}\nsatphase {} {} {} {} 1 0\nfake\nrest\n",
+            input,
+            config.saturation_fingerprint(),
+            config.saturation_core_fingerprint(),
+            config.iter_limit,
+            config.node_limit,
+            config.time_limit.as_millis(),
+        )
+    }
+
+    #[test]
+    fn core_index_serves_lower_fuel_snapshots_to_higher_fuel_configs() {
+        let input = sample_cad(4);
+        let low = SynthConfig::new().with_iter_limit(2);
+        let mid = SynthConfig::new().with_iter_limit(10);
+        let high = SynthConfig::new().with_iter_limit(50);
+
+        let mut cache = ResultCache::new().with_snapshot_budget(1 << 20);
+        cache.insert_snapshot(
+            SnapshotKey::of(&input, &low),
+            fake_continuable(&input, &low),
+        );
+        cache.insert_snapshot(
+            SnapshotKey::of(&input, &mid),
+            fake_continuable(&input, &mid),
+        );
+
+        // The exact key misses for the high-fuel config...
+        assert!(cache.get_snapshot(SnapshotKey::of(&input, &high)).is_none());
+        // ...but the core key finds the MOST saturated fitting entry.
+        let (key, text) = cache
+            .best_core_snapshot(CoreKey::of(&input, &high), &high)
+            .expect("cross-fuel hit");
+        assert_eq!(key, SnapshotKey::of(&input, &mid));
+        assert_eq!(text, fake_continuable(&input, &mid));
+
+        // A config with LESS fuel than every producer gets nothing.
+        let tiny = SynthConfig::new().with_iter_limit(1);
+        assert!(cache
+            .best_core_snapshot(CoreKey::of(&input, &tiny), &tiny)
+            .is_none());
+        // Core mismatches (different eps) get nothing.
+        let other = SynthConfig::new().with_iter_limit(50).with_eps(1e-2);
+        assert!(cache
+            .best_core_snapshot(CoreKey::of(&input, &other), &other)
+            .is_none());
+        // Multi-round configs never partially resume.
+        let multi = SynthConfig::new()
+            .with_iter_limit(50)
+            .with_main_loop_fuel(2);
+        assert!(cache
+            .best_core_snapshot(CoreKey::of(&input, &multi), &multi)
+            .is_none());
+
+        // Eviction unindexes: once the mid entry is gone, the low one
+        // serves (and once both are gone, nothing does).
+        cache.set_snapshot_budget(0);
+        let mut shrunk = ResultCache::new().with_snapshot_budget(1 << 20);
+        shrunk.insert_snapshot(
+            SnapshotKey::of(&input, &low),
+            fake_continuable(&input, &low),
+        );
+        let (key, _) = shrunk
+            .best_core_snapshot(CoreKey::of(&input, &high), &high)
+            .expect("low-fuel entry still serves");
+        assert_eq!(key, SnapshotKey::of(&input, &low));
+        shrunk.set_snapshot_budget(1); // evicts everything
+        assert!(shrunk
+            .best_core_snapshot(CoreKey::of(&input, &high), &high)
+            .is_none());
+    }
+
+    #[test]
+    fn core_index_survives_the_line_roundtrip() {
+        let input = sample_cad(3);
+        let low = SynthConfig::new().with_iter_limit(2);
+        let high = SynthConfig::new().with_iter_limit(40);
+        let mut cache = ResultCache::new().with_snapshot_budget(1 << 20);
+        cache.insert_snapshot(
+            SnapshotKey::of(&input, &low),
+            fake_continuable(&input, &low),
+        );
+
+        let back = ResultCache::from_lines(&cache.to_lines()).unwrap();
+        let (key, _) = back
+            .best_core_snapshot(CoreKey::of(&input, &high), &high)
+            .expect("index rebuilt on load");
+        assert_eq!(key, SnapshotKey::of(&input, &low));
+    }
+
+    #[test]
+    fn stable_name_hash_is_stable() {
+        // Pinned value: shard membership must never change across
+        // releases, or a resumed fleet run would reshuffle its corpus.
+        assert_eq!(stable_name_hash(""), 12638352127299873646);
+        assert_eq!(
+            stable_name_hash("3362402:gear"),
+            stable_name_hash("3362402:gear")
+        );
+        assert_ne!(stable_name_hash("a"), stable_name_hash("b"));
     }
 }

@@ -1,15 +1,88 @@
 //! Corpus enumeration: turning the 16-model suite or a directory of
-//! `.scad`/`.csexp` files into [`BatchJob`]s.
+//! `.scad`/`.csexp` files into [`BatchJob`]s, and [`ShardSpec`] for
+//! deterministically splitting either corpus across fleet processes.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::str::FromStr;
 
 use sz_cad::Cad;
 use szalinski::SynthConfig;
 
+use crate::cache::stable_name_hash;
 use crate::engine::BatchJob;
+
+/// One shard of an `N`-way corpus partition, parsed from the 1-based
+/// `szb --shard i/N` syntax.
+///
+/// Membership is decided by a stable hash of the job **name**
+/// ([`stable_name_hash`]), never by directory order, so every fleet
+/// process — on any machine, against any filesystem enumeration order,
+/// across releases — agrees on the partition: shards are disjoint and
+/// together cover the corpus exactly.
+///
+/// ```
+/// use sz_batch::ShardSpec;
+/// let shards: Vec<ShardSpec> = (1..=4).map(|i| format!("{i}/4").parse().unwrap()).collect();
+/// assert_eq!(shards.iter().filter(|s| s.owns("3362402:gear")).count(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// 1-based shard index, `1 ≤ index ≤ count`.
+    pub index: usize,
+    /// Total shard count, `≥ 1`.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// Whether this shard owns the job with the given name.
+    pub fn owns(&self, name: &str) -> bool {
+        stable_name_hash(name) % self.count as u64 == (self.index - 1) as u64
+    }
+
+    /// Retains only this shard's jobs, preserving their order; returns
+    /// how many jobs the filter removed.
+    pub fn filter(&self, jobs: &mut Vec<BatchJob>) -> usize {
+        let before = jobs.len();
+        jobs.retain(|j| self.owns(&j.name));
+        before - jobs.len()
+    }
+}
+
+impl FromStr for ShardSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("expected i/N (e.g. 2/4), got {s:?}"))?;
+        let index: usize = i
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard index {i:?} in {s:?}"))?;
+        let count: usize = n
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard count {n:?} in {s:?}"))?;
+        if count == 0 {
+            return Err(format!("shard count must be >= 1 in {s:?}"));
+        }
+        if index == 0 || index > count {
+            return Err(format!(
+                "shard index must satisfy 1 <= i <= {count} in {s:?} (shards are 1-based)"
+            ));
+        }
+        Ok(ShardSpec { index, count })
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
 
 /// Jobs for the paper's 16-model Table-1 suite, in paper order.
 pub fn suite16_jobs(config: &SynthConfig) -> Vec<BatchJob> {
@@ -197,6 +270,58 @@ mod tests {
         names.sort();
         assert_eq!(names, vec!["model.csexp", "model.scad"]);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shards_partition_the_suite_disjointly_and_completely() {
+        let all = suite16_jobs(&SynthConfig::new());
+        let shards: Vec<ShardSpec> = (1..=4).map(|i| ShardSpec { index: i, count: 4 }).collect();
+
+        // Every job lands in exactly one shard.
+        for job in &all {
+            assert_eq!(
+                shards.iter().filter(|s| s.owns(&job.name)).count(),
+                1,
+                "{} must belong to exactly one shard",
+                job.name
+            );
+        }
+
+        // Filtering the full list per shard and re-merging recovers the
+        // corpus exactly (order within a shard is preserved).
+        let mut total = 0;
+        let mut merged: Vec<String> = Vec::new();
+        for shard in &shards {
+            let mut jobs = suite16_jobs(&SynthConfig::new());
+            let dropped = shard.filter(&mut jobs);
+            assert_eq!(dropped, all.len() - jobs.len());
+            total += jobs.len();
+            merged.extend(jobs.iter().map(|j| j.name.clone()));
+        }
+        assert_eq!(total, all.len());
+        let mut expected: Vec<String> = all.iter().map(|j| j.name.clone()).collect();
+        merged.sort();
+        expected.sort();
+        assert_eq!(merged, expected);
+
+        // 1/1 owns everything.
+        let whole: ShardSpec = "1/1".parse().unwrap();
+        assert!(all.iter().all(|j| whole.owns(&j.name)));
+    }
+
+    #[test]
+    fn shard_spec_parsing_validates_its_bounds() {
+        assert_eq!(
+            "2/4".parse::<ShardSpec>().unwrap(),
+            ShardSpec { index: 2, count: 4 }
+        );
+        assert_eq!("2/4".parse::<ShardSpec>().unwrap().to_string(), "2/4");
+        for bad in ["", "3", "0/4", "5/4", "a/4", "1/0", "1/b", "-1/4"] {
+            assert!(
+                bad.parse::<ShardSpec>().is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -7,10 +7,14 @@
 //! process-wide, so every worker shares one compiled rule set no matter
 //! how many jobs it executes. Snapshot-tier hits are handed to
 //! [`Synthesizer::run`](szalinski::Synthesizer::run), which dispatches
-//! the resume flavor itself (the tier is keyed on the exact saturation
-//! fingerprint, so engine-served resumes are extraction-only;
-//! partial-saturation resume is available to API callers that keep
-//! their own lower-fuel snapshots).
+//! the resume flavor itself: an exact saturation-fingerprint hit
+//! resumes extraction-only (zero saturation iterations), and on an
+//! exact miss the tier's core-key index
+//! ([`ResultCache::best_core_snapshot`]) offers the most saturated
+//! compatible lower-fuel snapshot of the same input, which the session
+//! continues as a partial-saturation resume — so a fuel-raised rerun
+//! of a corpus resumes every job instead of re-saturating from
+//! scratch.
 //!
 //! Runs are bounded two ways: a **per-job** deadline
 //! ([`BatchEngine::with_deadline`]) and a **whole-batch** deadline
@@ -38,7 +42,7 @@ use szalinski::{
     Synthesis, Synthesizer, TableRow, Telemetry,
 };
 
-use crate::cache::{CachedRun, JobKey, ResultCache, SnapshotKey};
+use crate::cache::{CachedRun, CoreKey, JobKey, ResultCache, SnapshotKey};
 use crate::pool::run_tasks;
 use crate::report::job_record;
 
@@ -62,9 +66,15 @@ impl StreamSink {
     }
 
     /// Appends one line and flushes it, atomically with respect to
-    /// other streaming jobs.
+    /// other streaming jobs. A panic inside an earlier write (a job
+    /// panicking mid-row) poisons the mutex but not the writer itself;
+    /// recovering the lock keeps every later job streaming instead of
+    /// cascading one bad job into a dead batch.
     pub fn write_line(&self, line: &str) -> io::Result<()> {
-        let mut w = self.writer.lock().unwrap();
+        let mut w = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         writeln!(w, "{line}")?;
         w.flush()
     }
@@ -601,6 +611,10 @@ fn execute_job_inner(
     let key = (config.pareto.is_none())
         .then(|| cache.map(|_| JobKey::of(&job.input, &config)))
         .flatten();
+    // The snapshot-tier key, computed once per job and shared by the
+    // lookup and the insert below (both hash the same input + effective
+    // config).
+    let skey = cache.map(|_| SnapshotKey::of(&job.input, &config));
 
     // Program tier: a hit reconstructs the outcome without any pipeline
     // work.
@@ -633,13 +647,22 @@ fn execute_job_inner(
     if let Some(token) = cancel {
         opts = opts.with_cancel_token(token.clone());
     }
-    if let Some(cache) = cache {
+    if let (Some(cache), Some(skey)) = (cache, skey) {
         // Snapshot tier: offer a stored snapshot to the session, which
-        // resumes from it if compatible. A stale, corrupt, or mismatched
-        // snapshot degrades to a cold run — the tier can slow a job down
-        // but never fail it.
-        let skey = SnapshotKey::of(&job.input, &config);
-        let text = cache.lock().unwrap().get_snapshot(skey).map(str::to_owned);
+        // resumes from it if compatible. The exact key serves
+        // extraction-only resumes; on a miss, the core-key index offers
+        // the most saturated lower-fuel snapshot of the same input for
+        // partial-saturation resume. Either way the offer is advisory —
+        // a stale, corrupt, or mismatched snapshot degrades to a cold
+        // run, so the tier can slow a job down but never fail it.
+        let text = {
+            let cache = cache.lock().unwrap();
+            cache.get_snapshot(skey).map(str::to_owned).or_else(|| {
+                cache
+                    .best_core_snapshot(CoreKey::of(&job.input, &config), &config)
+                    .map(|(_, text)| text.to_owned())
+            })
+        };
         if let Some(text) = text {
             if let Ok(snapshot) = text.parse::<SynthSnapshot>() {
                 opts = opts.with_snapshot(snapshot);
@@ -674,8 +697,7 @@ fn execute_job_inner(
                     // resumes.
                     if result.mode != szalinski::RunMode::ResumedExtraction {
                         let saturated = result.stop_reason == Some(StopReason::Saturated);
-                        if let Some(snapshot) = result.snapshot.take() {
-                            let skey = SnapshotKey::of(&job.input, &config);
+                        if let (Some(snapshot), Some(skey)) = (result.snapshot.take(), skey) {
                             let text = if saturated {
                                 snapshot.without_sat_phase().to_string()
                             } else {
@@ -1082,6 +1104,92 @@ mod tests {
         streamed.sort();
         expected.sort();
         assert_eq!(streamed, expected);
+    }
+
+    /// A writer whose first write panics (while the sink's mutex is
+    /// held), then behaves; later bytes land in the shared buffer.
+    struct PoisonOnce {
+        buf: SharedBuf,
+        armed: Arc<std::sync::atomic::AtomicBool>,
+    }
+    impl std::io::Write for PoisonOnce {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.armed.swap(false, Ordering::SeqCst) {
+                panic!("sink write blew up");
+            }
+            self.buf.write(buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn poisoned_stream_sink_keeps_streaming_later_jobs() {
+        // One job's row write panics mid-stream, poisoning the sink
+        // mutex. The batch must keep going: every other job still
+        // streams its row, and the panicked job gets its placeholder
+        // row from the collecting thread.
+        let buf = SharedBuf::default();
+        let sink = StreamSink::new(PoisonOnce {
+            buf: buf.clone(),
+            armed: Arc::new(std::sync::atomic::AtomicBool::new(true)),
+        });
+        let report = BatchEngine::new()
+            .with_workers(2)
+            .with_stream(sink)
+            .run(jobs());
+        assert_eq!(report.ok_count() + 1, report.outcomes.len());
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines.len(),
+            report.outcomes.len(),
+            "every job must still stream a row after the poison"
+        );
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains(r#""status":"panicked""#))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn core_key_index_serves_lower_fuel_snapshots_to_higher_fuel_jobs() {
+        let cache = Arc::new(Mutex::new(
+            ResultCache::new().with_snapshot_budget(64 << 20),
+        ));
+        let engine = BatchEngine::new().with_cache(Arc::clone(&cache));
+        // Populate at low fuel: the iteration limit binds, so the
+        // stored snapshot keeps its sat-phase section (continuable).
+        let low = engine.run_sequential(vec![BatchJob::new(
+            "row6",
+            row(6),
+            quick().with_iter_limit(2),
+        )]);
+        assert!(
+            low.outcomes[0].stop_reason != Some(StopReason::Saturated),
+            "precondition: the low-fuel run must not saturate"
+        );
+
+        // The same input at higher fuel misses both the program tier
+        // (different fingerprint) and the exact snapshot key; the
+        // core-key index serves the low-fuel snapshot and saturation
+        // CONTINUES rather than starting cold.
+        let high = engine.run_sequential(vec![BatchJob::new("row6", row(6), quick())]);
+        let outcome = &high.outcomes[0];
+        assert!(!outcome.cached);
+        assert!(
+            outcome.snapshot_hit,
+            "the core-key fallback must serve the fuel-raised job"
+        );
+
+        // Landing point identical to a cold run at the same fuel.
+        let cold = BatchEngine::new().run_sequential(vec![BatchJob::new("row6", row(6), quick())]);
+        assert_eq!(outcome.programs, cold.outcomes[0].programs);
+        assert_eq!(outcome.stop_reason, cold.outcomes[0].stop_reason);
     }
 
     #[test]

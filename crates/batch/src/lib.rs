@@ -15,10 +15,16 @@
 //!   [`SynthConfig::saturation_fingerprint`](szalinski::SynthConfig::saturation_fingerprint),
 //!   holding serialized saturated e-graphs
 //!   ([`szalinski::SynthSnapshot`]) so extraction-only config changes
-//!   resume instead of re-saturating; both tiers persist via
-//!   line-oriented s-expressions, snapshots alternatively as a
-//!   directory of `.snap` files ([`load_snapshot_dir`] /
-//!   [`save_snapshot_dir`]);
+//!   resume instead of re-saturating, plus a *core-key* secondary index
+//!   ([`ResultCache::best_core_snapshot`]) that serves lower-fuel
+//!   snapshots to higher-fuel jobs as partial-saturation resumes; both
+//!   tiers persist via line-oriented s-expressions, snapshots
+//!   alternatively as a directory of `.snap` files
+//!   ([`load_snapshot_dir`] / [`save_snapshot_dir`]). Persistence is
+//!   **fleet-safe**: unique per-process temp files, merge-on-save, and
+//!   pruning restricted to self-evicted keys, so many processes can
+//!   share one cache file or snapshot dir without destroying each
+//!   other's work;
 //! * [`engine`] — [`BatchEngine`]: fans [`BatchJob`]s across the pool
 //!   under per-job and whole-batch wall-clock deadlines plus a shared
 //!   [`szalinski::CancelToken`] (cooperative stops surface as
@@ -29,9 +35,12 @@
 //! * [`report`] — the JSON-lines sink feeding `BENCH_batch.json`; job
 //!   records carry the e-matching profile of the saturation they ran
 //!   (`search_time_s`/`apply_time_s` totals plus a per-rule `rules[]`
-//!   array from [`JobOutcome::rule_stats`]);
+//!   array from [`JobOutcome::rule_stats`]); [`merge_reports`] folds
+//!   per-shard streams back into one deterministic report;
 //! * [`corpus`] — job enumeration from the 16-model suite or a
-//!   directory of `.scad`/`.csexp` files.
+//!   directory of `.scad`/`.csexp` files, and [`ShardSpec`] for
+//!   splitting either corpus across fleet processes by a stable hash
+//!   of the job name ([`stable_name_hash`]).
 //!
 //! The `szb` binary glues these into a CLI that decompiles a whole
 //! directory end-to-end (parse → synthesize → emit structured
@@ -42,6 +51,9 @@
 //! szb path/to/models --out decompiled/
 //! szb --suite16 --snapshots snaps/            # store e-graph snapshots
 //! szb --suite16 --snapshots snaps/ --reward-loops   # resumes, no saturation
+//! szb models/ --shard 2/4 --snapshots snaps/ --report shard2.jsonl
+//! szb merge merged.jsonl shard*.jsonl         # fold shard reports
+//! szb merge --cache merged.sexp shard*.sexp   # fold shard caches
 //! ```
 //!
 //! ## Determinism
@@ -77,10 +89,12 @@ pub mod pool;
 pub mod report;
 
 pub use cache::{
-    attach_snapshot_dir, load_snapshot_dir, save_snapshot_dir, CacheLoadError, CachedRun, JobKey,
-    ResultCache, SnapshotKey, DEFAULT_SNAPSHOT_BUDGET,
+    attach_snapshot_dir, load_snapshot_dir, save_snapshot_dir, stable_name_hash, CacheLoadError,
+    CachedRun, CoreKey, JobKey, ResultCache, SnapshotKey, DEFAULT_SNAPSHOT_BUDGET,
 };
-pub use corpus::{dir_jobs, sanitize_name, suite16_jobs, CorpusSkip};
+pub use corpus::{dir_jobs, sanitize_name, suite16_jobs, CorpusSkip, ShardSpec};
 pub use engine::{BatchEngine, BatchJob, BatchReport, JobOutcome, JobStatus, StreamSink};
 pub use pool::{run_tasks, TaskPanic};
-pub use report::{job_record, json_string, stop_reason_tag, summary_record, write_report};
+pub use report::{
+    job_record, json_string, merge_reports, stop_reason_tag, summary_record, write_report,
+};

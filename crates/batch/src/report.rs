@@ -2,7 +2,13 @@
 //! summary, feeding `BENCH_batch.json`. The writer is hand-rolled (the
 //! environment has no serde) but emits strict JSON — escaping is
 //! centralized in [`json_string`].
+//!
+//! [`merge_reports`] folds the per-shard JSONL streams of a fleet run
+//! (`szb --shard i/N`) back into one report: job rows are deduplicated
+//! by name (newest input wins) and sorted, shard summaries are dropped,
+//! and one merged summary is recomputed from the kept rows.
 
+use std::collections::BTreeMap;
 use std::io::{self, Write};
 
 use szalinski::StopReason;
@@ -191,6 +197,153 @@ pub fn summary_record(report: &BatchReport) -> String {
     render_object(&fields)
 }
 
+/// Extracts the raw JSON text of the **first** occurrence of `"key":`
+/// in a one-line record: the quoted literal for strings, the bare
+/// token for numbers/booleans/null. Every key this module scans is
+/// emitted before any nested object that reuses it (`"name"` inside
+/// the `rules` array comes after the top-level `"name"`), so the first
+/// occurrence is always the top-level field.
+fn scan_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let bytes = stripped.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => return Some(&rest[..i + 2]),
+                _ => i += 1,
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}'])?;
+        Some(&rest[..end])
+    }
+}
+
+/// Merges per-shard JSONL report streams into one report.
+///
+/// Inputs are whole-file texts in the order given; job rows with the
+/// same name deduplicate **newest-wins** (a resumed shard's rerun row
+/// replaces the original). The merged report lists job rows sorted by
+/// name — shard rows arrive in per-shard completion order, so sorting
+/// is what makes the merge deterministic — followed by one recomputed
+/// summary. Input summary rows are dropped; the merged summary takes
+/// `workers` as the **sum** and `wall_time_s` as the **max** over the
+/// input summaries (the fleet's critical path), and recomputes every
+/// other field from the kept job rows.
+pub fn merge_reports(inputs: &[String]) -> Result<String, String> {
+    let mut jobs: BTreeMap<String, String> = BTreeMap::new();
+    let mut wall = 0.0_f64;
+    let mut workers: u64 = 0;
+    for text in inputs {
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match scan_field(line, "type") {
+                Some("\"job\"") => {
+                    let name = scan_field(line, "name")
+                        .ok_or_else(|| format!("job record without a name: {line}"))?;
+                    jobs.insert(name.to_owned(), line.to_owned());
+                }
+                Some("\"summary\"") => {
+                    if let Some(w) =
+                        scan_field(line, "wall_time_s").and_then(|v| v.parse::<f64>().ok())
+                    {
+                        wall = wall.max(w);
+                    }
+                    workers += scan_field(line, "workers")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .unwrap_or(0);
+                }
+                _ => return Err(format!("unrecognized record: {line}")),
+            }
+        }
+    }
+
+    let n = jobs.len();
+    let mut ok = 0usize;
+    let mut cache_hits = 0usize;
+    let mut snapshot_hits = 0usize;
+    let mut cancelled = 0usize;
+    let mut search = 0.0_f64;
+    let mut apply = 0.0_f64;
+    let mut rows = 0usize;
+    let mut ranked = 0usize;
+    let mut size_reduction = 0.0_f64;
+    for line in jobs.values() {
+        let line = line.as_str();
+        ok += usize::from(scan_field(line, "status") == Some("\"ok\""));
+        cache_hits += usize::from(scan_field(line, "cached") == Some("true"));
+        snapshot_hits += usize::from(scan_field(line, "snapshot_hit") == Some("true"));
+        cancelled += usize::from(scan_field(line, "stop_reason") == Some("\"cancelled\""));
+        search += scan_field(line, "search_time_s")
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.0);
+        apply += scan_field(line, "apply_time_s")
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.0);
+        if let Some(v) = scan_field(line, "size_reduction") {
+            rows += 1;
+            size_reduction += v.parse::<f64>().unwrap_or(0.0);
+            ranked += usize::from(matches!(scan_field(line, "rank"), Some(r) if r != "null"));
+        }
+    }
+    let rate = |hits: usize| if n == 0 { 0.0 } else { hits as f64 / n as f64 };
+    let summary = render_object(&[
+        ("type".to_owned(), "\"summary\"".to_owned()),
+        ("jobs".to_owned(), n.to_string()),
+        ("ok".to_owned(), ok.to_string()),
+        ("workers".to_owned(), workers.to_string()),
+        ("cache_hits".to_owned(), cache_hits.to_string()),
+        ("cache_misses".to_owned(), (n - cache_hits).to_string()),
+        ("cache_hit_rate".to_owned(), json_f64(rate(cache_hits))),
+        ("snapshot_hits".to_owned(), snapshot_hits.to_string()),
+        (
+            "snapshot_hit_rate".to_owned(),
+            json_f64(rate(snapshot_hits)),
+        ),
+        ("cancelled".to_owned(), cancelled.to_string()),
+        ("wall_time_s".to_owned(), json_f64(wall)),
+        ("search_time_s".to_owned(), json_f64(search)),
+        ("apply_time_s".to_owned(), json_f64(apply)),
+        (
+            "jobs_per_s".to_owned(),
+            json_f64(if wall > 0.0 { n as f64 / wall } else { 0.0 }),
+        ),
+        (
+            "mean_size_reduction".to_owned(),
+            json_f64(if rows == 0 {
+                0.0
+            } else {
+                size_reduction / rows as f64
+            }),
+        ),
+        (
+            "structure_fraction".to_owned(),
+            json_f64(if rows == 0 {
+                0.0
+            } else {
+                ranked as f64 / rows as f64
+            }),
+        ),
+    ]);
+
+    let mut out = String::new();
+    for line in jobs.values() {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str(&summary);
+    out.push('\n');
+    Ok(out)
+}
+
 fn render_object(fields: &[(String, String)]) -> String {
     let body: Vec<String> = fields
         .iter()
@@ -329,6 +482,84 @@ mod tests {
         let rec = job_record(&o);
         assert!(rec.contains(r#""status":"panicked""#));
         assert!(rec.contains(r#""error":"index out of bounds""#));
+    }
+
+    #[test]
+    fn scan_field_reads_the_top_level_value() {
+        let rec = job_record(&outcome("3362402:gear", false));
+        assert_eq!(scan_field(&rec, "name"), Some("\"3362402:gear\""));
+        assert_eq!(scan_field(&rec, "status"), Some("\"ok\""));
+        assert_eq!(scan_field(&rec, "cached"), Some("false"));
+        assert_eq!(scan_field(&rec, "iterations"), Some("7"));
+        assert_eq!(scan_field(&rec, "search_time_s"), Some("0.75"));
+        assert_eq!(scan_field(&rec, "missing"), None);
+        // Escaped quotes inside a string value don't end the scan.
+        let tricky = r#"{"type":"job","name":"a\"b","status":"ok"}"#;
+        assert_eq!(scan_field(tricky, "name"), Some(r#""a\"b""#));
+        assert_eq!(scan_field(tricky, "status"), Some("\"ok\""));
+    }
+
+    #[test]
+    fn merge_dedupes_by_name_sorts_and_recomputes_the_summary() {
+        let shard_a = BatchReport {
+            outcomes: vec![outcome("zeta", false), outcome("alpha", true)],
+            wall_time: Duration::from_secs(4),
+            workers: 2,
+        };
+        let shard_b = BatchReport {
+            outcomes: vec![outcome("mid", false)],
+            wall_time: Duration::from_secs(6),
+            workers: 3,
+        };
+        let render = |r: &BatchReport| {
+            let mut buf = Vec::new();
+            write_report(&mut buf, r).unwrap();
+            String::from_utf8(buf).unwrap()
+        };
+        // shard_b re-ran "zeta" fresh (a resumed shard): newest wins.
+        let mut b_text = render(&shard_b);
+        b_text.insert_str(0, &format!("{}\n", job_record(&outcome("zeta", true))));
+        let merged = merge_reports(&[render(&shard_a), b_text]).unwrap();
+        let lines: Vec<&str> = merged.lines().collect();
+        assert_eq!(lines.len(), 4, "3 unique jobs + 1 summary: {merged}");
+        assert_eq!(scan_field(lines[0], "name"), Some("\"alpha\""));
+        assert_eq!(scan_field(lines[1], "name"), Some("\"mid\""));
+        assert_eq!(scan_field(lines[2], "name"), Some("\"zeta\""));
+        // Newest-wins: shard_b's cached rerun row replaced shard_a's.
+        assert_eq!(scan_field(lines[2], "cached"), Some("true"));
+
+        let summary = lines[3];
+        assert_eq!(scan_field(summary, "type"), Some("\"summary\""));
+        assert_eq!(scan_field(summary, "jobs"), Some("3"));
+        assert_eq!(scan_field(summary, "ok"), Some("3"));
+        assert_eq!(scan_field(summary, "workers"), Some("5"), "sum");
+        assert_eq!(scan_field(summary, "cache_hits"), Some("2"));
+        assert_eq!(scan_field(summary, "cache_misses"), Some("1"));
+        assert_eq!(scan_field(summary, "wall_time_s"), Some("6"), "max");
+        assert_eq!(scan_field(summary, "jobs_per_s"), Some("0.5"));
+        assert_eq!(scan_field(summary, "cancelled"), Some("0"));
+    }
+
+    #[test]
+    fn merging_one_unsharded_report_preserves_its_rows() {
+        let report = BatchReport {
+            outcomes: vec![outcome("a", false), outcome("b", true)],
+            wall_time: Duration::from_secs(2),
+            workers: 4,
+        };
+        let mut buf = Vec::new();
+        write_report(&mut buf, &report).unwrap();
+        let merged = merge_reports(&[String::from_utf8(buf).unwrap()]).unwrap();
+        for o in &report.outcomes {
+            assert!(merged.contains(&job_record(o)), "row for {} kept", o.name);
+        }
+        assert!(merged.trim_end().ends_with('}'));
+        assert_eq!(
+            scan_field(merged.lines().last().unwrap(), "workers"),
+            Some("4")
+        );
+        // Garbage input is an error, not a silent drop.
+        assert!(merge_reports(&["not json\n".to_owned()]).is_err());
     }
 
     #[test]

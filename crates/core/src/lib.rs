@@ -26,6 +26,29 @@
 //!    the weight-table/combinator models and the `pareto` two-objective
 //!    front).
 //!
+//! ## Sessions, snapshots, and resume
+//!
+//! [`Synthesizer`] is the one entry point: built from a [`SynthConfig`],
+//! it compiles the rule set once (cached process-wide) and
+//! [`Synthesizer::run`] dispatches each call as **cold**,
+//! **extraction-only resume** (an offered [`SynthSnapshot`] whose
+//! [`SynthConfig::saturation_fingerprint`] matches exactly — zero
+//! saturation iterations), or **partial-saturation resume** (a snapshot
+//! whose [`SynthConfig::saturation_core_fingerprint`] matches with
+//! lower-or-equal fuel limits — saturation *continues* from the stored
+//! [`SatPhase`], landing byte-identical to a cold run at the higher
+//! fuel). Which flavor ran is recorded in [`Synthesis`]`::mode`.
+//!
+//! Stores that hold many serialized snapshots decide what to offer via
+//! [`SynthSnapshot::probe_header`], which reads a snapshot's identity
+//! ([`SnapshotHeader`]) and fuel descriptor ([`SatPhaseHeader`]) from
+//! its header lines without parsing the embedded e-graphs; `sz-batch`'s
+//! snapshot tier indexes on the core fingerprint this way so a
+//! fuel-raised rerun of a whole corpus resumes every job instead of
+//! re-saturating. The probe is advisory: `run` re-checks
+//! [`SynthSnapshot::supports_partial_resume`] before resuming, so a
+//! stale or corrupt offer degrades to a cold run, never an unsound one.
+//!
 //! ## Example
 //!
 //! ```
@@ -77,8 +100,8 @@ pub use pipeline::{
     try_synthesize_with_snapshot,
 };
 pub use pipeline::{
-    ParetoProgram, ResumeError, SatPhase, SynthConfig, SynthError, SynthProgram, SynthSnapshot,
-    Synthesis,
+    ParetoProgram, ResumeError, SatPhase, SatPhaseHeader, SnapshotHeader, SynthConfig, SynthError,
+    SynthProgram, SynthSnapshot, Synthesis,
 };
 pub use report::{fit_tags, has_structure, loop_tags, TableRow};
 pub use rules::{all_rules, rules, structural_rules, CadRewrite};

@@ -746,11 +746,108 @@ impl SynthSnapshot {
         let Some(phase) = &self.sat_phase else {
             return false;
         };
-        config.main_loop_fuel == 1
-            && phase.core_fp == config.saturation_core_fingerprint()
-            && phase.iter_limit <= config.iter_limit
-            && phase.node_limit <= config.node_limit
-            && phase.time_ms <= config.time_limit.as_millis()
+        config.main_loop_fuel == 1 && phase.header().fits(config)
+    }
+
+    /// Reads the compatibility metadata out of serialized snapshot text
+    /// **without parsing the embedded e-graphs** — just the handful of
+    /// header lines. Stores indexing many snapshots (the batch tier's
+    /// core-key index) use this to decide *which* snapshot to offer a
+    /// config before paying for a full parse. `None` on malformed text;
+    /// the probe is advisory — a full [`SynthSnapshot`] parse (and
+    /// [`SynthSnapshot::supports_partial_resume`]) still gates any
+    /// actual resume, so a lying header degrades to a cold run rather
+    /// than an unsound one.
+    pub fn probe_header(text: &str) -> Option<SnapshotHeader> {
+        let mut lines = LineCursor { text, pos: 0 };
+        let version: u32 = match lines.next()? {
+            "szsynth v3" => 3,
+            "szsynth v2" => 2,
+            "szsynth v1" => 1,
+            _ => return None,
+        };
+        let input = lines.next()?.strip_prefix("input ")?.to_owned();
+        let sat_fp = lines.next()?.strip_prefix("satfp ")?.to_owned();
+        let sat_phase = if version >= 2 {
+            let rest = lines.next()?.strip_prefix("satphase ")?;
+            if rest == "none" {
+                None
+            } else {
+                let mut toks = rest.split_whitespace();
+                Some(SatPhaseHeader {
+                    core_fp: toks.next()?.to_owned(),
+                    iter_limit: toks.next()?.parse().ok()?,
+                    node_limit: toks.next()?.parse().ok()?,
+                    time_ms: toks.next()?.parse().ok()?,
+                })
+            }
+        } else {
+            None
+        };
+        Some(SnapshotHeader {
+            input,
+            sat_fp,
+            sat_phase,
+        })
+    }
+}
+
+/// The compatibility metadata of one serialized [`SynthSnapshot`],
+/// recovered by [`SynthSnapshot::probe_header`] from the text's header
+/// lines alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotHeader {
+    /// The input's canonical s-expression (`input` line).
+    pub input: String,
+    /// The producing config's [`SynthConfig::saturation_fingerprint`]
+    /// (`satfp` line).
+    pub sat_fp: String,
+    /// The saturation-phase descriptor, when the snapshot kept its
+    /// continuable section (`satphase` line; `None` for `satphase none`
+    /// and legacy v1 snapshots).
+    pub sat_phase: Option<SatPhaseHeader>,
+}
+
+/// The fuel-and-identity descriptor of a [`SatPhase`] section: the
+/// producing config's core fingerprint and fuel limits, as persisted on
+/// the `satphase` header line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SatPhaseHeader {
+    /// The producing config's [`SynthConfig::saturation_core_fingerprint`].
+    pub core_fp: String,
+    /// The producing run's saturation iteration limit.
+    pub iter_limit: usize,
+    /// The producing run's e-node limit.
+    pub node_limit: usize,
+    /// The producing run's saturation time limit, in milliseconds.
+    pub time_ms: u128,
+}
+
+impl SatPhaseHeader {
+    /// Whether a run under `config` could continue saturating from the
+    /// described section: core fingerprints match and the producing
+    /// fuel limits do not exceed `config`'s (every state reachable
+    /// under the tighter limits lies on the looser run's trajectory).
+    /// Callers must additionally require `config.main_loop_fuel == 1`
+    /// — [`SynthSnapshot::supports_partial_resume`] is the full check.
+    pub fn fits(&self, config: &SynthConfig) -> bool {
+        self.core_fp == config.saturation_core_fingerprint()
+            && self.iter_limit <= config.iter_limit
+            && self.node_limit <= config.node_limit
+            && self.time_ms <= config.time_limit.as_millis()
+    }
+}
+
+impl SatPhase {
+    /// This section's [`SatPhaseHeader`] (what
+    /// [`SynthSnapshot::probe_header`] recovers from text).
+    pub fn header(&self) -> SatPhaseHeader {
+        SatPhaseHeader {
+            core_fp: self.core_fp.clone(),
+            iter_limit: self.iter_limit,
+            node_limit: self.node_limit,
+            time_ms: self.time_ms,
+        }
     }
 }
 
@@ -1462,7 +1559,10 @@ mod tests {
         let legacy: SynthSnapshot = v2.parse().unwrap();
         assert_eq!(legacy.input_sexp(), snapshot.input_sexp());
         let phase = legacy.sat_phase().unwrap();
-        assert_eq!(phase.iterations(), snapshot.sat_phase().unwrap().iterations());
+        assert_eq!(
+            phase.iterations(),
+            snapshot.sat_phase().unwrap().iterations()
+        );
         assert!(phase.rule_stats().is_empty());
         assert!(legacy.supports_partial_resume(&config));
     }
@@ -1516,6 +1616,45 @@ mod tests {
         // Multi-round configs never partially resume.
         assert!(!snapshot
             .supports_partial_resume(&low.clone().with_main_loop_fuel(2).with_iter_limit(50)));
+    }
+
+    #[test]
+    fn probe_header_agrees_with_the_full_parse() {
+        let flat = row_of_cubes(3, 2.0);
+        let low = SynthConfig::new()
+            .with_iter_limit(10)
+            .with_node_limit(10_000);
+        let (_, snapshot) = synthesize_with_snapshot(&flat, &low);
+        assert!(snapshot.sat_phase().is_some(), "precondition: continuable");
+        let text = snapshot.to_string();
+
+        let header = SynthSnapshot::probe_header(&text).unwrap();
+        assert_eq!(header.input, snapshot.input_sexp());
+        assert_eq!(header.sat_fp, snapshot.saturation_fingerprint());
+        let phase = header.sat_phase.as_ref().unwrap();
+        assert_eq!(*phase, snapshot.sat_phase().unwrap().header());
+        // The probe's fuel check mirrors supports_partial_resume for
+        // every single-round config.
+        for config in [
+            low.clone().with_iter_limit(50),
+            low.clone(),
+            low.clone().with_iter_limit(5),
+            low.clone().with_node_limit(5_000),
+            low.clone().with_eps(1e-2).with_iter_limit(50),
+        ] {
+            assert_eq!(
+                phase.fits(&config),
+                snapshot.supports_partial_resume(&config),
+                "{config:?}"
+            );
+        }
+
+        // Stripped snapshots probe with no sat-phase descriptor.
+        let stripped = SynthSnapshot::probe_header(&snapshot.without_sat_phase().to_string());
+        assert_eq!(stripped.unwrap().sat_phase, None);
+        // Garbage probes to None instead of erroring.
+        assert_eq!(SynthSnapshot::probe_header("szsynth v9\nnope"), None);
+        assert_eq!(SynthSnapshot::probe_header(""), None);
     }
 
     #[test]

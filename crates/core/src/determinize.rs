@@ -74,8 +74,8 @@ pub fn chains_of(egraph: &CadGraph, id: Id) -> Vec<AffineChain> {
         // one variant's deep expansion (rewrites stack reorderings at
         // every level) cannot starve the others — the original syntax
         // must always contribute a chain.
-        let affine_nodes: Vec<&CadLang> = egraph[id]
-            .iter()
+        let affine_nodes: Vec<&CadLang> = egraph
+            .class_nodes(id)
             .filter(|n| n.affine_kind().is_some())
             .collect();
         let per_node = (*out_budget / affine_nodes.len().max(1)).max(4);
@@ -139,15 +139,29 @@ const MAX_DETERMINIZATIONS: usize = 8;
 /// populate the e-graph with *diverse* parameterizations — e.g. both the
 /// nested-loop and the trigonometric hex-cell programs of Figs. 18/19.
 pub fn determinize_all(egraph: &CadGraph, elements: &[Id]) -> Vec<DetList> {
+    determinize_up_to(egraph, elements, MAX_DETERMINIZATIONS)
+}
+
+fn determinize_up_to(egraph: &CadGraph, elements: &[Id], max: usize) -> Vec<DetList> {
     if elements.is_empty() {
         return Vec::new();
     }
     let all_chains: Vec<Vec<AffineChain>> =
         elements.iter().map(|&e| chains_of(egraph, e)).collect();
+    // The matching loops below are quadratic in chains; precompute each
+    // chain's signature and canonical leaf once instead of reallocating
+    // them per comparison.
+    let all_sigs: Vec<Vec<Vec<AffineKind>>> = all_chains
+        .iter()
+        .map(|chains| chains.iter().map(AffineChain::signature).collect())
+        .collect();
+    let all_leaves: Vec<Vec<Id>> = all_chains
+        .iter()
+        .map(|chains| chains.iter().map(|c| egraph.find(c.leaf)).collect())
+        .collect();
 
     // Candidate signatures from element 0, longest first.
-    let mut candidates: Vec<Vec<AffineKind>> =
-        all_chains[0].iter().map(AffineChain::signature).collect();
+    let mut candidates: Vec<Vec<AffineKind>> = all_sigs[0].clone();
     candidates.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
     candidates.dedup();
 
@@ -159,14 +173,20 @@ pub fn determinize_all(egraph: &CadGraph, elements: &[Id]) -> Vec<DetList> {
         // `Translate(125,0,0, tooth)` subterm rather than at per-element
         // reordered variants).
         let mut chosen: Option<Vec<AffineChain>> = None;
-        'leaf: for c0 in all_chains[0].iter().filter(|c| c.signature() == sig) {
+        'leaf: for (i0, c0) in all_chains[0]
+            .iter()
+            .enumerate()
+            .filter(|&(i0, _)| all_sigs[0][i0] == sig)
+        {
+            let leaf0 = all_leaves[0][i0];
             let mut chains = vec![c0.clone()];
-            for elem_chains in &all_chains[1..] {
+            for (e, elem_chains) in all_chains.iter().enumerate().skip(1) {
                 match elem_chains
                     .iter()
-                    .find(|c| c.signature() == sig && egraph.find(c.leaf) == egraph.find(c0.leaf))
+                    .enumerate()
+                    .find(|&(j, _)| all_sigs[e][j] == sig && all_leaves[e][j] == leaf0)
                 {
-                    Some(c) => chains.push(c.clone()),
+                    Some((_, c)) => chains.push(c.clone()),
                     None => continue 'leaf,
                 }
             }
@@ -177,9 +197,13 @@ pub fn determinize_all(egraph: &CadGraph, elements: &[Id]) -> Vec<DetList> {
         if chosen.is_none() {
             let mut chains = Vec::with_capacity(elements.len());
             let mut ok = true;
-            for elem_chains in &all_chains {
-                match elem_chains.iter().find(|c| c.signature() == sig) {
-                    Some(c) => chains.push(c.clone()),
+            for (e, elem_chains) in all_chains.iter().enumerate() {
+                match elem_chains
+                    .iter()
+                    .enumerate()
+                    .find(|&(j, _)| all_sigs[e][j] == sig)
+                {
+                    Some((_, c)) => chains.push(c.clone()),
                     None => {
                         ok = false;
                         break;
@@ -195,7 +219,7 @@ pub fn determinize_all(egraph: &CadGraph, elements: &[Id]) -> Vec<DetList> {
                 signature: sig,
                 chains,
             });
-            if out.len() >= MAX_DETERMINIZATIONS {
+            if out.len() >= max {
                 break;
             }
         }
@@ -204,9 +228,10 @@ pub fn determinize_all(egraph: &CadGraph, elements: &[Id]) -> Vec<DetList> {
 }
 
 /// The single preferred determinization (the longest consistent
-/// signature); see [`determinize_all`].
+/// signature); see [`determinize_all`]. Stops at the first hit rather
+/// than materializing all candidates.
 pub fn determinize(egraph: &CadGraph, elements: &[Id]) -> Option<DetList> {
-    determinize_all(egraph, elements).into_iter().next()
+    determinize_up_to(egraph, elements, 1).into_iter().next()
 }
 
 #[cfg(test)]

@@ -26,11 +26,11 @@ pub struct FoldSite {
 pub fn fold_sites(egraph: &CadGraph) -> Vec<FoldSite> {
     let mut sites = Vec::new();
     for class in egraph.classes() {
-        for node in class.iter() {
+        for node in egraph.nodes_of(class) {
             let CadLang::Fold([op, init, list]) = node else {
                 continue;
             };
-            let Some(op) = egraph[*op].iter().find_map(CadLang::as_fold_op) else {
+            let Some(op) = egraph.class_nodes(*op).find_map(CadLang::as_fold_op) else {
                 continue;
             };
             sites.push(FoldSite {
@@ -54,17 +54,20 @@ pub fn read_list(egraph: &CadGraph, id: Id) -> Option<Vec<Id>> {
     let mut out = Vec::new();
     let mut cur = egraph.find(id);
     for _ in 0..1_000_000 {
-        let class = &egraph[cur];
-        if class.iter().any(|n| matches!(n, CadLang::Nil)) {
+        if egraph.class_nodes(cur).any(|n| matches!(n, CadLang::Nil)) {
             return Some(out);
         }
-        if let Some(CadLang::Cons([h, t])) = class.iter().find(|n| matches!(n, CadLang::Cons(_))) {
+        if let Some(CadLang::Cons([h, t])) = egraph
+            .class_nodes(cur)
+            .find(|n| matches!(n, CadLang::Cons(_)))
+        {
             out.push(egraph.find(*h));
             cur = egraph.find(*t);
             continue;
         }
-        if let Some(CadLang::Repeat([c, n])) =
-            class.iter().find(|n| matches!(n, CadLang::Repeat(_)))
+        if let Some(CadLang::Repeat([c, n])) = egraph
+            .class_nodes(cur)
+            .find(|n| matches!(n, CadLang::Repeat(_)))
         {
             let n = num_of(egraph, *n)?;
             if n < 0.0 || n.fract() != 0.0 || n > 100_000.0 {

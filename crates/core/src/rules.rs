@@ -463,7 +463,9 @@ mod tests {
         );
         let found = eg.classes().any(|class| {
             eg.find(class.id) == eg.find(root)
-                && class.iter().any(|n| matches!(n, CadLang::Translate(_)))
+                && eg
+                    .nodes_of(class)
+                    .any(|n| matches!(n, CadLang::Translate(_)))
         });
         assert!(found, "rotated translate variant missing");
     }

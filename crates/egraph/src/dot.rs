@@ -30,7 +30,7 @@ pub fn to_dot<L: Language, N: Analysis<L>>(egraph: &EGraph<L, N>) -> String {
         let class = &egraph[*id];
         let _ = writeln!(s, "  subgraph cluster_{id} {{");
         let _ = writeln!(s, "    style=dotted; label=\"e{id}\";");
-        for (i, node) in class.iter().enumerate() {
+        for (i, node) in egraph.nodes_of(class).enumerate() {
             let label = node.op_name().replace('"', "\\\"");
             let _ = writeln!(s, "    n_{id}_{i} [label=\"{label}\"];");
         }
@@ -38,7 +38,7 @@ pub fn to_dot<L: Language, N: Analysis<L>>(egraph: &EGraph<L, N>) -> String {
     }
     for id in &ids {
         let class = &egraph[*id];
-        for (i, node) in class.iter().enumerate() {
+        for (i, node) in egraph.nodes_of(class).enumerate() {
             for (j, &child) in node.children().iter().enumerate() {
                 let child = egraph.find(child);
                 // Point edges at the first node of the child cluster.

@@ -1,30 +1,77 @@
-//! The [`EGraph`] itself: hash-consed e-nodes, a union-find over e-classes,
-//! and deferred congruence-closure maintenance ("rebuilding").
-
+//! The [`EGraph`] itself: hash-consed e-nodes interned in a flat arena, a
+//! union-find over e-classes, and deferred congruence-closure maintenance
+//! ("rebuilding").
+//!
+//! # Storage layout: arenas and SoA
+//!
+//! Every e-node is interned exactly once into a flat node arena and
+//! referred to by a `Copy` [`NodeId`]; everything else is a dense,
+//! id-indexed vector:
+//!
+//! ```text
+//!             NodeArena (append-only, deduplicating)
+//!             ┌─────┬─────┬─────┬─────┬────
+//!   nodes:    │ L₀  │ L₁  │ L₂  │ L₃  │ ...     NodeId = index
+//!             └─────┴─────┴─────┴─────┴────
+//!   memo:     │ →c₀ │ →c₀ │  ∅  │ →c₂ │ ...     NodeId → class Id
+//!             └─────┴─────┴─────┴─────┴────     (no hashing to probe)
+//!
+//!             per-class tables (slot = canonical Id, SoA split)
+//!             ┌───────────────┬───────────────┬────
+//!   classes:  │ EClass{nodes: │      ∅        │ ...  ∅ = absorbed by
+//!             │  Vec<NodeId>, │ (absorbed)    │      a union
+//!             │  data}        │               │
+//!             ├───────────────┼───────────────┼────
+//!   parents:  │ Vec<(NodeId,  │   (moved to   │ ...  every e-node with
+//!             │      Id)>     │    winner)    │      this class as a child
+//!             └───────────────┴───────────────┴────
+//! ```
+//!
+//! Mutations push `Copy` `(NodeId, Id)` pairs; nodes themselves are cloned
+//! only on first interning. Class iteration, e-matching, and extraction
+//! walk `&[NodeId]` slices and resolve them through the arena
+//! cache-linearly.
+//!
+//! # Id stability (what snapshots rely on)
+//!
+//! - Class [`Id`]s are assigned densely by creation order and are *never*
+//!   reused or compacted; a union only redirects the union-find and blanks
+//!   the absorbed slot. The canonical id of a class is therefore stable
+//!   across save/restore, and the `szsnap` format serializes exactly the
+//!   union-find parent vector plus each canonical class's nodes.
+//! - [`NodeId`]s are derived state, private to one `EGraph` instance: they
+//!   are assigned by interning order, which depends on rewrite history.
+//!   Snapshots never contain them; restore re-interns every node, so the
+//!   arena (like the memo, parent lists, and op index) needs no format
+//!   version bump.
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::marker::PhantomData;
 
-use crate::{Analysis, Id, Language, RecExpr, UnionFind};
+use crate::arena::{FxHashMap, NodeArena};
+use crate::{Analysis, Id, Language, NodeId, RecExpr, UnionFind};
 
 /// An equivalence class of e-nodes, plus its analysis data.
+///
+/// The nodes are stored as [`NodeId`]s into the e-graph's arena; resolve
+/// them with [`EGraph::node`] (or iterate with [`EGraph::nodes_of`] /
+/// [`EGraph::class_nodes`]).
 #[derive(Debug, Clone)]
 pub struct EClass<L, D> {
     /// This class's canonical id (at the time of the last rebuild).
     pub id: Id,
-    /// The e-nodes in this class. Canonical and deduplicated after
-    /// [`EGraph::rebuild`].
-    pub nodes: Vec<L>,
+    /// The e-nodes in this class, as arena ids. Canonical and deduplicated
+    /// after [`EGraph::rebuild`], sorted by node value.
+    pub(crate) nodes: Vec<NodeId>,
     /// The analysis value for this class.
     pub data: D,
-    /// Parent e-nodes (and the class they live in): every e-node that has
-    /// this class as a child. Used for congruence repair.
-    pub(crate) parents: Vec<(L, Id)>,
+    pub(crate) _lang: PhantomData<L>,
 }
 
 impl<L: Language, D> EClass<L, D> {
-    /// Iterates over the e-nodes in this class.
-    pub fn iter(&self) -> impl Iterator<Item = &L> {
-        self.nodes.iter()
+    /// The arena ids of the e-nodes in this class.
+    pub fn node_ids(&self) -> &[NodeId] {
+        &self.nodes
     }
 
     /// The number of e-nodes in this class.
@@ -36,11 +83,6 @@ impl<L: Language, D> EClass<L, D> {
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }
-
-    /// Iterates over the leaf e-nodes (no children) in this class.
-    pub fn leaves(&self) -> impl Iterator<Item = &L> {
-        self.nodes.iter().filter(|n| n.is_leaf())
-    }
 }
 
 /// An e-graph: a compact representation of a (possibly exponential) set of
@@ -50,6 +92,9 @@ impl<L: Language, D> EClass<L, D> {
 /// are cheap and defer invariant repair; [`EGraph::rebuild`] restores
 /// congruence and analysis invariants in one batched pass. Szalinski's
 /// paper credits exactly this structure for mitigating phase ordering.
+///
+/// See the [module docs](self) for the arena/SoA storage layout and the
+/// id-stability contract.
 ///
 /// # Examples
 ///
@@ -68,10 +113,27 @@ pub struct EGraph<L: Language, N: Analysis<L>> {
     /// The user-provided analysis (often a unit struct).
     pub analysis: N,
     unionfind: UnionFind,
-    memo: HashMap<L, Id>,
-    classes: HashMap<Id, EClass<L, N::Data>>,
-    pending: Vec<(L, Id)>,
-    analysis_pending: VecDeque<(L, Id)>,
+    /// Every distinct e-node, interned once.
+    arena: NodeArena<L>,
+    /// Hash-cons memo, dense over the arena: `memo[nid]` is the class the
+    /// node was last recorded in (possibly stale — resolve through
+    /// [`EGraph::find`]). Probing an interned node costs one index, no
+    /// hashing. Kept the same length as the arena.
+    memo: Vec<Option<Id>>,
+    /// Number of `Some` entries in `memo`.
+    memo_len: usize,
+    /// Dense class table, slot-indexed by canonical id; `None` slots were
+    /// absorbed by unions.
+    classes: Vec<Option<EClass<L, N::Data>>>,
+    /// Number of `Some` entries in `classes`.
+    n_classes: usize,
+    /// SoA split of per-class parent lists, slot-indexed like `classes`:
+    /// `parents[c]` holds `(node, class-the-node-lives-in)` for every
+    /// e-node with `c` as a child. Moved (not cloned) to the winning slot
+    /// on union. Used for congruence repair.
+    parents: Vec<Vec<(NodeId, Id)>>,
+    pending: Vec<(NodeId, Id)>,
+    analysis_pending: VecDeque<(NodeId, Id)>,
     clean: bool,
     /// Operator index: discriminant (node with children zeroed) → sorted
     /// canonical ids of the classes containing an e-node with that
@@ -81,7 +143,7 @@ pub struct EGraph<L: Language, N: Analysis<L>> {
     /// rebuilds it from the restored classes (it is never serialized).
     /// Compiled pattern search uses it to visit only the classes that can
     /// possibly match a pattern's root operator.
-    op_index: HashMap<L, Vec<Id>>,
+    op_index: FxHashMap<L, Vec<Id>>,
 }
 
 impl<L: Language, N: Analysis<L> + Default> Default for EGraph<L, N> {
@@ -93,7 +155,7 @@ impl<L: Language, N: Analysis<L> + Default> Default for EGraph<L, N> {
 impl<L: Language, N: Analysis<L>> fmt::Debug for EGraph<L, N> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("EGraph")
-            .field("classes", &self.classes.len())
+            .field("classes", &self.n_classes)
             .field("nodes", &self.total_number_of_nodes())
             .field("clean", &self.clean)
             .finish()
@@ -106,12 +168,16 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         EGraph {
             analysis,
             unionfind: UnionFind::new(),
-            memo: HashMap::new(),
-            classes: HashMap::new(),
+            arena: NodeArena::default(),
+            memo: Vec::new(),
+            memo_len: 0,
+            classes: Vec::new(),
+            n_classes: 0,
+            parents: Vec::new(),
             pending: Vec::new(),
             analysis_pending: VecDeque::new(),
             clean: true,
-            op_index: HashMap::new(),
+            op_index: FxHashMap::default(),
         }
     }
 
@@ -125,15 +191,23 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
     /// finish the batch with [`EGraph::finish_op_index`]; the two together
     /// are the single definition of the index invariant, shared by
     /// `rebuild_classes` and snapshot restore.
-    fn index_class_ops(index: &mut HashMap<L, Vec<Id>>, id: Id, nodes: &[L]) {
-        for node in nodes {
-            index.entry(Self::op_key(node)).or_default().push(id);
+    fn index_class_ops(
+        arena: &NodeArena<L>,
+        index: &mut FxHashMap<L, Vec<Id>>,
+        id: Id,
+        nodes: &[NodeId],
+    ) {
+        for &nid in nodes {
+            index
+                .entry(Self::op_key(arena.get(nid)))
+                .or_default()
+                .push(id);
         }
     }
 
     /// Sorts and dedups every candidate list after a batch of
     /// [`EGraph::index_class_ops`] calls.
-    fn finish_op_index(index: &mut HashMap<L, Vec<Id>>) {
+    fn finish_op_index(index: &mut FxHashMap<L, Vec<Id>>) {
         for ids in index.values_mut() {
             ids.sort_unstable();
             ids.dedup();
@@ -163,9 +237,10 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
     }
 
     /// Reconstructs an e-graph from snapshot parts: the full union-find
-    /// plus each canonical class's nodes. The hash-cons memo and parent
-    /// lists are derived; analysis data is recomputed to fixpoint from
-    /// the nodes (seeded at `Default`, joined with [`Analysis::merge`]).
+    /// plus each canonical class's nodes. The arena, hash-cons memo,
+    /// parent lists, and op index are derived (re-interned here, never
+    /// serialized); analysis data is recomputed to fixpoint from the
+    /// nodes (seeded at `Default`, joined with [`Analysis::merge`]).
     /// [`Analysis::modify`] is *not* re-run — its structural effects are
     /// already part of the snapshotted node set.
     ///
@@ -180,47 +255,55 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
     where
         N::Data: Default,
     {
-        let mut classes: HashMap<Id, EClass<L, N::Data>> = HashMap::with_capacity(class_list.len());
-        let mut memo = HashMap::new();
+        let universe = unionfind.size();
+        let mut arena: NodeArena<L> = NodeArena::default();
+        let mut memo: Vec<Option<Id>> = Vec::new();
+        let mut memo_len = 0usize;
+        let mut classes: Vec<Option<EClass<L, N::Data>>> = Vec::new();
+        classes.resize_with(universe, || None);
+        let mut parents: Vec<Vec<(NodeId, Id)>> = vec![Vec::new(); universe];
+        // Interning follows (sorted class, node) order, so arena ids and
+        // parent lists come out deterministic.
         for (id, nodes) in class_list {
+            let mut nids = Vec::with_capacity(nodes.len());
             for node in nodes {
-                memo.insert(node.clone(), *id);
-            }
-            classes.insert(
-                *id,
-                EClass {
-                    id: *id,
-                    nodes: nodes.clone(),
-                    data: N::Data::default(),
-                    parents: Vec::new(),
-                },
-            );
-        }
-        // Parent lists, in deterministic (sorted class, node) order.
-        for (id, nodes) in class_list {
-            for node in nodes {
-                for &child in node.children() {
-                    classes
-                        .get_mut(&child)
-                        .expect("snapshot validated: child class exists")
-                        .parents
-                        .push((node.clone(), *id));
+                let nid = arena.intern(node.clone());
+                if memo.len() < arena.len() {
+                    memo.resize(arena.len(), None);
                 }
+                if memo[nid.idx()].replace(*id).is_none() {
+                    memo_len += 1;
+                }
+                for &child in node.children() {
+                    parents[usize::from(child)].push((nid, *id));
+                }
+                nids.push(nid);
             }
+            classes[usize::from(*id)] = Some(EClass {
+                id: *id,
+                nodes: nids,
+                data: N::Data::default(),
+                _lang: PhantomData,
+            });
         }
         // The operator index is derived state excluded from the snapshot
         // format (no version bump needed): reconstruct it here exactly as
         // `rebuild` would.
-        let mut op_index: HashMap<L, Vec<Id>> = HashMap::new();
-        for (id, nodes) in class_list {
-            Self::index_class_ops(&mut op_index, *id, nodes);
+        let mut op_index: FxHashMap<L, Vec<Id>> = FxHashMap::default();
+        for class in classes.iter().flatten() {
+            Self::index_class_ops(&arena, &mut op_index, class.id, &class.nodes);
         }
         Self::finish_op_index(&mut op_index);
+        let n_classes = class_list.len();
         let mut egraph = EGraph {
             analysis,
             unionfind,
+            arena,
             memo,
+            memo_len,
             classes,
+            n_classes,
+            parents,
             pending: Vec::new(),
             analysis_pending: VecDeque::new(),
             clean: true,
@@ -229,18 +312,16 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         // Analysis fixpoint. Ascending id order roughly follows creation
         // order (children before parents), so this usually converges in
         // two passes; cycles are handled by iterating until quiescent.
-        let ids: Vec<Id> = {
-            let mut ids: Vec<Id> = egraph.classes.keys().copied().collect();
-            ids.sort_unstable();
-            ids
-        };
         loop {
             let mut changed = false;
-            for &id in &ids {
-                let nodes = egraph.classes[&id].nodes.clone();
-                for node in &nodes {
-                    let data = N::make(&egraph, node);
-                    let class = egraph.classes.get_mut(&id).expect("class exists");
+            for slot in 0..egraph.classes.len() {
+                let Some(class) = &egraph.classes[slot] else {
+                    continue;
+                };
+                let nids = class.nodes.clone();
+                for nid in nids {
+                    let data = N::make(&egraph, egraph.arena.get(nid));
+                    let class = egraph.classes[slot].as_mut().expect("class exists");
                     changed |= egraph.analysis.merge(&mut class.data, data).0;
                 }
             }
@@ -253,18 +334,30 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
 
     /// The number of live e-classes.
     pub fn number_of_classes(&self) -> usize {
-        self.classes.len()
+        self.n_classes
+    }
+
+    /// The size of the id universe: every id ever created, canonical or
+    /// not. Dense side tables (extraction, benches) index by canonical id
+    /// slot, so this is their length.
+    pub fn universe(&self) -> usize {
+        self.unionfind.size()
     }
 
     /// The total number of e-nodes across all classes.
     pub fn total_number_of_nodes(&self) -> usize {
-        self.classes.values().map(|c| c.nodes.len()).sum()
+        self.classes().map(|c| c.nodes.len()).sum()
+    }
+
+    /// The number of distinct e-nodes ever interned into the arena.
+    pub fn arena_size(&self) -> usize {
+        self.arena.len()
     }
 
     /// The number of entries in the hash-cons memo (distinct canonical
-    /// e-nodes ever interned; a telemetry gauge for memory profiling).
+    /// e-nodes currently recorded; a telemetry gauge for memory profiling).
     pub fn memo_size(&self) -> usize {
-        self.memo.len()
+        self.memo_len
     }
 
     /// True if [`EGraph::rebuild`] has run since the last mutation, i.e.
@@ -278,15 +371,48 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         self.unionfind.find_immutable(id)
     }
 
-    /// Iterates over all e-classes.
+    /// Iterates over all e-classes, in ascending canonical-id order.
     pub fn classes(&self) -> impl Iterator<Item = &EClass<L, N::Data>> {
-        self.classes.values()
+        self.classes.iter().filter_map(|c| c.as_ref())
     }
 
     /// Iterates mutably over all e-classes (analysis data may be tweaked;
     /// structural edits must go through [`EGraph::add`]/[`EGraph::union`]).
     pub fn classes_mut(&mut self) -> impl Iterator<Item = &mut EClass<L, N::Data>> {
-        self.classes.values_mut()
+        self.classes.iter_mut().filter_map(|c| c.as_mut())
+    }
+
+    /// Resolves an arena id to its e-node.
+    #[inline]
+    pub fn node(&self, nid: NodeId) -> &L {
+        self.arena.get(nid)
+    }
+
+    /// Iterates over the e-nodes of `class` (which must belong to this
+    /// e-graph), resolving arena ids.
+    pub fn nodes_of<'a>(
+        &'a self,
+        class: &'a EClass<L, N::Data>,
+    ) -> impl Iterator<Item = &'a L> + 'a {
+        class.nodes.iter().map(move |&nid| self.arena.get(nid))
+    }
+
+    /// Iterates over the e-nodes of the class of `id`.
+    pub fn class_nodes(&self, id: Id) -> impl Iterator<Item = &L> + '_ {
+        self[id].nodes.iter().map(move |&nid| self.arena.get(nid))
+    }
+
+    /// Iterates over the leaf e-nodes (no children) of the class of `id`.
+    pub fn class_leaves(&self, id: Id) -> impl Iterator<Item = &L> + '_ {
+        self.class_nodes(id).filter(|n| n.is_leaf())
+    }
+
+    /// Every e-node with the class of `id` as a child, as `(node id,
+    /// class-the-node-lives-in)` pairs; the class ids may be stale —
+    /// resolve through [`EGraph::find`]. Congruence repair and dense
+    /// extraction's dirty-propagation both walk this.
+    pub fn class_parents(&self, id: Id) -> &[(NodeId, Id)] {
+        &self.parents[usize::from(self.find(id))]
     }
 
     fn canonicalize(&self, mut enode: L) -> L {
@@ -294,10 +420,49 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         enode
     }
 
+    /// Canonicalizes an interned node's children, interning the result.
+    /// Skips re-hashing when the node is already canonical (the common
+    /// case during rebuilds).
+    fn canonicalize_nid(&mut self, nid: NodeId) -> NodeId {
+        let node = self.arena.get(nid);
+        if node
+            .children()
+            .iter()
+            .all(|&c| self.unionfind.find_immutable(c) == c)
+        {
+            return nid;
+        }
+        let node = {
+            let uf = &mut self.unionfind;
+            self.arena.get(nid).map_children(|c| uf.find(c))
+        };
+        self.intern_node(node)
+    }
+
+    /// Interns a node, keeping the memo table the same length as the
+    /// arena. All interning inside the e-graph goes through here.
+    fn intern_node(&mut self, enode: L) -> NodeId {
+        let nid = self.arena.intern(enode);
+        if self.memo.len() < self.arena.len() {
+            self.memo.resize(self.arena.len(), None);
+        }
+        nid
+    }
+
+    /// Records `nid → class` in the memo, returning the previous entry.
+    fn memo_insert(&mut self, nid: NodeId, class: Id) -> Option<Id> {
+        let old = self.memo[nid.idx()].replace(class);
+        if old.is_none() {
+            self.memo_len += 1;
+        }
+        old
+    }
+
     /// Looks up an e-node (children need not be canonical) without adding.
     pub fn lookup(&self, enode: L) -> Option<Id> {
         let enode = self.canonicalize(enode);
-        self.memo.get(&enode).map(|&id| self.find(id))
+        let nid = self.arena.lookup(&enode)?;
+        self.memo[nid.idx()].map(|id| self.find(id))
     }
 
     /// Looks up an entire expression; returns its class if every node is
@@ -314,38 +479,40 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
 
     /// Adds an e-node, returning the id of its class. No-op (returning the
     /// existing class) if a congruent node is already present.
-    pub fn add(&mut self, enode: L) -> Id {
-        let enode = self.canonicalize(enode);
-        if let Some(&existing) = self.memo.get(&enode) {
-            return self.find(existing);
+    pub fn add(&mut self, mut enode: L) -> Id {
+        {
+            let uf = &mut self.unionfind;
+            enode.update_children(|id| uf.find(id));
         }
+        if let Some(nid) = self.arena.lookup(&enode) {
+            if let Some(existing) = self.memo[nid.idx()] {
+                return self.unionfind.find(existing);
+            }
+        }
+        let nid = self.intern_node(enode);
         let id = self.unionfind.make_set();
-        let data = N::make(self, &enode);
-        for &child in enode.children() {
-            let child = self.find(child);
-            self.classes
-                .get_mut(&child)
-                .expect("child class must exist")
-                .parents
-                .push((enode.clone(), id));
+        self.classes.push(None);
+        self.parents.push(Vec::new());
+        let data = N::make(self, self.arena.get(nid));
+        // The node's children are canonical: push `Copy` parent entries.
+        let n_children = self.arena.get(nid).children().len();
+        for i in 0..n_children {
+            let child = self.arena.get(nid).children()[i];
+            self.parents[usize::from(child)].push((nid, id));
         }
-        self.classes.insert(
+        self.classes[usize::from(id)] = Some(EClass {
             id,
-            EClass {
-                id,
-                nodes: vec![enode.clone()],
-                data,
-                parents: Vec::new(),
-            },
-        );
+            nodes: vec![nid],
+            data,
+            _lang: PhantomData,
+        });
+        self.n_classes += 1;
         // Incremental op-index maintenance: the fresh id is the largest
         // yet, so pushing keeps each candidate list sorted; `rebuild`
         // reconstructs the index wholesale after unions invalidate ids.
-        self.op_index
-            .entry(Self::op_key(&enode))
-            .or_default()
-            .push(id);
-        self.memo.insert(enode, id);
+        let key = Self::op_key(self.arena.get(nid));
+        self.op_index.entry(key).or_default().push(id);
+        self.memo_insert(nid, id);
         N::modify(self, id);
         id
     }
@@ -366,8 +533,8 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
     /// Congruence is restored lazily: call [`EGraph::rebuild`] before the
     /// next search.
     pub fn union(&mut self, a: Id, b: Id) -> (Id, bool) {
-        let a = self.find(a);
-        let b = self.find(b);
+        let a = self.unionfind.find(a);
+        let b = self.unionfind.find(b);
         if a == b {
             return (a, false);
         }
@@ -379,8 +546,8 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
     fn perform_union(&mut self, a: Id, b: Id) -> Id {
         // Keep the class with more parents as the root so we move less data.
         let (id1, id2) = {
-            let pa = self.classes[&a].parents.len();
-            let pb = self.classes[&b].parents.len();
+            let pa = self.parents[usize::from(a)].len();
+            let pb = self.parents[usize::from(b)].len();
             if pa >= pb {
                 (a, b)
             } else {
@@ -388,20 +555,29 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             }
         };
         self.unionfind.union(id1, id2);
-        let class2 = self.classes.remove(&id2).expect("class must exist");
-        // Parents of the absorbed class may now be congruent to other nodes.
-        self.pending.extend(class2.parents.iter().cloned());
+        let class2 = self.classes[usize::from(id2)]
+            .take()
+            .expect("class must exist");
+        self.n_classes -= 1;
+        // Move the absorbed class's parents: copy the `Copy` pairs onto
+        // the repair worklist, then append the buffer itself to the
+        // winner's list — no per-node clones.
+        let mut parents2 = std::mem::take(&mut self.parents[usize::from(id2)]);
+        self.pending.extend_from_slice(&parents2);
 
-        let class1 = self.classes.get_mut(&id1).expect("class must exist");
+        let class1 = self.classes[usize::from(id1)]
+            .as_mut()
+            .expect("class must exist");
         let did = self.analysis.merge(&mut class1.data, class2.data);
         if did.0 {
-            self.analysis_pending.extend(class1.parents.iter().cloned());
+            self.analysis_pending
+                .extend(self.parents[usize::from(id1)].iter().copied());
         }
         if did.1 {
-            self.analysis_pending.extend(class2.parents.iter().cloned());
+            self.analysis_pending.extend(parents2.iter().copied());
         }
-        class1.nodes.extend(class2.nodes);
-        class1.parents.extend(class2.parents);
+        class1.nodes.extend_from_slice(&class2.nodes);
+        self.parents[usize::from(id1)].append(&mut parents2);
         N::modify(self, id1);
         id1
     }
@@ -411,27 +587,38 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
     pub fn rebuild(&mut self) -> usize {
         let mut n_unions = 0;
         while !self.pending.is_empty() || !self.analysis_pending.is_empty() {
-            while let Some((node, class)) = self.pending.pop() {
-                let node = self.canonicalize(node);
-                let class = self.find(class);
-                if let Some(old) = self.memo.insert(node, class) {
-                    let old = self.find(old);
+            // Egg-style batched repair: drain the worklist one pass at a
+            // time, deduplicating before canonicalization (a node is
+            // listed once per child, so unions of sibling-heavy classes
+            // queue many exact duplicates). Unions performed mid-pass
+            // re-queue the absorbed class's parents for the next pass.
+            let mut todo = std::mem::take(&mut self.pending);
+            todo.sort_unstable();
+            todo.dedup();
+            for (nid, class) in todo {
+                let nid = self.canonicalize_nid(nid);
+                let class = self.unionfind.find(class);
+                if let Some(old) = self.memo_insert(nid, class) {
+                    let old = self.unionfind.find(old);
                     if old != class {
                         self.perform_union(old, class);
                         n_unions += 1;
                     }
                 }
             }
-            while let Some((node, id)) = self.analysis_pending.pop_front() {
-                let cid = self.find(id);
-                if !self.classes.contains_key(&cid) {
+            while let Some((nid, id)) = self.analysis_pending.pop_front() {
+                let cid = self.unionfind.find(id);
+                if self.classes[usize::from(cid)].is_none() {
                     continue;
                 }
-                let node_data = N::make(self, &node);
-                let class = self.classes.get_mut(&cid).expect("checked above");
+                let node_data = N::make(self, self.arena.get(nid));
+                let class = self.classes[usize::from(cid)]
+                    .as_mut()
+                    .expect("checked above");
                 let did = self.analysis.merge(&mut class.data, node_data);
                 if did.0 {
-                    self.analysis_pending.extend(class.parents.iter().cloned());
+                    self.analysis_pending
+                        .extend(self.parents[usize::from(cid)].iter().copied());
                     N::modify(self, cid);
                 }
             }
@@ -447,27 +634,39 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         // it, and the index must drop ids absorbed by unions.
         let EGraph {
             unionfind: uf,
+            arena,
+            memo,
             classes,
             op_index,
             ..
         } = self;
         op_index.clear();
-        for class in classes.values_mut() {
-            for node in &mut class.nodes {
-                node.update_children(|id| uf.find_immutable(id));
+        for class in classes.iter_mut().filter_map(|c| c.as_mut()) {
+            for nid in class.nodes.iter_mut() {
+                let node = arena.get(*nid);
+                if !node.children().iter().all(|&c| uf.find_immutable(c) == c) {
+                    let node = node.map_children(|c| uf.find_immutable(c));
+                    *nid = arena.intern(node);
+                    if memo.len() < arena.len() {
+                        memo.resize(arena.len(), None);
+                    }
+                }
             }
-            class.nodes.sort_unstable();
+            // Sort by node *value*, not arena id: equal nodes intern to
+            // equal ids (so `dedup` still works), and iteration order
+            // stays deterministic and independent of interning history.
+            class
+                .nodes
+                .sort_unstable_by(|&a, &b| arena.get(a).cmp(arena.get(b)));
             class.nodes.dedup();
-            Self::index_class_ops(op_index, class.id, &class.nodes);
+            Self::index_class_ops(arena, op_index, class.id, &class.nodes);
         }
         Self::finish_op_index(op_index);
     }
 
     /// Returns the ids of all classes, canonical and sorted.
     pub fn class_ids(&self) -> Vec<Id> {
-        let mut ids: Vec<Id> = self.classes.keys().copied().collect();
-        ids.sort_unstable();
-        ids
+        self.classes().map(|c| c.id).collect()
     }
 
     /// Extracts *some* term from the class `id` (an arbitrary acyclic
@@ -502,17 +701,16 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         stack.push(id);
         // Prefer leaves, then nodes not re-entering the current stack.
         let class = &self[id];
-        let node = class
-            .leaves()
-            .next()
+        let node = self
+            .nodes_of(class)
+            .find(|n| n.is_leaf())
             .cloned()
             .or_else(|| {
-                class
-                    .iter()
+                self.nodes_of(class)
                     .find(|n| n.children().iter().all(|c| !stack.contains(&self.find(*c))))
                     .cloned()
             })
-            .unwrap_or_else(|| class.nodes[0].clone());
+            .unwrap_or_else(|| self.arena.get(class.nodes[0]).clone());
         let node = node.map_children(|c| self.pick_node_rec(c, expr, memo, stack));
         stack.pop();
         let new_id = expr.add(node);
@@ -525,8 +723,8 @@ impl<L: Language, N: Analysis<L>> std::ops::Index<Id> for EGraph<L, N> {
     type Output = EClass<L, N::Data>;
     fn index(&self, id: Id) -> &Self::Output {
         let id = self.find(id);
-        self.classes
-            .get(&id)
+        self.classes[usize::from(id)]
+            .as_ref()
             .unwrap_or_else(|| panic!("no class for id {id}"))
     }
 }
@@ -534,8 +732,8 @@ impl<L: Language, N: Analysis<L>> std::ops::Index<Id> for EGraph<L, N> {
 impl<L: Language, N: Analysis<L>> std::ops::IndexMut<Id> for EGraph<L, N> {
     fn index_mut(&mut self, id: Id) -> &mut Self::Output {
         let id = self.find(id);
-        self.classes
-            .get_mut(&id)
+        self.classes[usize::from(id)]
+            .as_mut()
             .unwrap_or_else(|| panic!("no class for id {id}"))
     }
 }
@@ -556,6 +754,9 @@ mod tests {
         let b = eg.add_expr(&"(+ x y)".parse().unwrap());
         assert_eq!(a, b);
         assert_eq!(eg.number_of_classes(), 3);
+        // Each distinct node interned exactly once.
+        assert_eq!(eg.arena_size(), 3);
+        assert_eq!(eg.memo_size(), 3);
     }
 
     #[test]
@@ -684,7 +885,7 @@ mod tests {
         // Cross-check the index against a full scan, op by op.
         let mut by_scan: HashMap<String, Vec<Id>> = HashMap::new();
         for class in eg.classes() {
-            for node in class.iter() {
+            for node in eg.nodes_of(class) {
                 let ids = by_scan.entry(node.op_name()).or_default();
                 if !ids.contains(&class.id) {
                     ids.push(class.id);
@@ -692,7 +893,7 @@ mod tests {
             }
         }
         for class in eg.classes() {
-            for node in class.iter() {
+            for node in eg.nodes_of(class) {
                 let mut want = by_scan[&node.op_name()].clone();
                 want.sort_unstable();
                 assert_eq!(eg.classes_with_op(node), want, "op {}", node.op_name());
@@ -710,5 +911,35 @@ mod tests {
         assert!(!eg.is_clean());
         eg.rebuild();
         assert!(eg.is_clean());
+    }
+
+    #[test]
+    fn class_nodes_are_value_sorted_after_rebuild() {
+        let mut eg = eg();
+        let a = eg.add_expr(&"(+ 1 2)".parse().unwrap());
+        let b = eg.add_expr(&"(* 3 4)".parse().unwrap());
+        eg.union(a, b);
+        eg.rebuild();
+        let nodes: Vec<Arith> = eg.class_nodes(a).cloned().collect();
+        let mut sorted = nodes.clone();
+        sorted.sort();
+        assert_eq!(nodes, sorted);
+        assert_eq!(nodes.len(), 2);
+    }
+
+    #[test]
+    fn class_parents_track_unions() {
+        let mut eg = eg();
+        eg.add_expr(&"(+ x 1)".parse().unwrap());
+        eg.add_expr(&"(* y 2)".parse().unwrap());
+        let x = eg.lookup_expr(&"x".parse().unwrap()).unwrap();
+        let y = eg.lookup_expr(&"y".parse().unwrap()).unwrap();
+        assert_eq!(eg.class_parents(x).len(), 1);
+        assert_eq!(eg.class_parents(y).len(), 1);
+        eg.union(x, y);
+        eg.rebuild();
+        // The winner's parent list absorbed the loser's.
+        assert_eq!(eg.class_parents(x).len(), 2);
+        assert_eq!(eg.class_parents(x), eg.class_parents(y));
     }
 }

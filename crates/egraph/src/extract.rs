@@ -76,7 +76,8 @@ impl<L: Language> CostFunction<L> for AstDepth {
 pub struct Extractor<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> {
     egraph: &'a EGraph<L, N>,
     cost_function: std::cell::RefCell<CF>,
-    best: HashMap<Id, (CF::Cost, L)>,
+    /// Dense best table, slot-indexed by canonical id.
+    best: Vec<Option<(CF::Cost, L)>>,
 }
 
 impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> Extractor<'a, L, N, CF> {
@@ -85,7 +86,7 @@ impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> Extractor<'a, L, N, C
         let mut extractor = Extractor {
             egraph,
             cost_function: std::cell::RefCell::new(cost_function),
-            best: HashMap::new(),
+            best: Vec::new(),
         };
         extractor.fixpoint();
         extractor
@@ -94,39 +95,64 @@ impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> Extractor<'a, L, N, C
     fn node_cost(&self, node: &L) -> Option<CF::Cost> {
         let mut child_costs = Vec::with_capacity(node.children().len());
         for &c in node.children() {
-            let (cost, _) = self.best.get(&self.egraph.find(c))?;
+            let (cost, _) = self.best[usize::from(self.egraph.find(c))].as_ref()?;
             child_costs.push(cost.clone());
         }
         Some(self.cost_function.borrow_mut().cost(node, &child_costs))
     }
 
     fn fixpoint(&mut self) {
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for class in self.egraph.classes() {
-                for node in class.iter() {
+        let egraph = self.egraph;
+        let universe = egraph.universe();
+        self.best = std::iter::repeat_with(|| None).take(universe).collect();
+        // Dirty-class worklist: a class only needs re-examination when one
+        // of its children's best entries changed, so propagate dirtiness
+        // upward through the parent lists instead of rescanning everything
+        // each pass. The tie-break makes the least fixpoint unique, so the
+        // result is identical to the full rescan.
+        let mut dirty = vec![true; universe];
+        let mut next_dirty = vec![false; universe];
+        let mut any_dirty = true;
+        while any_dirty {
+            any_dirty = false;
+            for class in egraph.classes() {
+                let slot = usize::from(class.id);
+                if !dirty[slot] {
+                    continue;
+                }
+                let mut improved = false;
+                for node in egraph.nodes_of(class) {
                     let Some(cost) = self.node_cost(node) else {
                         continue;
                     };
                     // Tie-break on the node itself so extraction is
                     // deterministic regardless of class iteration order.
-                    let better = match self.best.get(&class.id) {
+                    let better = match &self.best[slot] {
                         Some((old, old_node)) => cost < *old || (cost == *old && node < old_node),
                         None => true,
                     };
                     if better {
-                        self.best.insert(class.id, (cost, node.clone()));
-                        changed = true;
+                        self.best[slot] = Some((cost, node.clone()));
+                        improved = true;
+                    }
+                }
+                if improved {
+                    for &(_, pid) in egraph.class_parents(class.id) {
+                        next_dirty[usize::from(egraph.find(pid))] = true;
+                        any_dirty = true;
                     }
                 }
             }
+            std::mem::swap(&mut dirty, &mut next_dirty);
+            next_dirty.fill(false);
         }
     }
 
     /// The cost of the best term in `id`'s class, if one is extractable.
     pub fn best_cost(&self, id: Id) -> Option<CF::Cost> {
-        self.best.get(&self.egraph.find(id)).map(|(c, _)| c.clone())
+        self.best[usize::from(self.egraph.find(id))]
+            .as_ref()
+            .map(|(c, _)| c.clone())
     }
 
     /// Extracts the minimal-cost term for `id`.
@@ -150,7 +176,9 @@ impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> Extractor<'a, L, N, C
         if let Some(&done) = memo.get(&id) {
             return done;
         }
-        let (_, node) = &self.best[&id];
+        let (_, node) = self.best[usize::from(id)]
+            .as_ref()
+            .unwrap_or_else(|| panic!("no extractable term for class {id}"));
         let node = node.map_children(|c| self.build(c, expr, memo));
         let new = expr.add(node);
         memo.insert(id, new);
@@ -168,6 +196,10 @@ struct Entry<L, C> {
     /// class.
     choices: Vec<usize>,
 }
+
+/// Per-slot table updates staged during one fixpoint pass and applied at
+/// the pass boundary (the Jacobi read-previous-pass discipline).
+type StagedUpdates<T> = Vec<(usize, T)>;
 
 /// K-best extraction: the `k` lowest-cost *distinct derivations* per class.
 ///
@@ -192,7 +224,9 @@ struct Entry<L, C> {
 pub struct KBestExtractor<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> {
     egraph: &'a EGraph<L, N>,
     k: usize,
-    table: HashMap<Id, Vec<Entry<L, CF::Cost>>>,
+    /// Dense k-best table, slot-indexed by canonical id; an empty list
+    /// means "no derivation known".
+    table: Vec<Vec<Entry<L, CF::Cost>>>,
 }
 
 impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> KBestExtractor<'a, L, N, CF> {
@@ -203,15 +237,28 @@ impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> KBestExtractor<'a, L,
     /// Panics if `k == 0`.
     pub fn new(egraph: &'a EGraph<L, N>, mut cost_function: CF, k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        let mut table: HashMap<Id, Vec<Entry<L, CF::Cost>>> = HashMap::new();
+        let universe = egraph.universe();
+        let mut table: Vec<Vec<Entry<L, CF::Cost>>> = vec![Vec::new(); universe];
         // Iterate to fixpoint; the iteration count is bounded by the depth
-        // of the best derivations, itself bounded by class count.
+        // of the best derivations, itself bounded by class count. Only
+        // *dirty* classes — those whose children's entries changed last
+        // pass — are recomputed; all reads within a pass see the previous
+        // pass's table (updates are staged and applied at the pass
+        // boundary), so the evolution is exactly the full Jacobi
+        // iteration's, pass for pass.
         let max_iters = egraph.number_of_classes() + 2;
+        let mut dirty = vec![true; universe];
+        let mut next_dirty = vec![false; universe];
+        let mut updates: StagedUpdates<Vec<Entry<L, CF::Cost>>> = Vec::new();
         for _ in 0..max_iters {
-            let mut new_table: HashMap<Id, Vec<Entry<L, CF::Cost>>> = HashMap::new();
+            updates.clear();
             for class in egraph.classes() {
+                let slot = usize::from(class.id);
+                if !dirty[slot] {
+                    continue;
+                }
                 let mut candidates: Vec<Entry<L, CF::Cost>> = Vec::new();
-                for node in class.iter() {
+                for node in egraph.nodes_of(class) {
                     enumerate_node_entries(
                         egraph,
                         &table,
@@ -224,15 +271,21 @@ impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> KBestExtractor<'a, L,
                 candidates.sort_by(|a, b| a.cost.cmp(&b.cost));
                 candidates.dedup();
                 candidates.truncate(k);
-                if !candidates.is_empty() {
-                    new_table.insert(class.id, candidates);
+                if candidates != table[slot] {
+                    updates.push((slot, candidates));
                 }
             }
-            let stable = new_table == table;
-            table = new_table;
-            if stable {
+            if updates.is_empty() {
                 break;
             }
+            for (slot, candidates) in updates.drain(..) {
+                for &(_, pid) in egraph.class_parents(Id::from(slot)) {
+                    next_dirty[usize::from(egraph.find(pid))] = true;
+                }
+                table[slot] = candidates;
+            }
+            std::mem::swap(&mut dirty, &mut next_dirty);
+            next_dirty.fill(false);
         }
         KBestExtractor { egraph, k, table }
     }
@@ -245,9 +298,7 @@ impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> KBestExtractor<'a, L,
     /// Extracts up to `k` lowest-cost terms for `id`, cheapest first.
     pub fn find_best_k(&self, id: Id) -> Vec<(CF::Cost, RecExpr<L>)> {
         let root = self.egraph.find(id);
-        let Some(entries) = self.table.get(&root) else {
-            return Vec::new();
-        };
+        let entries = &self.table[usize::from(root)];
         entries
             .iter()
             .map(|e| {
@@ -274,7 +325,7 @@ impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> KBestExtractor<'a, L,
         let mut child_ids = Vec::with_capacity(node.children().len());
         for (i, &c) in node.children().iter().enumerate() {
             let cclass = self.egraph.find(c);
-            let centry = &self.table[&cclass][entry.choices[i]];
+            let centry = &self.table[usize::from(cclass)][entry.choices[i]];
             child_ids.push(self.build_entry(cclass, centry, expr, depth + 1));
         }
         let mut j = 0;
@@ -306,8 +357,9 @@ pub const DEFAULT_PARETO_CAP: usize = 8;
 /// One class's Pareto front: mutually non-dominating entries sorted
 /// ascending on the first objective.
 type ParetoFront<L, A, B> = Vec<ParetoEntry<L, A, B>>;
-/// Per-class Pareto fronts for a whole e-graph.
-type ParetoTable<L, A, B> = HashMap<Id, ParetoFront<L, A, B>>;
+/// Per-class Pareto fronts for a whole e-graph, slot-indexed by canonical
+/// id (empty front = no derivation known).
+type ParetoTable<L, A, B> = Vec<ParetoFront<L, A, B>>;
 
 /// Two-objective Pareto-front extraction: for a class, the set of
 /// derivable terms whose `(cost_a, cost_b)` pairs are **mutually
@@ -374,13 +426,24 @@ impl<'a, L: Language, N: Analysis<L>, CA: CostFunction<L>, CB: CostFunction<L>>
     /// Panics if `cap == 0`.
     pub fn with_cap(egraph: &'a EGraph<L, N>, mut cost_a: CA, mut cost_b: CB, cap: usize) -> Self {
         assert!(cap > 0, "pareto cap must be positive");
-        let mut table: ParetoTable<L, CA::Cost, CB::Cost> = HashMap::new();
+        let universe = egraph.universe();
+        let mut table: ParetoTable<L, CA::Cost, CB::Cost> = vec![Vec::new(); universe];
+        // Same dirty-class Jacobi scheme as [`KBestExtractor::new`]:
+        // recompute only classes whose children's fronts changed, staging
+        // updates so every read within a pass sees the previous pass.
         let max_iters = egraph.number_of_classes() + 2;
+        let mut dirty = vec![true; universe];
+        let mut next_dirty = vec![false; universe];
+        let mut updates: StagedUpdates<ParetoFront<L, CA::Cost, CB::Cost>> = Vec::new();
         for _ in 0..max_iters {
-            let mut new_table: ParetoTable<L, CA::Cost, CB::Cost> = HashMap::new();
+            updates.clear();
             for class in egraph.classes() {
+                let slot = usize::from(class.id);
+                if !dirty[slot] {
+                    continue;
+                }
                 let mut candidates: Vec<ParetoEntry<L, CA::Cost, CB::Cost>> = Vec::new();
-                for node in class.iter() {
+                for node in egraph.nodes_of(class) {
                     enumerate_pareto_entries(
                         egraph,
                         &table,
@@ -391,15 +454,21 @@ impl<'a, L: Language, N: Analysis<L>, CA: CostFunction<L>, CB: CostFunction<L>>
                     );
                 }
                 let front = prune_to_front(candidates, cap);
-                if !front.is_empty() {
-                    new_table.insert(class.id, front);
+                if front != table[slot] {
+                    updates.push((slot, front));
                 }
             }
-            let stable = new_table == table;
-            table = new_table;
-            if stable {
+            if updates.is_empty() {
                 break;
             }
+            for (slot, front) in updates.drain(..) {
+                for &(_, pid) in egraph.class_parents(Id::from(slot)) {
+                    next_dirty[usize::from(egraph.find(pid))] = true;
+                }
+                table[slot] = front;
+            }
+            std::mem::swap(&mut dirty, &mut next_dirty);
+            next_dirty.fill(false);
         }
         ParetoExtractor { egraph, cap, table }
     }
@@ -415,9 +484,7 @@ impl<'a, L: Language, N: Analysis<L>, CA: CostFunction<L>, CB: CostFunction<L>>
     /// class has no extractable term.
     pub fn find_front(&self, id: Id) -> Vec<(CA::Cost, CB::Cost, RecExpr<L>)> {
         let root = self.egraph.find(id);
-        let Some(entries) = self.table.get(&root) else {
-            return Vec::new();
-        };
+        let entries = &self.table[usize::from(root)];
         entries
             .iter()
             .filter_map(|e| {
@@ -445,7 +512,7 @@ impl<'a, L: Language, N: Analysis<L>, CA: CostFunction<L>, CB: CostFunction<L>>
         let mut child_ids = Vec::with_capacity(node.children().len());
         for (i, &c) in node.children().iter().enumerate() {
             let cclass = self.egraph.find(c);
-            let centry = self.table.get(&cclass)?.get(entry.choices[i])?;
+            let centry = self.table[usize::from(cclass)].get(entry.choices[i])?;
             child_ids.push(self.build_entry(cclass, centry, expr, depth + 1)?);
         }
         let mut j = 0;
@@ -501,10 +568,11 @@ fn enumerate_pareto_entries<
     let mut child_fronts: Vec<&ParetoFront<L, CA::Cost, CB::Cost>> =
         Vec::with_capacity(children.len());
     for &c in children {
-        match table.get(&egraph.find(c)) {
-            Some(front) => child_fronts.push(front),
-            None => return,
+        let front = &table[usize::from(egraph.find(c))];
+        if front.is_empty() {
+            return;
         }
+        child_fronts.push(front);
     }
     let mut choices = vec![0usize; children.len()];
     loop {
@@ -544,7 +612,7 @@ fn enumerate_pareto_entries<
 /// current `table`, using a best-first frontier over choice vectors.
 fn enumerate_node_entries<L: Language, N: Analysis<L>, CF: CostFunction<L>>(
     egraph: &EGraph<L, N>,
-    table: &HashMap<Id, Vec<Entry<L, CF::Cost>>>,
+    table: &[Vec<Entry<L, CF::Cost>>],
     node: &L,
     k: usize,
     cost_function: &mut CF,
@@ -554,10 +622,11 @@ fn enumerate_node_entries<L: Language, N: Analysis<L>, CF: CostFunction<L>>(
     // Collect each child's entry costs; bail if any child has none yet.
     let mut child_entries: Vec<&Vec<Entry<L, CF::Cost>>> = Vec::with_capacity(children.len());
     for &c in children {
-        match table.get(&egraph.find(c)) {
-            Some(entries) => child_entries.push(entries),
-            None => return,
+        let entries = &table[usize::from(egraph.find(c))];
+        if entries.is_empty() {
+            return;
         }
+        child_entries.push(entries);
     }
     if children.is_empty() {
         let cost = cost_function.cost(node, &[]);

@@ -5,7 +5,14 @@
 //! inference. It provides:
 //!
 //! * [`EGraph`] — hash-consed e-nodes over a union-find of e-classes, with
-//!   *deferred* congruence maintenance ([`EGraph::rebuild`]);
+//!   *deferred* congruence maintenance ([`EGraph::rebuild`]). Storage is
+//!   flat and id-indexed: every distinct e-node is interned once into a
+//!   node arena ([`NodeId`] handles), the hash-cons memo is a dense
+//!   array over arena ids (probes after the first intern never re-hash
+//!   the node), classes live in a dense `Vec` slot-indexed by canonical
+//!   [`Id`], and per-class node/parent lists are id lists iterated
+//!   cache-linearly (see the [`egraph`](EGraph) module docs for the
+//!   layout diagram and the id-stability contract snapshots rely on);
 //! * [`Language`] — the trait connecting your term language to the engine;
 //! * [`Analysis`] — e-class analyses (semilattice data per class), used by
 //!   Szalinski to surface concrete numbers/vectors/lists to its solvers;
@@ -52,6 +59,7 @@
 #![forbid(unsafe_code)]
 
 mod analysis;
+mod arena;
 mod dot;
 mod egraph;
 mod extract;
@@ -71,6 +79,7 @@ mod unionfind;
 pub mod tests_lang;
 
 pub use analysis::{merge_max, merge_option, Analysis, DidMerge};
+pub use arena::{FxBuildHasher, FxHasher, NodeId};
 pub use dot::to_dot;
 pub use egraph::{EClass, EGraph};
 pub use extract::{

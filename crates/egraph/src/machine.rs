@@ -197,8 +197,13 @@ impl<L: Language> Program<L> {
         };
         match inst {
             Instruction::Bind { node, i, out: o } => {
-                let class = &egraph[regs[*i]];
-                for enode in class.iter().filter(|n| node.matches(n)) {
+                // Walk the class's arena-id slice; each candidate resolves
+                // to one contiguous arena slot.
+                for &nid in egraph[regs[*i]].node_ids() {
+                    let enode = egraph.node(nid);
+                    if !node.matches(enode) {
+                        continue;
+                    }
                     regs.truncate(*o);
                     regs.extend_from_slice(enode.children());
                     self.step(egraph, ground, regs, pc + 1, out);

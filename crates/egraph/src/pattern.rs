@@ -179,7 +179,7 @@ impl<L: Language> Pattern<L> {
             },
             ENodeOrVar::ENode(pnode) => {
                 let mut out = Vec::new();
-                for enode in egraph[eclass].iter() {
+                for enode in egraph.class_nodes(eclass) {
                     if !same_shape(pnode, enode) {
                         continue;
                     }

@@ -241,9 +241,11 @@ impl<L: Language> Snapshot<L> {
                 return Err(SnapshotError::UnknownRoot(root));
             }
         }
+        // Materialize each class's nodes from the arena: NodeIds are
+        // derived, per-instance state and never enter the format.
         let mut classes: Vec<(Id, Vec<L>)> = egraph
             .classes()
-            .map(|class| (class.id, class.nodes.clone()))
+            .map(|class| (class.id, egraph.nodes_of(class).cloned().collect()))
             .collect();
         classes.sort_by_key(|(id, _)| *id);
         Ok(Snapshot {

@@ -156,7 +156,7 @@ fn op_index_candidates_are_exactly_the_matching_root_classes() {
     let indexed: Vec<Id> = eg.classes_with_op(&node).to_vec();
     let mut scanned: Vec<Id> = eg
         .classes()
-        .filter(|c| c.iter().any(|n| n.matches(&node)))
+        .filter(|c| eg.nodes_of(c).any(|n| n.matches(&node)))
         .map(|c| c.id)
         .collect();
     scanned.sort_unstable();

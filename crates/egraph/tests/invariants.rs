@@ -107,7 +107,7 @@ proptest! {
         let mut best: HashMap<Id, usize> = HashMap::new();
         for _ in 0..eg.number_of_classes() + 2 {
             for class in eg.classes() {
-                for node in class.iter() {
+                for node in eg.nodes_of(class) {
                     let mut cost = 1usize;
                     let mut ok = true;
                     for &c in node.children() {

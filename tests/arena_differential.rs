@@ -1,0 +1,171 @@
+//! Arena-storage differential: pins the flat, id-indexed e-graph core
+//! (node arena + dense memo + slot-indexed classes) to the observable
+//! behavior the rest of the stack depends on, over proptest-generated
+//! CAD workloads (the same generator shape as `tests/ematch_differential.rs`).
+//!
+//! Three contracts, each of which the arena refactor could silently
+//! break while all unit tests still pass:
+//!
+//! 1. **Hash-cons coverage** — after `rebuild`, looking up the
+//!    canonicalized form of any node stored in any class must return
+//!    exactly that class; class node lists are value-sorted, deduped,
+//!    and live in canonical slots.
+//! 2. **Determinism** — the same workload replayed from scratch yields
+//!    a byte-identical `szsnap` serialization (arena interning order,
+//!    class iteration order, and rebuild scheduling are all
+//!    deterministic).
+//! 3. **Id stability** — snapshot → restore → snapshot is
+//!    byte-identical with **zero format-version bump**: `NodeId`s are
+//!    per-instance derived state and never leak into the text format.
+//!
+//! CI runs this suite in the `egraph-core` job alongside the
+//! naive-ematch differentials and the bench regression gate.
+
+use proptest::prelude::*;
+use sz_cad::{AffineKind, Cad};
+use sz_egraph::{
+    AstSize, Extractor, KBestExtractor, Language, Runner, Snapshot, SNAPSHOT_FORMAT_VERSION,
+};
+use szalinski::{all_rules, cad_to_lang, CadAnalysis, CadGraph, CadLang};
+
+/// A strategy for random flat CSG terms of bounded size — the same
+/// shape `tests/ematch_differential.rs` uses.
+fn arb_flat_cad() -> impl Strategy<Value = Cad> {
+    let leaf = prop_oneof![
+        Just(Cad::Unit),
+        Just(Cad::Sphere),
+        Just(Cad::Cylinder),
+        Just(Cad::Hexagon),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(AffineKind::Translate),
+                    Just(AffineKind::Scale),
+                    Just(AffineKind::Rotate)
+                ],
+                -4.0f64..4.0,
+                -4.0f64..4.0,
+                -4.0f64..4.0,
+                inner.clone()
+            )
+                .prop_map(|(kind, x, y, z, c)| {
+                    let v = match kind {
+                        AffineKind::Scale => [x.abs() + 0.5, y.abs() + 0.5, z.abs() + 0.5],
+                        AffineKind::Rotate => [0.0, 0.0, x * 45.0],
+                        AffineKind::Translate => [x, y, z],
+                    };
+                    Cad::Affine(kind, v.into(), Box::new(c))
+                }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Cad::union(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Cad::diff(a, b)),
+        ]
+    })
+}
+
+/// Saturates `cad` for `iters` iterations and returns runner state.
+fn saturated(cad: &Cad, iters: usize) -> Runner<CadLang, CadAnalysis> {
+    Runner::new(CadAnalysis)
+        .with_expr(&cad_to_lang(cad))
+        .with_iter_limit(iters)
+        .with_node_limit(10_000)
+        .run(&all_rules())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hashcons_coverage_after_rebuild(
+        cad in arb_flat_cad(),
+        iters in 0usize..4,
+    ) {
+        let eg: CadGraph = saturated(&cad, iters).egraph;
+        let mut total = 0usize;
+        let mut last_id = None;
+        for class in eg.classes() {
+            // Classes iterate in ascending canonical-slot order.
+            prop_assert_eq!(eg.find(class.id), class.id, "class id not canonical");
+            if let Some(prev) = last_id {
+                prop_assert!(prev < class.id, "classes() out of order");
+            }
+            last_id = Some(class.id);
+            let nodes: Vec<CadLang> = eg.nodes_of(class).cloned().collect();
+            total += nodes.len();
+            for w in nodes.windows(2) {
+                prop_assert!(w[0] < w[1], "class nodes not sorted/deduped");
+            }
+            for node in nodes {
+                // The canonicalized form of every stored node must
+                // hash-cons back to exactly this class.
+                let mut canon = node.clone();
+                canon.update_children(|c| eg.find(c));
+                prop_assert_eq!(
+                    eg.lookup(canon).map(|id| eg.find(id)),
+                    Some(class.id),
+                    "memo lost a node of class {}", class.id
+                );
+            }
+        }
+        prop_assert_eq!(total, eg.total_number_of_nodes());
+        // The arena interns each distinct node once; every class node is
+        // a distinct canonical form, so the arena is at least that big.
+        prop_assert!(eg.arena_size() >= total);
+        prop_assert_eq!(eg.memo_size(), eg.arena_size());
+    }
+
+    #[test]
+    fn replayed_workload_snapshots_byte_identical(
+        cad in arb_flat_cad(),
+        iters in 0usize..3,
+    ) {
+        let a = saturated(&cad, iters);
+        let b = saturated(&cad, iters);
+        let snap_a = Snapshot::of_egraph(&a.egraph, &a.roots).unwrap().to_string();
+        let snap_b = Snapshot::of_egraph(&b.egraph, &b.roots).unwrap().to_string();
+        prop_assert_eq!(snap_a, snap_b, "arena storage is not deterministic");
+    }
+
+    #[test]
+    fn restore_roundtrip_is_byte_identical_with_no_version_bump(
+        cad in arb_flat_cad(),
+        iters in 0usize..3,
+    ) {
+        let runner = saturated(&cad, iters);
+        let snapshot = Snapshot::of_egraph(&runner.egraph, &runner.roots).unwrap();
+        let text = snapshot.to_string();
+        prop_assert!(
+            text.starts_with("szsnap v1\n"),
+            "arena refactor must not bump the snapshot format (v{})",
+            SNAPSHOT_FORMAT_VERSION
+        );
+        // Restoring re-interns every node into a fresh arena; the stable
+        // ids it serializes back out must be unchanged.
+        let restored: CadGraph = snapshot.restore(CadAnalysis);
+        let roots: Vec<_> = runner.roots.iter().map(|&r| restored.find(r)).collect();
+        let again = Snapshot::of_egraph(&restored, &roots).unwrap().to_string();
+        prop_assert_eq!(again, text, "snapshot roundtrip drifted");
+    }
+
+    #[test]
+    fn dense_extraction_tables_agree(
+        cad in arb_flat_cad(),
+        iters in 0usize..3,
+    ) {
+        // The 1-best dirty-worklist table and the k-best staged table
+        // are independent implementations over the same arena; their
+        // optima must coincide on every root-reachable class.
+        let runner = saturated(&cad, iters);
+        let eg = &runner.egraph;
+        let ex = Extractor::new(eg, AstSize);
+        let kb = KBestExtractor::new(eg, AstSize, 3);
+        let root = eg.find(runner.roots[0]);
+        let best = ex.best_cost(root);
+        let k = kb.find_best_k(root);
+        prop_assert_eq!(best, k.first().map(|(c, _)| *c));
+        for w in k.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "k-best front not sorted");
+        }
+    }
+}

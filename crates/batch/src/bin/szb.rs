@@ -33,6 +33,7 @@ USAGE:
     szb [OPTIONS] <INPUT_DIR>
     szb [OPTIONS] --suite16
     szb merge [--cache] <OUT> <IN>...
+    szb lint [--json] [--rules] [--suite16] [<DIR>...]
 
 INPUT:
     <INPUT_DIR>            directory of .scad / .csexp models (non-recursive)
@@ -115,6 +116,23 @@ MERGE (fleet runs):
                                      wall_time_s = max over shards)
     szb merge --cache <OUT> <IN>...  fold per-shard cache files (both tiers,
                                      duplicate keys newest-wins)
+
+LINT (static analysis; no synthesis runs):
+    szb lint [<DIR>...]              lint a corpus dir (.scad/.csexp); with no
+                                     target, lints the built-in rule set and
+                                     the 16-model suite (what CI pins)
+    szb lint --rules --suite16       explicit targets, combinable with dirs
+    szb lint --json models/          one-line JSON report
+                                     Diagnostic codes are stable: SZL0xx rule
+                                     hygiene (001 unbound rhs var, 002 unused
+                                     lhs var, 003/004 duplicates, 005 inverse
+                                     pairs, 006 expansive), SZL1xx compiled
+                                     e-match programs, SZL2xx CAD inputs (200
+                                     unparseable file, 201 non-finite, 202
+                                     zero scale, 203 empty operand, 204
+                                     identity no-op, 205 bad count, 206
+                                     ill-sorted). Exit 1 iff deny findings;
+                                     see `szb lint --help`
 
 MISC:
     --quiet                suppress the per-job table
@@ -250,7 +268,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => return Err(String::new()),
             "--workers" => {
-                opts.workers = Some(value()?.parse().map_err(|e| format!("--workers: {e}"))?)
+                opts.workers = Some(value()?.parse().map_err(|e| format!("--workers: {e}"))?);
             }
             "--shard" => opts.shard = Some(value()?.parse().map_err(|e| format!("--shard: {e}"))?),
             "--per-job-timeout" => {
@@ -273,25 +291,25 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.config = opts
                     .config
                     .clone()
-                    .with_k(value()?.parse().map_err(|e| format!("--k: {e}"))?)
+                    .with_k(value()?.parse().map_err(|e| format!("--k: {e}"))?);
             }
             "--eps" => {
                 opts.config = opts
                     .config
                     .clone()
-                    .with_eps(value()?.parse().map_err(|e| format!("--eps: {e}"))?)
+                    .with_eps(value()?.parse().map_err(|e| format!("--eps: {e}"))?);
             }
             "--iter-limit" => {
                 opts.config = opts
                     .config
                     .clone()
-                    .with_iter_limit(value()?.parse().map_err(|e| format!("--iter-limit: {e}"))?)
+                    .with_iter_limit(value()?.parse().map_err(|e| format!("--iter-limit: {e}"))?);
             }
             "--node-limit" => {
                 opts.config = opts
                     .config
                     .clone()
-                    .with_node_limit(value()?.parse().map_err(|e| format!("--node-limit: {e}"))?)
+                    .with_node_limit(value()?.parse().map_err(|e| format!("--node-limit: {e}"))?);
             }
             "--time-limit" => {
                 opts.config.time_limit = parse_secs("--time-limit", value()?)?;
@@ -379,6 +397,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("merge") {
         return run_merge(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("lint") {
+        return sz_batch::run_lint_cli(&args[1..], "szb lint");
     }
     let opts = match parse_args(&args) {
         Ok(opts) => opts,

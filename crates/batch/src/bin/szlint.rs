@@ -1,0 +1,21 @@
+//! `szlint` — standalone static-analysis gate over the synthesis stack.
+//!
+//! A thin shell around [`sz_batch::run_lint_cli`], which `szb lint`
+//! shares: lints the built-in rewrite rules (binding soundness,
+//! duplicates, inverse pairs, each rule's compiled e-match program), the
+//! 16-model suite, and/or directories of `.scad`/`.csexp` models, then
+//! exits non-zero exactly when a deny-level finding was reported — the
+//! shape CI's `lint-gate` job pins.
+//!
+//! ```text
+//! szlint                        # rules + suite16 (what CI runs)
+//! szlint --json models/        # lint a corpus dir, machine-readable
+//! szlint --rules               # rule-set analysis only
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    sz_batch::run_lint_cli(&args, "szlint")
+}

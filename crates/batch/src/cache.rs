@@ -292,7 +292,7 @@ impl ResultCache {
 
     /// Total bytes held by the snapshot tier.
     pub fn snapshot_bytes(&self) -> usize {
-        self.snaps.values().map(|t| t.len()).sum()
+        self.snaps.values().map(String::len).sum()
     }
 
     /// Looks up a serialized snapshot by key.
@@ -576,14 +576,14 @@ impl ResultCache {
     /// other's work; a malformed or unreadable existing file is
     /// overwritten rather than blocking the save.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        save_text(path, self.merged_with_disk(path).to_lines())
+        save_text(path, &self.merged_with_disk(path).to_lines())
     }
 
     /// [`ResultCache::save`] without the snapshot tier (see
     /// [`ResultCache::to_lines_programs_only`]); the same merge-on-save
     /// semantics apply to the program tier.
     pub fn save_programs_only(&self, path: &Path) -> io::Result<()> {
-        save_text(path, self.merged_with_disk(path).to_lines_programs_only())
+        save_text(path, &self.merged_with_disk(path).to_lines_programs_only())
     }
 
     /// The merge-on-save fold: disk entries first, ours on top
@@ -605,7 +605,7 @@ impl ResultCache {
 /// per-process** sibling temp (two concurrent savers must never tear
 /// each other's temp file), fsynced before the rename so a crash right
 /// after the rename cannot leave an empty file.
-fn save_text(path: &Path, text: String) -> io::Result<()> {
+fn save_text(path: &Path, text: &str) -> io::Result<()> {
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     {
         let mut f = std::fs::File::create(&tmp)?;
@@ -713,7 +713,7 @@ mod tests {
         assert_eq!(a, b);
         // Different input or different config: different key.
         assert_ne!(a, JobKey::of(&sample_cad(5), &config));
-        assert_ne!(a, JobKey::of(&sample_cad(4), &config.clone().with_k(7)));
+        assert_ne!(a, JobKey::of(&sample_cad(4), &config.with_k(7)));
     }
 
     #[test]

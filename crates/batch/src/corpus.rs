@@ -162,7 +162,7 @@ pub fn dir_jobs(dir: &Path, config: &SynthConfig) -> io::Result<(Vec<BatchJob>, 
             skips.push(CorpusSkip {
                 path: path.clone(),
                 reason,
-            })
+            });
         };
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,

@@ -357,7 +357,7 @@ impl BatchEngine {
     /// deadlines, no cancel token, no cache, telemetry disabled.
     pub fn new() -> Self {
         BatchEngine {
-            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             deadline: None,
             batch_deadline: None,
             cancel: None,

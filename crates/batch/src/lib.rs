@@ -85,6 +85,7 @@
 pub mod cache;
 pub mod corpus;
 pub mod engine;
+pub mod lint;
 pub mod pool;
 pub mod report;
 
@@ -94,6 +95,7 @@ pub use cache::{
 };
 pub use corpus::{dir_jobs, sanitize_name, suite16_jobs, CorpusSkip, ShardSpec};
 pub use engine::{BatchEngine, BatchJob, BatchReport, JobOutcome, JobStatus, StreamSink};
+pub use lint::{lint_dir, lint_rules, lint_suite16, run_lint_cli};
 pub use pool::{run_tasks, TaskPanic};
 pub use report::{
     job_record, json_string, merge_reports, stop_reason_tag, summary_record, write_report,

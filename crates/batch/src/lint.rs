@@ -1,0 +1,241 @@
+//! The corpus lint driver behind `szb lint` and the standalone `szlint`
+//! binary: enumerate lint targets (rule sets, the 16-model suite, or a
+//! directory of `.scad`/`.csexp` models), run the `sz-lint` analyzers
+//! over each, and fold every finding into one deterministic
+//! [`Report`].
+//!
+//! Unlike [`dir_jobs`](crate::corpus::dir_jobs) — which feeds the
+//! synthesis engine and therefore requires flat CSG — the lint scan
+//! accepts *any* parseable [`Cad`] (structured programs are still worth
+//! linting for degenerate geometry) and turns parse/translation
+//! failures into **SZL200** deny findings instead of skips: a corpus
+//! gate must fail on a file the batch pipeline would silently drop.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use sz_cad::Cad;
+use sz_lint::{lint_cad, lint_ruleset, Diagnostic, Report, Severity};
+use szalinski::all_rules;
+
+/// Lints the full built-in rule set (base + structural boolean rules —
+/// the superset every `szb` run draws from), including each rule's
+/// compiled e-matching program. The result is cached nowhere: linting
+/// 34 rules is milliseconds.
+pub fn lint_rules() -> Report {
+    lint_ruleset(&all_rules())
+}
+
+/// Lints the inputs of the paper's 16-model Table-1 suite, in paper
+/// order.
+pub fn lint_suite16() -> Report {
+    let mut report = Report::new();
+    for model in sz_models::all_models() {
+        report.extend(lint_cad(model.name, &model.flat));
+    }
+    report
+}
+
+/// Lints every `.scad`/`.csexp` file in `dir` (non-recursive), sorted
+/// by file name so the report is deterministic. Unreadable or
+/// unparseable files become **SZL200** deny findings located at
+/// `input:<file-name>`; parseable models (flat or not) run through
+/// [`lint_cad`].
+pub fn lint_dir(dir: &Path) -> io::Result<Report> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|e| e.to_str()),
+                Some("scad") | Some("csexp")
+            )
+        })
+        .collect();
+    paths.sort();
+
+    let mut report = Report::new();
+    for path in paths {
+        let name = path
+            .file_name()
+            .map(|f| f.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let mut unloadable = |reason: String| {
+            report.push(Diagnostic::new(
+                Severity::Deny,
+                "SZL200",
+                format!("input:{name}"),
+                reason,
+            ));
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                unloadable(format!("read error: {e}"));
+                continue;
+            }
+        };
+        let cad: Cad = match path.extension().and_then(|e| e.to_str()) {
+            Some("scad") => match sz_scad::scad_to_flat_csg(&text) {
+                Ok(flat) => flat,
+                Err(e) => {
+                    unloadable(format!("OpenSCAD translation failed: {e}"));
+                    continue;
+                }
+            },
+            Some("csexp") => match text.trim().parse() {
+                Ok(cad) => cad,
+                Err(e) => {
+                    unloadable(format!("CSG parse failed: {e}"));
+                    continue;
+                }
+            },
+            _ => unreachable!("filtered above"),
+        };
+        report.extend(lint_cad(&name, &cad));
+    }
+    Ok(report)
+}
+
+const LINT_USAGE: &str = "\
+{prog} — static analysis: rewrite rules, e-match programs, CAD inputs
+
+USAGE:
+    {prog} [--json] [--rules] [--suite16] [<DIR>...]
+
+TARGETS (combinable; no target = --rules --suite16):
+    --rules                the built-in rule set (incl. structural boolean
+                           rules): binding soundness (SZL001), unused lhs
+                           variables (SZL002), duplicates (SZL003/004),
+                           inverse pairs (SZL005), expansive rules (SZL006),
+                           and each rule's compiled e-match program
+                           (SZL101-SZL104)
+    --suite16              the paper's 16-model corpus inputs (SZL2xx)
+    <DIR>                  every .scad/.csexp file in DIR, non-recursive;
+                           unparseable files are SZL200 deny findings
+
+OUTPUT:
+    --json                 one-line JSON report instead of text
+    --help                 show this text
+
+Findings have three severities; only deny findings gate:
+    deny   broken artifact (panics, miscomputes, degenerate geometry)
+    warn   suspicious but runnable (duplicates, empty operands)
+    info   expected structure kept for audit (inverse pairs, no-ops)
+
+EXIT CODE: 0 = no deny findings; 1 = deny findings; 2 = usage/IO error
+";
+
+/// The CLI shared by `szb lint` and the standalone `szlint` binary:
+/// parses `args` (everything after the subcommand/program name), runs
+/// the requested lints, prints one combined report to stdout (text or
+/// `--json`), and returns the gate's exit code — success exactly when
+/// no deny-level finding was reported.
+pub fn run_lint_cli(args: &[String], prog: &str) -> ExitCode {
+    let usage = || LINT_USAGE.replace("{prog}", prog);
+    let mut json = false;
+    let mut rules = false;
+    let mut suite16 = false;
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--rules" => rules = true,
+            "--suite16" => suite16 = true,
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => dirs.push(PathBuf::from(other)),
+            other => {
+                eprintln!("{prog}: unknown argument: {other}");
+                eprint!("{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Bare invocation lints the whole built-in surface — what CI pins.
+    if !rules && !suite16 && dirs.is_empty() {
+        rules = true;
+        suite16 = true;
+    }
+
+    let mut report = Report::new();
+    if rules {
+        report.extend(lint_rules());
+    }
+    if suite16 {
+        report.extend(lint_suite16());
+    }
+    for dir in &dirs {
+        match lint_dir(dir) {
+            Ok(r) => report.extend(r),
+            Err(e) => {
+                eprintln!("{prog}: cannot scan {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_rules_have_no_deny_findings() {
+        let report = lint_rules();
+        assert!(report.is_clean(), "{}", report.render_text());
+        // The audit trail is non-empty: comm/reorder rules pair up as
+        // inverses and annihilation rules drop lhs variables.
+        assert!(report.warn_count() + report.info_count() > 0);
+    }
+
+    #[test]
+    fn suite16_inputs_have_no_deny_findings() {
+        let report = lint_suite16();
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn dir_lint_reports_parse_failures_as_szl200() {
+        let dir = std::env::temp_dir().join("sz_batch_lint_dir_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("broken.csexp"), "(Union Unit").unwrap();
+        std::fs::write(dir.join("zero.csexp"), "(Scale 0 1 1 Unit)").unwrap();
+        // Structured (non-flat) input still lints — dir_jobs would skip it.
+        std::fs::write(dir.join("looped.csexp"), "(Repeat Unit 3)").unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not a model").unwrap();
+
+        let report = lint_dir(&dir).unwrap();
+        let codes: Vec<(&str, &str)> = report
+            .diagnostics
+            .iter()
+            .map(|d| (d.code, d.location.as_str()))
+            .collect();
+        // Sorted by file name: broken < looped < zero.
+        assert_eq!(
+            codes,
+            [
+                ("SZL200", "input:broken.csexp"),
+                ("SZL202", "input:zero.csexp"),
+            ],
+            "{}",
+            report.render_text()
+        );
+        assert_eq!(report.deny_count(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

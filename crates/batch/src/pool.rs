@@ -22,7 +22,7 @@ pub struct TaskPanic {
     pub message: String,
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> TaskPanic {
+fn panic_message(payload: &dyn std::any::Any) -> TaskPanic {
     let message = if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -77,7 +77,8 @@ where
                 });
                 match next {
                     Some((i, task)) => {
-                        let result = catch_unwind(AssertUnwindSafe(task)).map_err(panic_message);
+                        let result =
+                            catch_unwind(AssertUnwindSafe(task)).map_err(|p| panic_message(&*p));
                         // The receiver lives until the scope ends, so a
                         // send can only fail if the main thread panicked;
                         // nothing useful to do then.
@@ -161,7 +162,7 @@ mod tests {
             .collect();
         let results = run_tasks(tasks, 4);
         assert_eq!(results.len(), 32);
-        assert!(results.iter().all(|r| r.is_ok()));
+        assert!(results.iter().all(Result::is_ok));
     }
 
     #[test]

@@ -178,11 +178,11 @@ pub fn summary_record(report: &BatchReport) -> String {
         ),
         (
             "search_time_s".to_owned(),
-            json_f64(report.outcomes.iter().map(|o| o.search_time_s()).sum()),
+            json_f64(report.outcomes.iter().map(JobOutcome::search_time_s).sum()),
         ),
         (
             "apply_time_s".to_owned(),
-            json_f64(report.outcomes.iter().map(|o| o.apply_time_s()).sum()),
+            json_f64(report.outcomes.iter().map(JobOutcome::apply_time_s).sum()),
         ),
         ("jobs_per_s".to_owned(), json_f64(report.throughput())),
         (

@@ -69,7 +69,7 @@ fn batch_output_is_byte_identical_to_sequential_pipeline() {
 #[test]
 fn warm_cache_rerun_is_identical_with_zero_iterations() {
     let cache = Arc::new(Mutex::new(ResultCache::new()));
-    let engine = BatchEngine::new().with_workers(2).with_cache(cache.clone());
+    let engine = BatchEngine::new().with_workers(2).with_cache(cache);
 
     let cold = engine.run(suite16_jobs(&quick()));
     assert_eq!(cold.cache_hits(), 0);

@@ -18,7 +18,7 @@ fn bench_insertion(c: &mut Criterion) {
             black_box(eg.add_expr(&expr));
             eg.rebuild();
             black_box(eg.total_number_of_nodes())
-        })
+        });
     });
 }
 
@@ -48,7 +48,7 @@ fn congruence_workload(eager: bool) -> usize {
 fn bench_rebuild_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("egraph/rebuild");
     group.bench_function("batched", |b| {
-        b.iter(|| black_box(congruence_workload(false)))
+        b.iter(|| black_box(congruence_workload(false)));
     });
     group.bench_function("eager", |b| b.iter(|| black_box(congruence_workload(true))));
     group.finish();
@@ -69,14 +69,14 @@ fn bench_extraction(c: &mut Criterion) {
         b.iter(|| {
             let ex = Extractor::new(&eg, AstSize);
             black_box(ex.find_best(root).0)
-        })
+        });
     });
     for k in [1usize, 5, 10] {
         group.bench_function(format!("k_best_{k}"), |b| {
             b.iter(|| {
                 let kb = KBestExtractor::new(&eg, ModelCost(CostKind::AstSize.model()), k);
                 black_box(kb.find_best_k(root).len())
-            })
+            });
         });
     }
     group.bench_function("pareto_size_x_geom", |b| {
@@ -87,7 +87,7 @@ fn bench_extraction(c: &mut Criterion) {
                 ModelCost(Arc::new(GeomCount)),
             );
             black_box(pareto.find_front(root).len())
-        })
+        });
     });
     group.finish();
 }

@@ -8,7 +8,9 @@ use sz_models::{add_noise, gear, row_of_cubes};
 use szalinski::{RunOptions, SynthConfig, Synthesizer};
 
 fn config() -> SynthConfig {
-    SynthConfig::new().with_iter_limit(40).with_node_limit(60_000)
+    SynthConfig::new()
+        .with_iter_limit(40)
+        .with_node_limit(60_000)
 }
 
 fn session() -> Synthesizer {
@@ -21,7 +23,11 @@ fn bench_noise_sweep(c: &mut Criterion) {
     let clean = row_of_cubes(8, 2.0);
     for amp in [0.0, 1e-4, 5e-4, 2e-3, 1e-2] {
         let noisy = add_noise(&clean, amp, 11);
-        let found = session().run(&noisy, RunOptions::new()).unwrap().structured().is_some();
+        let found = session()
+            .run(&noisy, RunOptions::new())
+            .unwrap()
+            .structured()
+            .is_some();
         println!("noise amplitude {amp:>7}: structure recovered = {found}");
     }
 
@@ -31,7 +37,7 @@ fn bench_noise_sweep(c: &mut Criterion) {
         let noisy = add_noise(&clean, amp, 11);
         let session = session();
         group.bench_function(format!("amp_{amp}"), |b| {
-            b.iter(|| black_box(session.run(&noisy, RunOptions::new()).unwrap()))
+            b.iter(|| black_box(session.run(&noisy, RunOptions::new()).unwrap()));
         });
     }
     group.finish();
@@ -43,11 +49,10 @@ fn bench_noisy_gear(c: &mut Criterion) {
     group.sample_size(10);
     let session = session();
     group.bench_function("noisy", |b| {
-        b.iter(|| black_box(session.run(&noisy, RunOptions::new()).unwrap()))
+        b.iter(|| black_box(session.run(&noisy, RunOptions::new()).unwrap()));
     });
     group.finish();
 }
-
 
 /// Fast Criterion settings so the whole suite runs in minutes.
 fn quick() -> Criterion {
@@ -57,7 +62,7 @@ fn quick() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_noise_sweep, bench_noisy_gear

@@ -21,7 +21,7 @@ fn bench_structural_rules_ablation(c: &mut Criterion) {
             .with_structural_rules(on);
         let session = Synthesizer::new(cfg);
         group.bench_function(if on { "on" } else { "off" }, |b| {
-            b.iter(|| black_box(session.run(&flat, RunOptions::new()).unwrap()))
+            b.iter(|| black_box(session.run(&flat, RunOptions::new()).unwrap()));
         });
     }
     group.finish();
@@ -38,7 +38,7 @@ fn bench_fuel(c: &mut Criterion) {
             .with_main_loop_fuel(fuel);
         let session = Synthesizer::new(cfg);
         group.bench_function(format!("fuel_{fuel}"), |b| {
-            b.iter(|| black_box(session.run(&flat, RunOptions::new()).unwrap()))
+            b.iter(|| black_box(session.run(&flat, RunOptions::new()).unwrap()));
         });
     }
     group.finish();
@@ -69,7 +69,7 @@ fn bench_cost_functions(c: &mut Criterion) {
             .with_cost_model(Arc::clone(&model));
         let session = Synthesizer::new(cfg);
         group.bench_function(name, |b| {
-            b.iter(|| black_box(session.run(&flat, RunOptions::new()).unwrap()))
+            b.iter(|| black_box(session.run(&flat, RunOptions::new()).unwrap()));
         });
     }
     group.finish();
@@ -90,13 +90,13 @@ fn bench_listmanip_and_inference(c: &mut Criterion) {
         b.iter(|| {
             let mut eg = eg.clone();
             black_box(list_manipulation(&mut eg))
-        })
+        });
     });
     group.bench_function("infer_functions", |b| {
         b.iter(|| {
             let mut eg = eg.clone();
             black_box(infer_functions(&mut eg, 1e-3).len())
-        })
+        });
     });
     group.finish();
 }

@@ -29,12 +29,11 @@ fn bench_rule_families(c: &mut Criterion) {
                     .with_node_limit(50_000)
                     .run(&ruleset);
                 black_box(runner.egraph.total_number_of_nodes())
-            })
+            });
         });
     }
     group.finish();
 }
-
 
 /// Fast Criterion settings so the whole suite runs in minutes.
 fn quick() -> Criterion {
@@ -44,7 +43,7 @@ fn quick() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_rule_families

@@ -29,19 +29,19 @@ fn bench_fitters(c: &mut Criterion) {
     for n in [8usize, 60] {
         group.bench_function(format!("poly1_n{n}"), |b| {
             let v = linear(n);
-            b.iter(|| black_box(fit_poly1(&v, 1e-3)))
+            b.iter(|| black_box(fit_poly1(&v, 1e-3)));
         });
         group.bench_function(format!("poly2_n{n}"), |b| {
             let v = quadratic(n);
-            b.iter(|| black_box(fit_poly2(&v, 1e-3)))
+            b.iter(|| black_box(fit_poly2(&v, 1e-3)));
         });
         group.bench_function(format!("trig_n{n}"), |b| {
             let v = sine(n);
-            b.iter(|| black_box(fit_trig(&v, 1e-3)))
+            b.iter(|| black_box(fit_trig(&v, 1e-3)));
         });
         group.bench_function(format!("selection_n{n}"), |b| {
             let v = sine(n);
-            b.iter(|| black_box(fit_sequence(&v, 1e-3)))
+            b.iter(|| black_box(fit_sequence(&v, 1e-3)));
         });
     }
     group.finish();
@@ -62,12 +62,11 @@ fn bench_eps_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("eps_sweep");
     for eps in [1e-5f64, 1e-3, 1e-1] {
         group.bench_function(format!("eps_{eps}"), |b| {
-            b.iter(|| black_box(fit_sequence(&noisy, eps)))
+            b.iter(|| black_box(fit_sequence(&noisy, eps)));
         });
     }
     group.finish();
 }
-
 
 /// Fast Criterion settings so the whole suite runs in minutes.
 fn quick() -> Criterion {
@@ -77,7 +76,7 @@ fn quick() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_fitters, bench_eps_sweep

@@ -25,7 +25,7 @@ fn bench_models(c: &mut Criterion) {
             .expect("model exists");
         let session = Synthesizer::new(table1_config());
         group.bench_function(name, |b| {
-            b.iter(|| black_box(session.run(&model.flat, RunOptions::new()).unwrap()))
+            b.iter(|| black_box(session.run(&model.flat, RunOptions::new()).unwrap()));
         });
     }
     group.finish();
@@ -40,12 +40,11 @@ fn bench_gear_scaling(c: &mut Criterion) {
         let flat = sz_models::gear(n);
         let session = Synthesizer::new(sz_bench::quick_config());
         group.bench_function(format!("gear_{n}"), |b| {
-            b.iter(|| black_box(session.run(&flat, RunOptions::new()).unwrap()))
+            b.iter(|| black_box(session.run(&flat, RunOptions::new()).unwrap()));
         });
     }
     group.finish();
 }
-
 
 /// Fast Criterion settings so the whole suite runs in minutes.
 fn quick() -> Criterion {
@@ -55,7 +54,7 @@ fn quick() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_models, bench_gear_scaling

@@ -48,11 +48,7 @@ pub enum AffineKind {
 
 impl AffineKind {
     /// All kinds, for exhaustive testing.
-    pub const ALL: [AffineKind; 3] = [
-        AffineKind::Translate,
-        AffineKind::Scale,
-        AffineKind::Rotate,
-    ];
+    pub const ALL: [AffineKind; 3] = [AffineKind::Translate, AffineKind::Scale, AffineKind::Rotate];
 
     /// The kind's surface name (`Translate`, `Scale`, `Rotate`).
     pub fn name(self) -> &'static str {

@@ -37,7 +37,11 @@ impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::UnboundIndex(d) => {
-                write!(f, "index variable {} is unbound here", ["i", "j", "k"][*d as usize % 3])
+                write!(
+                    f,
+                    "index variable {} is unbound here",
+                    ["i", "j", "k"][*d as usize % 3]
+                )
             }
             EvalError::UnboundParam => write!(f, "parameter `c` used outside a Mapi body"),
             EvalError::StrayFun => write!(f, "`Fun` must be the first argument of `Mapi`"),
@@ -301,17 +305,13 @@ mod tests {
     #[test]
     fn fold_unrolls_right_nested() {
         let flat = eval("(Fold Union Empty (Cons Unit (Cons Sphere (Cons Hexagon Nil))))");
-        assert_eq!(
-            flat.to_string(),
-            "(Union Unit (Union Sphere Hexagon))"
-        );
+        assert_eq!(flat.to_string(), "(Union Unit (Union Sphere Hexagon))");
     }
 
     #[test]
     fn mapi_binds_index_and_param() {
-        let flat = eval(
-            "(Fold Union Empty (Mapi (Fun (Translate (* 2 (+ i 1)) 0 0 c)) (Repeat Unit 5)))",
-        );
+        let flat =
+            eval("(Fold Union Empty (Mapi (Fun (Translate (* 2 (+ i 1)) 0 0 c)) (Repeat Unit 5)))");
         assert_eq!(flat.num_prims(), 5);
         let s = flat.to_string();
         assert!(s.contains("(Translate 2 0 0 Unit)"));
@@ -362,13 +362,25 @@ mod tests {
     #[test]
     fn error_cases() {
         assert_eq!(eval_err("c"), EvalError::UnboundParam);
-        assert_eq!(eval_err("(Translate i 0 0 Unit)"), EvalError::UnboundIndex(0));
-        assert_eq!(eval_err("(Union Nil Unit)"), EvalError::ExpectedSolid("boolean operand"));
-        assert_eq!(eval_err("(Fold Union Empty Unit)"), EvalError::ExpectedList("Fold list"));
+        assert_eq!(
+            eval_err("(Translate i 0 0 Unit)"),
+            EvalError::UnboundIndex(0)
+        );
+        assert_eq!(
+            eval_err("(Union Nil Unit)"),
+            EvalError::ExpectedSolid("boolean operand")
+        );
+        assert_eq!(
+            eval_err("(Fold Union Empty Unit)"),
+            EvalError::ExpectedList("Fold list")
+        );
         assert_eq!(eval_err("(Repeat Unit 2.5)"), EvalError::BadCount(2.5));
         assert_eq!(eval_err("(Fun Unit)"), EvalError::StrayFun);
         assert_eq!(eval_err("(Mapi Unit Nil)"), EvalError::ExpectedFun);
-        assert_eq!(eval_err("(Translate (/ 1 0) 0 0 Unit)"), EvalError::DivByZero);
+        assert_eq!(
+            eval_err("(Translate (/ 1 0) 0 0 Unit)"),
+            EvalError::DivByZero
+        );
     }
 
     #[test]

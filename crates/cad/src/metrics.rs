@@ -111,10 +111,7 @@ mod tests {
     fn depths() {
         assert_eq!(parse("Unit").depth(), 1);
         assert_eq!(parse("(Union Unit (Translate 1 2 3 Unit))").depth(), 3);
-        assert_eq!(
-            parse("(Fold Union Empty (Cons Unit Nil))").depth(),
-            3
-        );
+        assert_eq!(parse("(Fold Union Empty (Cons Unit Nil))").depth(), 3);
     }
 
     #[test]

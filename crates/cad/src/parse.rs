@@ -187,10 +187,7 @@ pub fn cad_from_sexp(sexp: &Sexp) -> Result<Cad, CadParseError> {
                     _ => Err(CadParseError::new("`Concat` expects 2 arguments")),
                 },
                 "Repeat" => match rest {
-                    [c, n] => Ok(Cad::Repeat(
-                        Box::new(cad_from_sexp(c)?),
-                        expr_from_sexp(n)?,
-                    )),
+                    [c, n] => Ok(Cad::Repeat(Box::new(cad_from_sexp(c)?), expr_from_sexp(n)?)),
                     _ => Err(CadParseError::new("`Repeat` expects 2 arguments")),
                 },
                 "Mapi" => match rest {
@@ -226,10 +223,9 @@ pub fn cad_from_sexp(sexp: &Sexp) -> Result<Cad, CadParseError> {
                 }
                 "Fold" => match rest {
                     [op, init, list] => {
-                        let op = op
-                            .as_atom()
-                            .and_then(bool_op)
-                            .ok_or_else(|| CadParseError::new("`Fold` operator must be Union/Diff/Inter"))?;
+                        let op = op.as_atom().and_then(bool_op).ok_or_else(|| {
+                            CadParseError::new("`Fold` operator must be Union/Diff/Inter")
+                        })?;
                         Ok(Cad::Fold(
                             op,
                             Box::new(cad_from_sexp(init)?),
@@ -278,16 +274,14 @@ pub fn cad_to_sexp(cad: &Cad) -> Sexp {
             expr_to_sexp(&v.2),
             cad_to_sexp(c),
         ]),
-        Cad::Binop(op, a, b) => Sexp::list(vec![
-            Sexp::atom(op.name()),
-            cad_to_sexp(a),
-            cad_to_sexp(b),
-        ]),
-        Cad::Cons(h, t) => Sexp::list(vec![Sexp::atom("Cons"), cad_to_sexp(h), cad_to_sexp(t)]),
-        Cad::Concat(a, b) => {
-            Sexp::list(vec![Sexp::atom("Concat"), cad_to_sexp(a), cad_to_sexp(b)])
+        Cad::Binop(op, a, b) => {
+            Sexp::list(vec![Sexp::atom(op.name()), cad_to_sexp(a), cad_to_sexp(b)])
         }
-        Cad::Repeat(c, n) => Sexp::list(vec![Sexp::atom("Repeat"), cad_to_sexp(c), expr_to_sexp(n)]),
+        Cad::Cons(h, t) => Sexp::list(vec![Sexp::atom("Cons"), cad_to_sexp(h), cad_to_sexp(t)]),
+        Cad::Concat(a, b) => Sexp::list(vec![Sexp::atom("Concat"), cad_to_sexp(a), cad_to_sexp(b)]),
+        Cad::Repeat(c, n) => {
+            Sexp::list(vec![Sexp::atom("Repeat"), cad_to_sexp(c), expr_to_sexp(n)])
+        }
         Cad::Mapi(f, l) => Sexp::list(vec![Sexp::atom("Mapi"), cad_to_sexp(f), cad_to_sexp(l)]),
         Cad::Fun(body) => Sexp::list(vec![Sexp::atom("Fun"), cad_to_sexp(body)]),
         Cad::MapIdx(bounds, body) => {

@@ -33,11 +33,11 @@ impl LoopShape {
         match self {
             LoopShape::Repeat(n) | LoopShape::Single(n) => format!("n1,{n}"),
             LoopShape::Nested(bs) => {
-                let inner: Vec<String> = bs.iter().map(|b| b.to_string()).collect();
+                let inner: Vec<String> = bs.iter().map(ToString::to_string).collect();
                 format!("n{},{}", bs.len(), inner.join(","))
             }
             LoopShape::Irregular(sizes) => {
-                let inner: Vec<String> = sizes.iter().map(|s| s.to_string()).collect();
+                let inner: Vec<String> = sizes.iter().map(ToString::to_string).collect();
                 format!("irr,{}", inner.join("+"))
             }
         }

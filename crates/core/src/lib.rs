@@ -107,4 +107,5 @@ pub use report::{fit_tags, has_structure, loop_tags, TableRow};
 pub use rules::{all_rules, rules, structural_rules, CadRewrite};
 pub use session::{RunLimits, RunMode, RunOptions, Synthesizer};
 pub use sz_egraph::{CancelToken, ProgressObserver, RuleStat, StopReason};
+pub use sz_lint::{lint_ruleset, Diagnostic as LintDiagnostic, Report as LintReport};
 pub use sz_trace::{Metrics, Telemetry, Tracer};

@@ -273,6 +273,15 @@ pub enum SynthError {
     /// Extraction produced no program (cannot happen for well-formed
     /// inputs; reported instead of panicking for defense in depth).
     NoPrograms,
+    /// The rule set failed static analysis at compile time: the lint
+    /// report carries at least one deny-level finding (e.g. `SZL001`, an
+    /// RHS variable the LHS never binds — applying such a rule panics
+    /// mid-saturation). Raised by [`Synthesizer::try_new`]; the built-in
+    /// rule sets are lint-clean, so [`Synthesizer::new`] never sees it.
+    ///
+    /// [`Synthesizer::try_new`]: crate::Synthesizer::try_new
+    /// [`Synthesizer::new`]: crate::Synthesizer::new
+    RuleLint(Arc<sz_lint::Report>),
 }
 
 impl fmt::Display for SynthError {
@@ -282,6 +291,18 @@ impl fmt::Display for SynthError {
                 write!(f, "input is not a flat CSG (see Cad::is_flat_csg)")
             }
             SynthError::NoPrograms => write!(f, "extraction produced no programs"),
+            SynthError::RuleLint(report) => {
+                write!(
+                    f,
+                    "rule set failed static analysis ({} deny finding{}):",
+                    report.deny_count(),
+                    if report.deny_count() == 1 { "" } else { "s" },
+                )?;
+                for d in report.with_severity(sz_lint::Severity::Deny) {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -1450,12 +1471,7 @@ mod tests {
         );
         // A rule-set change is a saturation change: snapshot refused.
         assert_eq!(
-            resume_synthesize(
-                &flat,
-                &config.clone().with_structural_rules(true),
-                &snapshot
-            )
-            .unwrap_err(),
+            resume_synthesize(&flat, &config.with_structural_rules(true), &snapshot).unwrap_err(),
             ResumeError::ConfigMismatch
         );
     }
@@ -1614,8 +1630,7 @@ mod tests {
         // Core changes: not resumable at any fuel.
         assert!(!snapshot.supports_partial_resume(&low.clone().with_eps(1e-2).with_iter_limit(50)));
         // Multi-round configs never partially resume.
-        assert!(!snapshot
-            .supports_partial_resume(&low.clone().with_main_loop_fuel(2).with_iter_limit(50)));
+        assert!(!snapshot.supports_partial_resume(&low.with_main_loop_fuel(2).with_iter_limit(50)));
     }
 
     #[test]
@@ -1640,7 +1655,7 @@ mod tests {
             low.clone(),
             low.clone().with_iter_limit(5),
             low.clone().with_node_limit(5_000),
-            low.clone().with_eps(1e-2).with_iter_limit(50),
+            low.with_eps(1e-2).with_iter_limit(50),
         ] {
             assert_eq!(
                 phase.fits(&config),

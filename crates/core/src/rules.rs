@@ -49,6 +49,7 @@ fn dynamic(
         lhs.parse().expect("rule pattern must parse"),
         FnApplier(move |eg: &mut CadGraph, _id, subst: &Subst| f(eg, subst)),
     )
+    .expect("dynamic rule must validate")
 }
 
 /// If `v` is an axis-aligned rotation vector (at most one nonzero angle),

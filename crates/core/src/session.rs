@@ -38,6 +38,7 @@ use sz_cad::Cad;
 use sz_egraph::{
     CancelToken, ProgressObserver, RuleStat, Runner, Scheduler, Snapshot, SnapshotError, StopReason,
 };
+use sz_lint::Report;
 use sz_trace::Telemetry;
 
 use crate::analysis::{CadAnalysis, CadGraph};
@@ -249,14 +250,26 @@ impl std::fmt::Debug for RunOptions {
 /// `structural_rules` flag: every [`Synthesizer`] shares these, so
 /// pattern compilation happens once per process regardless of how many
 /// sessions (or batch jobs) are created.
-fn compiled_ruleset(structural: bool) -> Arc<[CadRewrite]> {
-    static BASE: OnceLock<Arc<[CadRewrite]>> = OnceLock::new();
-    static STRUCTURAL: OnceLock<Arc<[CadRewrite]>> = OnceLock::new();
-    if structural {
-        STRUCTURAL.get_or_init(|| all_rules().into()).clone()
-    } else {
-        BASE.get_or_init(|| base_rules().into()).clone()
-    }
+///
+/// The static lint analysis ([`sz_lint::lint_ruleset`]) runs once per
+/// cached set, at the same time the patterns compile, and its [`Report`]
+/// is cached alongside — so per-session construction pays neither
+/// compilation nor analysis.
+fn compiled_ruleset(structural: bool) -> (Arc<[CadRewrite]>, Arc<Report>) {
+    type CachedRuleset = (Arc<[CadRewrite]>, Arc<Report>);
+    static BASE: OnceLock<CachedRuleset> = OnceLock::new();
+    static STRUCTURAL: OnceLock<CachedRuleset> = OnceLock::new();
+    let cell = if structural { &STRUCTURAL } else { &BASE };
+    cell.get_or_init(|| {
+        let rules: Arc<[CadRewrite]> = if structural {
+            all_rules().into()
+        } else {
+            base_rules().into()
+        };
+        let report = Arc::new(sz_lint::lint_ruleset(&rules));
+        (rules, report)
+    })
+    .clone()
 }
 
 /// A reusable synthesis session: the paper's pipeline behind one
@@ -287,13 +300,41 @@ fn compiled_ruleset(structural: bool) -> Arc<[CadRewrite]> {
 pub struct Synthesizer {
     config: SynthConfig,
     ruleset: Arc<[CadRewrite]>,
+    lint: Arc<Report>,
 }
 
 impl Synthesizer {
     /// Builds a session for `config`, compiling/reusing its rule set.
+    ///
+    /// The rule set is statically analyzed once per process (see
+    /// [`Synthesizer::try_new`]); the built-in sets are lint-clean, so
+    /// this cannot fail.
     pub fn new(config: SynthConfig) -> Self {
-        let ruleset = compiled_ruleset(config.structural_rules);
-        Synthesizer { config, ruleset }
+        Self::try_new(config).expect("built-in rule sets are lint-clean")
+    }
+
+    /// Builds a session for `config`, compiling/reusing its rule set and
+    /// running the static rule analyzer ([`sz_lint::lint_ruleset`]) over
+    /// it — once per process, cached alongside the compiled patterns.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthError::RuleLint`] when the analysis carries any deny-level
+    /// finding (e.g. `SZL001`, an RHS variable the LHS never binds):
+    /// such a rule set would panic mid-saturation, so construction
+    /// refuses it up front with the full report attached. Warn/info
+    /// findings never fail construction; inspect them via
+    /// [`Synthesizer::lint_report`].
+    pub fn try_new(config: SynthConfig) -> Result<Self, SynthError> {
+        let (ruleset, lint) = compiled_ruleset(config.structural_rules);
+        if !lint.is_clean() {
+            return Err(SynthError::RuleLint(lint));
+        }
+        Ok(Synthesizer {
+            config,
+            ruleset,
+            lint,
+        })
     }
 
     /// The session's base configuration.
@@ -304,6 +345,15 @@ impl Synthesizer {
     /// Number of rewrite rules in the compiled rule set.
     pub fn rule_count(&self) -> usize {
         self.ruleset.len()
+    }
+
+    /// The static-analysis report for this session's rule set (shared,
+    /// process-wide, computed once at rule-compile time). Guaranteed free
+    /// of deny-level findings — construction fails otherwise — but the
+    /// warn/info findings (duplicate rules, inverse pairs, expansive
+    /// rules) are kept for audit; `szb lint --rules` prints them.
+    pub fn lint_report(&self) -> &Arc<Report> {
+        &self.lint
     }
 
     /// The session config with this run's [`RunLimits`] and pareto
@@ -899,6 +949,42 @@ mod tests {
     }
 
     #[test]
+    fn builtin_rulesets_are_lint_clean() {
+        // Both cached rule sets must construct through the checked path
+        // (deny findings would make `try_new` fail) and share one report
+        // per ruleset, computed once.
+        let base = Synthesizer::try_new(quick()).expect("base rules are lint-clean");
+        assert!(base.lint_report().is_clean());
+        let again = Synthesizer::new(quick());
+        assert!(Arc::ptr_eq(base.lint_report(), again.lint_report()));
+
+        let structural = Synthesizer::try_new(quick().with_structural_rules(true))
+            .expect("structural rules are lint-clean");
+        assert!(structural.lint_report().is_clean());
+        // The structural set carries the comm/assoc rules, which the
+        // analyzer flags info-level as self-inverse/expansive — kept for
+        // audit, never a construction failure.
+        assert!(structural.lint_report().info_count() > 0);
+    }
+
+    #[test]
+    fn rule_lint_error_displays_deny_findings() {
+        use sz_lint::{Diagnostic, Report, Severity};
+        let mut report = Report::new();
+        report.push(Diagnostic::new(
+            Severity::Deny,
+            "SZL001",
+            "rule:bad",
+            "rhs variable ?c is not bound by the lhs; applying this rule panics",
+        ));
+        let err = SynthError::RuleLint(Arc::new(report));
+        let text = err.to_string();
+        assert!(text.contains("1 deny finding"), "{text}");
+        assert!(text.contains("SZL001"), "{text}");
+        assert!(text.contains("rule:bad"), "{text}");
+    }
+
+    #[test]
     fn run_rejects_non_flat_input() {
         let looped: Cad = "(Repeat Unit 3)".parse().unwrap();
         let session = Synthesizer::new(quick());
@@ -947,7 +1033,7 @@ mod tests {
             .unwrap();
 
         let high_config = quick().with_iter_limit(40);
-        let high = Synthesizer::new(high_config.clone());
+        let high = Synthesizer::new(high_config);
         let cold = high.run(&flat, RunOptions::new()).unwrap();
         let resumed = high
             .run(&flat, RunOptions::new().with_snapshot(snapshot))
@@ -1002,12 +1088,13 @@ mod tests {
 
         // Wall times are leg-local and nondeterministic; the counts are
         // deterministic and must be lifetime totals.
-        let counts = |stats: &[RuleStat]| -> std::collections::BTreeMap<String, (usize, usize, usize)> {
-            stats
-                .iter()
-                .map(|s| (s.name.clone(), (s.matches, s.applied, s.times_banned)))
-                .collect()
-        };
+        let counts =
+            |stats: &[RuleStat]| -> std::collections::BTreeMap<String, (usize, usize, usize)> {
+                stats
+                    .iter()
+                    .map(|s| (s.name.clone(), (s.matches, s.applied, s.times_banned)))
+                    .collect()
+            };
         assert_eq!(counts(&resumed.rule_stats), counts(&cold.rule_stats));
         // And strictly more than the resumed leg alone searched: the low
         // leg's work is included.
@@ -1044,7 +1131,9 @@ mod tests {
         assert_eq!(count("extraction"), 1);
         assert_eq!(count("snapshot.capture"), 2, "sat-phase + final graph");
         // Runner spans rode along on the same tracer.
-        assert!(events.iter().any(|s| s.cat == "runner" && s.name == "iteration"));
+        assert!(events
+            .iter()
+            .any(|s| s.cat == "runner" && s.name == "iteration"));
         assert_eq!(
             telemetry.metrics.counter("run.mode.cold"),
             1,

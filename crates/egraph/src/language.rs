@@ -45,7 +45,7 @@ pub trait Language: fmt::Debug + Clone + Eq + Ord + Hash + Send + Sync + 'static
 
     /// Calls `f` on each child.
     fn for_each<F: FnMut(Id)>(&self, f: F) {
-        self.children().iter().copied().for_each(f)
+        self.children().iter().copied().for_each(f);
     }
 
     /// Returns a copy of this node with each child replaced by `f(child)`.

@@ -87,10 +87,12 @@ pub use extract::{
 };
 pub use id::Id;
 pub use language::{FromOpError, Language, Symbol};
-pub use machine::{compile_count, CompiledPattern, Program};
+pub use machine::{compile_count, CompiledPattern, InstView, Program, ProgramView};
 pub use pattern::{ENodeOrVar, Pattern, SearchMatches};
 pub use recexpr::{RecExpr, RecExprParseError};
-pub use rewrite::{Applier, ConditionalApplier, FnApplier, Rewrite, Searcher};
+pub use rewrite::{
+    Applier, ConditionalApplier, FnApplier, Rewrite, RewriteError, RewriteErrorKind, Searcher,
+};
 pub use runner::{
     CancelToken, Iteration, ProgressObserver, RuleIteration, RuleStat, Runner, StopReason,
 };

@@ -145,6 +145,42 @@ impl<L: Language> Program<L> {
         self.subst.iter().map(|&(v, _)| v).collect()
     }
 
+    /// A language-erased view of the instruction stream, for static
+    /// analysis and diagnostics (see `sz-lint`'s program verifier).
+    ///
+    /// The view carries everything an abstract interpreter needs — operator
+    /// names and arities, register indices, ground-table contents, the
+    /// substitution template — without exposing (or depending on) the
+    /// concrete [`Language`].
+    pub fn view(&self) -> ProgramView {
+        ProgramView {
+            insts: self
+                .insts
+                .iter()
+                .map(|inst| match inst {
+                    Instruction::Bind { node, i, out } => InstView::Bind {
+                        op: node.op_name(),
+                        arity: node.children().len(),
+                        i: *i,
+                        out: *out,
+                    },
+                    Instruction::Compare { i, j } => InstView::Compare { i: *i, j: *j },
+                    Instruction::Lookup { ground, i } => InstView::Lookup {
+                        ground: *ground,
+                        i: *i,
+                    },
+                })
+                .collect(),
+            ground: self.ground.iter().map(ToString::to_string).collect(),
+            subst: self
+                .subst
+                .iter()
+                .map(|&(v, r)| (v.to_string(), r))
+                .collect(),
+            root_op: self.root_op.as_ref().map(Language::op_name),
+        }
+    }
+
     /// Number of instructions (diagnostics and tests).
     pub fn len(&self) -> usize {
         self.insts.len()
@@ -221,6 +257,57 @@ impl<L: Language> Program<L> {
             }
         }
     }
+}
+
+/// One instruction of a [`ProgramView`]: the language-erased shape of
+/// [`Instruction`], with operators reduced to `(name, arity)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstView {
+    /// Enumerate e-nodes of class `regs[i]` with the given operator,
+    /// writing `arity` children into `regs[out..]`.
+    Bind {
+        /// The operator name ([`Language::op_name`]).
+        op: String,
+        /// The operator's child count.
+        arity: usize,
+        /// Input register holding the class to enumerate.
+        i: usize,
+        /// First output register; the candidate's children land in
+        /// `out..out + arity` and registers past that become undefined.
+        out: usize,
+    },
+    /// Require `regs[i]` and `regs[j]` to name the same e-class.
+    Compare {
+        /// First register.
+        i: usize,
+        /// Second register.
+        j: usize,
+    },
+    /// Require `regs[i]` to be the class of ground term `ground`.
+    Lookup {
+        /// Index into the ground-term table.
+        ground: usize,
+        /// Register to check.
+        i: usize,
+    },
+}
+
+/// A language-erased snapshot of a [`Program`], produced by
+/// [`Program::view`].
+///
+/// All fields are public so external verifiers can both inspect real
+/// programs and hand-construct corrupted ones for fixture tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramView {
+    /// The instruction stream, in execution order.
+    pub insts: Vec<InstView>,
+    /// Rendered ground terms (the `Lookup` table).
+    pub ground: Vec<String>,
+    /// `(variable, register)` substitution template in first-occurrence
+    /// order; variables are rendered with their `?` sigil.
+    pub subst: Vec<(String, usize)>,
+    /// The root operator name, or `None` for a bare-variable pattern.
+    pub root_op: Option<String>,
 }
 
 /// A [`Pattern`] together with its compiled [`Program`]: the default
@@ -336,6 +423,10 @@ impl<L: Language, N: Analysis<L>> Searcher<L, N> for CompiledPattern<L> {
     fn vars(&self) -> Vec<Var> {
         self.program.vars()
     }
+
+    fn as_compiled(&self) -> Option<&CompiledPattern<L>> {
+        Some(self)
+    }
 }
 
 impl<L: Language> fmt::Display for CompiledPattern<L> {
@@ -404,7 +495,7 @@ mod tests {
     fn bare_variable_matches_every_class() {
         let eg = graph(&["(+ 1 2)"]);
         let p: Pattern<Arith> = "?x".parse().unwrap();
-        let compiled = CompiledPattern::compile(p.clone());
+        let compiled = CompiledPattern::compile(p);
         let vm = Searcher::<Arith, ()>::search(&compiled, &eg);
         assert_eq!(vm.len(), eg.number_of_classes());
         assert_same("?x", &eg);

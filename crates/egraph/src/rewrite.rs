@@ -7,9 +7,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-#[cfg(not(feature = "naive-ematch"))]
-use crate::CompiledPattern;
-use crate::{Analysis, EGraph, Id, Language, Pattern, SearchMatches, Subst, Var};
+use crate::{Analysis, CompiledPattern, EGraph, Id, Language, Pattern, SearchMatches, Subst, Var};
 
 /// The left-hand side of a [`Rewrite`]: finds every match of some pattern
 /// in the e-graph.
@@ -31,6 +29,17 @@ pub trait Searcher<L: Language, N: Analysis<L>> {
     /// The pattern variables this searcher binds, in first-occurrence
     /// order.
     fn vars(&self) -> Vec<Var>;
+
+    /// Downcast hook: the compiled e-matching program behind this searcher,
+    /// if there is one.
+    ///
+    /// [`CompiledPattern`] returns `Some(self)`; every other implementation
+    /// (including the naive [`Pattern`]) returns `None`. Static analyzers
+    /// (`sz-lint`) use this to inspect a rule's Bind/Compare/Lookup stream
+    /// without recompiling the pattern.
+    fn as_compiled(&self) -> Option<&CompiledPattern<L>> {
+        None
+    }
 }
 
 impl<L: Language, N: Analysis<L>> Searcher<L, N> for Pattern<L> {
@@ -53,6 +62,23 @@ pub trait Applier<L: Language, N: Analysis<L>> {
     /// Applies this applier to one match, returning the ids of classes that
     /// were newly unioned (for saturation detection).
     fn apply_one(&self, egraph: &mut EGraph<L, N>, eclass: Id, subst: &Subst) -> Vec<Id>;
+
+    /// The pattern variables this applier reads from the substitution, or
+    /// `None` when the set is not statically known (dynamic Rust appliers).
+    ///
+    /// [`Rewrite::new`] rejects rules whose known applier variables are not
+    /// all bound by the searcher; `None` opts out of that check.
+    fn vars(&self) -> Option<Vec<Var>> {
+        None
+    }
+
+    /// The right-hand-side pattern, when this applier is purely syntactic.
+    ///
+    /// Static analysis uses this for duplicate/inverse/expansivity checks;
+    /// dynamic appliers return `None` and are treated as opaque.
+    fn rhs_pattern(&self) -> Option<&Pattern<L>> {
+        None
+    }
 }
 
 impl<L: Language, N: Analysis<L>> Applier<L, N> for Pattern<L> {
@@ -64,6 +90,14 @@ impl<L: Language, N: Analysis<L>> Applier<L, N> for Pattern<L> {
         } else {
             vec![]
         }
+    }
+
+    fn vars(&self) -> Option<Vec<Var>> {
+        Some(Pattern::vars(self))
+    }
+
+    fn rhs_pattern(&self) -> Option<&Pattern<L>> {
+        Some(self)
     }
 }
 
@@ -119,6 +153,41 @@ where
     }
 }
 
+/// Why a [`Rewrite`] could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RewriteError {
+    /// The name of the offending rule.
+    pub rule: String,
+    /// What went wrong.
+    pub kind: RewriteErrorKind,
+}
+
+/// The specific defect behind a [`RewriteError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteErrorKind {
+    /// The left-hand-side pattern failed to parse.
+    LhsParse(String),
+    /// The right-hand-side pattern failed to parse.
+    RhsParse(String),
+    /// The right-hand side uses a variable the left-hand side never binds;
+    /// applying such a rule would panic mid-saturation.
+    UnboundRhsVar(Var),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            RewriteErrorKind::LhsParse(e) => write!(f, "{}: lhs: {e}", self.rule),
+            RewriteErrorKind::RhsParse(e) => write!(f, "{}: rhs: {e}", self.rule),
+            RewriteErrorKind::UnboundRhsVar(v) => {
+                write!(f, "{}: rhs variable {v} unbound by lhs", self.rule)
+            }
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
 /// A named rewrite rule `lhs ⇝ rhs`.
 ///
 /// # Examples
@@ -168,7 +237,8 @@ impl<L: Language, N: Analysis<L>> fmt::Debug for Rewrite<L, N> {
 }
 
 impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
-    /// Creates a rewrite from a searcher pattern and any applier.
+    /// Creates a rewrite from a searcher pattern and any applier, rejecting
+    /// rules that would panic at apply time.
     ///
     /// The pattern is compiled once into an e-matching
     /// [`Program`](crate::Program) here; saturation then executes the
@@ -176,7 +246,41 @@ impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
     /// with the `naive-ematch` feature switches every rewrite back to the
     /// naive reference matcher (for differential testing and debugging —
     /// results must be identical, only slower).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RewriteErrorKind::UnboundRhsVar`] when the applier's
+    /// statically known variables ([`Applier::vars`]) are not all bound by
+    /// the searcher — previously such a rule was accepted here and panicked
+    /// later, mid-saturation, inside
+    /// [`Pattern::instantiate`](crate::Pattern::instantiate). Appliers
+    /// whose variable set is unknown (`Applier::vars() == None`, e.g.
+    /// [`FnApplier`]) are not checked.
     pub fn new(
+        name: impl Into<String>,
+        searcher: Pattern<L>,
+        applier: impl Applier<L, N> + Send + Sync + 'static,
+    ) -> Result<Self, RewriteError> {
+        let name = name.into();
+        if let Some(used) = applier.vars() {
+            let bound = searcher.vars();
+            if let Some(&v) = used.iter().find(|v| !bound.contains(v)) {
+                return Err(RewriteError {
+                    rule: name,
+                    kind: RewriteErrorKind::UnboundRhsVar(v),
+                });
+            }
+        }
+        Ok(Rewrite::new_unchecked(name, searcher, applier))
+    }
+
+    /// Creates a rewrite without checking the applier's variables against
+    /// the searcher.
+    ///
+    /// Escape hatch for dynamic appliers that resolve variables through
+    /// other means; a rule built here with a genuinely unbound RHS variable
+    /// will still panic at apply time. Prefer [`Rewrite::new`].
+    pub fn new_unchecked(
         name: impl Into<String>,
         searcher: Pattern<L>,
         applier: impl Applier<L, N> + Send + Sync + 'static,
@@ -216,16 +320,20 @@ impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
     ///
     /// Returns an error if either side fails to parse, or if the right-hand
     /// side uses a variable the left-hand side does not bind.
-    pub fn parse(name: &str, lhs: &str, rhs: &str) -> Result<Self, String> {
-        let searcher: Pattern<L> = lhs.parse().map_err(|e| format!("{name}: lhs: {e}"))?;
-        let applier: Pattern<L> = rhs.parse().map_err(|e| format!("{name}: rhs: {e}"))?;
-        let bound = searcher.vars();
-        for v in applier.vars() {
-            if !bound.contains(&v) {
-                return Err(format!("{name}: rhs variable {v} unbound by lhs"));
-            }
-        }
-        Ok(Rewrite::new(name, searcher, applier))
+    pub fn parse(name: &str, lhs: &str, rhs: &str) -> Result<Self, RewriteError> {
+        let searcher: Pattern<L> =
+            lhs.parse()
+                .map_err(|e: crate::RecExprParseError| RewriteError {
+                    rule: name.to_owned(),
+                    kind: RewriteErrorKind::LhsParse(e.to_string()),
+                })?;
+        let applier: Pattern<L> =
+            rhs.parse()
+                .map_err(|e: crate::RecExprParseError| RewriteError {
+                    rule: name.to_owned(),
+                    kind: RewriteErrorKind::RhsParse(e.to_string()),
+                })?;
+        Rewrite::new(name, searcher, applier)
     }
 
     /// The rule's name.
@@ -237,6 +345,25 @@ impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
     /// matcher via [`Pattern::search`]).
     pub fn searcher(&self) -> &Pattern<L> {
         &self.lhs
+    }
+
+    /// The applier's statically known variables, or `None` for dynamic
+    /// appliers (see [`Applier::vars`]).
+    pub fn applier_vars(&self) -> Option<Vec<Var>> {
+        self.applier.vars()
+    }
+
+    /// The right-hand-side pattern, when the rule is purely syntactic (see
+    /// [`Applier::rhs_pattern`]).
+    pub fn rhs_pattern(&self) -> Option<&Pattern<L>> {
+        self.applier.rhs_pattern()
+    }
+
+    /// The compiled e-matching program driving this rule's searches, or
+    /// `None` under the `naive-ematch` feature (see
+    /// [`Searcher::as_compiled`]).
+    pub fn compiled(&self) -> Option<&CompiledPattern<L>> {
+        self.searcher.as_compiled()
     }
 
     /// Runs the live searcher (compiled by default) over the e-graph.
@@ -265,7 +392,60 @@ mod tests {
     #[test]
     fn parse_checks_rhs_vars() {
         let err = Rewrite::<Arith, ()>::parse("bad", "(+ ?a ?b)", "(+ ?a ?c)").unwrap_err();
-        assert!(err.contains("?c"));
+        assert_eq!(
+            err.kind,
+            RewriteErrorKind::UnboundRhsVar("?c".parse().unwrap())
+        );
+        assert_eq!(err.to_string(), "bad: rhs variable ?c unbound by lhs");
+    }
+
+    #[test]
+    fn new_checks_applier_vars() {
+        // Same defect as `parse_checks_rhs_vars`, but through the pattern
+        // constructor that previously deferred the failure to apply time.
+        let err = Rewrite::<Arith, ()>::new(
+            "bad",
+            "(+ ?a ?b)".parse().unwrap(),
+            "(* ?a ?c)".parse::<Pattern<Arith>>().unwrap(),
+        )
+        .unwrap_err();
+        assert_eq!(err.rule, "bad");
+        assert_eq!(
+            err.kind,
+            RewriteErrorKind::UnboundRhsVar("?c".parse().unwrap())
+        );
+    }
+
+    #[test]
+    fn new_unchecked_still_accepts_unbound_rhs() {
+        let rule = Rewrite::<Arith, ()>::new_unchecked(
+            "escape",
+            "(+ ?a ?b)".parse().unwrap(),
+            "(* ?a ?c)".parse::<Pattern<Arith>>().unwrap(),
+        );
+        assert_eq!(rule.name(), "escape");
+        assert_eq!(rule.applier_vars().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn introspection_accessors() {
+        let rule: Rewrite<Arith, ()> = Rewrite::parse("comm", "(+ ?a ?b)", "(+ ?b ?a)").unwrap();
+        assert_eq!(rule.rhs_pattern().unwrap().to_string(), "(+ ?b ?a)");
+        assert_eq!(rule.applier_vars().unwrap().len(), 2);
+        #[cfg(not(feature = "naive-ematch"))]
+        assert!(rule.compiled().is_some());
+        #[cfg(feature = "naive-ematch")]
+        assert!(rule.compiled().is_none());
+
+        // Dynamic appliers are opaque.
+        let dynamic: Rewrite<Arith, ()> = Rewrite::new(
+            "dyn",
+            "(+ ?a ?b)".parse().unwrap(),
+            FnApplier(|_: &mut EGraph<Arith, ()>, _, _: &Subst| None),
+        )
+        .unwrap();
+        assert!(dynamic.applier_vars().is_none());
+        assert!(dynamic.rhs_pattern().is_none());
     }
 
     #[test]
@@ -294,7 +474,8 @@ mod tests {
                 let two = eg.add(Arith::Num(2));
                 Some(eg.add(Arith::Mul([two, a])))
             }),
-        );
+        )
+        .unwrap();
         let mut eg: EGraph<Arith, ()> = EGraph::default();
         let a = eg.add_expr(&"(+ x x)".parse().unwrap());
         eg.rebuild();
@@ -312,7 +493,7 @@ mod tests {
             applier: "(+ ?b ?a)".parse::<Pattern<Arith>>().unwrap(),
         };
         let rule: Rewrite<Arith, ()> =
-            Rewrite::new("never", "(+ ?a ?b)".parse().unwrap(), always_false);
+            Rewrite::new("never", "(+ ?a ?b)".parse().unwrap(), always_false).unwrap();
         let mut eg: EGraph<Arith, ()> = EGraph::default();
         eg.add_expr(&"(+ 1 2)".parse().unwrap());
         eg.rebuild();

@@ -308,7 +308,7 @@ impl<L: Language> fmt::Display for Snapshot<L> {
         writeln!(f, "szsnap v{SNAPSHOT_FORMAT_VERSION}")?;
         writeln!(f, "uf {}", self.uf.len())?;
         if !self.uf.is_empty() {
-            let parents: Vec<String> = self.uf.iter().map(|p| p.to_string()).collect();
+            let parents: Vec<String> = self.uf.iter().map(ToString::to_string).collect();
             writeln!(f, "{}", parents.join(" "))?;
         }
         for (id, nodes) in &self.classes {
@@ -321,7 +321,7 @@ impl<L: Language> fmt::Display for Snapshot<L> {
                 writeln!(f)?;
             }
         }
-        let roots: Vec<String> = self.roots.iter().map(|r| r.to_string()).collect();
+        let roots: Vec<String> = self.roots.iter().map(ToString::to_string).collect();
         writeln!(f, "roots {}", roots.join(" "))?;
         writeln!(f, "iterations {}", self.iterations)?;
         match &self.scheduler {

@@ -34,14 +34,18 @@ impl fmt::Display for Var {
     }
 }
 
-/// Error returned when parsing a [`Var`] from a string without the leading
-/// `?` sigil.
+/// Error returned when parsing a [`Var`] from a string that is not a
+/// `?`-sigil followed by a well-formed name.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseVarError(String);
 
 impl fmt::Display for ParseVarError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pattern variable must start with `?`: {}", self.0)
+        write!(
+            f,
+            "pattern variable must be `?` followed by [A-Za-z0-9_-]+: {}",
+            self.0
+        )
     }
 }
 
@@ -51,7 +55,14 @@ impl std::str::FromStr for Var {
     type Err = ParseVarError;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s.strip_prefix('?') {
-            Some(rest) if !rest.is_empty() => Ok(Var::from_name(rest)),
+            Some(rest)
+                if !rest.is_empty()
+                    && rest
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') =>
+            {
+                Ok(Var::from_name(rest))
+            }
             _ => Err(ParseVarError(s.to_owned())),
         }
     }
@@ -139,8 +150,12 @@ mod tests {
     fn var_parsing() {
         assert!("x".parse::<Var>().is_err());
         assert!("?".parse::<Var>().is_err());
+        assert!("?a?b".parse::<Var>().is_err());
+        assert!("?a b".parse::<Var>().is_err());
         let v: Var = "?abc".parse().unwrap();
         assert_eq!(v.name(), "abc");
+        let v: Var = "?r-1_x".parse().unwrap();
+        assert_eq!(v.name(), "r-1_x");
     }
 
     #[test]

@@ -8,8 +8,8 @@
 use proptest::prelude::*;
 use sz_egraph::tests_lang::{Arith, ConstFold};
 use sz_egraph::{
-    Analysis, CompiledPattern, EGraph, Id, Language, Pattern, RecExpr, Rewrite, Runner, Searcher,
-    Subst,
+    Analysis, CompiledPattern, EGraph, ENodeOrVar, Id, Language, Pattern, RecExpr, Rewrite, Runner,
+    Searcher, Subst,
 };
 
 /// Patterns exercising every instruction: linear, non-linear, ground
@@ -45,6 +45,21 @@ fn assert_matchers_agree<N: Analysis<Arith>>(egraph: &EGraph<Arith, N>, context:
         vm.sort_by_key(|(id, _)| *id);
         assert_eq!(naive, vm, "matcher divergence for `{pat}` on {context}");
     }
+}
+
+/// Random arithmetic *patterns* as strings: variable, constant, and symbol
+/// leaves under random `+`/`*` spines — exercises bare-variable roots,
+/// non-linear repeats, and fully ground subtrees.
+fn arb_pattern() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        prop_oneof![Just("?a"), Just("?b"), Just("?c"), Just("?d")].prop_map(str::to_owned),
+        (-2i64..3).prop_map(|n| n.to_string()),
+        prop_oneof![Just("x"), Just("y")].prop_map(str::to_owned),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        (prop_oneof![Just("+"), Just("*")], inner.clone(), inner)
+            .prop_map(|(op, a, b)| format!("({op} {a} {b})"))
+    })
 }
 
 /// Random arithmetic expressions as strings (parsed into `RecExpr`).
@@ -116,6 +131,51 @@ proptest! {
             .run(&rules);
         assert_matchers_agree(&runner.egraph, &expr);
     }
+
+    // The compiled program must bind exactly the naive pattern's variable
+    // set, in the same first-occurrence order, for arbitrary patterns.
+    #[test]
+    fn compiled_vars_agree_with_naive_on_arbitrary_patterns(pat in arb_pattern()) {
+        let pattern: Pattern<Arith> = pat.parse().unwrap();
+        let compiled = CompiledPattern::compile(pattern.clone());
+        prop_assert_eq!(
+            Searcher::<Arith, ()>::vars(&compiled),
+            pattern.vars(),
+            "vars diverge for `{}`", pat
+        );
+        prop_assert_eq!(compiled.program().vars(), pattern.vars());
+    }
+}
+
+#[test]
+fn from_op_rejects_malformed_variables() {
+    // A `?`-prefixed token that is not a well-formed variable name.
+    let err = ENodeOrVar::<Arith>::from_op("?a?b", vec![]).unwrap_err();
+    assert!(
+        err.to_string().contains("malformed pattern variable"),
+        "unexpected error: {err}"
+    );
+    let err = ENodeOrVar::<Arith>::from_op("?a(", vec![]).unwrap_err();
+    assert!(err.to_string().contains("malformed pattern variable"));
+}
+
+#[test]
+fn from_op_rejects_variables_with_children() {
+    let kids = vec![Id::from(0usize)];
+    let err = ENodeOrVar::<Arith>::from_op("?f", kids).unwrap_err();
+    assert!(
+        err.to_string()
+            .contains("pattern variables cannot have children"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn from_op_bare_question_mark_falls_through_to_the_language() {
+    // A lone `?` is not a pattern variable; it reaches `Arith::from_op`,
+    // which rejects it as neither number nor symbol.
+    let err = ENodeOrVar::<Arith>::from_op("?", vec![]).unwrap_err();
+    assert!(err.to_string().contains("not a number or variable"));
 }
 
 #[test]

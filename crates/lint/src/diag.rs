@@ -1,0 +1,238 @@
+//! Diagnostics: severity, code, location, message — plus deterministic
+//! text and JSON renderings that golden fixtures pin byte-exact.
+
+use std::fmt;
+
+use sz_trace::json_escape;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The artifact is broken: applying/running it will panic, miscompute,
+    /// or produce degenerate geometry. Gates fail on any deny finding.
+    Deny,
+    /// Suspicious but not necessarily wrong (duplicate rules, unused
+    /// variables, empty boolean operands).
+    Warn,
+    /// Expected structure worth auditing (inverse rule pairs, expansive
+    /// rules, identity transforms).
+    Info,
+}
+
+impl Severity {
+    /// The lowercase keyword used in both renderings.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: what, where, and how bad.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The finding's severity.
+    pub severity: Severity,
+    /// The stable diagnostic code (`SZLxxx`; see the crate docs for the
+    /// full table).
+    pub code: &'static str,
+    /// Where the finding anchors: `rule:<name>`, `rule:<name>/vm@pc<k>`,
+    /// or `input:<name>[@<child-index-path>]`.
+    pub location: String,
+    /// Human-readable description of the defect.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(
+        severity: Severity,
+        code: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity,
+            code,
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+
+    /// The single-line text rendering:
+    /// `{severity} {code} {location}: {message}`.
+    pub fn render(&self) -> String {
+        format!(
+            "{} {} {}: {}",
+            self.severity, self.code, self.location, self.message
+        )
+    }
+
+    /// The finding as a JSON object (hand-rolled; the workspace carries no
+    /// serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"severity\":\"{}\",\"code\":\"{}\",\"location\":\"{}\",\"message\":\"{}\"}}",
+            self.severity,
+            self.code,
+            json_escape(&self.location),
+            json_escape(&self.message)
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// An ordered collection of findings from one analysis run.
+///
+/// Ordering is the analyzers' deterministic emission order (rule order,
+/// then pre-order within each artifact), so renderings are stable across
+/// runs and machines.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// The findings, in emission order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends every finding of another report.
+    pub fn extend(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of deny-level findings.
+    pub fn deny_count(&self) -> usize {
+        self.count(Severity::Deny)
+    }
+
+    /// Number of warn-level findings.
+    pub fn warn_count(&self) -> usize {
+        self.count(Severity::Warn)
+    }
+
+    /// Number of info-level findings.
+    pub fn info_count(&self) -> usize {
+        self.count(Severity::Info)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// True when the report carries no deny-level finding (warn/info are
+    /// allowed).
+    pub fn is_clean(&self) -> bool {
+        self.deny_count() == 0
+    }
+
+    /// Findings of exactly the given severity.
+    pub fn with_severity(&self, s: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.severity == s)
+    }
+
+    /// The text rendering: one line per finding, then a summary line.
+    /// Golden fixtures compare this byte-exact.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} deny, {} warn, {} info\n",
+            self.deny_count(),
+            self.warn_count(),
+            self.info_count()
+        ));
+        out
+    }
+
+    /// The JSON rendering: a single line with a `findings` array and a
+    /// `counts` object. Golden fixtures compare this byte-exact.
+    pub fn to_json(&self) -> String {
+        let findings: Vec<String> = self.diagnostics.iter().map(Diagnostic::to_json).collect();
+        format!(
+            "{{\"findings\":[{}],\"counts\":{{\"deny\":{},\"warn\":{},\"info\":{}}}}}",
+            findings.join(","),
+            self.deny_count(),
+            self.warn_count(),
+            self.info_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_counts() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(
+            Severity::Deny,
+            "SZL001",
+            "rule:bad",
+            "rhs variable ?c unbound by lhs",
+        ));
+        r.push(Diagnostic::new(
+            Severity::Info,
+            "SZL005",
+            "rule:comm",
+            "self-inverse",
+        ));
+        assert_eq!(r.deny_count(), 1);
+        assert_eq!(r.info_count(), 1);
+        assert!(!r.is_clean());
+        assert_eq!(
+            r.render_text(),
+            "deny SZL001 rule:bad: rhs variable ?c unbound by lhs\n\
+             info SZL005 rule:comm: self-inverse\n\
+             1 deny, 0 warn, 1 info\n"
+        );
+        assert!(r
+            .to_json()
+            .starts_with("{\"findings\":[{\"severity\":\"deny\""));
+        assert!(r
+            .to_json()
+            .ends_with("\"counts\":{\"deny\":1,\"warn\":0,\"info\":1}}"));
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = Report::new();
+        assert!(r.is_clean());
+        assert_eq!(r.render_text(), "0 deny, 0 warn, 0 info\n");
+        assert_eq!(
+            r.to_json(),
+            "{\"findings\":[],\"counts\":{\"deny\":0,\"warn\":0,\"info\":0}}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_message() {
+        let d = Diagnostic::new(Severity::Warn, "SZL003", "rule:x", "a \"quoted\" dup");
+        assert!(d.to_json().contains("a \\\"quoted\\\" dup"));
+    }
+}

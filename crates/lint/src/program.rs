@@ -1,0 +1,374 @@
+//! Abstract interpretation of compiled e-matching programs.
+//!
+//! The VM in `sz_egraph::machine` executes Bind/Compare/Lookup over a
+//! register file of e-class ids with **truncate-on-Bind** semantics: a
+//! `Bind { i, out, arity }` truncates the file to `out` registers, then
+//! appends the candidate's `arity` children — so every register at index
+//! `≥ out + arity` becomes undefined, and `i` must lie strictly below
+//! `out` or the bind would erase its own input. This module replays an
+//! instruction stream against that abstract machine (tracking only *how
+//! many* registers are defined, never their values) and reconciles the
+//! result against the source pattern. It is the static complement of the
+//! dynamic VM-vs-naive differential oracle (`tests/ematch_differential.rs`):
+//! the oracle catches miscompilations by running both matchers on concrete
+//! e-graphs; this verifier catches them by construction, without a graph.
+
+use sz_egraph::{ENodeOrVar, Id, InstView, Language, Pattern, ProgramView, RecExpr};
+
+use crate::diag::{Diagnostic, Report, Severity};
+
+/// The instruction-level shape the compiler must have produced for a
+/// pattern: its variables (first-occurrence order, rendered with the `?`
+/// sigil), root operator, and expected instruction counts.
+///
+/// Computed by re-walking the pattern AST with the compiler's own
+/// traversal (pre-order, ground subtrees collapsed to one `Lookup`,
+/// repeated variables to one `Compare` each) — but **without** running the
+/// compiler, so the two can disagree when one of them is wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternShape {
+    /// Pattern variables in first-occurrence order, e.g. `["?a", "?b"]`.
+    pub vars: Vec<String>,
+    /// The root operator name, or `None` for a bare-variable pattern.
+    pub root_op: Option<String>,
+    /// Expected number of `Bind` instructions: e-node positions whose
+    /// subtree contains a variable.
+    pub binds: usize,
+    /// Expected number of `Lookup` instructions: maximal variable-free
+    /// subtrees.
+    pub lookups: usize,
+    /// Expected number of `Compare` instructions: repeat occurrences of
+    /// already-seen variables.
+    pub compares: usize,
+}
+
+impl PatternShape {
+    /// Derives the expected shape from a pattern.
+    pub fn of<L: Language>(pattern: &Pattern<L>) -> Self {
+        let ast = pattern.ast();
+        let mut has_var = vec![false; ast.len()];
+        for (id, node) in ast.iter() {
+            has_var[usize::from(id)] = match node {
+                ENodeOrVar::Var(_) => true,
+                ENodeOrVar::ENode(n) => n.children().iter().any(|c| has_var[usize::from(*c)]),
+            };
+        }
+        let mut shape = PatternShape {
+            vars: Vec::new(),
+            root_op: match &ast[ast.root()] {
+                ENodeOrVar::ENode(n) => Some(n.op_name()),
+                ENodeOrVar::Var(_) => None,
+            },
+            binds: 0,
+            lookups: 0,
+            compares: 0,
+        };
+        shape.walk(ast, &has_var, ast.root());
+        shape
+    }
+
+    fn walk<L: Language>(&mut self, ast: &RecExpr<ENodeOrVar<L>>, has_var: &[bool], id: Id) {
+        match &ast[id] {
+            ENodeOrVar::Var(v) => {
+                let name = v.to_string();
+                if self.vars.contains(&name) {
+                    self.compares += 1;
+                } else {
+                    self.vars.push(name);
+                }
+            }
+            ENodeOrVar::ENode(_) if !has_var[usize::from(id)] => self.lookups += 1,
+            ENodeOrVar::ENode(n) => {
+                self.binds += 1;
+                for &c in n.children() {
+                    self.walk(ast, has_var, c);
+                }
+            }
+        }
+    }
+}
+
+/// Verifies one program view, optionally reconciling it against the shape
+/// of the pattern it claims to implement.
+///
+/// Findings are anchored at `rule:<name>/vm@pc<k>` (instruction-level) or
+/// `rule:<name>/vm` (template/shape-level):
+///
+/// * **SZL101** (deny) — register used before definition, output range
+///   overlapping an input, or output placed past the live file;
+/// * **SZL102** (deny) — `Lookup` ground index outside the ground table;
+/// * **SZL103** (deny) — substitution template maps a variable to an
+///   undefined register, or maps the same variable twice;
+/// * **SZL104** (deny) — program disagrees with the pattern: different
+///   variables, different root operator, or different instruction counts.
+pub fn verify_program(name: &str, view: &ProgramView, shape: Option<&PatternShape>) -> Report {
+    let mut report = Report::new();
+    let loc = |pc: Option<usize>| match pc {
+        Some(pc) => format!("rule:{name}/vm@pc{pc}"),
+        None => format!("rule:{name}/vm"),
+    };
+
+    // Abstract replay: `defined` = number of live registers. Register 0
+    // (the candidate root) is always defined.
+    let mut defined: usize = 1;
+    let mut binds = 0usize;
+    let mut compares = 0usize;
+    let mut lookups = 0usize;
+    for (pc, inst) in view.insts.iter().enumerate() {
+        match inst {
+            InstView::Bind { op, arity, i, out } => {
+                binds += 1;
+                if *i >= defined {
+                    report.push(Diagnostic::new(
+                        Severity::Deny,
+                        "SZL101",
+                        loc(Some(pc)),
+                        format!(
+                            "bind `{op}` reads register r{i} but only r0..r{defined} are defined"
+                        ),
+                    ));
+                }
+                if *i >= *out {
+                    report.push(Diagnostic::new(
+                        Severity::Deny,
+                        "SZL101",
+                        loc(Some(pc)),
+                        format!("bind `{op}` writes r{out}.. which clobbers its own input r{i}"),
+                    ));
+                }
+                if *out > defined {
+                    report.push(Diagnostic::new(
+                        Severity::Deny,
+                        "SZL101",
+                        loc(Some(pc)),
+                        format!(
+                            "bind `{op}` targets r{out} past the live file (r0..r{defined}); children would land misaligned"
+                        ),
+                    ));
+                }
+                defined = out + arity;
+            }
+            InstView::Compare { i, j } => {
+                compares += 1;
+                for r in [i, j] {
+                    if *r >= defined {
+                        report.push(Diagnostic::new(
+                            Severity::Deny,
+                            "SZL101",
+                            loc(Some(pc)),
+                            format!(
+                                "compare reads register r{r} but only r0..r{defined} are defined"
+                            ),
+                        ));
+                    }
+                }
+            }
+            InstView::Lookup { ground, i } => {
+                lookups += 1;
+                if *i >= defined {
+                    report.push(Diagnostic::new(
+                        Severity::Deny,
+                        "SZL101",
+                        loc(Some(pc)),
+                        format!("lookup reads register r{i} but only r0..r{defined} are defined"),
+                    ));
+                }
+                if *ground >= view.ground.len() {
+                    report.push(Diagnostic::new(
+                        Severity::Deny,
+                        "SZL102",
+                        loc(Some(pc)),
+                        format!(
+                            "ground index {ground} out of range (table has {} entries)",
+                            view.ground.len()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Substitution template: every variable maps to exactly one register
+    // that is still defined at the accept state.
+    let mut seen: Vec<&str> = Vec::new();
+    for (var, reg) in &view.subst {
+        if seen.contains(&var.as_str()) {
+            report.push(Diagnostic::new(
+                Severity::Deny,
+                "SZL103",
+                loc(None),
+                format!("variable {var} is mapped to more than one output register"),
+            ));
+        } else {
+            seen.push(var);
+        }
+        if *reg >= defined {
+            report.push(Diagnostic::new(
+                Severity::Deny,
+                "SZL103",
+                loc(None),
+                format!(
+                    "variable {var} is mapped to register r{reg}, undefined at the accept state (r0..r{defined})"
+                ),
+            ));
+        }
+    }
+
+    // Reconcile against the pattern AST.
+    if let Some(shape) = shape {
+        let view_vars: Vec<&str> = view.subst.iter().map(|(v, _)| v.as_str()).collect();
+        let shape_vars: Vec<&str> = shape.vars.iter().map(String::as_str).collect();
+        if view_vars != shape_vars {
+            report.push(Diagnostic::new(
+                Severity::Deny,
+                "SZL104",
+                loc(None),
+                format!(
+                    "program binds [{}] but the pattern has [{}]",
+                    view_vars.join(", "),
+                    shape_vars.join(", ")
+                ),
+            ));
+        }
+        if view.root_op != shape.root_op {
+            report.push(Diagnostic::new(
+                Severity::Deny,
+                "SZL104",
+                loc(None),
+                format!(
+                    "program root operator {:?} disagrees with the pattern's {:?}",
+                    view.root_op, shape.root_op
+                ),
+            ));
+        }
+        if (binds, compares, lookups) != (shape.binds, shape.compares, shape.lookups) {
+            report.push(Diagnostic::new(
+                Severity::Deny,
+                "SZL104",
+                loc(None),
+                format!(
+                    "instruction mix bind/compare/lookup = {binds}/{compares}/{lookups} but the pattern requires {}/{}/{}",
+                    shape.binds, shape.compares, shape.lookups
+                ),
+            ));
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_egraph::tests_lang::Arith;
+    use sz_egraph::CompiledPattern;
+
+    fn verify_pattern(pat: &str) -> Report {
+        let pattern: Pattern<Arith> = pat.parse().unwrap();
+        let compiled = CompiledPattern::compile(pattern.clone());
+        let shape = PatternShape::of(&pattern);
+        verify_program("t", &compiled.program().view(), Some(&shape))
+    }
+
+    #[test]
+    fn real_programs_verify_clean() {
+        for pat in [
+            "?x",
+            "(+ ?a ?b)",
+            "(+ ?a ?a)",
+            "(+ 1 2)",
+            "(* 2 ?a)",
+            "(+ (* ?a ?b) (* ?a ?c))",
+            "(+ (+ ?a ?b) (+ ?a ?b))",
+        ] {
+            let report = verify_pattern(pat);
+            assert!(
+                report.diagnostics.is_empty(),
+                "`{pat}`:\n{}",
+                report.render_text()
+            );
+        }
+    }
+
+    #[test]
+    fn shape_counts_match_compiler() {
+        let shape = PatternShape::of(&"(+ ?a (* ?b 2))".parse::<Pattern<Arith>>().unwrap());
+        assert_eq!(shape.vars, ["?a", "?b"]);
+        assert_eq!(shape.root_op.as_deref(), Some("+"));
+        assert_eq!((shape.binds, shape.compares, shape.lookups), (2, 0, 1));
+    }
+
+    #[test]
+    fn use_before_def_is_deny() {
+        let view = ProgramView {
+            insts: vec![InstView::Bind {
+                op: "+".into(),
+                arity: 2,
+                i: 3, // undefined: only r0 exists
+                out: 1,
+            }],
+            ground: vec![],
+            subst: vec![("?a".into(), 1), ("?b".into(), 2)],
+            root_op: Some("+".into()),
+        };
+        let report = verify_program("bad", &view, None);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "SZL101" && d.location == "rule:bad/vm@pc0"));
+        // i >= out also fires the clobber check.
+        assert_eq!(report.deny_count(), 2);
+    }
+
+    #[test]
+    fn ground_index_out_of_range_is_deny() {
+        let view = ProgramView {
+            insts: vec![InstView::Lookup { ground: 0, i: 0 }],
+            ground: vec![],
+            subst: vec![],
+            root_op: Some("+".into()),
+        };
+        let report = verify_program("bad", &view, None);
+        assert_eq!(report.deny_count(), 1);
+        assert_eq!(report.diagnostics[0].code, "SZL102");
+    }
+
+    #[test]
+    fn bad_subst_template_is_deny() {
+        let view = ProgramView {
+            insts: vec![InstView::Bind {
+                op: "+".into(),
+                arity: 2,
+                i: 0,
+                out: 1,
+            }],
+            ground: vec![],
+            subst: vec![("?a".into(), 1), ("?a".into(), 2), ("?b".into(), 9)],
+            root_op: Some("+".into()),
+        };
+        let report = verify_program("bad", &view, None);
+        let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["SZL103", "SZL103"]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_deny() {
+        let pattern: Pattern<Arith> = "(+ ?a ?b)".parse().unwrap();
+        let shape = PatternShape::of(&pattern);
+        // A program for a different pattern entirely.
+        let view = ProgramView {
+            insts: vec![InstView::Bind {
+                op: "*".into(),
+                arity: 2,
+                i: 0,
+                out: 1,
+            }],
+            ground: vec![],
+            subst: vec![("?a".into(), 1)],
+            root_op: Some("*".into()),
+        };
+        let report = verify_program("bad", &view, Some(&shape));
+        let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["SZL104", "SZL104"], "{}", report.render_text());
+    }
+}

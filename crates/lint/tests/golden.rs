@@ -1,0 +1,116 @@
+//! Golden injected-defect fixtures: each class of defect the linters
+//! exist to catch is reproduced here and its full report pinned
+//! **byte-exact**, in both the text and the JSON rendering, against
+//! checked-in fixture files.
+//!
+//! Rationale: the diagnostic renderings are a machine interface — CI's
+//! `lint-gate` job diffs them, and downstream tooling parses the JSON —
+//! so any change to codes, locations, messages, or counts must show up
+//! as a reviewed fixture diff, never as silent drift.
+//!
+//! Regenerate after an intentional change with
+//! `SZ_REGEN_FIXTURES=1 cargo test -p sz-lint --test golden`.
+
+use std::path::Path;
+
+use sz_egraph::tests_lang::Arith;
+use sz_egraph::{InstView, Pattern, ProgramView, Rewrite};
+use sz_lint::{lint_cad, lint_ruleset, verify_program, PatternShape, Report};
+
+/// Compares `got` against the named fixture byte-exact (or rewrites the
+/// fixture under `SZ_REGEN_FIXTURES=1`).
+fn check_fixture(name: &str, got: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("tests/fixtures/{name}"));
+    if std::env::var_os("SZ_REGEN_FIXTURES").is_some() {
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("fixture {name} missing ({e}); regenerate with SZ_REGEN_FIXTURES=1")
+    });
+    assert_eq!(
+        got, want,
+        "{name} drifted from its fixture; if the change is intentional, \
+         regenerate with SZ_REGEN_FIXTURES=1 cargo test -p sz-lint --test golden"
+    );
+}
+
+/// Pins one report's text and JSON renderings under a fixture stem.
+fn check_report(stem: &str, report: &Report) {
+    check_fixture(&format!("{stem}.txt"), &report.render_text());
+    check_fixture(&format!("{stem}.json"), &format!("{}\n", report.to_json()));
+}
+
+#[test]
+fn unbound_rhs_variable() {
+    // The defect `Rewrite::new` rejects at construction, injected through
+    // the `new_unchecked` escape hatch: ?c appears on the RHS only
+    // (SZL001 deny) and the dropped ?b is reported as unused (SZL002).
+    let rules = vec![Rewrite::<Arith, ()>::new_unchecked(
+        "bad-unbound",
+        "(+ ?a ?b)".parse().unwrap(),
+        "(* ?a ?c)".parse::<Pattern<Arith>>().unwrap(),
+    )];
+    let report = lint_ruleset(&rules);
+    assert_eq!(report.deny_count(), 1);
+    check_report("unbound_rhs", &report);
+}
+
+#[test]
+fn duplicate_rules() {
+    // `twin` repeats `orig` verbatim (SZL003); `renamed` repeats it up to
+    // α-renaming (SZL004 against each of the first two). All three are
+    // self-inverse commutativity rules (SZL005).
+    let rule = |name: &str, lhs: &str, rhs: &str| -> Rewrite<Arith, ()> {
+        Rewrite::parse(name, lhs, rhs).unwrap()
+    };
+    let rules = vec![
+        rule("orig", "(+ ?a ?b)", "(+ ?b ?a)"),
+        rule("twin", "(+ ?a ?b)", "(+ ?b ?a)"),
+        rule("renamed", "(+ ?x ?y)", "(+ ?y ?x)"),
+    ];
+    let report = lint_ruleset(&rules);
+    assert_eq!(report.warn_count(), 3);
+    check_report("duplicate_rules", &report);
+}
+
+#[test]
+fn corrupted_vm_program() {
+    // A hand-corrupted program view for the pattern `(+ ?a ?b)`: the
+    // bind reads an undefined register and clobbers its own input
+    // (SZL101 twice), a lookup indexes an empty ground table (SZL102),
+    // the template maps ?b to a dead register (SZL103), and the
+    // instruction mix disagrees with the pattern (SZL104).
+    let pattern: Pattern<Arith> = "(+ ?a ?b)".parse().unwrap();
+    let shape = PatternShape::of(&pattern);
+    let view = ProgramView {
+        insts: vec![
+            InstView::Bind {
+                op: "+".into(),
+                arity: 2,
+                i: 3,
+                out: 1,
+            },
+            InstView::Lookup { ground: 0, i: 1 },
+        ],
+        ground: vec![],
+        subst: vec![("?a".into(), 1), ("?b".into(), 9)],
+        root_op: Some("+".into()),
+    };
+    let report = verify_program("corrupted", &view, Some(&shape));
+    assert!(report.deny_count() >= 4, "{}", report.render_text());
+    check_report("corrupted_vm", &report);
+}
+
+#[test]
+fn zero_scale_input() {
+    // A corpus input whose Scale collapses geometry onto a plane: SZL202
+    // deny, plus an info finding riding along in the same tree (an
+    // identity translate wrapping the second operand).
+    let cad: sz_cad::Cad = "(Union (Scale 0 2 2 Unit) (Translate 0 0 0 Empty))"
+        .parse()
+        .unwrap();
+    let report = lint_cad("pancake", &cad);
+    assert_eq!(report.deny_count(), 1);
+    check_report("zero_scale", &report);
+}

@@ -46,12 +46,9 @@ fn affine_of(kind: AffineKind, v: [f64; 3]) -> Affine {
 
 fn union_only(cad: &Cad) -> bool {
     match cad {
-        Cad::Empty
-        | Cad::Unit
-        | Cad::Cylinder
-        | Cad::Sphere
-        | Cad::Hexagon
-        | Cad::External(_) => true,
+        Cad::Empty | Cad::Unit | Cad::Cylinder | Cad::Sphere | Cad::Hexagon | Cad::External(_) => {
+            true
+        }
         Cad::Affine(_, v, c) => v.as_nums().is_some() && union_only(c),
         Cad::Binop(BoolOp::Union, a, b) => union_only(a) && union_only(b),
         _ => false,
@@ -110,7 +107,11 @@ pub fn compile_mesh(cad: &Cad, quality: &MeshQuality) -> Result<TriMesh, Compile
         if bb.is_empty() {
             return Ok(TriMesh::new());
         }
-        Ok(polygonize(&solid, bb.padded(bb.extent().norm() * 0.02 + 1e-9), quality.grid_resolution))
+        Ok(polygonize(
+            &solid,
+            bb.padded(bb.extent().norm() * 0.02 + 1e-9),
+            quality.grid_resolution,
+        ))
     }
 }
 

@@ -22,7 +22,9 @@ pub fn surface_samples(mesh: &TriMesh, n: usize) -> Vec<Vec3> {
     let mut out = Vec::with_capacity(n);
     for s in 0..n {
         let pick = van_der_corput(s + 1, 2) * total;
-        let tri = cumulative.partition_point(|&c| c < pick).min(mesh.triangles.len() - 1);
+        let tri = cumulative
+            .partition_point(|&c| c < pick)
+            .min(mesh.triangles.len() - 1);
         let [a, b, c] = mesh.triangle(tri);
         // Uniform barycentric sample via the square-root trick.
         let (u, v) = (van_der_corput(s + 1, 3), van_der_corput(s + 1, 5));

@@ -103,9 +103,7 @@ pub fn compile(cad: &Cad) -> Result<Solid, CompileError> {
                 Box::new(go(a, xform)?),
                 Box::new(go(b, xform)?),
             )),
-            other => Err(CompileError(format!(
-                "not a flat CSG node: {other}"
-            ))),
+            other => Err(CompileError(format!("not a flat CSG node: {other}"))),
         }
     }
     go(cad, Affine::identity())

@@ -52,5 +52,5 @@ pub use stl::{
     read_ascii_stl, read_binary_stl, to_ascii_stl, write_ascii_stl, write_binary_stl, StlError,
 };
 pub use tetra::polygonize;
-pub use vec3::Vec3;
 pub use validate::{validate_flat, validate_program, ValidateError, Validation};
+pub use vec3::Vec3;

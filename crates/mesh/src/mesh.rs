@@ -145,8 +145,12 @@ impl TriMesh {
     pub fn merge(&mut self, other: &TriMesh) {
         let base = self.vertices.len() as u32;
         self.vertices.extend_from_slice(&other.vertices);
-        self.triangles
-            .extend(other.triangles.iter().map(|t| [t[0] + base, t[1] + base, t[2] + base]));
+        self.triangles.extend(
+            other
+                .triangles
+                .iter()
+                .map(|t| [t[0] + base, t[1] + base, t[2] + base]),
+        );
     }
 
     /// The bounding box of all vertices.

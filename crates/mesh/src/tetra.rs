@@ -30,10 +30,9 @@ pub fn polygonize(solid: &Solid, bb: Aabb, res: usize) -> TriMesh {
     let n = res + 1;
     let ext = bb.extent();
     let step = Vec3::new(ext.x / res as f64, ext.y / res as f64, ext.z / res as f64);
-    let point =
-        |i: usize, j: usize, k: usize| -> Vec3 {
-            bb.min + Vec3::new(step.x * i as f64, step.y * j as f64, step.z * k as f64)
-        };
+    let point = |i: usize, j: usize, k: usize| -> Vec3 {
+        bb.min + Vec3::new(step.x * i as f64, step.y * j as f64, step.z * k as f64)
+    };
 
     // Sample the field once per grid point.
     let mut field = vec![0.0f64; n * n * n];
@@ -165,10 +164,7 @@ mod tests {
     #[test]
     fn difference_has_hole() {
         // Plate minus a through-hole cylinder: volume < plate volume.
-        let m = poly(
-            "(Diff (Scale 4 4 1 Unit) (Scale 1 1 2 Cylinder))",
-            48,
-        );
+        let m = poly("(Diff (Scale 4 4 1 Unit) (Scale 1 1 2 Cylinder))", 48);
         let v = m.signed_volume();
         let plate = 16.0;
         let hole = std::f64::consts::PI;

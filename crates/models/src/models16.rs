@@ -179,9 +179,7 @@ pub fn med_slide() -> Cad {
 /// so both the 2×2-grid and the trigonometric parameterizations exist.
 pub fn hc_bits() -> Cad {
     let plate = Cad::scale(20.0, 20.0, 3.0, Cad::Unit);
-    let cell = |x: f64, y: f64| {
-        Cad::translate(x, y, 1.5, Cad::scale(3.0, 3.0, 4.0, Cad::Hexagon))
-    };
+    let cell = |x: f64, y: f64| Cad::translate(x, y, 1.5, Cad::scale(3.0, 3.0, 4.0, Cad::Hexagon));
     // Circular order around the plate center (matches 10 + 7.07·sin(90i+315)).
     let cells = vec![
         cell(5.0, 5.0),
@@ -195,9 +193,8 @@ pub fn hc_bits() -> Cad {
 /// `3094201:dice` — a die: cube minus 21 pips across six faces
 /// (face 6 is Fig. 17's 2×3 nested loop).
 pub fn dice() -> Cad {
-    let pip = |x: f64, y: f64, z: f64| {
-        Cad::translate(x, y, z, Cad::scale(0.75, 0.75, 0.75, Cad::Sphere))
-    };
+    let pip =
+        |x: f64, y: f64, z: f64| Cad::translate(x, y, z, Cad::scale(0.75, 0.75, 0.75, Cad::Sphere));
     let mut pips = Vec::new();
     // Face 1 (+x).
     pips.push(pip(5.0, 0.0, 0.0));
@@ -212,7 +209,13 @@ pub fn dice() -> Cad {
         pips.push(pip(2.0 - 4.0 * i as f64, 5.0, 2.0 - 4.0 * i as f64));
     }
     // Face 5 (−y).
-    for (x, z) in [(-2.0, -2.0), (-2.0, 2.0), (0.0, 0.0), (2.0, -2.0), (2.0, 2.0)] {
+    for (x, z) in [
+        (-2.0, -2.0),
+        (-2.0, 2.0),
+        (0.0, 0.0),
+        (2.0, -2.0),
+        (2.0, 2.0),
+    ] {
         pips.push(pip(x, -5.0, z));
     }
     // Face 3 (+z).
@@ -313,16 +316,14 @@ pub fn sd_rack() -> Cad {
         83.6, 86.0, 95.3, 97.7,
     ];
     let widths = [
-        1.53, 2.18, 1.62, 1.91, 1.77, 2.04, 1.58, 1.86, 2.11, 1.69, 1.98, 1.51, 2.07, 1.73,
-        1.64, 2.16, 1.82, 1.56, 1.94,
+        1.53, 2.18, 1.62, 1.91, 1.77, 2.04, 1.58, 1.86, 2.11, 1.69, 1.98, 1.51, 2.07, 1.73, 1.64,
+        2.16, 1.82, 1.56, 1.94,
     ];
     let base = Cad::scale(100.0, 32.0, 26.0, Cad::Unit);
     let slots = offsets
         .iter()
         .zip(&widths)
-        .map(|(&x, &w)| {
-            Cad::translate(x - 50.0, 0.0, 4.0, Cad::scale(w, 26.0, 24.0, Cad::Unit))
-        })
+        .map(|(&x, &w)| Cad::translate(x - 50.0, 0.0, 4.0, Cad::scale(w, 26.0, 24.0, Cad::Unit)))
         .collect();
     Cad::diff(base, chain(slots))
 }
@@ -345,7 +346,12 @@ pub fn compose() -> Cad {
             Cad::union(
                 Cad::translate(4.0, -5.0, 4.5, Cad::scale(3.0, 3.0, 3.0, Cad::Sphere)),
                 Cad::union(
-                    Cad::translate(2.0, 6.0, 6.0, Cad::rotate(20.0, 0.0, 10.0, Cad::scale(10.0, 2.0, 5.0, Cad::Unit))),
+                    Cad::translate(
+                        2.0,
+                        6.0,
+                        6.0,
+                        Cad::rotate(20.0, 0.0, 10.0, Cad::scale(10.0, 2.0, 5.0, Cad::Unit)),
+                    ),
                     Cad::translate(-9.0, -4.0, 7.5, Cad::scale(2.0, 5.0, 3.0, Cad::Hexagon)),
                 ),
             ),
@@ -375,7 +381,11 @@ pub fn wardrobe() -> Cad {
             (0..3)
                 .map(|i| {
                     let z = 2.0 * (i * i) as f64 + 3.0 * i as f64 + 10.0;
-                    let shelf = if i == 2 { lipped(depths[i]) } else { board(depths[i]) };
+                    let shelf = if i == 2 {
+                        lipped(depths[i])
+                    } else {
+                        board(depths[i])
+                    };
                     Cad::translate(x, 0.0, z, shelf)
                 })
                 .collect(),
@@ -385,7 +395,12 @@ pub fn wardrobe() -> Cad {
         Cad::scale(120.0, 40.0, 4.0, Cad::Unit),
         Cad::translate(-58.0, 0.0, 30.0, Cad::scale(4.0, 40.0, 60.0, Cad::Unit)),
         Cad::translate(58.0, 0.0, 30.0, Cad::scale(4.0, 41.5, 62.0, Cad::Unit)),
-        Cad::translate(0.0, -19.0, 30.0, Cad::rotate(8.0, 0.0, 0.0, Cad::scale(116.0, 2.0, 60.0, Cad::Unit))),
+        Cad::translate(
+            0.0,
+            -19.0,
+            30.0,
+            Cad::rotate(8.0, 0.0, 0.0, Cad::scale(116.0, 2.0, 60.0, Cad::Unit)),
+        ),
         Cad::translate(0.0, 12.0, 62.0, Cad::scale(116.0, 16.0, 2.0, Cad::Unit)),
         Cad::translate(0.0, -6.0, 66.0, Cad::scale(30.0, 10.0, 6.0, Cad::Cylinder)),
         Cad::translate(0.0, 0.0, 2.0, Cad::scale(110.0, 36.0, 2.0, Cad::Unit)),

@@ -261,9 +261,7 @@ fn subst_param(body: &Cad, replacement: &Cad) -> Cad {
     match body {
         Cad::Param => replacement.clone(),
         Cad::Fun(_) | Cad::Mapi(_, _) => body.clone(),
-        Cad::Affine(k, v, c) => {
-            Cad::Affine(*k, v.clone(), Box::new(subst_param(c, replacement)))
-        }
+        Cad::Affine(k, v, c) => Cad::Affine(*k, v.clone(), Box::new(subst_param(c, replacement))),
         Cad::Binop(op, a, b) => Cad::Binop(
             *op,
             Box::new(subst_param(a, replacement)),
@@ -372,7 +370,10 @@ mod tests {
         ))
         .unwrap();
         assert!(scad.contains("for (i = [0 : 6 - 1])"), "got:\n{scad}");
-        assert!(scad.contains("rotate([0, 0, ((360 * (i + 1)) / 6)])"), "got:\n{scad}");
+        assert!(
+            scad.contains("rotate([0, 0, ((360 * (i + 1)) / 6)])"),
+            "got:\n{scad}"
+        );
     }
 
     #[test]

@@ -336,7 +336,10 @@ mod tests {
             flat("cube([2, 4, 6], center = true);").to_string(),
             "(Scale 2 4 6 Unit)"
         );
-        assert_eq!(flat("cube(2, center = true);").to_string(), "(Scale 2 2 2 Unit)");
+        assert_eq!(
+            flat("cube(2, center = true);").to_string(),
+            "(Scale 2 2 2 Unit)"
+        );
     }
 
     #[test]

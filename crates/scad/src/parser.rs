@@ -23,7 +23,11 @@ impl ScadParseError {
 
 impl fmt::Display for ScadParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "OpenSCAD parse error at byte {}: {}", self.offset, self.msg)
+        write!(
+            f,
+            "OpenSCAD parse error at byte {}: {}",
+            self.offset, self.msg
+        )
     }
 }
 
@@ -93,8 +97,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ScadParseError> {
                 let end = rest
                     .find(|ch: char| !(ch.is_ascii_alphanumeric() || ch == '_' || ch == '$'))
                     .unwrap_or(rest.len());
-                lx.toks
-                    .push((Tok::Ident(rest[..end].to_owned()), start));
+                lx.toks.push((Tok::Ident(rest[..end].to_owned()), start));
                 lx.pos += end;
             }
             ':' => {
@@ -393,8 +396,8 @@ mod tests {
 
     #[test]
     fn parses_stepped_range_and_vector_iter() {
-        let prog = parse_scad("for (x = [0 : 2 : 10]) cube(1); for (y = [1, 4, 9]) cube(1);")
-            .unwrap();
+        let prog =
+            parse_scad("for (x = [0 : 2 : 10]) cube(1); for (y = [1, 4, 9]) cube(1);").unwrap();
         assert!(matches!(
             &prog.stmts[0],
             ScadStmt::For {

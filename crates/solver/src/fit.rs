@@ -209,10 +209,7 @@ mod tests {
         let sine: Vec<f64> = (0..8)
             .map(|i| 3.0 * (45.0 * i as f64).to_radians().sin())
             .collect();
-        assert!(matches!(
-            fit_sequence(&sine, 1e-3),
-            Some(FittedFn::Trig(_))
-        ));
+        assert!(matches!(fit_sequence(&sine, 1e-3), Some(FittedFn::Trig(_))));
     }
 
     #[test]
@@ -227,7 +224,10 @@ mod tests {
     fn expr_shapes() {
         let cases: Vec<(FittedFn, &str)> = vec![
             (FittedFn::Const(125.0), "125"),
-            (FittedFn::Poly(Poly::Deg1 { a: 2.0, b: 2.0 }), "(* 2 (+ i 1))"),
+            (
+                FittedFn::Poly(Poly::Deg1 { a: 2.0, b: 2.0 }),
+                "(* 2 (+ i 1))",
+            ),
             (FittedFn::Poly(Poly::Deg1 { a: 1.0, b: 0.0 }), "i"),
             (FittedFn::Poly(Poly::Deg1 { a: 4.0, b: 0.0 }), "(* 4 i)"),
             (

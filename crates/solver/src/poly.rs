@@ -226,7 +226,11 @@ mod tests {
         let vals: Vec<f64> = (0..6)
             .map(|i| {
                 let i = i as f64;
-                let noise = if (i as usize).is_multiple_of(2) { 4e-4 } else { -4e-4 };
+                let noise = if (i as usize).is_multiple_of(2) {
+                    4e-4
+                } else {
+                    -4e-4
+                };
                 i * i + noise
             })
             .collect();

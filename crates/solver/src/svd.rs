@@ -164,7 +164,7 @@ mod tests {
     #[test]
     fn lstsq_overdetermined_noisy() {
         let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 1.0]).collect();
-        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
         let a = Mat::from_rows(&row_refs);
         let b: Vec<f64> = (0..10)
             .map(|i| 3.0 * i as f64 - 2.0 + if i % 2 == 0 { 1e-4 } else { -1e-4 })

@@ -81,7 +81,13 @@ fn solve_fixed_freq(values: &[f64], b: f64) -> (f64, f64, f64, f64) {
 }
 
 /// Gauss–Newton refinement of `(A, B, d, b)` from a frequency-scan seed.
-fn refine(values: &[f64], mut aa: f64, mut bb: f64, mut d: f64, mut b: f64) -> (f64, f64, f64, f64) {
+fn refine(
+    values: &[f64],
+    mut aa: f64,
+    mut bb: f64,
+    mut d: f64,
+    mut b: f64,
+) -> (f64, f64, f64, f64) {
     for _ in 0..20 {
         let n = values.len();
         let mut jac_rows: Vec<Vec<f64>> = Vec::with_capacity(n);

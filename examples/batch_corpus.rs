@@ -21,7 +21,9 @@ use szalinski_repro::szalinski::{
 };
 
 fn main() {
-    let config = SynthConfig::new().with_iter_limit(60).with_node_limit(80_000);
+    let config = SynthConfig::new()
+        .with_iter_limit(60)
+        .with_node_limit(80_000);
     // Grant the snapshot tier a byte budget; without one the cache only
     // serves the program tier (`szb` does this via `--snapshots <dir>`).
     let cache = Arc::new(Mutex::new(
@@ -93,7 +95,7 @@ fn main() {
         .unwrap()
         .snapshot
         .unwrap();
-    let high = Synthesizer::new(config.clone());
+    let high = Synthesizer::new(config);
     let cold = high.run(&model.flat, RunOptions::new()).unwrap();
     let partial = high
         .run(&model.flat, RunOptions::new().with_snapshot(snapshot))
@@ -126,5 +128,5 @@ fn main() {
 }
 
 fn engine_workers() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }

@@ -12,7 +12,11 @@ use szalinski::{RunOptions, SynthConfig, Synthesizer};
 
 fn main() {
     let flat = hexcell_plate();
-    println!("input: {} nodes\n{}\n", flat.num_nodes(), flat.to_pretty(72));
+    println!(
+        "input: {} nodes\n{}\n",
+        flat.num_nodes(),
+        flat.to_pretty(72)
+    );
 
     let result = Synthesizer::new(SynthConfig::new().with_k(24))
         .run(&flat, RunOptions::new())
@@ -29,8 +33,14 @@ fn main() {
         .find(|p| p.cad.to_string().contains("Sin"))
         .expect("trigonometric variant in top-k");
 
-    println!("nested-loop variant (Fig. 18):\n{}\n", loopy.cad.to_pretty(72));
-    println!("trigonometric variant (Fig. 19):\n{}\n", trig.cad.to_pretty(72));
+    println!(
+        "nested-loop variant (Fig. 18):\n{}\n",
+        loopy.cad.to_pretty(72)
+    );
+    println!(
+        "trigonometric variant (Fig. 19):\n{}\n",
+        trig.cad.to_pretty(72)
+    );
 
     // Edit 1 (loop variant): add a column by bumping one loop bound.
     let widened: Cad = loopy

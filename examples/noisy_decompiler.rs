@@ -16,7 +16,11 @@ use szalinski::{RewardLoopsCost, RunOptions, SynthConfig, Synthesizer};
 fn main() {
     // 1. The paper's verbatim noisy input (Fig. 16 left).
     let flat = noisy_hexagons();
-    println!("decompiler output ({} nodes):\n{}\n", flat.num_nodes(), flat.to_pretty(72));
+    println!(
+        "decompiler output ({} nodes):\n{}\n",
+        flat.num_nodes(),
+        flat.to_pretty(72)
+    );
 
     let result = Synthesizer::new(SynthConfig::new().with_cost_model(Arc::new(RewardLoopsCost)))
         .run(&flat, RunOptions::new())
@@ -28,7 +32,11 @@ fn main() {
     );
     println!(
         "the noisy 1.4999996667 / 1.499999466 became: {}",
-        if prog.cad.to_string().contains("1.5") { "1.5  (snapped)" } else { "??" }
+        if prog.cad.to_string().contains("1.5") {
+            "1.5  (snapped)"
+        } else {
+            "??"
+        }
     );
     let v = validate_program(&prog.cad, &flat, 8000).expect("validates");
     println!(

@@ -17,7 +17,11 @@ fn main() {
             .map(|i| Cad::translate(2.0 * i as f64, 0.0, 0.0, Cad::Unit))
             .collect(),
     );
-    println!("input ({} nodes):\n{}\n", flat.num_nodes(), flat.to_pretty(72));
+    println!(
+        "input ({} nodes):\n{}\n",
+        flat.num_nodes(),
+        flat.to_pretty(72)
+    );
 
     // 2. Build a synthesis session (compiles the ~40 CAD rewrites once;
     //    reusable across inputs and worker threads) and run the

@@ -40,19 +40,17 @@ fn main() {
     export(&hexcell_plate(), "hc_bits", dir);
 
     // … the loop edit adding a column of cells …
-    let extra_column: Cad =
-        "(Diff (Scale 30 20 3 Unit) (Fold Union Empty (MapIdx2 3 2 \
+    let extra_column: Cad = "(Diff (Scale 30 20 3 Unit) (Fold Union Empty (MapIdx2 3 2 \
           (Translate (+ 5 (* 10 i)) (+ 5 (* 10 j)) 1.5 (Scale 3 3 4 Hexagon)))))"
-            .parse()
-            .expect("edited model parses");
+        .parse()
+        .expect("edited model parses");
     export(&extra_column, "hc_bits_extra_column", dir);
 
     // … and the trig edit making a 10-cell flower (Fig. 19 right).
-    let flower: Cad =
-        "(Diff (Scale 20 20 3 Unit) (Fold Union Empty (Mapi (Fun (Translate \
+    let flower: Cad = "(Diff (Scale 20 20 3 Unit) (Fold Union Empty (Mapi (Fun (Translate \
           (+ 10 (* 7.07 (Sin (+ (* 36 i) 315)))) \
           (+ 10 (* 7.07 (Sin (+ (* 36 i) 225)))) 1.5 c)) (Repeat (Scale 2 2 4 Hexagon) 10))))"
-            .parse()
-            .expect("flower model parses");
+        .parse()
+        .expect("flower model parses");
     export(&flower, "hc_bits_flower", dir);
 }

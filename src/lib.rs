@@ -10,6 +10,9 @@
 //! * [`sz_mesh`] — meshes, STL, implicit geometry, translation validation;
 //! * [`sz_scad`] — OpenSCAD import/export;
 //! * [`sz_models`] — the 16-model benchmark suite and figure inputs;
+//! * [`sz_lint`] — static analysis: rewrite-rule hygiene, compiled
+//!   e-match program verification, CAD input linting (and the `szlint`
+//!   CLI);
 //! * [`sz_batch`] — corpus-scale parallel batch synthesis with result
 //!   caching (and the `szb` CLI);
 //! * [`sz_trace`] — zero-dependency telemetry: hierarchical spans,
@@ -44,7 +47,10 @@
 //!        └─────────┴────────────────▼───────────────┘
 //!                               sz-cad
 //!                    (sz-mesh also sits on sz-cad;
-//!              sz-trace underlies sz-egraph/szalinski/sz-batch)
+//!              sz-trace underlies sz-egraph/szalinski/sz-batch;
+//!        sz-lint sits on sz-egraph + sz-cad and is consumed by
+//!        szalinski — rule-set analysis at compile time — and by
+//!                  sz-batch — `szb lint` / `szlint`)
 //! ```
 //!
 //! * **`sz-cad`** is the foundation: the `Cad` AST shared by every
@@ -128,6 +134,21 @@
 //!   The `szb --cost <SPEC>` mini-grammar (`ast-size`,
 //!   `weights(loop=1,geom=10)`, `pareto(size,depth)`, …) parses into
 //!   these models via [`szalinski::parse_cost_spec`].
+//! * **`sz-lint`** is the static-analysis layer over the same
+//!   artifacts the engine executes: [`sz_lint::lint_ruleset`] checks
+//!   any `&[Rewrite]` for binding soundness, duplicates/inverses, and
+//!   expansivity; [`sz_lint::verify_program`] abstractly interprets a
+//!   compiled Bind/Compare/Lookup program against its source pattern's
+//!   shape (the static complement of the VM-vs-naive differential
+//!   suite); [`sz_lint::lint_cad`] flags degenerate CAD inputs
+//!   (non-finite literals, zero scales, ill-sorted terms) before they
+//!   enter a corpus run. Every finding carries a stable `SZLxxx` code
+//!   and one of three severities; only **deny** findings gate.
+//!   `szalinski::Synthesizer` runs the rule analyzer once at
+//!   rule-compile time (a denied set is a structured
+//!   [`szalinski::SynthError::RuleLint`], not a mid-saturation panic),
+//!   and `sz-batch` exposes the corpus surface as `szb lint` and the
+//!   standalone `szlint` binary.
 //! * **`sz-batch`** is the corpus engine added on top: a work-stealing
 //!   thread pool with per-job panic isolation, a **two-tier**
 //!   content-addressed cache (programs keyed on the full config
@@ -187,6 +208,7 @@
 pub use sz_batch;
 pub use sz_cad;
 pub use sz_egraph;
+pub use sz_lint;
 pub use sz_mesh;
 pub use sz_models;
 pub use sz_scad;

@@ -46,7 +46,10 @@ fn quick() -> SynthConfig {
 }
 
 fn programs(s: &Synthesis) -> Vec<(usize, String)> {
-    s.top_k.iter().map(|p| (p.cost, p.cad.to_string())).collect()
+    s.top_k
+        .iter()
+        .map(|p| (p.cost, p.cad.to_string()))
+        .collect()
 }
 
 /// A strategy for random *flat* CSG terms of bounded size (mirrors
@@ -210,8 +213,7 @@ fn suite16_weighted_resumes_from_ast_size_snapshots() {
     let config = SynthConfig::new()
         .with_iter_limit(60)
         .with_node_limit(80_000);
-    let weighted: Arc<dyn CostModel> =
-        Arc::new(WeightedCost::new().with_weight(OpClass::Geom, 10));
+    let weighted: Arc<dyn CostModel> = Arc::new(WeightedCost::new().with_weight(OpClass::Geom, 10));
     for model in sz_models::all_models().into_iter().take(4) {
         let session = Synthesizer::new(config.clone());
         let cold = session

@@ -11,7 +11,9 @@ use sz_models::{gear, row_of_cubes};
 use szalinski::{synthesize, SynthConfig};
 
 fn config() -> SynthConfig {
-    SynthConfig::new().with_iter_limit(60).with_node_limit(80_000)
+    SynthConfig::new()
+        .with_iter_limit(60)
+        .with_node_limit(80_000)
 }
 
 #[test]

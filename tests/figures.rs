@@ -14,7 +14,9 @@ use sz_models::{
 use szalinski::{synthesize, CostKind, SynthConfig};
 
 fn config() -> SynthConfig {
-    SynthConfig::new().with_iter_limit(60).with_node_limit(80_000)
+    SynthConfig::new()
+        .with_iter_limit(60)
+        .with_node_limit(80_000)
 }
 
 #[test]
@@ -66,7 +68,8 @@ fn fig14_grid_to_doubly_nested_loop() {
     let flat = prog.cad.eval_to_flat().unwrap();
     for want in ["12 12 0", "-12 12 0", "-12 -12 0", "12 -12 0"] {
         assert!(
-            flat.to_string().contains(&format!("(Translate {want} Unit)")),
+            flat.to_string()
+                .contains(&format!("(Translate {want} Unit)")),
             "missing {want} in {flat}"
         );
     }
@@ -81,7 +84,10 @@ fn fig16_noisy_input_recovers_clean_loop() {
     // The noisy 1.4999996667 / 1.499999466 got snapped to 1.5 inside the
     // inferred loop.
     assert!(s.contains("1.5"), "noise not cleaned: {s}");
-    assert!(s.contains("(Repeat Hexagon 2)"), "loop over 2 hexagons: {s}");
+    assert!(
+        s.contains("(Repeat Hexagon 2)"),
+        "loop over 2 hexagons: {s}"
+    );
 }
 
 #[test]

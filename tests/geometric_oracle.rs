@@ -13,7 +13,9 @@ use sz_mesh::{compile_mesh, hausdorff_distance, joint_diagonal, MeshQuality};
 use szalinski::{synthesize, SynthConfig};
 
 fn config() -> SynthConfig {
-    SynthConfig::new().with_iter_limit(60).with_node_limit(80_000)
+    SynthConfig::new()
+        .with_iter_limit(60)
+        .with_node_limit(80_000)
 }
 
 /// Modest quality keeps debug-mode meshing tractable; the tolerance

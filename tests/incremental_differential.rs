@@ -18,13 +18,18 @@ use szalinski::{
 };
 
 fn config() -> SynthConfig {
-    SynthConfig::new().with_iter_limit(60).with_node_limit(80_000)
+    SynthConfig::new()
+        .with_iter_limit(60)
+        .with_node_limit(80_000)
 }
 
 /// The byte-level identity of a synthesis result: costs plus printed
 /// programs, in rank order.
 fn programs(s: &Synthesis) -> Vec<(usize, String)> {
-    s.top_k.iter().map(|p| (p.cost, p.cad.to_string())).collect()
+    s.top_k
+        .iter()
+        .map(|p| (p.cost, p.cad.to_string()))
+        .collect()
 }
 
 /// Table rows compared field-by-field except wall-clock time.
@@ -46,9 +51,10 @@ fn suite16_resumed_equals_cold() {
     for model in sz_models::all_models() {
         let (cold, snapshot) = synthesize_with_snapshot(&model.flat, &config());
         // Round-trip through text: exactly what the cache tier stores.
-        let snapshot: SynthSnapshot = snapshot.to_string().parse().unwrap_or_else(|e| {
-            panic!("{}: snapshot text must reparse: {e}", model.name)
-        });
+        let snapshot: SynthSnapshot = snapshot
+            .to_string()
+            .parse()
+            .unwrap_or_else(|e| panic!("{}: snapshot text must reparse: {e}", model.name));
         let resumed = resume_synthesize(&model.flat, &config(), &snapshot).unwrap();
 
         assert_eq!(

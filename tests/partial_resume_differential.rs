@@ -19,7 +19,9 @@ use sz_cad::{AffineKind, Cad};
 use szalinski::{RunMode, RunOptions, SynthConfig, SynthSnapshot, Synthesis, Synthesizer};
 
 fn high_config() -> SynthConfig {
-    SynthConfig::new().with_iter_limit(60).with_node_limit(80_000)
+    SynthConfig::new()
+        .with_iter_limit(60)
+        .with_node_limit(80_000)
 }
 
 fn low_config() -> SynthConfig {
@@ -31,7 +33,10 @@ fn low_config() -> SynthConfig {
 /// The byte-level identity of a synthesis result: costs plus printed
 /// programs, in rank order.
 fn programs(s: &Synthesis) -> Vec<(usize, String)> {
-    s.top_k.iter().map(|p| (p.cost, p.cad.to_string())).collect()
+    s.top_k
+        .iter()
+        .map(|p| (p.cost, p.cad.to_string()))
+        .collect()
 }
 
 /// Snapshot `input` at low fuel (round-tripping through text, exactly
@@ -136,7 +141,9 @@ fn partial_resume_rechains_through_recapture() {
     let mid = s8
         .run(
             &flat,
-            RunOptions::new().with_snapshot(snap2).capture_snapshot(true),
+            RunOptions::new()
+                .with_snapshot(snap2)
+                .capture_snapshot(true),
         )
         .unwrap();
     assert_eq!(mid.mode, RunMode::ResumedSaturation);

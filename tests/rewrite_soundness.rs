@@ -22,11 +22,7 @@ fn check_all_variants(input: &str) {
         !matches!(runner.stop_reason, Some(StopReason::TimeLimit(_))),
         "saturation should finish for {input}"
     );
-    let kbest = sz_egraph::KBestExtractor::new(
-        &runner.egraph,
-        CadCost::new(CostKind::AstSize),
-        8,
-    );
+    let kbest = sz_egraph::KBestExtractor::new(&runner.egraph, CadCost::new(CostKind::AstSize), 8);
     let results = kbest.find_best_k(runner.roots[0]);
     assert!(!results.is_empty());
     for (cost, expr) in results {

@@ -13,7 +13,9 @@ use sz_scad::scad_to_flat_csg;
 use szalinski::{synthesize, SynthConfig};
 
 fn config() -> SynthConfig {
-    SynthConfig::new().with_iter_limit(60).with_node_limit(80_000)
+    SynthConfig::new()
+        .with_iter_limit(60)
+        .with_node_limit(80_000)
 }
 
 #[test]

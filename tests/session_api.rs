@@ -14,7 +14,10 @@ use szalinski::{
 };
 
 fn programs(s: &Synthesis) -> Vec<(usize, String)> {
-    s.top_k.iter().map(|p| (p.cost, p.cad.to_string())).collect()
+    s.top_k
+        .iter()
+        .map(|p| (p.cost, p.cad.to_string()))
+        .collect()
 }
 
 #[test]
@@ -93,7 +96,9 @@ fn deprecated_wrappers_agree_with_the_session_api() {
             .map(|i| sz_cad::Cad::translate(2.0 * i as f64, 0.0, 0.0, sz_cad::Cad::Unit))
             .collect(),
     );
-    let config = SynthConfig::new().with_iter_limit(30).with_node_limit(30_000);
+    let config = SynthConfig::new()
+        .with_iter_limit(30)
+        .with_node_limit(30_000);
     let session = Synthesizer::new(config.clone());
 
     let via_session = session.run(&flat, RunOptions::new()).unwrap();

@@ -25,7 +25,10 @@ fn deterministic_snapshot() -> (SynthSnapshot, String) {
         .unwrap()
         .with_iterations(3);
     let config = SynthConfig::new();
-    (SynthSnapshot::new(&input, &config, snapshot), config.saturation_fingerprint())
+    (
+        SynthSnapshot::new(&input, &config, snapshot),
+        config.saturation_fingerprint(),
+    )
 }
 
 /// The same graph with a saturation-phase section attached (what
@@ -39,8 +42,12 @@ fn deterministic_snapshot_with_phase() -> SynthSnapshot {
     let root = egraph.add_expr(&cad_to_lang(&input));
     egraph.rebuild();
     let config = SynthConfig::new();
-    let phase = Snapshot::of_egraph(&egraph, &[root]).unwrap().with_iterations(3);
-    let fin = Snapshot::of_egraph(&egraph, &[root]).unwrap().with_iterations(3);
+    let phase = Snapshot::of_egraph(&egraph, &[root])
+        .unwrap()
+        .with_iterations(3);
+    let fin = Snapshot::of_egraph(&egraph, &[root])
+        .unwrap()
+        .with_iterations(3);
     let stat = |name: &str, matches: usize, applied: usize, times_banned: usize| RuleStat {
         name: name.to_owned(),
         matches,
@@ -49,7 +56,10 @@ fn deterministic_snapshot_with_phase() -> SynthSnapshot {
         search_time: std::time::Duration::ZERO,
         apply_time: std::time::Duration::ZERO,
     };
-    let stats = vec![stat("union-assoc", 7, 3, 0), stat("weird name (x)", 1, 0, 2)];
+    let stats = vec![
+        stat("union-assoc", 7, 3, 0),
+        stat("weird name (x)", 1, 0, 2),
+    ];
     SynthSnapshot::new(&input, &config, fin)
         .with_sat_phase(SatPhase::new(&config, phase).with_rule_stats(stats))
 }

@@ -28,9 +28,17 @@ fn run(name: &str) -> szalinski::TableRow {
 fn card_org_single_loop() {
     let row = run("3171605:card-org");
     assert_eq!(row.rank, Some(1));
-    assert!(row.n_l.contains("n1,8") || row.n_l.contains("n2"), "{}", row.n_l);
+    assert!(
+        row.n_l.contains("n1,8") || row.n_l.contains("n2"),
+        "{}",
+        row.n_l
+    );
     assert_eq!(row.f, "d1");
-    assert!(row.size_reduction() > 0.4, "reduction {}", row.size_reduction());
+    assert!(
+        row.size_reduction() > 0.4,
+        "reduction {}",
+        row.size_reduction()
+    );
 }
 
 #[test]
@@ -87,7 +95,10 @@ fn soldering_keeps_external_and_loops() {
     let result = synthesize(&model.flat, &config());
     let (_, prog) = result.structured().expect("clip loop");
     let s = prog.cad.to_string();
-    assert!(s.contains("(External mirror_half)"), "External survives: {s}");
+    assert!(
+        s.contains("(External mirror_half)"),
+        "External survives: {s}"
+    );
     assert!(s.contains("Mapi") || s.contains("MapIdx"), "{s}");
 }
 

@@ -55,11 +55,17 @@ fn identical_runs_emit_identical_telemetry() {
     ] {
         assert!(phases_a.contains(label), "missing {label} in:\n{phases_a}");
     }
-    assert!(metrics_a.contains("counter run.mode.cold = 16"), "{metrics_a}");
+    assert!(
+        metrics_a.contains("counter run.mode.cold = 16"),
+        "{metrics_a}"
+    );
     assert!(metrics_a.contains("counter cache.miss = 16"), "{metrics_a}");
     assert!(
         metrics_a.contains("histogram job.latency_us count = 16"),
         "{metrics_a}"
     );
-    assert!(metrics_a.contains("gauge pool.queue_depth = 0"), "{metrics_a}");
+    assert!(
+        metrics_a.contains("gauge pool.queue_depth = 0"),
+        "{metrics_a}"
+    );
 }

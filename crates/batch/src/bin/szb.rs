@@ -18,9 +18,11 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use sz_batch::{
-    attach_snapshot_dir, dir_jobs, merge_reports, sanitize_name, save_snapshot_dir, suite16_jobs,
-    summary_record, BatchEngine, BatchJob, JobStatus, ResultCache, ShardSpec, StreamSink,
+    attach_snapshot_dir, dir_jobs, gen_jobs, merge_reports, sanitize_name, save_snapshot_dir,
+    suite16_jobs, summary_record, BatchEngine, BatchJob, JobStatus, ResultCache, ShardSpec,
+    StreamSink,
 };
+use sz_gen::GenSpec;
 use szalinski::{
     parse_cost_spec, CostKind, CostSpec, RuleStat, SynthConfig, TableRow, Telemetry,
     COST_SPEC_GRAMMAR,
@@ -32,12 +34,20 @@ szb — parallel batch synthesis over a model corpus
 USAGE:
     szb [OPTIONS] <INPUT_DIR>
     szb [OPTIONS] --suite16
+    szb [OPTIONS] --gen <SPEC>
     szb merge [--cache] <OUT> <IN>...
     szb lint [--json] [--rules] [--suite16] [<DIR>...]
 
 INPUT:
     <INPUT_DIR>            directory of .scad / .csexp models (non-recursive)
     --suite16              the paper's 16-model Table-1 corpus
+    --gen <SPEC>           a generated synthetic corpus, streamed straight into
+                           memory — no files touch disk. Jobs are named
+                           gen:<seed>:<index> and each model derives from
+                           (seed, index) alone, so --shard generates only the
+                           models it owns yet `szb merge` reassembles exactly
+                           the unsharded corpus. Spec grammar: `szgen --help`
+                           (empty SPEC = the generator defaults)
 
 EXECUTION:
     --workers <N>          worker threads (default: available cores)
@@ -190,6 +200,7 @@ fn usage() -> String {
 struct Options {
     input_dir: Option<PathBuf>,
     suite16: bool,
+    gen: Option<GenSpec>,
     shard: Option<ShardSpec>,
     workers: Option<usize>,
     sequential: bool,
@@ -220,6 +231,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         input_dir: None,
         suite16: false,
+        gen: None,
         shard: None,
         workers: None,
         sequential: false,
@@ -242,6 +254,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         };
         match arg.as_str() {
             "--suite16" => opts.suite16 = true,
+            "--gen" => {
+                opts.gen = Some(value()?.parse().map_err(|e| format!("--gen: {e}"))?);
+            }
             "--sequential" => opts.sequential = true,
             "--structural-rules" => opts.config = opts.config.clone().with_structural_rules(true),
             "--backoff" => opts.config = opts.config.clone().with_backoff(true),
@@ -320,10 +335,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown argument: {other}")),
         }
     }
-    match (&opts.input_dir, opts.suite16) {
-        (Some(_), true) => Err("give either an input directory or --suite16, not both".into()),
-        (None, false) => Err("no input: give a directory of models or --suite16".into()),
-        _ => Ok(opts),
+    let inputs = usize::from(opts.input_dir.is_some())
+        + usize::from(opts.suite16)
+        + usize::from(opts.gen.is_some());
+    match inputs {
+        0 => Err("no input: give a directory of models, --suite16, or --gen <spec>".into()),
+        1 => Ok(opts),
+        _ => Err("give exactly one input: a directory, --suite16, or --gen <spec>".into()),
     }
 }
 
@@ -414,8 +432,31 @@ fn main() -> ExitCode {
         }
     };
 
-    // Enumerate the corpus.
-    let mut jobs: Vec<BatchJob> = if opts.suite16 {
+    // Enumerate the corpus. Generated corpora shard during enumeration
+    // (membership is decided on the name alone), so a fleet worker
+    // never pays generation cost for models it does not own; file and
+    // suite corpora shard after enumeration as before. Either way the
+    // partition is the same stable name hash, so `szb merge` sees one
+    // coherent corpus.
+    let mut jobs: Vec<BatchJob> = if let Some(spec) = &opts.gen {
+        let (jobs, dropped) = gen_jobs(spec, &opts.config, opts.shard);
+        if !opts.quiet {
+            match opts.shard {
+                Some(shard) => println!(
+                    "szb: gen `{}`: shard {shard}: {} of {} jobs (in memory; rest owned by other shards)",
+                    spec.canonical(),
+                    jobs.len(),
+                    jobs.len() + dropped,
+                ),
+                None => println!(
+                    "szb: gen `{}`: {} jobs (in memory)",
+                    spec.canonical(),
+                    jobs.len(),
+                ),
+            }
+        }
+        jobs
+    } else if opts.suite16 {
         suite16_jobs(&opts.config)
     } else {
         let dir = opts.input_dir.as_ref().unwrap();
@@ -432,15 +473,20 @@ fn main() -> ExitCode {
             }
         }
     };
-    if jobs.is_empty() {
+    // An empty *generated* shard is a normal fleet outcome (the empty
+    // report still reaches `szb merge`); an empty directory or suite is
+    // a user error. Generated corpora are never empty pre-shard
+    // (count >= 1 by spec validation).
+    if jobs.is_empty() && opts.gen.is_none() {
         eprintln!("szb: no models to run");
         return ExitCode::from(2);
     }
-    // Shard filtering happens after enumeration, by stable name hash,
-    // so every shard sees — and partitions — the same corpus. An empty
-    // shard is a normal fleet outcome, not an error: it still writes
-    // its (empty) report so `szb merge` sees every shard.
-    if let Some(shard) = opts.shard {
+    // Shard filtering for file/suite corpora happens after enumeration,
+    // by stable name hash, so every shard sees — and partitions — the
+    // same corpus. An empty shard is a normal fleet outcome, not an
+    // error: it still writes its (empty) report so `szb merge` sees
+    // every shard.
+    if let (Some(shard), None) = (opts.shard, &opts.gen) {
         let dropped = shard.filter(&mut jobs);
         if !opts.quiet {
             println!(

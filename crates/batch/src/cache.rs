@@ -195,6 +195,10 @@ pub struct ResultCache {
     /// never keys it merely doesn't hold, which may belong to another
     /// process sharing the directory.
     evicted: HashSet<u64>,
+    /// Lifetime count of snapshot evictions (monotonic; re-inserting an
+    /// evicted key does not decrement it). Per-instance observability,
+    /// never persisted.
+    evictions: usize,
 }
 
 /// Error loading a persisted cache file.
@@ -423,7 +427,19 @@ impl ResultCache {
             self.unindex_snapshot(victim);
             self.snaps.remove(&victim);
             self.evicted.insert(victim);
+            self.evictions += 1;
         }
+    }
+
+    /// Lifetime number of snapshot-tier evictions this instance
+    /// performed under its byte budget. Monotonic — unlike the pruning
+    /// set behind [`save_snapshot_dir`], a later re-insert of an
+    /// evicted key does not take the count back — so a caller can
+    /// decide whether snapshot-tier misses are *explained* (corpus
+    /// outgrew the budget) or a regression (misses with zero
+    /// evictions); the `corpus` soak bin gates on exactly that.
+    pub fn evictions(&self) -> usize {
+        self.evictions
     }
 
     /// [`ResultCache::to_lines`] without the snapshot tier — for

@@ -92,6 +92,38 @@ pub fn suite16_jobs(config: &SynthConfig) -> Vec<BatchJob> {
         .collect()
 }
 
+/// Jobs for a generated corpus (`szb --gen <spec>`), built **without
+/// materializing files on disk**.
+///
+/// Names are enumerated first (`gen:<seed>:<index>`, see
+/// [`sz_gen::model_name`]); shard membership is decided on the name
+/// alone — the same [`stable_name_hash`] partition every other corpus
+/// uses — and only owned models are actually generated. A fleet worker
+/// holding shard `i/N` therefore pays generation cost only for its own
+/// slice, yet `szb merge` reassembles exactly the corpus an unsharded
+/// run would have produced (the generator is keyed per index, never
+/// sequential).
+///
+/// Returns the jobs plus how many models the shard filter skipped.
+pub fn gen_jobs(
+    spec: &sz_gen::GenSpec,
+    config: &SynthConfig,
+    shard: Option<ShardSpec>,
+) -> (Vec<BatchJob>, usize) {
+    let mut jobs = Vec::new();
+    let mut dropped = 0usize;
+    for index in 0..spec.count {
+        let name = sz_gen::model_name(spec.seed, index);
+        if shard.is_some_and(|s| !s.owns(&name)) {
+            dropped += 1;
+            continue;
+        }
+        let cad = sz_gen::generate_model(spec, index);
+        jobs.push(BatchJob::new(name, cad, config.clone()));
+    }
+    (jobs, dropped)
+}
+
 /// Why one corpus file could not be loaded (the batch continues; these
 /// are reported alongside the jobs).
 #[derive(Debug)]
@@ -322,6 +354,34 @@ mod tests {
                 "{bad:?} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn gen_jobs_shard_split_reassembles_the_unsharded_corpus() {
+        let spec: sz_gen::GenSpec = "count=40,seed=7,noise=0.0005".parse().unwrap();
+        let config = SynthConfig::new();
+        let (all, dropped) = gen_jobs(&spec, &config, None);
+        assert_eq!((all.len(), dropped), (40, 0));
+        assert!(all.iter().all(|j| j.input.is_flat_csg()));
+        assert_eq!(all[0].name, "gen:7:0");
+
+        let mut merged: Vec<(String, String)> = Vec::new();
+        let mut skipped_total = 0;
+        for i in 1..=4 {
+            let shard = ShardSpec { index: i, count: 4 };
+            let (jobs, skipped) = gen_jobs(&spec, &config, Some(shard));
+            assert_eq!(jobs.len() + skipped, 40);
+            skipped_total += skipped;
+            merged.extend(jobs.into_iter().map(|j| (j.name, j.input.to_string())));
+        }
+        assert_eq!(skipped_total, 3 * 40);
+        // Reassembled by index: byte-identical to the unsharded run.
+        merged.sort_by_key(|(name, _)| name.rsplit(':').next().unwrap().parse::<usize>().unwrap());
+        let expected: Vec<(String, String)> = all
+            .iter()
+            .map(|j| (j.name.clone(), j.input.to_string()))
+            .collect();
+        assert_eq!(merged, expected);
     }
 
     #[test]

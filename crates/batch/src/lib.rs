@@ -37,10 +37,11 @@
 //!   (`search_time_s`/`apply_time_s` totals plus a per-rule `rules[]`
 //!   array from [`JobOutcome::rule_stats`]); [`merge_reports`] folds
 //!   per-shard streams back into one deterministic report;
-//! * [`corpus`] — job enumeration from the 16-model suite or a
-//!   directory of `.scad`/`.csexp` files, and [`ShardSpec`] for
-//!   splitting either corpus across fleet processes by a stable hash
-//!   of the job name ([`stable_name_hash`]).
+//! * [`corpus`] — job enumeration from the 16-model suite, a directory
+//!   of `.scad`/`.csexp` files, or a generated `sz-gen` corpus streamed
+//!   straight into memory ([`gen_jobs`], `szb --gen <spec>` — no files
+//!   on disk), and [`ShardSpec`] for splitting any corpus across fleet
+//!   processes by a stable hash of the job name ([`stable_name_hash`]).
 //!
 //! The `szb` binary glues these into a CLI that decompiles a whole
 //! directory end-to-end (parse → synthesize → emit structured
@@ -52,6 +53,7 @@
 //! szb --suite16 --snapshots snaps/            # store e-graph snapshots
 //! szb --suite16 --snapshots snaps/ --reward-loops   # resumes, no saturation
 //! szb models/ --shard 2/4 --snapshots snaps/ --report shard2.jsonl
+//! szb --gen "count=10000,seed=42" --shard 1/8 --snapshots snaps/
 //! szb merge merged.jsonl shard*.jsonl         # fold shard reports
 //! szb merge --cache merged.sexp shard*.sexp   # fold shard caches
 //! ```
@@ -93,7 +95,7 @@ pub use cache::{
     attach_snapshot_dir, load_snapshot_dir, save_snapshot_dir, stable_name_hash, CacheLoadError,
     CachedRun, CoreKey, JobKey, ResultCache, SnapshotKey, DEFAULT_SNAPSHOT_BUDGET,
 };
-pub use corpus::{dir_jobs, sanitize_name, suite16_jobs, CorpusSkip, ShardSpec};
+pub use corpus::{dir_jobs, gen_jobs, sanitize_name, suite16_jobs, CorpusSkip, ShardSpec};
 pub use engine::{BatchEngine, BatchJob, BatchReport, JobOutcome, JobStatus, StreamSink};
 pub use lint::{lint_dir, lint_rules, lint_suite16, run_lint_cli};
 pub use pool::{run_tasks, TaskPanic};

@@ -1,0 +1,445 @@
+//! `corpus` — the standing soak workload, emitting `BENCH_corpus.json`.
+//!
+//! Pushes a generated corpus (10⁴–10⁵ models; see `szgen --help` for
+//! the spec grammar) through the sharded batch engine the way a fleet
+//! would run it: one cold pass per shard against a shared result
+//! cache, then one warm pass over the whole corpus that must be served
+//! from the program tier. Reports throughput (models/s, cold and
+//! warm), cache/snapshot hit rates, and p50/p99 job latency from the
+//! engine's `job.latency_us` histogram.
+//!
+//! With `--baseline`, acts as a regression gate: structural counts
+//! (models, ok, warm hits) must match exactly — generation and the
+//! engine are deterministic — and each throughput must stay within
+//! `--gate-factor` of the baseline (latency correspondingly bounded
+//! above).
+//!
+//! ```text
+//! corpus --spec "count=10000,seed=42,noise=0.0005"
+//! corpus --baseline crates/bench/corpus_baseline.txt          # CI gate
+//! corpus --write-baseline crates/bench/corpus_baseline.txt
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+
+use sz_batch::report::{json_f64, json_string};
+use sz_batch::{gen_jobs, BatchEngine, ResultCache, ShardSpec, DEFAULT_SNAPSHOT_BUDGET};
+use sz_gen::GenSpec;
+use szalinski::{SynthConfig, Telemetry};
+
+const DEFAULT_SPEC: &str = "count=10000,seed=42,noise=0.0005";
+
+const USAGE: &str = "\
+corpus — standing soak workload: a generated corpus through the sharded engine
+
+USAGE:
+    corpus [--spec <SPEC>] [OPTIONS]
+
+OPTIONS:
+    --spec <SPEC>            generated-corpus spec (grammar: szgen --help)
+                             (default: count=10000,seed=42,noise=0.0005)
+    --shards <N>             cold pass runs as N shard slices sharing one
+                             cache, like a fleet would (default: 2)
+    --workers <N>            worker threads per slice (default: available cores)
+    --iter-limit <N>         saturation iteration limit per job (default: 30)
+    --node-limit <N>         saturation e-node limit per job (default: 20000)
+    --out <FILE>             JSON output (default: BENCH_corpus.json; 'none' disables)
+    --baseline <FILE>        gate against FILE: counts exact, throughput >=
+                             baseline/X, latency <= baseline*X
+    --write-baseline <FILE>  write this run's figures to FILE
+    --gate-factor <X>        allowed slowdown factor (default: 3)
+    --quiet                  suppress per-slice progress lines
+    --help                   show this text
+";
+
+struct RunStats {
+    spec: String,
+    models: usize,
+    shards: usize,
+    workers: usize,
+    ok: usize,
+    cold_wall_s: f64,
+    cold_models_per_s: f64,
+    warm_ok: usize,
+    warm_hits: usize,
+    warm_wall_s: f64,
+    warm_models_per_s: f64,
+    snap_ok: usize,
+    snap_hits: usize,
+    snap_evictions: usize,
+    snap_wall_s: f64,
+    program_hits: u64,
+    snapshot_hits: u64,
+    misses: u64,
+    program_hit_rate: f64,
+    snapshot_hit_rate: f64,
+    p50_latency_us: f64,
+    p90_latency_us: f64,
+    p99_latency_us: f64,
+}
+
+/// The `key value` pairs reported, gated, and written as the baseline.
+fn metrics(s: &RunStats) -> Vec<(&'static str, f64)> {
+    vec![
+        ("models", s.models as f64),
+        ("ok", s.ok as f64),
+        ("warm_ok", s.warm_ok as f64),
+        ("warm_hits", s.warm_hits as f64),
+        ("snap_ok", s.snap_ok as f64),
+        ("snap_hits", s.snap_hits as f64),
+        ("cold_models_per_s", s.cold_models_per_s),
+        ("warm_models_per_s", s.warm_models_per_s),
+        ("p50_latency_us", s.p50_latency_us),
+        ("p99_latency_us", s.p99_latency_us),
+    ]
+}
+
+/// Counts gate exactly; `*_models_per_s` gate as floors,
+/// `*_latency_us` as ceilings.
+fn is_exact(key: &str) -> bool {
+    !key.ends_with("_per_s") && !key.ends_with("_latency_us")
+}
+
+fn run_soak(
+    spec: &GenSpec,
+    shards: usize,
+    workers: Option<usize>,
+    config: &SynthConfig,
+    quiet: bool,
+) -> RunStats {
+    let telemetry = Telemetry::enabled();
+    // The snapshot tier is disabled until granted bytes; the soak
+    // exercises it the way `szb --snapshots` does.
+    let cache = Arc::new(Mutex::new(
+        ResultCache::new().with_snapshot_budget(DEFAULT_SNAPSHOT_BUDGET),
+    ));
+    let engine = |telemetry: &Telemetry| {
+        let mut e = BatchEngine::new()
+            .with_telemetry(telemetry.clone())
+            .with_cache(Arc::clone(&cache));
+        if let Some(w) = workers {
+            e = e.with_workers(w);
+        }
+        e
+    };
+
+    // Cold pass: one engine run per shard slice, all sharing the cache
+    // — the in-process picture of N fleet workers over one snapshot
+    // store. Slices generate only the models they own.
+    let mut ok = 0usize;
+    let mut cold_wall_s = 0.0f64;
+    let mut engine_workers = 0usize;
+    for index in 1..=shards {
+        let shard = ShardSpec {
+            index,
+            count: shards,
+        };
+        let (jobs, _) = gen_jobs(spec, config, Some(shard));
+        let n = jobs.len();
+        let report = engine(&telemetry).run(jobs);
+        ok += report.ok_count();
+        cold_wall_s += report.wall_time.as_secs_f64();
+        engine_workers = report.workers;
+        if !quiet {
+            println!(
+                "corpus: cold shard {shard}: {}/{n} ok in {:.2}s",
+                report.ok_count(),
+                report.wall_time.as_secs_f64()
+            );
+        }
+    }
+
+    // Warm pass: the whole corpus again; every job must be served from
+    // the program tier (same inputs, same config fingerprint).
+    let (jobs, _) = gen_jobs(spec, config, None);
+    let warm = engine(&telemetry).run(jobs);
+    if !quiet {
+        println!(
+            "corpus: warm pass: {}/{} ok, {} cache hits in {:.2}s",
+            warm.ok_count(),
+            spec.count,
+            warm.cache_hits(),
+            warm.wall_time.as_secs_f64()
+        );
+    }
+
+    // The cold slices cover the corpus once, the warm pass once more.
+    // Snapshot pass: an extraction-only config change (different
+    // top-k) misses the program tier — the full fingerprint differs —
+    // but must resume from the snapshot tier with zero saturation
+    // iterations.
+    let snap_config = config.clone().with_k(config.k + 1);
+    let (jobs, _) = gen_jobs(spec, &snap_config, None);
+    let snap = engine(&telemetry).run(jobs);
+    // Above ~10⁴ models the corpus outgrows the snapshot tier's byte
+    // budget and eviction kicks in; every resume miss must then be
+    // accounted for by an eviction (the gate below), so the soak
+    // measures the cache under pressure instead of requiring an
+    // unbounded one.
+    let snap_evictions = cache.lock().unwrap().evictions();
+    if !quiet {
+        println!(
+            "corpus: snapshot pass (k={}): {}/{} ok, {} snapshot resumes, {} evictions in {:.2}s",
+            snap_config.k,
+            snap.ok_count(),
+            spec.count,
+            snap.snapshot_hits(),
+            snap_evictions,
+            snap.wall_time.as_secs_f64()
+        );
+    }
+
+    // The cold slices cover the corpus once; the warm and snapshot
+    // passes once more each.
+    let jobs_total = (spec.count * 3) as f64;
+    let program_hits = telemetry.metrics.counter("cache.program_hit");
+    let snapshot_hits = telemetry.metrics.counter("cache.snapshot_hit");
+    let misses = telemetry.metrics.counter("cache.miss");
+    let latency = telemetry.metrics.histogram("job.latency_us");
+    let quantile = |q: f64| latency.as_ref().map_or(0.0, |h| h.quantile(q));
+    RunStats {
+        spec: spec.canonical(),
+        models: spec.count,
+        shards,
+        workers: engine_workers,
+        ok,
+        cold_wall_s,
+        cold_models_per_s: spec.count as f64 / cold_wall_s.max(1e-9),
+        warm_ok: warm.ok_count(),
+        warm_hits: warm.cache_hits(),
+        warm_wall_s: warm.wall_time.as_secs_f64(),
+        warm_models_per_s: spec.count as f64 / warm.wall_time.as_secs_f64().max(1e-9),
+        snap_ok: snap.ok_count(),
+        snap_hits: snap.snapshot_hits(),
+        snap_evictions,
+        snap_wall_s: snap.wall_time.as_secs_f64(),
+        program_hits,
+        snapshot_hits,
+        misses,
+        program_hit_rate: program_hits as f64 / jobs_total,
+        snapshot_hit_rate: snapshot_hits as f64 / jobs_total,
+        p50_latency_us: quantile(0.50),
+        p90_latency_us: quantile(0.90),
+        p99_latency_us: quantile(0.99),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut spec_text = DEFAULT_SPEC.to_owned();
+    let mut shards = 2usize;
+    let mut workers: Option<usize> = None;
+    let mut iter_limit = 30usize;
+    let mut node_limit = 20_000usize;
+    let mut out: Option<PathBuf> = Some(PathBuf::from("BENCH_corpus.json"));
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut gate_factor = 3.0f64;
+    let mut quiet = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{arg} needs a value"))
+        };
+        let result: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--spec" => spec_text = value()?.clone(),
+                "--shards" => {
+                    shards = value()?.parse().map_err(|e| format!("--shards: {e}"))?;
+                    if shards == 0 {
+                        return Err("--shards must be >= 1".into());
+                    }
+                }
+                "--workers" => {
+                    workers = Some(value()?.parse().map_err(|e| format!("--workers: {e}"))?);
+                }
+                "--iter-limit" => {
+                    iter_limit = value()?.parse().map_err(|e| format!("--iter-limit: {e}"))?;
+                }
+                "--node-limit" => {
+                    node_limit = value()?.parse().map_err(|e| format!("--node-limit: {e}"))?;
+                }
+                "--out" => {
+                    let v = value()?;
+                    out = (v != "none").then(|| PathBuf::from(v));
+                }
+                "--baseline" => baseline = Some(PathBuf::from(value()?)),
+                "--write-baseline" => write_baseline = Some(PathBuf::from(value()?)),
+                "--gate-factor" => match value()?.parse::<f64>() {
+                    Ok(x) if x >= 1.0 => gate_factor = x,
+                    _ => return Err("--gate-factor needs a number >= 1".into()),
+                },
+                "--quiet" => quiet = true,
+                "--help" | "-h" => {
+                    print!("{USAGE}");
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown argument: {other}")),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = result {
+            eprintln!("corpus: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let spec: GenSpec = match spec_text.parse() {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("corpus: --spec: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let config = SynthConfig::new()
+        .with_iter_limit(iter_limit)
+        .with_node_limit(node_limit);
+
+    let stats = run_soak(&spec, shards, workers, &config, quiet);
+    println!(
+        "corpus: {} models ({} shards, {} workers) | cold {:.1}/s, warm {:.1}/s | \
+         hit rates: program {:.0}%, snapshot {:.0}% | latency p50 {:.0}us p99 {:.0}us | {}/{} ok",
+        stats.models,
+        stats.shards,
+        stats.workers,
+        stats.cold_models_per_s,
+        stats.warm_models_per_s,
+        stats.program_hit_rate * 100.0,
+        stats.snapshot_hit_rate * 100.0,
+        stats.p50_latency_us,
+        stats.p99_latency_us,
+        stats.ok,
+        stats.models,
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    if stats.ok != stats.models {
+        failures.push(format!(
+            "cold pass: only {}/{} models synthesized ok",
+            stats.ok, stats.models
+        ));
+    }
+    if stats.warm_hits != stats.models {
+        failures.push(format!(
+            "warm pass: only {}/{} jobs served from the program tier",
+            stats.warm_hits, stats.models
+        ));
+    }
+    // Every snapshot-pass miss must be explained by a budget eviction:
+    // zero evictions (the corpus fits the tier, as in CI) demands 100%
+    // resumes, while misses without matching evictions are a snapshot-
+    // tier regression at any scale.
+    if stats.snap_hits + stats.snap_evictions < stats.models {
+        failures.push(format!(
+            "snapshot pass: only {}/{} jobs resumed from the snapshot tier \
+             with {} evictions to account for the misses",
+            stats.snap_hits, stats.models, stats.snap_evictions
+        ));
+    }
+
+    if let Some(path) = &out {
+        let line = format!(
+            "{{\"type\":\"corpus\",\"spec\":{},\"shards\":{},\"workers\":{},\"wall_s\":{},\"warm_wall_s\":{},\"snap_wall_s\":{},\"program_hits\":{},\"snapshot_hits\":{},\"misses\":{},\"snap_evictions\":{},\"program_hit_rate\":{},\"snapshot_hit_rate\":{}{}}}\n",
+            json_string(&stats.spec),
+            stats.shards,
+            stats.workers,
+            json_f64(stats.cold_wall_s),
+            json_f64(stats.warm_wall_s),
+            json_f64(stats.snap_wall_s),
+            stats.program_hits,
+            stats.snapshot_hits,
+            stats.misses,
+            stats.snap_evictions,
+            json_f64(stats.program_hit_rate),
+            json_f64(stats.snapshot_hit_rate),
+            metrics(&stats)
+                .iter()
+                .chain([("p90_latency_us", stats.p90_latency_us)].iter())
+                .map(|(k, v)| format!(",\"{k}\":{}", json_f64(*v)))
+                .collect::<String>(),
+        );
+        if let Err(e) = std::fs::write(path, line) {
+            eprintln!("corpus: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("corpus: wrote profile to {}", path.display());
+    }
+
+    if let Some(path) = &write_baseline {
+        let mut body = String::from(
+            "# corpus soak baseline. Counts gate exactly (generation and the engine\n\
+             # are deterministic); *_models_per_s gate at >= baseline/FACTOR,\n\
+             # *_latency_us at <= baseline*FACTOR.\n\
+             # Regenerate with: cargo run --release -p sz-bench --bin corpus -- \
+             --out none --write-baseline <this file> [--spec <SPEC>]\n",
+        );
+        for (key, value) in metrics(&stats) {
+            body.push_str(&format!("{key} {}\n", json_f64(value)));
+        }
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("corpus: cannot write baseline {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("corpus: wrote baseline to {}", path.display());
+    }
+
+    if let Some(path) = &baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("corpus: cannot read baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let current = metrics(&stats);
+        for line in text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        {
+            let Some((key, value)) = line.split_once(' ') else {
+                failures.push(format!("malformed baseline line: {line}"));
+                continue;
+            };
+            let Ok(expected) = value.trim().parse::<f64>() else {
+                failures.push(format!("malformed baseline value: {line}"));
+                continue;
+            };
+            let Some(&(_, actual)) = current.iter().find(|(k, _)| *k == key) else {
+                failures.push(format!("{key}: unknown metric"));
+                continue;
+            };
+            if is_exact(key) {
+                if actual != expected {
+                    failures.push(format!("{key}: expected {expected}, got {actual}"));
+                }
+            } else if key.ends_with("_latency_us") {
+                if actual > expected * gate_factor {
+                    failures.push(format!(
+                        "{key}: {actual:.0}us exceeds {expected:.0}us x{gate_factor}"
+                    ));
+                }
+            } else if actual < expected / gate_factor {
+                failures.push(format!(
+                    "{key}: {actual:.1}/s below {expected:.1}/s / {gate_factor}"
+                ));
+            }
+        }
+        if failures.is_empty() {
+            println!("corpus: baseline check passed ({})", path.display());
+        }
+    }
+
+    if !failures.is_empty() {
+        eprintln!("corpus: {} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("corpus:   {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -13,6 +13,13 @@
 //!   its `--baseline` mode fails if any rule listed in
 //!   `crates/bench/ematch_baseline.txt` reports zero matches (CI's
 //!   e-matching regression gate);
+//! * `corpus` — the standing soak workload: a generated corpus
+//!   (`sz-gen`, 10⁴–10⁵ models) through the sharded engine — cold
+//!   per-shard passes over a shared cache, then a warm full pass —
+//!   emitting `BENCH_corpus.json` (cold/warm throughput, cache and
+//!   snapshot hit rates, p50/p99 job latency); its `--baseline` mode
+//!   is CI's corpus-soak regression gate
+//!   (`crates/bench/corpus_baseline.txt`);
 //! * `trace_overhead` — telemetry overhead guard: suite16 wall time
 //!   with [`szalinski::Telemetry`] disabled vs null-sink vs fully
 //!   recording, emitting `BENCH_trace.json`; `--gate` fails the run

@@ -1,0 +1,237 @@
+//! `szgen` — deterministic synthetic corpus generator CLI.
+//!
+//! Generates a corpus of flat csexp/SCAD programs from a distribution
+//! spec, writes an optional JSONL manifest, and re-verifies existing
+//! corpora against their manifest (drift detection).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use sz_gen::manifest::MANIFEST_FILE;
+use sz_gen::{models_traced, verify_dir, GenSpec, Manifest, ManifestEntry, SPEC_GRAMMAR};
+use sz_scad::cad_to_scad;
+use sz_trace::Telemetry;
+
+fn usage() -> String {
+    format!(
+        "\
+szgen — deterministic synthetic corpus generator
+
+USAGE:
+    szgen --spec <SPEC> --out <DIR> [OPTIONS]   generate a corpus
+    szgen verify <DIR>                          re-derive and diff a corpus
+    szgen --print-spec <SPEC>                   echo the canonical spec
+
+OPTIONS:
+    --spec <SPEC>     distribution spec (grammar below; empty = defaults)
+    --out <DIR>       directory to write the corpus into (created if needed)
+    --format <F>      csexp | scad | both (default: csexp)
+    --manifest        also write {MANIFEST_FILE} (szgen verify needs it)
+    --trace <FILE>    write a chrome://tracing profile of the run
+    --quiet           suppress the per-phase progress lines
+    --help            show this text
+
+{SPEC_GRAMMAR}"
+    )
+}
+
+struct Options {
+    spec: Option<String>,
+    out: Option<PathBuf>,
+    format: Format,
+    manifest: bool,
+    trace: Option<PathBuf>,
+    quiet: bool,
+    print_spec: Option<String>,
+    verify: Option<PathBuf>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Csexp,
+    Scad,
+    Both,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        spec: None,
+        out: None,
+        format: Format::Csexp,
+        manifest: false,
+        trace: None,
+        quiet: false,
+        print_spec: None,
+        verify: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "verify" => opts.verify = Some(PathBuf::from(value()?)),
+            "--spec" => opts.spec = Some(value()?.clone()),
+            "--out" => opts.out = Some(PathBuf::from(value()?)),
+            "--format" => {
+                opts.format = match value()?.as_str() {
+                    "csexp" => Format::Csexp,
+                    "scad" => Format::Scad,
+                    "both" => Format::Both,
+                    other => return Err(format!("--format: csexp|scad|both, got `{other}`")),
+                }
+            }
+            "--manifest" => opts.manifest = true,
+            "--trace" => opts.trace = Some(PathBuf::from(value()?)),
+            "--quiet" => opts.quiet = true,
+            "--print-spec" => opts.print_spec = Some(value()?.clone()),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn generate(opts: &Options, spec: &GenSpec, out: &Path) -> Result<(), String> {
+    let telemetry = if opts.trace.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    std::fs::create_dir_all(out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+
+    let mut entries = Vec::with_capacity(spec.count);
+    {
+        let _span = telemetry.span("gen", "corpus");
+        for model in models_traced(spec, &telemetry) {
+            let stem = sz_gen::file_stem(&model.name);
+            let csexp = model.cad.to_string();
+            if matches!(opts.format, Format::Csexp | Format::Both) {
+                let path = out.join(format!("{stem}.csexp"));
+                std::fs::write(&path, format!("{csexp}\n"))
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            }
+            if matches!(opts.format, Format::Scad | Format::Both) {
+                let scad = cad_to_scad(&model.cad)
+                    .map_err(|e| format!("{}: SCAD emission failed: {e:?}", model.name))?;
+                let path = out.join(format!("{stem}.scad"));
+                std::fs::write(&path, scad)
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            }
+            entries.push(ManifestEntry::derive(spec.seed, model.index, &model.cad));
+        }
+    }
+
+    if opts.manifest {
+        let _span = telemetry.span("gen", "manifest");
+        let manifest = Manifest {
+            spec: spec.clone(),
+            entries,
+        };
+        let path = out.join(MANIFEST_FILE);
+        std::fs::write(&path, manifest.render())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        if !opts.quiet {
+            println!("szgen: wrote manifest {}", path.display());
+        }
+    }
+
+    if let Some(path) = &opts.trace {
+        std::fs::write(path, telemetry.chrome_trace_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        if !opts.quiet {
+            println!("szgen: wrote trace {}", path.display());
+        }
+    }
+    if !opts.quiet {
+        println!(
+            "szgen: wrote {} models (spec `{}`) to {}",
+            spec.count,
+            spec.canonical(),
+            out.display()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print!("{}", usage());
+        return ExitCode::from(2);
+    }
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) if msg.is_empty() => {
+            print!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("szgen: {msg}");
+            eprintln!("szgen: run with --help for usage and the spec grammar");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(raw) = &opts.print_spec {
+        return match raw.parse::<GenSpec>() {
+            Ok(spec) => {
+                println!("{}", spec.canonical());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("szgen: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    if let Some(dir) = &opts.verify {
+        return match verify_dir(dir) {
+            Ok(report) if report.is_clean() => {
+                if !opts.quiet {
+                    println!(
+                        "szgen: verify clean — {} models re-derived, {} files checked",
+                        report.models, report.files
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            Ok(report) => {
+                eprintln!(
+                    "szgen: corpus drift in {} ({} finding(s)):",
+                    dir.display(),
+                    report.drift.len()
+                );
+                for finding in &report.drift {
+                    eprintln!("szgen:   {finding}");
+                }
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("szgen: verify failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let spec = match opts.spec.as_deref().unwrap_or("").parse::<GenSpec>() {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("szgen: {e}");
+            eprintln!("szgen: run with --help for the spec grammar");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(out) = opts.out.clone() else {
+        eprintln!("szgen: --out <DIR> is required to generate (or use verify/--print-spec)");
+        return ExitCode::from(2);
+    };
+    match generate(&opts, &spec, &out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("szgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # sz-gen: deterministic synthetic corpus generation
+//!
+//! The paper evaluates on ~2 000 Thingiverse programs that are not
+//! redistributable; the 16 Table-1 models in `sz-models` are far too
+//! few to exercise the sharded batch engine, the arena core, or the
+//! snapshot tiers at production scale. This crate closes that gap with
+//! a seeded generator that composes `sz-models`-style primitives,
+//! affine transforms, and noise into *flat* CSG programs under a
+//! controllable distribution spec — the standing workload every perf
+//! change is measured against.
+//!
+//! ## Determinism contract
+//!
+//! Same `(seed, spec)` ⇒ byte-identical corpus, on any machine, in any
+//! generation order. Model `i` is derived from a splittable per-model
+//! stream keyed on `(seed, i)` ([`model_rng`]) — never from global or
+//! shared RNG state — so a 4-way shard split reassembled by index is
+//! byte-identical to an unsharded run, and `szb --gen` workers can
+//! generate only the models they own.
+//!
+//! ## Structure the rules can find
+//!
+//! Generated models are unions of *sections*: rows (translate loops),
+//! grids (nested translate loops), rings (rotate loops, like Table 1's
+//! `gear`), and scatters (irregular — deliberately structure-free so
+//! the inverse-transformation rules also see negative examples).
+//! Optional noise routes through [`sz_models::add_noise_with`] with the
+//! per-model stream, simulating mesh-decompiler roundoff while keeping
+//! the corpus reproducible.
+//!
+//! ## Layers
+//!
+//! * [`GenSpec`] — the distribution spec and its compact string
+//!   grammar ([`SPEC_GRAMMAR`]).
+//! * [`generate_model`] / [`models`] — the keyed generator.
+//! * [`manifest`] — JSONL corpus manifests and drift detection
+//!   (`szgen --manifest` / `szgen verify`).
+//! * `szgen` — the CLI over all of the above.
+//!
+//! ## Example
+//!
+//! ```
+//! use sz_gen::{generate_model, model_name, GenSpec};
+//! let spec: GenSpec = "count=10,seed=42,noise=0.0005".parse().unwrap();
+//! let cad = generate_model(&spec, 3);
+//! assert!(cad.is_flat_csg());
+//! assert_eq!(model_name(spec.seed, 3), "gen:42:3");
+//! // Keyed on (seed, index): regenerating any model is bit-exact.
+//! assert_eq!(cad, generate_model(&spec, 3));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod generate;
+pub mod manifest;
+mod rng;
+mod spec;
+
+pub use generate::{file_stem, generate_model, model_name, models, models_traced, GenModel};
+pub use manifest::{parse_manifest, verify_dir, Manifest, ManifestEntry, VerifyReport};
+pub use rng::{model_rng, model_seed};
+pub use spec::{GenSpec, PrimKind, SpecError, StructureKind, SPEC_GRAMMAR};

@@ -1,0 +1,288 @@
+//! Corpus manifests and drift detection.
+//!
+//! `szgen --manifest` writes one JSONL file next to the corpus: a
+//! header record embedding the canonical spec (the corpus's identity),
+//! then one record per model with its derived stats and content hash.
+//! `szgen verify <dir>` re-derives every model from the embedded spec
+//! and diffs it against both the manifest records and any `.csexp`
+//! files on disk — catching hand-edited files, a stale corpus after a
+//! generator change, or a truncated sync.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use sz_cad::Cad;
+
+use crate::generate::{file_stem, generate_model, model_name};
+use crate::spec::GenSpec;
+
+/// The manifest file name `szgen` writes into a corpus directory.
+pub const MANIFEST_FILE: &str = "szgen.manifest.jsonl";
+
+/// FNV-1a over the csexp text: cheap, dependency-free, and stable —
+/// a corpus fingerprint, not a security boundary.
+fn fnv1a64(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in text.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One model's manifest record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Corpus index.
+    pub index: usize,
+    /// Stable job name (`gen:<seed>:<index>`).
+    pub name: String,
+    /// Term size (`Cad::num_nodes`).
+    pub nodes: usize,
+    /// Term depth (`Cad::depth`).
+    pub depth: usize,
+    /// Primitive count (`Cad::num_prims`).
+    pub prims: usize,
+    /// FNV-1a of the csexp text, zero-padded hex.
+    pub hash: String,
+}
+
+impl ManifestEntry {
+    /// Derives the record for one model.
+    pub fn derive(seed: u64, index: usize, cad: &Cad) -> ManifestEntry {
+        ManifestEntry {
+            index,
+            name: model_name(seed, index),
+            nodes: cad.num_nodes(),
+            depth: cad.depth(),
+            prims: cad.num_prims(),
+            hash: format!("{:016x}", fnv1a64(&cad.to_string())),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!(
+            "{{\"type\":\"model\",\"index\":{},\"name\":\"{}\",\"nodes\":{},\"depth\":{},\"prims\":{},\"hash\":\"{}\"}}",
+            self.index, self.name, self.nodes, self.depth, self.prims, self.hash
+        )
+    }
+}
+
+/// A parsed (or freshly derived) corpus manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// The spec the corpus was generated from (canonical form is the
+    /// corpus identity).
+    pub spec: GenSpec,
+    /// One record per model, in index order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Derives the full manifest for `spec` by generating every model.
+    pub fn generate(spec: &GenSpec) -> Manifest {
+        let entries = (0..spec.count)
+            .map(|index| ManifestEntry::derive(spec.seed, index, &generate_model(spec, index)))
+            .collect();
+        Manifest {
+            spec: spec.clone(),
+            entries,
+        }
+    }
+
+    /// Renders the JSONL text: header record, then one record per
+    /// model. Byte-deterministic for a given spec.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{{\"type\":\"szgen\",\"version\":1,\"spec\":\"{}\",\"count\":{}}}\n",
+            self.spec.canonical(),
+            self.entries.len()
+        );
+        for entry in &self.entries {
+            let _ = writeln!(out, "{}", entry.render());
+        }
+        out
+    }
+}
+
+/// Pulls the raw text of `"key":<value>` out of one of our own JSONL
+/// lines. String values may contain commas (the embedded spec does)
+/// but never quotes or escapes, so scanning to the closing quote is
+/// exact.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(quoted) = rest.strip_prefix('"') {
+        quoted.find('"').map(|end| &quoted[..end])
+    } else {
+        rest.find([',', '}']).map(|end| &rest[..end])
+    }
+}
+
+/// Parses manifest text rendered by [`Manifest::render`].
+pub fn parse_manifest(text: &str) -> Result<Manifest, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty manifest")?;
+    if field(header, "type") != Some("szgen") {
+        return Err("first record is not a szgen header".into());
+    }
+    let spec: GenSpec = field(header, "spec")
+        .ok_or("header has no spec")?
+        .parse()
+        .map_err(|e| format!("header spec: {e}"))?;
+    let count: usize = field(header, "count")
+        .ok_or("header has no count")?
+        .parse()
+        .map_err(|_| "header count is not an integer".to_owned())?;
+    let mut entries = Vec::with_capacity(count);
+    for line in lines {
+        if field(line, "type") != Some("model") {
+            return Err(format!("unexpected record: {line}"));
+        }
+        let get = |key: &str| field(line, key).ok_or_else(|| format!("record missing {key}"));
+        let int = |key: &str| -> Result<usize, String> {
+            get(key)?
+                .parse()
+                .map_err(|_| format!("record {key} is not an integer"))
+        };
+        entries.push(ManifestEntry {
+            index: int("index")?,
+            name: get("name")?.to_owned(),
+            nodes: int("nodes")?,
+            depth: int("depth")?,
+            prims: int("prims")?,
+            hash: get("hash")?.to_owned(),
+        });
+    }
+    if entries.len() != count {
+        return Err(format!(
+            "header says {count} models, manifest has {}",
+            entries.len()
+        ));
+    }
+    Ok(Manifest { spec, entries })
+}
+
+/// The outcome of `szgen verify`: what was checked and every drift
+/// found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Manifest records re-derived and compared.
+    pub models: usize,
+    /// `.csexp` files found on disk and compared.
+    pub files: usize,
+    /// Human-readable drift findings (empty = clean).
+    pub drift: Vec<String>,
+}
+
+impl VerifyReport {
+    /// True when no drift was found.
+    pub fn is_clean(&self) -> bool {
+        self.drift.is_empty()
+    }
+}
+
+/// Re-derives the corpus in `dir` from its manifest's embedded spec
+/// and diffs: manifest records against fresh derivation, and any
+/// on-disk `.csexp` files against the regenerated text.
+pub fn verify_dir(dir: &Path) -> Result<VerifyReport, String> {
+    let path = dir.join(MANIFEST_FILE);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let manifest = parse_manifest(&text)?;
+    let mut report = VerifyReport {
+        models: manifest.entries.len(),
+        files: 0,
+        drift: Vec::new(),
+    };
+    if manifest.entries.len() != manifest.spec.count {
+        report.drift.push(format!(
+            "manifest covers {} models but spec says count={}",
+            manifest.entries.len(),
+            manifest.spec.count
+        ));
+    }
+    for entry in &manifest.entries {
+        let cad = generate_model(&manifest.spec, entry.index);
+        let derived = ManifestEntry::derive(manifest.spec.seed, entry.index, &cad);
+        if *entry != derived {
+            report.drift.push(format!(
+                "{}: manifest record drifted (recorded {entry:?}, derived {derived:?})",
+                entry.name
+            ));
+        }
+        let file = dir.join(format!("{}.csexp", file_stem(&entry.name)));
+        match std::fs::read_to_string(&file) {
+            Ok(on_disk) => {
+                report.files += 1;
+                if on_disk.trim_end() != cad.to_string() {
+                    report.drift.push(format!(
+                        "{}: file differs from regeneration",
+                        file.display()
+                    ));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => report
+                .drift
+                .push(format!("{}: unreadable: {e}", file.display())),
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let spec: GenSpec = "count=6,seed=9,noise=0.0005".parse().unwrap();
+        let manifest = Manifest::generate(&spec);
+        let parsed = parse_manifest(&manifest.render()).unwrap();
+        assert_eq!(parsed, manifest);
+        // Rendering is byte-deterministic.
+        assert_eq!(manifest.render(), Manifest::generate(&spec).render());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_manifest("").is_err());
+        assert!(parse_manifest("{\"type\":\"model\"}").is_err());
+        let spec: GenSpec = "count=3,seed=1".parse().unwrap();
+        let mut text = Manifest::generate(&spec).render();
+        text.push_str("{\"type\":\"mystery\"}\n");
+        assert!(parse_manifest(&text).is_err());
+    }
+
+    #[test]
+    fn verify_catches_drift() {
+        let spec: GenSpec = "count=4,seed=2".parse().unwrap();
+        let dir = std::env::temp_dir().join(format!("szgen-verify-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = Manifest::generate(&spec);
+        std::fs::write(dir.join(MANIFEST_FILE), manifest.render()).unwrap();
+        for index in 0..spec.count {
+            let cad = generate_model(&spec, index);
+            let stem = file_stem(&model_name(spec.seed, index));
+            std::fs::write(dir.join(format!("{stem}.csexp")), format!("{cad}\n")).unwrap();
+        }
+        let clean = verify_dir(&dir).unwrap();
+        assert!(clean.is_clean(), "unexpected drift: {:?}", clean.drift);
+        assert_eq!((clean.models, clean.files), (4, 4));
+
+        // Corrupt one file: verify must flag exactly that file.
+        std::fs::write(dir.join("gen_2_1.csexp"), "Unit\n").unwrap();
+        let dirty = verify_dir(&dir).unwrap();
+        assert_eq!(dirty.drift.len(), 1);
+        assert!(dirty.drift[0].contains("gen_2_1.csexp"));
+
+        // Tamper with a manifest record: flagged as record drift.
+        let tampered = manifest.render().replace("\"prims\":", "\"prims\":9");
+        std::fs::write(dir.join(MANIFEST_FILE), tampered).unwrap();
+        let bad = verify_dir(&dir).unwrap();
+        assert!(!bad.is_clean());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,64 @@
+//! The splittable per-model stream: every model's randomness is keyed
+//! on `(corpus seed, model index)` and nothing else.
+//!
+//! This is what makes sharded generation coherent: a worker that owns
+//! only indices `{3, 7, 11}` derives exactly the streams an unsharded
+//! run would have used for those indices, so the corpus reassembled by
+//! index is byte-identical no matter how generation was partitioned.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives the RNG seed for model `index` of a corpus seeded with
+/// `corpus_seed`.
+///
+/// Mixes the two halves of the key separately before combining so that
+/// adjacent indices (and adjacent corpus seeds) yield statistically
+/// unrelated streams; the odd-constant offsets keep `(0, 0)` away from
+/// the finalizer's `0 → 0` fixed point.
+pub fn model_seed(corpus_seed: u64, index: u64) -> u64 {
+    mix(corpus_seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(mix(index.wrapping_add(0x2545_f491_4f6c_dd1d))))
+}
+
+/// The generator for model `index`: a fresh [`StdRng`] over
+/// [`model_seed`] — never shared, never global.
+pub fn model_rng(corpus_seed: u64, index: u64) -> StdRng {
+    StdRng::seed_from_u64(model_seed(corpus_seed, index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn keyed_streams_are_stable_and_distinct() {
+        // Pinned values: the derivation is part of the byte-identity
+        // contract — changing it silently regenerates every corpus.
+        assert_eq!(model_seed(0, 0), model_seed(0, 0));
+        assert_eq!(model_seed(0, 0), 0xc7d3_552d_73a5_b57e);
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..8u64 {
+            for index in 0..64u64 {
+                assert!(seen.insert(model_seed(seed, index)), "collision");
+            }
+        }
+    }
+
+    #[test]
+    fn streams_do_not_leak_across_indices() {
+        let mut a = model_rng(9, 4);
+        let mut b = model_rng(9, 5);
+        let same = (0..32).all(|_| a.gen_range(0u64..1 << 32) == b.gen_range(0u64..1 << 32));
+        assert!(!same, "adjacent indices must not share a stream");
+    }
+}

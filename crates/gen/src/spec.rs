@@ -1,0 +1,361 @@
+//! The distribution spec and its compact string grammar.
+//!
+//! A spec describes a whole corpus: how many models, from which seed,
+//! how large (sections per model × elements per section), which
+//! primitive mix, which section shapes, and how much decompiler-style
+//! noise. Parsing and re-rendering are exact inverses on canonical
+//! form ([`GenSpec::canonical`]), which is what manifests embed so
+//! `szgen verify` can re-derive a corpus from its manifest alone.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The spec string grammar, embedded verbatim in `szgen --help`.
+pub const SPEC_GRAMMAR: &str = "\
+SPEC GRAMMAR (comma-separated key=value fields, all optional):
+    count=N            models in the corpus                (default 100)
+    seed=N             corpus seed, u64                    (default 0)
+    secs=LO..HI        sections per model, inclusive       (default 1..3)
+    arity=LO..HI       elements per row/ring (and per grid
+                       row; grids add 2-4 such rows)       (default 3..8)
+    prims=K:W+K:W+...  weighted primitive mix over
+                       cube|cylinder|sphere|hexagon        (default cube:4+cylinder:2+sphere:1+hexagon:1)
+    structure=K:W+...  weighted section shapes over
+                       row|grid|ring|scatter               (default row:3+grid:2+ring:2+scatter:1)
+    noise=A            uniform jitter amplitude applied to
+                       every vector component, 0 <= A < 0.25
+                       (default 0; paper's eps is 1e-3)
+
+    Example: count=500,seed=42,arity=3..6,structure=row:2+ring:1,noise=0.0005
+    Same (seed, spec) => byte-identical corpus; model i depends only on
+    (seed, i), so shard splits reassembled by index are byte-identical too.
+";
+
+/// A primitive leaf the generator can emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimKind {
+    /// The unit cube (`Unit`).
+    Cube,
+    /// The unit cylinder.
+    Cylinder,
+    /// The unit sphere.
+    Sphere,
+    /// The unit hexagonal prism.
+    Hexagon,
+}
+
+impl PrimKind {
+    /// All kinds, in canonical (spec-rendering) order.
+    pub const ALL: [PrimKind; 4] = [
+        PrimKind::Cube,
+        PrimKind::Cylinder,
+        PrimKind::Sphere,
+        PrimKind::Hexagon,
+    ];
+
+    /// The spec-grammar keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrimKind::Cube => "cube",
+            PrimKind::Cylinder => "cylinder",
+            PrimKind::Sphere => "sphere",
+            PrimKind::Hexagon => "hexagon",
+        }
+    }
+
+    fn parse(s: &str) -> Option<PrimKind> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// A section shape: the loop/array structure (or deliberate absence of
+/// it) that one section of a model exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StructureKind {
+    /// A translate loop: `n` copies of one element along an axis.
+    Row,
+    /// Nested translate loops: an `nx × ny` array of one element.
+    Grid,
+    /// A rotate loop: `n` copies of one element around the z axis
+    /// (Table 1's `gear` shape).
+    Ring,
+    /// `n` unrelated elements at unrelated offsets — no structure for
+    /// the inverse-transformation rules to find (negative examples).
+    Scatter,
+}
+
+impl StructureKind {
+    /// All kinds, in canonical (spec-rendering) order.
+    pub const ALL: [StructureKind; 4] = [
+        StructureKind::Row,
+        StructureKind::Grid,
+        StructureKind::Ring,
+        StructureKind::Scatter,
+    ];
+
+    /// The spec-grammar keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            StructureKind::Row => "row",
+            StructureKind::Grid => "grid",
+            StructureKind::Ring => "ring",
+            StructureKind::Scatter => "scatter",
+        }
+    }
+
+    fn parse(s: &str) -> Option<StructureKind> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// A corpus distribution spec. See [`SPEC_GRAMMAR`] for the string
+/// form; [`GenSpec::default`] is the grammar's defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenSpec {
+    /// Number of models in the corpus.
+    pub count: usize,
+    /// Corpus seed; model `i` streams from `(seed, i)`.
+    pub seed: u64,
+    /// Inclusive range of sections per model.
+    pub secs: (usize, usize),
+    /// Inclusive range of elements per row/ring (and per grid row).
+    pub arity: (usize, usize),
+    /// Weighted primitive mix (each weight ≥ 1, kinds distinct).
+    pub prims: Vec<(PrimKind, u32)>,
+    /// Weighted section-shape mix (each weight ≥ 1, kinds distinct).
+    pub structure: Vec<(StructureKind, u32)>,
+    /// Uniform jitter amplitude on every constant vector component;
+    /// `0` disables. Kept below `0.25` (half the smallest coordinate
+    /// grid step) so noise can never zero a scale component.
+    pub noise: f64,
+}
+
+impl Default for GenSpec {
+    fn default() -> Self {
+        GenSpec {
+            count: 100,
+            seed: 0,
+            secs: (1, 3),
+            arity: (3, 8),
+            prims: vec![
+                (PrimKind::Cube, 4),
+                (PrimKind::Cylinder, 2),
+                (PrimKind::Sphere, 1),
+                (PrimKind::Hexagon, 1),
+            ],
+            structure: vec![
+                (StructureKind::Row, 3),
+                (StructureKind::Grid, 2),
+                (StructureKind::Ring, 2),
+                (StructureKind::Scatter, 1),
+            ],
+            noise: 0.0,
+        }
+    }
+}
+
+/// A spec-string parse or validation error, with the offending field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, SpecError> {
+    Err(SpecError(msg.into()))
+}
+
+fn parse_range(field: &str, v: &str) -> Result<(usize, usize), SpecError> {
+    let Some((lo, hi)) = v.split_once("..") else {
+        return err(format!("{field}: expected LO..HI, got `{v}`"));
+    };
+    let (Ok(lo), Ok(hi)) = (lo.parse::<usize>(), hi.parse::<usize>()) else {
+        return err(format!("{field}: expected LO..HI over integers, got `{v}`"));
+    };
+    if lo < 1 || lo > hi {
+        return err(format!("{field}: need 1 <= LO <= HI, got {lo}..{hi}"));
+    }
+    Ok((lo, hi))
+}
+
+fn parse_weights<K: Copy + PartialEq>(
+    field: &str,
+    v: &str,
+    parse_kind: impl Fn(&str) -> Option<K>,
+) -> Result<Vec<(K, u32)>, SpecError> {
+    let mut out: Vec<(K, u32)> = Vec::new();
+    for part in v.split('+') {
+        let Some((kind, weight)) = part.split_once(':') else {
+            return err(format!("{field}: expected KIND:WEIGHT, got `{part}`"));
+        };
+        let Some(k) = parse_kind(kind) else {
+            return err(format!("{field}: unknown kind `{kind}`"));
+        };
+        let Ok(w) = weight.parse::<u32>() else {
+            return err(format!("{field}: bad weight `{weight}`"));
+        };
+        if w == 0 {
+            return err(format!("{field}: weight for `{kind}` must be >= 1"));
+        }
+        if out.iter().any(|(seen, _)| *seen == k) {
+            return err(format!("{field}: duplicate kind `{kind}`"));
+        }
+        out.push((k, w));
+    }
+    if out.is_empty() {
+        return err(format!("{field}: need at least one KIND:WEIGHT"));
+    }
+    Ok(out)
+}
+
+impl FromStr for GenSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, SpecError> {
+        let mut spec = GenSpec::default();
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(spec);
+        }
+        for field in s.split(',') {
+            let Some((key, v)) = field.split_once('=') else {
+                return err(format!("expected key=value, got `{field}`"));
+            };
+            let (key, v) = (key.trim(), v.trim());
+            match key {
+                "count" => match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => spec.count = n,
+                    _ => return err(format!("count: expected an integer >= 1, got `{v}`")),
+                },
+                "seed" => match v.parse::<u64>() {
+                    Ok(n) => spec.seed = n,
+                    _ => return err(format!("seed: expected a u64, got `{v}`")),
+                },
+                "secs" => spec.secs = parse_range("secs", v)?,
+                "arity" => spec.arity = parse_range("arity", v)?,
+                "prims" => spec.prims = parse_weights("prims", v, PrimKind::parse)?,
+                "structure" => {
+                    spec.structure = parse_weights("structure", v, StructureKind::parse)?;
+                }
+                "noise" => match v.parse::<f64>() {
+                    Ok(a) if a.is_finite() && (0.0..0.25).contains(&a) => spec.noise = a,
+                    _ => return err(format!("noise: expected 0 <= A < 0.25, got `{v}`")),
+                },
+                other => return err(format!("unknown field `{other}`")),
+            }
+        }
+        Ok(spec)
+    }
+}
+
+impl GenSpec {
+    /// The canonical string form: every field explicit, in grammar
+    /// order. Parsing it back yields an equal spec, so manifests embed
+    /// this string as the corpus's identity.
+    pub fn canonical(&self) -> String {
+        let weights = |items: &[(String, u32)]| {
+            items
+                .iter()
+                .map(|(k, w)| format!("{k}:{w}"))
+                .collect::<Vec<_>>()
+                .join("+")
+        };
+        let prims: Vec<(String, u32)> = self
+            .prims
+            .iter()
+            .map(|(k, w)| (k.name().to_owned(), *w))
+            .collect();
+        let structure: Vec<(String, u32)> = self
+            .structure
+            .iter()
+            .map(|(k, w)| (k.name().to_owned(), *w))
+            .collect();
+        format!(
+            "count={},seed={},secs={}..{},arity={}..{},prims={},structure={},noise={}",
+            self.count,
+            self.seed,
+            self.secs.0,
+            self.secs.1,
+            self.arity.0,
+            self.arity.1,
+            weights(&prims),
+            weights(&structure),
+            self.noise,
+        )
+    }
+}
+
+impl fmt::Display for GenSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_the_default() {
+        assert_eq!("".parse::<GenSpec>().unwrap(), GenSpec::default());
+        assert_eq!("  ".parse::<GenSpec>().unwrap(), GenSpec::default());
+    }
+
+    #[test]
+    fn canonical_roundtrips() {
+        for s in [
+            "",
+            "count=500,seed=42",
+            "count=10,seed=7,secs=2..4,arity=3..6,prims=sphere:1+cube:2,structure=ring:1,noise=0.0005",
+        ] {
+            let spec: GenSpec = s.parse().unwrap();
+            let back: GenSpec = spec.canonical().parse().unwrap();
+            assert_eq!(spec, back, "roundtrip failed for `{s}`");
+            assert_eq!(spec.canonical(), back.canonical());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_fields() {
+        for bad in [
+            "count=0",
+            "count=x",
+            "seed=-1",
+            "secs=3..2",
+            "secs=0..2",
+            "arity=3",
+            "prims=widget:1",
+            "prims=cube:0",
+            "prims=cube:1+cube:2",
+            "prims=",
+            "structure=row",
+            "noise=0.5",
+            "noise=-0.1",
+            "noise=nan",
+            "bogus=1",
+            "count",
+        ] {
+            assert!(bad.parse::<GenSpec>().is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn grammar_doc_mentions_every_field() {
+        for field in [
+            "count=",
+            "seed=",
+            "secs=",
+            "arity=",
+            "prims=",
+            "structure=",
+            "noise=",
+        ] {
+            assert!(SPEC_GRAMMAR.contains(field), "grammar doc missing {field}");
+        }
+    }
+}

@@ -33,4 +33,4 @@ pub use models16::{
     nintendo_slot, rasp_pie, relay_box, sander, sd_rack, soldering, tape_store, wardrobe, Model,
     Provenance,
 };
-pub use noise::add_noise;
+pub use noise::{add_noise, add_noise_with};

@@ -23,10 +23,33 @@ use sz_cad::{Cad, Expr, V3};
 /// ```
 pub fn add_noise(cad: &Cad, amplitude: f64, seed: u64) -> Cad {
     let mut rng = StdRng::seed_from_u64(seed);
-    perturb(cad, amplitude, &mut rng)
+    add_noise_with(cad, amplitude, &mut rng)
 }
 
-fn perturb(cad: &Cad, amp: f64, rng: &mut StdRng) -> Cad {
+/// Like [`add_noise`], but draws from a caller-supplied generator
+/// instead of seeding one internally.
+///
+/// This is the seam corpus generation needs: a generator that derives
+/// one splittable stream per model index (as `sz-gen` does) threads it
+/// through here so the noise applied to model *i* depends only on
+/// `(corpus seed, i)` — never on shared or ad-hoc RNG state — and the
+/// corpus stays byte-identical across machines and shard splits.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use sz_models::{add_noise, add_noise_with, row_of_cubes};
+/// let clean = row_of_cubes(5, 2.0);
+/// let mut rng = StdRng::seed_from_u64(42);
+/// assert_eq!(add_noise_with(&clean, 5e-4, &mut rng), add_noise(&clean, 5e-4, 42));
+/// ```
+pub fn add_noise_with<R: Rng + ?Sized>(cad: &Cad, amplitude: f64, rng: &mut R) -> Cad {
+    perturb(cad, amplitude, rng)
+}
+
+fn perturb<R: Rng + ?Sized>(cad: &Cad, amp: f64, rng: &mut R) -> Cad {
     match cad {
         Cad::Affine(kind, v, c) => {
             let mut jig = |e: &Expr| -> Expr {
@@ -60,6 +83,19 @@ mod tests {
         let m = row_of_cubes(4, 2.0);
         assert_eq!(add_noise(&m, 1e-3, 7), add_noise(&m, 1e-3, 7));
         assert_ne!(add_noise(&m, 1e-3, 7), add_noise(&m, 1e-3, 8));
+    }
+
+    #[test]
+    fn explicit_rng_threads_one_stream() {
+        let m = row_of_cubes(4, 2.0);
+        // A shared generator advances across calls: two models noised
+        // from the same stream must differ...
+        let mut rng = StdRng::seed_from_u64(7);
+        let first = add_noise_with(&m, 1e-3, &mut rng);
+        let second = add_noise_with(&m, 1e-3, &mut rng);
+        assert_ne!(first, second);
+        // ...and the first draw matches the seeded convenience wrapper.
+        assert_eq!(first, add_noise(&m, 1e-3, 7));
     }
 
     #[test]

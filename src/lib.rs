@@ -10,6 +10,9 @@
 //! * [`sz_mesh`] — meshes, STL, implicit geometry, translation validation;
 //! * [`sz_scad`] — OpenSCAD import/export;
 //! * [`sz_models`] — the 16-model benchmark suite and figure inputs;
+//! * [`sz_gen`] — the deterministic synthetic corpus generator: seeded,
+//!   distribution-controlled flat-CSG corpora at 10⁴–10⁶ scale (and the
+//!   `szgen` CLI);
 //! * [`sz_lint`] — static analysis: rewrite-rule hygiene, compiled
 //!   e-match program verification, CAD input linting (and the `szlint`
 //!   CLI);
@@ -51,6 +54,20 @@
 //!        sz-lint sits on sz-egraph + sz-cad and is consumed by
 //!        szalinski — rule-set analysis at compile time — and by
 //!                  sz-batch — `szb lint` / `szlint`)
+//! ```
+//!
+//! The generated-corpus layer slots in between the corpus engines and
+//! the mid-layer crates (arrows still point strictly downward):
+//!
+//! ```text
+//!   sz-bench (`corpus` soak bin) ──┐
+//!   sz-batch (`szb --gen <spec>`) ─┴─► sz-gen (szgen CLI)
+//!                                        │  spec → (seed, index)-keyed
+//!                                        │  RNG → flat CSG + manifest
+//!                                        ├──► sz-models (primitives, noise)
+//!                                        ├──► sz-scad   (.scad emission)
+//!                                        ├──► sz-trace  (gen spans/metrics)
+//!                                        └──► sz-cad    (terms, metrics)
 //! ```
 //!
 //! * **`sz-cad`** is the foundation: the `Cad` AST shared by every
@@ -149,6 +166,22 @@
 //!   [`szalinski::SynthError::RuleLint`], not a mid-saturation panic),
 //!   and `sz-batch` exposes the corpus surface as `szb lint` and the
 //!   standalone `szlint` binary.
+//! * **`sz-gen`** is the corpus factory above those: a deterministic,
+//!   seeded generator composing `sz-models` primitives, affine
+//!   transforms, and [`sz_models::add_noise_with`] noise into *flat*
+//!   CSG programs under a controllable distribution spec
+//!   ([`sz_gen::GenSpec`], compact string grammar in
+//!   [`sz_gen::SPEC_GRAMMAR`]). Model `i` streams from a splittable RNG
+//!   keyed on `(seed, i)` ([`sz_gen::model_seed`]) — never global state
+//!   — so the same `(seed, spec)` is byte-identical on any machine and
+//!   across any shard split reassembled by index. The `szgen` CLI
+//!   writes corpora and JSONL manifests and re-verifies them
+//!   (`szgen verify`, drift detection); `szb --gen <spec>` streams a
+//!   generated corpus straight into the batch engine with no files on
+//!   disk (jobs named `gen:<seed>:<index>`, so `--shard` and
+//!   `szb merge` work unchanged); and the `corpus` soak bin in
+//!   `sz-bench` is the standing 10⁴–10⁵-model workload
+//!   (`BENCH_corpus.json`) every perf change is measured against.
 //! * **`sz-batch`** is the corpus engine added on top: a work-stealing
 //!   thread pool with per-job panic isolation, a **two-tier**
 //!   content-addressed cache (programs keyed on the full config
@@ -208,6 +241,7 @@
 pub use sz_batch;
 pub use sz_cad;
 pub use sz_egraph;
+pub use sz_gen;
 pub use sz_lint;
 pub use sz_mesh;
 pub use sz_models;

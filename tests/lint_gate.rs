@@ -9,7 +9,8 @@
 //! golden fixtures.
 
 use szalinski_repro::sz_batch::{lint_rules, lint_suite16};
-use szalinski_repro::sz_lint::{lint_ruleset, Severity};
+use szalinski_repro::sz_gen::{models, GenSpec};
+use szalinski_repro::sz_lint::{lint_cad, lint_ruleset, Severity};
 use szalinski_repro::szalinski::{all_rules, rules, structural_rules, SynthConfig, Synthesizer};
 
 #[test]
@@ -32,6 +33,25 @@ fn all_rule_sets_have_zero_deny_findings() {
 fn suite16_inputs_have_zero_deny_findings() {
     let report = lint_suite16();
     assert!(report.is_clean(), "{}", report.render_text());
+}
+
+#[test]
+fn generated_corpora_have_zero_deny_findings() {
+    // sz-gen is safe by construction: scales draw from a grid bounded
+    // away from zero (SZL202), every coordinate is finite (SZL201),
+    // and composition is well-sorted (SZL206). Check the whole deny
+    // class anyway, over a spec that exercises every structure kind
+    // and the noise path.
+    let spec: GenSpec = "count=64,seed=2020,noise=0.01".parse().unwrap();
+    for m in models(&spec) {
+        let report = lint_cad(&m.name, &m.cad);
+        assert!(
+            report.is_clean(),
+            "{} has deny findings:\n{}",
+            m.name,
+            report.render_text()
+        );
+    }
 }
 
 #[test]
